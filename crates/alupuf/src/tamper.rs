@@ -1,0 +1,211 @@
+//! Hardware-tampering models.
+//!
+//! The paper's trust model (§3) rests on a physical claim: "any attempt of
+//! A to modify the hardware of P to enhance its computing and/or memory
+//! capabilities changes the challenge/response behavior of the PUF". This
+//! module makes the claim testable by applying parametrised hardware
+//! modifications to a manufactured chip and measuring how far its
+//! responses move:
+//!
+//! * [`Tamper::ProbeLoad`] — an attached probe or added wire loads a set
+//!   of nets, slowing their drivers (the minimal, hardest-to-detect
+//!   modification: a passive tap for the oracle attack).
+//! * [`Tamper::RerouteDetour`] — rerouting a signal through added logic
+//!   multiplies selected gate delays (what splicing in a shadow datapath
+//!   would do).
+//! * [`Tamper::VoltageIsland`] — running part of the die at a different
+//!   supply corner (e.g. to speed up an added core) shifts every affected
+//!   gate's delay.
+//!
+//! All three act on the *delay* level — the functional netlist is
+//! unchanged, which is the adversary's best case. The `hardware_tamper`
+//! bench sweeps the tamper magnitude and reports the response divergence
+//! the verifier sees.
+
+use crate::device::{AluPufDesign, PufChip};
+use pufatt_silicon::variation::Chip;
+
+/// A hardware modification applied to one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tamper {
+    /// Capacitive probe load on every `stride`-th gate's output: its delay
+    /// grows by `extra_fraction` (e.g. 0.05 = 5 %).
+    ProbeLoad {
+        /// Apply to every `stride`-th gate (1 = all gates).
+        stride: usize,
+        /// Relative delay increase per probed gate.
+        extra_fraction: f64,
+    },
+    /// Detour through added logic: gates in `[from, to)` (by index) get
+    /// `extra_ps` of wire/logic delay added.
+    RerouteDetour {
+        /// First affected gate index.
+        from: usize,
+        /// One past the last affected gate index.
+        to: usize,
+        /// Added delay in ps.
+        extra_ps: f64,
+    },
+    /// A voltage island covering gate indices `[from, to)`: their V_th is
+    /// shifted by `delta_vth_v` (negative = faster).
+    VoltageIsland {
+        /// First affected gate index.
+        from: usize,
+        /// One past the last affected gate index.
+        to: usize,
+        /// Threshold-voltage shift in volts.
+        delta_vth_v: f64,
+    },
+}
+
+impl Tamper {
+    /// Applies the modification, returning the tampered chip.
+    ///
+    /// `ProbeLoad` and `RerouteDetour` act on delays, which this model
+    /// folds into equivalent V_th shifts so the tampered chip stays a
+    /// `PufChip` (uniform interface for evaluation and enrollment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate range is out of bounds or parameters are
+    /// non-physical (negative load).
+    pub fn apply(&self, design: &AluPufDesign, chip: &PufChip) -> PufChip {
+        let technology = chip.silicon().technology().clone();
+        let alpha = technology.alpha;
+        let gate_count = design.netlist().gate_count();
+        let mut vth = chip.silicon().vth().to_vec();
+
+        // A relative delay change `d -> d (1+f)` maps onto a V_th shift via
+        // the alpha-power law: (V - vth')^alpha = (V - vth)^alpha / (1+f).
+        let vth_for_delay_factor = |vth_old: f64, factor: f64| -> f64 {
+            let vdd = technology.vdd_nominal;
+            let overdrive = (vdd - vth_old) / factor.powf(1.0 / alpha);
+            vdd - overdrive
+        };
+
+        match *self {
+            Tamper::ProbeLoad { stride, extra_fraction } => {
+                assert!(stride >= 1, "stride must be at least 1");
+                assert!(extra_fraction >= 0.0, "probe load cannot speed a gate up");
+                for (i, v) in vth.iter_mut().enumerate() {
+                    if i % stride == 0 {
+                        *v = vth_for_delay_factor(*v, 1.0 + extra_fraction);
+                    }
+                }
+            }
+            Tamper::RerouteDetour { from, to, extra_ps } => {
+                assert!(from < to && to <= gate_count, "gate range {from}..{to} out of bounds");
+                assert!(extra_ps >= 0.0, "detours add delay");
+                // Convert the absolute extra delay into a per-gate factor
+                // using the nominal intrinsic delay of each gate kind.
+                for (i, v) in vth.iter_mut().enumerate().take(to).skip(from) {
+                    let kind = design.netlist().gates()[i].kind;
+                    let base = technology.intrinsic_delay_ps(kind);
+                    *v = vth_for_delay_factor(*v, 1.0 + extra_ps / base);
+                }
+            }
+            Tamper::VoltageIsland { from, to, delta_vth_v } => {
+                assert!(from < to && to <= gate_count, "gate range {from}..{to} out of bounds");
+                for v in vth.iter_mut().take(to).skip(from) {
+                    *v += delta_vth_v;
+                }
+            }
+        }
+        // Keep devices physical (they must still switch).
+        for v in vth.iter_mut() {
+            *v = v.clamp(0.05, technology.vdd_nominal * 0.8);
+        }
+        PufChip::with_parts(Chip::from_vth(vth, technology), chip.arbiter_offset_ps().to_vec(), design.width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::challenge::Challenge;
+    use crate::device::{AluPufConfig, AluPufDesign, PufInstance};
+    use crate::emulate::PufEmulator;
+    use pufatt_silicon::env::Environment;
+    use pufatt_silicon::variation::ChipSampler;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (AluPufDesign, PufChip) {
+        let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let mut rng = ChaCha8Rng::seed_from_u64(90);
+        let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+        (design, chip)
+    }
+
+    fn divergence(design: &AluPufDesign, original: &PufChip, tampered: &PufChip, n: usize) -> f64 {
+        let emulator = PufEmulator::enroll(design, original, Environment::nominal());
+        let instance = PufInstance::new(design, tampered, Environment::nominal());
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let mut hd = 0u32;
+        for _ in 0..n {
+            let ch = Challenge::random(&mut rng, 32);
+            hd += instance.evaluate_voted(ch, 5, &mut rng).hamming_distance(emulator.emulate(ch));
+        }
+        hd as f64 / (n as f64 * 32.0)
+    }
+
+    #[test]
+    fn probe_load_shifts_responses() {
+        let (design, chip) = setup();
+        // A 5% load on every third gate — a realistic probing footprint.
+        let tampered = Tamper::ProbeLoad { stride: 3, extra_fraction: 0.05 }.apply(&design, &chip);
+        let baseline = divergence(&design, &chip, &chip, 40);
+        let moved = divergence(&design, &chip, &tampered, 40);
+        assert!(moved > baseline + 0.02, "probing must move responses: {baseline} -> {moved}");
+    }
+
+    #[test]
+    fn detour_shifts_responses_locally() {
+        let (design, chip) = setup();
+        let tampered = Tamper::RerouteDetour { from: 0, to: 40, extra_ps: 4.0 }.apply(&design, &chip);
+        let moved = divergence(&design, &chip, &tampered, 40);
+        assert!(moved > 0.05, "a detour through the first ALU must desynchronise the race: {moved}");
+    }
+
+    #[test]
+    fn voltage_island_shifts_responses() {
+        let (design, chip) = setup();
+        let half = design.netlist().gate_count() / 2;
+        let tampered = Tamper::VoltageIsland { from: 0, to: half, delta_vth_v: -0.02 }.apply(&design, &chip);
+        let moved = divergence(&design, &chip, &tampered, 40);
+        assert!(moved > 0.05, "speeding up one ALU must skew every race: {moved}");
+    }
+
+    #[test]
+    fn symmetric_tamper_partially_cancels() {
+        // Loading EVERY gate equally is the adversary's stealthiest option:
+        // the differential structure cancels most of it. The claim the
+        // paper needs is only that *asymmetric* modifications (anything
+        // that adds capability) are visible.
+        let (design, chip) = setup();
+        let uniform = Tamper::ProbeLoad { stride: 1, extra_fraction: 0.05 }.apply(&design, &chip);
+        let asymmetric = Tamper::ProbeLoad { stride: 3, extra_fraction: 0.05 }.apply(&design, &chip);
+        let d_uniform = divergence(&design, &chip, &uniform, 40);
+        let d_asym = divergence(&design, &chip, &asymmetric, 40);
+        assert!(d_uniform < d_asym, "uniform load should cancel more: {d_uniform} vs {d_asym}");
+    }
+
+    #[test]
+    fn tampered_chip_remains_functional() {
+        // Delay tampering never changes logic values, only timing.
+        let (design, chip) = setup();
+        let tampered = Tamper::ProbeLoad { stride: 2, extra_fraction: 0.2 }.apply(&design, &chip);
+        let instance = PufInstance::new(&design, &tampered, Environment::nominal());
+        let mut rng = ChaCha8Rng::seed_from_u64(92);
+        // Evaluations still produce full-width responses without panicking.
+        let r = instance.evaluate(Challenge::new(0xFFFF_FFFF, 1, 32), &mut rng);
+        assert_eq!(r.width(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn range_checked() {
+        let (design, chip) = setup();
+        Tamper::RerouteDetour { from: 0, to: 100_000, extra_ps: 1.0 }.apply(&design, &chip);
+    }
+}

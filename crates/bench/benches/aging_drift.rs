@@ -1,0 +1,100 @@
+//! Extension experiment: response drift under NBTI aging and the
+//! re-enrollment remedy.
+//!
+//! The paper's related work (Kong & Koushanfar, TETC 2013) studies
+//! aging-based response tuning for processor PUFs; for attestation the
+//! operational question is how long an enrolled delay table stays valid.
+//! This experiment ages a chip with the standard NBTI power law
+//! (`ΔV_th ∝ t^0.16`) and tracks:
+//!
+//! * raw intra-chip HD against the enrollment-time emulator over the
+//!   device's lifetime,
+//! * the decoder-aware attestation FNR at each age, and
+//! * both after refreshing the delay table (re-enrollment).
+
+use pufatt_alupuf::aging::{age_chip, AgingModel};
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::emulate::PufEmulator;
+use pufatt_bench::{header, sample_count, timed};
+use pufatt_ecc::analysis::FailureProfile;
+use pufatt_ecc::rm::ReedMuller1;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const HOURS_PER_YEAR: f64 = 8760.0;
+
+fn main() {
+    header("Aging", "NBTI drift vs the enrolled delay table (extension)");
+    let challenges_n = sample_count(400, 5_000);
+    let votes = 5;
+    println!("  configuration: 32-bit PUF, NBTI 45nm power law, {challenges_n} challenges per point");
+
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA6E);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let enrollment_emulator = PufEmulator::enroll(&design, &chip, Environment::nominal());
+    let model = AgingModel::nbti_45nm();
+    let profile = FailureProfile::estimate(&ReedMuller1::bch_32_6_16(), 2_000, &mut rng);
+
+    println!(
+        "\n  {:>8} {:>12} {:>16} {:>16}",
+        "years", "dVth (mV)", "intra-HD (stale)", "FNR (stale)"
+    );
+    let mut drift_series = Vec::new();
+    for years in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        let hours = years * HOURS_PER_YEAR;
+        let aged = age_chip(&design, &chip, &model, hours, &mut rng);
+        let instance = PufInstance::new(&design, &aged, Environment::nominal());
+        let (hd_frac, fnr) = timed(&format!("{years} y"), || {
+            let mut hd = 0u64;
+            let mut fnr_acc = 0.0;
+            for _ in 0..challenges_n {
+                let ch = Challenge::random(&mut rng, 32);
+                let reference = enrollment_emulator.emulate(ch);
+                // Flip probabilities vs the stale reference, from repeats.
+                let mut flips = [0u32; 32];
+                const REPEATS: u32 = 8;
+                for _ in 0..REPEATS {
+                    let diff = instance.evaluate_voted(ch, votes, &mut rng).bits() ^ reference.bits();
+                    hd += diff.count_ones() as u64;
+                    for (b, f) in flips.iter_mut().enumerate() {
+                        *f += ((diff >> b) & 1) as u32;
+                    }
+                }
+                let probs: Vec<f64> = flips.iter().map(|&f| f as f64 / REPEATS as f64).collect();
+                fnr_acc += profile.false_negative_rate(&probs);
+            }
+            (
+                hd as f64 / (challenges_n as f64 * 8.0 * 32.0),
+                fnr_acc / challenges_n as f64,
+            )
+        });
+        println!(
+            "  {years:>8.1} {:>12.1} {:>15.1}% {:>16.2e}",
+            model.mean_drift_v(hours) * 1e3,
+            100.0 * hd_frac,
+            fnr
+        );
+        drift_series.push((years, hd_frac, fnr));
+    }
+
+    // Re-enrollment at 10 years restores agreement.
+    let aged = age_chip(&design, &chip, &model, 10.0 * HOURS_PER_YEAR, &mut rng);
+    let refreshed = PufEmulator::enroll(&design, &aged, Environment::nominal());
+    let instance = PufInstance::new(&design, &aged, Environment::nominal());
+    let mut hd = 0u64;
+    for _ in 0..challenges_n {
+        let ch = Challenge::random(&mut rng, 32);
+        hd += instance.evaluate_voted(ch, votes, &mut rng).hamming_distance(refreshed.emulate(ch)) as u64;
+    }
+    let refreshed_hd = hd as f64 / (challenges_n as f64 * 32.0);
+    println!("\n  after re-enrollment at 10 y: intra-HD {:.1}%", 100.0 * refreshed_hd);
+
+    let fresh = drift_series.first().expect("series nonempty");
+    let old = drift_series.last().expect("series nonempty");
+    assert!(old.1 >= fresh.1, "drift must not shrink with age");
+    assert!(refreshed_hd <= old.1, "re-enrollment must recover agreement");
+}

@@ -1,0 +1,136 @@
+//! The paper's comparison anchors: arbiter and feed-forward arbiter PUFs.
+//!
+//! §4.1 benchmarks the ALU PUF against numbers quoted from the literature:
+//! "the Feedforward Arbiter PUF (38 % inter-chip HD)" and "(9.8 %)" intra.
+//! This experiment regenerates those anchors from the additive delay model
+//! and reruns the classic modeling attack across all three designs:
+//!
+//! * plain arbiter PUF — near-ideal uniqueness, trivially learnable with
+//!   parity features (the Rührmair result);
+//! * feed-forward arbiter — hardened against linear modeling, noisier;
+//! * the ALU PUF — comparable statistics from *reused* hardware, with the
+//!   XOR obfuscation carrying the modeling resistance.
+
+use pufatt_alupuf::arbiter::{parity_features, ArbiterPuf, FeedForwardArbiterPuf};
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_bench::{header, row, sample_count, timed};
+use pufatt_modeling::lr::{Logistic, TrainConfig};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const STAGES: usize = 64;
+
+/// Paired/repeat evaluation closure: (chip A, chip B, chip A again).
+type PairEval = Box<dyn FnMut(&mut ChaCha8Rng) -> (bool, bool, bool)>;
+/// A noisy CRP oracle.
+type Oracle = Box<dyn FnMut(u128, &mut ChaCha8Rng) -> bool>;
+
+fn main() {
+    header("Arbiter comparison", "ALU PUF vs the classic arbiter designs (paper 4.1 anchors)");
+    let challenges_n = sample_count(2_000, 50_000);
+    let train_n = sample_count(600, 10_000);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA2B);
+    println!("  configuration: {STAGES}-stage arbiters, {challenges_n} challenges, {train_n} training CRPs");
+
+    // --- HD statistics ----------------------------------------------------
+    let stat = |mut eval_pair: PairEval, rng: &mut ChaCha8Rng| {
+        // Returns (inter-different, intra-different) fractions.
+        let mut inter = 0u32;
+        let mut intra = 0u32;
+        for _ in 0..challenges_n {
+            let (a, b, a_again) = eval_pair(rng);
+            inter += (a != b) as u32;
+            intra += (a != a_again) as u32;
+        }
+        (inter as f64 / challenges_n as f64, intra as f64 / challenges_n as f64)
+    };
+
+    let (plain_inter, plain_intra) = timed("arbiter", || {
+        let a = ArbiterPuf::sample(STAGES, 5.0, 6.0, &mut rng);
+        let b = ArbiterPuf::sample(STAGES, 5.0, 6.0, &mut rng);
+        stat(
+            Box::new(move |r| {
+                let c = r.gen::<u64>() as u128;
+                (a.evaluate(c, r), b.evaluate(c, r), a.evaluate(c, r))
+            }),
+            &mut rng,
+        )
+    });
+    let (ff_inter, ff_intra) = timed("feed-forward", || {
+        let a = FeedForwardArbiterPuf::sample(STAGES, 2, 5.0, 6.0, &mut rng);
+        let b = FeedForwardArbiterPuf::sample(STAGES, 2, 5.0, 6.0, &mut rng);
+        stat(
+            Box::new(move |r| {
+                let c = r.gen::<u64>() as u128;
+                (a.evaluate(c, r), b.evaluate(c, r), a.evaluate(c, r))
+            }),
+            &mut rng,
+        )
+    });
+
+    // ALU PUF per-bit statistics at the same scale (bit-level HD fractions).
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let chips = design.fabricate_many(&ChipSampler::new(), 2, &mut rng);
+    let (alu_inter, alu_intra) = timed("ALU PUF", || {
+        let i0 = PufInstance::new(&design, &chips[0], Environment::nominal());
+        let i1 = PufInstance::new(&design, &chips[1], Environment::nominal());
+        let mut inter = 0u64;
+        let mut intra = 0u64;
+        let n = challenges_n / 32 + 1;
+        for _ in 0..n {
+            let ch = Challenge::random(&mut rng, 32);
+            let a = i0.evaluate(ch, &mut rng);
+            inter += a.hamming_distance(i1.evaluate(ch, &mut rng)) as u64;
+            intra += a.hamming_distance(i0.evaluate(ch, &mut rng)) as u64;
+        }
+        ((inter as f64) / (n as f64 * 32.0), (intra as f64) / (n as f64 * 32.0))
+    });
+
+    println!();
+    row("arbiter PUF inter / intra", "~46% / ~10% [17]", &format!("{:.1}% / {:.1}%", 100.0 * plain_inter, 100.0 * plain_intra));
+    row("feed-forward inter / intra", "38% / 9.8% [17]", &format!("{:.1}% / {:.1}%", 100.0 * ff_inter, 100.0 * ff_intra));
+    row("ALU PUF inter / intra", "35.9% / 11.3% (paper)", &format!("{:.1}% / {:.1}%", 100.0 * alu_inter, 100.0 * alu_intra));
+
+    // --- The classic modeling attack --------------------------------------
+    let attack = |mut oracle: Oracle, rng: &mut ChaCha8Rng| -> f64 {
+        let collect = |n: usize, oracle: &mut dyn FnMut(u128, &mut ChaCha8Rng) -> bool, rng: &mut ChaCha8Rng| {
+            (0..n)
+                .map(|_| {
+                    let c = rng.gen::<u64>() as u128;
+                    (parity_features(c, STAGES), oracle(c, rng))
+                })
+                .collect::<Vec<_>>()
+        };
+        let train = collect(train_n, &mut *oracle, rng);
+        let test = collect(train_n / 3, &mut *oracle, rng);
+        let mut model = Logistic::new(STAGES + 1);
+        model.fit(&train, &TrainConfig { epochs: 60, ..TrainConfig::default() }, rng);
+        model.accuracy(&test)
+    };
+
+    let plain = ArbiterPuf::sample(STAGES, 5.0, 6.0, &mut rng);
+    let acc_plain = timed("attack: arbiter", || {
+        attack(Box::new(move |c, r| plain.evaluate(c, r)), &mut rng)
+    });
+    let ff = FeedForwardArbiterPuf::sample(STAGES, 2, 5.0, 6.0, &mut rng);
+    let acc_ff = timed("attack: feed-forward", || {
+        attack(Box::new(move |c, r| ff.evaluate(c, r)), &mut rng)
+    });
+
+    println!();
+    row("LR+parity attack on arbiter PUF", ">95% [27]", &format!("{:.1}%", 100.0 * acc_plain));
+    row("LR+parity attack on feed-forward", "degraded [27]", &format!("{:.1}%", 100.0 * acc_ff));
+    println!();
+    println!("  Reading: the plain arbiter PUF collapses to a linear threshold in the");
+    println!("  parity basis (the Ruhrmair attack); feed-forward loops break linearity");
+    println!("  at a reliability cost — the same trade PUFatt resolves differently,");
+    println!("  with the XOR obfuscation network on top of an unmodified datapath.");
+
+    assert!(acc_plain > 0.85, "the classic attack must crack the plain arbiter: {acc_plain}");
+    assert!(acc_ff < acc_plain - 0.05, "feed-forward must resist better: {acc_ff} vs {acc_plain}");
+    assert!((0.30..0.55).contains(&ff_inter), "FF inter out of band: {ff_inter}");
+    assert!(ff_intra > plain_intra, "FF must be noisier");
+}

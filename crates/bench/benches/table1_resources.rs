@@ -1,0 +1,54 @@
+//! Table 1: FPGA implementation cost of the 16-bit ALU PUF prototype
+//! (Virtex-5 XC5VLX110T).
+//!
+//! The paper's point: the ALU PUF itself is tiny (94 LUTs); the bulk of the
+//! prototype is FPGA-only support logic — programmable delay lines and the
+//! SIRC data-collection harness — that an ASIC would not carry. The
+//! structural estimator reproduces each row from the design's counts.
+
+use pufatt_alupuf::resources::ResourceEstimator;
+use pufatt_bench::{header, row};
+
+fn main() {
+    header("Table 1", "FPGA implementation of the 16-bit ALU PUF prototype");
+    let estimator = ResourceEstimator::paper_prototype();
+
+    println!(
+        "  {:<24} {:>6} {:>6}   {:>6} {:>6}   {:>5} {:>5}   {:>5} {:>5}   {:>5} {:>5}",
+        "component", "LUTs", "(est)", "Regs", "(est)", "XORs", "(est)", "BRAM", "(est)", "FIFO", "(est)"
+    );
+    for r in estimator.table1() {
+        let p = r.paper.expect("prototype rows carry paper values");
+        println!(
+            "  {:<24} {:>6} {:>6}   {:>6} {:>6}   {:>5} {:>5}   {:>5} {:>5}   {:>5} {:>5}",
+            r.component,
+            p.luts,
+            r.estimated.luts,
+            p.registers,
+            r.estimated.registers,
+            p.xors,
+            r.estimated.xors,
+            p.bram,
+            r.estimated.bram,
+            p.fifo,
+            r.estimated.fifo
+        );
+    }
+
+    let total = estimator.puf_total();
+    println!();
+    row("PUF-specific total (no SIRC)", "-", &format!("{} LUTs / {} FFs", total.luts, total.registers));
+    let alu = estimator.alu_puf();
+    row(
+        "ALU PUF share of PUF-specific LUTs",
+        "small",
+        &format!("{:.1}%", 100.0 * alu.luts as f64 / total.luts as f64),
+    );
+
+    // Scaling view: what a 32-bit deployment would cost.
+    let w32 = ResourceEstimator { width: 32, ..estimator };
+    let t32 = w32.alu_puf();
+    row("32-bit ALU PUF (scaling estimate)", "-", &format!("{} LUTs / {} FFs", t32.luts, t32.registers));
+
+    assert!(alu.luts * 10 < total.luts, "the ALU PUF must be a small fraction of the prototype");
+}

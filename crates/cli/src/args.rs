@@ -1,0 +1,105 @@
+//! Minimal flag parser (no external dependencies).
+//!
+//! Supports `--key value` and `--flag` forms; every subcommand declares its
+//! accepted keys so typos fail loudly instead of being ignored.
+
+use std::collections::HashMap;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (after the subcommand), accepting only the listed
+    /// value keys and boolean flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown or malformed argument.
+    pub fn parse(argv: &[String], value_keys: &[&str], bool_keys: &[&str]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let key = arg.strip_prefix("--").ok_or_else(|| format!("expected a --flag, got `{arg}`"))?;
+            if bool_keys.contains(&key) {
+                out.flags.push(key.to_string());
+                i += 1;
+            } else if value_keys.contains(&key) {
+                let value = argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+                out.values.insert(key.to_string(), value.clone());
+                i += 2;
+            } else {
+                return Err(format!("unknown argument `--{key}`"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String value of `key`, or `default`.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the key is missing.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.values.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Numeric value of `key`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value does not parse.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = Args::parse(&argv("--width 32 --verbose --out x.bin"), &["width", "out"], &["verbose"]).unwrap();
+        assert_eq!(a.get_or("width", "16"), "32");
+        assert_eq!(a.require("out").unwrap(), "x.bin");
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        assert_eq!(a.num_or("width", 0usize).unwrap(), 32);
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Args::parse(&argv("--bogus 1"), &["width"], &[]).unwrap_err().contains("bogus"));
+        assert!(Args::parse(&argv("loose"), &["width"], &[]).unwrap_err().contains("--flag"));
+        assert!(Args::parse(&argv("--width"), &["width"], &[]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&[], &["n"], &[]).unwrap();
+        assert_eq!(a.num_or("n", 7u32).unwrap(), 7);
+        assert!(a.require("n").is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use pufatt::adversary::build_malicious_prover;
+use pufatt::enroll::EnrolledDevice;
+use pufatt::protocol::{provision, puf_limited_clock, run_session, AttestationRequest, Channel};
+use pufatt::VerifierPuf;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::emulate::DelayTable;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use pufatt_swatt::checksum::SwattParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn profile_config(name: &str) -> Result<AluPufConfig, String> {
+    match name {
+        "paper32" => Ok(AluPufConfig::paper_32bit()),
+        "fpga16" => Ok(AluPufConfig::fpga_16bit()),
+        other => Err(format!("unknown profile `{other}` (expected paper32 or fpga16)")),
+    }
+}
+
+fn enroll_from(args: &Args) -> Result<EnrolledDevice, String> {
+    let config = profile_config(args.get_or("profile", "paper32"))?;
+    let fab_seed = args.num_or("fab-seed", 42u64)?;
+    pufatt::enroll::enroll(config, fab_seed, 0).map_err(|e| e.to_string())
+}
+
+/// `pufatt enroll`: manufacture + export the delay table.
+pub fn enroll(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["profile", "fab-seed", "out"], &[])?;
+    let enrolled = enroll_from(&args)?;
+    let out = args.get_or("out", "device.puft");
+    let table = DelayTable::extract(enrolled.design(), enrolled.chip(), Environment::nominal());
+    let bytes = table.to_bytes();
+    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "enrolled {} profile, fab-seed {}: {} gates, {} delay entries -> {out} ({} bytes)",
+        args.get_or("profile", "paper32"),
+        args.get_or("fab-seed", "42"),
+        enrolled.design().netlist().gate_count(),
+        table.len(),
+        bytes.len()
+    );
+    println!("keep this file secret: whoever holds it can emulate the PUF.");
+    Ok(())
+}
+
+/// `pufatt attest`: one full Fig.-2 session.
+pub fn attest(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &["table", "profile", "fab-seed", "rounds", "overclock"],
+        &["malware"],
+    )?;
+    let enrolled = enroll_from(&args)?;
+    let table_path = args.require("table")?;
+    let bytes = std::fs::read(table_path).map_err(|e| format!("reading {table_path}: {e}"))?;
+    let table = DelayTable::from_bytes(&bytes)?;
+    let verifier_puf = VerifierPuf::new(enrolled.design().clone(), table).map_err(|e| e.to_string())?;
+
+    let rounds: u32 = args.num_or("rounds", 2048)?;
+    let params = SwattParams { region_bits: 10, rounds, puf_interval: 32 };
+    let clock = puf_limited_clock(&enrolled, 1.10, 128, 1);
+    let channel = Channel::sensor_link();
+    let (mut prover, mut verifier, honest_cycles) =
+        provision(&enrolled, params, clock, channel, 2, 1.10).map_err(|e| e.to_string())?;
+    // The verifier uses the *imported* table, not the in-process enrollment
+    // (exercising the export/import path end to end).
+    verifier = pufatt::Verifier::new(
+        prover.expected_region(),
+        verifier_puf,
+        params,
+        prover.layout(),
+        channel,
+        clock,
+        verifier.delta_s,
+    );
+    println!(
+        "provisioned: F_base {:.0} MHz, honest {} cycles, delta {:.3} ms",
+        clock.frequency_mhz,
+        honest_cycles,
+        verifier.delta_s * 1e3
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC11);
+    let request = AttestationRequest::random(&mut rng);
+
+    let overclock: f64 = args.num_or("overclock", 0.0)?;
+    let verdict = if overclock > 0.0 {
+        let region = prover.expected_region();
+        let mut attacker =
+            build_malicious_prover(enrolled.device_handle(3), params, &region, clock, overclock)
+                .map_err(|e| e.to_string())?;
+        println!("running the memory-copy attack at {overclock}x overclock...");
+        run_session(&mut attacker, &verifier, request).map_err(|e| e.to_string())?.0
+    } else {
+        if args.has("malware") {
+            let at = (prover.layout().x0_cell - 8) as usize;
+            prover.memory_mut()[at] = 0xEB1B_EB1B;
+            println!("infected attested region at word {at}");
+        }
+        run_session(&mut prover, &verifier, request).map_err(|e| e.to_string())?.0
+    };
+    println!("verdict: {verdict}");
+    Ok(())
+}
+
+/// `pufatt characterize`: quality metrics over a chip batch.
+pub fn characterize(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["profile", "chips", "challenges"], &[])?;
+    let config = profile_config(args.get_or("profile", "paper32"))?;
+    let chips_n: usize = args.num_or("chips", 4)?;
+    let challenges_n: usize = args.num_or("challenges", 300)?;
+    if chips_n < 2 {
+        return Err("need at least 2 chips for inter-chip statistics".into());
+    }
+    let design = AluPufDesign::new(config);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC4A2);
+    let chips = design.fabricate_many(&ChipSampler::new(), chips_n, &mut rng);
+    let instances: Vec<PufInstance<'_>> =
+        chips.iter().map(|c| PufInstance::new(&design, c, Environment::nominal())).collect();
+
+    let report = pufatt_alupuf::quality::measure_quality(&design, &chips, challenges_n, &mut rng);
+    println!("{report}");
+    println!(
+        "  T_ALU: {:.0} ps, min reliable cycle: {:.0} ps",
+        instances[0].alu_critical_path_ps(),
+        instances[0].min_reliable_cycle_ps()
+    );
+    Ok(())
+}
+
+/// `pufatt dot`: Graphviz export of the racing-adder netlist.
+pub fn dot(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["width", "out", "chip-seed"], &[])?;
+    let width: usize = args.num_or("width", 8)?;
+    let out = args.get_or("out", "alupuf.dot");
+    let mut config = AluPufConfig::paper_32bit();
+    config.width = width;
+    let design = AluPufDesign::new(config);
+    let text = match args.num_or("chip-seed", 0u64)? {
+        0 => pufatt_silicon::dot::to_dot(design.netlist()),
+        seed => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+            let delays = design.effective_delays_ps(chip.silicon(), &Environment::nominal());
+            pufatt_silicon::dot::to_dot_with_delays(design.netlist(), &delays)
+        }
+    };
+    std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} gates to {out} (render with: dot -Tsvg {out} -o alupuf.svg)", design.netlist().gate_count());
+    Ok(())
+}
+
+/// `pufatt profile`: cycle attribution of a built-in PE32 program.
+pub fn profile(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["program"], &[])?;
+    let source = match args.get_or("program", "fibonacci") {
+        "fibonacci" => pufatt_pe32::programs::fibonacci(),
+        "memcpy" => pufatt_pe32::programs::memcpy(),
+        "checksum" => pufatt_pe32::programs::block_checksum(),
+        "sort" => pufatt_pe32::programs::bubble_sort(),
+        other => return Err(format!("unknown program `{other}`")),
+    };
+    let program = pufatt_pe32::asm::assemble(source).map_err(|e| e.to_string())?;
+    let mut cpu = pufatt_pe32::cpu::Cpu::new(1024);
+    cpu.load_program(&program.image);
+    let profile = pufatt_pe32::trace::run_profiled(&mut cpu, 10_000_000).map_err(|e| e.to_string())?;
+    print!("{profile}");
+    println!("hottest program counters:");
+    for (pc, count) in profile.hottest(5) {
+        println!("  pc {pc:>4}: {count} executions");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn profile_config_names() {
+        assert_eq!(profile_config("paper32").unwrap().width, 32);
+        assert_eq!(profile_config("fpga16").unwrap().width, 16);
+        assert!(profile_config("nope").is_err());
+    }
+
+    #[test]
+    fn enroll_and_attest_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pufatt-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let table = dir.join("dev.puft");
+        let table_s = table.to_str().unwrap().to_string();
+        enroll(&argv(&format!("--fab-seed 5 --out {table_s}"))).expect("enroll");
+        attest(&argv(&format!("--table {table_s} --fab-seed 5 --rounds 1024"))).expect("attest");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn characterize_runs() {
+        characterize(&argv("--chips 2 --challenges 30")).expect("characterize");
+        assert!(characterize(&argv("--chips 1")).is_err(), "needs 2 chips");
+    }
+
+    #[test]
+    fn dot_writes_file() {
+        let dir = std::env::temp_dir().join(format!("pufatt-cli-dot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("g.dot");
+        dot(&argv(&format!("--width 4 --out {}", out.to_str().unwrap()))).expect("dot");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with("digraph"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_runs_each_program() {
+        for p in ["fibonacci", "memcpy", "checksum", "sort"] {
+            profile(&argv(&format!("--program {p}"))).expect(p);
+        }
+        assert!(profile(&argv("--program nope")).is_err());
+    }
+}

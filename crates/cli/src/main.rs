@@ -1,0 +1,68 @@
+//! `pufatt` — command-line toolkit for the PUFatt reproduction.
+//!
+//! ```text
+//! pufatt enroll       --profile paper32 --fab-seed 42 --out device.puft
+//! pufatt attest       --table device.puft --fab-seed 42 [--malware] [--overclock 4.0]
+//! pufatt characterize --chips 4 --challenges 400
+//! pufatt dot          --width 8 --out alupuf.dot [--chip-seed 1]
+//! pufatt profile      --program fibonacci
+//! ```
+//!
+//! Everything is simulation: `enroll` manufactures a chip (deterministic in
+//! `--fab-seed`) and exports its delay table; `attest` re-creates the same
+//! chip as the prover and uses the exported table as the verifier — the
+//! two halves of Fig. 2 in one process.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "pufatt <command> [flags]
+
+commands:
+  enroll        manufacture a device and export its delay table
+                  --profile paper32|fpga16   (default paper32)
+                  --fab-seed <u64>           (default 42)
+                  --out <path>               (default device.puft)
+  attest        run one attestation session against an exported table
+                  --table <path>             (required)
+                  --profile paper32|fpga16   (default paper32)
+                  --fab-seed <u64>           (default 42; prover chip)
+                  --rounds <u32>             (default 2048)
+                  --malware                  (infect the attested region)
+                  --overclock <f64>          (memory-copy attack at factor)
+  characterize  PUF quality metrics for a chip batch
+                  --profile paper32|fpga16   --chips <n>  --challenges <n>
+  dot           export the ALU PUF netlist as Graphviz
+                  --width <n>  --out <path>  [--chip-seed <u64>]
+  profile       run a built-in PE32 program with cycle attribution
+                  --program fibonacci|memcpy|checksum|sort
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "enroll" => commands::enroll(rest),
+        "attest" => commands::attest(rest),
+        "characterize" => commands::characterize(rest),
+        "dot" => commands::dot(rest),
+        "profile" => commands::profile(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end tests of the `pufatt` binary via the actual executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pufatt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pufatt"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pufatt-e2e-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pufatt().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("enroll"));
+    assert!(text.contains("attest"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = pufatt().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("commands:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = pufatt().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn enroll_attest_happy_path_and_attacks() {
+    let table = temp_path("dev.puft");
+    let table_s = table.to_str().expect("utf8 path");
+
+    let out = pufatt()
+        .args(["enroll", "--fab-seed", "7", "--out", table_s])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(table.exists());
+
+    // Honest device: accepted.
+    let out = pufatt()
+        .args(["attest", "--table", table_s, "--fab-seed", "7", "--rounds", "1024"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ACCEPT"), "{text}");
+
+    // Infected device: rejected.
+    let out = pufatt()
+        .args(["attest", "--table", table_s, "--fab-seed", "7", "--rounds", "1024", "--malware"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REJECT"));
+
+    // Wrong chip (impersonation): rejected.
+    let out = pufatt()
+        .args(["attest", "--table", table_s, "--fab-seed", "8", "--rounds", "1024"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REJECT"));
+
+    std::fs::remove_file(&table).ok();
+}
+
+#[test]
+fn attest_rejects_corrupt_table() {
+    let table = temp_path("corrupt.puft");
+    std::fs::write(&table, b"not a delay table").expect("write");
+    let out = pufatt()
+        .args(["attest", "--table", table.to_str().expect("utf8"), "--rounds", "1024"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+    std::fs::remove_file(&table).ok();
+}
+
+#[test]
+fn dot_and_characterize_and_profile() {
+    let dot = temp_path("g.dot");
+    let out = pufatt()
+        .args(["dot", "--width", "4", "--out", dot.to_str().expect("utf8")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(&dot).expect("dot written").starts_with("digraph"));
+    std::fs::remove_file(&dot).ok();
+
+    let out = pufatt()
+        .args(["characterize", "--chips", "2", "--challenges", "40"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("uniqueness"));
+
+    let out = pufatt().args(["profile", "--program", "memcpy"]).output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("execution profile"));
+}

@@ -1,0 +1,50 @@
+//! Error types of the PUFatt core.
+
+use std::fmt;
+
+/// Errors of the PUF post-processing pipeline and the attestation protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PufattError {
+    /// The response width has no matching error-correcting code
+    /// (supported: powers of two from 4 to 32 bits).
+    UnsupportedWidth {
+        /// The offending width.
+        width: usize,
+    },
+    /// The verifier could not reconstruct a raw response from its helper
+    /// data (too many bit errors — a false negative).
+    ReconstructionFailed {
+        /// Index of the raw response within its group of 8.
+        index: usize,
+    },
+    /// The helper-data stream ended before all PUF queries were replayed.
+    HelperStreamExhausted,
+    /// The prover's CPU trapped during attestation.
+    ProverTrap(pufatt_pe32::cpu::Trap),
+    /// The generated attestation program failed to assemble (internal).
+    Codegen(String),
+}
+
+impl fmt::Display for PufattError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PufattError::UnsupportedWidth { width } => {
+                write!(f, "no error-correcting code for response width {width} (supported: 4, 8, 16, 32)")
+            }
+            PufattError::ReconstructionFailed { index } => {
+                write!(f, "helper data could not reconstruct raw response {index}")
+            }
+            PufattError::HelperStreamExhausted => write!(f, "helper-data stream exhausted"),
+            PufattError::ProverTrap(t) => write!(f, "prover trapped: {t}"),
+            PufattError::Codegen(m) => write!(f, "attestation codegen failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PufattError {}
+
+impl From<pufatt_pe32::cpu::Trap> for PufattError {
+    fn from(t: pufatt_pe32::cpu::Trap) -> Self {
+        PufattError::ProverTrap(t)
+    }
+}

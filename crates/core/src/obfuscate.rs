@@ -1,0 +1,113 @@
+//! The two-phase XOR obfuscation network (paper §2, "Response
+//! Obfuscation").
+//!
+//! Modeling attacks (Rührmair et al.) learn delay PUFs from raw CRPs; the
+//! paper blocks them by never exposing raw responses. Phase 1 folds each
+//! 2n-bit response onto itself (`a[i] = y[i] ⊕ y[i+n]`) and concatenates
+//! two folded responses into a 2n-bit word; phase 2 XORs four phase-1 words.
+//! One obfuscated output `z` therefore consumes **eight** raw PUF
+//! evaluations, and each output bit is an XOR of 8 raw response bits from
+//! 8 different challenges — the structure that makes logistic-regression
+//! modeling collapse (reproduced in the `pufatt-modeling` crate).
+//!
+//! The network's internal registers are architecturally invisible; in this
+//! model that invariant holds by construction, because only [`obfuscate`]'s
+//! result ever leaves the pipeline.
+
+/// Raw responses consumed per obfuscated output.
+pub const RESPONSES_PER_OUTPUT: usize = 8;
+
+/// Phase-1 self-fold: `a[i] = y[i] ⊕ y[i+n]` for `i < n = width/2`,
+/// producing an `n`-bit word.
+///
+/// # Panics
+///
+/// Panics if `width` is odd or not in `2..=64`.
+pub fn fold_halves(y: u64, width: usize) -> u64 {
+    assert!((2..=64).contains(&width) && width.is_multiple_of(2), "width {width} must be even and in 2..=64");
+    let n = width / 2;
+    let mask = (1u64 << n) - 1;
+    (y ^ (y >> n)) & mask
+}
+
+/// Phase-1 pair combination: folds two responses and concatenates them into
+/// a `width`-bit word (`b = a0 ∥ a1`, `a1` in the high half).
+pub fn phase1_pair(y0: u64, y1: u64, width: usize) -> u64 {
+    let n = width / 2;
+    fold_halves(y0, width) | (fold_halves(y1, width) << n)
+}
+
+/// The full network: eight raw responses → one `width`-bit output
+/// `z = b0 ⊕ b1 ⊕ b2 ⊕ b3`.
+///
+/// # Panics
+///
+/// Panics on invalid `width` (see [`fold_halves`]).
+pub fn obfuscate(ys: &[u64; RESPONSES_PER_OUTPUT], width: usize) -> u64 {
+    let mut z = 0;
+    for pair in ys.chunks_exact(2) {
+        z ^= phase1_pair(pair[0], pair[1], width);
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_xor_of_halves() {
+        // width 8, n = 4: y = hi:0b1100, lo:0b1010 → a = 0b0110.
+        assert_eq!(fold_halves(0b1100_1010, 8), 0b0110);
+    }
+
+    #[test]
+    fn fold_masks_to_half_width() {
+        assert!(fold_halves(u64::MAX, 32) <= 0xFFFF);
+        assert_eq!(fold_halves(u64::MAX, 32), 0, "all-ones folds to zero");
+    }
+
+    #[test]
+    fn phase1_concatenates() {
+        let b = phase1_pair(0b1100_1010, 0b1111_0000, 8);
+        assert_eq!(b & 0xF, 0b0110);
+        assert_eq!(b >> 4, 0b1111);
+    }
+
+    #[test]
+    fn obfuscate_is_linear_in_each_input() {
+        // XOR-linearity: z(ys with y0 ⊕= d) = z(ys) ⊕ phase1(d, 0).
+        let ys = [0x1111_2222u64, 0x3333_4444, 0x5555_6666, 0x7777_8888, 0x9999_AAAA, 0xBBBB_CCCC, 0xDDDD_EEEE, 0xF0F0_0F0F];
+        let z = obfuscate(&ys, 32);
+        let d = 0x0001_0001u64;
+        let mut ys2 = ys;
+        ys2[0] ^= d;
+        assert_eq!(obfuscate(&ys2, 32), z ^ phase1_pair(d, 0, 32));
+    }
+
+    #[test]
+    fn single_input_bit_affects_exactly_one_output_bit() {
+        for bit in 0..32 {
+            let mut ys = [0u64; 8];
+            ys[2] = 1 << bit;
+            let z = obfuscate(&ys, 32);
+            assert_eq!(z.count_ones(), 1, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn obfuscation_debiases() {
+        // Feed strongly biased "responses" (bit i always 1 for low bits):
+        // XOR folding across challenges removes challenge-independent bias.
+        // With constant inputs the fold of y ⊕ y cancels pairwise.
+        let ys = [0xFFFF_0000u64; 8];
+        let z = obfuscate(&ys, 32);
+        assert_eq!(z, 0, "constant bias cancels entirely");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_width() {
+        fold_halves(0, 7);
+    }
+}

@@ -1,0 +1,225 @@
+//! `PUF()` — the paper's composition of raw ALU PUF, error correction and
+//! obfuscation.
+//!
+//! Prover side ([`PufPipeline::prove`]): for each of 8 noisy raw responses
+//! `y'ⱼ`, emit the helper syndrome `hⱼ = H·y'ⱼ`; feed the `y'ⱼ` themselves
+//! into the obfuscation network to get `z`.
+//!
+//! Verifier side ([`PufPipeline::conclude`]): emulate the reference
+//! responses `yⱼ`, reconstruct each `y'ⱼ` from `(yⱼ, hⱼ)` via the reverse
+//! fuzzy extractor, and run the same obfuscation network. When every
+//! reconstruction succeeds (probability 1 − FNR, §4.1) both sides hold the
+//! identical `z`.
+//!
+//! Note the ordering subtlety the paper calls out: obfuscation happens
+//! *after* error correction in the sense that both parties obfuscate the
+//! same agreed value `y'` — a single uncorrected bit error before the XOR
+//! network would avalanche into `z`.
+
+use crate::error::PufattError;
+use crate::obfuscate::{obfuscate, RESPONSES_PER_OUTPUT};
+use pufatt_alupuf::challenge::RawResponse;
+use pufatt_ecc::gf2::BitVec;
+use pufatt_ecc::rm::ReedMuller1;
+use pufatt_ecc::{Decoder, HelperData, ReverseFuzzyExtractor};
+
+/// Device-side result of one `pstart … pend` session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProveOutput {
+    /// The obfuscated output `z` (low `width` bits).
+    pub z: u64,
+    /// One packed helper syndrome per raw response.
+    pub helpers: [u32; RESPONSES_PER_OUTPUT],
+}
+
+/// The post-processing pipeline for one response width.
+#[derive(Debug, Clone)]
+pub struct PufPipeline {
+    width: usize,
+    fe: ReverseFuzzyExtractor<ReedMuller1>,
+}
+
+impl PufPipeline {
+    /// Builds the pipeline for a response width (must be a power of two in
+    /// `4..=32`; the paper uses 32 in simulation, 16 on FPGA).
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::UnsupportedWidth`] if no RM(1,m) code of that length
+    /// exists or its helper data would not fit the 32-bit helper words.
+    pub fn for_width(width: usize) -> Result<Self, PufattError> {
+        let ok = width.is_power_of_two() && (4..=32).contains(&width);
+        if !ok {
+            return Err(PufattError::UnsupportedWidth { width });
+        }
+        let m = width.trailing_zeros();
+        Ok(PufPipeline { width, fe: ReverseFuzzyExtractor::new(ReedMuller1::new(m)) })
+    }
+
+    /// The paper's simulated configuration: 32-bit responses with
+    /// BCH\[32,6,16\].
+    pub fn paper_32bit() -> Self {
+        PufPipeline::for_width(32).expect("32 is a supported width")
+    }
+
+    /// Response width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Helper bits per raw response (`n − k`; 26 for the paper's code).
+    pub fn helper_bits(&self) -> usize {
+        self.fe.decoder().code().syndrome_bits()
+    }
+
+    fn to_bitvec(&self, r: RawResponse) -> BitVec {
+        BitVec::from_word(r.bits(), self.width)
+    }
+
+    /// Prover side: helper syndromes + obfuscated output from 8 noisy raw
+    /// responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a response width disagrees with the pipeline width.
+    pub fn prove(&self, raw: &[RawResponse; RESPONSES_PER_OUTPUT]) -> ProveOutput {
+        let mut helpers = [0u32; RESPONSES_PER_OUTPUT];
+        let mut ys = [0u64; RESPONSES_PER_OUTPUT];
+        for (j, &r) in raw.iter().enumerate() {
+            assert_eq!(r.width(), self.width, "response width mismatch");
+            let h: HelperData = self.fe.generate(&self.to_bitvec(r)).expect("width checked");
+            helpers[j] = h.0.as_word() as u32;
+            ys[j] = r.bits();
+        }
+        ProveOutput { z: obfuscate(&ys, self.width), helpers }
+    }
+
+    /// Verifier side: reconstructs the prover's raw responses from emulated
+    /// references + helper data and recomputes `z`.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::ReconstructionFailed`] when a helper syndrome cannot
+    /// be decoded against its reference (more errors than the code
+    /// corrects, or a mismatched device — impersonation).
+    pub fn conclude(
+        &self,
+        references: &[RawResponse; RESPONSES_PER_OUTPUT],
+        helpers: &[u32; RESPONSES_PER_OUTPUT],
+    ) -> Result<u64, PufattError> {
+        let mut ys = [0u64; RESPONSES_PER_OUTPUT];
+        for (j, (&r, &h)) in references.iter().zip(helpers).enumerate() {
+            assert_eq!(r.width(), self.width, "reference width mismatch");
+            let helper = HelperData(BitVec::from_word(h as u64, self.helper_bits()));
+            let rec = self
+                .fe
+                .reproduce(&self.to_bitvec(r), &helper)
+                .map_err(|_| PufattError::ReconstructionFailed { index: j })?;
+            ys[j] = rec.response.as_word();
+        }
+        Ok(obfuscate(&ys, self.width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn noisy_copy(r: RawResponse, flips: &[usize]) -> RawResponse {
+        let mut bits = r.bits();
+        for &f in flips {
+            bits ^= 1 << f;
+        }
+        RawResponse::new(bits, r.width())
+    }
+
+    #[test]
+    fn widths() {
+        assert!(PufPipeline::for_width(32).is_ok());
+        assert!(PufPipeline::for_width(16).is_ok());
+        assert!(PufPipeline::for_width(4).is_ok());
+        assert!(matches!(PufPipeline::for_width(12), Err(PufattError::UnsupportedWidth { width: 12 })));
+        assert!(matches!(PufPipeline::for_width(64), Err(PufattError::UnsupportedWidth { width: 64 })));
+        assert_eq!(PufPipeline::paper_32bit().helper_bits(), 26);
+    }
+
+    #[test]
+    fn noise_free_round_trip() {
+        let p = PufPipeline::paper_32bit();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let raw: [RawResponse; 8] = std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32));
+        let out = p.prove(&raw);
+        let z = p.conclude(&raw, &out.helpers).unwrap();
+        assert_eq!(z, out.z);
+    }
+
+    #[test]
+    fn survives_up_to_7_errors_per_response() {
+        let p = PufPipeline::paper_32bit();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            // The *references* are the emulator's clean values; the device's
+            // noisy responses carry up to 7 flips each.
+            let refs: [RawResponse; 8] = std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32));
+            let noisy: [RawResponse; 8] = std::array::from_fn(|j| {
+                let k = rng.gen_range(0..=7);
+                let mut flips: Vec<usize> = (0..32).collect();
+                for i in 0..k {
+                    let pick = rng.gen_range(i..32);
+                    flips.swap(i, pick);
+                }
+                noisy_copy(refs[j], &flips[..k])
+            });
+            let out = p.prove(&noisy);
+            let z = p.conclude(&refs, &out.helpers).unwrap();
+            assert_eq!(z, out.z, "verifier must agree with device despite noise");
+        }
+    }
+
+    #[test]
+    fn wrong_device_forges_one_z_with_probability_one_quarter() {
+        // Structural observation (documented in DESIGN.md): ML decoding
+        // against a wrong reference reconstructs a word in the *same coset*
+        // as the prover's response, i.e. off by an RM(1,5) codeword. Every
+        // codeword is the truth table of an affine function, so the
+        // obfuscation's half-fold collapses it to all-zeros or all-ones —
+        // one z therefore matches iff two parity bits vanish: probability
+        // 1/4 per z, and 4^-q over an attestation's q PUF queries.
+        let p = PufPipeline::paper_32bit();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut accepted = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            let device: [RawResponse; 8] = std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32));
+            let imposter: [RawResponse; 8] = std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32));
+            let out = p.prove(&device);
+            match p.conclude(&imposter, &out.helpers) {
+                Ok(z) if z == out.z => accepted += 1,
+                _ => {}
+            }
+        }
+        let rate = accepted as f64 / trials as f64;
+        assert!((0.13..0.40).contains(&rate), "single-z forgery rate {rate} should be ~1/4");
+    }
+
+    #[test]
+    fn helper_words_fit_26_bits() {
+        let p = PufPipeline::paper_32bit();
+        let raw: [RawResponse; 8] = std::array::from_fn(|j| RawResponse::new(0xFFFF_FFFF >> j, 32));
+        let out = p.prove(&raw);
+        assert!(out.helpers.iter().all(|&h| h < (1 << 26)));
+    }
+
+    #[test]
+    fn sixteen_bit_fpga_pipeline() {
+        let p = PufPipeline::for_width(16).unwrap();
+        assert_eq!(p.helper_bits(), 11, "[16,5] code has 11 syndrome bits");
+        let raw: [RawResponse; 8] = std::array::from_fn(|j| RawResponse::new(0x1234 ^ j as u64, 16));
+        let out = p.prove(&raw);
+        let z = p.conclude(&raw, &out.helpers).unwrap();
+        assert_eq!(z, out.z);
+        assert!(z <= 0xFFFF);
+    }
+}

@@ -1,0 +1,381 @@
+//! Concrete PUF endpoints: the prover's device-side pipeline and the
+//! verifier's emulator-side pipeline, with adapters for the PE32 PUF port
+//! and the checksum's `RoundPuf` hook.
+
+use crate::error::PufattError;
+use crate::obfuscate::RESPONSES_PER_OUTPUT;
+use crate::pipeline::{ProveOutput, PufPipeline};
+use pufatt_alupuf::challenge::{Challenge, RawResponse};
+use pufatt_alupuf::device::{AluPufDesign, PufChip, PufInstance};
+use pufatt_alupuf::emulate::{DelayTable, PufEmulator};
+use pufatt_pe32::puf_port::{PufOutput, PufPort};
+use pufatt_silicon::env::Environment;
+use pufatt_swatt::checksum::{RoundPuf, STATE_WORDS};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Mutex};
+
+/// The physical PUF of one prover device: design + chip + operating point,
+/// with the post-processing pipeline and the device's private noise source.
+#[derive(Debug)]
+pub struct DevicePuf {
+    design: Arc<AluPufDesign>,
+    chip: Arc<PufChip>,
+    env: Environment,
+    pipeline: PufPipeline,
+    rng: ChaCha8Rng,
+    /// When set, PUF evaluations race against this clock period (the
+    /// overclocking model); `None` evaluates with safe clocking.
+    cycle_ps: Option<f64>,
+    /// Temporal-majority votes per raw evaluation (post-processing noise
+    /// suppression; 1 = single-shot).
+    votes: u32,
+    /// Challenges buffered between `pstart` and `pend`.
+    buffer: Vec<(u32, u32)>,
+    /// Helper words of every finalized session, in order.
+    helper_log: Vec<u32>,
+}
+
+impl DevicePuf {
+    /// Assembles the device PUF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PufattError::UnsupportedWidth`] for widths without a
+    /// matching code.
+    pub fn new(
+        design: Arc<AluPufDesign>,
+        chip: Arc<PufChip>,
+        env: Environment,
+        noise_seed: u64,
+    ) -> Result<Self, PufattError> {
+        let pipeline = PufPipeline::for_width(design.width())?;
+        Ok(DevicePuf {
+            design,
+            chip,
+            env,
+            pipeline,
+            rng: ChaCha8Rng::seed_from_u64(noise_seed),
+            cycle_ps: None,
+            votes: 5,
+            buffer: Vec::new(),
+            helper_log: Vec::new(),
+        })
+    }
+
+    /// Couples PUF evaluation to a clock period in ps (`None` restores safe
+    /// clocking). Used by the overclocking attack: shrinking the period
+    /// below `T_ALU + T_set` corrupts responses.
+    pub fn set_cycle_ps(&mut self, cycle_ps: Option<f64>) {
+        self.cycle_ps = cycle_ps;
+    }
+
+    /// Sets the temporal-majority vote count (default 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes == 0`.
+    pub fn set_votes(&mut self, votes: u32) {
+        assert!(votes > 0, "at least one vote required");
+        self.votes = votes;
+    }
+
+    /// Minimum reliable clock period of this device's PUF (`T_ALU + T_set`).
+    pub fn min_reliable_cycle_ps(&self) -> f64 {
+        PufInstance::new(&self.design, &self.chip, self.env).min_reliable_cycle_ps()
+    }
+
+    /// Empirical attestation-clock calibration (see
+    /// [`PufInstance::calibrate_cycle_ps`]); uses the device's own noise
+    /// source for sampling.
+    pub fn calibrate_cycle_ps(&mut self, samples: usize, guard: f64) -> f64 {
+        let instance = PufInstance::new(&self.design, &self.chip, self.env);
+        instance.calibrate_cycle_ps(samples, guard, &mut self.rng)
+    }
+
+    /// The post-processing pipeline.
+    pub fn pipeline(&self) -> &PufPipeline {
+        &self.pipeline
+    }
+
+    /// The response width.
+    pub fn width(&self) -> usize {
+        self.design.width()
+    }
+
+    /// Evaluates a single raw (pre-pipeline) response with the device's
+    /// configured voting — the primitive other protocols built on the same
+    /// hardware use (e.g. [`crate::slender`]).
+    pub fn evaluate_raw(&mut self, challenge: Challenge) -> RawResponse {
+        let instance = PufInstance::new(&self.design, &self.chip, self.env);
+        match self.cycle_ps {
+            Some(cycle) => instance.evaluate_voted_clocked(challenge, cycle, self.votes, &mut self.rng),
+            None => instance.evaluate_voted(challenge, self.votes, &mut self.rng),
+        }
+    }
+
+    /// Evaluates one group of 8 challenges through the full pipeline.
+    pub fn respond(&mut self, challenges: &[Challenge; RESPONSES_PER_OUTPUT]) -> ProveOutput {
+        let instance = PufInstance::new(&self.design, &self.chip, self.env);
+        let raw: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| match self.cycle_ps {
+            Some(cycle) => instance.evaluate_voted_clocked(challenges[j], cycle, self.votes, &mut self.rng),
+            None => instance.evaluate_voted(challenges[j], self.votes, &mut self.rng),
+        });
+        self.pipeline.prove(&raw)
+    }
+
+    /// Helper words accumulated since the last [`DevicePuf::take_helper_log`].
+    pub fn take_helper_log(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.helper_log)
+    }
+
+    fn pairs_to_challenges(width: usize, pairs: &[(u32, u32)]) -> [Challenge; RESPONSES_PER_OUTPUT] {
+        // Sessions are expected to carry exactly 8 challenges (the
+        // obfuscation network's arity); short sessions repeat the last
+        // challenge, long ones keep the first 8.
+        std::array::from_fn(|j| {
+            let &(a, b) = pairs.get(j).or(pairs.last()).unwrap_or(&(0, 0));
+            Challenge::new(a as u64, b as u64, width)
+        })
+    }
+}
+
+impl PufPort for DevicePuf {
+    fn start(&mut self) {
+        self.buffer.clear();
+    }
+
+    fn challenge(&mut self, a: u32, b: u32) {
+        self.buffer.push((a, b));
+    }
+
+    fn finalize(&mut self) -> PufOutput {
+        let pairs = std::mem::take(&mut self.buffer);
+        let challenges = DevicePuf::pairs_to_challenges(self.width(), &pairs);
+        let out = self.respond(&challenges);
+        self.helper_log.extend_from_slice(&out.helpers);
+        PufOutput { z: out.z as u32, helper: out.helpers.to_vec() }
+    }
+}
+
+impl RoundPuf for DevicePuf {
+    fn query(&mut self, challenges: &[(u32, u32); STATE_WORDS]) -> u32 {
+        self.start();
+        for &(a, b) in challenges {
+            self.challenge(a, b);
+        }
+        self.finalize().z
+    }
+}
+
+/// A shareable handle to a [`DevicePuf`]: lets the prover harness keep
+/// control (clock coupling, helper-log retrieval) while the CPU owns a
+/// `Box<dyn PufPort>` of the same device.
+#[derive(Debug, Clone)]
+pub struct SharedDevicePuf(pub Arc<Mutex<DevicePuf>>);
+
+impl SharedDevicePuf {
+    /// Wraps a device.
+    pub fn new(device: DevicePuf) -> Self {
+        SharedDevicePuf(Arc::new(Mutex::new(device)))
+    }
+
+    /// Runs a closure over the device.
+    pub fn with<T>(&self, f: impl FnOnce(&mut DevicePuf) -> T) -> T {
+        f(&mut self.0.lock().expect("device PUF lock"))
+    }
+}
+
+impl PufPort for SharedDevicePuf {
+    fn start(&mut self) {
+        self.with(|d| d.start());
+    }
+
+    fn challenge(&mut self, a: u32, b: u32) {
+        self.with(|d| d.challenge(a, b));
+    }
+
+    fn finalize(&mut self) -> PufOutput {
+        self.with(|d| d.finalize())
+    }
+}
+
+/// The verifier's model of one enrolled device: design + delay table +
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct VerifierPuf {
+    design: Arc<AluPufDesign>,
+    table: DelayTable,
+    pipeline: PufPipeline,
+}
+
+impl VerifierPuf {
+    /// Builds the verifier-side PUF from enrollment data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PufattError::UnsupportedWidth`].
+    pub fn new(design: Arc<AluPufDesign>, table: DelayTable) -> Result<Self, PufattError> {
+        let pipeline = PufPipeline::for_width(design.width())?;
+        Ok(VerifierPuf { design, table, pipeline })
+    }
+
+    /// The response width.
+    pub fn width(&self) -> usize {
+        self.design.width()
+    }
+
+    /// Emulates the reference raw response to one challenge.
+    pub fn emulate(&self, challenge: Challenge) -> RawResponse {
+        PufEmulator::new(&self.design, self.table.clone()).emulate(challenge)
+    }
+
+    /// Verifier side of one 8-challenge session.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::ReconstructionFailed`] when the helper data does not
+    /// decode against the emulated references.
+    pub fn conclude(
+        &self,
+        challenges: &[Challenge; RESPONSES_PER_OUTPUT],
+        helpers: &[u32; RESPONSES_PER_OUTPUT],
+    ) -> Result<u64, PufattError> {
+        let refs: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| self.emulate(challenges[j]));
+        self.pipeline.conclude(&refs, helpers)
+    }
+}
+
+/// `RoundPuf` for the verifier: replays the prover's helper-word stream
+/// against the emulator. Reconstruction failures poison the instance (the
+/// recomputed response will then differ and attestation rejects).
+#[derive(Debug)]
+pub struct VerifierRoundPuf<'a> {
+    puf: &'a VerifierPuf,
+    helpers: &'a [u32],
+    cursor: usize,
+    failure: Option<PufattError>,
+}
+
+impl<'a> VerifierRoundPuf<'a> {
+    /// Creates a replay over `helpers` (8 words per PUF query, in order).
+    pub fn new(puf: &'a VerifierPuf, helpers: &'a [u32]) -> Self {
+        VerifierRoundPuf { puf, helpers, cursor: 0, failure: None }
+    }
+
+    /// The first reconstruction failure, if any occurred.
+    pub fn failure(&self) -> Option<&PufattError> {
+        self.failure.as_ref()
+    }
+
+    /// Helper words consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl RoundPuf for VerifierRoundPuf<'_> {
+    fn query(&mut self, challenges: &[(u32, u32); STATE_WORDS]) -> u32 {
+        let end = self.cursor + RESPONSES_PER_OUTPUT;
+        let Some(slice) = self.helpers.get(self.cursor..end) else {
+            self.failure.get_or_insert(PufattError::HelperStreamExhausted);
+            return 0;
+        };
+        self.cursor = end;
+        let w = self.puf.width();
+        let chs: [Challenge; RESPONSES_PER_OUTPUT] =
+            std::array::from_fn(|j| Challenge::new(challenges[j].0 as u64, challenges[j].1 as u64, w));
+        let helpers: [u32; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| slice[j]);
+        match self.puf.conclude(&chs, &helpers) {
+            Ok(z) => z as u32,
+            Err(e) => {
+                self.failure.get_or_insert(e);
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enroll;
+    use pufatt_alupuf::device::AluPufConfig;
+    use rand::Rng;
+
+    fn setup() -> (SharedDevicePuf, VerifierPuf) {
+        let enrolled = enroll::enroll(AluPufConfig::paper_32bit(), 7, 2024).expect("32-bit width supported");
+        (enrolled.device_handle(11), enrolled.verifier_puf().unwrap())
+    }
+
+    #[test]
+    fn device_and_verifier_agree_through_round_puf() {
+        let (device, verifier) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut z_dev = Vec::new();
+        let mut queries = Vec::new();
+        device.with(|d| {
+            for _ in 0..4 {
+                let pairs: [(u32, u32); 8] = std::array::from_fn(|_| (rng.gen(), rng.gen()));
+                queries.push(pairs);
+                z_dev.push(d.query(&pairs));
+            }
+        });
+        let helpers = device.with(|d| d.take_helper_log());
+        assert_eq!(helpers.len(), 32, "8 helper words per query");
+        let mut vr = VerifierRoundPuf::new(&verifier, &helpers);
+        for (q, &zd) in queries.iter().zip(&z_dev) {
+            let zv = vr.query(q);
+            assert_eq!(zv, zd, "verifier must recompute the device's z");
+        }
+        assert!(vr.failure().is_none());
+    }
+
+    #[test]
+    fn helper_stream_exhaustion_is_flagged() {
+        let (_, verifier) = setup();
+        let helpers = [0u32; 4]; // too short
+        let mut vr = VerifierRoundPuf::new(&verifier, &helpers);
+        let z = vr.query(&[(0, 0); 8]);
+        assert_eq!(z, 0);
+        assert_eq!(vr.failure(), Some(&PufattError::HelperStreamExhausted));
+    }
+
+    #[test]
+    fn overclocked_device_diverges_from_verifier() {
+        let (device, verifier) = setup();
+        // Random operands rarely ripple the whole carry chain, so the
+        // violation must cut into the *empirical* settling range.
+        let unsafe_cycle = device.with(|d| d.calibrate_cycle_ps(64, 1.0)) * 0.05;
+        device.with(|d| d.set_cycle_ps(Some(unsafe_cycle)));
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        // Per-query corruption is probabilistic (only ~half the sum bits
+        // toggle per challenge, and ECC absorbs up to 7 errors); the
+        // protocol detects the attack by amplification over its many PUF
+        // queries, so a substantial per-query mismatch rate suffices here.
+        let mut mismatches = 0;
+        let queries = 12;
+        for _ in 0..queries {
+            let pairs: [(u32, u32); 8] = std::array::from_fn(|_| (rng.gen(), rng.gen()));
+            let zd = device.with(|d| d.query(&pairs));
+            let helpers = device.with(|d| d.take_helper_log());
+            let mut vr = VerifierRoundPuf::new(&verifier, &helpers);
+            let zv = vr.query(&pairs);
+            if zd != zv || vr.failure().is_some() {
+                mismatches += 1;
+            }
+        }
+        assert!(mismatches >= queries / 3, "overclocking must corrupt z ({mismatches}/{queries})");
+    }
+
+    #[test]
+    fn short_sessions_are_padded() {
+        let (device, _) = setup();
+        let out = device.with(|d| {
+            d.start();
+            d.challenge(1, 2);
+            d.finalize()
+        });
+        assert_eq!(out.helper.len(), 8, "padded to the network arity");
+    }
+}

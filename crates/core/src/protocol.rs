@@ -1,0 +1,580 @@
+//! The PUFatt remote attestation protocol (paper Fig. 2).
+//!
+//! ```text
+//! Verifier V                                   Prover P
+//!   x0 ←R, r0 ←R      ── (x0, r0) ──▶     r ← SWAT(S, r0) ⊗ PUF(x·)
+//!   start timer                            (PE32 program, real cycles)
+//!   r' ← recompute    ◀── (r, helpers) ──
+//!   accept iff r = r' and elapsed ≤ δ
+//! ```
+//!
+//! The prover runs the generated PE32 checksum program on its own CPU; its
+//! wall time is `cycles / F_base` plus channel transfer both ways. The
+//! verifier recomputes `r` natively via the checksum reference and
+//! `PUF.Emulate()` driven by the prover's helper-data stream.
+
+use crate::error::PufattError;
+use crate::obfuscate::RESPONSES_PER_OUTPUT;
+use crate::ports::{SharedDevicePuf, VerifierPuf, VerifierRoundPuf};
+use pufatt_pe32::asm::assemble;
+use pufatt_pe32::cpu::{Clock, Cpu};
+use pufatt_swatt::checksum::{self, SwattParams, STATE_WORDS};
+use pufatt_swatt::codegen::{generate, CodegenOptions, SwattLayout};
+use rand::Rng;
+use std::fmt;
+
+/// The network between prover and verifier. The paper's oracle-attack
+/// argument rests on this channel being far slower than the on-chip
+/// CPU↔PUF path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+}
+
+impl Channel {
+    /// A 250 kbit/s, 2 ms sensor-network link (802.15.4-class).
+    pub fn sensor_link() -> Self {
+        Channel { bandwidth_bps: 250_000.0, latency_s: 0.002 }
+    }
+
+    /// One-way transfer time for a message of `bits`.
+    pub fn transfer_s(&self, bits: u64) -> f64 {
+        self.latency_s + bits as f64 / self.bandwidth_bps
+    }
+}
+
+/// The verifier's challenge message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttestationRequest {
+    /// PUF challenge seed x₀.
+    pub x0: u32,
+    /// Attestation (checksum) challenge r₀.
+    pub r0: u32,
+}
+
+impl AttestationRequest {
+    /// Draws a fresh random request.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        AttestationRequest { x0: rng.gen(), r0: rng.gen() }
+    }
+
+    /// Size of the request on the wire, in bits.
+    pub fn wire_bits(&self) -> u64 {
+        64
+    }
+
+    /// Serialises the request (8 bytes, little-endian x₀ then r₀).
+    pub fn to_bytes(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.x0.to_le_bytes());
+        out[4..].copy_from_slice(&self.r0.to_le_bytes());
+        out
+    }
+
+    /// Parses a request written by [`AttestationRequest::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a wrong-size buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != 8 {
+            return Err(format!("attestation request must be 8 bytes, got {}", bytes.len()));
+        }
+        Ok(AttestationRequest {
+            x0: u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")),
+            r0: u32::from_le_bytes(bytes[4..].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+/// The prover's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestationReport {
+    /// The attestation response `r` (the checksum's final lanes).
+    pub response: [u32; STATE_WORDS],
+    /// Helper-data words, 8 per PUF query, in query order.
+    pub helper_words: Vec<u32>,
+    /// CPU cycles the computation took (converted to time via the clock).
+    pub cycles: u64,
+}
+
+impl AttestationReport {
+    /// Size of the report on the wire, in bits.
+    pub fn wire_bits(&self) -> u64 {
+        (STATE_WORDS as u64 + self.helper_words.len() as u64) * 32
+    }
+
+    /// Serialises the report: magic `PATR`, cycle count, helper count,
+    /// response lanes, helper words (all little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + 4 * (STATE_WORDS + self.helper_words.len()));
+        out.extend_from_slice(b"PATR");
+        out.extend_from_slice(&self.cycles.to_le_bytes());
+        out.extend_from_slice(&(self.helper_words.len() as u32).to_le_bytes());
+        for w in self.response.iter().chain(&self.helper_words) {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a report written by [`AttestationReport::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 16 || &bytes[..4] != b"PATR" {
+            return Err("not an attestation report".into());
+        }
+        let cycles = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let helper_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let expected = 16 + 4 * (STATE_WORDS + helper_count);
+        if bytes.len() != expected {
+            return Err(format!("attestation report should be {expected} bytes, got {}", bytes.len()));
+        }
+        let word =
+            |i: usize| u32::from_le_bytes(bytes[16 + 4 * i..20 + 4 * i].try_into().expect("4 bytes"));
+        let response: [u32; STATE_WORDS] = std::array::from_fn(word);
+        let helper_words = (0..helper_count).map(|i| word(STATE_WORDS + i)).collect();
+        Ok(AttestationReport { response, helper_words, cycles })
+    }
+}
+
+/// Verdict of one attestation session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Overall outcome: both checks passed.
+    pub accepted: bool,
+    /// The recomputed response matched.
+    pub response_ok: bool,
+    /// The measured time met the bound δ.
+    pub time_ok: bool,
+    /// Measured end-to-end time in seconds.
+    pub elapsed_s: f64,
+    /// The enforced bound δ in seconds.
+    pub delta_s: f64,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (response {}, time {:.3} ms vs delta {:.3} ms)",
+            if self.accepted { "ACCEPT" } else { "REJECT" },
+            if self.response_ok { "ok" } else { "MISMATCH" },
+            self.elapsed_s * 1e3,
+            self.delta_s * 1e3
+        )
+    }
+}
+
+/// The prover: a PE32 device with the attestation program in memory and the
+/// ALU PUF on its port.
+pub struct ProverDevice {
+    cpu: Cpu,
+    puf: SharedDevicePuf,
+    layout: SwattLayout,
+    params: SwattParams,
+    image_words: usize,
+}
+
+impl fmt::Debug for ProverDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProverDevice")
+            .field("params", &self.params)
+            .field("image_words", &self.image_words)
+            .field("clock_mhz", &self.cpu.clock().frequency_mhz)
+            .finish()
+    }
+}
+
+impl ProverDevice {
+    /// Provisions a prover: generates the checksum program for `params` and
+    /// `options`, assembles it, and wires up the PUF.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::Codegen`] if the generated program fails to assemble
+    /// or does not fit beneath the region's challenge cells.
+    pub fn new(
+        puf: SharedDevicePuf,
+        params: SwattParams,
+        options: &CodegenOptions,
+        clock: Clock,
+    ) -> Result<Self, PufattError> {
+        let generated = generate(&params, options);
+        let program = assemble(&generated.source).map_err(|e| PufattError::Codegen(e.to_string()))?;
+        if program.image.len() as u32 > generated.layout.x0_cell {
+            return Err(PufattError::Codegen(format!(
+                "program ({} words) collides with challenge cells at {}",
+                program.image.len(),
+                generated.layout.x0_cell
+            )));
+        }
+        let mut cpu = Cpu::new(generated.layout.memory_words.max(64) as usize);
+        cpu.set_clock(clock);
+        cpu.attach_puf(Box::new(puf.clone()));
+        cpu.load_program(&program.image);
+        Ok(ProverDevice { cpu, puf, layout: generated.layout, params, image_words: program.image.len() })
+    }
+
+    /// The device's memory layout.
+    pub fn layout(&self) -> SwattLayout {
+        self.layout
+    }
+
+    /// The checksum parameters baked into the program.
+    pub fn params(&self) -> SwattParams {
+        self.params
+    }
+
+    /// The attested-region memory image (what an honest verifier expects).
+    pub fn expected_region(&self) -> Vec<u32> {
+        self.cpu.memory()[..self.layout.region_end as usize].to_vec()
+    }
+
+    /// Direct memory access — the adversary's lever.
+    pub fn memory_mut(&mut self) -> &mut [u32] {
+        self.cpu.memory_mut()
+    }
+
+    /// Re-clocks the CPU; when `couple_puf` is set the PUF races the new
+    /// cycle time (the physically accurate behaviour — the ALU PUF shares
+    /// the CPU clock network, §4.2).
+    pub fn set_clock(&mut self, clock: Clock, couple_puf: bool) {
+        self.cpu.set_clock(clock);
+        if couple_puf {
+            self.puf.with(|d| d.set_cycle_ps(Some(clock.cycle_ps())));
+        }
+    }
+
+    /// The current clock.
+    pub fn clock(&self) -> Clock {
+        self.cpu.clock()
+    }
+
+    /// Runs one attestation: writes the challenges, executes the program,
+    /// collects response, helper data and cycle count.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::ProverTrap`] if the program traps (should not happen
+    /// for generated programs).
+    pub fn attest(&mut self, request: AttestationRequest) -> Result<AttestationReport, PufattError> {
+        // Fresh run: reset architectural state, keep memory (program +
+        // whatever the adversary planted), plant the challenges.
+        let memory: Vec<u32> = self.cpu.memory().to_vec();
+        self.cpu.reset();
+        self.cpu.memory_mut().copy_from_slice(&memory);
+        self.cpu.store_word(self.layout.seed_cell, request.r0)?;
+        self.cpu.store_word(self.layout.x0_cell, request.x0)?;
+        self.puf.with(|d| {
+            d.take_helper_log();
+        });
+        let run = self.cpu.run(u64::MAX)?;
+        let response: [u32; STATE_WORDS] =
+            std::array::from_fn(|k| self.cpu.load_word(self.layout.result_base + k as u32).expect("in memory"));
+        let helper_words = self.puf.with(|d| d.take_helper_log());
+        Ok(AttestationReport { response, helper_words, cycles: run.cycles })
+    }
+}
+
+/// The verifier: expected memory, the enrolled PUF model, and the time
+/// bound.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    expected_region: Vec<u32>,
+    puf: VerifierPuf,
+    params: SwattParams,
+    layout: SwattLayout,
+    channel: Channel,
+    /// The prover clock frequency the verifier expects (F_base).
+    pub expected_clock: Clock,
+    /// The enforced time bound δ in seconds.
+    pub delta_s: f64,
+}
+
+impl Verifier {
+    /// Builds a verifier for a provisioned prover.
+    ///
+    /// `expected_region` is the known-good memory image (taken from a
+    /// golden device at provisioning time); `delta_s` comes from
+    /// [`Verifier::calibrate_delta`].
+    pub fn new(
+        expected_region: Vec<u32>,
+        puf: VerifierPuf,
+        params: SwattParams,
+        layout: SwattLayout,
+        channel: Channel,
+        expected_clock: Clock,
+        delta_s: f64,
+    ) -> Self {
+        Verifier { expected_region, puf, params, layout, channel, expected_clock, delta_s }
+    }
+
+    /// Derives δ from a measured honest run: honest time × `slack` plus
+    /// both channel traversals.
+    pub fn calibrate_delta(honest_cycles: u64, clock: Clock, channel: Channel, report_bits: u64, slack: f64) -> f64 {
+        let compute_s = clock.duration_ns(honest_cycles) * 1e-9;
+        compute_s * slack + channel.transfer_s(64) + channel.transfer_s(report_bits)
+    }
+
+    /// Recomputes the expected attestation response for `request` given the
+    /// prover's helper-data stream.
+    ///
+    /// # Errors
+    ///
+    /// Reconstruction failures surface as [`PufattError`]; the caller
+    /// normally treats them as a response mismatch.
+    pub fn expected_response(
+        &self,
+        request: AttestationRequest,
+        helper_words: &[u32],
+    ) -> Result<[u32; STATE_WORDS], PufattError> {
+        let mut region = self.expected_region.clone();
+        region[self.layout.seed_cell as usize] = request.r0;
+        region[self.layout.x0_cell as usize] = request.x0;
+        let mut round_puf = VerifierRoundPuf::new(&self.puf, helper_words);
+        let result = checksum::compute(&region, request.r0, request.x0, &self.params, &mut round_puf);
+        if let Some(e) = round_puf.failure() {
+            return Err(e.clone());
+        }
+        Ok(result.response)
+    }
+
+    /// Full verification of a session: recompute `r`, check it, and check
+    /// the time bound.
+    ///
+    /// `prover_clock` is the clock the prover *claims* (and the verifier
+    /// expects); the elapsed time is computed from the report's cycle count
+    /// at that clock plus channel time in both directions.
+    pub fn verify(&self, request: AttestationRequest, report: &AttestationReport, prover_compute_s: f64) -> Verdict {
+        let elapsed_s =
+            self.channel.transfer_s(request.wire_bits()) + prover_compute_s + self.channel.transfer_s(report.wire_bits());
+        let response_ok = match self.expected_response(request, &report.helper_words) {
+            Ok(expected) => expected == report.response,
+            Err(_) => false,
+        };
+        let time_ok = elapsed_s <= self.delta_s;
+        Verdict { accepted: response_ok && time_ok, response_ok, time_ok, elapsed_s, delta_s: self.delta_s }
+    }
+
+    /// The channel model.
+    pub fn channel(&self) -> Channel {
+        self.channel
+    }
+
+    /// The checksum parameters the verifier expects (public protocol
+    /// parameters — the adversary knows them too).
+    pub fn params(&self) -> SwattParams {
+        self.params
+    }
+
+    /// Number of PUF queries (and thus 8× helper words) a conforming report
+    /// carries.
+    pub fn expected_helper_words(&self) -> usize {
+        self.params.puf_queries() as usize * RESPONSES_PER_OUTPUT
+    }
+}
+
+/// Derives the attestation-mode clock from the device's PUF timing limit.
+///
+/// The overclocking defence (§4.2) requires the attestation clock to sit
+/// just above the PUF's empirical settling times — any meaningful speedup
+/// then violates arbiter setup and corrupts responses. `guard` is the
+/// calibration margin (e.g. 1.1 = 10 % above the worst settling time seen
+/// in `samples` random challenges).
+pub fn puf_limited_clock(enrolled: &crate::enroll::EnrolledDevice, guard: f64, samples: usize, seed: u64) -> Clock {
+    let mut device = enrolled.device_puf(seed);
+    let cycle_ps = device.calibrate_cycle_ps(samples, guard);
+    Clock::new(1e6 / cycle_ps)
+}
+
+/// Provisions a matched prover/verifier pair from an enrolled device, using
+/// a golden run to calibrate δ.
+///
+/// Returns `(prover, verifier, honest_cycles)`.
+///
+/// # Errors
+///
+/// Propagates codegen/trap errors from provisioning and the golden run.
+pub fn provision(
+    enrolled: &crate::enroll::EnrolledDevice,
+    params: SwattParams,
+    clock: Clock,
+    channel: Channel,
+    noise_seed: u64,
+    slack: f64,
+) -> Result<(ProverDevice, Verifier, u64), PufattError> {
+    let puf = enrolled.device_handle(noise_seed);
+    let mut prover = ProverDevice::new(puf, params, &CodegenOptions::default(), clock)?;
+    // The ALU PUF shares the CPU clock network: couple it, so the honest
+    // device also lives with its calibrated timing margin.
+    prover.set_clock(clock, true);
+    let expected_region = prover.expected_region();
+
+    // Golden run (at provisioning, in the factory): calibrates δ.
+    let golden = prover.attest(AttestationRequest { x0: 1, r0: 1 })?;
+    let report_bits = golden.wire_bits();
+    let delta_s = Verifier::calibrate_delta(golden.cycles, clock, channel, report_bits, slack);
+
+    let verifier = Verifier::new(
+        expected_region,
+        enrolled.verifier_puf()?,
+        params,
+        prover.layout(),
+        channel,
+        clock,
+        delta_s,
+    );
+    Ok((prover, verifier, golden.cycles))
+}
+
+/// Runs one complete session: request → prover computes → verifier checks.
+///
+/// # Errors
+///
+/// Propagates prover traps.
+pub fn run_session(
+    prover: &mut ProverDevice,
+    verifier: &Verifier,
+    request: AttestationRequest,
+) -> Result<(Verdict, AttestationReport), PufattError> {
+    let report = prover.attest(request)?;
+    // The prover's *real* compute time follows its actual clock; the
+    // verifier has no way to see the clock, only the wall time.
+    let compute_s = prover.clock().duration_ns(report.cycles) * 1e-9;
+    let verdict = verifier.verify(request, &report, compute_s);
+    Ok((verdict, report))
+}
+
+/// Runs sessions until one is accepted or `max_attempts` is exhausted,
+/// drawing a fresh request each time.
+///
+/// Error correction leaves a small false-negative rate per attestation
+/// (quantified in the FNR experiment); verifiers re-challenge on failure,
+/// which drives the honest-rejection probability to `FNR^attempts` while
+/// leaving every attack detected (attacks fail deterministically, not by
+/// bad luck).
+///
+/// Returns the final verdict and the number of attempts made.
+///
+/// # Errors
+///
+/// Propagates prover traps.
+pub fn run_session_with_retry<R: Rng + ?Sized>(
+    prover: &mut ProverDevice,
+    verifier: &Verifier,
+    rng: &mut R,
+    max_attempts: usize,
+) -> Result<(Verdict, usize), PufattError> {
+    assert!(max_attempts > 0, "at least one attempt required");
+    let mut last = None;
+    for attempt in 1..=max_attempts {
+        let request = AttestationRequest::random(rng);
+        let (verdict, _) = run_session(prover, verifier, request)?;
+        if verdict.accepted {
+            return Ok((verdict, attempt));
+        }
+        last = Some(verdict);
+    }
+    Ok((last.expect("max_attempts > 0"), max_attempts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enroll::enroll;
+    use pufatt_alupuf::device::AluPufConfig;
+
+    fn small_params() -> SwattParams {
+        SwattParams { region_bits: 9, rounds: 1024, puf_interval: 16 }
+    }
+
+    fn setup() -> (ProverDevice, Verifier) {
+        let enrolled = enroll(AluPufConfig::paper_32bit(), 42, 0).unwrap();
+        let (p, v, _) =
+            provision(&enrolled, small_params(), Clock::new(100.0), Channel::sensor_link(), 7, 1.10).unwrap();
+        (p, v)
+    }
+
+    #[test]
+    fn honest_prover_is_accepted() {
+        let (mut prover, verifier) = setup();
+        for seed in 0..3u32 {
+            let request = AttestationRequest { x0: 0xA0A0 + seed, r0: 0xB0B0 + seed };
+            let (verdict, report) = run_session(&mut prover, &verifier, request).unwrap();
+            assert!(verdict.response_ok, "honest response must verify (seed {seed}): {verdict}");
+            assert!(verdict.time_ok, "honest timing must fit (seed {seed}): {verdict}");
+            assert!(verdict.accepted);
+            assert_eq!(report.helper_words.len(), verifier.expected_helper_words());
+        }
+    }
+
+    #[test]
+    fn tampered_memory_is_rejected() {
+        let (mut prover, verifier) = setup();
+        // Flip one word inside the attested region (not the challenge
+        // cells).
+        prover.memory_mut()[100] ^= 0x1;
+        let request = AttestationRequest { x0: 5, r0: 6 };
+        let (verdict, _) = run_session(&mut prover, &verifier, request).unwrap();
+        assert!(!verdict.response_ok, "tampering must break the response");
+        assert!(!verdict.accepted);
+    }
+
+    #[test]
+    fn wrong_chip_is_rejected() {
+        // Same design, different silicon: the imposter computes the right
+        // checksum structure but its PUF outputs (and helper data) do not
+        // verify against the enrolled delay table.
+        let enrolled = enroll(AluPufConfig::paper_32bit(), 42, 0).unwrap();
+        let imposter = enroll(AluPufConfig::paper_32bit(), 43, 0).unwrap();
+        let (_, verifier, _) =
+            provision(&enrolled, small_params(), Clock::new(100.0), Channel::sensor_link(), 7, 1.10).unwrap();
+        let (mut imposter_prover, _, _) =
+            provision(&imposter, small_params(), Clock::new(100.0), Channel::sensor_link(), 7, 1.10).unwrap();
+        let request = AttestationRequest { x0: 9, r0: 10 };
+        let (verdict, _) = run_session(&mut imposter_prover, &verifier, request).unwrap();
+        assert!(!verdict.response_ok, "imposter must fail response verification: {verdict}");
+    }
+
+    #[test]
+    fn delta_calibration_scales_with_cycles() {
+        let c = Clock::new(100.0);
+        let ch = Channel::sensor_link();
+        let d1 = Verifier::calibrate_delta(1_000_000, c, ch, 1024, 1.1);
+        let d2 = Verifier::calibrate_delta(2_000_000, c, ch, 1024, 1.1);
+        assert!(d2 > d1);
+        // 1M cycles at 100 MHz = 10 ms; with slack 1.1 and channel ≈ 4+ ms.
+        assert!(d1 > 0.011 && d1 < 0.050, "{d1}");
+    }
+
+    #[test]
+    fn wire_formats_round_trip() {
+        let req = AttestationRequest { x0: 0xAABB_CCDD, r0: 0x1122_3344 };
+        assert_eq!(AttestationRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        assert!(AttestationRequest::from_bytes(&[0; 7]).is_err());
+
+        let report = AttestationReport {
+            response: [1, 2, 3, 4, 5, 6, 7, 8],
+            helper_words: vec![0xAA, 0xBB, 0xCC],
+            cycles: 123_456,
+        };
+        let bytes = report.to_bytes();
+        assert_eq!(AttestationReport::from_bytes(&bytes).unwrap(), report);
+        assert!(AttestationReport::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert!(AttestationReport::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn channel_model_accounts_latency_and_bandwidth() {
+        let ch = Channel { bandwidth_bps: 1000.0, latency_s: 0.5 };
+        assert!((ch.transfer_s(1000) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! The attestation authority: managing a fleet of enrolled devices.
+//!
+//! The paper's protocol is one prover / one verifier; an actual deployment
+//! (the sensor-network setting the paper motivates) runs one verifier
+//! against many devices. [`AttestationServer`] holds per-device verifiers
+//! keyed by a device identifier, schedules sessions, records outcomes, and
+//! supports revocation — the bookkeeping layer between the protocol and an
+//! operator.
+
+use crate::enroll::EnrolledDevice;
+use crate::error::PufattError;
+use crate::protocol::{provision, AttestationRequest, Channel, ProverDevice, Verifier};
+use pufatt_pe32::cpu::Clock;
+use pufatt_swatt::checksum::SwattParams;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a managed device.
+pub type DeviceId = u32;
+
+/// Status of one managed device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceStatus {
+    /// Enrolled and eligible for attestation.
+    Active,
+    /// Removed from service (failed attestations, decommissioned, …);
+    /// further sessions are refused.
+    Revoked,
+}
+
+/// One recorded attestation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// The device attested.
+    pub device: DeviceId,
+    /// Whether the verifier accepted.
+    pub accepted: bool,
+    /// Whether the response matched (independent of timing).
+    pub response_ok: bool,
+    /// Whether the time bound held.
+    pub time_ok: bool,
+    /// Measured elapsed time in seconds.
+    pub elapsed_s: f64,
+}
+
+/// The verifier-side authority for a fleet.
+pub struct AttestationServer {
+    devices: HashMap<DeviceId, ManagedDevice>,
+    log: Vec<SessionRecord>,
+    /// Devices are auto-revoked after this many consecutive failures
+    /// (honest false negatives are rare; repeated failure means compromise
+    /// or hardware fault).
+    pub revoke_after_failures: u32,
+}
+
+struct ManagedDevice {
+    verifier: Verifier,
+    status: DeviceStatus,
+    consecutive_failures: u32,
+}
+
+impl fmt::Debug for AttestationServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttestationServer")
+            .field("devices", &self.devices.len())
+            .field("sessions_logged", &self.log.len())
+            .finish()
+    }
+}
+
+impl AttestationServer {
+    /// Creates an empty authority (auto-revocation after 3 consecutive
+    /// failures).
+    pub fn new() -> Self {
+        AttestationServer { devices: HashMap::new(), log: Vec::new(), revoke_after_failures: 3 }
+    }
+
+    /// Provisions one enrolled device into the fleet, returning the paired
+    /// prover (which in a real deployment ships to the field).
+    ///
+    /// # Errors
+    ///
+    /// Propagates provisioning failures; refuses duplicate ids.
+    pub fn provision_device(
+        &mut self,
+        id: DeviceId,
+        enrolled: &EnrolledDevice,
+        params: SwattParams,
+        clock: Clock,
+        channel: Channel,
+        noise_seed: u64,
+    ) -> Result<ProverDevice, PufattError> {
+        if self.devices.contains_key(&id) {
+            return Err(PufattError::Codegen(format!("device {id} already provisioned")));
+        }
+        let (prover, verifier, _) = provision(enrolled, params, clock, channel, noise_seed, 1.10)?;
+        self.devices.insert(id, ManagedDevice { verifier, status: DeviceStatus::Active, consecutive_failures: 0 });
+        Ok(prover)
+    }
+
+    /// Number of managed devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// A device's status.
+    pub fn status(&self, id: DeviceId) -> Option<DeviceStatus> {
+        self.devices.get(&id).map(|d| d.status)
+    }
+
+    /// Manually revokes a device.
+    pub fn revoke(&mut self, id: DeviceId) {
+        if let Some(d) = self.devices.get_mut(&id) {
+            d.status = DeviceStatus::Revoked;
+        }
+    }
+
+    /// Runs one attestation session against device `id`.
+    ///
+    /// # Errors
+    ///
+    /// Refuses unknown or revoked devices; propagates prover traps.
+    pub fn attest<R: Rng + ?Sized>(
+        &mut self,
+        id: DeviceId,
+        prover: &mut ProverDevice,
+        rng: &mut R,
+    ) -> Result<SessionRecord, PufattError> {
+        let device = self
+            .devices
+            .get_mut(&id)
+            .ok_or_else(|| PufattError::Codegen(format!("unknown device {id}")))?;
+        if device.status == DeviceStatus::Revoked {
+            return Err(PufattError::Codegen(format!("device {id} is revoked")));
+        }
+        let request = AttestationRequest::random(rng);
+        let report = prover.attest(request)?;
+        let compute_s = prover.clock().duration_ns(report.cycles) * 1e-9;
+        let verdict = device.verifier.verify(request, &report, compute_s);
+        let record = SessionRecord {
+            device: id,
+            accepted: verdict.accepted,
+            response_ok: verdict.response_ok,
+            time_ok: verdict.time_ok,
+            elapsed_s: verdict.elapsed_s,
+        };
+        if verdict.accepted {
+            device.consecutive_failures = 0;
+        } else {
+            device.consecutive_failures += 1;
+            if device.consecutive_failures >= self.revoke_after_failures {
+                device.status = DeviceStatus::Revoked;
+            }
+        }
+        self.log.push(record.clone());
+        Ok(record)
+    }
+
+    /// All recorded sessions, oldest first.
+    pub fn log(&self) -> &[SessionRecord] {
+        &self.log
+    }
+
+    /// Acceptance statistics: `(accepted, total)` sessions for a device.
+    pub fn stats(&self, id: DeviceId) -> (usize, usize) {
+        let mine = self.log.iter().filter(|r| r.device == id);
+        let total = mine.clone().count();
+        let accepted = mine.filter(|r| r.accepted).count();
+        (accepted, total)
+    }
+}
+
+impl Default for AttestationServer {
+    fn default() -> Self {
+        AttestationServer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enroll::enroll_fleet;
+    use crate::protocol::puf_limited_clock;
+    use pufatt_alupuf::device::AluPufConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> SwattParams {
+        SwattParams { region_bits: 9, rounds: 512, puf_interval: 16 }
+    }
+
+    #[test]
+    fn fleet_provisioning_and_attestation() {
+        let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x900, 2).unwrap();
+        let mut server = AttestationServer::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut provers = Vec::new();
+        for (i, dev) in fleet.iter().enumerate() {
+            let clock = puf_limited_clock(dev, 1.10, 64, i as u64);
+            let prover = server
+                .provision_device(i as DeviceId, dev, params(), clock, Channel::sensor_link(), 50 + i as u64)
+                .unwrap();
+            provers.push(prover);
+        }
+        assert_eq!(server.device_count(), 2);
+        for (i, prover) in provers.iter_mut().enumerate() {
+            let record = server.attest(i as DeviceId, prover, &mut rng).unwrap();
+            assert!(record.accepted, "device {i}: {record:?}");
+        }
+        assert_eq!(server.log().len(), 2);
+        assert_eq!(server.stats(0), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_ids_are_refused() {
+        let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x901, 1).unwrap();
+        let mut server = AttestationServer::new();
+        let clock = puf_limited_clock(&fleet[0], 1.10, 64, 0);
+        server.provision_device(7, &fleet[0], params(), clock, Channel::sensor_link(), 1).unwrap();
+        assert!(server.provision_device(7, &fleet[0], params(), clock, Channel::sensor_link(), 2).is_err());
+    }
+
+    #[test]
+    fn compromised_device_is_auto_revoked() {
+        let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x902, 1).unwrap();
+        let mut server = AttestationServer::new();
+        let clock = puf_limited_clock(&fleet[0], 1.10, 64, 0);
+        let mut prover =
+            server.provision_device(1, &fleet[0], params(), clock, Channel::sensor_link(), 3).unwrap();
+        // Infect the device.
+        let at = (prover.layout().x0_cell - 6) as usize;
+        prover.memory_mut()[at] = 0xEB1B_EB1B;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for round in 0..3 {
+            let record = server.attest(1, &mut prover, &mut rng).unwrap();
+            assert!(!record.accepted, "round {round}");
+        }
+        assert_eq!(server.status(1), Some(DeviceStatus::Revoked));
+        assert!(server.attest(1, &mut prover, &mut rng).is_err(), "revoked devices are refused");
+        assert_eq!(server.stats(1), (0, 3));
+    }
+
+    #[test]
+    fn unknown_device_is_an_error() {
+        let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x903, 1).unwrap();
+        let mut server = AttestationServer::new();
+        let clock = puf_limited_clock(&fleet[0], 1.10, 64, 0);
+        let mut prover =
+            server.provision_device(1, &fleet[0], params(), clock, Channel::sensor_link(), 3).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(server.attest(99, &mut prover, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Power side-channel model of the obfuscation network (paper §4.1,
+//! "Side-channel Attack Resiliency").
+//!
+//! The paper acknowledges that combining side-channel analysis with
+//! machine learning can attack XOR-obfuscated PUFs (Mahmoud et al. \[18\])
+//! and claims the standard countermeasure — making power consumption
+//! independent of the processed data — deploys "with a small hardware
+//! overhead". This module models both sides:
+//!
+//! * [`PowerModel::HammingWeight`] — the classic CMOS leakage: each
+//!   register update leaks the Hamming weight of the latched value plus
+//!   Gaussian measurement noise. The obfuscation network latches the raw
+//!   responses `y₀..y₇` internally, so an attacker's trace contains
+//!   `HW(yⱼ)` samples even though the architectural interface never
+//!   exposes `yⱼ`.
+//! * [`PowerModel::DualRail`] — the countermeasure: dual-rail/constant-
+//!   weight encoding makes every update latch a fixed number of ones, so
+//!   the trace carries only noise.
+//!
+//! [`leakage_correlation`] quantifies the attack surface as the Pearson
+//! correlation between the true Hamming weights and the observed trace —
+//! the statistic a correlation power analysis (CPA) attacker maximises.
+
+use crate::obfuscate::RESPONSES_PER_OUTPUT;
+use rand::Rng;
+
+/// Leakage behaviour of the obfuscation network's internal registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerModel {
+    /// Unprotected CMOS: sample = `HW(value) + N(0, noise²)`.
+    HammingWeight {
+        /// Measurement noise standard deviation, in HW units.
+        noise_sigma: f64,
+    },
+    /// Dual-rail precharge logic: every update has constant weight
+    /// (`width/2` rails toggle regardless of data); sample = constant +
+    /// noise.
+    DualRail {
+        /// Measurement noise standard deviation, in HW units.
+        noise_sigma: f64,
+    },
+}
+
+impl PowerModel {
+    /// One trace sample for a register update latching `value`.
+    pub fn sample<R: Rng + ?Sized>(&self, value: u64, width: usize, rng: &mut R) -> f64 {
+        match *self {
+            PowerModel::HammingWeight { noise_sigma } => {
+                (value & mask(width)).count_ones() as f64 + gaussian(rng) * noise_sigma
+            }
+            PowerModel::DualRail { noise_sigma } => width as f64 / 2.0 + gaussian(rng) * noise_sigma,
+        }
+    }
+
+    /// The trace of one `PUF()` invocation: one sample per raw response
+    /// latched into the obfuscation network.
+    pub fn trace<R: Rng + ?Sized>(
+        &self,
+        raw_responses: &[u64; RESPONSES_PER_OUTPUT],
+        width: usize,
+        rng: &mut R,
+    ) -> [f64; RESPONSES_PER_OUTPUT] {
+        std::array::from_fn(|j| self.sample(raw_responses[j], width, rng))
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Pearson correlation between true Hamming weights and trace samples —
+/// the CPA attacker's statistic. Near 1 means the trace reveals `HW(yⱼ)`;
+/// near 0 means the countermeasure holds.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or fewer than two samples are
+/// given.
+pub fn leakage_correlation(true_hw: &[f64], trace: &[f64]) -> f64 {
+    assert_eq!(true_hw.len(), trace.len(), "sample count mismatch");
+    assert!(true_hw.len() >= 2, "need at least two samples");
+    let n = true_hw.len() as f64;
+    let mx = true_hw.iter().sum::<f64>() / n;
+    let my = trace.iter().sum::<f64>() / n;
+    let cov: f64 = true_hw.iter().zip(trace).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+    let sx = (true_hw.iter().map(|x| (x - mx) * (x - mx)).sum::<f64>() / n).sqrt();
+    let sy = (trace.iter().map(|y| (y - my) * (y - my)).sum::<f64>() / n).sqrt();
+    if sx == 0.0 || sy == 0.0 {
+        0.0
+    } else {
+        cov / (sx * sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn collect(model: PowerModel, n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut hw = Vec::with_capacity(n * 8);
+        let mut trace = Vec::with_capacity(n * 8);
+        for _ in 0..n {
+            let ys: [u64; 8] = std::array::from_fn(|_| rng.gen::<u32>() as u64);
+            let t = model.trace(&ys, 32, &mut rng);
+            for j in 0..8 {
+                hw.push(ys[j].count_ones() as f64);
+                trace.push(t[j]);
+            }
+        }
+        (hw, trace)
+    }
+
+    #[test]
+    fn unprotected_network_leaks() {
+        let (hw, trace) = collect(PowerModel::HammingWeight { noise_sigma: 1.0 }, 200, 1);
+        let rho = leakage_correlation(&hw, &trace);
+        assert!(rho > 0.8, "HW leakage must correlate strongly: {rho}");
+    }
+
+    #[test]
+    fn dual_rail_kills_the_leakage() {
+        let (hw, trace) = collect(PowerModel::DualRail { noise_sigma: 1.0 }, 200, 2);
+        let rho = leakage_correlation(&hw, &trace);
+        assert!(rho.abs() < 0.1, "dual-rail trace must be uncorrelated: {rho}");
+    }
+
+    #[test]
+    fn noise_degrades_but_does_not_remove_leakage() {
+        let (hw_low, trace_low) = collect(PowerModel::HammingWeight { noise_sigma: 0.5 }, 300, 3);
+        let (hw_high, trace_high) = collect(PowerModel::HammingWeight { noise_sigma: 6.0 }, 300, 4);
+        let low = leakage_correlation(&hw_low, &trace_low);
+        let high = leakage_correlation(&hw_high, &trace_high);
+        assert!(low > high, "more noise, less correlation: {low} vs {high}");
+        assert!(high > 0.1, "noise alone is not a countermeasure: {high}");
+    }
+
+    #[test]
+    fn sample_respects_width_mask() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let model = PowerModel::HammingWeight { noise_sigma: 0.0 };
+        // Bits above the width must not leak.
+        let s = model.sample(0xFFFF_0003, 16, &mut rng);
+        assert!((s - 2.0).abs() < 1e-9, "only the low 16 bits count: {s}");
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        assert_eq!(leakage_correlation(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+}

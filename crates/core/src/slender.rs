@@ -1,0 +1,242 @@
+//! Slender-PUF-style substring authentication (Majzoobi et al., SPW 2012 —
+//! the paper's reference \[22\] for the emulation-based verification
+//! model).
+//!
+//! An alternative lightweight authentication the same enrolled hardware
+//! supports: the prover evaluates a long response stream to a seed
+//! challenge, picks a *secret random offset*, and reveals only a circular
+//! substring of length `L`. The verifier emulates the full stream and
+//! slides the substring over it; a genuine substring aligns somewhere with
+//! far fewer than `L/2` mismatches, while an impersonator's best alignment
+//! stays near `L/2`. No helper data leaves the device, and raw responses
+//! are only ever partially exposed (the partial reveal plus the secret
+//! offset is what blunts modeling attacks in the Slender design).
+//!
+//! Included because it shares every ingredient with PUFatt — device,
+//! emulator, challenge derivation — and shows the enrolled delay table
+//! supports more protocols than timed attestation.
+//!
+//! **Finding:** substring matching over *raw* ALU PUF bits is insecure
+//! twice over: the design-level skew makes any two chips agree on ~70 % of
+//! bits (imposters align), and the chip-static and design-shared
+//! challenge-dependent components make streams correlate across seeds
+//! (eavesdropped substrings replay). Folding alone, and even XOR across
+//! two challenges, still leaves the shared data-dependent component (its
+//! correlation only squares). The stream must be built from the **full
+//! two-phase obfuscation network** (8 challenges per output word), whose
+//! fourth-power decorrelation is finally enough — i.e., Slender over the
+//! ALU PUF needs exactly the `PUF()` post-processing the paper specifies,
+//! plus heavier temporal voting (the 8-way XOR multiplies the residual
+//! noise). Even then, residual shared structure keeps an attacker's best
+//! alignment near 0.29 rather than the ideal 0.40, so margins are thinner
+//! than on a classic arbiter PUF — quantified in the tests and a cousin
+//! of the bias-leakage finding in DESIGN.md.
+
+use crate::obfuscate::{obfuscate, RESPONSES_PER_OUTPUT};
+use crate::ports::{DevicePuf, VerifierPuf};
+use pufatt_alupuf::challenge::Challenge;
+use rand::Rng;
+
+/// Parameters of a substring-authentication session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlenderParams {
+    /// Challenges contributing to the response stream (stream length =
+    /// `stream_challenges × width` bits).
+    pub stream_challenges: usize,
+    /// Revealed substring length in bits.
+    pub substring_len: usize,
+    /// Accept when the best alignment's mismatch fraction is at most this
+    /// (genuine ≈ intra-chip error rate; imposter ≈ 0.5).
+    pub accept_threshold: f64,
+}
+
+impl Default for SlenderParams {
+    fn default() -> Self {
+        SlenderParams { stream_challenges: 96, substring_len: 256, accept_threshold: 0.24 }
+    }
+}
+
+impl SlenderParams {
+    /// Stream length in bits for a given response width (eight challenges
+    /// produce one `width`-bit obfuscated word).
+    pub fn stream_bits(&self, width: usize) -> usize {
+        (self.stream_challenges / RESPONSES_PER_OUTPUT) * width
+    }
+
+    /// Validates the parameters for a response width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substring would not fit the stream or the threshold is
+    /// not a probability.
+    pub fn validate(&self, width: usize) {
+        assert!(self.substring_len >= 16, "substring too short to be meaningful");
+        assert!(self.substring_len <= self.stream_bits(width), "substring longer than the stream");
+        assert!((0.0..=0.5).contains(&self.accept_threshold), "threshold must be in [0, 0.5]");
+    }
+}
+
+/// Deterministic challenge schedule shared by prover and verifier
+/// (SplitMix64-style derivation from the public seed).
+pub fn stream_challenges(seed: u64, count: usize, width: usize) -> Vec<Challenge> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..count).map(|_| Challenge::new(next(), next(), width)).collect()
+}
+
+/// Prover side: evaluates the stream and reveals a circular substring at a
+/// secret random offset.
+pub fn prover_substring<R: Rng + ?Sized>(
+    device: &mut DevicePuf,
+    seed: u64,
+    params: &SlenderParams,
+    rng: &mut R,
+) -> Vec<bool> {
+    let width = device.width();
+    params.validate(width);
+    let challenges = stream_challenges(seed, params.stream_challenges, width);
+    let mut stream = Vec::with_capacity(params.stream_bits(width));
+    for group in challenges.chunks_exact(RESPONSES_PER_OUTPUT) {
+        let group: [Challenge; RESPONSES_PER_OUTPUT] = group.try_into().expect("chunked exactly");
+        let z = device.respond(&group).z;
+        for b in 0..width {
+            stream.push((z >> b) & 1 == 1);
+        }
+    }
+    let offset = rng.gen_range(0..stream.len());
+    (0..params.substring_len).map(|i| stream[(offset + i) % stream.len()]).collect()
+}
+
+/// Outcome of verifier-side substring matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlenderOutcome {
+    /// Best-matching circular offset into the emulated stream.
+    pub best_offset: usize,
+    /// Mismatch fraction at the best offset.
+    pub mismatch_fraction: f64,
+    /// Whether the session is accepted.
+    pub accepted: bool,
+}
+
+/// Verifier side: emulates the stream and slides the substring (circular).
+///
+/// # Panics
+///
+/// Panics on inconsistent parameters (see [`SlenderParams::validate`]) or
+/// a substring of the wrong length.
+pub fn verify_substring(
+    verifier: &VerifierPuf,
+    seed: u64,
+    substring: &[bool],
+    params: &SlenderParams,
+) -> SlenderOutcome {
+    let width = verifier.width();
+    params.validate(width);
+    assert_eq!(substring.len(), params.substring_len, "substring length mismatch");
+    let challenges = stream_challenges(seed, params.stream_challenges, width);
+    let mut stream = Vec::with_capacity(params.stream_bits(width));
+    for group in challenges.chunks_exact(RESPONSES_PER_OUTPUT) {
+        let ys: [u64; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| verifier.emulate(group[j]).bits());
+        let z = obfuscate(&ys, width);
+        for b in 0..width {
+            stream.push((z >> b) & 1 == 1);
+        }
+    }
+    let n = stream.len();
+    let mut best_offset = 0;
+    let mut best_mismatch = usize::MAX;
+    for offset in 0..n {
+        let mismatch = substring
+            .iter()
+            .enumerate()
+            .filter(|(i, &bit)| stream[(offset + i) % n] != bit)
+            .count();
+        if mismatch < best_mismatch {
+            best_mismatch = mismatch;
+            best_offset = offset;
+        }
+    }
+    let mismatch_fraction = best_mismatch as f64 / params.substring_len as f64;
+    SlenderOutcome { best_offset, mismatch_fraction, accepted: mismatch_fraction <= params.accept_threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enroll::enroll;
+    use pufatt_alupuf::device::AluPufConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn genuine_device_authenticates() {
+        let enrolled = enroll(AluPufConfig::paper_32bit(), 0x51E, 0).unwrap();
+        let mut device = enrolled.device_puf(4);
+        device.set_votes(15);
+        let verifier = enrolled.verifier_puf().unwrap();
+        let params = SlenderParams::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for session in 0..3 {
+            let seed = 100 + session;
+            let sub = prover_substring(&mut device, seed, &params, &mut rng);
+            let outcome = verify_substring(&verifier, seed, &sub, &params);
+            assert!(outcome.accepted, "session {session}: {outcome:?}");
+            assert!(outcome.mismatch_fraction < 0.24, "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn imposter_is_rejected() {
+        let genuine = enroll(AluPufConfig::paper_32bit(), 0x51E, 0).unwrap();
+        let imposter = enroll(AluPufConfig::paper_32bit(), 0x51F, 0).unwrap();
+        let verifier = genuine.verifier_puf().unwrap();
+        let mut device = imposter.device_puf(4);
+        let params = SlenderParams::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rejected = 0;
+        for session in 0..3u64 {
+            let sub = prover_substring(&mut device, 200 + session, &params, &mut rng);
+            let outcome = verify_substring(&verifier, 200 + session, &sub, &params);
+            rejected += (!outcome.accepted) as u32;
+            assert!(outcome.mismatch_fraction > 0.24, "imposter alignment too good: {outcome:?}");
+        }
+        assert_eq!(rejected, 3);
+    }
+
+    #[test]
+    fn replay_against_wrong_seed_fails() {
+        // A recorded substring does not verify against a fresh seed: the
+        // emulated stream is different.
+        let enrolled = enroll(AluPufConfig::paper_32bit(), 0x520, 0).unwrap();
+        let mut device = enrolled.device_puf(4);
+        device.set_votes(15);
+        let verifier = enrolled.verifier_puf().unwrap();
+        let params = SlenderParams::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sub = prover_substring(&mut device, 7, &params, &mut rng);
+        let outcome = verify_substring(&verifier, 8, &sub, &params);
+        assert!(!outcome.accepted, "replayed substring must not match a fresh stream: {outcome:?}");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a = stream_challenges(1, 8, 32);
+        let b = stream_challenges(1, 8, 32);
+        let c = stream_challenges(2, 8, 32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than the stream")]
+    fn substring_must_fit() {
+        SlenderParams { stream_challenges: 8, substring_len: 256, accept_threshold: 0.25 }.validate(32);
+    }
+}

@@ -1,0 +1,198 @@
+//! Analytic error-rate tools for the false-negative-rate experiment (§4.1).
+//!
+//! The paper reports a false-negative rate of 1.53 × 10⁻⁷ for its error
+//! correction at the measured intra-chip error rate. Rates that small are
+//! unreachable by naive Monte Carlo, so the reproduction combines:
+//!
+//! * the exact **Poisson–binomial tail** of the per-bit flip probabilities
+//!   measured from the simulated PUF (errors are concentrated on the few
+//!   metastable arbiters, not i.i.d. — this is what makes the rate so low),
+//!   and
+//! * a decoder **failure-weight profile** estimated once by Monte Carlo
+//!   (probability that the decoder mis-corrects a random pattern of a given
+//!   weight).
+
+use crate::code::Decoder;
+use crate::gf2::BitVec;
+use rand::Rng;
+
+/// Distribution of the number of bit errors when bit `i` flips independently
+/// with probability `p[i]` (the Poisson–binomial distribution).
+///
+/// # Panics
+///
+/// Panics if any probability lies outside `[0, 1]`.
+pub fn poisson_binomial_pmf(flip_probs: &[f64]) -> Vec<f64> {
+    assert!(flip_probs.iter().all(|&p| (0.0..=1.0).contains(&p)), "probabilities must be in [0,1]");
+    let mut pmf = vec![1.0f64];
+    for &p in flip_probs {
+        let mut next = vec![0.0; pmf.len() + 1];
+        for (k, &q) in pmf.iter().enumerate() {
+            next[k] += q * (1.0 - p);
+            next[k + 1] += q * p;
+        }
+        pmf = next;
+    }
+    pmf
+}
+
+/// Tail probability `P(W >= w)` of the Poisson–binomial weight distribution.
+pub fn poisson_binomial_tail(flip_probs: &[f64], w: usize) -> f64 {
+    let pmf = poisson_binomial_pmf(flip_probs);
+    pmf.iter().skip(w).sum()
+}
+
+/// Estimated decoder failure probability per error weight.
+///
+/// `profile[w]` is the probability that a uniformly random error pattern of
+/// weight `w` is *not* corrected (decoded error ≠ true error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureProfile {
+    /// Failure probability indexed by error weight, length n + 1.
+    pub per_weight: Vec<f64>,
+}
+
+impl FailureProfile {
+    /// Estimates a decoder's failure profile by Monte Carlo, drawing
+    /// `trials_per_weight` random patterns of each weight.
+    ///
+    /// Weights where decoding is guaranteed (found to never fail) record a
+    /// failure probability of 0.
+    pub fn estimate<D: Decoder + ?Sized, R: Rng + ?Sized>(decoder: &D, trials_per_weight: usize, rng: &mut R) -> Self {
+        let n = decoder.code().n();
+        let mut per_weight = vec![0.0; n + 1];
+        let mut positions: Vec<usize> = (0..n).collect();
+        for (w, out) in per_weight.iter_mut().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let mut failures = 0usize;
+            for _ in 0..trials_per_weight {
+                // Sample a random weight-w pattern (partial Fisher–Yates).
+                for i in 0..w {
+                    let j = rng.gen_range(i..n);
+                    positions.swap(i, j);
+                }
+                let mut e = BitVec::zeros(n);
+                for &p in &positions[..w] {
+                    e.set(p, true);
+                }
+                let s = decoder.code().syndrome(&e).expect("sized correctly");
+                match decoder.decode_syndrome(&s) {
+                    Ok(decoded) if decoded == e => {}
+                    _ => failures += 1,
+                }
+            }
+            *out = failures as f64 / trials_per_weight as f64;
+        }
+        FailureProfile { per_weight }
+    }
+
+    /// Combines the profile with a per-bit flip-probability vector into an
+    /// overall false-negative rate:
+    /// `FNR = Σ_w P(W = w) · P(fail | weight w)`.
+    ///
+    /// The weight distribution is Poisson–binomial over `flip_probs`; the
+    /// conditional failure probability assumes the pattern at each weight is
+    /// exchangeable, which holds when flip probabilities are assigned to
+    /// random bit positions.
+    pub fn false_negative_rate(&self, flip_probs: &[f64]) -> f64 {
+        let pmf = poisson_binomial_pmf(flip_probs);
+        pmf.iter()
+            .enumerate()
+            .map(|(w, &p)| p * self.per_weight.get(w).copied().unwrap_or(1.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rm::ReedMuller1;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let probs = [0.1, 0.3, 0.5, 0.05];
+        let pmf = poisson_binomial_pmf(&probs);
+        assert_eq!(pmf.len(), 5);
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_matches_binomial_for_uniform_p() {
+        let p = 0.2;
+        let n = 10;
+        let pmf = poisson_binomial_pmf(&vec![p; n]);
+        // Compare against binomial coefficients.
+        let mut binom = 1.0f64;
+        for (k, &q) in pmf.iter().enumerate() {
+            let expect = binom * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+            assert!((q - expect).abs() < 1e-12, "k = {k}");
+            binom = binom * (n - k) as f64 / (k + 1) as f64;
+        }
+    }
+
+    #[test]
+    fn tail_is_monotone() {
+        let probs = vec![0.11; 32];
+        let mut prev = 1.0;
+        for w in 0..=32 {
+            let t = poisson_binomial_tail(&probs, w);
+            assert!(t <= prev + 1e-15);
+            prev = t;
+        }
+        assert!((poisson_binomial_tail(&probs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_errors_have_thinner_tails() {
+        // Same expected error count, but concentrated on 6 metastable bits:
+        // the tail beyond 7 errors vanishes entirely.
+        let mean_errors = 3.2f64;
+        let iid = vec![mean_errors / 32.0; 32];
+        let mut concentrated = vec![0.0; 32];
+        for p in concentrated.iter_mut().take(6) {
+            *p = mean_errors / 6.0 / 2.0; // cap at ~0.27 each, 6 bits
+        }
+        // Rescale so both have the same mean.
+        let scale = mean_errors / concentrated.iter().sum::<f64>();
+        for p in concentrated.iter_mut() {
+            *p *= scale;
+        }
+        let t_iid = poisson_binomial_tail(&iid, 8);
+        let t_conc = poisson_binomial_tail(&concentrated, 8);
+        assert!(t_conc < t_iid, "concentrated {t_conc} vs iid {t_iid}");
+        assert_eq!(poisson_binomial_tail(&concentrated, 7), 0.0, "only 6 bits can ever flip");
+    }
+
+    #[test]
+    fn rm_failure_profile_zero_through_weight_7() {
+        let code = ReedMuller1::bch_32_6_16();
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let profile = FailureProfile::estimate(&code, 60, &mut rng);
+        for w in 0..=7 {
+            assert_eq!(profile.per_weight[w], 0.0, "weight {w} must always correct");
+        }
+        // Far beyond the distance, failure approaches certainty.
+        assert!(profile.per_weight[16] > 0.5);
+    }
+
+    #[test]
+    fn fnr_combines_profile_and_tail() {
+        let code = ReedMuller1::bch_32_6_16();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let profile = FailureProfile::estimate(&code, 40, &mut rng);
+        // Errors concentrated on 5 bits: never more than 5 flips, FNR = 0.
+        let mut probs = vec![0.0; 32];
+        for p in probs.iter_mut().take(5) {
+            *p = 0.3;
+        }
+        assert_eq!(profile.false_negative_rate(&probs), 0.0);
+        // i.i.d. 11.3 % errors: small but positive FNR.
+        let fnr = profile.false_negative_rate(&vec![0.113; 32]);
+        assert!(fnr > 0.0 && fnr < 0.05, "fnr = {fnr}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Generic binary linear block codes.
+//!
+//! A linear `[n, k, d]` code is described by its generator matrix `G`
+//! (`k × n`) and parity-check matrix `H` (`(n−k) × n`) with `G·Hᵀ = 0`.
+//! The prover-side syndrome generator computes `h = H·y`; the verifier-side
+//! decoder finds the minimum-weight coset representative for a syndrome.
+
+use crate::gf2::{BitMatrix, BitVec, CosetSolver};
+use std::fmt;
+
+/// Errors reported by code construction and decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The generator matrix rows are linearly dependent.
+    SingularGenerator,
+    /// A received word / syndrome has the wrong length.
+    LengthMismatch {
+        /// Expected number of bits.
+        expected: usize,
+        /// Number of bits actually supplied.
+        actual: usize,
+    },
+    /// The decoder could not correct the error pattern.
+    Uncorrectable,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::SingularGenerator => write!(f, "generator matrix rows are linearly dependent"),
+            CodeError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} bits, got {actual}")
+            }
+            CodeError::Uncorrectable => write!(f, "error pattern exceeds the code's correction capability"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+/// A binary linear block code with precomputed generator and parity-check
+/// matrices and a coset solver for syndrome decoding.
+#[derive(Debug, Clone)]
+pub struct LinearCode {
+    generator: BitMatrix,
+    parity_check: BitMatrix,
+    solver: CosetSolver,
+}
+
+impl LinearCode {
+    /// Builds a code from a full-rank generator matrix, deriving the
+    /// parity-check matrix as a null-space basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::SingularGenerator`] if the rows of `generator`
+    /// are linearly dependent.
+    pub fn from_generator(generator: BitMatrix) -> Result<Self, CodeError> {
+        if generator.rank() != generator.rows() {
+            return Err(CodeError::SingularGenerator);
+        }
+        // H rows span the dual code: null space of G acting on codeword
+        // coordinates, i.e. the kernel of Gᵀ... Concretely: we need H with
+        // H·cᵀ = 0 for every codeword c. Codewords span the row space of G,
+        // so H's rows are a basis of the null space of G (as a map on
+        // column vectors composed with transpose): nullspace(G) gives v with
+        // G·v = 0, which is exactly H's row set.
+        let h_rows = generator.nullspace();
+        let parity_check = BitMatrix::from_rows(h_rows);
+        let solver = CosetSolver::new(&parity_check);
+        Ok(LinearCode { generator, parity_check, solver })
+    }
+
+    /// Code length `n`.
+    pub fn n(&self) -> usize {
+        self.generator.cols()
+    }
+
+    /// Code dimension `k`.
+    pub fn k(&self) -> usize {
+        self.generator.rows()
+    }
+
+    /// Number of syndrome bits `n − k` (the helper-data size).
+    pub fn syndrome_bits(&self) -> usize {
+        self.n() - self.k()
+    }
+
+    /// The generator matrix.
+    pub fn generator(&self) -> &BitMatrix {
+        &self.generator
+    }
+
+    /// The parity-check matrix.
+    pub fn parity_check(&self) -> &BitMatrix {
+        &self.parity_check
+    }
+
+    /// Encodes a `k`-bit message into an `n`-bit codeword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::LengthMismatch`] if `message.len() != k`.
+    pub fn encode(&self, message: &BitVec) -> Result<BitVec, CodeError> {
+        if message.len() != self.k() {
+            return Err(CodeError::LengthMismatch { expected: self.k(), actual: message.len() });
+        }
+        // c = mᵀ·G = sum of G's rows selected by m.
+        let mut c = BitVec::zeros(self.n());
+        for i in 0..self.k() {
+            if message.get(i) {
+                c.xor_assign(self.generator.row(i));
+            }
+        }
+        Ok(c)
+    }
+
+    /// Computes the syndrome `H·y` of an `n`-bit word — the paper's
+    /// prover-side "syndrome generator" block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::LengthMismatch`] if `word.len() != n`.
+    pub fn syndrome(&self, word: &BitVec) -> Result<BitVec, CodeError> {
+        if word.len() != self.n() {
+            return Err(CodeError::LengthMismatch { expected: self.n(), actual: word.len() });
+        }
+        Ok(self.parity_check.mul_vec(word))
+    }
+
+    /// Checks whether a word is a codeword (zero syndrome).
+    pub fn is_codeword(&self, word: &BitVec) -> bool {
+        self.syndrome(word).map(|s| s.weight() == 0).unwrap_or(false)
+    }
+
+    /// The code's weight distribution: `w[i]` = number of codewords of
+    /// Hamming weight `i`, computed by enumerating all `2^k` codewords.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20` (enumeration would be unreasonable).
+    pub fn weight_distribution(&self) -> Vec<u64> {
+        assert!(self.k() <= 20, "weight distribution by enumeration needs k <= 20, got {}", self.k());
+        let mut dist = vec![0u64; self.n() + 1];
+        for m in 0u64..(1 << self.k()) {
+            let msg: BitVec = (0..self.k()).map(|i| (m >> i) & 1 == 1).collect();
+            let cw = self.encode(&msg).expect("sized message");
+            dist[cw.weight()] += 1;
+        }
+        dist
+    }
+
+    /// Minimum distance of the code (minimum nonzero codeword weight),
+    /// via [`LinearCode::weight_distribution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 20`.
+    pub fn minimum_distance(&self) -> usize {
+        self.weight_distribution()
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|&(_, &c)| c > 0)
+            .map(|(w, _)| w)
+            .expect("nonzero codewords exist for k >= 1")
+    }
+
+    /// Finds one word whose syndrome equals `s` (a coset representative,
+    /// not necessarily of minimum weight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::LengthMismatch`] for a wrong-size syndrome. A
+    /// full-rank parity-check matrix makes every syndrome consistent, so
+    /// this otherwise always succeeds.
+    pub fn coset_representative(&self, s: &BitVec) -> Result<BitVec, CodeError> {
+        if s.len() != self.syndrome_bits() {
+            return Err(CodeError::LengthMismatch { expected: self.syndrome_bits(), actual: s.len() });
+        }
+        self.solver.solve(s).ok_or(CodeError::Uncorrectable)
+    }
+}
+
+/// Word-level decoding: finds the codeword nearest to a received word.
+///
+/// Implementations define the code family's decoding algorithm (fast
+/// Hadamard transform for Reed–Muller, Berlekamp–Massey for BCH, …).
+pub trait Decoder {
+    /// The underlying linear code.
+    fn code(&self) -> &LinearCode;
+
+    /// Decodes `received` to the (estimated) nearest codeword.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] for wrong-size input;
+    /// [`CodeError::Uncorrectable`] if the decoder gives up (bounded-distance
+    /// decoders only — ML decoders always return something).
+    fn decode(&self, received: &BitVec) -> Result<BitVec, CodeError>;
+
+    /// Decodes an error pattern from its syndrome: returns the estimated
+    /// minimum-weight `e` with `H·e = s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Decoder::decode`].
+    fn decode_syndrome(&self, s: &BitVec) -> Result<BitVec, CodeError> {
+        let v = self.code().coset_representative(s)?;
+        let c = self.decode(&v)?;
+        Ok(v.xor(&c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf2::{BitMatrix, BitVec};
+
+    /// The [3,1,3] repetition code: small enough to verify by hand.
+    fn repetition3() -> LinearCode {
+        let g = BitMatrix::from_rows(vec![BitVec::from_word(0b111, 3)]);
+        LinearCode::from_generator(g).unwrap()
+    }
+
+    #[test]
+    fn parameters() {
+        let c = repetition3();
+        assert_eq!(c.n(), 3);
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.syndrome_bits(), 2);
+    }
+
+    #[test]
+    fn encode_repetition() {
+        let c = repetition3();
+        assert_eq!(c.encode(&BitVec::from_word(1, 1)).unwrap().as_word(), 0b111);
+        assert_eq!(c.encode(&BitVec::from_word(0, 1)).unwrap().as_word(), 0b000);
+    }
+
+    #[test]
+    fn codewords_have_zero_syndrome() {
+        let c = repetition3();
+        assert!(c.is_codeword(&BitVec::from_word(0b111, 3)));
+        assert!(c.is_codeword(&BitVec::from_word(0b000, 3)));
+        assert!(!c.is_codeword(&BitVec::from_word(0b001, 3)));
+    }
+
+    #[test]
+    fn gh_orthogonality() {
+        let c = repetition3();
+        let prod = c.generator().mul(&c.parity_check().transpose());
+        for r in 0..prod.rows() {
+            for col in 0..prod.cols() {
+                assert!(!prod.get(r, col), "G·Hᵀ must vanish");
+            }
+        }
+    }
+
+    #[test]
+    fn coset_representative_has_correct_syndrome() {
+        let c = repetition3();
+        for s in 0..4u64 {
+            let sv = BitVec::from_word(s, 2);
+            let v = c.coset_representative(&sv).unwrap();
+            assert_eq!(c.syndrome(&v).unwrap(), sv);
+        }
+    }
+
+    #[test]
+    fn weight_distribution_of_repetition() {
+        let c = repetition3();
+        assert_eq!(c.weight_distribution(), vec![1, 0, 0, 1]);
+        assert_eq!(c.minimum_distance(), 3);
+    }
+
+    #[test]
+    fn singular_generator_rejected() {
+        let g = BitMatrix::from_rows(vec![BitVec::from_word(0b11, 2), BitVec::from_word(0b11, 2)]);
+        assert_eq!(LinearCode::from_generator(g).unwrap_err(), CodeError::SingularGenerator);
+    }
+
+    #[test]
+    fn length_mismatches_are_reported() {
+        let c = repetition3();
+        assert!(matches!(c.encode(&BitVec::zeros(2)), Err(CodeError::LengthMismatch { expected: 1, actual: 2 })));
+        assert!(matches!(c.syndrome(&BitVec::zeros(4)), Err(CodeError::LengthMismatch { expected: 3, actual: 4 })));
+        assert!(matches!(c.coset_representative(&BitVec::zeros(3)), Err(CodeError::LengthMismatch { .. })));
+    }
+}

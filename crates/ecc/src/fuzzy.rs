@@ -1,0 +1,156 @@
+//! Syndrome-only reverse fuzzy extractor (van Herrewege et al., FC 2012).
+//!
+//! The paper's error-correction architecture: the resource-constrained
+//! prover only runs the *syndrome generator* (one parity-check
+//! multiplication) over its noisy PUF response `y'` and publishes the
+//! helper data `h = H·y'`. The verifier, holding a reference response `y`
+//! (from `PUF.Emulate()`), computes `H·(y ⊕ y') = h ⊕ H·y`, decodes the
+//! low-weight difference `e = y ⊕ y'` from that syndrome, and reconstructs
+//! `y' = y ⊕ e` exactly. Both sides then continue with the *same* value
+//! `y'`, which the obfuscation network consumes.
+
+use crate::code::{CodeError, Decoder};
+use crate::gf2::BitVec;
+
+/// Helper data published by the prover: the syndrome of its noisy response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HelperData(pub BitVec);
+
+impl HelperData {
+    /// Number of helper bits (n − k; 26 for the paper's code).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the helper data is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Outcome of verifier-side reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reconstruction {
+    /// The prover's response as reconstructed by the verifier.
+    pub response: BitVec,
+    /// Hamming weight of the corrected error pattern.
+    pub corrected_errors: usize,
+}
+
+/// The reverse fuzzy extractor over any syndrome-decodable code.
+#[derive(Debug, Clone)]
+pub struct ReverseFuzzyExtractor<D> {
+    decoder: D,
+}
+
+impl<D: Decoder> ReverseFuzzyExtractor<D> {
+    /// Wraps a decoder.
+    pub fn new(decoder: D) -> Self {
+        ReverseFuzzyExtractor { decoder }
+    }
+
+    /// The underlying decoder.
+    pub fn decoder(&self) -> &D {
+        &self.decoder
+    }
+
+    /// Prover side (`Gen`): computes the helper data for a noisy response.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] if the response is not `n` bits.
+    pub fn generate(&self, noisy_response: &BitVec) -> Result<HelperData, CodeError> {
+        Ok(HelperData(self.decoder.code().syndrome(noisy_response)?))
+    }
+
+    /// Verifier side (`Rep`): reconstructs the prover's noisy response from
+    /// the reference response and the helper data.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::LengthMismatch`] for wrong-size inputs;
+    /// [`CodeError::Uncorrectable`] when the response difference exceeds the
+    /// decoder's capability (a false negative, at the rate quantified in the
+    /// paper's §4.1).
+    pub fn reproduce(&self, reference: &BitVec, helper: &HelperData) -> Result<Reconstruction, CodeError> {
+        let s_ref = self.decoder.code().syndrome(reference)?;
+        let diff_syndrome = s_ref.xor(&helper.0);
+        let e = self.decoder.decode_syndrome(&diff_syndrome)?;
+        Ok(Reconstruction { corrected_errors: e.weight(), response: reference.xor(&e) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rm::ReedMuller1;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn extractor() -> ReverseFuzzyExtractor<ReedMuller1> {
+        ReverseFuzzyExtractor::new(ReedMuller1::bch_32_6_16())
+    }
+
+    #[test]
+    fn helper_data_is_26_bits() {
+        let fe = extractor();
+        let h = fe.generate(&BitVec::from_word(0xDEAD_BEEF, 32)).unwrap();
+        assert_eq!(h.len(), 26, "paper: 32 − 6 = 26-bit helper data");
+    }
+
+    #[test]
+    fn reconstructs_exact_match() {
+        let fe = extractor();
+        let y = BitVec::from_word(0x1234_5678, 32);
+        let h = fe.generate(&y).unwrap();
+        let rec = fe.reproduce(&y, &h).unwrap();
+        assert_eq!(rec.response, y);
+        assert_eq!(rec.corrected_errors, 0);
+    }
+
+    #[test]
+    fn reconstructs_under_noise_up_to_7_bits() {
+        let fe = extractor();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let positions: Vec<usize> = (0..32).collect();
+        for _ in 0..300 {
+            let y_ref = BitVec::from_word(rng.gen::<u32>() as u64, 32);
+            let mut y_noisy = y_ref.clone();
+            let k = rng.gen_range(0..=7);
+            for &p in positions.choose_multiple(&mut rng, k) {
+                y_noisy.flip(p);
+            }
+            let h = fe.generate(&y_noisy).unwrap();
+            let rec = fe.reproduce(&y_ref, &h).unwrap();
+            assert_eq!(rec.response, y_noisy, "weight-{k} noise must reconstruct");
+            assert_eq!(rec.corrected_errors, k);
+        }
+    }
+
+    #[test]
+    fn helper_data_leaks_at_most_syndrome() {
+        // Two responses in the same coset yield identical helper data.
+        let fe = extractor();
+        let y = BitVec::from_word(0xCAFE_F00D, 32);
+        let cw = ReedMuller1::bch_32_6_16().encode(&BitVec::from_word(0b101010, 6)).unwrap();
+        let y2 = y.xor(&cw);
+        assert_eq!(fe.generate(&y).unwrap(), fe.generate(&y2).unwrap());
+    }
+
+    #[test]
+    fn wrong_reference_reconstructs_wrong_value() {
+        // With an unrelated reference the reconstruction differs from the
+        // prover's response (the attestation check then fails).
+        let fe = extractor();
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let y_p = BitVec::from_word(rng.gen::<u32>() as u64, 32);
+        let y_v = BitVec::from_word(rng.gen::<u32>() as u64, 32);
+        let h = fe.generate(&y_p).unwrap();
+        match fe.reproduce(&y_v, &h) {
+            Ok(rec) => assert_ne!(rec.response, y_p),
+            Err(CodeError::Uncorrectable) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! Bit-packed linear algebra over GF(2).
+//!
+//! The prover-side cost of the paper's error-correction scheme is a single
+//! parity-check-matrix multiplication (the syndrome generator); the
+//! verifier-side decoder additionally needs coset-representative solving.
+//! Both are built on the [`BitVec`]/[`BitMatrix`] types here.
+
+use std::fmt;
+
+/// A fixed-length vector over GF(2), bit-packed into `u64` words
+/// (bit `i` of the vector is bit `i % 64` of word `i / 64`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Creates a vector from the low `len` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_word(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_word supports at most 64 bits");
+        let mut v = BitVec::zeros(len);
+        if len > 0 {
+            let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            v.words[0] = value & mask;
+        }
+        v
+    }
+
+    /// Creates a vector from boolean bits.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Hamming weight (number of one bits).
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+    }
+
+    /// In-place XOR with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns `self ⊕ other`.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Inner product over GF(2) (parity of the AND).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Returns the low 64 bits as a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is longer than 64 bits.
+    pub fn as_word(&self) -> u64 {
+        assert!(self.len <= 64, "vector longer than 64 bits");
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for b in self.iter() {
+            write!(f, "{}", b as u8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.iter() {
+            write!(f, "{}", b as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bits(&bits)
+    }
+}
+
+/// A dense matrix over GF(2), stored as a row-major collection of [`BitVec`]s.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        BitMatrix { rows, cols, data: vec![BitVec::zeros(cols); rows] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i].set(i, true);
+        }
+        m
+    }
+
+    /// Creates a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "row length mismatch");
+        BitMatrix { rows: rows.len(), cols, data: rows }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.data[r].get(c)
+    }
+
+    /// Writes entry `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        self.data[r].set(c, value);
+    }
+
+    /// Borrows row `r`.
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.data[r]
+    }
+
+    /// Matrix–vector product `M · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        self.data.iter().map(|row| row.dot(v)).collect()
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let t = other.transpose();
+        let rows = self
+            .data
+            .iter()
+            .map(|r| (0..other.cols).map(|c| r.dot(&t.data[c])).collect())
+            .collect();
+        BitMatrix::from_rows(rows)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    t.set(c, r, true);
+                }
+            }
+        }
+        t
+    }
+
+    /// Reduced row-echelon form. Returns `(rref, transform, pivots)` where
+    /// `transform · self = rref` and `pivots[i]` is the pivot column of row
+    /// `i` (rows beyond the rank are zero and have no pivot entry).
+    pub fn rref(&self) -> (BitMatrix, BitMatrix, Vec<usize>) {
+        let mut r = self.clone();
+        let mut u = BitMatrix::identity(self.rows);
+        let mut pivots = Vec::new();
+        let mut row = 0;
+        for col in 0..self.cols {
+            if row == self.rows {
+                break;
+            }
+            // Find a pivot at or below `row`.
+            let Some(p) = (row..self.rows).find(|&i| r.get(i, col)) else {
+                continue;
+            };
+            r.data.swap(row, p);
+            u.data.swap(row, p);
+            // Eliminate the column everywhere else.
+            for i in 0..self.rows {
+                if i != row && r.get(i, col) {
+                    let (ri, rr) = borrow_two(&mut r.data, i, row);
+                    ri.xor_assign(rr);
+                    let (ui, ur) = borrow_two(&mut u.data, i, row);
+                    ui.xor_assign(ur);
+                }
+            }
+            pivots.push(col);
+            row += 1;
+        }
+        (r, u, pivots)
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.rref().2.len()
+    }
+
+    /// A basis for the null space `{v : M · v = 0}`, one row per basis
+    /// vector. Empty when the matrix has full column rank.
+    pub fn nullspace(&self) -> Vec<BitVec> {
+        let (r, _, pivots) = self.rref();
+        let pivot_of_col: Vec<Option<usize>> = {
+            let mut m = vec![None; self.cols];
+            for (row, &col) in pivots.iter().enumerate() {
+                m[col] = Some(row);
+            }
+            m
+        };
+        let mut basis = Vec::new();
+        for (free, pivot) in pivot_of_col.iter().enumerate() {
+            if pivot.is_some() {
+                continue;
+            }
+            let mut v = BitVec::zeros(self.cols);
+            v.set(free, true);
+            for (row, &pc) in pivots.iter().enumerate() {
+                if r.get(row, free) {
+                    v.set(pc, true);
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for r in &self.data {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Mutably borrows two distinct rows.
+fn borrow_two<T>(data: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j);
+    if i < j {
+        let (a, b) = data.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = data.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+/// Solves `M · v = s` for one particular solution using a precomputed RREF.
+///
+/// Returned by [`CosetSolver::solve`]; `None` when the system is
+/// inconsistent.
+#[derive(Debug, Clone)]
+pub struct CosetSolver {
+    transform: BitMatrix,
+    pivots: Vec<usize>,
+    rref: BitMatrix,
+    cols: usize,
+}
+
+impl CosetSolver {
+    /// Prepares a solver for the linear system `M · v = s`.
+    pub fn new(m: &BitMatrix) -> Self {
+        let (rref, transform, pivots) = m.rref();
+        CosetSolver { transform, pivots, rref, cols: m.cols() }
+    }
+
+    /// Finds a particular solution `v` with `M · v = s`, supported on the
+    /// pivot columns only. Returns `None` if the system is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len()` differs from the number of rows of `M`.
+    pub fn solve(&self, s: &BitVec) -> Option<BitVec> {
+        let reduced = self.transform.mul_vec(s);
+        // Consistency: zero rows of the RREF must map to zero bits.
+        for row in self.pivots.len()..reduced.len() {
+            if reduced.get(row) {
+                return None;
+            }
+        }
+        let mut v = BitVec::zeros(self.cols);
+        for (row, &col) in self.pivots.iter().enumerate() {
+            if reduced.get(row) {
+                v.set(col, true);
+            }
+        }
+        Some(v)
+    }
+
+    /// The RREF of the underlying matrix (useful for inspection/tests).
+    pub fn rref(&self) -> &BitMatrix {
+        &self.rref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_vec(len: usize, rng: &mut impl Rng) -> BitVec {
+        (0..len).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    fn random_matrix(rows: usize, cols: usize, rng: &mut impl Rng) -> BitMatrix {
+        BitMatrix::from_rows((0..rows).map(|_| random_vec(cols, rng)).collect())
+    }
+
+    #[test]
+    fn bitvec_set_get_flip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert_eq!(v.weight(), 3);
+        v.flip(64);
+        assert!(!v.get(64));
+        assert_eq!(v.weight(), 2);
+    }
+
+    #[test]
+    fn bitvec_word_round_trip() {
+        let v = BitVec::from_word(0xDEAD_BEEF, 32);
+        assert_eq!(v.as_word(), 0xDEAD_BEEF);
+        assert_eq!(v.len(), 32);
+        assert_eq!(v.weight(), 0xDEAD_BEEFu64.count_ones() as usize);
+    }
+
+    #[test]
+    fn dot_is_parity_of_and() {
+        let a = BitVec::from_word(0b1101, 4);
+        let b = BitVec::from_word(0b1011, 4);
+        // AND = 0b1001, parity = 0.
+        assert!(!a.dot(&b));
+        let c = BitVec::from_word(0b0001, 4);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    fn distance_symmetry_and_triangle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = random_vec(70, &mut rng);
+            let b = random_vec(70, &mut rng);
+            let c = random_vec(70, &mut rng);
+            assert_eq!(a.distance(&b), b.distance(&a));
+            assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c));
+            assert_eq!(a.distance(&a), 0);
+        }
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = random_matrix(7, 7, &mut rng);
+        let i = BitMatrix::identity(7);
+        assert_eq!(m.mul(&i), m);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = random_matrix(5, 9, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = random_matrix(6, 10, &mut rng);
+        let v = random_vec(10, &mut rng);
+        let as_col = BitMatrix::from_rows(v.iter().map(|b| BitVec::from_bits(&[b])).collect());
+        let prod = m.mul(&as_col);
+        let mv = m.mul_vec(&v);
+        for r in 0..6 {
+            assert_eq!(prod.get(r, 0), mv.get(r));
+        }
+    }
+
+    #[test]
+    fn rref_transform_reproduces_rref() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let m = random_matrix(6, 12, &mut rng);
+            let (r, u, pivots) = m.rref();
+            assert_eq!(u.mul(&m), r);
+            // Pivot structure: each pivot column has a single 1 in its row.
+            for (row, &col) in pivots.iter().enumerate() {
+                assert!(r.get(row, col));
+                for other in 0..r.rows() {
+                    if other != row {
+                        assert!(!r.get(other, col));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nullspace_vectors_are_in_kernel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..20 {
+            let m = random_matrix(5, 11, &mut rng);
+            let ns = m.nullspace();
+            assert_eq!(ns.len(), 11 - m.rank());
+            for v in &ns {
+                assert_eq!(m.mul_vec(v).weight(), 0, "nullspace vector not in kernel");
+            }
+        }
+    }
+
+    #[test]
+    fn coset_solver_finds_solutions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..30 {
+            let m = random_matrix(6, 14, &mut rng);
+            let solver = CosetSolver::new(&m);
+            // Any s of the form M·x is solvable and the solution must verify.
+            let x = random_vec(14, &mut rng);
+            let s = m.mul_vec(&x);
+            let v = solver.solve(&s).expect("consistent system");
+            assert_eq!(m.mul_vec(&v), s);
+        }
+    }
+
+    #[test]
+    fn coset_solver_detects_inconsistency() {
+        // A rank-1 matrix with two distinct rows can yield inconsistent s.
+        let rows = vec![BitVec::from_word(0b11, 2), BitVec::from_word(0b11, 2)];
+        let m = BitMatrix::from_rows(rows);
+        let solver = CosetSolver::new(&m);
+        let s = BitVec::from_word(0b01, 2); // row0 ⇒ 1, row1 ⇒ 0: impossible
+        assert!(solver.solve(&s).is_none());
+    }
+
+    #[test]
+    fn rank_of_identity() {
+        assert_eq!(BitMatrix::identity(9).rank(), 9);
+    }
+}

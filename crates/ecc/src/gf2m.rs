@@ -1,0 +1,227 @@
+//! Finite fields GF(2^m) with log/antilog tables.
+//!
+//! Used by the generic BCH decoder ([`crate::bch`]), which the reproduction
+//! uses for error-correction ablations against the paper's BCH\[32,6,16\]
+//! (= RM(1,5)) code.
+
+use std::fmt;
+
+/// A finite field GF(2^m), 2 ≤ m ≤ 16, with precomputed exp/log tables.
+#[derive(Clone)]
+pub struct Gf2m {
+    m: u32,
+    /// exp[i] = α^i for 0 ≤ i < 2^m − 1 (extended to 2·(2^m−1) to avoid
+    /// modular reduction in products).
+    exp: Vec<u16>,
+    /// log[x] = i with α^i = x, for x ≠ 0. log[0] is unused.
+    log: Vec<u16>,
+}
+
+/// Default primitive polynomials (bit i = coefficient of x^i), indexed by m.
+const PRIMITIVE_POLYS: [(u32, u32); 9] = [
+    (2, 0b111),
+    (3, 0b1011),
+    (4, 0b10011),
+    (5, 0b100101),
+    (6, 0b1000011),
+    (7, 0b10001001),
+    (8, 0b100011101),
+    (9, 0b1000010001),
+    (10, 0b10000001001),
+];
+
+impl Gf2m {
+    /// Constructs GF(2^m) with the standard primitive polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no default polynomial is tabulated for `m` (supported:
+    /// 2 ≤ m ≤ 10).
+    pub fn new(m: u32) -> Self {
+        let poly = PRIMITIVE_POLYS
+            .iter()
+            .find(|&&(mm, _)| mm == m)
+            .map(|&(_, p)| p)
+            .unwrap_or_else(|| panic!("no default primitive polynomial for m = {m}"));
+        Self::with_polynomial(m, poly)
+    }
+
+    /// Constructs GF(2^m) from an explicit degree-m primitive polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` does not have degree `m`, or if it is not primitive
+    /// (the generated multiplicative group is too small).
+    pub fn with_polynomial(m: u32, poly: u32) -> Self {
+        assert!((2..=16).contains(&m), "m = {m} out of supported range");
+        assert_eq!(32 - poly.leading_zeros() - 1, m, "polynomial degree must equal m");
+        let order = (1usize << m) - 1;
+        let mut exp = vec![0u16; 2 * order];
+        let mut log = vec![0u16; 1 << m];
+        let mut x = 1u32;
+        for (i, e) in exp.iter_mut().take(order).enumerate() {
+            *e = x as u16;
+            assert!(!(i > 0 && x == 1), "polynomial {poly:#b} is not primitive for m = {m}");
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x >> m != 0 {
+                x ^= poly;
+            }
+        }
+        for i in 0..order {
+            exp[order + i] = exp[i];
+        }
+        Gf2m { m, exp, log }
+    }
+
+    /// Field extension degree m.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order 2^m − 1.
+    pub fn order(&self) -> usize {
+        (1usize << self.m) - 1
+    }
+
+    /// α^i (i may exceed the group order; it is reduced).
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % self.order()]
+    }
+
+    /// Discrete log of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero, which has no logarithm.
+    pub fn log(&self, x: u16) -> usize {
+        assert!(x != 0, "log of zero");
+        self.log[x as usize] as usize
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        assert!(b != 0, "division by zero");
+        if a == 0 {
+            0
+        } else {
+            let la = self.log[a as usize] as usize;
+            let lb = self.log[b as usize] as usize;
+            self.exp[la + self.order() - lb]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn inv(&self, a: u16) -> u16 {
+        self.div(1, a)
+    }
+
+    /// Exponentiation `a^e`.
+    pub fn pow(&self, a: u16, e: usize) -> u16 {
+        if a == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        self.alpha_pow(self.log[a as usize] as usize * e % self.order())
+    }
+}
+
+impl fmt::Debug for Gf2m {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2m(2^{})", self.m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf16_multiplication_table_spot_checks() {
+        // GF(16) with x^4 + x + 1: α^4 = α + 1 = 0b0011.
+        let f = Gf2m::new(4);
+        assert_eq!(f.alpha_pow(4), 0b0011);
+        assert_eq!(f.mul(0b0010, 0b0010), 0b0100); // α·α = α²
+        assert_eq!(f.mul(0, 7), 0);
+        assert_eq!(f.mul(1, 7), 7);
+    }
+
+    #[test]
+    fn field_axioms_gf32() {
+        let f = Gf2m::new(5);
+        let n = 32u16;
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                if b != 0 {
+                    assert_eq!(f.mul(f.div(a, b), b), a, "a={a} b={b}");
+                }
+            }
+        }
+        // Associativity on a sample.
+        for a in 1..n {
+            for b in 1..n {
+                let c = 13;
+                assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn inverses() {
+        let f = Gf2m::new(6);
+        for a in 1..64u16 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = Gf2m::new(5);
+        for a in 1..32u16 {
+            let mut acc = 1u16;
+            for e in 0..40 {
+                assert_eq!(f.pow(a, e), acc, "a={a} e={e}");
+                acc = f.mul(acc, a);
+            }
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn alpha_generates_whole_group() {
+        for m in 2..=8 {
+            let f = Gf2m::new(m);
+            let mut seen = vec![false; 1 << m];
+            for i in 0..f.order() {
+                let x = f.alpha_pow(i);
+                assert!(!seen[x as usize], "α repeats early in GF(2^{m})");
+                seen[x as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not primitive")]
+    fn rejects_non_primitive_polynomial() {
+        // x^4 + x^3 + x^2 + x + 1 divides x^5 − 1: order 5, not primitive.
+        Gf2m::with_polynomial(4, 0b11111);
+    }
+}

@@ -1,0 +1,145 @@
+//! Repetition codes: the simplest (and weakest-per-bit) error correction
+//! used by early PUF key generators.
+//!
+//! An `[r·k, k]` repetition scheme repeats each of `k` data bits `r` times
+//! and majority-decodes. Compared with the paper's BCH\[32,6,16\] it trades
+//! far more helper bits for far less correction — exactly the trade-off
+//! the `ecc_ablation` bench quantifies.
+
+use crate::code::{CodeError, Decoder, LinearCode};
+use crate::gf2::{BitMatrix, BitVec};
+
+/// An `[r·k, k]` repetition code (bit `i` of the message occupies positions
+/// `i·r .. (i+1)·r` of the codeword).
+#[derive(Debug, Clone)]
+pub struct RepetitionCode {
+    repeats: usize,
+    data_bits: usize,
+    code: LinearCode,
+}
+
+impl RepetitionCode {
+    /// Constructs the code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `repeats` is odd (majority must be decisive), at least
+    /// 3, and the codeword fits 256 bits.
+    pub fn new(repeats: usize, data_bits: usize) -> Self {
+        assert!(repeats >= 3 && repeats % 2 == 1, "repeats {repeats} must be odd and >= 3");
+        assert!(data_bits >= 1 && repeats * data_bits <= 256, "codeword too long");
+        let n = repeats * data_bits;
+        let rows = (0..data_bits)
+            .map(|i| (0..n).map(|c| c / repeats == i).collect::<BitVec>())
+            .collect();
+        let code = LinearCode::from_generator(BitMatrix::from_rows(rows)).expect("repetition rows independent");
+        RepetitionCode { repeats, data_bits, code }
+    }
+
+    /// Repetitions per data bit.
+    pub fn repeats(&self) -> usize {
+        self.repeats
+    }
+
+    /// Number of data bits.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// Guaranteed per-bit correction radius `(r − 1)/2`.
+    pub fn guaranteed_correction_per_bit(&self) -> usize {
+        (self.repeats - 1) / 2
+    }
+}
+
+impl Decoder for RepetitionCode {
+    fn code(&self) -> &LinearCode {
+        &self.code
+    }
+
+    fn decode(&self, received: &BitVec) -> Result<BitVec, CodeError> {
+        let n = self.code.n();
+        if received.len() != n {
+            return Err(CodeError::LengthMismatch { expected: n, actual: received.len() });
+        }
+        let mut out = BitVec::zeros(n);
+        for i in 0..self.data_bits {
+            let ones = (0..self.repeats).filter(|&j| received.get(i * self.repeats + j)).count();
+            let bit = 2 * ones > self.repeats;
+            for j in 0..self.repeats {
+                out.set(i * self.repeats + j, bit);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn parameters() {
+        let c = RepetitionCode::new(3, 8);
+        assert_eq!(c.code().n(), 24);
+        assert_eq!(c.code().k(), 8);
+        assert_eq!(c.code().syndrome_bits(), 16);
+        assert_eq!(c.guaranteed_correction_per_bit(), 1);
+    }
+
+    #[test]
+    fn encode_repeats_bits() {
+        let c = RepetitionCode::new(3, 4);
+        let cw = c.code().encode(&BitVec::from_word(0b1010, 4)).unwrap();
+        assert_eq!(cw.as_word(), 0b111_000_111_000);
+    }
+
+    #[test]
+    fn majority_decoding_corrects_scattered_errors() {
+        let c = RepetitionCode::new(5, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let msg = BitVec::from_word(rng.gen::<u64>() & 0x3F, 6);
+            let cw = c.code().encode(&msg).unwrap();
+            let mut noisy = cw.clone();
+            // Flip up to 2 distinct positions inside each 5-bit group —
+            // within the per-group majority budget of (5 − 1)/2.
+            for i in 0..6 {
+                let flips = rng.gen_range(0..=2usize);
+                let mut offsets = [0usize, 1, 2, 3, 4];
+                for f in 0..flips {
+                    let pick = rng.gen_range(f..5);
+                    offsets.swap(f, pick);
+                    noisy.flip(i * 5 + offsets[f]);
+                }
+            }
+            let decoded = c.decode(&noisy).unwrap();
+            assert_eq!(decoded, cw);
+        }
+    }
+
+    #[test]
+    fn syndrome_decoding_round_trip() {
+        let c = RepetitionCode::new(3, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            // One error per group at most.
+            let mut e = BitVec::zeros(24);
+            for i in 0..8 {
+                if rng.gen::<bool>() {
+                    e.set(i * 3 + rng.gen_range(0..3), true);
+                }
+            }
+            let s = c.code().syndrome(&e).unwrap();
+            assert_eq!(c.decode_syndrome(&s).unwrap(), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_repeats_rejected() {
+        RepetitionCode::new(4, 4);
+    }
+}

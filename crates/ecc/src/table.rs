@@ -1,0 +1,175 @@
+//! Coset-leader table decoding.
+//!
+//! For codes with few syndrome bits, the entire syndrome → minimum-weight
+//! error mapping fits in memory (`2^(n−k)` entries): decoding becomes a
+//! single lookup. This is how a hardware verifier would implement the
+//! Golay or repetition decoders, and it doubles as an oracle to test the
+//! algorithmic decoders against — a table decoder is *exact* minimum-
+//! distance decoding by construction.
+
+use crate::code::{CodeError, Decoder, LinearCode};
+use crate::gf2::BitVec;
+
+/// A decoder backed by a precomputed coset-leader table.
+#[derive(Debug, Clone)]
+pub struct TableDecoder {
+    code: LinearCode,
+    /// `leaders[s]` = minimum-weight error with syndrome `s` (bit-packed).
+    leaders: Vec<u64>,
+}
+
+impl TableDecoder {
+    /// Builds the table for `code` by breadth-first enumeration of error
+    /// patterns in order of weight (so the first pattern hitting each coset
+    /// is a minimum-weight leader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code is too large for table decoding
+    /// (`n − k > 24` or `n > 64`).
+    pub fn new(code: LinearCode) -> Self {
+        let n = code.n();
+        let sbits = code.syndrome_bits();
+        assert!(n <= 64, "table decoding supports n <= 64, got {n}");
+        assert!(sbits <= 24, "table decoding supports n-k <= 24, got {sbits}");
+        let table_len = 1usize << sbits;
+        let mut leaders = vec![u64::MAX; table_len];
+        let mut remaining = table_len;
+
+        // Weight-0 leader.
+        leaders[0] = 0;
+        remaining -= 1;
+
+        // Enumerate patterns by weight until every coset has a leader.
+        // Gosper's hack iterates fixed-weight words in increasing order.
+        let mut weight = 1u32;
+        while remaining > 0 {
+            assert!(weight as usize <= n, "ran out of patterns with cosets unfilled");
+            let mut v: u64 = (1 << weight) - 1;
+            let limit = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            while v <= limit {
+                let e = BitVec::from_word(v, n);
+                let s = code.syndrome(&e).expect("sized pattern").as_word() as usize;
+                if leaders[s] == u64::MAX {
+                    leaders[s] = v;
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                // Next word with the same popcount (Gosper).
+                let c = v & v.wrapping_neg();
+                let r = v + c;
+                if r < v {
+                    break; // overflow: done with this weight
+                }
+                v = r | (((v ^ r) >> 2) / c);
+            }
+            weight += 1;
+        }
+        TableDecoder { code, leaders }
+    }
+
+    /// The maximum leader weight in the table — every error pattern up to
+    /// the code's guaranteed radius appears, heavier cosets hold their true
+    /// minimum-weight representative.
+    pub fn max_leader_weight(&self) -> u32 {
+        self.leaders.iter().map(|l| l.count_ones()).max().unwrap_or(0)
+    }
+}
+
+impl Decoder for TableDecoder {
+    fn code(&self) -> &LinearCode {
+        &self.code
+    }
+
+    fn decode(&self, received: &BitVec) -> Result<BitVec, CodeError> {
+        let n = self.code.n();
+        if received.len() != n {
+            return Err(CodeError::LengthMismatch { expected: n, actual: received.len() });
+        }
+        let s = self.code.syndrome(received)?.as_word() as usize;
+        let leader = self.leaders[s];
+        Ok(BitVec::from_word(received.as_word() ^ leader, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golay::GolayCode;
+    use crate::repetition::RepetitionCode;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn table_matches_golay_ml_decoder() {
+        // Both are exact minimum-distance decoders: on every input within
+        // the guaranteed radius they must agree exactly.
+        let ml = GolayCode::new();
+        let table = TableDecoder::new(ml.code().clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let positions: Vec<usize> = (0..24).collect();
+        for _ in 0..300 {
+            let msg: BitVec = (0..12).map(|_| rng.gen::<bool>()).collect();
+            let cw = ml.code().encode(&msg).unwrap();
+            let mut noisy = cw.clone();
+            let k = rng.gen_range(0..=3);
+            for &p in positions.choose_multiple(&mut rng, k) {
+                noisy.flip(p);
+            }
+            assert_eq!(table.decode(&noisy).unwrap(), cw, "weight-{k}");
+            assert_eq!(ml.decode(&noisy).unwrap(), cw);
+        }
+    }
+
+    #[test]
+    fn golay_leaders_cover_weights_up_to_4() {
+        // Golay cosets: every syndrome has a leader of weight <= 4 (the
+        // covering radius of the extended Golay code).
+        let table = TableDecoder::new(GolayCode::new().code().clone());
+        assert_eq!(table.max_leader_weight(), 4);
+    }
+
+    #[test]
+    fn table_decodes_repetition_exactly() {
+        let rep = RepetitionCode::new(3, 4);
+        let table = TableDecoder::new(rep.code().clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let msg = BitVec::from_word(rng.gen::<u64>() & 0xF, 4);
+            let cw = rep.code().encode(&msg).unwrap();
+            let mut noisy = cw.clone();
+            // One flip per group stays within the majority budget.
+            for g in 0..4 {
+                if rng.gen::<bool>() {
+                    noisy.flip(g * 3 + rng.gen_range(0..3));
+                }
+            }
+            assert_eq!(table.decode(&noisy).unwrap(), cw);
+        }
+    }
+
+    #[test]
+    fn syndrome_decoding_via_table() {
+        let table = TableDecoder::new(GolayCode::new().code().clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let positions: Vec<usize> = (0..24).collect();
+        for _ in 0..100 {
+            let mut e = BitVec::zeros(24);
+            let k = rng.gen_range(0..=3);
+            for &p in positions.choose_multiple(&mut rng, k) {
+                e.flip(p);
+            }
+            let s = table.code().syndrome(&e).unwrap();
+            assert_eq!(table.decode_syndrome(&s).unwrap(), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n-k <= 24")]
+    fn refuses_oversized_tables() {
+        TableDecoder::new(crate::rm::ReedMuller1::bch_32_6_16().code().clone());
+    }
+}

@@ -1,0 +1,39 @@
+//! Modeling attacks on the ALU PUF (paper §4.1/§4.2 security arguments).
+//!
+//! Delay PUFs exposed through raw challenge/response pairs are learnable
+//! with simple machine learning (Rührmair et al., CCS 2010). PUFatt's
+//! two-phase XOR obfuscation makes every visible output bit an XOR of
+//! eight raw response bits from eight different challenges, which defeats
+//! linear model building the same way XOR-arbiter constructions do.
+//!
+//! * [`lr`] — dependency-free logistic regression with SGD.
+//! * [`mlp`] — a small multi-layer perceptron (the stronger nonlinear
+//!   attacker; still at chance against the obfuscated outputs).
+//! * [`attack`] — CRP collection, feature maps (raw-bit and carry-aware),
+//!   and the raw-vs-obfuscated attack harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use pufatt_modeling::attack::{attack_raw, FeatureMap};
+//! use pufatt_modeling::lr::TrainConfig;
+//! use pufatt_alupuf::device::{AdderKind, AluPufConfig, AluPufDesign, ArbiterConfig, PufInstance};
+//! use pufatt_silicon::env::Environment;
+//! use pufatt_silicon::variation::ChipSampler;
+//! use rand::SeedableRng;
+//!
+//! let design = AluPufDesign::new(AluPufConfig { width: 8, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 1 });
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+//! let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+//! let instance = PufInstance::new(&design, &chip, Environment::nominal());
+//! let report = attack_raw(&instance, FeatureMap::CarryAware, 200, 100, &TrainConfig::default(), &mut rng);
+//! assert!(report.mean_accuracy() > 0.5, "raw responses leak structure");
+//! ```
+
+pub mod attack;
+pub mod lr;
+pub mod mlp;
+
+pub use attack::{attack_obfuscated, attack_obfuscated_with, attack_raw, AttackReport, FeatureMap};
+pub use lr::{Logistic, LogisticModel, Model, TrainConfig};
+pub use mlp::{Mlp, MlpConfig, MlpModel};

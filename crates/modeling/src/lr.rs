@@ -1,0 +1,222 @@
+//! Logistic regression with stochastic gradient descent.
+//!
+//! The standard model-building attack on delay PUFs (Rührmair et al., CCS
+//! 2010) fits a linear threshold over challenge-derived features. Plain,
+//! dependency-free SGD is plenty here: the point of the experiment is the
+//! *gap* between raw and obfuscated responses, not squeezing the last
+//! percent of attack accuracy.
+
+use rand::Rng;
+
+/// A trainable binary classifier — the interface the CRP attacks are
+/// generic over (implemented by [`Logistic`] and [`crate::mlp::Mlp`]).
+pub trait Model {
+    /// Trains on `(features, label)` pairs.
+    fn train<R: Rng + ?Sized>(&mut self, data: &[(Vec<f64>, bool)], rng: &mut R);
+    /// Hard prediction for one sample.
+    fn classify(&self, x: &[f64]) -> bool;
+
+    /// Fraction of correctly classified samples.
+    fn score(&self, data: &[(Vec<f64>, bool)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter().filter(|(x, y)| self.classify(x) == *y).count() as f64 / data.len() as f64
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Initial learning rate (decayed as 1/(1 + epoch)).
+    pub learning_rate: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 30, learning_rate: 0.05, l2: 1e-4 }
+    }
+}
+
+/// A binary logistic-regression model (weights + bias).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Logistic {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl Logistic {
+    /// Creates a zero-initialised model for `features` inputs.
+    pub fn new(features: usize) -> Self {
+        Logistic { weights: vec![0.0; features], bias: 0.0 }
+    }
+
+    /// Number of input features.
+    pub fn features(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Predicted probability of label 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the feature count.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature length mismatch");
+        let score: f64 = self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        1.0 / (1.0 + (-score).exp())
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.probability(x) >= 0.5
+    }
+
+    /// Fits the model with SGD over `(x, label)` pairs, shuffling each
+    /// epoch with `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's feature length disagrees with the model.
+    pub fn fit<R: Rng + ?Sized>(&mut self, data: &[(Vec<f64>, bool)], config: &TrainConfig, rng: &mut R) {
+        if data.is_empty() {
+            return;
+        }
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for epoch in 0..config.epochs {
+            // Fisher–Yates shuffle for per-epoch sample order.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let lr = config.learning_rate / (1.0 + epoch as f64 * 0.1);
+            for &idx in &order {
+                let (x, label) = &data[idx];
+                let p = self.probability(x);
+                let err = p - (*label as u8 as f64);
+                self.bias -= lr * err;
+                for (w, v) in self.weights.iter_mut().zip(x) {
+                    *w -= lr * (err * v + config.l2 * *w);
+                }
+            }
+        }
+    }
+
+    /// Fraction of correctly classified samples.
+    pub fn accuracy(&self, data: &[(Vec<f64>, bool)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let hits = data.iter().filter(|(x, y)| self.predict(x) == *y).count();
+        hits as f64 / data.len() as f64
+    }
+}
+
+/// A [`Logistic`] bundled with its training configuration, implementing
+/// [`Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    /// The underlying regression.
+    pub inner: Logistic,
+    /// Hyper-parameters used by [`Model::train`].
+    pub config: TrainConfig,
+}
+
+impl LogisticModel {
+    /// Creates a zero-initialised model.
+    pub fn new(features: usize, config: TrainConfig) -> Self {
+        LogisticModel { inner: Logistic::new(features), config }
+    }
+}
+
+impl Model for LogisticModel {
+    fn train<R: Rng + ?Sized>(&mut self, data: &[(Vec<f64>, bool)], rng: &mut R) {
+        self.inner.fit(data, &self.config, rng);
+    }
+
+    fn classify(&self, x: &[f64]) -> bool {
+        self.inner.predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    fn linearly_separable(n: usize, rng: &mut ChaCha8Rng) -> Vec<(Vec<f64>, bool)> {
+        // label = sign(2*x0 - x1 + 0.5*x2)
+        (0..n)
+            .map(|_| {
+                let x: Vec<f64> = (0..3).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+                let score = 2.0 * x[0] - x[1] + 0.5 * x[2];
+                (x, score > 0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_linear_concept() {
+        let mut r = rng();
+        let train = linearly_separable(400, &mut r);
+        let test = linearly_separable(200, &mut r);
+        let mut model = Logistic::new(3);
+        model.fit(&train, &TrainConfig::default(), &mut r);
+        assert!(model.accuracy(&test) > 0.97, "accuracy {}", model.accuracy(&test));
+    }
+
+    #[test]
+    fn cannot_learn_parity() {
+        // XOR of 6 balanced bits has no linear structure: accuracy ~ 0.5.
+        let mut r = rng();
+        let gen = |rng: &mut ChaCha8Rng, n: usize| -> Vec<(Vec<f64>, bool)> {
+            (0..n)
+                .map(|_| {
+                    let bits: Vec<bool> = (0..6).map(|_| rng.gen()).collect();
+                    let x: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+                    let y = bits.iter().fold(false, |a, &b| a ^ b);
+                    (x, y)
+                })
+                .collect()
+        };
+        let train = gen(&mut r, 600);
+        let test = gen(&mut r, 400);
+        let mut model = Logistic::new(6);
+        model.fit(&train, &TrainConfig::default(), &mut r);
+        let acc = model.accuracy(&test);
+        assert!((0.4..0.6).contains(&acc), "parity must be unlearnable, accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_bias_only_concept() {
+        let mut r = rng();
+        let data: Vec<(Vec<f64>, bool)> = (0..300).map(|i| (vec![0.0, 0.0], i % 10 < 8)).collect();
+        let mut model = Logistic::new(2);
+        model.fit(&data, &TrainConfig::default(), &mut r);
+        assert!(model.accuracy(&data) >= 0.79, "majority class must be captured");
+    }
+
+    #[test]
+    fn empty_fit_is_noop() {
+        let mut r = rng();
+        let mut model = Logistic::new(4);
+        let before = model.clone();
+        model.fit(&[], &TrainConfig::default(), &mut r);
+        assert_eq!(model, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn feature_length_is_checked() {
+        Logistic::new(3).probability(&[0.0; 2]);
+    }
+}

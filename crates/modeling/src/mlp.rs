@@ -1,0 +1,246 @@
+//! A small multi-layer perceptron: the stronger, nonlinear model-building
+//! attacker.
+//!
+//! Rührmair et al.'s results use logistic regression *and* more expressive
+//! learners; a single hidden layer can represent low-order XORs, so this
+//! attacker probes whether the obfuscation's security rests merely on
+//! linear inseparability (it does not: an 8-way XOR over fresh challenges
+//! per output keeps small MLPs at chance for practical CRP budgets, which
+//! the `modeling_attack` tests confirm).
+//!
+//! One hidden tanh layer + sigmoid output, trained by plain backprop SGD.
+//! Deterministic given the RNG.
+
+use rand::Rng;
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate (decayed as 1/(1 + 0.05·epoch)).
+    pub learning_rate: f64,
+    /// Weight-initialisation scale.
+    pub init_scale: f64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig { hidden: 16, epochs: 40, learning_rate: 0.05, init_scale: 0.3 }
+    }
+}
+
+/// A 1-hidden-layer perceptron for binary classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    inputs: usize,
+    hidden: usize,
+    /// `w1[h][i]`: input `i` → hidden `h`.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    /// `w2[h]`: hidden `h` → output.
+    w2: Vec<f64>,
+    b2: f64,
+}
+
+impl Mlp {
+    /// Creates a randomly initialised network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `config.hidden` is zero.
+    pub fn new<R: Rng + ?Sized>(inputs: usize, config: &MlpConfig, rng: &mut R) -> Self {
+        assert!(inputs > 0 && config.hidden > 0, "network must have inputs and hidden units");
+        let mut init = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * config.init_scale).collect()
+        };
+        let w1 = (0..config.hidden).map(|_| init(inputs)).collect();
+        let b1 = init(config.hidden);
+        let w2 = init(config.hidden);
+        Mlp { inputs, hidden: config.hidden, w1, b1, w2, b2: 0.0 }
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        debug_assert_eq!(x.len(), self.inputs);
+        let h: Vec<f64> = (0..self.hidden)
+            .map(|j| {
+                let z: f64 = self.b1[j] + self.w1[j].iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+                z.tanh()
+            })
+            .collect();
+        let z: f64 = self.b2 + self.w2.iter().zip(&h).map(|(w, v)| w * v).sum::<f64>();
+        let p = 1.0 / (1.0 + (-z).exp());
+        (h, p)
+    }
+
+    /// Predicted probability of label 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a feature-length mismatch.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.inputs, "feature length mismatch");
+        self.forward(x).1
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.probability(x) >= 0.5
+    }
+
+    /// Trains with backprop SGD, shuffling each epoch.
+    pub fn fit<R: Rng + ?Sized>(&mut self, data: &[(Vec<f64>, bool)], config: &MlpConfig, rng: &mut R) {
+        if data.is_empty() {
+            return;
+        }
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for epoch in 0..config.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let lr = config.learning_rate / (1.0 + 0.05 * epoch as f64);
+            for &idx in &order {
+                let (x, label) = &data[idx];
+                let (h, p) = self.forward(x);
+                let err = p - (*label as u8 as f64);
+                // Output layer.
+                for (w, &hv) in self.w2.iter_mut().zip(&h) {
+                    *w -= lr * err * hv;
+                }
+                self.b2 -= lr * err;
+                // Hidden layer (tanh' = 1 − h²).
+                for (((w2j, hj), w1j), b1j) in
+                    self.w2.iter().zip(&h).zip(self.w1.iter_mut()).zip(self.b1.iter_mut())
+                {
+                    let grad_h = err * w2j * (1.0 - hj * hj);
+                    for (w, &xv) in w1j.iter_mut().zip(x) {
+                        *w -= lr * grad_h * xv;
+                    }
+                    *b1j -= lr * grad_h;
+                }
+            }
+        }
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn accuracy(&self, data: &[(Vec<f64>, bool)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter().filter(|(x, y)| self.predict(x) == *y).count() as f64 / data.len() as f64
+    }
+}
+
+/// An [`Mlp`] bundled with its training configuration, implementing
+/// [`crate::lr::Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpModel {
+    /// The underlying network.
+    pub inner: Mlp,
+    /// Hyper-parameters used for training.
+    pub config: MlpConfig,
+}
+
+impl MlpModel {
+    /// Creates a randomly initialised model.
+    pub fn new<R: Rng + ?Sized>(inputs: usize, config: MlpConfig, rng: &mut R) -> Self {
+        MlpModel { inner: Mlp::new(inputs, &config, rng), config }
+    }
+}
+
+impl crate::lr::Model for MlpModel {
+    fn train<R: Rng + ?Sized>(&mut self, data: &[(Vec<f64>, bool)], rng: &mut R) {
+        self.inner.fit(data, &self.config, rng);
+    }
+
+    fn classify(&self, x: &[f64]) -> bool {
+        self.inner.predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn xor2_data(n: usize, rng: &mut ChaCha8Rng) -> Vec<(Vec<f64>, bool)> {
+        (0..n)
+            .map(|_| {
+                let a = rng.gen::<bool>();
+                let b = rng.gen::<bool>();
+                (vec![if a { 1.0 } else { -1.0 }, if b { 1.0 } else { -1.0 }], a ^ b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_xor_of_two() {
+        // The canonical not-linearly-separable problem: an MLP must crack
+        // it (logistic regression cannot).
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let train = xor2_data(400, &mut rng);
+        let test = xor2_data(200, &mut rng);
+        let config = MlpConfig { hidden: 8, epochs: 120, learning_rate: 0.1, init_scale: 0.5 };
+        let mut net = Mlp::new(2, &config, &mut rng);
+        net.fit(&train, &config, &mut rng);
+        assert!(net.accuracy(&test) > 0.95, "accuracy {}", net.accuracy(&test));
+    }
+
+    #[test]
+    fn cannot_learn_wide_xor_with_little_data() {
+        // XOR of 8 balanced bits embedded in 64 inputs, 300 samples: the
+        // regime of the obfuscated PUF attack — the net stays near chance.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let gen = |rng: &mut ChaCha8Rng, n: usize| -> Vec<(Vec<f64>, bool)> {
+            (0..n)
+                .map(|_| {
+                    let bits: Vec<bool> = (0..64).map(|_| rng.gen()).collect();
+                    let y = bits.iter().step_by(8).fold(false, |a, &b| a ^ b);
+                    (bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect(), y)
+                })
+                .collect()
+        };
+        let train = gen(&mut rng, 300);
+        let test = gen(&mut rng, 300);
+        let config = MlpConfig::default();
+        let mut net = Mlp::new(64, &config, &mut rng);
+        net.fit(&train, &config, &mut rng);
+        let acc = net.accuracy(&test);
+        assert!((0.38..0.62).contains(&acc), "wide XOR must stay near chance: {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(3);
+        let mut r2 = ChaCha8Rng::seed_from_u64(3);
+        let config = MlpConfig::default();
+        let d1 = xor2_data(50, &mut r1);
+        let d2 = xor2_data(50, &mut r2);
+        let mut n1 = Mlp::new(2, &config, &mut r1);
+        let mut n2 = Mlp::new(2, &config, &mut r2);
+        n1.fit(&d1, &config, &mut r1);
+        n2.fit(&d2, &config, &mut r2);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn empty_fit_is_noop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let config = MlpConfig::default();
+        let mut net = Mlp::new(3, &config, &mut rng);
+        let before = net.clone();
+        net.fit(&[], &config, &mut rng);
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn checks_feature_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        Mlp::new(3, &MlpConfig::default(), &mut rng).probability(&[0.0; 2]);
+    }
+}

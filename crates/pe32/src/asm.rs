@@ -1,0 +1,534 @@
+//! Two-pass assembler (and disassembler) for PE32.
+//!
+//! Syntax, one statement per line; `;` or `#` start comments:
+//!
+//! ```text
+//! ; compute 6 * 7
+//!         addi  r1, r0, 6
+//!         addi  r2, r0, 7
+//!         mul   r3, r1, r2
+//! spin:   beq   r0, r0, spin     ; labels resolve to relative offsets
+//!         halt
+//! value:  .word 0xDEADBEEF       ; literal data words
+//!         .space 8               ; 8 zero words
+//!         .equ  LIMIT 100        ; named constant, usable as an immediate
+//! ```
+//!
+//! Mnemonics: `add sub and or xor sll srl sra slt sltu mul` (+ `i`-suffixed
+//! immediate forms), `lui`, `lw rd, imm(rs1)`, `sw rs2, imm(rs1)`,
+//! `beq bne blt bge bltu bgeu`, `jal`, `jalr`, `halt`, `nop`, and the PUF
+//! extension `pstart pend pread phelp`.
+
+use crate::isa::{AluOp, BranchCond, Instruction, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A successfully assembled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Encoded memory image, starting at word address 0.
+    pub image: Vec<u32>,
+    /// Label → word-address map (useful for locating data in tests and for
+    /// the attestation adversary to find its malware region).
+    pub labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Address of a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not exist — assembling defined it or not.
+    pub fn label(&self, name: &str) -> u32 {
+        *self.labels.get(name).unwrap_or_else(|| panic!("no such label: {name}"))
+    }
+}
+
+/// Assembles PE32 source into a memory image.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (unknown mnemonic, bad
+/// operand, duplicate or unresolved label, immediate overflow).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut items: Vec<(usize, Stmt)> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut addr: u32 = 0;
+
+    // Pass 1: parse, record label addresses and .equ constants.
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find([';', '#']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        // `.equ NAME value` defines a label-like constant.
+        if let Some(rest) = text.strip_prefix(".equ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+                return Err(AsmError { line, message: ".equ needs a name and a value".into() });
+            };
+            if parts.next().is_some() {
+                return Err(AsmError { line, message: ".equ takes exactly two operands".into() });
+            }
+            let v = parse_u32(value).map_err(|m| AsmError { line, message: m })?;
+            if labels.insert(name.to_string(), v).is_some() {
+                return Err(AsmError { line, message: format!("duplicate label `{name}`") });
+            }
+            continue;
+        }
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+                return Err(AsmError { line, message: format!("invalid label `{label}`") });
+            }
+            if labels.insert(label.to_string(), addr).is_some() {
+                return Err(AsmError { line, message: format!("duplicate label `{label}`") });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let stmt = parse_stmt(text, line)?;
+        addr += stmt.size();
+        items.push((line, stmt));
+    }
+
+    // Pass 2: encode with resolved labels.
+    let mut image = Vec::with_capacity(addr as usize);
+    for (line, stmt) in items {
+        let at = image.len() as u32;
+        stmt.emit(at, &labels, &mut image).map_err(|message| AsmError { line, message })?;
+    }
+    Ok(Program { image, labels })
+}
+
+/// Disassembles a memory image; undecodable words render as `.word`.
+pub fn disassemble(image: &[u32]) -> String {
+    let mut out = String::new();
+    for (addr, &word) in image.iter().enumerate() {
+        let text = match Instruction::decode(word) {
+            Ok(inst) => inst.to_string(),
+            Err(_) => format!(".word {word:#010x}"),
+        };
+        out.push_str(&format!("{addr:6}: {text}\n"));
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Inst { mnemonic: String, operands: Vec<String> },
+    Word(u32),
+    Space(u32),
+}
+
+impl Stmt {
+    fn size(&self) -> u32 {
+        match self {
+            Stmt::Inst { .. } | Stmt::Word(_) => 1,
+            Stmt::Space(n) => *n,
+        }
+    }
+
+    fn emit(&self, at: u32, labels: &HashMap<String, u32>, image: &mut Vec<u32>) -> Result<(), String> {
+        match self {
+            Stmt::Word(w) => image.push(*w),
+            Stmt::Space(n) => image.extend(std::iter::repeat_n(0u32, *n as usize)),
+            Stmt::Inst { mnemonic, operands } => {
+                let inst = encode_inst(mnemonic, operands, at, labels)?;
+                image.push(inst.encode());
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_stmt(text: &str, line: usize) -> Result<Stmt, AsmError> {
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let head = parts.next().expect("nonempty").to_ascii_lowercase();
+    let rest = parts.next().unwrap_or("").trim();
+    match head.as_str() {
+        ".word" => {
+            let v = parse_u32(rest).map_err(|m| AsmError { line, message: m })?;
+            Ok(Stmt::Word(v))
+        }
+        ".space" => {
+            let v = parse_u32(rest).map_err(|m| AsmError { line, message: m })?;
+            Ok(Stmt::Space(v))
+        }
+        _ => {
+            let operands = if rest.is_empty() {
+                Vec::new()
+            } else {
+                rest.split(',').map(|s| s.trim().to_string()).collect()
+            };
+            Ok(Stmt::Inst { mnemonic: head, operands })
+        }
+    }
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u64>()
+    }
+    .map_err(|_| format!("invalid number `{s}`"))?;
+    if value > u32::MAX as u64 {
+        return Err(format!("number `{s}` exceeds 32 bits"));
+    }
+    Ok(if neg { (value as u32).wrapping_neg() } else { value as u32 })
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let idx = t.strip_prefix('r').ok_or_else(|| format!("expected register, got `{s}`"))?;
+    let n: u8 = idx.parse().map_err(|_| format!("invalid register `{s}`"))?;
+    if n > 15 {
+        return Err(format!("register `{s}` out of range (r0-r15)"));
+    }
+    Ok(Reg(n))
+}
+
+fn parse_imm16(s: &str, at: u32, labels: &HashMap<String, u32>, relative: bool) -> Result<i16, String> {
+    let t = s.trim();
+    if let Some(&target) = labels.get(t) {
+        let value = if relative {
+            target as i64 - (at as i64 + 1)
+        } else {
+            target as i64
+        };
+        return i16::try_from(value).map_err(|_| format!("label `{t}` out of 16-bit range ({value})"));
+    }
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let raw = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| format!("invalid immediate `{s}`"))?;
+    let value = if neg { -raw } else { raw };
+    // Accept both signed range and unsigned 16-bit literals (for lui masks).
+    if value > u16::MAX as i64 || value < i16::MIN as i64 {
+        return Err(format!("immediate `{s}` out of 16-bit range"));
+    }
+    Ok(value as u16 as i16)
+}
+
+/// Parses `imm(rs1)` memory operands.
+fn parse_mem(s: &str, labels: &HashMap<String, u32>) -> Result<(i16, Reg), String> {
+    let open = s.find('(').ok_or_else(|| format!("expected `imm(reg)`, got `{s}`"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
+    let imm_text = s[..open].trim();
+    let imm = if imm_text.is_empty() {
+        0
+    } else {
+        parse_imm16(imm_text, 0, labels, false)?
+    };
+    let reg = parse_reg(&s[open + 1..close])?;
+    Ok((imm, reg))
+}
+
+fn encode_inst(
+    mnemonic: &str,
+    ops: &[String],
+    at: u32,
+    labels: &HashMap<String, u32>,
+) -> Result<Instruction, String> {
+    let expect = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{mnemonic}` expects {n} operands, got {}", ops.len()))
+        }
+    };
+    let alu = |name: &str| -> Option<AluOp> {
+        Some(match name {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "sll" => AluOp::Sll,
+            "srl" => AluOp::Srl,
+            "sra" => AluOp::Sra,
+            "slt" => AluOp::Slt,
+            "sltu" => AluOp::Sltu,
+            "mul" => AluOp::Mul,
+            _ => return None,
+        })
+    };
+    let branch = |name: &str| -> Option<BranchCond> {
+        Some(match name {
+            "beq" => BranchCond::Eq,
+            "bne" => BranchCond::Ne,
+            "blt" => BranchCond::Lt,
+            "bge" => BranchCond::Ge,
+            "bltu" => BranchCond::Ltu,
+            "bgeu" => BranchCond::Geu,
+            _ => return None,
+        })
+    };
+
+    if let Some(op) = alu(mnemonic) {
+        expect(3)?;
+        return Ok(Instruction::Alu { op, rd: parse_reg(&ops[0])?, rs1: parse_reg(&ops[1])?, rs2: parse_reg(&ops[2])? });
+    }
+    if let Some(base) = mnemonic.strip_suffix('i') {
+        if let Some(op) = alu(base) {
+            expect(3)?;
+            return Ok(Instruction::AluImm {
+                op,
+                rd: parse_reg(&ops[0])?,
+                rs1: parse_reg(&ops[1])?,
+                imm: parse_imm16(&ops[2], at, labels, false)?,
+            });
+        }
+    }
+    if let Some(cond) = branch(mnemonic) {
+        expect(3)?;
+        return Ok(Instruction::Branch {
+            cond,
+            rs1: parse_reg(&ops[0])?,
+            rs2: parse_reg(&ops[1])?,
+            imm: parse_imm16(&ops[2], at, labels, true)?,
+        });
+    }
+    match mnemonic {
+        "lui" => {
+            expect(2)?;
+            Ok(Instruction::Lui { rd: parse_reg(&ops[0])?, imm: parse_imm16(&ops[1], at, labels, false)? as u16 })
+        }
+        "lw" => {
+            expect(2)?;
+            let (imm, rs1) = parse_mem(&ops[1], labels)?;
+            Ok(Instruction::Lw { rd: parse_reg(&ops[0])?, rs1, imm })
+        }
+        "sw" => {
+            expect(2)?;
+            let (imm, rs1) = parse_mem(&ops[1], labels)?;
+            Ok(Instruction::Sw { rs2: parse_reg(&ops[0])?, rs1, imm })
+        }
+        "jal" => {
+            expect(2)?;
+            Ok(Instruction::Jal { rd: parse_reg(&ops[0])?, imm: parse_imm16(&ops[1], at, labels, true)? })
+        }
+        "jalr" => {
+            expect(2)?;
+            Ok(Instruction::Jalr { rd: parse_reg(&ops[0])?, rs1: parse_reg(&ops[1])? })
+        }
+        "halt" => {
+            expect(0)?;
+            Ok(Instruction::Halt)
+        }
+        "nop" => {
+            expect(0)?;
+            Ok(Instruction::Nop)
+        }
+        "pstart" => {
+            expect(0)?;
+            Ok(Instruction::Pstart)
+        }
+        "pend" => {
+            expect(0)?;
+            Ok(Instruction::Pend)
+        }
+        "pread" => {
+            expect(1)?;
+            Ok(Instruction::Pread { rd: parse_reg(&ops[0])? })
+        }
+        "phelp" => {
+            expect(2)?;
+            Ok(Instruction::Phelp { rd: parse_reg(&ops[0])?, imm: parse_imm16(&ops[1], at, labels, false)? })
+        }
+        _ => Err(format!("unknown mnemonic `{mnemonic}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::isa::Reg;
+
+    #[test]
+    fn assemble_and_run_factorial() {
+        let src = r"
+            ; 5! iteratively
+            addi r1, r0, 5      ; n
+            addi r2, r0, 1      ; acc
+        loop:
+            mul  r2, r2, r1
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        ";
+        let prog = assemble(src).unwrap();
+        let mut cpu = Cpu::new(64);
+        cpu.load_program(&prog.image);
+        cpu.run(10_000).unwrap();
+        assert_eq!(cpu.reg(Reg(2)), 120);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let src = r"
+            jal r0, end
+        back:
+            halt
+        end:
+            beq r0, r0, back
+        ";
+        let prog = assemble(src).unwrap();
+        let mut cpu = Cpu::new(16);
+        cpu.load_program(&prog.image);
+        cpu.run(100).unwrap();
+        assert!(cpu.halted());
+    }
+
+    #[test]
+    fn data_directives() {
+        let src = r"
+            lw r1, value(r0)
+            halt
+        value: .word 0xCAFEBABE
+            .space 3
+        ";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.image.len(), 2 + 1 + 3);
+        assert_eq!(prog.label("value"), 2);
+        let mut cpu = Cpu::new(16);
+        cpu.load_program(&prog.image);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg(1)), 0xCAFE_BABE);
+    }
+
+    #[test]
+    fn lw_absolute_label_addressing() {
+        let src = r"
+            addi r2, r0, data
+            lw   r1, 1(r2)
+            halt
+        data: .word 10
+              .word 20
+        ";
+        let prog = assemble(src).unwrap();
+        let mut cpu = Cpu::new(16);
+        cpu.load_program(&prog.image);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg(1)), 20);
+    }
+
+    #[test]
+    fn puf_mnemonics_assemble() {
+        let src = "pstart\nadd r1, r2, r3\npend\npread r4\nphelp r5, 1\nhalt";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.image.len(), 6);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+
+        let err = assemble("addi r1, r0, 99999").unwrap_err();
+        assert!(err.message.contains("16-bit"), "{}", err.message);
+
+        let err = assemble("add r1, r2").unwrap_err();
+        assert!(err.message.contains("3 operands"));
+
+        let err = assemble("x: nop\nx: nop").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+
+        let err = assemble("add r99, r0, r0").unwrap_err();
+        assert!(err.message.contains("register"));
+    }
+
+    #[test]
+    fn equ_constants_work_as_immediates() {
+        let src = r"
+            .equ LIMIT 12
+            .equ BASE 0x40
+            addi r1, r0, LIMIT
+            addi r2, r0, BASE
+            sw   r1, 2(r2)
+            lw   r3, 2(r2)
+            halt
+        ";
+        let prog = assemble(src).unwrap();
+        let mut cpu = Cpu::new(128);
+        cpu.load_program(&prog.image);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg(1)), 12);
+        assert_eq!(cpu.reg(Reg(3)), 12);
+        assert_eq!(cpu.memory()[0x42], 12);
+    }
+
+    #[test]
+    fn equ_rejects_malformed_definitions() {
+        assert!(assemble(".equ ONLYNAME").unwrap_err().message.contains("name and a value"));
+        assert!(assemble(".equ A 1 2").unwrap_err().message.contains("exactly two"));
+        assert!(assemble(".equ A 1
+.equ A 2").unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble("; nothing\n\n   # also nothing\nhalt ; trailing\n").unwrap();
+        assert_eq!(prog.image.len(), 1);
+    }
+
+    #[test]
+    fn disassemble_round_trips_through_display() {
+        let src = "addi r1, r0, 5\nhalt\n";
+        let prog = assemble(src).unwrap();
+        let dis = disassemble(&prog.image);
+        assert!(dis.contains("addi r1, r0, 5"));
+        assert!(dis.contains("halt"));
+    }
+
+    #[test]
+    fn disassemble_marks_data_words() {
+        let dis = disassemble(&[0xFFFF_FFFF]);
+        assert!(dis.contains(".word 0xffffffff"));
+    }
+
+    #[test]
+    fn negative_hex_immediates() {
+        let prog = assemble("addi r1, r0, -0x10\nhalt").unwrap();
+        let mut cpu = Cpu::new(8);
+        cpu.load_program(&prog.image);
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(Reg(1)), (-16i32) as u32);
+    }
+}

@@ -1,0 +1,210 @@
+//! A small library of PE32 assembly programs.
+//!
+//! Used three ways: as CPU regression workloads, as "normal mode"
+//! applications for the paper's §2 claim that the PUF extension has *no
+//! performance impact on programs executed in normal mode*, and as
+//! realistic memory content for attestation scenarios (so the attested
+//! region is not just the checksum's own code).
+
+/// Iterative Fibonacci: leaves `fib(n)` in `r3`, where `n` is read from
+/// the memory cell at label `n_cell`.
+pub fn fibonacci() -> &'static str {
+    r"
+        lw   r1, n_cell(r0)      ; n
+        addi r2, r0, 0           ; fib(0)
+        addi r3, r0, 1           ; fib(1)
+        beq  r1, r0, base0
+        addi r4, r0, 1
+        beq  r1, r4, done        ; n == 1 -> r3 = 1
+    loop:
+        add  r5, r2, r3
+        add  r2, r3, r0
+        add  r3, r5, r0
+        addi r1, r1, -1
+        bne  r1, r4, loop
+        jal  r0, done
+    base0:
+        addi r3, r0, 0
+    done:
+        halt
+    n_cell: .word 10
+    "
+}
+
+/// Word-wise memcpy: copies `len` words from `src` to `dst` (labels in the
+/// image; `len` at `len_cell`).
+pub fn memcpy() -> &'static str {
+    r"
+        lw   r1, len_cell(r0)
+        addi r2, r0, src
+        addi r3, r0, dst
+    copy:
+        beq  r1, r0, done
+        lw   r4, 0(r2)
+        sw   r4, 0(r3)
+        addi r2, r2, 1
+        addi r3, r3, 1
+        addi r1, r1, -1
+        jal  r0, copy
+    done:
+        halt
+    len_cell: .word 8
+    src: .word 0x11111111
+         .word 0x22222222
+         .word 0x33333333
+         .word 0x44444444
+         .word 0x55555555
+         .word 0x66666666
+         .word 0x77777777
+         .word 0x88888888
+    dst: .space 8
+    "
+}
+
+/// A 32-bit checksum over a data block (simple add-rotate mix) — a typical
+/// sensor-node housekeeping routine. Result in `r3`.
+pub fn block_checksum() -> &'static str {
+    r"
+        addi r1, r0, data
+        lw   r2, count_cell(r0)
+        addi r3, r0, 0
+    mix:
+        beq  r2, r0, done
+        lw   r4, 0(r1)
+        add  r3, r3, r4
+        slli r5, r3, 7
+        srli r6, r3, 25
+        or   r3, r5, r6          ; rotl7
+        addi r1, r1, 1
+        addi r2, r2, -1
+        jal  r0, mix
+    done:
+        halt
+    count_cell: .word 6
+    data: .word 101
+          .word 202
+          .word 303
+          .word 404
+          .word 505
+          .word 606
+    "
+}
+
+/// Bubble sort over a small array (in place). Demonstrates nested loops
+/// and is the heaviest normal-mode workload in the library.
+pub fn bubble_sort() -> &'static str {
+    r"
+        lw   r1, count_cell(r0)   ; n
+        addi r1, r1, -1           ; outer = n - 1
+    outer:
+        beq  r1, r0, done
+        addi r2, r0, 0            ; i = 0
+    inner:
+        bge  r2, r1, outer_next
+        addi r3, r2, arr
+        lw   r4, 0(r3)
+        lw   r5, 1(r3)
+        bge  r5, r4, no_swap      ; already ordered (signed)
+        sw   r5, 0(r3)
+        sw   r4, 1(r3)
+    no_swap:
+        addi r2, r2, 1
+        jal  r0, inner
+    outer_next:
+        addi r1, r1, -1
+        jal  r0, outer
+    done:
+        halt
+    count_cell: .word 8
+    arr: .word 42
+         .word 7
+         .word 99
+         .word 1
+         .word 64
+         .word 23
+         .word 88
+         .word 15
+    "
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::cpu::Cpu;
+    use crate::isa::Reg;
+    use crate::puf_port::MockPufPort;
+
+    fn run(src: &str) -> Cpu {
+        let program = assemble(src).expect("program assembles");
+        let mut cpu = Cpu::new(512);
+        cpu.load_program(&program.image);
+        cpu.run(1_000_000).expect("program halts");
+        cpu
+    }
+
+    #[test]
+    fn fibonacci_computes() {
+        let cpu = run(fibonacci());
+        assert_eq!(cpu.reg(Reg(3)), 55, "fib(10)");
+    }
+
+    #[test]
+    fn memcpy_copies() {
+        let src = memcpy();
+        let program = assemble(src).unwrap();
+        let mut cpu = Cpu::new(512);
+        cpu.load_program(&program.image);
+        cpu.run(1_000_000).unwrap();
+        let s = program.label("src");
+        let d = program.label("dst");
+        for i in 0..8 {
+            assert_eq!(cpu.load_word(d + i).unwrap(), cpu.load_word(s + i).unwrap(), "word {i}");
+        }
+    }
+
+    #[test]
+    fn checksum_mixes_all_words() {
+        let base = run(block_checksum()).reg(Reg(3));
+        // Changing any data word changes the result.
+        let program_src = block_checksum().replace(".word 303", ".word 304");
+        let changed = run(&program_src).reg(Reg(3));
+        assert_ne!(base, changed);
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let src = bubble_sort();
+        let program = assemble(src).unwrap();
+        let mut cpu = Cpu::new(512);
+        cpu.load_program(&program.image);
+        cpu.run(1_000_000).unwrap();
+        let arr = program.label("arr");
+        let values: Vec<u32> = (0..8).map(|i| cpu.load_word(arr + i).unwrap()).collect();
+        let mut sorted = values.clone();
+        sorted.sort();
+        assert_eq!(values, sorted, "array must be sorted ascending");
+    }
+
+    /// Paper §2: "Since the PUF operation is performed in PUF mode, there
+    /// is no performance impact on programs executed in normal mode." The
+    /// same binary must take exactly the same cycles with or without a PUF
+    /// attached.
+    #[test]
+    fn puf_extension_has_no_normal_mode_cost() {
+        for src in [fibonacci(), memcpy(), block_checksum(), bubble_sort()] {
+            let program = assemble(src).unwrap();
+
+            let mut plain = Cpu::new(512);
+            plain.load_program(&program.image);
+            let plain_cycles = plain.run(1_000_000).unwrap().cycles;
+
+            let mut with_puf = Cpu::new(512);
+            with_puf.attach_puf(Box::new(MockPufPort::new()));
+            with_puf.load_program(&program.image);
+            let puf_cycles = with_puf.run(1_000_000).unwrap().cycles;
+
+            assert_eq!(plain_cycles, puf_cycles, "PUF port must be invisible in normal mode");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The CPU ↔ PUF interface.
+//!
+//! The paper couples the ALU PUF to the pipeline through two instructions:
+//! `pstart` switches the redundant ALUs into PUF mode, subsequent `add`
+//! instructions race their operands through both ALUs, and `pend` pushes
+//! the accumulated raw responses through the post-processing logic
+//! (error-correction syndrome generator + obfuscation network) and latches
+//! the output `z` and the helper data.
+//!
+//! The CPU crate only defines the *port*; the real implementation (backed
+//! by the simulated ALU PUF and the BCH\[32,6,16\] pipeline) lives in the
+//! `pufatt` core crate, keeping this crate free of PUF dependencies.
+
+/// Result of a `pend`: the obfuscated output and the helper words the
+/// attestation protocol transmits to the verifier.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PufOutput {
+    /// The obfuscated PUF output `z` (readable via `pread`).
+    pub z: u32,
+    /// Helper-data words (readable via `phelp`), one 26-bit syndrome per
+    /// raw response, packed into `u32`s.
+    pub helper: Vec<u32>,
+}
+
+/// A device attached to the CPU's PUF port.
+pub trait PufPort {
+    /// `pstart`: reset the challenge buffer and enter PUF mode.
+    fn start(&mut self);
+
+    /// A PUF-mode `add` issued `(a, b)` as a challenge.
+    fn challenge(&mut self, a: u32, b: u32);
+
+    /// `pend`: run post-processing over the buffered responses.
+    fn finalize(&mut self) -> PufOutput;
+}
+
+/// A deterministic stand-in PUF for CPU-level tests: `z` is a mix of all
+/// buffered challenges, helper data is the challenge count.
+///
+/// Not a PUF at all (pure function of the challenges) — exists so `pe32`
+/// can be tested without the silicon stack.
+#[derive(Debug, Clone, Default)]
+pub struct MockPufPort {
+    buffer: Vec<(u32, u32)>,
+    /// Challenges observed by the last finalized session.
+    pub last_session: Vec<(u32, u32)>,
+}
+
+impl MockPufPort {
+    /// Creates an empty mock port.
+    pub fn new() -> Self {
+        MockPufPort::default()
+    }
+}
+
+impl PufPort for MockPufPort {
+    fn start(&mut self) {
+        self.buffer.clear();
+    }
+
+    fn challenge(&mut self, a: u32, b: u32) {
+        self.buffer.push((a, b));
+    }
+
+    fn finalize(&mut self) -> PufOutput {
+        let mut z = 0x9E37_79B9u32;
+        for &(a, b) in &self.buffer {
+            z = z.rotate_left(5) ^ a.wrapping_add(b.rotate_left(13));
+        }
+        let out = PufOutput { z, helper: vec![self.buffer.len() as u32] };
+        self.last_session = std::mem::take(&mut self.buffer);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_is_deterministic() {
+        let mut a = MockPufPort::new();
+        let mut b = MockPufPort::new();
+        for p in [&mut a, &mut b] {
+            p.start();
+            p.challenge(1, 2);
+            p.challenge(3, 4);
+        }
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn start_clears_previous_session() {
+        let mut p = MockPufPort::new();
+        p.start();
+        p.challenge(1, 1);
+        let z1 = p.finalize();
+        p.start();
+        p.challenge(1, 1);
+        assert_eq!(p.finalize(), z1, "same challenges, same output");
+        p.start();
+        p.challenge(2, 2);
+        assert_ne!(p.finalize(), z1, "different challenges, different output");
+    }
+
+    #[test]
+    fn helper_reports_challenge_count() {
+        let mut p = MockPufPort::new();
+        p.start();
+        for i in 0..5 {
+            p.challenge(i, i);
+        }
+        assert_eq!(p.finalize().helper, vec![5]);
+    }
+}

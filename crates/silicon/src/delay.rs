@@ -1,0 +1,275 @@
+//! Gate delay modelling.
+//!
+//! The paper computes gate delays under process variation using the
+//! near-threshold delay model of Markovic et al. (Proc. IEEE 2010): CMOS gate
+//! delay follows the alpha-power law
+//!
+//! ```text
+//! t_d  ∝  Vdd / (Vdd − Vth)^α
+//! ```
+//!
+//! with the velocity-saturation index α ≈ 1.3 at 45 nm. Temperature enters
+//! twice and with opposite signs — carrier mobility degrades with temperature
+//! (slower) while the threshold voltage drops (faster) — which is why
+//! symmetric paths track each other so well across corners (the paper's
+//! robustness argument).
+
+use crate::env::Environment;
+use crate::netlist::{GateKind, Netlist};
+
+/// Technology parameters for the delay model (defaults model a 45 nm node,
+/// the node targeted by the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Nominal supply voltage in volts.
+    pub vdd_nominal: f64,
+    /// Nominal (mean) threshold voltage in volts.
+    pub vth_nominal: f64,
+    /// Alpha-power-law velocity-saturation index.
+    pub alpha: f64,
+    /// Threshold-voltage temperature coefficient in V/°C (negative: V_th
+    /// drops as the die heats up).
+    pub vth_temp_coeff: f64,
+    /// Mobility temperature exponent: mobility ∝ T^(−µ_exp), so delay scales
+    /// with (T/T₀)^µ_exp.
+    pub mobility_temp_exp: f64,
+    /// Reference temperature in °C.
+    pub temp_nominal_c: f64,
+    /// Extra delay per fanout beyond the first, as a fraction of the
+    /// intrinsic delay (a linear load model).
+    pub fanout_penalty: f64,
+    /// Interconnect delay per micrometre of Manhattan distance between a
+    /// driver and its sinks (0 = lumped model, the default — adequate for
+    /// the paper's small, tightly-placed PUF macros; set it for
+    /// placement-sensitive studies).
+    pub wire_ps_per_um: f64,
+}
+
+impl Technology {
+    /// 45 nm bulk CMOS, the node used in the paper's simulations.
+    pub fn node_45nm() -> Self {
+        Technology {
+            vdd_nominal: 1.0,
+            vth_nominal: 0.40,
+            alpha: 1.3,
+            vth_temp_coeff: -1.0e-3,
+            mobility_temp_exp: 1.5,
+            temp_nominal_c: 25.0,
+            fanout_penalty: 0.15,
+            wire_ps_per_um: 0.0,
+        }
+    }
+
+    /// A 45 nm variant with distributed interconnect (0.3 ps/µm — a
+    /// mid-metal-layer RC figure), for placement-sensitivity studies.
+    pub fn node_45nm_with_interconnect() -> Self {
+        Technology { wire_ps_per_um: 0.3, ..Technology::node_45nm() }
+    }
+
+    /// Intrinsic (unloaded, nominal-corner) delay of a gate kind in
+    /// picoseconds. Values are representative 45 nm standard-cell delays.
+    pub fn intrinsic_delay_ps(&self, kind: GateKind) -> f64 {
+        match kind {
+            GateKind::Buf => 10.0,
+            GateKind::Not => 7.0,
+            GateKind::Nand2 => 12.0,
+            GateKind::Nor2 => 14.0,
+            GateKind::And2 => 16.0,
+            GateKind::Or2 => 17.0,
+            GateKind::Xor2 => 24.0,
+            GateKind::Xnor2 => 24.0,
+        }
+    }
+
+    /// Raw alpha-power-law factor `Vdd / (Vdd − Vth)^α` at an operating
+    /// point, for a device with threshold voltage `vth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device would not switch (`Vdd <= Vth`), which is outside
+    /// the model's validity range.
+    pub fn alpha_power_factor(&self, vth: f64, env: &Environment) -> f64 {
+        let vdd = self.vdd_nominal * env.vdd_factor;
+        let vth_eff = vth + self.vth_temp_coeff * (env.temp_c - self.temp_nominal_c);
+        let overdrive = vdd - vth_eff;
+        assert!(overdrive > 0.0, "device does not switch: Vdd {vdd} <= Vth {vth_eff}");
+        let mobility = ((env.temp_c + 273.15) / (self.temp_nominal_c + 273.15)).powf(self.mobility_temp_exp);
+        mobility * vdd / overdrive.powf(self.alpha)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::node_45nm()
+    }
+}
+
+/// Computes per-gate propagation delays for a netlist.
+///
+/// A `DelayModel` combines the [`Technology`] with per-gate threshold
+/// voltages (from the process-variation model) and an operating point.
+#[derive(Debug, Clone)]
+pub struct DelayModel<'a> {
+    technology: &'a Technology,
+}
+
+impl<'a> DelayModel<'a> {
+    /// Creates a delay model over a technology.
+    pub fn new(technology: &'a Technology) -> Self {
+        DelayModel { technology }
+    }
+
+    /// Delay in picoseconds of one gate given its threshold voltage,
+    /// fanout and the operating point.
+    pub fn gate_delay_ps(&self, kind: GateKind, vth: f64, fanout: u32, env: &Environment) -> f64 {
+        let t = self.technology;
+        let intrinsic = t.intrinsic_delay_ps(kind);
+        let norm = t.alpha_power_factor(t.vth_nominal, &Environment::nominal());
+        let factor = t.alpha_power_factor(vth, env) / norm;
+        let load = 1.0 + t.fanout_penalty * (fanout.saturating_sub(1) as f64);
+        intrinsic * factor * load
+    }
+
+    /// Computes the delay of every gate in `netlist`, where `vth[g]` is the
+    /// per-gate threshold voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vth.len()` differs from the gate count.
+    pub fn netlist_delays_ps(&self, netlist: &Netlist, vth: &[f64], env: &Environment) -> Vec<f64> {
+        assert_eq!(vth.len(), netlist.gate_count(), "one Vth per gate required");
+        let fanout = netlist.fanout_counts();
+        let wire = self.technology.wire_ps_per_um;
+        let fanouts = if wire > 0.0 { Some(netlist.fanouts()) } else { None };
+        netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .zip(vth)
+            .map(|((gi, g), &v)| {
+                let mut d = self.gate_delay_ps(g.kind, v, fanout[g.output.index()], env);
+                if let Some(fo) = &fanouts {
+                    // Interconnect: mean Manhattan distance to the sinks of
+                    // this gate's output net.
+                    let sinks = &fo[g.output.index()];
+                    if !sinks.is_empty() {
+                        let from = netlist.gates()[gi].placement;
+                        let total: f64 = sinks
+                            .iter()
+                            .map(|&sid| {
+                                let to = netlist.gate_at(sid).placement;
+                                (from.x - to.x).abs() + (from.y - to.y).abs()
+                            })
+                            .sum();
+                        d += wire * total / sinks.len() as f64;
+                    }
+                }
+                d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::node_45nm()
+    }
+
+    #[test]
+    fn nominal_factor_is_one() {
+        let t = tech();
+        let m = DelayModel::new(&t);
+        let d = m.gate_delay_ps(GateKind::Xor2, t.vth_nominal, 1, &Environment::nominal());
+        assert!((d - t.intrinsic_delay_ps(GateKind::Xor2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_vth_is_slower() {
+        let t = tech();
+        let m = DelayModel::new(&t);
+        let env = Environment::nominal();
+        let slow = m.gate_delay_ps(GateKind::Nand2, 0.44, 1, &env);
+        let fast = m.gate_delay_ps(GateKind::Nand2, 0.36, 1, &env);
+        assert!(slow > fast, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn lower_vdd_is_slower() {
+        let t = tech();
+        let m = DelayModel::new(&t);
+        let nom = m.gate_delay_ps(GateKind::Nand2, t.vth_nominal, 1, &Environment::nominal());
+        let low = m.gate_delay_ps(GateKind::Nand2, t.vth_nominal, 1, &Environment::with_vdd(0.9));
+        let high = m.gate_delay_ps(GateKind::Nand2, t.vth_nominal, 1, &Environment::with_vdd(1.1));
+        assert!(low > nom && nom > high);
+    }
+
+    #[test]
+    fn fanout_increases_delay_linearly() {
+        let t = tech();
+        let m = DelayModel::new(&t);
+        let env = Environment::nominal();
+        let d1 = m.gate_delay_ps(GateKind::And2, t.vth_nominal, 1, &env);
+        let d3 = m.gate_delay_ps(GateKind::And2, t.vth_nominal, 3, &env);
+        assert!((d3 / d1 - (1.0 + 2.0 * t.fanout_penalty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_effects_partially_cancel() {
+        // Mobility degradation and Vth reduction oppose each other; the net
+        // delay shift over the paper's whole range stays moderate (< 40 %).
+        let t = tech();
+        let m = DelayModel::new(&t);
+        let nom = m.gate_delay_ps(GateKind::Xor2, t.vth_nominal, 1, &Environment::nominal());
+        for corner in Environment::temperature_sweep(8) {
+            let d = m.gate_delay_ps(GateKind::Xor2, t.vth_nominal, 1, &corner);
+            let ratio = d / nom;
+            assert!((0.6..1.4).contains(&ratio), "ratio {ratio} at {corner}");
+        }
+    }
+
+    #[test]
+    fn netlist_delays_cover_every_gate() {
+        let t = tech();
+        let m = DelayModel::new(&t);
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor2(a, b);
+        let _y = nl.and2(x, b);
+        let d = m.netlist_delays_ps(&nl, &[t.vth_nominal, t.vth_nominal], &Environment::nominal());
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn wire_delay_is_zero_by_default_and_scales_with_distance() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.place_at(0.0, 0.0);
+        let n1 = nl.not(a);
+        nl.place_at(50.0, 0.0);
+        let _far_sink = nl.not(n1); // 50 µm from its driver
+        let vth = vec![0.40; nl.gate_count()];
+        let env = Environment::nominal();
+
+        let lumped = Technology::node_45nm();
+        let d0 = DelayModel::new(&lumped).netlist_delays_ps(&nl, &vth, &env);
+
+        let wired = Technology::node_45nm_with_interconnect();
+        let d1 = DelayModel::new(&wired).netlist_delays_ps(&nl, &vth, &env);
+        // The driver of the 50 µm net pays 0.3 ps/µm × 50 µm = 15 ps extra.
+        assert!((d1[0] - d0[0] - 15.0).abs() < 1e-9, "wire delay: {} vs {}", d1[0], d0[0]);
+        // The sink gate drives nothing: no wire penalty.
+        assert!((d1[1] - d0[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not switch")]
+    fn rejects_subthreshold_supply() {
+        let t = tech();
+        t.alpha_power_factor(0.9, &Environment::with_vdd(0.9));
+    }
+}

@@ -1,0 +1,125 @@
+//! Graphviz DOT export for netlists.
+//!
+//! Debugging a delay race is much easier with a picture. `to_dot` renders
+//! the gate graph; `to_dot_with_delays` additionally colours gates by
+//! their delay (slow = red), which makes a chip's unique delay fingerprint
+//! visible at a glance.
+
+use crate::netlist::{NetId, Netlist};
+use std::fmt::Write;
+
+/// Renders the netlist as a Graphviz digraph. Primary inputs and outputs
+/// become box nodes; gates become ellipses labelled with their kind.
+pub fn to_dot(netlist: &Netlist) -> String {
+    to_dot_inner(netlist, None)
+}
+
+/// Like [`to_dot`], colouring each gate by its delay relative to the
+/// slowest gate (white → red).
+///
+/// # Panics
+///
+/// Panics if `delays_ps.len()` differs from the gate count.
+pub fn to_dot_with_delays(netlist: &Netlist, delays_ps: &[f64]) -> String {
+    assert_eq!(delays_ps.len(), netlist.gate_count(), "one delay per gate required");
+    to_dot_inner(netlist, Some(delays_ps))
+}
+
+fn to_dot_inner(netlist: &Netlist, delays: Option<&[f64]>) -> String {
+    let mut out = String::from("digraph netlist {\n  rankdir=LR;\n  node [fontsize=9];\n");
+    let max_delay = delays.map(|d| d.iter().copied().fold(1e-9, f64::max)).unwrap_or(1.0);
+
+    let net_name = |n: NetId| -> String {
+        netlist.net(n).name.clone().unwrap_or_else(|| format!("{n}"))
+    };
+
+    for &pi in netlist.primary_inputs() {
+        writeln!(out, "  \"{}\" [shape=box, style=filled, fillcolor=lightblue];", net_name(pi)).expect("write");
+    }
+    for &po in netlist.primary_outputs() {
+        // Outputs driven by gates get their own sink node to keep the graph
+        // readable; label with the port name.
+        writeln!(out, "  \"out_{0}\" [shape=box, label=\"{0}\", style=filled, fillcolor=lightyellow];", net_name(po))
+            .expect("write");
+    }
+    for (gid, gate) in netlist.topological_gates() {
+        let color = match delays {
+            Some(d) => {
+                let heat = (d[gid.index()] / max_delay).clamp(0.0, 1.0);
+                let green_blue = (255.0 * (1.0 - heat)) as u8;
+                format!("#ff{green_blue:02x}{green_blue:02x}")
+            }
+            None => "#eeeeee".to_string(),
+        };
+        writeln!(out, "  \"{gid}\" [label=\"{} {gid}\", style=filled, fillcolor=\"{color}\"];", gate.kind)
+            .expect("write");
+        for input in gate.input_nets() {
+            match netlist.net(input).driver {
+                Some(src) => writeln!(out, "  \"{src}\" -> \"{gid}\";").expect("write"),
+                None => writeln!(out, "  \"{}\" -> \"{gid}\";", net_name(input)).expect("write"),
+            }
+        }
+    }
+    for &po in netlist.primary_outputs() {
+        match netlist.net(po).driver {
+            Some(src) => writeln!(out, "  \"{src}\" -> \"out_{}\";", net_name(po)).expect("write"),
+            None => writeln!(out, "  \"{}\" -> \"out_{}\";", net_name(po), net_name(po)).expect("write"),
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ripple_carry_adder;
+
+    fn adder() -> Netlist {
+        let mut nl = Netlist::new();
+        ripple_carry_adder(&mut nl, 4, "alu");
+        nl
+    }
+
+    #[test]
+    fn dot_contains_all_gates_and_ports() {
+        let nl = adder();
+        let dot = to_dot(&nl);
+        assert!(dot.starts_with("digraph netlist {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for (gid, _) in nl.topological_gates() {
+            assert!(dot.contains(&format!("\"{gid}\"")), "gate {gid} missing");
+        }
+        assert!(dot.contains("alu_a[0]"), "input ports labelled");
+        assert!(dot.contains("alu_s[3]"), "output ports labelled");
+        // 5 gates per FA x 4 slices.
+        assert_eq!(dot.matches("XOR2").count(), 8);
+    }
+
+    #[test]
+    fn delay_colouring_marks_the_slowest_gate_red() {
+        let nl = adder();
+        let mut delays = vec![5.0; nl.gate_count()];
+        delays[7] = 50.0;
+        let dot = to_dot_with_delays(&nl, &delays);
+        assert!(dot.contains("#ff0000"), "max-delay gate must be pure red");
+        assert!(dot.contains("#ffe5e5"), "fast gates stay near white");
+    }
+
+    #[test]
+    fn edge_count_matches_fanin() {
+        let nl = adder();
+        let dot = to_dot(&nl);
+        let gate_edges = dot.matches("->").count();
+        // Every gate input contributes one edge + one edge per primary
+        // output sink.
+        let fanin: usize = nl.gates().iter().map(|g| g.kind.arity()).sum();
+        assert_eq!(gate_edges, fanin + nl.primary_outputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per gate")]
+    fn delay_length_checked() {
+        to_dot_with_delays(&adder(), &[1.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Operating conditions: supply voltage and temperature.
+//!
+//! The paper's robustness study (Fig. 4) sweeps the supply voltage from 90 %
+//! to 110 % of nominal and the die temperature from −20 °C to +120 °C.
+
+use std::fmt;
+
+/// An operating point of the chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// Supply voltage as a fraction of nominal V_dd (1.0 = nominal).
+    pub vdd_factor: f64,
+    /// Die temperature in degrees Celsius.
+    pub temp_c: f64,
+}
+
+impl Environment {
+    /// Nominal conditions: 100 % V_dd, 25 °C.
+    pub fn nominal() -> Self {
+        Environment { vdd_factor: 1.0, temp_c: 25.0 }
+    }
+
+    /// Creates an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd_factor` is not within the physically sensible
+    /// (0.5, 1.5) range or `temp_c` outside (−60, 200) °C.
+    pub fn new(vdd_factor: f64, temp_c: f64) -> Self {
+        assert!((0.5..=1.5).contains(&vdd_factor), "vdd_factor {vdd_factor} out of range");
+        assert!((-60.0..=200.0).contains(&temp_c), "temp_c {temp_c} out of range");
+        Environment { vdd_factor, temp_c }
+    }
+
+    /// Voltage corner at nominal temperature.
+    pub fn with_vdd(vdd_factor: f64) -> Self {
+        Environment::new(vdd_factor, 25.0)
+    }
+
+    /// Temperature corner at nominal voltage.
+    pub fn with_temp(temp_c: f64) -> Self {
+        Environment::new(1.0, temp_c)
+    }
+
+    /// The paper's voltage sweep: 90 % to 110 % of nominal V_dd.
+    pub fn voltage_sweep(steps: usize) -> Vec<Environment> {
+        assert!(steps >= 2, "need at least two sweep points");
+        (0..steps)
+            .map(|i| {
+                let f = 0.9 + 0.2 * (i as f64) / (steps as f64 - 1.0);
+                Environment::with_vdd(f)
+            })
+            .collect()
+    }
+
+    /// The paper's temperature sweep: −20 °C to +120 °C.
+    pub fn temperature_sweep(steps: usize) -> Vec<Environment> {
+        assert!(steps >= 2, "need at least two sweep points");
+        (0..steps)
+            .map(|i| {
+                let t = -20.0 + 140.0 * (i as f64) / (steps as f64 - 1.0);
+                Environment::with_temp(t)
+            })
+            .collect()
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment::nominal()
+    }
+}
+
+impl fmt::Display for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}% Vdd, {:.0}degC", self.vdd_factor * 100.0, self.temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_default() {
+        assert_eq!(Environment::default(), Environment::nominal());
+    }
+
+    #[test]
+    fn sweeps_cover_paper_ranges() {
+        let v = Environment::voltage_sweep(5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0].vdd_factor - 0.9).abs() < 1e-12);
+        assert!((v[4].vdd_factor - 1.1).abs() < 1e-12);
+        let t = Environment::temperature_sweep(8);
+        assert!((t[0].temp_c - -20.0).abs() < 1e-12);
+        assert!((t[7].temp_c - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unphysical_voltage() {
+        Environment::new(0.1, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unphysical_temperature() {
+        Environment::new(1.0, 500.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Circuit generators.
+//!
+//! Generators append a subcircuit to a [`Netlist`] and return its port nets.
+//! The ripple-carry adder is the paper's ALU datapath: the PUF races the
+//! carry-propagation of two identical copies of it. Placement is emitted in
+//! a bit-sliced column layout so the variation model sees realistic
+//! geometry.
+
+use crate::netlist::{NetId, Netlist};
+
+/// Horizontal pitch of one adder bit slice in µm.
+const BIT_PITCH_UM: f64 = 2.0;
+/// Vertical pitch between gate rows within a slice in µm.
+const ROW_PITCH_UM: f64 = 1.0;
+
+/// Ports of a generated full adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullAdderPorts {
+    /// Sum output.
+    pub sum: NetId,
+    /// Carry output.
+    pub carry: NetId,
+}
+
+/// Appends a full adder (2 XOR, 2 AND, 1 OR — the textbook 5-gate form whose
+/// carry chain the ALU PUF races) at the current placement cursor.
+pub fn full_adder(netlist: &mut Netlist, a: NetId, b: NetId, cin: NetId) -> FullAdderPorts {
+    let axb = netlist.xor2(a, b);
+    let sum = netlist.xor2(axb, cin);
+    let t1 = netlist.and2(axb, cin);
+    let t2 = netlist.and2(a, b);
+    let carry = netlist.or2(t1, t2);
+    FullAdderPorts { sum, carry }
+}
+
+/// Ports of a generated ripple-carry adder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RcaPorts {
+    /// Operand A input bus (LSB first).
+    pub a: Vec<NetId>,
+    /// Operand B input bus (LSB first).
+    pub b: Vec<NetId>,
+    /// Carry-in input.
+    pub cin: NetId,
+    /// Sum output bus (LSB first).
+    pub sum: Vec<NetId>,
+    /// Carry-out output.
+    pub cout: NetId,
+}
+
+impl RcaPorts {
+    /// Adder operand width in bits.
+    pub fn width(&self) -> usize {
+        self.a.len()
+    }
+}
+
+/// Appends an `n`-bit ripple-carry adder with fresh primary inputs named
+/// `"{prefix}_a"`, `"{prefix}_b"`, `"{prefix}_cin"` and outputs
+/// `"{prefix}_s"`, `"{prefix}_cout"`.
+///
+/// Bit slice `i` is placed at `x = i · 2 µm` relative to the current
+/// placement cursor.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 64` (results are extracted as `u64` words).
+pub fn ripple_carry_adder(netlist: &mut Netlist, n: usize, prefix: &str) -> RcaPorts {
+    let a = netlist.input_bus(&format!("{prefix}_a"), n);
+    let b = netlist.input_bus(&format!("{prefix}_b"), n);
+    let cin = netlist.input(format!("{prefix}_cin"));
+    ripple_carry_adder_at(netlist, &a, &b, cin, prefix, 0.0)
+}
+
+/// Like [`ripple_carry_adder`] but re-uses existing nets as operands, so two
+/// adders can share their inputs — exactly the ALU PUF topology, where one
+/// synchronised launch feeds both ALUs. `row_um` offsets the adder's row on
+/// the die so redundant ALUs sit in adjacent rows, as in the paper's layout.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different widths, are empty or wider than 64.
+pub fn ripple_carry_adder_shared(
+    netlist: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+    prefix: &str,
+    row_um: f64,
+) -> RcaPorts {
+    ripple_carry_adder_at(netlist, a, b, cin, prefix, row_um)
+}
+
+fn ripple_carry_adder_at(
+    netlist: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+    prefix: &str,
+    row_um: f64,
+) -> RcaPorts {
+    let n = a.len();
+    assert!(n > 0, "adder width must be positive");
+    assert!(n <= 64, "adder width {n} exceeds 64");
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+
+    let mut sum = Vec::with_capacity(n);
+    let mut carry = cin;
+    for i in 0..n {
+        // Bit slice i occupies one standard-cell column at x = i * pitch.
+        netlist.place_at(i as f64 * BIT_PITCH_UM, row_um + ROW_PITCH_UM);
+        let fa = full_adder(netlist, a[i], b[i], carry);
+        sum.push(fa.sum);
+        carry = fa.carry;
+    }
+    for (i, &s) in sum.iter().enumerate() {
+        netlist.mark_output(s, format!("{prefix}_s[{i}]"));
+    }
+    netlist.mark_output(carry, format!("{prefix}_cout"));
+    RcaPorts { a: a.to_vec(), b: b.to_vec(), cin, sum, cout: carry }
+}
+
+/// Appends a balanced XOR reduction tree over `inputs`, returning the root.
+///
+/// Used for the obfuscation network's resource model.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn xor_tree(netlist: &mut Netlist, inputs: &[NetId]) -> NetId {
+    assert!(!inputs.is_empty(), "xor tree needs at least one input");
+    let mut layer: Vec<NetId> = inputs.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(netlist.xor2(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Appends a chain of `stages` buffers (a programmable-delay-line segment)
+/// and returns the chain output.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn buffer_chain(netlist: &mut Netlist, input: NetId, stages: usize) -> NetId {
+    assert!(stages > 0, "buffer chain needs at least one stage");
+    let mut n = input;
+    for _ in 0..stages {
+        n = netlist.buf(n);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let mut nl = Netlist::new();
+                    let ia = nl.input("a");
+                    let ib = nl.input("b");
+                    let ic = nl.input("c");
+                    let fa = full_adder(&mut nl, ia, ib, ic);
+                    let v = nl.evaluate(&[a, b, c]);
+                    let total = a as u8 + b as u8 + c as u8;
+                    assert_eq!(v[fa.sum.index()], total & 1 == 1);
+                    assert_eq!(v[fa.carry.index()], total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rca_adds_exhaustively_4bit() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 4, "alu");
+        nl.validate().unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                for cin in 0u64..2 {
+                    let mut iv = nl.input_vector(&[(&p.a, a), (&p.b, b)]);
+                    // cin is a single net; find its position.
+                    let pos = nl.primary_inputs().iter().position(|&x| x == p.cin).unwrap();
+                    iv[pos] = cin == 1;
+                    let v = nl.evaluate(&iv);
+                    let s = Netlist::word_of(&v, &p.sum);
+                    let co = v[p.cout.index()] as u64;
+                    assert_eq!(s + (co << 4), a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rca_random_32bit() {
+        use rand::{Rng, SeedableRng};
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 32, "alu");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..200 {
+            let a: u64 = rng.gen::<u32>() as u64;
+            let b: u64 = rng.gen::<u32>() as u64;
+            let iv = nl.input_vector(&[(&p.a, a), (&p.b, b)]);
+            let v = nl.evaluate(&iv);
+            let s = Netlist::word_of(&v, &p.sum);
+            let co = v[p.cout.index()] as u64;
+            assert_eq!(s | (co << 32), a + b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn rca_gate_count_is_5n() {
+        let mut nl = Netlist::new();
+        ripple_carry_adder(&mut nl, 16, "alu");
+        assert_eq!(nl.gate_count(), 5 * 16);
+    }
+
+    #[test]
+    fn shared_inputs_drive_two_adders() {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let cin = nl.input("cin");
+        let p0 = ripple_carry_adder_shared(&mut nl, &a, &b, cin, "alu0", 0.0);
+        let p1 = ripple_carry_adder_shared(&mut nl, &a, &b, cin, "alu1", 8.0);
+        let iv = nl.input_vector(&[(&a, 200), (&b, 100)]);
+        let v = nl.evaluate(&iv);
+        assert_eq!(Netlist::word_of(&v, &p0.sum), Netlist::word_of(&v, &p1.sum));
+        assert_eq!(Netlist::word_of(&v, &p0.sum), (200 + 100) & 0xFF);
+    }
+
+    #[test]
+    fn xor_tree_computes_parity() {
+        let mut nl = Netlist::new();
+        let xs = nl.input_bus("x", 7);
+        let root = xor_tree(&mut nl, &xs);
+        for val in 0u64..128 {
+            let iv = nl.input_vector(&[(&xs, val)]);
+            let v = nl.evaluate(&iv);
+            assert_eq!(v[root.index()], val.count_ones() % 2 == 1, "val {val}");
+        }
+    }
+
+    #[test]
+    fn buffer_chain_is_identity() {
+        let mut nl = Netlist::new();
+        let x = nl.input("x");
+        let out = buffer_chain(&mut nl, x, 16);
+        for b in [false, true] {
+            let v = nl.evaluate(&[b]);
+            assert_eq!(v[out.index()], b);
+        }
+        assert_eq!(nl.gate_count(), 16);
+    }
+}

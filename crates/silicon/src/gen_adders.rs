@@ -1,0 +1,267 @@
+//! Alternative adder architectures.
+//!
+//! The paper builds its PUF from ripple-carry adders because "ripple-carry
+//! adders … are basic ALU components" whose long carry chains accumulate
+//! per-gate variation. Real ALUs also use faster structures; these
+//! generators let the reproduction ask the design-space question the paper
+//! leaves open: *how much PUF quality does a faster adder give up?*
+//!
+//! * [`carry_lookahead_adder_shared`] — 4-bit-group CLA: short, balanced
+//!   paths (good for speed, less accumulated variation per output).
+//! * [`carry_select_adder_shared`] — 4-bit blocks computed for both carry
+//!   hypotheses and muxed; path lengths in between.
+//!
+//! Both produce the same [`RcaPorts`] interface as the ripple-carry
+//! generator, so the ALU PUF can instantiate any of them.
+
+use crate::gen::{full_adder, RcaPorts};
+use crate::netlist::{NetId, Netlist};
+
+/// Group size for CLA groups and carry-select blocks.
+const GROUP: usize = 4;
+
+/// Appends a 2:1 multiplexer (`sel ? b : a`) built from NAND gates.
+fn mux2(netlist: &mut Netlist, a: NetId, b: NetId, sel: NetId) -> NetId {
+    let nsel = netlist.not(sel);
+    let t0 = netlist.nand2(a, nsel);
+    let t1 = netlist.nand2(b, sel);
+    netlist.nand2(t0, t1)
+}
+
+/// Appends an `n`-bit carry-lookahead adder (4-bit groups, ripple between
+/// groups) with shared operand nets, mirroring
+/// [`crate::gen::ripple_carry_adder_shared`].
+///
+/// # Panics
+///
+/// Panics if operand widths differ, are zero, or exceed 64.
+pub fn carry_lookahead_adder_shared(
+    netlist: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+    prefix: &str,
+    row_um: f64,
+) -> RcaPorts {
+    let n = a.len();
+    assert!(n > 0 && n <= 64, "adder width {n} out of range");
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+
+    let mut sum = Vec::with_capacity(n);
+    let mut group_cin = cin;
+    for (g, chunk) in (0..n).collect::<Vec<_>>().chunks(GROUP).enumerate() {
+        netlist.place_at(g as f64 * 2.0 * GROUP as f64, row_um);
+        // Generate/propagate per bit.
+        let gs: Vec<NetId> = chunk.iter().map(|&i| netlist.and2(a[i], b[i])).collect();
+        let ps: Vec<NetId> = chunk.iter().map(|&i| netlist.xor2(a[i], b[i])).collect();
+        // True lookahead: every carry in the group is a flat AND-OR
+        // expansion over the group inputs,
+        //   c[k+1] = g[k] ∨ p[k]g[k−1] ∨ … ∨ p[k]…p[0]·c_in,
+        // realised with balanced 2-input AND/OR trees (depth O(log G)
+        // instead of the ripple's O(G)).
+        let and_tree = |netlist: &mut Netlist, nets: &[NetId]| -> NetId {
+            let mut layer = nets.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    next.push(if pair.len() == 2 { netlist.and2(pair[0], pair[1]) } else { pair[0] });
+                }
+                layer = next;
+            }
+            layer[0]
+        };
+        let or_tree = |netlist: &mut Netlist, nets: &[NetId]| -> NetId {
+            let mut layer = nets.to_vec();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                for pair in layer.chunks(2) {
+                    next.push(if pair.len() == 2 { netlist.or2(pair[0], pair[1]) } else { pair[0] });
+                }
+                layer = next;
+            }
+            layer[0]
+        };
+        let mut carries = Vec::with_capacity(chunk.len() + 1);
+        carries.push(group_cin);
+        for k in 0..chunk.len() {
+            // Terms of c[k+1].
+            let mut terms = Vec::with_capacity(k + 2);
+            terms.push(gs[k]);
+            for j in (0..k).rev() {
+                // p[k]…p[j+1] · g[j]
+                let mut factors: Vec<NetId> = ps[j + 1..=k].to_vec();
+                factors.push(gs[j]);
+                terms.push(and_tree(netlist, &factors));
+            }
+            let mut cin_factors: Vec<NetId> = ps[0..=k].to_vec();
+            cin_factors.push(group_cin);
+            terms.push(and_tree(netlist, &cin_factors));
+            carries.push(or_tree(netlist, &terms));
+        }
+        for (k, _) in chunk.iter().enumerate() {
+            sum.push(netlist.xor2(ps[k], carries[k]));
+        }
+        group_cin = *carries.last().expect("group has carries");
+    }
+
+    for (i, &s) in sum.iter().enumerate() {
+        netlist.mark_output(s, format!("{prefix}_s[{i}]"));
+    }
+    netlist.mark_output(group_cin, format!("{prefix}_cout"));
+    RcaPorts { a: a.to_vec(), b: b.to_vec(), cin, sum, cout: group_cin }
+}
+
+/// Appends an `n`-bit carry-select adder (4-bit blocks; each block computes
+/// both carry hypotheses with ripple adders and selects) with shared
+/// operand nets.
+///
+/// # Panics
+///
+/// Panics if operand widths differ, are zero, or exceed 64.
+pub fn carry_select_adder_shared(
+    netlist: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+    prefix: &str,
+    row_um: f64,
+) -> RcaPorts {
+    let n = a.len();
+    assert!(n > 0 && n <= 64, "adder width {n} out of range");
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+
+    // Constant 0/1 hypothesis nets, derived from an operand bit so the
+    // netlist stays purely combinational: x AND NOT x = 0, x OR NOT x = 1.
+    let nx = netlist.not(a[0]);
+    let zero = netlist.and2(a[0], nx);
+    let one = netlist.or2(a[0], nx);
+
+    let mut sum = Vec::with_capacity(n);
+    let mut carry = cin;
+    for (blk, chunk) in (0..n).collect::<Vec<_>>().chunks(GROUP).enumerate() {
+        netlist.place_at(blk as f64 * 2.0 * GROUP as f64, row_um + 2.0);
+        if blk == 0 {
+            // First block: plain ripple from the true carry-in.
+            for &i in chunk {
+                let fa = full_adder(netlist, a[i], b[i], carry);
+                sum.push(fa.sum);
+                carry = fa.carry;
+            }
+            continue;
+        }
+        // Two speculative ripples.
+        let mut c0 = zero;
+        let mut c1 = one;
+        let mut s0 = Vec::with_capacity(chunk.len());
+        let mut s1 = Vec::with_capacity(chunk.len());
+        for &i in chunk {
+            let fa0 = full_adder(netlist, a[i], b[i], c0);
+            s0.push(fa0.sum);
+            c0 = fa0.carry;
+            let fa1 = full_adder(netlist, a[i], b[i], c1);
+            s1.push(fa1.sum);
+            c1 = fa1.carry;
+        }
+        // Select on the incoming carry.
+        for (s_0, s_1) in s0.into_iter().zip(s1) {
+            sum.push(mux2(netlist, s_0, s_1, carry));
+        }
+        carry = mux2(netlist, c0, c1, carry);
+    }
+
+    for (i, &s) in sum.iter().enumerate() {
+        netlist.mark_output(s, format!("{prefix}_s[{i}]"));
+    }
+    netlist.mark_output(carry, format!("{prefix}_cout"));
+    RcaPorts { a: a.to_vec(), b: b.to_vec(), cin, sum, cout: carry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sta::ArrivalTimes;
+
+    type SharedGen = fn(&mut Netlist, &[NetId], &[NetId], NetId, &str, f64) -> RcaPorts;
+
+    fn check_adder_exhaustive_8bit(generator: SharedGen) {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let cin = nl.input("cin");
+        let p = generator(&mut nl, &a, &b, cin, "dut", 0.0);
+        nl.validate().unwrap();
+        for av in (0u64..256).step_by(7) {
+            for bv in (0u64..256).step_by(11) {
+                for cv in 0u64..2 {
+                    let mut iv = nl.input_vector(&[(&a, av), (&b, bv)]);
+                    let pos = nl.primary_inputs().iter().position(|&x| x == cin).unwrap();
+                    iv[pos] = cv == 1;
+                    let v = nl.evaluate(&iv);
+                    let s = Netlist::word_of(&v, &p.sum);
+                    let co = v[p.cout.index()] as u64;
+                    assert_eq!(s + (co << 8), av + bv + cv, "a={av} b={bv} c={cv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_adds_correctly() {
+        check_adder_exhaustive_8bit(carry_lookahead_adder_shared);
+    }
+
+    #[test]
+    fn carry_select_adds_correctly() {
+        check_adder_exhaustive_8bit(carry_select_adder_shared);
+    }
+
+    #[test]
+    fn odd_widths_work() {
+        for width in [3usize, 5, 7, 13] {
+            for generator in [carry_lookahead_adder_shared as SharedGen, carry_select_adder_shared as SharedGen] {
+                let mut nl = Netlist::new();
+                let a = nl.input_bus("a", width);
+                let b = nl.input_bus("b", width);
+                let cin = nl.input("cin");
+                let p = generator(&mut nl, &a, &b, cin, "dut", 0.0);
+                let mask = (1u64 << width) - 1;
+                let iv = nl.input_vector(&[(&a, mask), (&b, 1)]);
+                let v = nl.evaluate(&iv);
+                assert_eq!(Netlist::word_of(&v, &p.sum), 0, "width {width}");
+                assert!(v[p.cout.index()], "width {width} must carry out");
+            }
+        }
+    }
+
+    #[test]
+    fn cla_is_faster_than_ripple() {
+        // The architectural point: CLA's critical path grows ~4x slower.
+        let path_of = |gen: SharedGen| {
+            let mut nl = Netlist::new();
+            let a = nl.input_bus("a", 32);
+            let b = nl.input_bus("b", 32);
+            let cin = nl.input("cin");
+            gen(&mut nl, &a, &b, cin, "dut", 0.0);
+            let d = vec![10.0; nl.gate_count()];
+            ArrivalTimes::compute(&nl, &d).critical_path_ps()
+        };
+        let rca = path_of(crate::gen::ripple_carry_adder_shared);
+        let csel = path_of(carry_select_adder_shared);
+        let cla = path_of(carry_lookahead_adder_shared);
+        assert!(csel < rca, "carry-select {csel} must beat ripple {rca}");
+        assert!(cla < rca, "lookahead {cla} must beat ripple {rca}");
+    }
+
+    #[test]
+    fn mux2_truth_table() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let s = nl.input("s");
+        let out = mux2(&mut nl, a, b, s);
+        for (va, vb, vs) in [(false, true, false), (false, true, true), (true, false, false), (true, false, true)] {
+            let v = nl.evaluate(&[va, vb, vs]);
+            assert_eq!(v[out.index()], if vs { vb } else { va });
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Event-driven gate-level timing simulation.
+//!
+//! The ALU PUF's arbiters race the *settling times* of corresponding output
+//! bits of two ALUs. Settling times of a ripple-carry adder are strongly
+//! data-dependent (sum bits glitch as the carry ripples), so a simple
+//! longest-path analysis is not enough: we simulate the transition with a
+//! transport-delay event queue and record the time of the last transition on
+//! every net.
+//!
+//! The simulator is deliberately single-threaded and deterministic — the
+//! same netlist, delays and stimulus always yield the same event sequence.
+
+use crate::netlist::{GateId, NetId, Netlist};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One pending output change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time_ps: f64,
+    seq: u64,
+    net: NetId,
+    value: bool,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        // Ties break on sequence number for determinism.
+        other
+            .time_ps
+            .partial_cmp(&self.time_ps)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of simulating one input transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Final logic value of every net.
+    pub values: Vec<bool>,
+    /// Time (ps) of the last transition of each net; `None` if the net never
+    /// toggled during the transition.
+    pub settle_ps: Vec<Option<f64>>,
+    /// Number of transitions per net (glitch count + 1 for the final value).
+    pub transitions: Vec<u32>,
+    /// Total number of events processed.
+    pub events: u64,
+}
+
+impl SimResult {
+    /// Extracts a word from the final values, treating `bus[i]` as bit `i`.
+    pub fn word(&self, bus: &[NetId]) -> u64 {
+        Netlist::word_of(&self.values, bus)
+    }
+
+    /// Settling time of a net, or `0.0` if the net never toggled (it was
+    /// already stable before the launch edge).
+    pub fn settle_or_zero(&self, net: NetId) -> f64 {
+        self.settle_ps[net.index()].unwrap_or(0.0)
+    }
+
+    /// Latest settling time over all nets (the transition's critical delay).
+    pub fn max_settle_ps(&self) -> f64 {
+        self.settle_ps.iter().flatten().fold(0.0, |a, &b| a.max(b))
+    }
+}
+
+/// An event-driven transport-delay simulator bound to one netlist and one
+/// per-gate delay assignment.
+#[derive(Debug)]
+pub struct EventSimulator<'a> {
+    netlist: &'a Netlist,
+    delays_ps: &'a [f64],
+    fanouts: Vec<Vec<GateId>>,
+}
+
+impl<'a> EventSimulator<'a> {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays_ps.len()` differs from the netlist's gate count.
+    pub fn new(netlist: &'a Netlist, delays_ps: &'a [f64]) -> Self {
+        assert_eq!(delays_ps.len(), netlist.gate_count(), "one delay per gate required");
+        EventSimulator { netlist, delays_ps, fanouts: netlist.fanouts() }
+    }
+
+    /// Simulates the transition from the steady state under `from` to the
+    /// steady state under `to`, with all changed inputs launching at t = 0
+    /// (the ALU PUF's synchronisation logic guarantees a simultaneous
+    /// launch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus vectors do not match the number of primary
+    /// inputs.
+    pub fn run_transition(&mut self, from: &[bool], to: &[bool]) -> SimResult {
+        let pis = self.netlist.primary_inputs();
+        assert_eq!(from.len(), pis.len(), "`from` length mismatch");
+        assert_eq!(to.len(), pis.len(), "`to` length mismatch");
+
+        // Steady state before the launch edge.
+        let mut values = self.netlist.evaluate(from);
+        let mut settle: Vec<Option<f64>> = vec![None; self.netlist.net_count()];
+        let mut transitions = vec![0u32; self.netlist.net_count()];
+
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, &net) in pis.iter().enumerate() {
+            if from[i] != to[i] {
+                heap.push(Event { time_ps: 0.0, seq, net, value: to[i] });
+                seq += 1;
+            }
+        }
+
+        let mut processed = 0u64;
+        while let Some(ev) = heap.pop() {
+            processed += 1;
+            if values[ev.net.index()] == ev.value {
+                continue; // glitch cancelled in flight
+            }
+            values[ev.net.index()] = ev.value;
+            settle[ev.net.index()] = Some(ev.time_ps);
+            transitions[ev.net.index()] += 1;
+            for &gid in &self.fanouts[ev.net.index()] {
+                let gate = self.netlist.gate_at(gid);
+                let a = values[gate.inputs[0].index()];
+                let b = values[gate.inputs[1].index()];
+                let out = gate.kind.eval(a, b);
+                // Transport delay: schedule the recomputed output; events
+                // arriving with the already-current value are dropped at pop
+                // time, which models glitch filtering at zero width.
+                heap.push(Event {
+                    time_ps: ev.time_ps + self.delays_ps[gid.index()],
+                    seq,
+                    net: gate.output,
+                    value: out,
+                });
+                seq += 1;
+            }
+        }
+
+        SimResult { values, settle_ps: settle, transitions, events: processed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ripple_carry_adder;
+    use crate::netlist::Netlist;
+
+    fn unit_delays(nl: &Netlist) -> Vec<f64> {
+        vec![10.0; nl.gate_count()]
+    }
+
+    #[test]
+    fn final_values_match_functional_eval() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 8, "alu");
+        let d = unit_delays(&nl);
+        let mut sim = EventSimulator::new(&nl, &d);
+        for (a, b) in [(0u64, 0u64), (1, 1), (255, 1), (170, 85), (200, 100)] {
+            let from = nl.input_vector(&[(&p.a, !a & 0xFF), (&p.b, !b & 0xFF)]);
+            let to = nl.input_vector(&[(&p.a, a), (&p.b, b)]);
+            let r = sim.run_transition(&from, &to);
+            assert_eq!(r.word(&p.sum), (a + b) & 0xFF, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn carry_ripple_settles_monotonically_later() {
+        // 0xFF + 0x01 propagates a carry through every slice: each sum bit
+        // must settle no earlier than the previous one.
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 16, "alu");
+        let d = unit_delays(&nl);
+        let mut sim = EventSimulator::new(&nl, &d);
+        let from = nl.input_vector(&[(&p.a, 0), (&p.b, 0)]);
+        let to = nl.input_vector(&[(&p.a, 0xFFFF), (&p.b, 1)]);
+        let r = sim.run_transition(&from, &to);
+        let times: Vec<f64> = p.sum.iter().map(|&s| r.settle_or_zero(s)).collect();
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0], "settling times not monotone: {times:?}");
+        }
+        assert!(times[15] > times[1], "carry chain must dominate: {times:?}");
+    }
+
+    #[test]
+    fn no_input_change_produces_no_events() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 4, "alu");
+        let d = unit_delays(&nl);
+        let mut sim = EventSimulator::new(&nl, &d);
+        let v = nl.input_vector(&[(&p.a, 5), (&p.b, 3)]);
+        let r = sim.run_transition(&v, &v);
+        assert_eq!(r.events, 0);
+        assert!(r.settle_ps.iter().all(|s| s.is_none()));
+        assert_eq!(r.word(&p.sum), 8);
+    }
+
+    #[test]
+    fn glitches_are_observed_on_carry_chain() {
+        // With a from-state of all-ones + 1 to a to-state that flips the
+        // carry pattern, intermediate sum bits should toggle more than once.
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 8, "alu");
+        let d = unit_delays(&nl);
+        let mut sim = EventSimulator::new(&nl, &d);
+        let from = nl.input_vector(&[(&p.a, 0x00), (&p.b, 0x00)]);
+        let to = nl.input_vector(&[(&p.a, 0xFF), (&p.b, 0x01)]);
+        let r = sim.run_transition(&from, &to);
+        let total: u32 = p.sum.iter().map(|&s| r.transitions[s.index()]).sum();
+        assert!(total > 8, "expected glitch activity, transitions = {total}");
+    }
+
+    #[test]
+    fn slower_gates_delay_settling() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 8, "alu");
+        let fast = vec![10.0; nl.gate_count()];
+        let slow = vec![20.0; nl.gate_count()];
+        let from = nl.input_vector(&[(&p.a, 0), (&p.b, 0)]);
+        let to = nl.input_vector(&[(&p.a, 0xFF), (&p.b, 1)]);
+        let rf = EventSimulator::new(&nl, &fast).run_transition(&from, &to);
+        let rs = EventSimulator::new(&nl, &slow).run_transition(&from, &to);
+        assert!((rs.max_settle_ps() - 2.0 * rf.max_settle_ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 12, "alu");
+        let d: Vec<f64> = (0..nl.gate_count()).map(|i| 10.0 + (i % 7) as f64).collect();
+        let from = nl.input_vector(&[(&p.a, 0x321), (&p.b, 0xABC)]);
+        let to = nl.input_vector(&[(&p.a, 0xCDE), (&p.b, 0x543)]);
+        let r1 = EventSimulator::new(&nl, &d).run_transition(&from, &to);
+        let r2 = EventSimulator::new(&nl, &d).run_transition(&from, &to);
+        assert_eq!(r1, r2);
+    }
+}

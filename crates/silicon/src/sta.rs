@@ -1,0 +1,111 @@
+//! Static timing analysis.
+//!
+//! Computes topological worst-case arrival times: the latest time a signal
+//! transition launched at the primary inputs can still be propagating at
+//! each net, assuming every gate passes the transition. The maximum arrival
+//! over the outputs is `T_ALU`, the quantity the paper's overclocking-attack
+//! condition `T_ALU + T_set < T_cycle` is built on.
+
+use crate::netlist::{NetId, Netlist};
+
+/// Worst-case arrival times for every net of a netlist, in picoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTimes {
+    arrival_ps: Vec<f64>,
+}
+
+impl ArrivalTimes {
+    /// Runs STA over `netlist` with per-gate delays `delays_ps`, assuming all
+    /// primary inputs launch at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays_ps.len()` differs from the gate count.
+    pub fn compute(netlist: &Netlist, delays_ps: &[f64]) -> Self {
+        assert_eq!(delays_ps.len(), netlist.gate_count(), "one delay per gate required");
+        let mut arrival = vec![0.0f64; netlist.net_count()];
+        for (gid, gate) in netlist.topological_gates() {
+            let worst_in = gate.input_nets().map(|n| arrival[n.index()]).fold(0.0f64, f64::max);
+            arrival[gate.output.index()] = worst_in + delays_ps[gid.index()];
+        }
+        ArrivalTimes { arrival_ps: arrival }
+    }
+
+    /// Arrival time at a net.
+    pub fn at(&self, net: NetId) -> f64 {
+        self.arrival_ps[net.index()]
+    }
+
+    /// Worst arrival over a set of nets (e.g. the ALU's outputs).
+    pub fn worst_of(&self, nets: &[NetId]) -> f64 {
+        nets.iter().map(|&n| self.at(n)).fold(0.0, f64::max)
+    }
+
+    /// Worst arrival over the whole netlist (the critical-path delay).
+    pub fn critical_path_ps(&self) -> f64 {
+        self.arrival_ps.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::ripple_carry_adder;
+    use crate::netlist::Netlist;
+    use crate::sim::EventSimulator;
+
+    #[test]
+    fn sta_bounds_event_sim_settling() {
+        // STA is a worst case over all input patterns: no simulated
+        // transition may settle later than the STA critical path.
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 16, "alu");
+        let d: Vec<f64> = (0..nl.gate_count()).map(|i| 8.0 + (i % 5) as f64).collect();
+        let sta = ArrivalTimes::compute(&nl, &d);
+        let mut sim = EventSimulator::new(&nl, &d);
+        for (a, b) in [(0xFFFFu64, 1u64), (0x5555, 0xAAAA), (0x1234, 0xEDCB)] {
+            let from = nl.input_vector(&[(&p.a, !a & 0xFFFF), (&p.b, !b & 0xFFFF)]);
+            let to = nl.input_vector(&[(&p.a, a), (&p.b, b)]);
+            let r = sim.run_transition(&from, &to);
+            assert!(
+                r.max_settle_ps() <= sta.critical_path_ps() + 1e-9,
+                "sim {} > sta {}",
+                r.max_settle_ps(),
+                sta.critical_path_ps()
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_grows_with_width() {
+        let sta_of = |w: usize| {
+            let mut nl = Netlist::new();
+            ripple_carry_adder(&mut nl, w, "alu");
+            let d = vec![10.0; nl.gate_count()];
+            ArrivalTimes::compute(&nl, &d).critical_path_ps()
+        };
+        assert!(sta_of(32) > sta_of(16));
+        assert!(sta_of(16) > sta_of(8));
+    }
+
+    #[test]
+    fn msb_sum_arrival_dominates_lsb() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 8, "alu");
+        let d = vec![10.0; nl.gate_count()];
+        let sta = ArrivalTimes::compute(&nl, &d);
+        assert!(sta.at(p.sum[7]) > sta.at(p.sum[0]));
+        assert_eq!(sta.worst_of(&p.sum), sta.at(p.sum[7]));
+    }
+
+    #[test]
+    fn primary_inputs_arrive_at_zero() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 4, "alu");
+        let d = vec![10.0; nl.gate_count()];
+        let sta = ArrivalTimes::compute(&nl, &d);
+        for &pi in &p.a {
+            assert_eq!(sta.at(pi), 0.0);
+        }
+    }
+}

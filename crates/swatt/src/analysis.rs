@@ -1,0 +1,164 @@
+//! Coverage analysis of pseudorandom memory traversal.
+//!
+//! A word the traversal never reads is a word malware can hide in. Two
+//! regimes matter:
+//!
+//! * **Uniform sampling** (the classical RC4-driven SWATT): coverage
+//!   follows coupon-collector statistics — the functions below give the
+//!   miss probabilities and the rounds needed for a target.
+//! * **The T-function** used by the PUFatt checksum is a *single-cycle
+//!   permutation* of Z/2³²; its masked low bits are themselves a
+//!   single-cycle permutation of the region, so every word is visited
+//!   exactly once per 2^region_bits rounds — deterministic full coverage,
+//!   strictly better than uniform (verified by
+//!   [`measured_coverage`] in the tests).
+
+use crate::checksum::{compute, RoundPuf, SwattParams};
+use crate::prg::TFunction;
+
+/// Expected fraction of an `n`-word region left unvisited after `rounds`
+/// uniform samples: `(1 − 1/n)^rounds`.
+pub fn expected_unvisited_fraction(region_words: u64, rounds: u64) -> f64 {
+    assert!(region_words > 0, "region must be non-empty");
+    (1.0 - 1.0 / region_words as f64).powf(rounds as f64)
+}
+
+/// Rounds needed so the expected number of unvisited words drops below
+/// `target_unvisited` (e.g. 0.5 = "less than half a word expected
+/// unvisited"): solves `n · (1 − 1/n)^R ≤ target`.
+pub fn rounds_for_coverage(region_words: u64, target_unvisited: f64) -> u64 {
+    assert!(region_words > 0, "region must be non-empty");
+    assert!(target_unvisited > 0.0, "target must be positive");
+    let n = region_words as f64;
+    let per_round = (1.0 - 1.0 / n).ln();
+    let needed = (target_unvisited / n).ln() / per_round;
+    needed.ceil().max(0.0) as u64
+}
+
+/// Probability that a *specific* word (e.g. the first word of planted
+/// malware) goes unsampled: `(1 − 1/n)^rounds` — the per-word soundness
+/// parameter of pure software attestation.
+pub fn miss_probability(region_words: u64, rounds: u64) -> f64 {
+    expected_unvisited_fraction(region_words, rounds)
+}
+
+/// Measures the actual coverage of the T-function address generator over a
+/// power-of-two region: returns the fraction of words visited.
+///
+/// # Panics
+///
+/// Panics if `region_bits` is outside `2..=24`.
+pub fn measured_coverage(seed: u32, region_bits: u32, rounds: u64) -> f64 {
+    assert!((2..=24).contains(&region_bits), "region_bits {region_bits} out of range");
+    let n = 1usize << region_bits;
+    let mask = (n - 1) as u32;
+    let mut visited = vec![false; n];
+    let mut prg = TFunction::new(seed);
+    let mut count = 0usize;
+    for _ in 0..rounds {
+        let addr = (prg.next() & mask) as usize;
+        if !visited[addr] {
+            visited[addr] = true;
+            count += 1;
+        }
+    }
+    count as f64 / n as f64
+}
+
+/// Avalanche statistics of the checksum: mean fraction of response bits
+/// flipped by a single-bit memory change, over `trials` random positions.
+///
+/// An ideal compression function flips ~50 %; values far below that would
+/// let an adversary search for low-impact modifications.
+///
+/// # Panics
+///
+/// Propagates the parameter panics of [`compute`].
+pub fn avalanche_fraction<P: RoundPuf>(
+    memory: &[u32],
+    params: &SwattParams,
+    puf: &mut P,
+    trials: usize,
+    seed0: u32,
+) -> f64 {
+    let mask = (1usize << params.region_bits) - 1;
+    let base = compute(memory, seed0, 0, params, puf);
+    let mut flipped_bits = 0u32;
+    let mut state = TFunction::new(seed0 ^ 0x5A5A_5A5A);
+    for _ in 0..trials {
+        let pos = (state.next() as usize) & mask;
+        let bit = state.next() % 32;
+        let mut tampered = memory.to_vec();
+        tampered[pos] ^= 1 << bit;
+        let out = compute(&tampered, seed0, 0, params, puf);
+        for (a, b) in base.response.iter().zip(&out.response) {
+            flipped_bits += (a ^ b).count_ones();
+        }
+    }
+    flipped_bits as f64 / (trials as f64 * 256.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unvisited_fraction_decays() {
+        let n = 1024;
+        let f1 = expected_unvisited_fraction(n, n);
+        let f4 = expected_unvisited_fraction(n, 4 * n);
+        assert!((f1 - (-1.0f64).exp()).abs() < 0.01, "R = n leaves ~e^-1: {f1}");
+        assert!((f4 - (-4.0f64).exp()).abs() < 0.005, "R = 4n leaves ~e^-4: {f4}");
+    }
+
+    #[test]
+    fn rounds_for_coverage_is_consistent() {
+        let n = 2048;
+        let r = rounds_for_coverage(n, 0.5);
+        // At the returned rounds the expectation is at/below target...
+        assert!(n as f64 * expected_unvisited_fraction(n, r) <= 0.5 + 1e-9);
+        // ...and one full region fewer rounds is above it.
+        assert!(n as f64 * expected_unvisited_fraction(n, r - n) > 0.5);
+    }
+
+    #[test]
+    fn tfunction_addresses_achieve_deterministic_full_coverage() {
+        // x -> x + (x^2 | 5) is a single-cycle T-function: reduced mod any
+        // power of two it is still a single cycle, so the masked address
+        // stream is a permutation of the region — full coverage in exactly
+        // n rounds, strictly better than uniform sampling's 1 - e^-1.
+        let region_bits = 10;
+        let n = 1u64 << region_bits;
+        for seed in [0u32, 1, 0xC0FFEE, u32::MAX] {
+            let full = measured_coverage(seed, region_bits, n);
+            assert!((full - 1.0).abs() < 1e-12, "seed {seed}: coverage {full}");
+            let half = measured_coverage(seed, region_bits, n / 2);
+            assert!((half - 0.5).abs() < 1e-12, "permutation visits n/2 distinct words in n/2 rounds");
+        }
+        // Contrast: uniform sampling at R = n would leave ~37% unvisited.
+        assert!(expected_unvisited_fraction(n, n) > 0.35);
+    }
+
+    #[test]
+    fn miss_probability_matches_soundness_intuition() {
+        // With 4x coverage over 1024 words, a single hidden word is missed
+        // with probability ~e^-4 ≈ 1.8 %.
+        let p = miss_probability(1024, 4096);
+        assert!((0.01..0.03).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn checksum_avalanche_is_strong() {
+        use crate::checksum::NoPuf;
+        let memory: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let params = SwattParams { region_bits: 8, rounds: 2048, puf_interval: 0 };
+        let frac = avalanche_fraction(&memory, &params, &mut NoPuf, 30, 0xA1A);
+        assert!((0.35..0.65).contains(&frac), "avalanche fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_region() {
+        expected_unvisited_fraction(0, 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! PE32 code generation for the classical RC4-driven SWATT checksum.
+//!
+//! Produces a program computing bit-identical results to
+//! [`crate::swatt_classic::compute_classic`], so the pure
+//! software-attestation baseline can be *run* on the prover CPU and timed
+//! against the PUFatt variant (the PUF-less baseline is what PUFatt's
+//! prover-authentication argument is measured against).
+//!
+//! RC4 is byte-oriented; PE32 memory is word-addressed, so the S-box lives
+//! as 256 one-byte-per-word entries in scratch (outside the attested
+//! region), which is also how 8-bit-era SWATT deployments on 16/32-bit
+//! word machines laid it out. One 32-bit PRG output costs four PRGA steps
+//! (~60 cycles) versus three ALU ops for the T-function — the measured
+//! cycle gap is reported by the cross-check tests.
+//!
+//! Register allocation: `r1` S-box base, `r2` the byte mask 0xFF, `r3` the
+//! region address mask, `r4` block counter, `r9`/`r10` the RC4 `i`/`j`
+//! state, `r7` PRG word accumulator, `r14`/`r15` link registers
+//! (`next_byte` / `next_u32`), the rest temporaries.
+
+use crate::swatt_classic::ClassicParams;
+use std::fmt::Write;
+
+/// Memory layout of the generated classical-SWATT program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassicLayout {
+    /// Word address of the seed (RC4 key) cell, inside the attested region.
+    pub seed_cell: u32,
+    /// End of the attested region.
+    pub region_end: u32,
+    /// The 8 checksum lanes (double as the result buffer), in scratch.
+    pub lanes_base: u32,
+    /// The 4 key-byte words, in scratch.
+    pub key_base: u32,
+    /// The 256-word S-box, in scratch.
+    pub sbox_base: u32,
+    /// Total memory words required.
+    pub memory_words: u32,
+}
+
+/// Generated classical-SWATT program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedClassic {
+    /// PE32 assembly source.
+    pub source: String,
+    /// Memory layout constants.
+    pub layout: ClassicLayout,
+}
+
+/// Emits the classical SWATT program for `params`.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (see [`ClassicParams::validate`]) or a
+/// block count beyond the immediate range.
+pub fn generate_classic(params: &ClassicParams) -> GeneratedClassic {
+    params.validate();
+    assert!(params.region_bits <= 15, "region mask must fit a positive imm16");
+    let blocks = params.rounds / 8;
+    assert!(blocks <= i16::MAX as u32, "block count {blocks} exceeds immediate range");
+    let region_end = 1u32 << params.region_bits;
+    let seed_cell = region_end - 1;
+    let lanes_base = region_end;
+    let key_base = lanes_base + 8;
+    let sbox_base = key_base + 4;
+    let memory_words = sbox_base + 256;
+    let mask = region_end - 1;
+
+    let mut s = String::new();
+    let w = &mut s;
+    writeln!(w, "; classical RC4-SWATT checksum ({} rounds, region 2^{} words)", params.rounds, params.region_bits)
+        .unwrap();
+    // --- constants ------------------------------------------------------
+    writeln!(w, "        addi r1, r0, {sbox_base}     ; S-box base").unwrap();
+    writeln!(w, "        addi r2, r0, 255         ; byte mask").unwrap();
+    writeln!(w, "        addi r3, r0, {mask}      ; region address mask").unwrap();
+    // --- key bytes (big-endian bytes of the seed) -------------------------
+    writeln!(w, "        lw   r7, {seed_cell}(r0)").unwrap();
+    for b in 0..4 {
+        writeln!(w, "        srli r8, r7, {}", 24 - 8 * b).unwrap();
+        writeln!(w, "        and  r8, r8, r2").unwrap();
+        writeln!(w, "        sw   r8, {}(r0)", key_base + b).unwrap();
+    }
+    // --- KSA --------------------------------------------------------------
+    writeln!(w, "        addi r9, r0, 0").unwrap();
+    writeln!(w, "ksa_ident:").unwrap();
+    writeln!(w, "        add  r12, r1, r9").unwrap();
+    writeln!(w, "        sw   r9, 0(r12)").unwrap();
+    writeln!(w, "        addi r9, r9, 1").unwrap();
+    writeln!(w, "        addi r12, r0, 256").unwrap();
+    writeln!(w, "        bne  r9, r12, ksa_ident").unwrap();
+    writeln!(w, "        addi r9, r0, 0").unwrap();
+    writeln!(w, "        addi r10, r0, 0").unwrap();
+    writeln!(w, "ksa_mix:").unwrap();
+    writeln!(w, "        add  r12, r1, r9").unwrap();
+    writeln!(w, "        lw   r13, 0(r12)         ; S[i]").unwrap();
+    writeln!(w, "        add  r10, r10, r13").unwrap();
+    writeln!(w, "        andi r8, r9, 3").unwrap();
+    writeln!(w, "        addi r8, r8, {key_base}").unwrap();
+    writeln!(w, "        lw   r8, 0(r8)           ; key[i mod 4]").unwrap();
+    writeln!(w, "        add  r10, r10, r8").unwrap();
+    writeln!(w, "        and  r10, r10, r2").unwrap();
+    writeln!(w, "        add  r11, r1, r10").unwrap();
+    writeln!(w, "        lw   r8, 0(r11)          ; S[j]").unwrap();
+    writeln!(w, "        sw   r8, 0(r12)").unwrap();
+    writeln!(w, "        sw   r13, 0(r11)").unwrap();
+    writeln!(w, "        addi r9, r9, 1").unwrap();
+    writeln!(w, "        addi r12, r0, 256").unwrap();
+    writeln!(w, "        bne  r9, r12, ksa_mix").unwrap();
+    writeln!(w, "        addi r9, r0, 0           ; PRGA i").unwrap();
+    writeln!(w, "        addi r10, r0, 0          ; PRGA j").unwrap();
+    // --- lane init: c[k] = next_u32() + k --------------------------------
+    for k in 0..8u32 {
+        writeln!(w, "        jal  r15, next_u32").unwrap();
+        if k > 0 {
+            writeln!(w, "        addi r7, r7, {k}").unwrap();
+        }
+        writeln!(w, "        sw   r7, {}(r0)", lanes_base + k).unwrap();
+    }
+    // --- main loop --------------------------------------------------------
+    writeln!(w, "        addi r4, r0, {blocks}").unwrap();
+    writeln!(w, "block:").unwrap();
+    for k in 0..8u32 {
+        let prev = lanes_base + (k + 7) % 8;
+        let lane = lanes_base + k;
+        writeln!(w, "        ; lane {k}").unwrap();
+        writeln!(w, "        jal  r15, next_u32").unwrap();
+        writeln!(w, "        and  r12, r7, r3         ; addr").unwrap();
+        writeln!(w, "        lw   r11, 0(r12)         ; w = mem[addr]").unwrap();
+        writeln!(w, "        lw   r13, {prev}(r0)").unwrap();
+        writeln!(w, "        add  r11, r11, r13       ; w + C[prev]").unwrap();
+        writeln!(w, "        lw   r13, {lane}(r0)").unwrap();
+        writeln!(w, "        xor  r13, r13, r11").unwrap();
+        writeln!(w, "        slli r12, r13, 1").unwrap();
+        writeln!(w, "        srli r8, r13, 31").unwrap();
+        writeln!(w, "        or   r13, r12, r8        ; rotl1").unwrap();
+        writeln!(w, "        sw   r13, {lane}(r0)").unwrap();
+    }
+    writeln!(w, "        addi r4, r4, -1").unwrap();
+    writeln!(w, "        bne  r4, r0, block").unwrap();
+    writeln!(w, "        halt").unwrap();
+    // --- subroutines ------------------------------------------------------
+    writeln!(w, "next_u32:                        ; returns word in r7 (big-endian bytes)").unwrap();
+    for b in 0..4 {
+        if b == 0 {
+            writeln!(w, "        jal  r14, next_byte").unwrap();
+            writeln!(w, "        add  r7, r11, r0").unwrap();
+        } else {
+            writeln!(w, "        jal  r14, next_byte").unwrap();
+            writeln!(w, "        slli r7, r7, 8").unwrap();
+            writeln!(w, "        or   r7, r7, r11").unwrap();
+        }
+    }
+    writeln!(w, "        jalr r0, r15").unwrap();
+    writeln!(w, "next_byte:                       ; returns byte in r11; clobbers r8, r12, r13").unwrap();
+    writeln!(w, "        addi r9, r9, 1").unwrap();
+    writeln!(w, "        and  r9, r9, r2").unwrap();
+    writeln!(w, "        add  r12, r1, r9").unwrap();
+    writeln!(w, "        lw   r13, 0(r12)         ; S[i]").unwrap();
+    writeln!(w, "        add  r10, r10, r13").unwrap();
+    writeln!(w, "        and  r10, r10, r2").unwrap();
+    writeln!(w, "        add  r11, r1, r10").unwrap();
+    writeln!(w, "        lw   r8, 0(r11)          ; S[j]").unwrap();
+    writeln!(w, "        sw   r8, 0(r12)").unwrap();
+    writeln!(w, "        sw   r13, 0(r11)").unwrap();
+    writeln!(w, "        add  r8, r8, r13").unwrap();
+    writeln!(w, "        and  r8, r8, r2").unwrap();
+    writeln!(w, "        add  r8, r1, r8").unwrap();
+    writeln!(w, "        lw   r11, 0(r8)").unwrap();
+    writeln!(w, "        jalr r0, r14").unwrap();
+
+    GeneratedClassic {
+        source: s,
+        layout: ClassicLayout { seed_cell, region_end, lanes_base, key_base, sbox_base, memory_words },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swatt_classic::compute_classic;
+    use pufatt_pe32::asm::assemble;
+    use pufatt_pe32::cpu::Cpu;
+
+    fn run_generated(params: &ClassicParams, seed: u32) -> (Vec<u32>, Vec<u32>, u64) {
+        let gen = generate_classic(params);
+        let program = assemble(&gen.source).expect("generated classical SWATT assembles");
+        assert!(
+            (program.image.len() as u32) < gen.layout.seed_cell,
+            "program ({} words) must fit below the seed cell",
+            program.image.len()
+        );
+        let mut cpu = Cpu::new(gen.layout.memory_words as usize);
+        cpu.load_program(&program.image);
+        cpu.store_word(gen.layout.seed_cell, seed).unwrap();
+        let snapshot: Vec<u32> = cpu.memory()[..gen.layout.region_end as usize].to_vec();
+        let result = cpu.run(500_000_000).expect("halts");
+        let lanes: Vec<u32> = (0..8).map(|k| cpu.load_word(gen.layout.lanes_base + k).unwrap()).collect();
+        (lanes, snapshot, result.cycles)
+    }
+
+    #[test]
+    fn cpu_matches_reference() {
+        let params = ClassicParams { region_bits: 9, rounds: 256 };
+        for seed in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            let (lanes, snapshot, _) = run_generated(&params, seed);
+            let reference = compute_classic(&snapshot, seed, &params);
+            assert_eq!(lanes, reference.response.to_vec(), "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn classic_costs_far_more_cycles_than_tfunction_variant() {
+        let rounds = 512;
+        let (_, _, classic_cycles) = run_generated(&ClassicParams { region_bits: 9, rounds }, 7);
+
+        let tparams = crate::checksum::SwattParams { region_bits: 9, rounds, puf_interval: 0 };
+        let tgen = crate::codegen::generate(&tparams, &crate::codegen::CodegenOptions::default());
+        let tprog = assemble(&tgen.source).unwrap();
+        let mut cpu = Cpu::new(tgen.layout.memory_words.max(64) as usize);
+        cpu.attach_puf(Box::new(pufatt_pe32::puf_port::MockPufPort::new()));
+        cpu.load_program(&tprog.image);
+        cpu.store_word(tgen.layout.seed_cell, 7).unwrap();
+        cpu.store_word(tgen.layout.x0_cell, 7).unwrap();
+        let t_cycles = cpu.run(500_000_000).unwrap().cycles;
+
+        // RC4's four byte steps per address dominate: the classical variant
+        // must cost several times more per round.
+        assert!(
+            classic_cycles > 3 * t_cycles,
+            "classic {classic_cycles} vs t-function {t_cycles}"
+        );
+    }
+
+    #[test]
+    fn seed_changes_response() {
+        let params = ClassicParams { region_bits: 9, rounds: 256 };
+        let (a, _, _) = run_generated(&params, 1);
+        let (b, _, _) = run_generated(&params, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memory_tamper_changes_response() {
+        let params = ClassicParams { region_bits: 9, rounds: 2048 };
+        let gen = generate_classic(&params);
+        let program = assemble(&gen.source).unwrap();
+        let mut cpu = Cpu::new(gen.layout.memory_words as usize);
+        cpu.load_program(&program.image);
+        cpu.store_word(gen.layout.seed_cell, 3).unwrap();
+        cpu.store_word(gen.layout.seed_cell - 5, 0xEB1B_EB1B).unwrap(); // malware
+        cpu.run(500_000_000).unwrap();
+        let tampered: Vec<u32> = (0..8).map(|k| cpu.load_word(gen.layout.lanes_base + k).unwrap()).collect();
+        let (clean, _, _) = run_generated(&params, 3);
+        assert_ne!(tampered, clean, "4x coverage must catch the planted word");
+    }
+
+    #[test]
+    fn layout_keeps_scratch_outside_region() {
+        let gen = generate_classic(&ClassicParams { region_bits: 10, rounds: 512 });
+        let l = gen.layout;
+        assert!(l.lanes_base >= l.region_end);
+        assert!(l.key_base > l.lanes_base);
+        assert!(l.sbox_base > l.key_base);
+        assert_eq!(l.memory_words, l.sbox_base + 256);
+    }
+}

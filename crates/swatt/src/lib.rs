@@ -1,0 +1,43 @@
+//! Software-based attestation for PUFatt (DAC 2014).
+//!
+//! PUFatt adapts the SWATT/SCUBA line of *timed* software attestation: the
+//! verifier challenges the prover to compute a checksum over its program
+//! memory via a pseudorandom traversal, timed against a bound δ chosen so
+//! that any modified checksum routine (hiding malware) overshoots. PUFatt's
+//! twist is entangling the checksum's compression function with ALU PUF
+//! outputs, which binds the computation to one physical chip.
+//!
+//! * [`analysis`] — coupon-collector coverage math for choosing `rounds`.
+//! * [`prg`] — RC4 (the SWATT original) and the T-function PRG the
+//!   reproduction's checksum uses.
+//! * [`checksum`] — the Rust reference implementation of the PUF-entangled
+//!   checksum and the [`checksum::RoundPuf`] hook.
+//! * [`codegen`] — emits PE32 assembly computing bit-identical results,
+//!   including the adversary's memory-copy redirection variant.
+//! * [`swatt_classic`] — the original RC4-driven SWATT checksum (the pure
+//!   software-attestation baseline PUFatt improves on), with its own PE32
+//!   code generator in [`codegen_classic`].
+//!
+//! # Example
+//!
+//! ```
+//! use pufatt_swatt::checksum::{compute, MixPuf, SwattParams};
+//!
+//! let memory: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2654435761)).collect();
+//! let params = SwattParams { region_bits: 8, rounds: 1024, puf_interval: 8 };
+//! let result = compute(&memory, 0xC0FFEE, 0xF00D, &params, &mut MixPuf);
+//! assert_eq!(result.puf_queries, 16);
+//! ```
+
+pub mod analysis;
+pub mod checksum;
+pub mod codegen;
+pub mod codegen_classic;
+pub mod prg;
+pub mod swatt_classic;
+
+pub use checksum::{compute, ChecksumResult, MixPuf, NoPuf, RoundPuf, SwattParams, STATE_WORDS};
+pub use codegen::{generate, CodegenOptions, GeneratedSwatt, Redirection, SwattLayout};
+pub use prg::{Rc4Prg, TFunction};
+pub use codegen_classic::{generate_classic, ClassicLayout, GeneratedClassic};
+pub use swatt_classic::{compute_classic, ClassicParams};

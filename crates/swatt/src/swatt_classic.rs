@@ -1,0 +1,150 @@
+//! The classical SWATT checksum (Seshadri et al., SOSP'04/WiSe'06 lineage)
+//! — the pure software-attestation baseline PUFatt builds on.
+//!
+//! Differences from the PUFatt checksum in [`crate::checksum`]:
+//!
+//! * addresses come from an RC4 keystream seeded by the verifier's
+//!   challenge (the original design) instead of a T-function;
+//! * there is no PUF entanglement — which is precisely the gap PUFatt
+//!   closes: a classical-SWATT response can be computed by *any* device
+//!   holding a copy of the memory.
+//!
+//! The module exists to quantify that gap (the `design_space` bench) and
+//! as a second, structurally different checksum for cross-validation.
+
+use crate::checksum::{ChecksumResult, STATE_WORDS};
+use crate::prg::Rc4Prg;
+
+/// Parameters of a classical SWATT computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassicParams {
+    /// log2 of the attested region in words.
+    pub region_bits: u32,
+    /// Traversal rounds (multiple of 8).
+    pub rounds: u32,
+}
+
+impl ClassicParams {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is not a positive multiple of 8 or the region is
+    /// out of range.
+    pub fn validate(&self) {
+        assert!(self.rounds > 0 && self.rounds.is_multiple_of(8), "rounds {} must be a positive multiple of 8", self.rounds);
+        assert!((4..=24).contains(&self.region_bits), "region_bits {} out of range", self.region_bits);
+    }
+}
+
+/// Computes the classical SWATT checksum over `memory`.
+///
+/// The RC4 generator is keyed with the big-endian bytes of `seed`; each
+/// round mixes one pseudorandomly addressed memory word into one of the 8
+/// checksum lanes with the SWATT add-xor-rotate structure.
+///
+/// # Panics
+///
+/// Panics on inconsistent parameters or a memory smaller than the region.
+pub fn compute_classic(memory: &[u32], seed: u32, params: &ClassicParams) -> ChecksumResult {
+    params.validate();
+    let mask = (1usize << params.region_bits) - 1;
+    assert!(memory.len() > mask, "memory smaller than attested region");
+
+    let mut prg = Rc4Prg::new(&seed.to_be_bytes());
+    let mut c = [0u32; STATE_WORDS];
+    for (k, lane) in c.iter_mut().enumerate() {
+        *lane = prg.next_u32().wrapping_add(k as u32);
+    }
+    for round in 0..params.rounds {
+        let k = (round as usize) % STATE_WORDS;
+        let addr = (prg.next_u32() as usize) & mask;
+        let w = memory[addr];
+        let prev = c[(k + STATE_WORDS - 1) % STATE_WORDS];
+        c[k] = (c[k] ^ w.wrapping_add(prev)).rotate_left(1);
+    }
+    ChecksumResult { response: c, puf_queries: 0 }
+}
+
+/// Estimated cycle cost of one classical SWATT round on PE32 (RC4 is
+/// byte-oriented: the address generator alone needs ~4 table lookups and
+/// ~12 ALU operations per 32-bit output, versus 3 ALU ops for the
+/// T-function).
+pub const CLASSIC_CYCLES_PER_ROUND: u64 = 28;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory() -> Vec<u32> {
+        (0..256u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect()
+    }
+
+    fn params() -> ClassicParams {
+        ClassicParams { region_bits: 8, rounds: 1024 }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mem = memory();
+        assert_eq!(compute_classic(&mem, 42, &params()), compute_classic(&mem, 42, &params()));
+    }
+
+    #[test]
+    fn seed_and_memory_sensitivity() {
+        let mem = memory();
+        let a = compute_classic(&mem, 1, &params());
+        let b = compute_classic(&mem, 2, &params());
+        assert_ne!(a.response, b.response, "seed must matter");
+        let mut tampered = mem.clone();
+        tampered[99] ^= 4;
+        let c = compute_classic(&tampered, 1, &params());
+        assert_ne!(a.response, c.response, "memory must matter");
+    }
+
+    #[test]
+    fn never_queries_a_puf() {
+        let r = compute_classic(&memory(), 7, &params());
+        assert_eq!(r.puf_queries, 0);
+    }
+
+    #[test]
+    fn covers_the_region() {
+        // 4x coverage: tampering any single word must be detected for the
+        // vast majority of positions.
+        let p = ClassicParams { region_bits: 6, rounds: 64 * 8 };
+        let mem: Vec<u32> = (0..64).map(|i| i as u32).collect();
+        let base = compute_classic(&mem, 9, &p);
+        let mut missed = 0;
+        for pos in 0..64 {
+            let mut t = mem.clone();
+            t[pos] ^= 0x10;
+            if compute_classic(&t, 9, &p).response == base.response {
+                missed += 1;
+            }
+        }
+        assert!(missed <= 3, "{missed}/64 positions unsampled");
+    }
+
+    #[test]
+    fn structurally_independent_of_pufatt_checksum() {
+        // Same memory and seed: different algorithms must disagree (a
+        // sanity check that the two checksums really are distinct).
+        let mem = memory();
+        let classic = compute_classic(&mem, 5, &params());
+        let pufatt = crate::checksum::compute(
+            &mem,
+            5,
+            0,
+            &crate::checksum::SwattParams { region_bits: 8, rounds: 1024, puf_interval: 0 },
+            &mut crate::checksum::NoPuf,
+        );
+        assert_ne!(classic.response, pufatt.response);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_bad_rounds() {
+        compute_classic(&[0; 256], 0, &ClassicParams { region_bits: 8, rounds: 10 });
+    }
+}

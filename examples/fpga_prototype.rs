@@ -1,0 +1,70 @@
+//! The FPGA prototype workflow (paper §4.1, "Implementation").
+//!
+//! Run with `cargo run --release --example fpga_prototype`.
+//!
+//! Walks the full Virtex-5-style flow the paper describes: place the
+//! 16-bit ALU PUF on two boards, tune the 64-stage programmable delay
+//! lines until "the occurrence of 0 and 1 at each arbiter is about the
+//! same", measure inter/intra-chip statistics, and print the Table-1
+//! resource budget the deployment pays for.
+
+use pufatt::obfuscate::{obfuscate, RESPONSES_PER_OUTPUT};
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign};
+use pufatt_alupuf::fpga::FpgaBoard;
+use pufatt_alupuf::resources::ResourceEstimator;
+use pufatt_alupuf::stats::HdHistogram;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let design = AluPufDesign::new(AluPufConfig::fpga_16bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF06A);
+    let sampler = ChipSampler::new();
+    let chip_a = design.fabricate(&sampler, &mut rng);
+    let chip_b = design.fabricate(&sampler, &mut rng);
+    let mut board_a = FpgaBoard::new(&design, &chip_a, Environment::nominal(), 2.0);
+    let mut board_b = FpgaBoard::new(&design, &chip_b, Environment::nominal(), 2.0);
+    println!("two 16-bit ALU PUF boards ({} gates each)\n", design.netlist().gate_count());
+
+    // PDL calibration (Majzoobi et al.), as the paper performs per board.
+    for (name, board) in [("A", &mut board_a), ("B", &mut board_b)] {
+        let report = board.tune(400, 16, 0.06, &mut rng);
+        println!(
+            "board {name}: PDL tuning bias {:.3} -> {:.3} in {} rounds; settings (first 8): {:?}",
+            report.bias_before,
+            report.bias_after,
+            report.rounds,
+            &board.pdl().settings()[..8]
+        );
+    }
+
+    // Measurements.
+    let mut inter_raw = HdHistogram::new(16);
+    let mut inter_obf = HdHistogram::new(16);
+    let mut intra = HdHistogram::new(16);
+    for _ in 0..300 {
+        let group: [Challenge; RESPONSES_PER_OUTPUT] = std::array::from_fn(|_| Challenge::random(&mut rng, 16));
+        let ra: [u64; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| board_a.evaluate(group[j], &mut rng).bits());
+        let rb: [u64; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| board_b.evaluate(group[j], &mut rng).bits());
+        for j in 0..RESPONSES_PER_OUTPUT {
+            inter_raw.record((ra[j] ^ rb[j]).count_ones() as usize);
+            intra.record((ra[j] ^ board_a.evaluate(group[j], &mut rng).bits()).count_ones() as usize);
+        }
+        inter_obf.record((obfuscate(&ra, 16) ^ obfuscate(&rb, 16)).count_ones() as usize);
+    }
+    println!("\nmeasurements (paper's two-board results in parentheses):");
+    println!("  inter-chip HD raw:        {:.1}%  (18.8%)", 100.0 * inter_raw.mean_fraction());
+    println!("  inter-chip HD obfuscated: {:.1}%  (41.3%)", 100.0 * inter_obf.mean_fraction());
+    println!("  intra-chip HD:            {:.1}%  (18.6%)", 100.0 * intra.mean_fraction());
+
+    // The bill of materials (Table 1).
+    println!("\nresource budget (Table 1 estimator):");
+    for r in ResourceEstimator::paper_prototype().table1() {
+        println!("  {:<24} {}", r.component, r.estimated);
+    }
+
+    assert!(inter_obf.mean_fraction() > inter_raw.mean_fraction());
+}

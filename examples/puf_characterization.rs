@@ -1,0 +1,72 @@
+//! PUF characterisation: the standard quality metrics for a chip batch.
+//!
+//! Run with `cargo run --release --example puf_characterization`.
+//!
+//! Computes the metrics a PUF datasheet would quote — uniqueness
+//! (inter-chip HD), reliability (worst-corner intra-chip HD), uniformity
+//! (response bias) and steadiness — for a small batch of simulated 32-bit
+//! ALU PUF chips, before and after the XOR obfuscation network.
+
+use pufatt::obfuscate::{obfuscate, RESPONSES_PER_OUTPUT};
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::stats::{BiasCounter, HdHistogram};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const CHIPS: usize = 5;
+const CHALLENGE_GROUPS: usize = 120; // x8 raw challenges each
+
+fn main() {
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xCAFE);
+    let chips = design.fabricate_many(&ChipSampler::new(), CHIPS, &mut rng);
+    let nominal: Vec<PufInstance<'_>> =
+        chips.iter().map(|c| PufInstance::new(&design, c, Environment::nominal())).collect();
+    let hot: Vec<PufInstance<'_>> =
+        chips.iter().map(|c| PufInstance::new(&design, c, Environment::with_temp(120.0))).collect();
+
+    let mut inter_raw = HdHistogram::new(32);
+    let mut inter_obf = HdHistogram::new(32);
+    let mut reliability = HdHistogram::new(32);
+    let mut steadiness = HdHistogram::new(32);
+    let mut bias = BiasCounter::new(32);
+
+    for _ in 0..CHALLENGE_GROUPS {
+        let group: [Challenge; RESPONSES_PER_OUTPUT] = std::array::from_fn(|_| Challenge::random(&mut rng, 32));
+        let responses: Vec<[u64; RESPONSES_PER_OUTPUT]> = nominal
+            .iter()
+            .map(|inst| std::array::from_fn(|j| inst.evaluate(group[j], &mut rng).bits()))
+            .collect();
+        for (a, ra) in responses.iter().enumerate() {
+            for rb in &responses[a + 1..] {
+                for j in 0..RESPONSES_PER_OUTPUT {
+                    inter_raw.record((ra[j] ^ rb[j]).count_ones() as usize);
+                }
+                inter_obf.record((obfuscate(ra, 32) ^ obfuscate(rb, 32)).count_ones() as usize);
+            }
+        }
+        // Reliability: chip 0, worst temperature corner vs nominal.
+        for (j, &ch) in group.iter().enumerate() {
+            let nominal_resp = pufatt_alupuf::challenge::RawResponse::new(responses[0][j], 32);
+            bias.record(nominal_resp);
+            reliability.record_pair(nominal_resp, hot[0].evaluate(ch, &mut rng));
+            steadiness.record_pair(nominal_resp, nominal[0].evaluate(ch, &mut rng));
+        }
+    }
+
+    println!("32-bit ALU PUF characterisation ({CHIPS} chips, {} raw challenges)", CHALLENGE_GROUPS * 8);
+    println!("---------------------------------------------------------------");
+    let pct = |h: &HdHistogram| 100.0 * h.mean_fraction();
+    println!("uniqueness  (inter-chip HD, raw)        : {:.1}%  (ideal 50, paper 35.9)", pct(&inter_raw));
+    println!("uniqueness  (inter-chip HD, obfuscated) : {:.1}%  (ideal 50, paper 44.6)", pct(&inter_obf));
+    println!("reliability (intra-chip HD @ 120 degC)  : {:.1}%  (ideal  0, paper ~11.3)", pct(&reliability));
+    println!("steadiness  (intra-chip HD @ nominal)   : {:.1}%  (ideal  0)", pct(&steadiness));
+    println!("uniformity  (mean |P(1) - 0.5|)         : {:.3} (ideal 0)", bias.mean_abs_bias());
+
+    assert!(pct(&inter_raw) > 20.0 && pct(&inter_raw) < 50.0);
+    assert!(pct(&inter_obf) > pct(&inter_raw));
+    assert!(pct(&reliability) < 25.0);
+}

@@ -1,0 +1,81 @@
+//! Deep-dive walkthrough of the PUFatt protocol internals.
+//!
+//! Run with `cargo run --release --example remote_attestation`.
+//!
+//! Where the quickstart treats the protocol as a black box, this example
+//! opens it up: it shows the generated PE32 attestation program, the raw
+//! PUF responses and their helper data for one PUF query, the verifier's
+//! reconstruction, and the paper's attack matrix with the reason each
+//! attack fails.
+
+use pufatt::adversary::{memory_copy_attack, overclock_evasion_attack, proxy_attack};
+use pufatt::enroll::enroll;
+use pufatt::obfuscate::RESPONSES_PER_OUTPUT;
+use pufatt::protocol::{provision, puf_limited_clock, run_session, AttestationRequest, Channel};
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::AluPufConfig;
+use pufatt_swatt::checksum::SwattParams;
+use pufatt_swatt::codegen::{generate, CodegenOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SwattParams { region_bits: 9, rounds: 1024, puf_interval: 16 };
+
+    // --- The attestation program ---------------------------------------
+    let generated = generate(&params, &CodegenOptions::default());
+    let total_lines = generated.source.lines().count();
+    println!("generated attestation program ({total_lines} assembly lines); first 18:");
+    for line in generated.source.lines().take(18) {
+        println!("    {line}");
+    }
+    println!("    ...");
+    println!(
+        "memory layout: region ends at {}, r0 at {}, x0 at {}, results at {}, helpers from {}\n",
+        generated.layout.region_end,
+        generated.layout.seed_cell,
+        generated.layout.x0_cell,
+        generated.layout.result_base,
+        generated.layout.helper_base
+    );
+
+    // --- One PUF query, opened up ---------------------------------------
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 1, 0)?;
+    let mut device = enrolled.device_puf(5);
+    let verifier_puf = enrolled.verifier_puf()?;
+    let challenges: [Challenge; RESPONSES_PER_OUTPUT] =
+        std::array::from_fn(|j| Challenge::new(0x1234_5678 + j as u64, 0x9ABC_DEF0 - j as u64, 32));
+    let out = device.respond(&challenges);
+    println!("one PUF() query (8 raw evaluations -> 1 obfuscated output):");
+    println!("    helper words (26-bit syndromes): {:08x?}", out.helpers);
+    println!("    obfuscated z = {:#010x}", out.z);
+    let z_verifier = verifier_puf.conclude(&challenges, &out.helpers)?;
+    println!("    verifier reconstructs z = {z_verifier:#010x} (match: {})\n", z_verifier == out.z);
+    assert_eq!(z_verifier, out.z);
+
+    // --- Full sessions and the attack matrix ----------------------------
+    let clock = puf_limited_clock(&enrolled, 1.10, 128, 11);
+    let channel = Channel::sensor_link();
+    let (mut prover, verifier, _) = provision(&enrolled, params, clock, channel, 21, 1.10)?;
+    let request = AttestationRequest { x0: 0xAA55, r0: 0x1EE7 };
+
+    // One PUF query in ~10⁴ fails reconstruction (the FNR experiment
+    // quantifies this); verifiers simply re-challenge, so run a couple of
+    // sessions and report the accepted one.
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xE2E);
+    let (verdict, attempts) =
+        pufatt::protocol::run_session_with_retry(&mut prover, &verifier, &mut rng, 3)?;
+    println!("honest session: {verdict} (attempt {attempts})");
+    let (_, report) = run_session(&mut prover, &verifier, request)?;
+    println!("    response lanes: {:08x?}", report.response);
+
+    let region = prover.expected_region();
+    let mc = memory_copy_attack(enrolled.device_handle(31), &verifier, &region, request)?;
+    println!("attack: {mc}");
+    let oc = overclock_evasion_attack(enrolled.device_handle(32), &verifier, &region, request, 4.0)?;
+    println!("attack: {oc}");
+    let px = proxy_attack(&verifier, &report, channel);
+    println!("attack: {px}");
+
+    assert!(verdict.accepted && !mc.verdict.accepted && !oc.verdict.accepted && !px.verdict.accepted);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Fleet management: enrolling and authenticating a batch of sensor nodes.
+//!
+//! Run with `cargo run --release --example sensor_fleet`.
+//!
+//! A product line manufactures many chips of the *same* ALU PUF design;
+//! each die's process variation makes it individually identifiable. This
+//! example contrasts the paper's two verification approaches (§2):
+//!
+//! * the **CRP database** — finite, replay-sensitive, no secrets to
+//!   protect beyond the recorded pairs; and
+//! * **emulation** from the enrolled delay table — unlimited challenges,
+//!   required by PUFatt because the attestation derives challenges from
+//!   its own running state.
+
+use pufatt::enroll::enroll_fleet;
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, PufInstance};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const FLEET: usize = 5;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 1000, FLEET)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+
+    // Factory: record a small CRP database per device and build emulators.
+    let mut databases: Vec<_> = fleet.iter().map(|d| d.record_crp_database(40, &mut rng)).collect();
+    let verifier_pufs: Vec<_> = fleet.iter().map(|d| d.verifier_puf()).collect::<Result<_, _>>()?;
+    println!("enrolled {FLEET} devices; {} CRPs recorded per device\n", databases[0].len());
+
+    // Field: each node authenticates against its own records.
+    println!("CRP-database authentication (consume-once):");
+    for (i, dev) in fleet.iter().enumerate() {
+        let instance = PufInstance::new(dev.design(), dev.chip(), dev.env());
+        let ch = databases[i].challenges().next().expect("database not exhausted");
+        let reference = databases[i].consume(ch).expect("first use");
+        let live = instance.evaluate_voted(ch, 5, &mut rng);
+        let hd = live.hamming_distance(reference);
+        println!("    node {i}: HD to enrolled response = {hd}/32 -> {}", if hd <= 7 { "ACCEPT" } else { "reject" });
+        assert!(hd <= 7, "own records must match");
+        assert!(databases[i].consume(ch).is_none(), "replay must be impossible");
+    }
+
+    // Cross-check: node 0's silicon against every database (uniqueness).
+    println!("\ncross-device check (node 0's responses vs every device's emulator):");
+    let instance0 = PufInstance::new(fleet[0].design(), fleet[0].chip(), fleet[0].env());
+    for (i, vpuf) in verifier_pufs.iter().enumerate() {
+        let mut agreement = 0u32;
+        let mut total = 0u32;
+        for k in 0..30u64 {
+            let ch = Challenge::new(k.wrapping_mul(0x9E37_79B9), k.wrapping_mul(0x85EB_CA6B) ^ i as u64, 32);
+            let live = instance0.evaluate_voted(ch, 5, &mut rng);
+            let emulated = vpuf.emulate(ch);
+            agreement += 32 - live.hamming_distance(emulated);
+            total += 32;
+        }
+        let pct = 100.0 * agreement as f64 / total as f64;
+        let verdict = if pct > 85.0 { "same device" } else { "different device" };
+        println!("    vs device {i}: {pct:.1}% bit agreement -> {verdict}");
+        if i == 0 {
+            assert!(pct > 85.0, "node 0 must match its own emulator");
+        } else {
+            assert!(pct < 85.0, "node 0 must not match device {i}'s emulator");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Umbrella package for the PUFatt reproduction workspace.
+//!
+//! This crate exists so that the repository root can host workspace-wide
+//! integration tests (`tests/`) and runnable examples (`examples/`). All
+//! functionality lives in the member crates and is re-exported through the
+//! [`pufatt`] crate.
+
+pub use pufatt;
+pub use pufatt_alupuf as alupuf;
+pub use pufatt_ecc as ecc;
+pub use pufatt_modeling as modeling;
+pub use pufatt_pe32 as pe32;
+pub use pufatt_silicon as silicon;
+pub use pufatt_swatt as swatt;

@@ -1,0 +1,131 @@
+//! Integration tests for the security extensions: hardware tampering,
+//! side-channel leakage, aging, and the modeling attack — all against the
+//! full enrolled-device stack.
+
+use pufatt::enroll::enroll;
+use pufatt::sidechannel::{leakage_correlation, PowerModel};
+use pufatt_alupuf::aging::{age_chip, AgingModel};
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, PufInstance};
+use pufatt_alupuf::tamper::Tamper;
+use pufatt_silicon::env::Environment;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn divergence_from_emulator(
+    enrolled: &pufatt::EnrolledDevice,
+    chip: &pufatt_alupuf::device::PufChip,
+    n: usize,
+    seed: u64,
+) -> f64 {
+    let verifier = enrolled.verifier_puf().expect("supported width");
+    let instance = PufInstance::new(enrolled.design(), chip, Environment::nominal());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut hd = 0u32;
+    for _ in 0..n {
+        let ch = Challenge::random(&mut rng, 32);
+        hd += instance.evaluate_voted(ch, 5, &mut rng).hamming_distance(verifier.emulate(ch));
+    }
+    hd as f64 / (n as f64 * 32.0)
+}
+
+#[test]
+fn tamper_divergence_scales_with_magnitude() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 0x300, 0).expect("supported width");
+    let noise_floor = divergence_from_emulator(&enrolled, enrolled.chip(), 40, 1);
+    let mut last = noise_floor;
+    for (i, extra) in [0.03, 0.08, 0.15].into_iter().enumerate() {
+        let chip = Tamper::ProbeLoad { stride: 3, extra_fraction: extra }.apply(enrolled.design(), enrolled.chip());
+        let d = divergence_from_emulator(&enrolled, &chip, 40, 2 + i as u64);
+        assert!(d >= noise_floor, "tampering cannot reduce divergence below the floor");
+        last = last.max(d);
+    }
+    assert!(last > noise_floor + 0.05, "heavy tampering must be clearly visible: floor {noise_floor}, max {last}");
+}
+
+#[test]
+fn aging_and_tampering_are_distinguishable_in_magnitude() {
+    // One year of NBTI moves responses far less than a capability-adding
+    // modification — the verifier can budget for aging without opening the
+    // door to tampering.
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 0x301, 0).expect("supported width");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let aged = age_chip(enrolled.design(), enrolled.chip(), &AgingModel::nbti_45nm(), 8760.0, &mut rng);
+    let islanded = Tamper::VoltageIsland {
+        from: 0,
+        to: enrolled.design().netlist().gate_count() / 2,
+        delta_vth_v: -0.02,
+    }
+    .apply(enrolled.design(), enrolled.chip());
+    let d_aged = divergence_from_emulator(&enrolled, &aged, 40, 4);
+    let d_tampered = divergence_from_emulator(&enrolled, &islanded, 40, 5);
+    assert!(
+        d_tampered > d_aged + 0.05,
+        "tampering ({d_tampered}) must stand out from a year of aging ({d_aged})"
+    );
+}
+
+#[test]
+fn sidechannel_leak_tracks_real_responses_and_dual_rail_does_not() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 0x302, 0).expect("supported width");
+    let instance = PufInstance::new(enrolled.design(), enrolled.chip(), Environment::nominal());
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let raw: Vec<u64> =
+        (0..400).map(|_| instance.evaluate(Challenge::random(&mut rng, 32), &mut rng).bits()).collect();
+    let hw: Vec<f64> = raw.iter().map(|y| y.count_ones() as f64).collect();
+    let leaky: Vec<f64> =
+        raw.iter().map(|&y| PowerModel::HammingWeight { noise_sigma: 1.5 }.sample(y, 32, &mut rng)).collect();
+    let hardened: Vec<f64> =
+        raw.iter().map(|&y| PowerModel::DualRail { noise_sigma: 1.5 }.sample(y, 32, &mut rng)).collect();
+    assert!(leakage_correlation(&hw, &leaky) > 0.6);
+    assert!(leakage_correlation(&hw, &hardened).abs() < 0.15);
+}
+
+#[test]
+fn modeling_attack_cannot_forge_an_attestation_grade_prediction() {
+    // Even at its best, the raw-CRP model's per-response accuracy implies a
+    // negligible chance of predicting a full 32-bit response exactly — let
+    // alone the dozens of obfuscated z values an attestation needs.
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 0x303, 0).expect("supported width");
+    let instance = PufInstance::new(enrolled.design(), enrolled.chip(), Environment::nominal());
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let report = pufatt_modeling::attack::attack_raw(
+        &instance,
+        pufatt_modeling::attack::FeatureMap::CarryAware,
+        250,
+        120,
+        &pufatt_modeling::lr::TrainConfig::default(),
+        &mut rng,
+    );
+    // P(all 32 bits right) under independent per-bit accuracies.
+    let p_exact: f64 = report.per_bit_accuracy.iter().product();
+    assert!(report.mean_accuracy() > 0.6, "the per-bit attack itself works");
+    assert!(p_exact < 0.05, "whole-response prediction must stay improbable: {p_exact}");
+}
+
+#[test]
+fn uniform_probe_load_is_the_stealthiest_tamper() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 0x304, 0).expect("supported width");
+    let uniform = Tamper::ProbeLoad { stride: 1, extra_fraction: 0.08 }.apply(enrolled.design(), enrolled.chip());
+    let lopsided = Tamper::ProbeLoad { stride: 2, extra_fraction: 0.08 }.apply(enrolled.design(), enrolled.chip());
+    let d_uniform = divergence_from_emulator(&enrolled, &uniform, 40, 8);
+    let d_lopsided = divergence_from_emulator(&enrolled, &lopsided, 40, 9);
+    assert!(
+        d_uniform < d_lopsided,
+        "symmetric loading must cancel differentially: uniform {d_uniform} vs lopsided {d_lopsided}"
+    );
+}
+
+#[test]
+fn power_model_is_deterministic_given_rng() {
+    let model = PowerModel::HammingWeight { noise_sigma: 2.0 };
+    let a: Vec<f64> = {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        (0..50).map(|i| model.sample(i as u64 * 7919, 32, &mut rng)).collect()
+    };
+    let b: Vec<f64> = {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        (0..50).map(|i| model.sample(i as u64 * 7919, 32, &mut rng)).collect()
+    };
+    assert_eq!(a, b);
+}

@@ -1,0 +1,144 @@
+//! Cross-crate consistency: the same computation expressed through
+//! different layers of the stack must agree bit-for-bit.
+
+use pufatt::enroll::enroll;
+use pufatt::ports::VerifierRoundPuf;
+use pufatt::protocol::puf_limited_clock;
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, PufInstance};
+use pufatt_alupuf::emulate::PufEmulator;
+use pufatt_pe32::asm::assemble;
+use pufatt_pe32::cpu::{Clock, Cpu};
+use pufatt_pe32::puf_port::MockPufPort;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::sta::ArrivalTimes;
+use pufatt_swatt::checksum::{compute, MixPuf, SwattParams};
+use pufatt_swatt::codegen::{generate, CodegenOptions};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The PE32 program and the Rust reference must produce identical
+/// checksums when driven by the *real* silicon PUF (not just mocks):
+/// two devices with the same noise seed consume their RNG identically.
+#[test]
+fn cpu_and_reference_agree_with_real_puf() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 12, 0).expect("supported width");
+    let params = SwattParams { region_bits: 9, rounds: 512, puf_interval: 8 };
+    let clock = puf_limited_clock(&enrolled, 1.10, 64, 5);
+    // Build the prover directly (provision would run a golden attestation
+    // and advance the device's noise stream past the reference's).
+    let mut prover = pufatt::protocol::ProverDevice::new(
+        enrolled.device_handle(777),
+        params,
+        &CodegenOptions::default(),
+        clock,
+    )
+    .expect("prover");
+
+    let request = pufatt::protocol::AttestationRequest { x0: 0xABCD, r0: 0x4321 };
+    let report = prover.attest(request).expect("attestation");
+
+    // Reference computation with an identically-seeded device.
+    let mut region = prover.expected_region();
+    region[prover.layout().seed_cell as usize] = request.r0;
+    region[prover.layout().x0_cell as usize] = request.x0;
+    let mut reference_device = enrolled.device_puf(777);
+    let reference = compute(&region, request.r0, request.x0, &params, &mut reference_device);
+    assert_eq!(report.response.to_vec(), reference.response.to_vec(), "CPU and reference must agree");
+    assert_eq!(report.helper_words, reference_device.take_helper_log(), "helper streams must agree");
+}
+
+/// The verifier's round-PUF (emulator + helper replay) reproduces the
+/// prover's z-stream inside a full checksum computation.
+#[test]
+fn verifier_round_puf_tracks_device_inside_checksum() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 13, 0).expect("supported width");
+    let params = SwattParams { region_bits: 8, rounds: 512, puf_interval: 8 };
+    let memory: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+
+    let mut device = enrolled.device_puf(50);
+    let dev_result = compute(&memory, 11, 22, &params, &mut device);
+    let helpers = device.take_helper_log();
+
+    let verifier_puf = enrolled.verifier_puf().expect("supported width");
+    let mut replay = VerifierRoundPuf::new(&verifier_puf, &helpers);
+    let ver_result = compute(&memory, 11, 22, &params, &mut replay);
+    assert!(replay.failure().is_none(), "no reconstruction failures expected: {:?}", replay.failure());
+    assert_eq!(dev_result.response, ver_result.response);
+    assert_eq!(replay.consumed(), helpers.len(), "all helper words consumed");
+}
+
+/// Emulator and device agree at every paper corner (the emulator is fixed
+/// at the enrollment corner; the device's responses drift only through
+/// physical Δ shifts, which ECC absorbs).
+#[test]
+fn emulator_agreement_over_corners() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 14, 0).expect("supported width");
+    let design = enrolled.design();
+    let chip = enrolled.chip();
+    let emulator = PufEmulator::enroll(design, chip, Environment::nominal());
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for env in [Environment::nominal(), Environment::with_vdd(0.9), Environment::with_temp(120.0)] {
+        let instance = PufInstance::new(design, chip, env);
+        let mut distance = 0u32;
+        let n = 40;
+        for _ in 0..n {
+            let ch = Challenge::random(&mut rng, 32);
+            distance += instance.evaluate_voted(ch, 5, &mut rng).hamming_distance(emulator.emulate(ch));
+        }
+        let frac = distance as f64 / (n as f64 * 32.0);
+        assert!(frac < 0.12, "agreement too low at {env}: HD {frac}");
+    }
+}
+
+/// The CPU's clock type and the PUF's timing model meet consistently in
+/// the overclocking condition.
+#[test]
+fn clock_and_puf_timing_are_consistent() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 15, 0).expect("supported width");
+    let mut device = enrolled.device_puf(1);
+    let min_cycle = device.min_reliable_cycle_ps();
+    let calibrated = device.calibrate_cycle_ps(64, 1.10);
+    // STA bounds the empirical calibration (which includes the carry
+    // canary, so they are close but ordered).
+    assert!(calibrated <= min_cycle * 1.15, "calibrated {calibrated} vs STA bound {min_cycle}");
+    let clock = Clock::new(1e6 / calibrated);
+    assert!((clock.cycle_ps() - calibrated).abs() < 1e-6);
+}
+
+/// Generated attestation assembly round-trips through the assembler and
+/// runs on a mock-PUF CPU, independent of the silicon stack.
+#[test]
+fn generated_assembly_is_self_contained() {
+    let params = SwattParams { region_bits: 8, rounds: 256, puf_interval: 4 };
+    let gen = generate(&params, &CodegenOptions::default());
+    let program = assemble(&gen.source).expect("assembles");
+    let mut cpu = Cpu::new(gen.layout.memory_words.max(64) as usize);
+    cpu.attach_puf(Box::new(MockPufPort::new()));
+    cpu.load_program(&program.image);
+    cpu.store_word(gen.layout.seed_cell, 5).unwrap();
+    cpu.store_word(gen.layout.x0_cell, 6).unwrap();
+    let snapshot: Vec<u32> = cpu.memory()[..gen.layout.region_end as usize].to_vec();
+    cpu.run(50_000_000).expect("halts");
+    let response: Vec<u32> = (0..8).map(|k| cpu.load_word(gen.layout.result_base + k).unwrap()).collect();
+    let reference = compute(&snapshot, 5, 6, &params, &mut MixPuf);
+    assert_eq!(response, reference.response.to_vec());
+}
+
+/// STA of the PUF netlist upper-bounds every observed settling time,
+/// linking the silicon layer's two timing views.
+#[test]
+fn sta_bounds_dynamic_settling() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 16, 0).expect("supported width");
+    let design = enrolled.design();
+    let delays = design.effective_delays_ps(enrolled.chip().silicon(), &Environment::nominal());
+    let sta = ArrivalTimes::compute(design.netlist(), &delays);
+    let instance = PufInstance::new(design, enrolled.chip(), Environment::nominal());
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for _ in 0..20 {
+        let ch = Challenge::random(&mut rng, 32);
+        let e = instance.evaluate_detailed(ch, &mut rng);
+        let worst = e.settle0_ps.iter().chain(&e.settle1_ps).fold(0.0f64, |a, &b| a.max(b));
+        assert!(worst <= sta.critical_path_ps() + 1e-6, "settling {worst} exceeds STA {}", sta.critical_path_ps());
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration tests: the full protocol across crates.
+
+use pufatt::adversary::{memory_copy_attack, overclock_evasion_attack, proxy_attack};
+use pufatt::enroll::{enroll, enroll_fleet};
+use pufatt::protocol::{
+    provision, puf_limited_clock, run_session, run_session_with_retry, AttestationRequest, Channel,
+};
+use pufatt_alupuf::device::AluPufConfig;
+use pufatt_swatt::checksum::SwattParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params() -> SwattParams {
+    SwattParams { region_bits: 9, rounds: 1024, puf_interval: 16 }
+}
+
+#[test]
+fn honest_attestation_across_devices() {
+    let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 500, 3).expect("supported width");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for (i, enrolled) in fleet.iter().enumerate() {
+        let clock = puf_limited_clock(enrolled, 1.10, 96, 900 + i as u64);
+        let (mut prover, verifier, _) =
+            provision(enrolled, params(), clock, Channel::sensor_link(), 40 + i as u64, 1.10)
+                .expect("provisioning");
+        let (verdict, attempts) =
+            run_session_with_retry(&mut prover, &verifier, &mut rng, 3).expect("session");
+        assert!(verdict.accepted, "device {i} must attest: {verdict}");
+        assert!(attempts <= 2, "device {i} needed {attempts} attempts");
+    }
+}
+
+#[test]
+fn every_attack_is_rejected() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 700, 0).expect("supported width");
+    let clock = puf_limited_clock(&enrolled, 1.10, 96, 7);
+    let channel = Channel::sensor_link();
+    let (mut prover, verifier, _) =
+        provision(&enrolled, params(), clock, channel, 9, 1.10).expect("provisioning");
+    let region = prover.expected_region();
+    let request = AttestationRequest { x0: 0x1000, r0: 0x2000 };
+
+    let mc = memory_copy_attack(enrolled.device_handle(70), &verifier, &region, request).expect("attack");
+    assert!(!mc.verdict.accepted && mc.verdict.response_ok && !mc.verdict.time_ok, "{mc}");
+
+    let oc = overclock_evasion_attack(enrolled.device_handle(71), &verifier, &region, request, 4.0)
+        .expect("attack");
+    assert!(!oc.verdict.accepted && oc.verdict.time_ok && !oc.verdict.response_ok, "{oc}");
+
+    let honest_report = prover.attest(request).expect("honest report");
+    let px = proxy_attack(&verifier, &honest_report, channel);
+    assert!(!px.verdict.accepted && !px.verdict.time_ok, "{px}");
+}
+
+#[test]
+fn impersonation_with_same_design_fails() {
+    // Two chips from the same mask set: the protocol binds to silicon, not
+    // to the design.
+    let genuine = enroll(AluPufConfig::paper_32bit(), 800, 0).expect("supported width");
+    let imposter = enroll(AluPufConfig::paper_32bit(), 801, 0).expect("supported width");
+    let clock = puf_limited_clock(&genuine, 1.10, 96, 3);
+    let (_, verifier, _) =
+        provision(&genuine, params(), clock, Channel::sensor_link(), 5, 1.10).expect("provisioning");
+    let (mut imposter_prover, _, _) =
+        provision(&imposter, params(), clock, Channel::sensor_link(), 5, 1.10).expect("provisioning");
+    let mut rejected = 0;
+    for seed in 0..3u32 {
+        let request = AttestationRequest { x0: seed, r0: seed.wrapping_mul(77) };
+        let (verdict, _) = run_session(&mut imposter_prover, &verifier, request).expect("session");
+        rejected += (!verdict.response_ok) as u32;
+    }
+    assert_eq!(rejected, 3, "the imposter must never produce a verifiable response");
+}
+
+#[test]
+fn helper_data_volume_matches_parameters() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 900, 0).expect("supported width");
+    let clock = puf_limited_clock(&enrolled, 1.10, 96, 1);
+    let p = params();
+    let (mut prover, verifier, _) =
+        provision(&enrolled, p, clock, Channel::sensor_link(), 2, 1.10).expect("provisioning");
+    let report = prover.attest(AttestationRequest { x0: 1, r0: 2 }).expect("report");
+    assert_eq!(report.helper_words.len() as u32, p.puf_queries() * 8);
+    assert_eq!(report.helper_words.len(), verifier.expected_helper_words());
+    // Helper words are 26-bit syndromes.
+    assert!(report.helper_words.iter().all(|&h| h < (1 << 26)));
+}
+
+#[test]
+fn time_bound_scales_with_rounds() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 950, 0).expect("supported width");
+    let clock = puf_limited_clock(&enrolled, 1.10, 96, 1);
+    let small = SwattParams { region_bits: 9, rounds: 512, puf_interval: 16 };
+    let large = SwattParams { region_bits: 9, rounds: 2048, puf_interval: 16 };
+    let (_, v_small, c_small) =
+        provision(&enrolled, small, clock, Channel::sensor_link(), 2, 1.10).expect("provisioning");
+    let (_, v_large, c_large) =
+        provision(&enrolled, large, clock, Channel::sensor_link(), 2, 1.10).expect("provisioning");
+    assert!(c_large > 3 * c_small, "cycles must scale with rounds");
+    assert!(v_large.delta_s > v_small.delta_s, "delta must scale with work");
+}
+
+#[test]
+fn verifier_rejects_truncated_helper_stream() {
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 960, 0).expect("supported width");
+    let clock = puf_limited_clock(&enrolled, 1.10, 96, 1);
+    let (mut prover, verifier, _) =
+        provision(&enrolled, params(), clock, Channel::sensor_link(), 2, 1.10).expect("provisioning");
+    let request = AttestationRequest { x0: 3, r0: 4 };
+    let mut report = prover.attest(request).expect("report");
+    report.helper_words.truncate(report.helper_words.len() / 2);
+    let compute_s = prover.clock().duration_ns(report.cycles) * 1e-9;
+    let verdict = verifier.verify(request, &report, compute_s);
+    assert!(!verdict.response_ok, "truncated helper data must not verify");
+}

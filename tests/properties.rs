@@ -1,0 +1,281 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning the workspace crates.
+
+use proptest::prelude::*;
+use pufatt::obfuscate::{fold_halves, obfuscate, phase1_pair};
+use pufatt_alupuf::challenge::{Challenge, RawResponse};
+use pufatt_ecc::gf2::{BitMatrix, BitVec};
+use pufatt_ecc::rm::ReedMuller1;
+use pufatt_ecc::{Decoder, ReverseFuzzyExtractor};
+use pufatt_pe32::isa::{AluOp, BranchCond, Instruction, Reg};
+use pufatt_silicon::gen::ripple_carry_adder;
+use pufatt_silicon::netlist::Netlist;
+use pufatt_silicon::sim::EventSimulator;
+use pufatt_silicon::sta::ArrivalTimes;
+use pufatt_swatt::checksum::{compute, NoPuf, SwattParams};
+use pufatt_swatt::prg::TFunction;
+
+// ---------------------------------------------------------------- silicon
+
+proptest! {
+    /// The event simulator's final values equal the zero-delay functional
+    /// evaluation for any adder stimulus (delays shift *when*, never *what*).
+    #[test]
+    fn sim_final_values_match_functional(a in any::<u16>(), b in any::<u16>(), from_a in any::<u16>(), from_b in any::<u16>()) {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 16, "alu");
+        let delays: Vec<f64> = (0..nl.gate_count()).map(|i| 5.0 + (i % 11) as f64).collect();
+        let from = nl.input_vector(&[(&p.a, from_a as u64), (&p.b, from_b as u64)]);
+        let to = nl.input_vector(&[(&p.a, a as u64), (&p.b, b as u64)]);
+        let result = EventSimulator::new(&nl, &delays).run_transition(&from, &to);
+        prop_assert_eq!(result.word(&p.sum), ((a as u64) + (b as u64)) & 0xFFFF);
+        // And no net settles after the STA bound.
+        let sta = ArrivalTimes::compute(&nl, &delays);
+        prop_assert!(result.max_settle_ps() <= sta.critical_path_ps() + 1e-9);
+    }
+}
+
+/// Builds a random combinational netlist from a recipe: `inputs` primary
+/// inputs, then gates whose operands are chosen (mod available nets) from
+/// already-created nets — always a valid DAG by construction.
+fn build_random_netlist(inputs: usize, recipe: &[(u8, u16, u16)]) -> Netlist {
+    use pufatt_silicon::netlist::GateKind;
+    let mut nl = Netlist::new();
+    let mut nets: Vec<pufatt_silicon::netlist::NetId> =
+        (0..inputs).map(|i| nl.input(format!("in{i}"))).collect();
+    for &(kind, a, b) in recipe {
+        let ka = GateKind::ALL[kind as usize % GateKind::ALL.len()];
+        let na = nets[a as usize % nets.len()];
+        let nb = nets[b as usize % nets.len()];
+        let out = match ka.arity() {
+            1 => nl.gate(ka, &[na]),
+            _ => nl.gate(ka, &[na, nb]),
+        };
+        nets.push(out);
+    }
+    nl.mark_output(*nets.last().expect("nonempty"), "out");
+    nl
+}
+
+proptest! {
+    /// For ANY random combinational circuit: the event simulator's final
+    /// values equal functional evaluation, settle times respect the STA
+    /// bound, and the netlist validates.
+    #[test]
+    fn random_netlists_are_consistent(
+        inputs in 1usize..6,
+        recipe in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..40),
+        stimulus in any::<u64>(),
+        from in any::<u64>(),
+    ) {
+        let nl = build_random_netlist(inputs, &recipe);
+        prop_assert!(nl.validate().is_ok());
+        let delays: Vec<f64> = (0..nl.gate_count()).map(|i| 3.0 + (i % 13) as f64).collect();
+        let bits = |word: u64| -> Vec<bool> { (0..inputs).map(|i| (word >> i) & 1 == 1).collect() };
+        let from_v = bits(from);
+        let to_v = bits(stimulus);
+        let result = EventSimulator::new(&nl, &delays).run_transition(&from_v, &to_v);
+        let functional = nl.evaluate(&to_v);
+        prop_assert_eq!(&result.values, &functional, "sim must settle to the functional values");
+        let sta = ArrivalTimes::compute(&nl, &delays);
+        prop_assert!(result.max_settle_ps() <= sta.critical_path_ps() + 1e-9);
+    }
+}
+
+// -------------------------------------------------------------------- ecc
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bits(&bits))
+}
+
+proptest! {
+    /// XOR is associative/commutative and distance is a metric compatible
+    /// with it: d(a, b) = weight(a ⊕ b).
+    #[test]
+    fn bitvec_xor_distance(a in bitvec_strategy(48), b in bitvec_strategy(48)) {
+        prop_assert_eq!(a.distance(&b), a.xor(&b).weight());
+        prop_assert_eq!(a.xor(&b), b.xor(&a));
+        prop_assert_eq!(a.xor(&a).weight(), 0);
+    }
+
+    /// Matrix–vector multiplication is linear.
+    #[test]
+    fn matrix_mul_is_linear(rows in prop::collection::vec(bitvec_strategy(20), 6), x in bitvec_strategy(20), y in bitvec_strategy(20)) {
+        let m = BitMatrix::from_rows(rows);
+        let lhs = m.mul_vec(&x.xor(&y));
+        let rhs = m.mul_vec(&x).xor(&m.mul_vec(&y));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Every syndrome the code can emit is solvable, and the solution's
+    /// syndrome round-trips.
+    #[test]
+    fn coset_solving_round_trips(word in any::<u32>()) {
+        let code = ReedMuller1::bch_32_6_16();
+        let y = BitVec::from_word(word as u64, 32);
+        let s = code.code().syndrome(&y).unwrap();
+        let v = code.code().coset_representative(&s).unwrap();
+        prop_assert_eq!(code.code().syndrome(&v).unwrap(), s);
+    }
+
+    /// RM(1,5) ML decoding corrects EVERY pattern of weight ≤ 7 on any
+    /// codeword — the guarantee the attestation's reliability rests on.
+    #[test]
+    fn rm_corrects_all_weight_le7(msg in 0u64..64, positions in prop::collection::btree_set(0usize..32, 0..=7)) {
+        let code = ReedMuller1::bch_32_6_16();
+        let cw = code.encode(&BitVec::from_word(msg, 6)).unwrap();
+        let mut noisy = cw.clone();
+        for &p in &positions {
+            noisy.flip(p);
+        }
+        let (decoded, _) = code.decode_ml(&noisy).unwrap();
+        prop_assert_eq!(decoded.as_word(), msg);
+    }
+
+    /// The reverse fuzzy extractor reconstructs the prover's exact noisy
+    /// word whenever the noise stays within the decoding radius.
+    #[test]
+    fn reverse_fe_reconstruction(reference in any::<u32>(), positions in prop::collection::btree_set(0usize..32, 0..=7)) {
+        let fe = ReverseFuzzyExtractor::new(ReedMuller1::bch_32_6_16());
+        let y_ref = BitVec::from_word(reference as u64, 32);
+        let mut noisy = y_ref.clone();
+        for &p in &positions {
+            noisy.flip(p);
+        }
+        let helper = fe.generate(&noisy).unwrap();
+        let rec = fe.reproduce(&y_ref, &helper).unwrap();
+        prop_assert_eq!(rec.response, noisy);
+        prop_assert_eq!(rec.corrected_errors, positions.len());
+    }
+}
+
+// ------------------------------------------------------------------- pe32
+
+fn instruction_strategy() -> impl Strategy<Value = Instruction> {
+    let reg = (0u8..16).prop_map(Reg::new);
+    let alu = prop::sample::select(vec![
+        AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor,
+        AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt, AluOp::Sltu, AluOp::Mul,
+    ]);
+    let cond = prop::sample::select(vec![
+        BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu,
+    ]);
+    prop_oneof![
+        (alu.clone(), reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
+        (alu, reg.clone(), reg.clone(), any::<i16>())
+            .prop_map(|(op, rd, rs1, imm)| Instruction::AluImm { op, rd, rs1, imm }),
+        (reg.clone(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instruction::Lw { rd, rs1, imm }),
+        (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(rs2, rs1, imm)| Instruction::Sw { rs2, rs1, imm }),
+        (cond, reg.clone(), reg.clone(), any::<i16>())
+            .prop_map(|(cond, rs1, rs2, imm)| Instruction::Branch { cond, rs1, rs2, imm }),
+        (reg.clone(), any::<i16>()).prop_map(|(rd, imm)| Instruction::Jal { rd, imm }),
+        (reg.clone(), reg.clone()).prop_map(|(rd, rs1)| Instruction::Jalr { rd, rs1 }),
+        Just(Instruction::Halt),
+        Just(Instruction::Nop),
+        Just(Instruction::Pstart),
+        Just(Instruction::Pend),
+        reg.clone().prop_map(|rd| Instruction::Pread { rd }),
+        (reg, any::<i16>()).prop_map(|(rd, imm)| Instruction::Phelp { rd, imm }),
+    ]
+}
+
+proptest! {
+    /// Every instruction encodes and decodes losslessly.
+    #[test]
+    fn isa_encode_decode_round_trip(inst in instruction_strategy()) {
+        prop_assert_eq!(Instruction::decode(inst.encode()), Ok(inst));
+    }
+
+    /// The textual form of any instruction re-assembles to the same word
+    /// (the disassembler and assembler are inverse).
+    #[test]
+    fn display_reassembles(inst in instruction_strategy()) {
+        let text = inst.to_string();
+        let program = pufatt_pe32::asm::assemble(&text).map_err(|e| TestCaseError::fail(format!("{e}: `{text}`")))?;
+        prop_assert_eq!(program.image, vec![inst.encode()], "text was `{}`", text);
+    }
+
+    /// ALU semantics agree with the host CPU for the operations that have
+    /// native counterparts.
+    #[test]
+    fn alu_matches_host(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(AluOp::Add.apply(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.apply(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Mul.apply(a, b), a.wrapping_mul(b));
+        prop_assert_eq!(AluOp::And.apply(a, b), a & b);
+        prop_assert_eq!(AluOp::Xor.apply(a, b), a ^ b);
+        prop_assert_eq!(AluOp::Sll.apply(a, b), a.wrapping_shl(b & 31));
+    }
+}
+
+// ------------------------------------------------------------------ swatt
+
+proptest! {
+    /// Any single-word change inside the attested region changes the
+    /// checksum (with the default 4x coverage, collisions would require a
+    /// state-cycle coincidence; none exist over this input space).
+    #[test]
+    fn checksum_detects_any_single_word_change(seed in any::<u32>(), pos in 0usize..256, flip in 1u32..) {
+        let params = SwattParams { region_bits: 8, rounds: 1024, puf_interval: 0 };
+        let memory: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut tampered = memory.clone();
+        tampered[pos] ^= flip;
+        let clean = compute(&memory, seed, 77, &params, &mut NoPuf);
+        let dirty = compute(&tampered, seed, 77, &params, &mut NoPuf);
+        prop_assert_ne!(clean.response, dirty.response);
+    }
+
+    /// The T-function is a bijection step: distinct states map to distinct
+    /// successors.
+    #[test]
+    fn tfunction_is_injective(x in any::<u32>(), y in any::<u32>()) {
+        prop_assume!(x != y);
+        prop_assert_ne!(TFunction::new(x).next(), TFunction::new(y).next());
+    }
+}
+
+// ------------------------------------------------------------- core/obfus
+
+proptest! {
+    /// The obfuscation network is XOR-linear in every input.
+    #[test]
+    fn obfuscation_linearity(ys in prop::collection::vec(any::<u32>(), 8), delta in any::<u32>(), idx in 0usize..8) {
+        let base: [u64; 8] = std::array::from_fn(|i| ys[i] as u64);
+        let mut shifted = base;
+        shifted[idx] ^= delta as u64;
+        let lhs = obfuscate(&shifted, 32);
+        let expected_delta = if idx % 2 == 0 {
+            phase1_pair(delta as u64, 0, 32)
+        } else {
+            phase1_pair(0, delta as u64, 32)
+        };
+        prop_assert_eq!(lhs, obfuscate(&base, 32) ^ expected_delta);
+    }
+
+    /// Folding is an involution-compatible projection: folding a folded
+    /// value's zero-extension gives the fold of its halves.
+    #[test]
+    fn fold_is_half_projection(y in any::<u32>()) {
+        let folded = fold_halves(y as u64, 32);
+        prop_assert!(folded <= 0xFFFF);
+        prop_assert_eq!(folded, ((y ^ (y >> 16)) & 0xFFFF) as u64);
+    }
+
+    /// Challenge packing round-trips at every width.
+    #[test]
+    fn challenge_packing(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+        let ch = Challenge::new(a, b, w);
+        prop_assert_eq!(Challenge::from_packed(ch.to_packed(w), w), ch);
+    }
+
+    /// Response Hamming distance is a metric.
+    #[test]
+    fn response_distance_metric(x in any::<u32>(), y in any::<u32>(), z in any::<u32>()) {
+        let (rx, ry, rz) = (RawResponse::new(x as u64, 32), RawResponse::new(y as u64, 32), RawResponse::new(z as u64, 32));
+        prop_assert_eq!(rx.hamming_distance(ry), ry.hamming_distance(rx));
+        prop_assert!(rx.hamming_distance(rz) <= rx.hamming_distance(ry) + ry.hamming_distance(rz));
+        prop_assert_eq!(rx.hamming_distance(rx), 0);
+    }
+}
