@@ -21,33 +21,47 @@ fn main() {
     let sampler = ChipSampler::new();
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
     let chips = design.fabricate_many(&sampler, 6, &mut rng);
-    let insts: Vec<_> = chips.iter().map(|c| PufInstance::new(&design, c, Environment::nominal())).collect();
+    let insts: Vec<_> = chips
+        .iter()
+        .map(|c| PufInstance::new(&design, c, Environment::nominal()))
+        .collect();
     let challenges: Vec<Challenge> = (0..250).map(|_| Challenge::random(&mut rng, 32)).collect();
 
     // inter-chip HD
     let mut inter = HdHistogram::new(32);
     for &ch in &challenges {
         let rs: Vec<_> = insts.iter().map(|i| i.evaluate(ch, &mut rng)).collect();
-        for a in 0..rs.len() { for b in a+1..rs.len() { inter.record_pair(rs[a], rs[b]); } }
+        for a in 0..rs.len() {
+            for b in a + 1..rs.len() {
+                inter.record_pair(rs[a], rs[b]);
+            }
+        }
     }
-    println!("inter raw: mean {:.2} bits ({:.1}%)", inter.mean_bits(), 100.0*inter.mean_fraction());
+    println!("inter raw: mean {:.2} bits ({:.1}%)", inter.mean_bits(), 100.0 * inter.mean_fraction());
 
     // intra-chip HD (metastability only, nominal)
     let mut intra = HdHistogram::new(32);
     for &ch in &challenges {
         let r0 = insts[0].evaluate(ch, &mut rng);
-        for _ in 0..3 { intra.record_pair(r0, insts[0].evaluate(ch, &mut rng)); }
+        for _ in 0..3 {
+            intra.record_pair(r0, insts[0].evaluate(ch, &mut rng));
+        }
     }
-    println!("intra nominal: mean {:.2} bits ({:.1}%)", intra.mean_bits(), 100.0*intra.mean_fraction());
+    println!("intra nominal: mean {:.2} bits ({:.1}%)", intra.mean_bits(), 100.0 * intra.mean_fraction());
 
     // intra under corners
-    for env in [Environment::with_vdd(0.9), Environment::with_vdd(1.1), Environment::with_temp(-20.0), Environment::with_temp(120.0)] {
+    for env in [
+        Environment::with_vdd(0.9),
+        Environment::with_vdd(1.1),
+        Environment::with_temp(-20.0),
+        Environment::with_temp(120.0),
+    ] {
         let corner = PufInstance::new(&design, &chips[0], env);
         let mut h = HdHistogram::new(32);
         for &ch in &challenges {
             let r0 = insts[0].evaluate(ch, &mut rng);
             h.record_pair(r0, corner.evaluate(ch, &mut rng));
         }
-        println!("intra {env}: mean {:.2} bits ({:.1}%)", h.mean_bits(), 100.0*h.mean_fraction());
+        println!("intra {env}: mean {:.2} bits ({:.1}%)", h.mean_bits(), 100.0 * h.mean_fraction());
     }
 }

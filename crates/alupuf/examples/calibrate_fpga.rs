@@ -36,6 +36,11 @@ fn main() {
         inter.record_pair(ra, b.evaluate(ch, &mut rng));
         intra.record_pair(ra, a.evaluate(ch, &mut rng));
     }
-    println!("inter raw {:.1}% ({:.1}b)  intra {:.1}% ({:.1}b)",
-        100.0*inter.mean_fraction(), inter.mean_bits(), 100.0*intra.mean_fraction(), intra.mean_bits());
+    println!(
+        "inter raw {:.1}% ({:.1}b)  intra {:.1}% ({:.1}b)",
+        100.0 * inter.mean_fraction(),
+        inter.mean_bits(),
+        100.0 * intra.mean_fraction(),
+        intra.mean_bits()
+    );
 }

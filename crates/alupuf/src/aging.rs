@@ -37,7 +37,12 @@ pub struct AgingModel {
 impl AgingModel {
     /// Representative 45 nm NBTI parameters.
     pub fn nbti_45nm() -> Self {
-        AgingModel { amplitude_v: 0.025, exponent: 0.16, reference_hours: 8760.0, stress_spread: 0.3 }
+        AgingModel {
+            amplitude_v: 0.025,
+            exponent: 0.16,
+            reference_hours: 8760.0,
+            stress_spread: 0.3,
+        }
     }
 
     /// Mean threshold-voltage drift after `hours` of operation.

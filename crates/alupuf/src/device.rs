@@ -124,12 +124,22 @@ pub struct AluPufConfig {
 impl AluPufConfig {
     /// The paper's simulated configuration: 32-bit responses, ASIC noise.
     pub fn paper_32bit() -> Self {
-        AluPufConfig { width: 32, adder: AdderKind::RippleCarry, arbiter: ArbiterConfig::asic(), design_seed: 0x41_4C_55_50 }
+        AluPufConfig {
+            width: 32,
+            adder: AdderKind::RippleCarry,
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 0x41_4C_55_50,
+        }
     }
 
     /// The paper's FPGA prototype configuration: 16-bit responses.
     pub fn fpga_16bit() -> Self {
-        AluPufConfig { width: 16, adder: AdderKind::RippleCarry, arbiter: ArbiterConfig::fpga(), design_seed: 0x46_50_47_41 }
+        AluPufConfig {
+            width: 16,
+            adder: AdderKind::RippleCarry,
+            arbiter: ArbiterConfig::fpga(),
+            design_seed: 0x46_50_47_41,
+        }
     }
 }
 
@@ -176,12 +186,22 @@ impl AluPufDesign {
         netlist.validate().expect("generated ALU PUF netlist is well formed");
 
         let mut design_rng = ChaCha8Rng::seed_from_u64(config.design_seed);
-        let design_skew_ps =
-            (0..w).map(|_| gaussian(&mut design_rng) * config.arbiter.design_skew_sigma_ps).collect();
+        let design_skew_ps = (0..w)
+            .map(|_| gaussian(&mut design_rng) * config.arbiter.design_skew_sigma_ps)
+            .collect();
         let gate_delay_factor = (0..netlist.gate_count())
             .map(|_| (1.0 + gaussian(&mut design_rng) * config.arbiter.routing_mismatch_sigma).max(0.3))
             .collect();
-        AluPufDesign { config, netlist, a_bus, b_bus, alu0, alu1, design_skew_ps, gate_delay_factor }
+        AluPufDesign {
+            config,
+            netlist,
+            a_bus,
+            b_bus,
+            alu0,
+            alu1,
+            design_skew_ps,
+            gate_delay_factor,
+        }
     }
 
     /// The design configuration.
@@ -252,8 +272,12 @@ impl AluPufDesign {
         // every input toggles at t = 0 (the synchronisation logic's job).
         let w = self.config.width;
         let mask = crate::challenge::width_mask(w);
-        let from = self.netlist.input_vector(&[(&self.a_bus, !challenge.a & mask), (&self.b_bus, !challenge.b & mask)]);
-        let to = self.netlist.input_vector(&[(&self.a_bus, challenge.a), (&self.b_bus, challenge.b)]);
+        let from = self
+            .netlist
+            .input_vector(&[(&self.a_bus, !challenge.a & mask), (&self.b_bus, !challenge.b & mask)]);
+        let to = self
+            .netlist
+            .input_vector(&[(&self.a_bus, challenge.a), (&self.b_bus, challenge.b)]);
         (from, to)
     }
 }
@@ -321,7 +345,13 @@ impl<'a> PufInstance<'a> {
     /// Binds a chip to an operating point.
     pub fn new(design: &'a AluPufDesign, puf_chip: &'a PufChip, env: Environment) -> Self {
         let delays_ps = design.effective_delays_ps(&puf_chip.chip, &env);
-        PufInstance { design, puf_chip, env, delays_ps, pdl_offset_ps: vec![0.0; design.width()] }
+        PufInstance {
+            design,
+            puf_chip,
+            env,
+            delays_ps,
+            pdl_offset_ps: vec![0.0; design.width()],
+        }
     }
 
     /// The operating point.
@@ -491,7 +521,12 @@ impl<'a> PufInstance<'a> {
                 bits |= 1 << i;
             }
         }
-        Evaluation { response: RawResponse::new(bits, w), delta_ps, settle0_ps: settle0, settle1_ps: settle1 }
+        Evaluation {
+            response: RawResponse::new(bits, w),
+            delta_ps,
+            settle0_ps: settle0,
+            settle1_ps: settle1,
+        }
     }
 }
 
@@ -513,7 +548,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn small_design() -> AluPufDesign {
-        AluPufDesign::new(AluPufConfig { width: 8, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 7 })
+        AluPufDesign::new(AluPufConfig {
+            width: 8,
+            adder: AdderKind::default(),
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 7,
+        })
     }
 
     #[test]
@@ -529,7 +569,12 @@ mod tests {
         let a = small_design();
         let b = small_design();
         assert_eq!(a.design_skew_ps(), b.design_skew_ps());
-        let c = AluPufDesign::new(AluPufConfig { width: 8, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 8 });
+        let c = AluPufDesign::new(AluPufConfig {
+            width: 8,
+            adder: AdderKind::default(),
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 8,
+        });
         assert_ne!(a.design_skew_ps(), c.design_skew_ps());
     }
 

@@ -120,7 +120,11 @@ impl DelayTable {
         if !cur.is_empty() {
             return Err(format!("{} trailing bytes after delay table", cur.len()));
         }
-        Ok(DelayTable { delays_ps, arbiter_offset_ps, env: Environment::new(vdd, temp) })
+        Ok(DelayTable {
+            delays_ps,
+            arbiter_offset_ps,
+            env: Environment::new(vdd, temp),
+        })
     }
 }
 
@@ -282,7 +286,9 @@ mod tests {
         let (design, chip) = setup();
         let table = DelayTable::extract(&design, &chip, Environment::nominal());
         let bytes = table.to_bytes();
-        assert!(DelayTable::from_bytes(&bytes[..bytes.len() - 3]).unwrap_err().contains("truncated"));
+        assert!(DelayTable::from_bytes(&bytes[..bytes.len() - 3])
+            .unwrap_err()
+            .contains("truncated"));
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
         assert!(DelayTable::from_bytes(&bad_magic).unwrap_err().contains("magic"));

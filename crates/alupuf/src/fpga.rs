@@ -88,7 +88,10 @@ impl<'a> FpgaBoard<'a> {
     /// [`crate::device::AluPufConfig::fpga_16bit`]-style parameters) and a
     /// manufactured chip, operating at `env`.
     pub fn new(design: &'a AluPufDesign, chip: &'a PufChip, env: Environment, pdl_step_ps: f64) -> Self {
-        let mut board = FpgaBoard { instance: PufInstance::new(design, chip, env), pdl: PdlBank::new(design.width(), pdl_step_ps) };
+        let mut board = FpgaBoard {
+            instance: PufInstance::new(design, chip, env),
+            pdl: PdlBank::new(design.width(), pdl_step_ps),
+        };
         board.apply_pdl();
         board
     }

@@ -67,8 +67,10 @@ pub fn measure_quality<R: Rng + ?Sized>(
 ) -> QualityReport {
     assert!(chips.len() >= 2, "need at least two chips for uniqueness");
     let width = design.width();
-    let nominal: Vec<PufInstance<'_>> =
-        chips.iter().map(|c| PufInstance::new(design, c, Environment::nominal())).collect();
+    let nominal: Vec<PufInstance<'_>> = chips
+        .iter()
+        .map(|c| PufInstance::new(design, c, Environment::nominal()))
+        .collect();
     let hot = PufInstance::new(design, &chips[0], Environment::with_temp(120.0));
 
     let mut inter = HdHistogram::new(width);

@@ -27,7 +27,11 @@ pub struct ResourceUse {
 
 impl fmt::Display for ResourceUse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} LUTs, {} FFs, {} XORs, {} BRAM, {} FIFO", self.luts, self.registers, self.xors, self.bram, self.fifo)
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} XORs, {} BRAM, {} FIFO",
+            self.luts, self.registers, self.xors, self.bram, self.fifo
+        )
     }
 }
 
@@ -68,25 +72,49 @@ impl ResourceEstimator {
     /// carry 2 per response bit.
     pub fn alu_puf(&self) -> ResourceUse {
         let w = self.width;
-        ResourceUse { luts: 6 * w - 2, registers: 5 * w, xors: 2 * w, bram: 0, fifo: 0 }
+        ResourceUse {
+            luts: 6 * w - 2,
+            registers: 5 * w,
+            xors: 2 * w,
+            bram: 0,
+            fifo: 0,
+        }
     }
 
     /// Synchronisation logic launching both ALUs simultaneously.
     pub fn sync_logic(&self) -> ResourceUse {
         let w = self.width;
-        ResourceUse { luts: w / 2 + 1, registers: w / 2 - 1, xors: 0, bram: 0, fifo: 0 }
+        ResourceUse {
+            luts: w / 2 + 1,
+            registers: w / 2 - 1,
+            xors: 0,
+            bram: 0,
+            fifo: 0,
+        }
     }
 
     /// Syndrome generator: the `(n−k) × n` parity-check multiplication
     /// datapath plus control; matrix constants live in block RAM.
     pub fn syndrome_generator(&self) -> ResourceUse {
         let h = self.helper_bits;
-        ResourceUse { luts: 76 * h, registers: 34 * h - 4, xors: 0, bram: 3, fifo: 0 }
+        ResourceUse {
+            luts: 76 * h,
+            registers: 34 * h - 4,
+            xors: 0,
+            bram: 3,
+            fifo: 0,
+        }
     }
 
     /// XOR obfuscation network (two phases over 8 raw responses).
     pub fn obfuscation(&self) -> ResourceUse {
-        ResourceUse { luts: 14 * self.width, registers: 0, xors: 0, bram: 0, fifo: 0 }
+        ResourceUse {
+            luts: 14 * self.width,
+            registers: 0,
+            xors: 0,
+            bram: 0,
+            fifo: 0,
+        }
     }
 
     /// Programmable delay lines: `pdl_stages` stages × 2 LUTs per stage ×
@@ -151,7 +179,13 @@ impl ResourceEstimator {
     /// Total estimate over the PUF-specific components (everything except
     /// the SIRC data-collection harness, which an ASIC would not carry).
     pub fn puf_total(&self) -> ResourceUse {
-        let rows = [self.alu_puf(), self.sync_logic(), self.syndrome_generator(), self.obfuscation(), self.pdl()];
+        let rows = [
+            self.alu_puf(),
+            self.sync_logic(),
+            self.syndrome_generator(),
+            self.obfuscation(),
+            self.pdl(),
+        ];
         rows.iter().fold(ResourceUse::default(), |acc, r| ResourceUse {
             luts: acc.luts + r.luts,
             registers: acc.registers + r.registers,

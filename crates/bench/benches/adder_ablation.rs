@@ -28,13 +28,24 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for kind in [AdderKind::RippleCarry, AdderKind::CarryLookahead, AdderKind::CarrySelect] {
-        let config = AluPufConfig { width: 32, adder: kind, arbiter: ArbiterConfig::asic(), design_seed: 0xAB1A };
+    for kind in [
+        AdderKind::RippleCarry,
+        AdderKind::CarryLookahead,
+        AdderKind::CarrySelect,
+    ] {
+        let config = AluPufConfig {
+            width: 32,
+            adder: kind,
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 0xAB1A,
+        };
         let design = AluPufDesign::new(config);
         let mut rng = ChaCha8Rng::seed_from_u64(0xADDE);
         let chips = design.fabricate_many(&ChipSampler::new(), chips_n, &mut rng);
-        let instances: Vec<PufInstance<'_>> =
-            chips.iter().map(|c| PufInstance::new(&design, c, Environment::nominal())).collect();
+        let instances: Vec<PufInstance<'_>> = chips
+            .iter()
+            .map(|c| PufInstance::new(&design, c, Environment::nominal()))
+            .collect();
 
         let (inter, intra, t_alu) = timed(&format!("{kind:?}"), || {
             let mut inter = HdHistogram::new(32);

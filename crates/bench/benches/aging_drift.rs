@@ -39,10 +39,7 @@ fn main() {
     let model = AgingModel::nbti_45nm();
     let profile = FailureProfile::estimate(&ReedMuller1::bch_32_6_16(), 2_000, &mut rng);
 
-    println!(
-        "\n  {:>8} {:>12} {:>16} {:>16}",
-        "years", "dVth (mV)", "intra-HD (stale)", "FNR (stale)"
-    );
+    println!("\n  {:>8} {:>12} {:>16} {:>16}", "years", "dVth (mV)", "intra-HD (stale)", "FNR (stale)");
     let mut drift_series = Vec::new();
     for years in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0] {
         let hours = years * HOURS_PER_YEAR;
@@ -67,17 +64,9 @@ fn main() {
                 let probs: Vec<f64> = flips.iter().map(|&f| f as f64 / REPEATS as f64).collect();
                 fnr_acc += profile.false_negative_rate(&probs);
             }
-            (
-                hd as f64 / (challenges_n as f64 * 8.0 * 32.0),
-                fnr_acc / challenges_n as f64,
-            )
+            (hd as f64 / (challenges_n as f64 * 8.0 * 32.0), fnr_acc / challenges_n as f64)
         });
-        println!(
-            "  {years:>8.1} {:>12.1} {:>15.1}% {:>16.2e}",
-            model.mean_drift_v(hours) * 1e3,
-            100.0 * hd_frac,
-            fnr
-        );
+        println!("  {years:>8.1} {:>12.1} {:>15.1}% {:>16.2e}", model.mean_drift_v(hours) * 1e3, 100.0 * hd_frac, fnr);
         drift_series.push((years, hd_frac, fnr));
     }
 
@@ -88,7 +77,9 @@ fn main() {
     let mut hd = 0u64;
     for _ in 0..challenges_n {
         let ch = Challenge::random(&mut rng, 32);
-        hd += instance.evaluate_voted(ch, votes, &mut rng).hamming_distance(refreshed.emulate(ch)) as u64;
+        hd += instance
+            .evaluate_voted(ch, votes, &mut rng)
+            .hamming_distance(refreshed.emulate(ch)) as u64;
     }
     let refreshed_hd = hd as f64 / (challenges_n as f64 * 32.0);
     println!("\n  after re-enrollment at 10 y: intra-HD {:.1}%", 100.0 * refreshed_hd);

@@ -90,9 +90,21 @@ fn main() {
     });
 
     println!();
-    row("arbiter PUF inter / intra", "~46% / ~10% [17]", &format!("{:.1}% / {:.1}%", 100.0 * plain_inter, 100.0 * plain_intra));
-    row("feed-forward inter / intra", "38% / 9.8% [17]", &format!("{:.1}% / {:.1}%", 100.0 * ff_inter, 100.0 * ff_intra));
-    row("ALU PUF inter / intra", "35.9% / 11.3% (paper)", &format!("{:.1}% / {:.1}%", 100.0 * alu_inter, 100.0 * alu_intra));
+    row(
+        "arbiter PUF inter / intra",
+        "~46% / ~10% [17]",
+        &format!("{:.1}% / {:.1}%", 100.0 * plain_inter, 100.0 * plain_intra),
+    );
+    row(
+        "feed-forward inter / intra",
+        "38% / 9.8% [17]",
+        &format!("{:.1}% / {:.1}%", 100.0 * ff_inter, 100.0 * ff_intra),
+    );
+    row(
+        "ALU PUF inter / intra",
+        "35.9% / 11.3% (paper)",
+        &format!("{:.1}% / {:.1}%", 100.0 * alu_inter, 100.0 * alu_intra),
+    );
 
     // --- The classic modeling attack --------------------------------------
     let attack = |mut oracle: Oracle, rng: &mut ChaCha8Rng| -> f64 {
@@ -112,13 +124,9 @@ fn main() {
     };
 
     let plain = ArbiterPuf::sample(STAGES, 5.0, 6.0, &mut rng);
-    let acc_plain = timed("attack: arbiter", || {
-        attack(Box::new(move |c, r| plain.evaluate(c, r)), &mut rng)
-    });
+    let acc_plain = timed("attack: arbiter", || attack(Box::new(move |c, r| plain.evaluate(c, r)), &mut rng));
     let ff = FeedForwardArbiterPuf::sample(STAGES, 2, 5.0, 6.0, &mut rng);
-    let acc_ff = timed("attack: feed-forward", || {
-        attack(Box::new(move |c, r| ff.evaluate(c, r)), &mut rng)
-    });
+    let acc_ff = timed("attack: feed-forward", || attack(Box::new(move |c, r| ff.evaluate(c, r)), &mut rng));
 
     println!();
     row("LR+parity attack on arbiter PUF", ">95% [27]", &format!("{:.1}%", 100.0 * acc_plain));

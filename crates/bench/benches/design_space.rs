@@ -48,8 +48,7 @@ fn main() {
             // is the timing-detection margin.
             let region = prover.expected_region();
             let mut attacker =
-                build_malicious_prover(enrolled.device_handle(0xAC), params, &region, clock, 1.0)
-                    .expect("attacker");
+                build_malicious_prover(enrolled.device_handle(0xAC), params, &region, clock, 1.0).expect("attacker");
             let (attack_verdict, _) = run_session(&mut attacker, &verifier, request).expect("attack");
 
             let margin_us = (attack_verdict.elapsed_s - attack_verdict.delta_s) * 1e6;

@@ -65,18 +65,39 @@ fn main() {
     });
 
     let candidates: Vec<Candidate> = vec![
-        Candidate { name: "BCH[32,6,16] (paper, ML)", decoder: Box::new(ReedMuller1::bch_32_6_16()), covered_bits: 32 },
-        Candidate { name: "BCH(31,6,t=7) (BM)", decoder: Box::new(BchCode::new(5, 7)), covered_bits: 31 },
-        Candidate { name: "BCH(31,16,t=3) (BM)", decoder: Box::new(BchCode::new(5, 3)), covered_bits: 31 },
-        Candidate { name: "Golay [24,12,8] (ML)", decoder: Box::new(GolayCode::new()), covered_bits: 24 },
-        Candidate { name: "repetition r=3 (k=10)", decoder: Box::new(RepetitionCode::new(3, 10)), covered_bits: 30 },
-        Candidate { name: "repetition r=5 (k=6)", decoder: Box::new(RepetitionCode::new(5, 6)), covered_bits: 30 },
+        Candidate {
+            name: "BCH[32,6,16] (paper, ML)",
+            decoder: Box::new(ReedMuller1::bch_32_6_16()),
+            covered_bits: 32,
+        },
+        Candidate {
+            name: "BCH(31,6,t=7) (BM)",
+            decoder: Box::new(BchCode::new(5, 7)),
+            covered_bits: 31,
+        },
+        Candidate {
+            name: "BCH(31,16,t=3) (BM)",
+            decoder: Box::new(BchCode::new(5, 3)),
+            covered_bits: 31,
+        },
+        Candidate {
+            name: "Golay [24,12,8] (ML)",
+            decoder: Box::new(GolayCode::new()),
+            covered_bits: 24,
+        },
+        Candidate {
+            name: "repetition r=3 (k=10)",
+            decoder: Box::new(RepetitionCode::new(3, 10)),
+            covered_bits: 30,
+        },
+        Candidate {
+            name: "repetition r=5 (k=6)",
+            decoder: Box::new(RepetitionCode::new(5, 6)),
+            covered_bits: 30,
+        },
     ];
 
-    println!(
-        "\n  {:<26} {:>6} {:>7} {:>9} {:>12}",
-        "code", "n", "helper", "key bits", "FNR"
-    );
+    println!("\n  {:<26} {:>6} {:>7} {:>9} {:>12}", "code", "n", "helper", "key bits", "FNR");
     let mut paper_fnr = f64::NAN;
     let mut rep_fnr = f64::NAN;
     for cand in &candidates {
@@ -89,14 +110,7 @@ fn main() {
             .map(|p| profile.false_negative_rate(&p[..cand.covered_bits.min(code.n())]))
             .sum::<f64>()
             / flip_profiles.len() as f64;
-        println!(
-            "  {:<26} {:>6} {:>7} {:>9} {:>12.2e}",
-            cand.name,
-            code.n(),
-            code.syndrome_bits(),
-            code.k(),
-            fnr
-        );
+        println!("  {:<26} {:>6} {:>7} {:>9} {:>12.2e}", cand.name, code.n(), code.syndrome_bits(), code.k(), fnr);
         if cand.name.starts_with("BCH[32") {
             paper_fnr = fnr;
         }

@@ -25,8 +25,10 @@ fn main() {
     let design = AluPufDesign::new(AluPufConfig::paper_32bit());
     let mut rng = ChaCha8Rng::seed_from_u64(0xF163);
     let chips = design.fabricate_many(&ChipSampler::new(), chips_n, &mut rng);
-    let instances: Vec<PufInstance<'_>> =
-        chips.iter().map(|c| PufInstance::new(&design, c, Environment::nominal())).collect();
+    let instances: Vec<PufInstance<'_>> = chips
+        .iter()
+        .map(|c| PufInstance::new(&design, c, Environment::nominal()))
+        .collect();
 
     let (raw_hist, obf_hist) = timed("simulation", || {
         let mut raw_hist = HdHistogram::new(32);
@@ -36,8 +38,7 @@ fn main() {
         while remaining > 0 {
             // One obfuscation group of 8 challenges doubles as 8 raw
             // challenges, so both statistics consume the same budget.
-            let group: [Challenge; RESPONSES_PER_OUTPUT] =
-                std::array::from_fn(|_| Challenge::random(&mut rng, 32));
+            let group: [Challenge; RESPONSES_PER_OUTPUT] = std::array::from_fn(|_| Challenge::random(&mut rng, 32));
             let responses: Vec<[u64; RESPONSES_PER_OUTPUT]> = instances
                 .iter()
                 .map(|inst| std::array::from_fn(|j| inst.evaluate(group[j], &mut rng).bits()))

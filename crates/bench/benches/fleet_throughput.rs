@@ -1,0 +1,46 @@
+//! Fleet engine: session throughput vs. worker count.
+//!
+//! Not a paper figure — a scheduler benchmark for the `pufatt-fleet`
+//! subsystem. One campaign (same seed, same devices, same sessions) is
+//! run at increasing worker counts; because all session time is
+//! simulated, every run produces identical accept/reject totals, and the
+//! only thing that changes is wall-clock throughput. The sweep therefore
+//! shows the worker pool's scaling curve with the verification work as
+//! the payload.
+
+use pufatt_bench::{full_scale, header, timed};
+use pufatt_fleet::{run_campaign, small_test_config};
+
+fn main() {
+    header("Fleet", "Attestation session throughput vs. worker count (pufatt-fleet scheduler)");
+    let devices = if full_scale() { 256 } else { 64 };
+    let workers_sweep: &[usize] = if full_scale() { &[1, 2, 4, 8, 16] } else { &[1, 2, 4] };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("  {devices} devices x 4 sessions per run; {cores} core(s) available (speedup is bounded by cores)");
+
+    let mut baseline: Option<(u64, u64)> = None;
+    let mut single_worker_rate = 0.0;
+    for &workers in workers_sweep {
+        let mut cfg = small_test_config(devices, workers, 0xF1EE7);
+        cfg.sessions_per_device = 4;
+        let report = timed(&format!("{workers:>2} workers"), || run_campaign(&cfg).expect("campaign"));
+        let snap = &report.snapshot;
+        let totals = (snap.sessions_accepted, snap.sessions_rejected);
+        match baseline {
+            None => {
+                baseline = Some(totals);
+                single_worker_rate = report.sessions_per_second();
+            }
+            Some(expected) => assert_eq!(totals, expected, "worker count must not change verdicts"),
+        }
+        println!(
+            "    {:>2} workers: {:>7.0} sessions/s (speedup {:>4.2}x), {} accepted / {} rejected",
+            workers,
+            report.sessions_per_second(),
+            report.sessions_per_second() / single_worker_rate.max(1e-9),
+            snap.sessions_accepted,
+            snap.sessions_rejected
+        );
+    }
+    println!("  verdict totals identical at every worker count (deterministic scheduler)");
+}

@@ -56,9 +56,8 @@ fn main() {
     let emulator = PufEmulator::enroll(&design, &chip, Environment::nominal());
     let fe = ReverseFuzzyExtractor::new(ReedMuller1::bch_32_6_16());
 
-    let profile = timed("decoder failure profile", || {
-        FailureProfile::estimate(&ReedMuller1::bch_32_6_16(), 4_000, &mut rng)
-    });
+    let profile =
+        timed("decoder failure profile", || FailureProfile::estimate(&ReedMuller1::bch_32_6_16(), 4_000, &mut rng));
 
     let mut mean_errors_raw = 0.0;
     let mut mean_errors_voted = 0.0;
@@ -81,9 +80,7 @@ fn main() {
                     *fr += (((raw.bits() ^ reference.bits()) >> b) & 1) as u32;
                     *fv += (((voted.bits() ^ reference.bits()) >> b) & 1) as u32;
                 }
-                for (resp, failures) in
-                    [(raw, &mut direct_raw_failures), (voted, &mut direct_voted_failures)]
-                {
+                for (resp, failures) in [(raw, &mut direct_raw_failures), (voted, &mut direct_voted_failures)] {
                     let helper = fe.generate(&BitVec::from_word(resp.bits(), 32)).expect("32-bit");
                     match fe.reproduce(&ref_bits, &helper) {
                         Ok(rec) if rec.response.as_word() == resp.bits() => {}
@@ -109,23 +106,45 @@ fn main() {
     let paper_method_at_measured_ber = binomial_tail(32, ber_raw, 16);
     let paper_method_at_paper_ber = binomial_tail(32, 0.113, 16);
 
-    row("mean raw bit errors per response", "3.62 b (11.3%)", &format!("{:.2} b ({:.1}%)", mean_errors_raw, 100.0 * ber_raw));
-    row("paper's method: P(X>=16) at paper BER 11.3%", "1.53e-7", &format!("{paper_method_at_paper_ber:.2e}"));
+    row(
+        "mean raw bit errors per response",
+        "3.62 b (11.3%)",
+        &format!("{:.2} b ({:.1}%)", mean_errors_raw, 100.0 * ber_raw),
+    );
+    row(
+        "paper's method: P(X>=16) at paper BER 11.3%",
+        "1.53e-7",
+        &format!("{paper_method_at_paper_ber:.2e}"),
+    );
     row("paper's method at our measured BER", "-", &format!("{paper_method_at_measured_ber:.2e}"));
     println!();
     row("decoder-aware FNR, raw single-shot (analytic)", "-", &format!("{fnr_raw_analytic:.2e}"));
     row(
         "decoder-aware FNR, raw single-shot (direct MC)",
         "-",
-        &format!("{} / {} ({:.1e})", direct_raw_failures, direct_trials, direct_raw_failures as f64 / direct_trials as f64),
+        &format!(
+            "{} / {} ({:.1e})",
+            direct_raw_failures,
+            direct_trials,
+            direct_raw_failures as f64 / direct_trials as f64
+        ),
     );
     println!();
-    row("mean bit errors after 5-fold voting", "-", &format!("{:.2} b ({:.1}%)", mean_errors_voted, 100.0 * mean_errors_voted / 32.0));
+    row(
+        "mean bit errors after 5-fold voting",
+        "-",
+        &format!("{:.2} b ({:.1}%)", mean_errors_voted, 100.0 * mean_errors_voted / 32.0),
+    );
     row("decoder-aware FNR, voted (analytic)", "-", &format!("{fnr_voted_analytic:.2e}"));
     row(
         "decoder-aware FNR, voted (direct MC)",
         "-",
-        &format!("{} / {} ({:.1e})", direct_voted_failures, direct_trials, direct_voted_failures as f64 / direct_trials as f64),
+        &format!(
+            "{} / {} ({:.1e})",
+            direct_voted_failures,
+            direct_trials,
+            direct_voted_failures as f64 / direct_trials as f64
+        ),
     );
     println!();
     println!("  Finding: the paper's 1.53e-7 corresponds to assuming the [32,6,16] code");

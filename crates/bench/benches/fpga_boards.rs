@@ -36,8 +36,16 @@ fn main() {
         let tb = board_b.tune(400, 16, 0.06, &mut rng);
         (ta, tb)
     });
-    row("board A bias before -> after tuning", "-", &format!("{:.3} -> {:.3}", tune_a.bias_before, tune_a.bias_after));
-    row("board B bias before -> after tuning", "-", &format!("{:.3} -> {:.3}", tune_b.bias_before, tune_b.bias_after));
+    row(
+        "board A bias before -> after tuning",
+        "-",
+        &format!("{:.3} -> {:.3}", tune_a.bias_before, tune_a.bias_after),
+    );
+    row(
+        "board B bias before -> after tuning",
+        "-",
+        &format!("{:.3} -> {:.3}", tune_b.bias_before, tune_b.bias_after),
+    );
 
     let (inter_raw, inter_obf, intra) = timed("measurement", || {
         let mut inter_raw = HdHistogram::new(16);
@@ -45,8 +53,7 @@ fn main() {
         let mut intra = HdHistogram::new(16);
         let mut remaining = challenges_n;
         while remaining > 0 {
-            let group: [Challenge; RESPONSES_PER_OUTPUT] =
-                std::array::from_fn(|_| Challenge::random(&mut rng, 16));
+            let group: [Challenge; RESPONSES_PER_OUTPUT] = std::array::from_fn(|_| Challenge::random(&mut rng, 16));
             let ra: [u64; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| board_a.evaluate(group[j], &mut rng).bits());
             let rb: [u64; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| board_b.evaluate(group[j], &mut rng).bits());
             for j in 0..RESPONSES_PER_OUTPUT {

@@ -45,8 +45,14 @@ fn main() {
         ("probe load 2% on every 5th gate".into(), Tamper::ProbeLoad { stride: 5, extra_fraction: 0.02 }),
         ("probe load 5% on every 3rd gate".into(), Tamper::ProbeLoad { stride: 3, extra_fraction: 0.05 }),
         ("probe load 10% on every gate".into(), Tamper::ProbeLoad { stride: 1, extra_fraction: 0.10 }),
-        ("detour +2 ps through ALU0's first slices".into(), Tamper::RerouteDetour { from: 0, to: 40, extra_ps: 2.0 }),
-        ("detour +6 ps through ALU0's first slices".into(), Tamper::RerouteDetour { from: 0, to: 40, extra_ps: 6.0 }),
+        (
+            "detour +2 ps through ALU0's first slices".into(),
+            Tamper::RerouteDetour { from: 0, to: 40, extra_ps: 2.0 },
+        ),
+        (
+            "detour +6 ps through ALU0's first slices".into(),
+            Tamper::RerouteDetour { from: 0, to: 40, extra_ps: 6.0 },
+        ),
         (
             "voltage island -20 mV over half the die".into(),
             Tamper::VoltageIsland { from: 0, to: gate_count / 2, delta_vth_v: -0.02 },
@@ -72,8 +78,8 @@ fn main() {
         provision(&enrolled, params, clock, Channel::sensor_link(), 0x7A6, 1.10).expect("provisioning");
     let attest_with = |tamper: &Tamper, seed: u64| {
         let chip = std::sync::Arc::new(tamper.apply(design, enrolled.chip()));
-        let device = pufatt::DevicePuf::new(design.clone(), chip, Environment::nominal(), seed)
-            .expect("supported width");
+        let device =
+            pufatt::DevicePuf::new(design.clone(), chip, Environment::nominal(), seed).expect("supported width");
         let mut prover = pufatt::ProverDevice::new(
             pufatt::SharedDevicePuf::new(device),
             params,
@@ -81,11 +87,12 @@ fn main() {
             clock,
         )
         .expect("prover");
-        run_session(&mut prover, &verifier, AttestationRequest { x0: 5, r0: 6 }).expect("session").0
+        run_session(&mut prover, &verifier, AttestationRequest { x0: 5, r0: 6 })
+            .expect("session")
+            .0
     };
     let probed = attest_with(&Tamper::ProbeLoad { stride: 3, extra_fraction: 0.05 }, 0x7A7);
-    let islanded =
-        attest_with(&Tamper::VoltageIsland { from: 0, to: gate_count / 2, delta_vth_v: -0.02 }, 0x7A8);
+    let islanded = attest_with(&Tamper::VoltageIsland { from: 0, to: gate_count / 2, delta_vth_v: -0.02 }, 0x7A8);
     println!("\n  attestation, mildly probed device:     {probed}");
     println!("  attestation, voltage-island device:    {islanded}");
     println!();

@@ -26,7 +26,12 @@ fn main() {
     };
     println!("  configuration: 16-bit ALU PUF, carry-aware features, test set {test_n} CRPs");
 
-    let config16 = AluPufConfig { width: 16, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 0x1616 };
+    let config16 = AluPufConfig {
+        width: 16,
+        adder: AdderKind::default(),
+        arbiter: ArbiterConfig::asic(),
+        design_seed: 0x1616,
+    };
     let enrolled = enroll(config16, 0xA77, 0).expect("supported width");
     let design = enrolled.design();
     let chip = enrolled.chip();
@@ -34,7 +39,10 @@ fn main() {
     let config = TrainConfig::default();
     let mut rng = ChaCha8Rng::seed_from_u64(0x41_7C);
 
-    println!("\n  {:<16} {:>18} {:>18} {:>20}", "train CRPs", "raw mean acc", "raw best bit", "obfuscated mean acc");
+    println!(
+        "\n  {:<16} {:>18} {:>18} {:>20}",
+        "train CRPs", "raw mean acc", "raw best bit", "obfuscated mean acc"
+    );
     let mut last_raw = 0.0;
     let mut last_obf = 0.0;
     for &train_n in &sweep {

@@ -34,13 +34,12 @@ fn main() {
     let region = prover.expected_region();
     println!(
         "  F_base = {:.0} MHz (PUF-limited), honest cycles = {}, delta = {:.3} ms, {repeats} run(s) per point",
-        clock.frequency_mhz, honest_cycles, verifier.delta_s * 1e3
+        clock.frequency_mhz,
+        honest_cycles,
+        verifier.delta_s * 1e3
     );
 
-    println!(
-        "\n  {:>8} {:>12} {:>12} {:>12} {:>10}",
-        "factor", "time ok", "response ok", "accepted", "cycles"
-    );
+    println!("\n  {:>8} {:>12} {:>12} {:>12} {:>10}", "factor", "time ok", "response ok", "accepted", "cycles");
     let factors = [1.0, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0, 4.0, 5.0];
     let mut first_time_ok = None;
     let mut last_response_ok = None;
@@ -73,11 +72,7 @@ fn main() {
 
     // Honest baseline at F_base for reference.
     let honest_factor_needed = first_time_ok.unwrap_or(f64::NAN);
-    row(
-        "overclock needed to beat delta (C_A/C_SWAT)",
-        "> 1",
-        &format!("{honest_factor_needed:.1}x"),
-    );
+    row("overclock needed to beat delta (C_A/C_SWAT)", "> 1", &format!("{honest_factor_needed:.1}x"));
     row(
         "highest factor with valid PUF responses",
         "none above F_base window",

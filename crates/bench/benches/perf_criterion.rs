@@ -33,11 +33,7 @@ fn bench_puf_evaluation(c: &mut Criterion) {
 
     let emulator = PufEmulator::enroll(&design, &chip, Environment::nominal());
     c.bench_function("alupuf/emulate_32bit", |b| {
-        b.iter_batched(
-            || Challenge::random(&mut rng, 32),
-            |ch| black_box(emulator.emulate(ch)),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| Challenge::random(&mut rng, 32), |ch| black_box(emulator.emulate(ch)), BatchSize::SmallInput)
     });
 }
 

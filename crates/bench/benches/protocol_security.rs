@@ -72,8 +72,7 @@ fn main() {
     row("memory-copy attack", "caught by time bound", &format!("{}", mc));
 
     let oc = timed("overclock evasion", || {
-        overclock_evasion_attack(enrolled.device_handle(0xBAD2), &verifier, &region, request, 4.0)
-            .expect("attack run")
+        overclock_evasion_attack(enrolled.device_handle(0xBAD2), &verifier, &region, request, 4.0).expect("attack run")
     });
     row("memory-copy + 4x overclock", "caught by PUF", &format!("{}", oc));
 

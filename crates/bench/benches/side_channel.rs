@@ -29,7 +29,9 @@ fn main() {
 
     // Collect genuine raw responses (the values the network latches).
     let raw: Vec<u64> = timed("trace collection", || {
-        (0..queries * 8).map(|_| instance.evaluate(Challenge::random(&mut rng, 32), &mut rng).bits()).collect()
+        (0..queries * 8)
+            .map(|_| instance.evaluate(Challenge::random(&mut rng, 32), &mut rng).bits())
+            .collect()
     });
     let true_hw: Vec<f64> = raw.iter().map(|y| y.count_ones() as f64).collect();
 
@@ -52,8 +54,7 @@ fn main() {
     // learns ~log2(C(32, hw)) fewer bits of uncertainty per response;
     // report the average entropy loss.
     let mean_hw = true_hw.iter().sum::<f64>() / true_hw.len() as f64;
-    let var_hw =
-        true_hw.iter().map(|h| (h - mean_hw) * (h - mean_hw)).sum::<f64>() / true_hw.len() as f64;
+    let var_hw = true_hw.iter().map(|h| (h - mean_hw) * (h - mean_hw)).sum::<f64>() / true_hw.len() as f64;
     // Differential entropy of a discretised Gaussian approximates the HW
     // entropy: 0.5·log2(2πe·var).
     let hw_entropy_bits = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E * var_hw).log2();

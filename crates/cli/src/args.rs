@@ -24,7 +24,9 @@ impl Args {
         let mut i = 0;
         while i < argv.len() {
             let arg = &argv[i];
-            let key = arg.strip_prefix("--").ok_or_else(|| format!("expected a --flag, got `{arg}`"))?;
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{arg}`"))?;
             if bool_keys.contains(&key) {
                 out.flags.push(key.to_string());
                 i += 1;
@@ -50,7 +52,10 @@ impl Args {
     ///
     /// Returns a message if the key is missing.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.values.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Numeric value of `key`, or `default`.
@@ -93,7 +98,9 @@ mod tests {
     fn rejects_unknown_keys() {
         assert!(Args::parse(&argv("--bogus 1"), &["width"], &[]).unwrap_err().contains("bogus"));
         assert!(Args::parse(&argv("loose"), &["width"], &[]).unwrap_err().contains("--flag"));
-        assert!(Args::parse(&argv("--width"), &["width"], &[]).unwrap_err().contains("needs a value"));
+        assert!(Args::parse(&argv("--width"), &["width"], &[])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use pufatt::protocol::{provision, puf_limited_clock, run_session, AttestationReq
 use pufatt::VerifierPuf;
 use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
 use pufatt_alupuf::emulate::DelayTable;
+use pufatt_fleet::{run_campaign, CampaignConfig, LifecyclePolicy};
 use pufatt_silicon::env::Environment;
 use pufatt_silicon::variation::ChipSampler;
 use pufatt_swatt::checksum::SwattParams;
@@ -49,11 +50,7 @@ pub fn enroll(argv: &[String]) -> Result<(), String> {
 
 /// `pufatt attest`: one full Fig.-2 session.
 pub fn attest(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(
-        argv,
-        &["table", "profile", "fab-seed", "rounds", "overclock"],
-        &["malware"],
-    )?;
+    let args = Args::parse(argv, &["table", "profile", "fab-seed", "rounds", "overclock"], &["malware"])?;
     let enrolled = enroll_from(&args)?;
     let table_path = args.require("table")?;
     let bytes = std::fs::read(table_path).map_err(|e| format!("reading {table_path}: {e}"))?;
@@ -90,9 +87,8 @@ pub fn attest(argv: &[String]) -> Result<(), String> {
     let overclock: f64 = args.num_or("overclock", 0.0)?;
     let verdict = if overclock > 0.0 {
         let region = prover.expected_region();
-        let mut attacker =
-            build_malicious_prover(enrolled.device_handle(3), params, &region, clock, overclock)
-                .map_err(|e| e.to_string())?;
+        let mut attacker = build_malicious_prover(enrolled.device_handle(3), params, &region, clock, overclock)
+            .map_err(|e| e.to_string())?;
         println!("running the memory-copy attack at {overclock}x overclock...");
         run_session(&mut attacker, &verifier, request).map_err(|e| e.to_string())?.0
     } else {
@@ -119,8 +115,10 @@ pub fn characterize(argv: &[String]) -> Result<(), String> {
     let design = AluPufDesign::new(config);
     let mut rng = ChaCha8Rng::seed_from_u64(0xC4A2);
     let chips = design.fabricate_many(&ChipSampler::new(), chips_n, &mut rng);
-    let instances: Vec<PufInstance<'_>> =
-        chips.iter().map(|c| PufInstance::new(&design, c, Environment::nominal())).collect();
+    let instances: Vec<PufInstance<'_>> = chips
+        .iter()
+        .map(|c| PufInstance::new(&design, c, Environment::nominal()))
+        .collect();
 
     let report = pufatt_alupuf::quality::measure_quality(&design, &chips, challenges_n, &mut rng);
     println!("{report}");
@@ -150,7 +148,10 @@ pub fn dot(argv: &[String]) -> Result<(), String> {
         }
     };
     std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {} gates to {out} (render with: dot -Tsvg {out} -o alupuf.svg)", design.netlist().gate_count());
+    println!(
+        "wrote {} gates to {out} (render with: dot -Tsvg {out} -o alupuf.svg)",
+        design.netlist().gate_count()
+    );
     Ok(())
 }
 
@@ -173,6 +174,68 @@ pub fn profile(argv: &[String]) -> Result<(), String> {
     for (pc, count) in profile.hottest(5) {
         println!("  pc {pc:>4}: {count} executions");
     }
+    Ok(())
+}
+
+/// `pufatt fleet`: a concurrent fleet-scale attestation campaign.
+pub fn fleet(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &[
+            "devices",
+            "workers",
+            "shards",
+            "sessions",
+            "seed",
+            "tamper",
+            "profile",
+            "rounds",
+            "region-bits",
+            "retries",
+            "timeout-ms",
+            "history",
+        ],
+        &[],
+    )?;
+    let defaults = CampaignConfig::default();
+    let cfg = CampaignConfig {
+        devices: args.num_or("devices", defaults.devices)?,
+        workers: args.num_or("workers", defaults.workers)?,
+        shards: args.num_or("shards", defaults.shards)?,
+        sessions_per_device: args.num_or("sessions", defaults.sessions_per_device)?,
+        seed: args.num_or("seed", defaults.seed)?,
+        tamper_fraction: args.num_or("tamper", defaults.tamper_fraction)?,
+        puf: profile_config(args.get_or("profile", "paper32"))?,
+        params: SwattParams {
+            region_bits: args.num_or("region-bits", defaults.params.region_bits)?,
+            rounds: args.num_or("rounds", defaults.params.rounds)?,
+            puf_interval: defaults.params.puf_interval,
+        },
+        policy: LifecyclePolicy {
+            max_attempts: args.num_or("retries", defaults.policy.max_attempts)?,
+            ..defaults.policy
+        },
+        timeout_s: args.num_or("timeout-ms", defaults.timeout_s * 1e3)? * 1e-3,
+        history_capacity: args.num_or("history", defaults.history_capacity)?,
+        queue_depth: defaults.queue_depth,
+    };
+    println!(
+        "campaign: {} devices x {} sessions, {} workers, {} shards, seed {:#x}, tamper {:.1}%",
+        cfg.devices,
+        cfg.sessions_per_device,
+        cfg.workers,
+        cfg.shards,
+        cfg.seed,
+        cfg.tamper_fraction * 100.0
+    );
+    let report = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", report.snapshot);
+    println!(
+        "wall time {:.2} s, {:.0} sessions/s, {} panicked jobs",
+        report.wall_time.as_secs_f64(),
+        report.sessions_per_second(),
+        report.panicked_jobs
+    );
     Ok(())
 }
 
@@ -225,5 +288,13 @@ mod tests {
             profile(&argv(&format!("--program {p}"))).expect(p);
         }
         assert!(profile(&argv("--program nope")).is_err());
+    }
+
+    #[test]
+    fn fleet_runs_a_small_campaign() {
+        fleet(&argv("--devices 8 --workers 2 --sessions 1 --profile fpga16 --rounds 128 --tamper 0.25"))
+            .expect("fleet");
+        assert!(fleet(&argv("--devices 0")).is_err(), "empty fleets are refused");
+        assert!(fleet(&argv("--bogus 1")).is_err(), "unknown flags are refused");
     }
 }

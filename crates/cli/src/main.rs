@@ -6,6 +6,7 @@
 //! pufatt characterize --chips 4 --challenges 400
 //! pufatt dot          --width 8 --out alupuf.dot [--chip-seed 1]
 //! pufatt profile      --program fibonacci
+//! pufatt fleet        --devices 256 --workers 8
 //! ```
 //!
 //! Everything is simulation: `enroll` manufactures a chip (deterministic in
@@ -38,6 +39,19 @@ commands:
                   --width <n>  --out <path>  [--chip-seed <u64>]
   profile       run a built-in PE32 program with cycle attribution
                   --program fibonacci|memcpy|checksum|sort
+  fleet         run a concurrent fleet-scale attestation campaign
+                  --devices <n>              (default 64)
+                  --workers <n>              (default 4)
+                  --shards <n>               (default 16)
+                  --sessions <n>             (default 2; per device)
+                  --seed <u64>               (default 0xF1EE7)
+                  --tamper <f64>             (default 0.125; compromised fraction)
+                  --profile paper32|fpga16   (default paper32)
+                  --rounds <u32>             (default 192)
+                  --region-bits <u32>        (default 8)
+                  --retries <n>              (default 3; attempts per session)
+                  --timeout-ms <f64>         (default 1000; simulated)
+                  --history <n>              (default 64; per-device records)
 ";
 
 fn main() -> ExitCode {
@@ -52,6 +66,7 @@ fn main() -> ExitCode {
         "characterize" => commands::characterize(rest),
         "dot" => commands::dot(rest),
         "profile" => commands::profile(rest),
+        "fleet" => commands::fleet(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -57,7 +57,16 @@ fn enroll_attest_happy_path_and_attacks() {
 
     // Infected device: rejected.
     let out = pufatt()
-        .args(["attest", "--table", table_s, "--fab-seed", "7", "--rounds", "1024", "--malware"])
+        .args([
+            "attest",
+            "--table",
+            table_s,
+            "--fab-seed",
+            "7",
+            "--rounds",
+            "1024",
+            "--malware",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());

@@ -85,8 +85,7 @@ pub fn build_malicious_prover(
     // region: their values change per request and are public, so the
     // adversary reads them live (a copy would go stale).
     let redirect = Redirection { malware_start: 0, malware_end: region_words - 2, copy_base };
-    let mut prover =
-        ProverDevice::new(puf, params, &CodegenOptions { redirect: Some(redirect) }, base_clock)?;
+    let mut prover = ProverDevice::new(puf, params, &CodegenOptions { redirect: Some(redirect) }, base_clock)?;
     for (offset, &word) in expected_region[..region_words as usize - 2].iter().enumerate() {
         prover.memory_mut()[copy_base as usize + offset] = word;
     }
@@ -149,11 +148,7 @@ pub fn proxy_attack(verifier: &Verifier, honest_report: &AttestationReport, ext:
     // The remote machine's own compute time is assumed zero (most
     // favourable to the adversary).
     let compute_s = queries as f64 * per_query_s;
-    let verdict = verifier.verify(
-        AttestationRequest { x0: 0, r0: 0 },
-        honest_report,
-        compute_s,
-    );
+    let verdict = verifier.verify(AttestationRequest { x0: 0, r0: 0 }, honest_report, compute_s);
     // Response correctness: by construction the adversary relays the honest
     // values, so only timing matters; patch the response flag accordingly.
     let verdict = Verdict { response_ok: true, accepted: verdict.time_ok, ..verdict };
@@ -176,8 +171,7 @@ mod tests {
         let enrolled = enroll(AluPufConfig::paper_32bit(), 42, 0).unwrap();
         let params = SwattParams { region_bits: 9, rounds: 1024, puf_interval: 16 };
         let clock = crate::protocol::puf_limited_clock(&enrolled, 1.10, 128, 99);
-        let (prover, verifier, _) =
-            provision(&enrolled, params, clock, Channel::sensor_link(), 7, 1.10).unwrap();
+        let (prover, verifier, _) = provision(&enrolled, params, clock, Channel::sensor_link(), 7, 1.10).unwrap();
         let region = prover.expected_region();
         let puf = enrolled.device_handle(13);
         (prover, verifier, puf, region)
@@ -186,8 +180,7 @@ mod tests {
     #[test]
     fn memory_copy_attack_caught_by_timing() {
         let (_, verifier, puf, region) = setup();
-        let out =
-            memory_copy_attack(puf, &verifier, &region, AttestationRequest { x0: 3, r0: 4 }).unwrap();
+        let out = memory_copy_attack(puf, &verifier, &region, AttestationRequest { x0: 3, r0: 4 }).unwrap();
         assert!(!out.verdict.accepted, "{out}");
         assert!(out.verdict.response_ok, "the forgery itself must succeed: {out}");
         assert!(!out.verdict.time_ok, "timing must catch it: {out}");
@@ -198,8 +191,7 @@ mod tests {
         let (_, verifier, puf, region) = setup();
         // Overclock far enough to beat the time bound (and, because the
         // PUF shares the clock, deep into setup violation).
-        let out = overclock_evasion_attack(puf, &verifier, &region, AttestationRequest { x0: 3, r0: 4 }, 4.0)
-            .unwrap();
+        let out = overclock_evasion_attack(puf, &verifier, &region, AttestationRequest { x0: 3, r0: 4 }, 4.0).unwrap();
         assert!(!out.verdict.accepted, "{out}");
         assert!(out.verdict.time_ok, "overclocking must beat the clock: {out}");
         assert!(!out.verdict.response_ok, "the PUF must corrupt: {out}");

@@ -115,11 +115,29 @@ pub fn enroll(config: AluPufConfig, fab_seed: u64, _enroll_nonce: u64) -> Result
         return Err(PufattError::UnsupportedWidth { width });
     }
     let design = Arc::new(AluPufDesign::new(config));
+    enroll_with_design(&design, fab_seed)
+}
+
+/// Manufactures and enrolls one more device of an already-instantiated
+/// product line: the design (netlist, layout skew) is shared by reference,
+/// only the silicon draw and delay-table extraction run per device. This
+/// is the fast path fleet-scale campaigns use — instantiating the design
+/// once instead of per device.
+///
+/// # Errors
+///
+/// [`PufattError::UnsupportedWidth`] if the design's width has no matching
+/// code.
+pub fn enroll_with_design(design: &Arc<AluPufDesign>, fab_seed: u64) -> Result<EnrolledDevice, PufattError> {
+    let width = design.width();
+    if !(width.is_power_of_two() && (4..=32).contains(&width)) {
+        return Err(PufattError::UnsupportedWidth { width });
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(fab_seed);
     let chip = Arc::new(design.fabricate(&ChipSampler::new(), &mut rng));
     let env = Environment::nominal();
-    let table = DelayTable::extract(&design, &chip, env);
-    Ok(EnrolledDevice { design, chip, table, env })
+    let table = DelayTable::extract(design, &chip, env);
+    Ok(EnrolledDevice { design: design.clone(), chip, table, env })
 }
 
 /// Enrolls `count` devices of the same design (a "product line"), with
@@ -129,7 +147,14 @@ pub fn enroll(config: AluPufConfig, fab_seed: u64, _enroll_nonce: u64) -> Result
 ///
 /// Propagates [`PufattError::UnsupportedWidth`].
 pub fn enroll_fleet(config: AluPufConfig, base_seed: u64, count: usize) -> Result<Vec<EnrolledDevice>, PufattError> {
-    (0..count).map(|i| enroll(config.clone(), base_seed.wrapping_add(i as u64), i as u64)).collect()
+    let width = config.width;
+    if !(width.is_power_of_two() && (4..=32).contains(&width)) {
+        return Err(PufattError::UnsupportedWidth { width });
+    }
+    let design = Arc::new(AluPufDesign::new(config));
+    (0..count)
+        .map(|i| enroll_with_design(&design, base_seed.wrapping_add(i as u64)))
+        .collect()
 }
 
 /// The database-of-CRPs verification approach (paper §2): finite,
@@ -181,7 +206,12 @@ mod tests {
     use pufatt_alupuf::device::{AdderKind, ArbiterConfig};
 
     fn small_config() -> AluPufConfig {
-        AluPufConfig { width: 16, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 99 }
+        AluPufConfig {
+            width: 16,
+            adder: AdderKind::default(),
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 99,
+        }
     }
 
     #[test]
@@ -203,7 +233,12 @@ mod tests {
 
     #[test]
     fn unsupported_width_is_rejected() {
-        let cfg = AluPufConfig { width: 24, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 1 };
+        let cfg = AluPufConfig {
+            width: 24,
+            adder: AdderKind::default(),
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 1,
+        };
         assert!(matches!(enroll(cfg, 1, 0), Err(PufattError::UnsupportedWidth { width: 24 })));
     }
 

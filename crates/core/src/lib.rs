@@ -55,6 +55,7 @@ pub mod obfuscate;
 pub mod pipeline;
 pub mod ports;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 pub mod sidechannel;
 pub mod slender;
@@ -63,9 +64,10 @@ pub use adversary::AttackOutcome;
 pub use enroll::{enroll, enroll_fleet, CrpDatabase, EnrolledDevice};
 pub use error::PufattError;
 pub use pipeline::{ProveOutput, PufPipeline};
-pub use server::{AttestationServer, DeviceStatus, SessionRecord};
 pub use ports::{DevicePuf, SharedDevicePuf, VerifierPuf, VerifierRoundPuf};
 pub use protocol::{
-    provision, puf_limited_clock, run_session, run_session_with_retry, AttestationReport, AttestationRequest,
-    Channel, ProverDevice, Verdict, Verifier,
+    provision, puf_limited_clock, run_session, run_session_with_retry, AttestationReport, AttestationRequest, Channel,
+    ProverDevice, Verdict, Verifier,
 };
+pub use ring::RingBuffer;
+pub use server::{AttestationServer, DeviceStatus, SessionRecord};

@@ -77,7 +77,16 @@ mod tests {
     #[test]
     fn obfuscate_is_linear_in_each_input() {
         // XOR-linearity: z(ys with y0 ⊕= d) = z(ys) ⊕ phase1(d, 0).
-        let ys = [0x1111_2222u64, 0x3333_4444, 0x5555_6666, 0x7777_8888, 0x9999_AAAA, 0xBBBB_CCCC, 0xDDDD_EEEE, 0xF0F0_0F0F];
+        let ys = [
+            0x1111_2222u64,
+            0x3333_4444,
+            0x5555_6666,
+            0x7777_8888,
+            0x9999_AAAA,
+            0xBBBB_CCCC,
+            0xDDDD_EEEE,
+            0xF0F0_0F0F,
+        ];
         let z = obfuscate(&ys, 32);
         let d = 0x0001_0001u64;
         let mut ys2 = ys;

@@ -135,8 +135,7 @@ impl AttestationReport {
         if bytes.len() != expected {
             return Err(format!("attestation report should be {expected} bytes, got {}", bytes.len()));
         }
-        let word =
-            |i: usize| u32::from_le_bytes(bytes[16 + 4 * i..20 + 4 * i].try_into().expect("4 bytes"));
+        let word = |i: usize| u32::from_le_bytes(bytes[16 + 4 * i..20 + 4 * i].try_into().expect("4 bytes"));
         let response: [u32; STATE_WORDS] = std::array::from_fn(word);
         let helper_words = (0..helper_count).map(|i| word(STATE_WORDS + i)).collect();
         Ok(AttestationReport { response, helper_words, cycles })
@@ -218,7 +217,13 @@ impl ProverDevice {
         cpu.set_clock(clock);
         cpu.attach_puf(Box::new(puf.clone()));
         cpu.load_program(&program.image);
-        Ok(ProverDevice { cpu, puf, layout: generated.layout, params, image_words: program.image.len() })
+        Ok(ProverDevice {
+            cpu,
+            puf,
+            layout: generated.layout,
+            params,
+            image_words: program.image.len(),
+        })
     }
 
     /// The device's memory layout.
@@ -312,7 +317,15 @@ impl Verifier {
         expected_clock: Clock,
         delta_s: f64,
     ) -> Self {
-        Verifier { expected_region, puf, params, layout, channel, expected_clock, delta_s }
+        Verifier {
+            expected_region,
+            puf,
+            params,
+            layout,
+            channel,
+            expected_clock,
+            delta_s,
+        }
     }
 
     /// Derives δ from a measured honest run: honest time × `slack` plus
@@ -352,14 +365,21 @@ impl Verifier {
     /// expects); the elapsed time is computed from the report's cycle count
     /// at that clock plus channel time in both directions.
     pub fn verify(&self, request: AttestationRequest, report: &AttestationReport, prover_compute_s: f64) -> Verdict {
-        let elapsed_s =
-            self.channel.transfer_s(request.wire_bits()) + prover_compute_s + self.channel.transfer_s(report.wire_bits());
+        let elapsed_s = self.channel.transfer_s(request.wire_bits())
+            + prover_compute_s
+            + self.channel.transfer_s(report.wire_bits());
         let response_ok = match self.expected_response(request, &report.helper_words) {
             Ok(expected) => expected == report.response,
             Err(_) => false,
         };
         let time_ok = elapsed_s <= self.delta_s;
-        Verdict { accepted: response_ok && time_ok, response_ok, time_ok, elapsed_s, delta_s: self.delta_s }
+        Verdict {
+            accepted: response_ok && time_ok,
+            response_ok,
+            time_ok,
+            elapsed_s,
+            delta_s: self.delta_s,
+        }
     }
 
     /// The channel model.
@@ -421,15 +441,8 @@ pub fn provision(
     let report_bits = golden.wire_bits();
     let delta_s = Verifier::calibrate_delta(golden.cycles, clock, channel, report_bits, slack);
 
-    let verifier = Verifier::new(
-        expected_region,
-        enrolled.verifier_puf()?,
-        params,
-        prover.layout(),
-        channel,
-        clock,
-        delta_s,
-    );
+    let verifier =
+        Verifier::new(expected_region, enrolled.verifier_puf()?, params, prover.layout(), channel, clock, delta_s);
     Ok((prover, verifier, golden.cycles))
 }
 

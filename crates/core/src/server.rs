@@ -10,6 +10,7 @@
 use crate::enroll::EnrolledDevice;
 use crate::error::PufattError;
 use crate::protocol::{provision, AttestationRequest, Channel, ProverDevice, Verifier};
+use crate::ring::RingBuffer;
 use pufatt_pe32::cpu::Clock;
 use pufatt_swatt::checksum::SwattParams;
 use rand::Rng;
@@ -47,12 +48,16 @@ pub struct SessionRecord {
 /// The verifier-side authority for a fleet.
 pub struct AttestationServer {
     devices: HashMap<DeviceId, ManagedDevice>,
-    log: Vec<SessionRecord>,
+    log: RingBuffer<SessionRecord>,
     /// Devices are auto-revoked after this many consecutive failures
     /// (honest false negatives are rare; repeated failure means compromise
     /// or hardware fault).
     pub revoke_after_failures: u32,
 }
+
+/// Default session-log retention of [`AttestationServer`] (newest records
+/// win once exceeded).
+pub const DEFAULT_LOG_CAPACITY: usize = 4096;
 
 struct ManagedDevice {
     verifier: Verifier,
@@ -73,7 +78,22 @@ impl AttestationServer {
     /// Creates an empty authority (auto-revocation after 3 consecutive
     /// failures).
     pub fn new() -> Self {
-        AttestationServer { devices: HashMap::new(), log: Vec::new(), revoke_after_failures: 3 }
+        AttestationServer::with_log_capacity(DEFAULT_LOG_CAPACITY)
+    }
+
+    /// Creates an empty authority retaining at most `log_capacity` session
+    /// records (the newest win; evictions are counted, see
+    /// [`AttestationServer::log`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_capacity == 0`.
+    pub fn with_log_capacity(log_capacity: usize) -> Self {
+        AttestationServer {
+            devices: HashMap::new(),
+            log: RingBuffer::new(log_capacity),
+            revoke_after_failures: 3,
+        }
     }
 
     /// Provisions one enrolled device into the fleet, returning the paired
@@ -95,7 +115,14 @@ impl AttestationServer {
             return Err(PufattError::Codegen(format!("device {id} already provisioned")));
         }
         let (prover, verifier, _) = provision(enrolled, params, clock, channel, noise_seed, 1.10)?;
-        self.devices.insert(id, ManagedDevice { verifier, status: DeviceStatus::Active, consecutive_failures: 0 });
+        self.devices.insert(
+            id,
+            ManagedDevice {
+                verifier,
+                status: DeviceStatus::Active,
+                consecutive_failures: 0,
+            },
+        );
         Ok(prover)
     }
 
@@ -157,8 +184,10 @@ impl AttestationServer {
         Ok(record)
     }
 
-    /// All recorded sessions, oldest first.
-    pub fn log(&self) -> &[SessionRecord] {
+    /// The retained session records, oldest first, with retention
+    /// accounting ([`RingBuffer::evicted`] says how many older records
+    /// rolled off).
+    pub fn log(&self) -> &RingBuffer<SessionRecord> {
         &self.log
     }
 
@@ -217,8 +246,12 @@ mod tests {
         let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x901, 1).unwrap();
         let mut server = AttestationServer::new();
         let clock = puf_limited_clock(&fleet[0], 1.10, 64, 0);
-        server.provision_device(7, &fleet[0], params(), clock, Channel::sensor_link(), 1).unwrap();
-        assert!(server.provision_device(7, &fleet[0], params(), clock, Channel::sensor_link(), 2).is_err());
+        server
+            .provision_device(7, &fleet[0], params(), clock, Channel::sensor_link(), 1)
+            .unwrap();
+        assert!(server
+            .provision_device(7, &fleet[0], params(), clock, Channel::sensor_link(), 2)
+            .is_err());
     }
 
     #[test]
@@ -226,8 +259,9 @@ mod tests {
         let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x902, 1).unwrap();
         let mut server = AttestationServer::new();
         let clock = puf_limited_clock(&fleet[0], 1.10, 64, 0);
-        let mut prover =
-            server.provision_device(1, &fleet[0], params(), clock, Channel::sensor_link(), 3).unwrap();
+        let mut prover = server
+            .provision_device(1, &fleet[0], params(), clock, Channel::sensor_link(), 3)
+            .unwrap();
         // Infect the device.
         let at = (prover.layout().x0_cell - 6) as usize;
         prover.memory_mut()[at] = 0xEB1B_EB1B;
@@ -242,12 +276,34 @@ mod tests {
     }
 
     #[test]
+    fn session_log_is_bounded() {
+        let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x904, 1).unwrap();
+        let mut server = AttestationServer::with_log_capacity(4);
+        let clock = puf_limited_clock(&fleet[0], 1.10, 64, 0);
+        let mut prover = server
+            .provision_device(1, &fleet[0], params(), clock, Channel::sensor_link(), 5)
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..7 {
+            server.attest(1, &mut prover, &mut rng).unwrap();
+        }
+        assert_eq!(server.log().len(), 4, "retention cap holds");
+        assert_eq!(server.log().evicted(), 3);
+        assert_eq!(server.log().total_pushed(), 7);
+        // Stats survive rollover on the retained window.
+        let (accepted, total) = server.stats(1);
+        assert_eq!(total, 4);
+        assert!(accepted <= 4);
+    }
+
+    #[test]
     fn unknown_device_is_an_error() {
         let fleet = enroll_fleet(AluPufConfig::paper_32bit(), 0x903, 1).unwrap();
         let mut server = AttestationServer::new();
         let clock = puf_limited_clock(&fleet[0], 1.10, 64, 0);
-        let mut prover =
-            server.provision_device(1, &fleet[0], params(), clock, Channel::sensor_link(), 3).unwrap();
+        let mut prover = server
+            .provision_device(1, &fleet[0], params(), clock, Channel::sensor_link(), 3)
+            .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         assert!(server.attest(99, &mut prover, &mut rng).is_err());
     }

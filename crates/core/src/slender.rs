@@ -52,7 +52,11 @@ pub struct SlenderParams {
 
 impl Default for SlenderParams {
     fn default() -> Self {
-        SlenderParams { stream_challenges: 96, substring_len: 256, accept_threshold: 0.24 }
+        SlenderParams {
+            stream_challenges: 96,
+            substring_len: 256,
+            accept_threshold: 0.24,
+        }
     }
 }
 
@@ -163,7 +167,11 @@ pub fn verify_substring(
         }
     }
     let mismatch_fraction = best_mismatch as f64 / params.substring_len as f64;
-    SlenderOutcome { best_offset, mismatch_fraction, accepted: mismatch_fraction <= params.accept_threshold }
+    SlenderOutcome {
+        best_offset,
+        mismatch_fraction,
+        accepted: mismatch_fraction <= params.accept_threshold,
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +245,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "longer than the stream")]
     fn substring_must_fit() {
-        SlenderParams { stream_challenges: 8, substring_len: 256, accept_threshold: 0.25 }.validate(32);
+        SlenderParams {
+            stream_challenges: 8,
+            substring_len: 256,
+            accept_threshold: 0.25,
+        }
+        .validate(32);
     }
 }

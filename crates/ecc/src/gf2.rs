@@ -102,7 +102,11 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn distance(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
     }
 
     /// In-place XOR with another vector.

@@ -44,7 +44,7 @@ impl GolayCode {
         let mut codewords = Vec::with_capacity(1 << 12);
         for m in 0u64..(1 << 12) {
             let msg: BitVec = (0..12).map(|i| (m >> i) & 1 == 1).collect();
-            codewords.push(code.encode(&msg).expect("12-bit message") .as_word() as u32);
+            codewords.push(code.encode(&msg).expect("12-bit message").as_word() as u32);
         }
         GolayCode { code, codewords }
     }

@@ -245,6 +245,9 @@ mod tests {
     #[test]
     fn rejects_wrong_length() {
         let c = ReedMuller1::bch_32_6_16();
-        assert!(matches!(c.decode_ml(&BitVec::zeros(16)), Err(CodeError::LengthMismatch { expected: 32, actual: 16 })));
+        assert!(matches!(
+            c.decode_ml(&BitVec::zeros(16)),
+            Err(CodeError::LengthMismatch { expected: 32, actual: 16 })
+        ));
     }
 }

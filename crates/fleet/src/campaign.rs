@@ -1,0 +1,367 @@
+//! Campaign runner: attest a whole fleet through the worker pool.
+//!
+//! A campaign manufactures `devices` chips of one product line (the
+//! design is instantiated once and shared), provisions each with its own
+//! prover/verifier pair, and runs `sessions_per_device` attestation
+//! sessions per device across the pool, applying the retry/quarantine/
+//! revocation lifecycle and recording metrics.
+//!
+//! # Determinism
+//!
+//! Results are a function of the configuration only, never of scheduling:
+//! every per-device random stream (silicon draw, PUF noise, challenge
+//! sequence, tamper decision) is seeded from `seed` and the device id,
+//! all of one device's sessions run inside one pool job (so they are
+//! sequential), and time — session elapsed, timeout, backoff — is
+//! *simulated* time derived from the cycle-accurate clock and channel
+//! model, not wall-clock. A campaign with 8 workers therefore produces
+//! exactly the same accept/reject totals as the same campaign with 1.
+
+use crate::metrics::{FleetMetrics, FleetSnapshot};
+use crate::pool::WorkerPool;
+use crate::registry::{DeviceId, FleetStatus, LifecyclePolicy, SessionOutcome, ShardedRegistry};
+use pufatt::adversary::build_malicious_prover;
+use pufatt::enroll::enroll_with_design;
+use pufatt::protocol::{provision, AttestationRequest, Channel, ProverDevice, Verifier};
+use pufatt::PufattError;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign};
+use pufatt_swatt::checksum::SwattParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything a campaign needs; [`CampaignConfig::default`] is a small
+/// but representative fleet.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Devices to manufacture and attest.
+    pub devices: usize,
+    /// Worker threads running sessions.
+    pub workers: usize,
+    /// Registry shards.
+    pub shards: usize,
+    /// Attestation sessions per device.
+    pub sessions_per_device: u32,
+    /// Master seed; all per-device randomness derives from it.
+    pub seed: u64,
+    /// Fraction of devices manufactured compromised (malware in the
+    /// attested region), deterministically chosen per device.
+    pub tamper_fraction: f64,
+    /// The product line's PUF configuration.
+    pub puf: AluPufConfig,
+    /// Checksum parameters of the attestation program.
+    pub params: SwattParams,
+    /// Retry/quarantine/revocation policy.
+    pub policy: LifecyclePolicy,
+    /// Session timeout in simulated seconds (elapsed time beyond this
+    /// rejects the attempt even if the response verifies).
+    pub timeout_s: f64,
+    /// Retained outcomes per device in the registry.
+    pub history_capacity: usize,
+    /// Pending jobs the pool queue holds before submits block.
+    pub queue_depth: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            devices: 64,
+            workers: 4,
+            shards: 16,
+            sessions_per_device: 2,
+            seed: 0xF1EE7,
+            tamper_fraction: 0.125,
+            puf: AluPufConfig::paper_32bit(),
+            // Small regions and few rounds: a fleet campaign cares about
+            // scheduling and lifecycle, not per-session checksum strength.
+            params: SwattParams { region_bits: 8, rounds: 192, puf_interval: 32 },
+            policy: LifecyclePolicy::default(),
+            timeout_s: 1.0,
+            history_capacity: 64,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Result of a finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Final counters and device states (exact: taken after drain).
+    pub snapshot: FleetSnapshot,
+    /// Real (wall-clock) time the campaign took.
+    pub wall_time: Duration,
+    /// Pool jobs that panicked (0 in a healthy campaign).
+    pub panicked_jobs: u64,
+}
+
+impl CampaignReport {
+    /// Completed sessions per wall-clock second — the scheduler-throughput
+    /// figure the benchmarks sweep over worker counts.
+    pub fn sessions_per_second(&self) -> f64 {
+        let finished = self.snapshot.sessions_accepted + self.snapshot.sessions_rejected;
+        finished as f64 / self.wall_time.as_secs_f64().max(1e-9)
+    }
+}
+
+/// SplitMix64: decorrelates the per-device seeds derived from one master
+/// seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn device_seed(campaign_seed: u64, id: DeviceId) -> u64 {
+    splitmix64(campaign_seed ^ splitmix64(id as u64))
+}
+
+/// Whether device `id` is manufactured compromised — a pure function of
+/// the campaign seed, so the tamper set is identical however the fleet is
+/// scheduled.
+pub fn device_is_tampered(campaign_seed: u64, id: DeviceId, tamper_fraction: f64) -> bool {
+    let draw = splitmix64(device_seed(campaign_seed, id) ^ 0x7A3D) >> 11;
+    (draw as f64) * (1.0 / (1u64 << 53) as f64) < tamper_fraction
+}
+
+/// One device's provisioned session state, built inside the pool job.
+struct DeviceSession {
+    prover: ProverDevice,
+    verifier: Verifier,
+    rng: ChaCha8Rng,
+}
+
+fn provision_device(
+    design: &Arc<AluPufDesign>,
+    cfg: &CampaignConfig,
+    id: DeviceId,
+) -> Result<DeviceSession, PufattError> {
+    let seed = device_seed(cfg.seed, id);
+    let enrolled = enroll_with_design(design, seed)?;
+    // The attestation clock comes from the device's own PUF timing limit
+    // (the §4.2 overclock defence); few samples keep provisioning cheap.
+    let clock = pufatt::protocol::puf_limited_clock(&enrolled, 1.10, 16, splitmix64(seed ^ 1));
+    let (prover, verifier, _) =
+        provision(&enrolled, cfg.params, clock, Channel::sensor_link(), splitmix64(seed ^ 2), 1.10)?;
+    let prover = if device_is_tampered(cfg.seed, id, cfg.tamper_fraction) {
+        // A compromised device mounts the memory-copy attack (§4): the
+        // redirecting checksum forges the response from a pristine copy,
+        // and the per-round redirection overhead breaks the time bound —
+        // so the verifier rejects it every session, deterministically.
+        let expected_region = prover.expected_region();
+        build_malicious_prover(enrolled.device_handle(splitmix64(seed ^ 4)), cfg.params, &expected_region, clock, 1.0)?
+    } else {
+        prover
+    };
+    Ok(DeviceSession {
+        prover,
+        verifier,
+        rng: ChaCha8Rng::seed_from_u64(splitmix64(seed ^ 3)),
+    })
+}
+
+/// Runs one session (with retries) against an already-provisioned device.
+/// Returns the outcome to record; `None` only if the device faulted.
+fn run_one_session(
+    session: &mut DeviceSession,
+    cfg: &CampaignConfig,
+    metrics: &FleetMetrics,
+) -> Option<SessionOutcome> {
+    metrics.session_started();
+    let mut attempts = 0u32;
+    let mut backoff_s = 0.0f64;
+    loop {
+        attempts += 1;
+        let request = AttestationRequest::random(&mut session.rng);
+        let report = match session.prover.attest(request) {
+            Ok(report) => report,
+            Err(_) => {
+                metrics.device_fault();
+                return None;
+            }
+        };
+        let compute_s = session.prover.clock().duration_ns(report.cycles) * 1e-9;
+        let verdict = session.verifier.verify(request, &report, compute_s);
+        let elapsed_s = verdict.elapsed_s + backoff_s;
+        let timed_out = elapsed_s > cfg.timeout_s;
+        let accepted = verdict.accepted && !timed_out;
+        if accepted || attempts >= cfg.policy.max_attempts.max(1) {
+            let outcome = SessionOutcome {
+                accepted,
+                response_ok: verdict.response_ok,
+                time_ok: verdict.time_ok,
+                timed_out,
+                attempts,
+                elapsed_s,
+            };
+            if accepted {
+                metrics.session_accepted();
+            } else {
+                metrics.session_rejected();
+                if timed_out {
+                    metrics.session_timed_out();
+                }
+            }
+            metrics.observe_latency(elapsed_s);
+            return Some(outcome);
+        }
+        metrics.attempt_retried();
+        // Exponential backoff in simulated time: it delays the session
+        // (and can push it over the timeout) without sleeping the worker.
+        backoff_s += cfg.policy.backoff_base_s * f64::from(1u32 << (attempts - 1).min(16));
+    }
+}
+
+/// The whole job for one device: provision, then run its sessions
+/// sequentially, recording lifecycle transitions after each.
+fn run_device(
+    design: &Arc<AluPufDesign>,
+    registry: &ShardedRegistry,
+    metrics: &FleetMetrics,
+    cfg: &CampaignConfig,
+    id: DeviceId,
+) {
+    let mut session = match provision_device(design, cfg, id) {
+        Ok(session) => session,
+        Err(_) => {
+            metrics.device_fault();
+            return;
+        }
+    };
+    for _ in 0..cfg.sessions_per_device {
+        if registry.status(id) == Some(FleetStatus::Revoked) {
+            metrics.session_refused();
+            continue;
+        }
+        if let Some(outcome) = run_one_session(&mut session, cfg, metrics) {
+            registry.record_outcome(id, outcome, &cfg.policy);
+        }
+    }
+}
+
+/// Runs a full campaign and reports the final state.
+///
+/// # Errors
+///
+/// Rejects invalid configurations (zero devices/workers, an unsupported
+/// PUF width) before any thread spawns; per-device faults during the run
+/// are counted in the snapshot instead of aborting the fleet.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PufattError> {
+    if cfg.devices == 0 || cfg.workers == 0 || cfg.sessions_per_device == 0 {
+        return Err(PufattError::Codegen("campaign needs devices, workers, and sessions > 0".into()));
+    }
+    let width = cfg.puf.width;
+    if !(width.is_power_of_two() && (4..=32).contains(&width)) {
+        return Err(PufattError::UnsupportedWidth { width });
+    }
+
+    let start = Instant::now();
+    let design = Arc::new(AluPufDesign::new(cfg.puf.clone()));
+    let registry = Arc::new(ShardedRegistry::new(cfg.shards.max(1), cfg.history_capacity.max(1)));
+    let metrics = Arc::new(FleetMetrics::new());
+    let shared_cfg = Arc::new(cfg.clone());
+
+    let pool = WorkerPool::new(cfg.workers, cfg.queue_depth.max(1));
+    for id in 0..cfg.devices as DeviceId {
+        registry.enroll(id);
+        let design = Arc::clone(&design);
+        let registry = Arc::clone(&registry);
+        let metrics = Arc::clone(&metrics);
+        let cfg = Arc::clone(&shared_cfg);
+        pool.submit(move || run_device(&design, &registry, &metrics, &cfg, id));
+    }
+    let panicked_jobs = pool.shutdown();
+
+    Ok(CampaignReport {
+        snapshot: metrics.snapshot(registry.status_counts()),
+        wall_time: start.elapsed(),
+        panicked_jobs,
+    })
+}
+
+/// A cheap configuration for tests and benchmarks: a narrow PUF and a
+/// short checksum keep per-session cost low while exercising every layer.
+pub fn small_test_config(devices: usize, workers: usize, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        devices,
+        workers,
+        shards: 8,
+        sessions_per_device: 2,
+        seed,
+        tamper_fraction: 0.25,
+        puf: AluPufConfig { width: 16, design_seed: 7, ..AluPufConfig::paper_32bit() },
+        params: SwattParams { region_bits: 8, rounds: 128, puf_interval: 32 },
+        policy: LifecyclePolicy { max_attempts: 2, ..LifecyclePolicy::default() },
+        timeout_s: 1.0,
+        history_capacity: 16,
+        queue_depth: 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_attests_a_small_fleet() {
+        let report = run_campaign(&small_test_config(12, 3, 0xC0FFEE)).unwrap();
+        let snap = &report.snapshot;
+        assert_eq!(report.panicked_jobs, 0);
+        assert_eq!(snap.devices.total(), 12);
+        assert!(snap.sessions_accepted > 0, "honest majority accepted: {snap}");
+        assert!(snap.sessions_rejected > 0, "tampered devices rejected: {snap}");
+        assert_eq!(
+            snap.sessions_started,
+            snap.sessions_accepted + snap.sessions_rejected,
+            "every started session terminates"
+        );
+        assert!(!snap.latency_buckets_us.is_empty(), "latencies recorded");
+    }
+
+    #[test]
+    fn tamper_set_is_a_pure_function_of_the_seed() {
+        let a: Vec<bool> = (0..64).map(|id| device_is_tampered(9, id, 0.25)).collect();
+        let b: Vec<bool> = (0..64).map(|id| device_is_tampered(9, id, 0.25)).collect();
+        assert_eq!(a, b);
+        let tampered = a.iter().filter(|&&t| t).count();
+        assert!((4..=28).contains(&tampered), "≈25% of 64 devices, got {tampered}");
+        assert!((0..64).all(|id| !device_is_tampered(9, id, 0.0)));
+        assert!((0..64).all(|id| device_is_tampered(9, id, 1.0)));
+    }
+
+    #[test]
+    fn zero_config_is_rejected() {
+        let mut cfg = small_test_config(0, 1, 1);
+        assert!(run_campaign(&cfg).is_err());
+        cfg.devices = 1;
+        cfg.workers = 0;
+        assert!(run_campaign(&cfg).is_err());
+    }
+
+    #[test]
+    fn impossible_timeout_rejects_everything() {
+        let mut cfg = small_test_config(6, 2, 5);
+        cfg.timeout_s = 0.0;
+        let report = run_campaign(&cfg).unwrap();
+        let snap = &report.snapshot;
+        assert_eq!(snap.sessions_accepted, 0);
+        assert!(snap.sessions_timed_out > 0);
+        assert_eq!(snap.sessions_timed_out, snap.sessions_rejected);
+    }
+
+    #[test]
+    fn tampered_devices_progress_towards_quarantine_or_revocation() {
+        let mut cfg = small_test_config(8, 2, 0xBAD);
+        cfg.tamper_fraction = 1.0;
+        cfg.sessions_per_device = 6;
+        let report = run_campaign(&cfg).unwrap();
+        let snap = &report.snapshot;
+        assert_eq!(snap.sessions_accepted, 0, "all devices tampered: {snap}");
+        assert_eq!(snap.devices.active, 0, "none should stay active: {snap}");
+        assert!(snap.devices.revoked > 0, "repeat offenders get revoked: {snap}");
+        assert!(snap.sessions_refused > 0, "revoked devices are refused: {snap}");
+        assert!(snap.attempts_retried > 0, "failures are retried first: {snap}");
+    }
+}

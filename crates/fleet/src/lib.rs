@@ -1,0 +1,54 @@
+//! Fleet-scale attestation for the PUFatt reproduction.
+//!
+//! The core crate's [`pufatt::server::AttestationServer`] is the paper's
+//! verifier with bookkeeping: one lock, one caller, one session at a
+//! time. This crate is the production-shaped version of that role — the
+//! engine an operator would actually run against thousands of deployed
+//! sensors:
+//!
+//! * [`registry`] — fleet state sharded over independent locks, with an
+//!   `Active → Quarantined → Revoked` lifecycle and bounded per-device
+//!   session history.
+//! * [`pool`] — a `std::thread` worker pool behind a bounded queue
+//!   (backpressure by blocking submit), with contained job panics and
+//!   graceful drain on shutdown.
+//! * [`metrics`] — relaxed atomic counters and a log-scale latency
+//!   histogram, snapshotted into a printable [`FleetSnapshot`].
+//! * [`campaign`] — the runner tying them together: manufacture a fleet
+//!   off one shared design, attest every device concurrently, apply the
+//!   retry/quarantine/revocation policy. Deterministic in its seed —
+//!   worker count changes wall-clock time, never verdicts (all session
+//!   time is simulated, all randomness is derived per device).
+//!
+//! Everything is std-only, same as the rest of the workspace.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pufatt_fleet::{run_campaign, small_test_config};
+//!
+//! let report = run_campaign(&small_test_config(8, 2, 42)).unwrap();
+//! assert!(report.snapshot.sessions_accepted > 0);
+//! println!("{}", report.snapshot);
+//! ```
+
+pub mod campaign;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+
+pub use campaign::{device_is_tampered, run_campaign, small_test_config, CampaignConfig, CampaignReport};
+pub use metrics::{FleetMetrics, FleetSnapshot, LatencyHistogram, LATENCY_BUCKETS};
+pub use pool::WorkerPool;
+pub use registry::{DeviceId, FleetStatus, LifecyclePolicy, SessionOutcome, ShardedRegistry, StatusCounts};
+
+// The whole design rests on prover/verifier state being movable across
+// worker threads; fail the build, not the campaign, if that regresses.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<pufatt::ProverDevice>();
+    assert_send::<pufatt::Verifier>();
+    assert_send::<pufatt::EnrolledDevice>();
+    assert_send::<ShardedRegistry>();
+    assert_send::<FleetMetrics>();
+};

@@ -1,0 +1,395 @@
+//! The sharded device registry: fleet state under concurrent access.
+//!
+//! A campaign runs many attestation sessions at once, and every session
+//! must consult and update device state (is this device still eligible?
+//! how many times has it failed in a row?). A single `Mutex<HashMap>`
+//! would serialise the whole fleet on that one lock; the registry instead
+//! splits the id space over `N` shards, each behind its own [`Mutex`], so
+//! sessions against different devices contend only when their ids hash to
+//! the same shard.
+//!
+//! Per device the registry keeps a [`FleetStatus`] lifecycle and a bounded
+//! [`RingBuffer`] of recent [`SessionOutcome`]s — enough history for an
+//! operator to ask "why was this device quarantined?" without the registry
+//! growing without bound on a long-lived service.
+
+use pufatt::RingBuffer;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Identifier of a fleet device.
+pub type DeviceId = u32;
+
+/// Lifecycle state of one fleet device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetStatus {
+    /// Eligible for attestation.
+    Active,
+    /// Failing repeatedly; still attested, but on probation — further
+    /// failures revoke it, a success reactivates it.
+    Quarantined,
+    /// Out of service; sessions are refused until re-enrollment.
+    Revoked,
+}
+
+/// Outcome of one attestation session (possibly after retries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOutcome {
+    /// Whether the verifier accepted the final attempt.
+    pub accepted: bool,
+    /// Whether the final attempt's response matched.
+    pub response_ok: bool,
+    /// Whether the final attempt met the time bound δ.
+    pub time_ok: bool,
+    /// Whether the session exceeded the scheduler's session timeout.
+    pub timed_out: bool,
+    /// Attempts spent (1 = no retry).
+    pub attempts: u32,
+    /// End-to-end time of the session in (simulated) seconds, including
+    /// retry backoff.
+    pub elapsed_s: f64,
+}
+
+/// When to retry, quarantine, and revoke.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifecyclePolicy {
+    /// Attempts per session before it counts as failed (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `backoff_base_s * 2^(k-1)` of simulated
+    /// time, added to the session's elapsed time.
+    pub backoff_base_s: f64,
+    /// Consecutive failed sessions before an [`FleetStatus::Active`]
+    /// device is quarantined.
+    pub quarantine_after: u32,
+    /// Further consecutive failed sessions a quarantined device is allowed
+    /// before revocation.
+    pub revoke_after: u32,
+}
+
+impl Default for LifecyclePolicy {
+    fn default() -> Self {
+        LifecyclePolicy {
+            max_attempts: 3,
+            backoff_base_s: 0.05,
+            quarantine_after: 2,
+            revoke_after: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FleetDevice {
+    status: FleetStatus,
+    consecutive_failures: u32,
+    history: RingBuffer<SessionOutcome>,
+}
+
+/// Device counts by lifecycle state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Devices currently [`FleetStatus::Active`].
+    pub active: usize,
+    /// Devices currently [`FleetStatus::Quarantined`].
+    pub quarantined: usize,
+    /// Devices currently [`FleetStatus::Revoked`].
+    pub revoked: usize,
+}
+
+impl StatusCounts {
+    /// Total devices across all states.
+    pub fn total(&self) -> usize {
+        self.active + self.quarantined + self.revoked
+    }
+}
+
+/// Fleet state split over independently locked shards.
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Vec<Mutex<HashMap<DeviceId, FleetDevice>>>,
+    history_capacity: usize,
+}
+
+impl ShardedRegistry {
+    /// Creates an empty registry with `shards` locks, keeping at most
+    /// `history_capacity` outcomes per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(shards: usize, history_capacity: usize) -> Self {
+        assert!(shards > 0, "registry needs at least one shard");
+        assert!(history_capacity > 0, "device history capacity must be positive");
+        ShardedRegistry {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            history_capacity,
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, id: DeviceId) -> &Mutex<HashMap<DeviceId, FleetDevice>> {
+        // Fibonacci hashing spreads both sequential and structured id
+        // spaces evenly over the shards.
+        let h = (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Enrolls a device as [`FleetStatus::Active`]. Returns `false` (and
+    /// changes nothing) if the id is already present.
+    pub fn enroll(&self, id: DeviceId) -> bool {
+        let mut shard = self.shard(id).lock().unwrap();
+        if shard.contains_key(&id) {
+            return false;
+        }
+        shard.insert(
+            id,
+            FleetDevice {
+                status: FleetStatus::Active,
+                consecutive_failures: 0,
+                history: RingBuffer::new(self.history_capacity),
+            },
+        );
+        true
+    }
+
+    /// Re-enrolls a known device: back to [`FleetStatus::Active`] with the
+    /// failure counter cleared (history is kept — the record of *why* it
+    /// was revoked survives the decision to trust it again). Returns
+    /// `false` for unknown ids.
+    pub fn re_enroll(&self, id: DeviceId) -> bool {
+        let mut shard = self.shard(id).lock().unwrap();
+        match shard.get_mut(&id) {
+            Some(device) => {
+                device.status = FleetStatus::Active;
+                device.consecutive_failures = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A device's current status.
+    pub fn status(&self, id: DeviceId) -> Option<FleetStatus> {
+        self.shard(id).lock().unwrap().get(&id).map(|d| d.status)
+    }
+
+    /// Manually revokes a device.
+    pub fn revoke(&self, id: DeviceId) {
+        if let Some(d) = self.shard(id).lock().unwrap().get_mut(&id) {
+            d.status = FleetStatus::Revoked;
+        }
+    }
+
+    /// Manually quarantines a device (no-op if revoked).
+    pub fn quarantine(&self, id: DeviceId) {
+        if let Some(d) = self.shard(id).lock().unwrap().get_mut(&id) {
+            if d.status != FleetStatus::Revoked {
+                d.status = FleetStatus::Quarantined;
+            }
+        }
+    }
+
+    /// Records a session outcome and applies `policy`'s lifecycle
+    /// transitions: a success reactivates a quarantined device; failures
+    /// accumulate towards quarantine and then revocation. Returns the
+    /// post-transition status, or `None` for unknown ids.
+    pub fn record_outcome(
+        &self,
+        id: DeviceId,
+        outcome: SessionOutcome,
+        policy: &LifecyclePolicy,
+    ) -> Option<FleetStatus> {
+        let mut shard = self.shard(id).lock().unwrap();
+        let device = shard.get_mut(&id)?;
+        if outcome.accepted {
+            device.consecutive_failures = 0;
+            if device.status == FleetStatus::Quarantined {
+                device.status = FleetStatus::Active;
+            }
+        } else {
+            device.consecutive_failures += 1;
+            if device.status == FleetStatus::Active && device.consecutive_failures >= policy.quarantine_after {
+                device.status = FleetStatus::Quarantined;
+                device.consecutive_failures = 0;
+            } else if device.status == FleetStatus::Quarantined && device.consecutive_failures >= policy.revoke_after {
+                device.status = FleetStatus::Revoked;
+            }
+        }
+        device.history.push(outcome);
+        Some(device.status)
+    }
+
+    /// A device's retained session history, oldest first.
+    pub fn history(&self, id: DeviceId) -> Option<Vec<SessionOutcome>> {
+        self.shard(id)
+            .lock()
+            .unwrap()
+            .get(&id)
+            .map(|d| d.history.iter().cloned().collect())
+    }
+
+    /// Total sessions ever recorded for a device (retained + rolled off).
+    pub fn sessions_recorded(&self, id: DeviceId) -> Option<u64> {
+        self.shard(id).lock().unwrap().get(&id).map(|d| d.history.total_pushed())
+    }
+
+    /// Number of enrolled devices (all states).
+    pub fn device_count(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Device counts by state, taken shard by shard (each shard is
+    /// consistent; the total is a near-point-in-time view).
+    pub fn status_counts(&self) -> StatusCounts {
+        let mut counts = StatusCounts::default();
+        for shard in &self.shards {
+            for device in shard.lock().unwrap().values() {
+                match device.status {
+                    FleetStatus::Active => counts.active += 1,
+                    FleetStatus::Quarantined => counts.quarantined += 1,
+                    FleetStatus::Revoked => counts.revoked += 1,
+                }
+            }
+        }
+        counts
+    }
+
+    /// All enrolled ids, ascending.
+    pub fn ids(&self) -> Vec<DeviceId> {
+        let mut ids: Vec<DeviceId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap().keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failed() -> SessionOutcome {
+        SessionOutcome {
+            accepted: false,
+            response_ok: false,
+            time_ok: true,
+            timed_out: false,
+            attempts: 3,
+            elapsed_s: 0.2,
+        }
+    }
+
+    fn passed() -> SessionOutcome {
+        SessionOutcome {
+            accepted: true,
+            response_ok: true,
+            time_ok: true,
+            timed_out: false,
+            attempts: 1,
+            elapsed_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn enrollment_and_duplicate_refusal() {
+        let reg = ShardedRegistry::new(4, 8);
+        assert!(reg.enroll(7));
+        assert!(!reg.enroll(7), "duplicate enroll must be refused");
+        assert_eq!(reg.status(7), Some(FleetStatus::Active));
+        assert_eq!(reg.status(8), None);
+        assert_eq!(reg.device_count(), 1);
+    }
+
+    #[test]
+    fn failures_quarantine_then_revoke() {
+        let reg = ShardedRegistry::new(2, 8);
+        let policy = LifecyclePolicy {
+            quarantine_after: 2,
+            revoke_after: 2,
+            ..LifecyclePolicy::default()
+        };
+        reg.enroll(1);
+        assert_eq!(reg.record_outcome(1, failed(), &policy), Some(FleetStatus::Active));
+        assert_eq!(reg.record_outcome(1, failed(), &policy), Some(FleetStatus::Quarantined));
+        assert_eq!(reg.record_outcome(1, failed(), &policy), Some(FleetStatus::Quarantined));
+        assert_eq!(reg.record_outcome(1, failed(), &policy), Some(FleetStatus::Revoked));
+        assert_eq!(reg.status_counts(), StatusCounts { active: 0, quarantined: 0, revoked: 1 });
+    }
+
+    #[test]
+    fn success_reactivates_quarantined_device() {
+        let reg = ShardedRegistry::new(2, 8);
+        let policy = LifecyclePolicy { quarantine_after: 1, ..LifecyclePolicy::default() };
+        reg.enroll(1);
+        assert_eq!(reg.record_outcome(1, failed(), &policy), Some(FleetStatus::Quarantined));
+        assert_eq!(reg.record_outcome(1, passed(), &policy), Some(FleetStatus::Active));
+    }
+
+    #[test]
+    fn re_enrollment_reactivates_a_revoked_device() {
+        let reg = ShardedRegistry::new(2, 8);
+        reg.enroll(3);
+        reg.revoke(3);
+        assert_eq!(reg.status(3), Some(FleetStatus::Revoked));
+        assert!(reg.re_enroll(3));
+        assert_eq!(reg.status(3), Some(FleetStatus::Active));
+        assert!(!reg.re_enroll(99), "unknown devices cannot re-enroll");
+    }
+
+    #[test]
+    fn history_is_bounded_per_device() {
+        let reg = ShardedRegistry::new(2, 3);
+        let policy = LifecyclePolicy::default();
+        reg.enroll(1);
+        for _ in 0..5 {
+            reg.record_outcome(1, passed(), &policy);
+        }
+        assert_eq!(reg.history(1).unwrap().len(), 3);
+        assert_eq!(reg.sessions_recorded(1), Some(5));
+    }
+
+    #[test]
+    fn sharding_spreads_devices() {
+        let reg = ShardedRegistry::new(8, 4);
+        for id in 0..64 {
+            reg.enroll(id);
+        }
+        assert_eq!(reg.device_count(), 64);
+        assert_eq!(reg.ids(), (0..64).collect::<Vec<_>>());
+        let nonempty = reg.shards.iter().filter(|s| !s.lock().unwrap().is_empty()).count();
+        assert!(nonempty >= 6, "sequential ids should hit most shards, got {nonempty}");
+    }
+
+    #[test]
+    fn concurrent_updates_from_many_threads() {
+        use std::sync::Arc;
+        let reg = Arc::new(ShardedRegistry::new(4, 4));
+        let policy = LifecyclePolicy::default();
+        for id in 0..32 {
+            reg.enroll(id);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for id in (t..32).step_by(4) {
+                        for _ in 0..10 {
+                            reg.record_outcome(id, passed(), &policy);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for id in 0..32 {
+            assert_eq!(reg.sessions_recorded(id), Some(10));
+        }
+    }
+}

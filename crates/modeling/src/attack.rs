@@ -200,7 +200,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn small_design() -> AluPufDesign {
-        AluPufDesign::new(AluPufConfig { width: 8, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 5 })
+        AluPufDesign::new(AluPufConfig {
+            width: 8,
+            adder: AdderKind::default(),
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 5,
+        })
     }
 
     #[test]
@@ -209,8 +214,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let chip = design.fabricate(&ChipSampler::new(), &mut rng);
         let instance = PufInstance::new(&design, &chip, Environment::nominal());
-        let report =
-            attack_raw(&instance, FeatureMap::CarryAware, 300, 150, &TrainConfig::default(), &mut rng);
+        let report = attack_raw(&instance, FeatureMap::CarryAware, 300, 150, &TrainConfig::default(), &mut rng);
         assert!(report.mean_accuracy() > 0.62, "raw responses must be learnable: {}", report.mean_accuracy());
         assert!(report.best_accuracy() > 0.75, "some bit must be highly predictable: {}", report.best_accuracy());
     }
@@ -238,14 +242,18 @@ mod tests {
         // exactly — but it must fall far below the raw-response accuracy.
         // The full-width comparison lives in the modeling_attack bench.
         use pufatt::enroll::enroll;
-        let cfg = AluPufConfig { width: 8, adder: AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 5 };
+        let cfg = AluPufConfig {
+            width: 8,
+            adder: AdderKind::default(),
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 5,
+        };
         let enrolled = enroll(cfg.clone(), 3, 0).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let instance = PufInstance::new(enrolled.design(), enrolled.chip(), Environment::nominal());
         let raw = attack_raw(&instance, FeatureMap::CarryAware, 250, 120, &TrainConfig::default(), &mut rng);
         let mut device = enrolled.device_puf(17);
-        let obf =
-            attack_obfuscated(&mut device, FeatureMap::CarryAware, 250, 120, &TrainConfig::default(), &mut rng);
+        let obf = attack_obfuscated(&mut device, FeatureMap::CarryAware, 250, 120, &TrainConfig::default(), &mut rng);
         assert!(
             obf.mean_accuracy() < raw.mean_accuracy() - 0.12,
             "obfuscation must cost the attacker accuracy: raw {} vs obf {}",
@@ -258,7 +266,12 @@ mod tests {
     fn mlp_attacker_also_fails_on_obfuscated_outputs() {
         use crate::mlp::{MlpConfig, MlpModel};
         use pufatt::enroll::enroll;
-        let cfg = AluPufConfig { width: 8, adder: pufatt_alupuf::device::AdderKind::default(), arbiter: ArbiterConfig::asic(), design_seed: 5 };
+        let cfg = AluPufConfig {
+            width: 8,
+            adder: pufatt_alupuf::device::AdderKind::default(),
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 5,
+        };
         let enrolled = enroll(cfg, 3, 0).unwrap();
         let mut device = enrolled.device_puf(23);
         let mut rng = ChaCha8Rng::seed_from_u64(9);

@@ -53,9 +53,8 @@ impl Mlp {
     /// Panics if `inputs` or `config.hidden` is zero.
     pub fn new<R: Rng + ?Sized>(inputs: usize, config: &MlpConfig, rng: &mut R) -> Self {
         assert!(inputs > 0 && config.hidden > 0, "network must have inputs and hidden units");
-        let mut init = |n: usize| -> Vec<f64> {
-            (0..n).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * config.init_scale).collect()
-        };
+        let mut init =
+            |n: usize| -> Vec<f64> { (0..n).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * config.init_scale).collect() };
         let w1 = (0..config.hidden).map(|_| init(inputs)).collect();
         let b1 = init(config.hidden);
         let w2 = init(config.hidden);
@@ -112,9 +111,7 @@ impl Mlp {
                 }
                 self.b2 -= lr * err;
                 // Hidden layer (tanh' = 1 − h²).
-                for (((w2j, hj), w1j), b1j) in
-                    self.w2.iter().zip(&h).zip(self.w1.iter_mut()).zip(self.b1.iter_mut())
-                {
+                for (((w2j, hj), w1j), b1j) in self.w2.iter().zip(&h).zip(self.w1.iter_mut()).zip(self.b1.iter_mut()) {
                     let grad_h = err * w2j * (1.0 - hj * hj);
                     for (w, &xv) in w1j.iter_mut().zip(x) {
                         *w -= lr * grad_h * xv;

@@ -26,7 +26,8 @@ use std::fmt;
 /// An assembly error with its 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
-    /// 1-based line number.
+    /// 1-based line number; 0 when the error is not tied to a source line
+    /// (e.g. a failed label lookup on an assembled program).
     pub line: usize,
     /// Problem description.
     pub message: String,
@@ -34,7 +35,11 @@ pub struct AsmError {
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -53,11 +58,17 @@ pub struct Program {
 impl Program {
     /// Address of a label.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the label does not exist — assembling defined it or not.
-    pub fn label(&self, name: &str) -> u32 {
-        *self.labels.get(name).unwrap_or_else(|| panic!("no such label: {name}"))
+    /// Returns an [`AsmError`] (with no line attribution) for an undefined
+    /// label, so callers embedding generated programs — e.g. a verifier
+    /// worker loading a checksum program — can reject malformed sources
+    /// instead of aborting.
+    pub fn label(&self, name: &str) -> Result<u32, AsmError> {
+        self.labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError { line: 0, message: format!("no such label `{name}`") })
     }
 }
 
@@ -118,7 +129,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut image = Vec::with_capacity(addr as usize);
     for (line, stmt) in items {
         let at = image.len() as u32;
-        stmt.emit(at, &labels, &mut image).map_err(|message| AsmError { line, message })?;
+        stmt.emit(at, &labels, &mut image)
+            .map_err(|message| AsmError { line, message })?;
     }
     Ok(Program { image, labels })
 }
@@ -219,11 +231,7 @@ fn parse_reg(s: &str) -> Result<Reg, String> {
 fn parse_imm16(s: &str, at: u32, labels: &HashMap<String, u32>, relative: bool) -> Result<i16, String> {
     let t = s.trim();
     if let Some(&target) = labels.get(t) {
-        let value = if relative {
-            target as i64 - (at as i64 + 1)
-        } else {
-            target as i64
-        };
+        let value = if relative { target as i64 - (at as i64 + 1) } else { target as i64 };
         return i16::try_from(value).map_err(|_| format!("label `{t}` out of 16-bit range ({value})"));
     }
     let (neg, body) = match t.strip_prefix('-') {
@@ -249,21 +257,12 @@ fn parse_mem(s: &str, labels: &HashMap<String, u32>) -> Result<(i16, Reg), Strin
     let open = s.find('(').ok_or_else(|| format!("expected `imm(reg)`, got `{s}`"))?;
     let close = s.rfind(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
     let imm_text = s[..open].trim();
-    let imm = if imm_text.is_empty() {
-        0
-    } else {
-        parse_imm16(imm_text, 0, labels, false)?
-    };
+    let imm = if imm_text.is_empty() { 0 } else { parse_imm16(imm_text, 0, labels, false)? };
     let reg = parse_reg(&s[open + 1..close])?;
     Ok((imm, reg))
 }
 
-fn encode_inst(
-    mnemonic: &str,
-    ops: &[String],
-    at: u32,
-    labels: &HashMap<String, u32>,
-) -> Result<Instruction, String> {
+fn encode_inst(mnemonic: &str, ops: &[String], at: u32, labels: &HashMap<String, u32>) -> Result<Instruction, String> {
     let expect = |n: usize| -> Result<(), String> {
         if ops.len() == n {
             Ok(())
@@ -301,7 +300,12 @@ fn encode_inst(
 
     if let Some(op) = alu(mnemonic) {
         expect(3)?;
-        return Ok(Instruction::Alu { op, rd: parse_reg(&ops[0])?, rs1: parse_reg(&ops[1])?, rs2: parse_reg(&ops[2])? });
+        return Ok(Instruction::Alu {
+            op,
+            rd: parse_reg(&ops[0])?,
+            rs1: parse_reg(&ops[1])?,
+            rs2: parse_reg(&ops[2])?,
+        });
     }
     if let Some(base) = mnemonic.strip_suffix('i') {
         if let Some(op) = alu(base) {
@@ -326,7 +330,10 @@ fn encode_inst(
     match mnemonic {
         "lui" => {
             expect(2)?;
-            Ok(Instruction::Lui { rd: parse_reg(&ops[0])?, imm: parse_imm16(&ops[1], at, labels, false)? as u16 })
+            Ok(Instruction::Lui {
+                rd: parse_reg(&ops[0])?,
+                imm: parse_imm16(&ops[1], at, labels, false)? as u16,
+            })
         }
         "lw" => {
             expect(2)?;
@@ -340,7 +347,10 @@ fn encode_inst(
         }
         "jal" => {
             expect(2)?;
-            Ok(Instruction::Jal { rd: parse_reg(&ops[0])?, imm: parse_imm16(&ops[1], at, labels, true)? })
+            Ok(Instruction::Jal {
+                rd: parse_reg(&ops[0])?,
+                imm: parse_imm16(&ops[1], at, labels, true)?,
+            })
         }
         "jalr" => {
             expect(2)?;
@@ -368,7 +378,10 @@ fn encode_inst(
         }
         "phelp" => {
             expect(2)?;
-            Ok(Instruction::Phelp { rd: parse_reg(&ops[0])?, imm: parse_imm16(&ops[1], at, labels, false)? })
+            Ok(Instruction::Phelp {
+                rd: parse_reg(&ops[0])?,
+                imm: parse_imm16(&ops[1], at, labels, false)?,
+            })
         }
         _ => Err(format!("unknown mnemonic `{mnemonic}`")),
     }
@@ -425,7 +438,7 @@ mod tests {
         ";
         let prog = assemble(src).unwrap();
         assert_eq!(prog.image.len(), 2 + 1 + 3);
-        assert_eq!(prog.label("value"), 2);
+        assert_eq!(prog.label("value").unwrap(), 2);
         let mut cpu = Cpu::new(16);
         cpu.load_program(&prog.image);
         cpu.run(100).unwrap();
@@ -446,6 +459,16 @@ mod tests {
         cpu.load_program(&prog.image);
         cpu.run(100).unwrap();
         assert_eq!(cpu.reg(Reg(1)), 20);
+    }
+
+    #[test]
+    fn missing_label_is_an_error_not_a_panic() {
+        let prog = assemble("start: nop\nhalt").unwrap();
+        assert_eq!(prog.label("start").unwrap(), 0);
+        let err = prog.label("malware_region").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("malware_region"));
+        assert!(!err.to_string().contains("line"), "{err}");
     }
 
     #[test]
@@ -498,8 +521,13 @@ mod tests {
     fn equ_rejects_malformed_definitions() {
         assert!(assemble(".equ ONLYNAME").unwrap_err().message.contains("name and a value"));
         assert!(assemble(".equ A 1 2").unwrap_err().message.contains("exactly two"));
-        assert!(assemble(".equ A 1
-.equ A 2").unwrap_err().message.contains("duplicate"));
+        assert!(assemble(
+            ".equ A 1
+.equ A 2"
+        )
+        .unwrap_err()
+        .message
+        .contains("duplicate"));
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub struct Cpu {
     puf_mode: bool,
     puf_result: Option<PufOutput>,
     memory: Vec<u32>,
-    puf: Option<Box<dyn PufPort>>,
+    puf: Option<Box<dyn PufPort + Send>>,
     clock: Clock,
 }
 
@@ -150,13 +150,15 @@ impl Cpu {
         }
     }
 
-    /// Attaches a PUF device to the port.
-    pub fn attach_puf(&mut self, puf: Box<dyn PufPort>) {
+    /// Attaches a PUF device to the port. The port must be `Send` so the
+    /// whole CPU (and the prover built on it) can migrate across worker
+    /// threads in fleet-scale attestation campaigns.
+    pub fn attach_puf(&mut self, puf: Box<dyn PufPort + Send>) {
         self.puf = Some(puf);
     }
 
     /// Detaches and returns the PUF device.
-    pub fn detach_puf(&mut self) -> Option<Box<dyn PufPort>> {
+    pub fn detach_puf(&mut self) -> Option<Box<dyn PufPort + Send>> {
         self.puf.take()
     }
 
@@ -435,7 +437,10 @@ mod tests {
     #[test]
     fn out_of_bounds_traps() {
         let mut cpu = Cpu::new(16);
-        cpu.load_program(&program(&[Instruction::Lw { rd: Reg(1), rs1: Reg::ZERO, imm: 100 }, Instruction::Halt]));
+        cpu.load_program(&program(&[
+            Instruction::Lw { rd: Reg(1), rs1: Reg::ZERO, imm: 100 },
+            Instruction::Halt,
+        ]));
         assert_eq!(cpu.run(100), Err(Trap::OutOfBounds { addr: 100 }));
     }
 
@@ -521,8 +526,8 @@ mod tests {
         // jal r15, +2 (skip one); halt at target; subroutine jumps back.
         let mut cpu = Cpu::new(32);
         cpu.load_program(&program(&[
-            Instruction::Jal { rd: Reg(15), imm: 1 },       // 0: to 2, r15 = 1
-            Instruction::Halt,                               // 1: final halt
+            Instruction::Jal { rd: Reg(15), imm: 1 }, // 0: to 2, r15 = 1
+            Instruction::Halt,                        // 1: final halt
             Instruction::AluImm { op: AluOp::Add, rd: Reg(1), rs1: Reg::ZERO, imm: 7 }, // 2
             Instruction::Jalr { rd: Reg::ZERO, rs1: Reg(15) }, // 3: back to 1
         ]));

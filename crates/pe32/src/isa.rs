@@ -138,7 +138,12 @@ pub enum Instruction {
     /// Store word: `mem[rs1 + imm] ← rs2` (`rs2` travels in the rd slot).
     Sw { rs2: Reg, rs1: Reg, imm: i16 },
     /// Conditional branch: `if rs1 cond rs2 then pc ← pc + 1 + imm`.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, imm: i16 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i16,
+    },
     /// Jump and link: `rd ← pc + 1; pc ← pc + 1 + imm`.
     Jal { rd: Reg, imm: i16 },
     /// Jump and link register: `rd ← pc + 1; pc ← rs1`.
@@ -203,8 +208,14 @@ const ALU_OPS: [AluOp; 11] = [
     AluOp::Mul,
 ];
 
-const BRANCH_CONDS: [BranchCond; 6] =
-    [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu];
+const BRANCH_CONDS: [BranchCond; 6] = [
+    BranchCond::Eq,
+    BranchCond::Ne,
+    BranchCond::Lt,
+    BranchCond::Ge,
+    BranchCond::Ltu,
+    BranchCond::Geu,
+];
 
 fn alu_code(op: AluOp) -> u8 {
     ALU_OPS.iter().position(|&o| o == op).expect("op listed") as u8

@@ -156,8 +156,8 @@ mod tests {
         let mut cpu = Cpu::new(512);
         cpu.load_program(&program.image);
         cpu.run(1_000_000).unwrap();
-        let s = program.label("src");
-        let d = program.label("dst");
+        let s = program.label("src").unwrap();
+        let d = program.label("dst").unwrap();
         for i in 0..8 {
             assert_eq!(cpu.load_word(d + i).unwrap(), cpu.load_word(s + i).unwrap(), "word {i}");
         }
@@ -179,7 +179,7 @@ mod tests {
         let mut cpu = Cpu::new(512);
         cpu.load_program(&program.image);
         cpu.run(1_000_000).unwrap();
-        let arr = program.label("arr");
+        let arr = program.label("arr").unwrap();
         let values: Vec<u32> = (0..8).map(|i| cpu.load_word(arr + i).unwrap()).collect();
         let mut sorted = values.clone();
         sorted.sort();

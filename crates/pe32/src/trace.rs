@@ -41,8 +41,13 @@ impl InstClass {
     }
 
     /// All classes, in display order.
-    pub const ALL: [InstClass; 5] =
-        [InstClass::Alu, InstClass::Memory, InstClass::Control, InstClass::Puf, InstClass::Other];
+    pub const ALL: [InstClass; 5] = [
+        InstClass::Alu,
+        InstClass::Memory,
+        InstClass::Control,
+        InstClass::Puf,
+        InstClass::Other,
+    ];
 }
 
 impl fmt::Display for InstClass {
@@ -98,7 +103,11 @@ impl fmt::Display for ExecutionProfile {
             let i = self.instructions.get(&class).unwrap_or(&0);
             let c = self.cycles.get(&class).unwrap_or(&0);
             if *i > 0 {
-                writeln!(f, "  {class:<8} {i:>10} insts {c:>10} cycles ({:>5.1}%)", 100.0 * self.cycle_fraction(class))?;
+                writeln!(
+                    f,
+                    "  {class:<8} {i:>10} insts {c:>10} cycles ({:>5.1}%)",
+                    100.0 * self.cycle_fraction(class)
+                )?;
             }
         }
         Ok(())
@@ -149,9 +158,7 @@ mod tests {
 
     #[test]
     fn profile_matches_cpu_counters() {
-        let (cpu, profile) = traced(
-            "addi r1, r0, 10\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt",
-        );
+        let (cpu, profile) = traced("addi r1, r0, 10\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt");
         assert_eq!(profile.total_cycles, cpu.cycles());
         let insts: u64 = profile.instructions.values().sum();
         assert_eq!(insts, profile.total_instructions);
@@ -161,9 +168,7 @@ mod tests {
 
     #[test]
     fn classes_are_attributed() {
-        let (_, profile) = traced(
-            "addi r1, r0, 40\nsw r1, 100(r0)\nlw r2, 100(r0)\nbeq r0, r0, end\nnop\nend: halt",
-        );
+        let (_, profile) = traced("addi r1, r0, 40\nsw r1, 100(r0)\nlw r2, 100(r0)\nbeq r0, r0, end\nnop\nend: halt");
         assert_eq!(*profile.instructions.get(&InstClass::Alu).unwrap(), 1);
         assert_eq!(*profile.instructions.get(&InstClass::Memory).unwrap(), 2);
         assert_eq!(*profile.instructions.get(&InstClass::Control).unwrap(), 1);
@@ -173,9 +178,7 @@ mod tests {
 
     #[test]
     fn hot_spot_is_the_loop() {
-        let (_, profile) = traced(
-            "addi r1, r0, 50\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt",
-        );
+        let (_, profile) = traced("addi r1, r0, 50\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt");
         let hottest = profile.hottest(2);
         // The two loop instructions (addresses 1 and 2) dominate.
         assert_eq!(hottest.len(), 2);

@@ -29,9 +29,7 @@ fn to_dot_inner(netlist: &Netlist, delays: Option<&[f64]>) -> String {
     let mut out = String::from("digraph netlist {\n  rankdir=LR;\n  node [fontsize=9];\n");
     let max_delay = delays.map(|d| d.iter().copied().fold(1e-9, f64::max)).unwrap_or(1.0);
 
-    let net_name = |n: NetId| -> String {
-        netlist.net(n).name.clone().unwrap_or_else(|| format!("{n}"))
-    };
+    let net_name = |n: NetId| -> String { netlist.net(n).name.clone().unwrap_or_else(|| format!("{n}")) };
 
     for &pi in netlist.primary_inputs() {
         writeln!(out, "  \"{}\" [shape=box, style=filled, fillcolor=lightblue];", net_name(pi)).expect("write");

@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn odd_widths_work() {
         for width in [3usize, 5, 7, 13] {
-            for generator in [carry_lookahead_adder_shared as SharedGen, carry_select_adder_shared as SharedGen] {
+            for generator in [
+                carry_lookahead_adder_shared as SharedGen,
+                carry_select_adder_shared as SharedGen,
+            ] {
                 let mut nl = Netlist::new();
                 let a = nl.input_bus("a", width);
                 let b = nl.input_bus("b", width);
@@ -259,7 +262,12 @@ mod tests {
         let b = nl.input("b");
         let s = nl.input("s");
         let out = mux2(&mut nl, a, b, s);
-        for (va, vb, vs) in [(false, true, false), (false, true, true), (true, false, false), (true, false, true)] {
+        for (va, vb, vs) in [
+            (false, true, false),
+            (false, true, true),
+            (true, false, false),
+            (true, false, true),
+        ] {
             let v = nl.evaluate(&[va, vb, vs]);
             assert_eq!(v[out.index()], if vs { vb } else { va });
         }

@@ -56,7 +56,11 @@ impl ChipSampler {
     /// Creates a sampler with the paper's parameters: 45 nm technology,
     /// quad-tree model, σ/µ = 0.1 on V_th.
     pub fn new() -> Self {
-        ChipSampler { technology: Technology::node_45nm(), model: QuadTreeModel::paper_default(), sigma_ratio: 0.1 }
+        ChipSampler {
+            technology: Technology::node_45nm(),
+            model: QuadTreeModel::paper_default(),
+            sigma_ratio: 0.1,
+        }
     }
 
     /// Overrides the σ/µ ratio of the threshold-voltage distribution.
@@ -282,7 +286,10 @@ mod tests {
         let sampler = ChipSampler::new();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let chip = sampler.sample(&nl, &mut rng);
-        for env in Environment::voltage_sweep(3).into_iter().chain(Environment::temperature_sweep(3)) {
+        for env in Environment::voltage_sweep(3)
+            .into_iter()
+            .chain(Environment::temperature_sweep(3))
+        {
             let d = chip.gate_delays(&nl, &env);
             assert!(d.iter().all(|&x| x.is_finite() && x > 0.0), "corner {env}");
         }

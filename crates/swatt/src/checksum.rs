@@ -65,7 +65,11 @@ impl SwattParams {
     /// Panics if `rounds` is not a positive multiple of 8 or the region is
     /// unreasonably sized.
     pub fn validate(&self) {
-        assert!(self.rounds > 0 && self.rounds.is_multiple_of(8), "rounds {} must be a positive multiple of 8", self.rounds);
+        assert!(
+            self.rounds > 0 && self.rounds.is_multiple_of(8),
+            "rounds {} must be a positive multiple of 8",
+            self.rounds
+        );
         assert!((4..=24).contains(&self.region_bits), "region_bits {} out of range", self.region_bits);
     }
 }

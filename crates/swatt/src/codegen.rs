@@ -101,8 +101,14 @@ pub fn generate(params: &SwattParams, options: &CodegenOptions) -> GeneratedSwat
     let mut s = String::new();
     let w = &mut s;
     let mask = region_end - 1;
-    writeln!(w, "; PUFatt checksum ({} rounds, region 2^{} words{})", params.rounds, params.region_bits,
-        if options.redirect.is_some() { ", WITH memory-copy redirection" } else { "" }).unwrap();
+    writeln!(
+        w,
+        "; PUFatt checksum ({} rounds, region 2^{} words{})",
+        params.rounds,
+        params.region_bits,
+        if options.redirect.is_some() { ", WITH memory-copy redirection" } else { "" }
+    )
+    .unwrap();
     writeln!(w, "        lw   r9, {seed_cell}(r0)       ; x = r0 (attestation challenge)").unwrap();
     writeln!(w, "        lw   r12, {x0_cell}(r0)        ; x0 (PUF challenge seed)").unwrap();
     for k in 0..STATE_WORDS {
@@ -186,7 +192,15 @@ pub fn generate(params: &SwattParams, options: &CodegenOptions) -> GeneratedSwat
 
     GeneratedSwatt {
         source: s,
-        layout: SwattLayout { seed_cell, x0_cell, result_base, helper_base, helper_ptr_cell, memory_words, region_end },
+        layout: SwattLayout {
+            seed_cell,
+            x0_cell,
+            result_base,
+            helper_base,
+            helper_ptr_cell,
+            memory_words,
+            region_end,
+        },
     }
 }
 
@@ -216,10 +230,11 @@ mod tests {
         cpu.store_word(gen.layout.x0_cell, X0).unwrap();
         let memory_snapshot: Vec<u32> = cpu.memory()[..gen.layout.region_end as usize].to_vec();
         let result = cpu.run(200_000_000).expect("checksum program must halt");
-        let response: Vec<u32> =
-            (0..8).map(|k| cpu.load_word(gen.layout.result_base + k).unwrap()).collect();
+        let response: Vec<u32> = (0..8).map(|k| cpu.load_word(gen.layout.result_base + k).unwrap()).collect();
         let helper_end = cpu.load_word(gen.layout.helper_ptr_cell).unwrap_or(gen.layout.helper_base);
-        let helper: Vec<u32> = (gen.layout.helper_base..helper_end).map(|a| cpu.load_word(a).unwrap()).collect();
+        let helper: Vec<u32> = (gen.layout.helper_base..helper_end)
+            .map(|a| cpu.load_word(a).unwrap())
+            .collect();
         (response, memory_snapshot, result.cycles, helper)
     }
 
@@ -273,8 +288,9 @@ mod tests {
         honest.store_word(honest_gen.layout.x0_cell, X0).unwrap();
         let expected_memory: Vec<u32> = honest.memory()[..512].to_vec();
         let honest_run = honest.run(200_000_000).unwrap();
-        let honest_resp: Vec<u32> =
-            (0..8).map(|k| honest.load_word(honest_gen.layout.result_base + k).unwrap()).collect();
+        let honest_resp: Vec<u32> = (0..8)
+            .map(|k| honest.load_word(honest_gen.layout.result_base + k).unwrap())
+            .collect();
 
         // Infected device: the attacker's program occupies the region, the
         // pristine copy of S lives at copy_base.
@@ -291,8 +307,9 @@ mod tests {
             infected.store_word(copy_base + offset as u32, word).unwrap();
         }
         let infected_run = infected.run(200_000_000).unwrap();
-        let infected_resp: Vec<u32> =
-            (0..8).map(|k| infected.load_word(attack_gen.layout.result_base + k).unwrap()).collect();
+        let infected_resp: Vec<u32> = (0..8)
+            .map(|k| infected.load_word(attack_gen.layout.result_base + k).unwrap())
+            .collect();
 
         // The forgery succeeds functionally…
         let reference = compute(&expected_memory, seed, X0, &params, &mut NoPuf);

@@ -68,8 +68,12 @@ pub fn generate_classic(params: &ClassicParams) -> GeneratedClassic {
 
     let mut s = String::new();
     let w = &mut s;
-    writeln!(w, "; classical RC4-SWATT checksum ({} rounds, region 2^{} words)", params.rounds, params.region_bits)
-        .unwrap();
+    writeln!(
+        w,
+        "; classical RC4-SWATT checksum ({} rounds, region 2^{} words)",
+        params.rounds, params.region_bits
+    )
+    .unwrap();
     // --- constants ------------------------------------------------------
     writeln!(w, "        addi r1, r0, {sbox_base}     ; S-box base").unwrap();
     writeln!(w, "        addi r2, r0, 255         ; byte mask").unwrap();
@@ -171,7 +175,14 @@ pub fn generate_classic(params: &ClassicParams) -> GeneratedClassic {
 
     GeneratedClassic {
         source: s,
-        layout: ClassicLayout { seed_cell, region_end, lanes_base, key_base, sbox_base, memory_words },
+        layout: ClassicLayout {
+            seed_cell,
+            region_end,
+            lanes_base,
+            key_base,
+            sbox_base,
+            memory_words,
+        },
     }
 }
 
@@ -226,10 +237,7 @@ mod tests {
 
         // RC4's four byte steps per address dominate: the classical variant
         // must cost several times more per round.
-        assert!(
-            classic_cycles > 3 * t_cycles,
-            "classic {classic_cycles} vs t-function {t_cycles}"
-        );
+        assert!(classic_cycles > 3 * t_cycles, "classic {classic_cycles} vs t-function {t_cycles}");
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub mod swatt_classic;
 
 pub use checksum::{compute, ChecksumResult, MixPuf, NoPuf, RoundPuf, SwattParams, STATE_WORDS};
 pub use codegen::{generate, CodegenOptions, GeneratedSwatt, Redirection, SwattLayout};
-pub use prg::{Rc4Prg, TFunction};
 pub use codegen_classic::{generate_classic, ClassicLayout, GeneratedClassic};
+pub use prg::{Rc4Prg, TFunction};
 pub use swatt_classic::{compute_classic, ClassicParams};

@@ -40,8 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("   -> this is why the architecture never exposes raw responses\n");
 
     // 2. Power side channel on the obfuscation network.
-    let raw: Vec<u64> =
-        (0..600).map(|_| instance.evaluate(Challenge::random(&mut rng, 32), &mut rng).bits()).collect();
+    let raw: Vec<u64> = (0..600)
+        .map(|_| instance.evaluate(Challenge::random(&mut rng, 32), &mut rng).bits())
+        .collect();
     let hw: Vec<f64> = raw.iter().map(|y| y.count_ones() as f64).collect();
     let unprotected = PowerModel::HammingWeight { noise_sigma: 1.0 };
     let hardened = PowerModel::DualRail { noise_sigma: 1.0 };

@@ -23,10 +23,14 @@ fn main() {
     let design = AluPufDesign::new(AluPufConfig::paper_32bit());
     let mut rng = ChaCha8Rng::seed_from_u64(0xCAFE);
     let chips = design.fabricate_many(&ChipSampler::new(), CHIPS, &mut rng);
-    let nominal: Vec<PufInstance<'_>> =
-        chips.iter().map(|c| PufInstance::new(&design, c, Environment::nominal())).collect();
-    let hot: Vec<PufInstance<'_>> =
-        chips.iter().map(|c| PufInstance::new(&design, c, Environment::with_temp(120.0))).collect();
+    let nominal: Vec<PufInstance<'_>> = chips
+        .iter()
+        .map(|c| PufInstance::new(&design, c, Environment::nominal()))
+        .collect();
+    let hot: Vec<PufInstance<'_>> = chips
+        .iter()
+        .map(|c| PufInstance::new(&design, c, Environment::with_temp(120.0)))
+        .collect();
 
     let mut inter_raw = HdHistogram::new(32);
     let mut inter_obf = HdHistogram::new(32);

@@ -43,11 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..3 {
         let request = AttestationRequest::random(&mut rng);
         let (verdict, report) = run_session(&mut prover, &verifier, request)?;
-        println!(
-            "session {i}: {verdict} ({} helper words, {} cycles)",
-            report.helper_words.len(),
-            report.cycles
-        );
+        println!("session {i}: {verdict} ({} helper words, {} cycles)", report.helper_words.len(), report.cycles);
         assert!(verdict.accepted, "an honest device must pass");
     }
 

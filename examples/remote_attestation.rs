@@ -62,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // sessions and report the accepted one.
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xE2E);
-    let (verdict, attempts) =
-        pufatt::protocol::run_session_with_retry(&mut prover, &verifier, &mut rng, 3)?;
+    let (verdict, attempts) = pufatt::protocol::run_session_with_retry(&mut prover, &verifier, &mut rng, 3)?;
     println!("honest session: {verdict} (attempt {attempts})");
     let (_, report) = run_session(&mut prover, &verifier, request)?;
     println!("    response lanes: {:08x?}", report.response);

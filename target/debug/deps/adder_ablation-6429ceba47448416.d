@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adder_ablation-6429ceba47448416.d: crates/bench/benches/adder_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadder_ablation-6429ceba47448416.rmeta: crates/bench/benches/adder_ablation.rs Cargo.toml
+
+crates/bench/benches/adder_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aging_drift-cd00736adece5323.d: crates/bench/benches/aging_drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaging_drift-cd00736adece5323.rmeta: crates/bench/benches/aging_drift.rs Cargo.toml
+
+crates/bench/benches/aging_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

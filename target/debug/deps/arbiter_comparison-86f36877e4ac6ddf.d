@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbiter_comparison-86f36877e4ac6ddf.d: crates/bench/benches/arbiter_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbiter_comparison-86f36877e4ac6ddf.rmeta: crates/bench/benches/arbiter_comparison.rs Cargo.toml
+
+crates/bench/benches/arbiter_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-57c4a1a3816d8572.d: tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-57c4a1a3816d8572: tests/attacks.rs
+
+tests/attacks.rs:

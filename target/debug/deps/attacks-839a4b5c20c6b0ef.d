@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-839a4b5c20c6b0ef.d: tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-839a4b5c20c6b0ef: tests/attacks.rs
+
+tests/attacks.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-1ec6dd4d178fab3a.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/cli_e2e-1ec6dd4d178fab3a: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_pufatt=/root/repo/target/debug/pufatt

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_e2e-cff8e1d448a97737.d: crates/cli/tests/cli_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_e2e-cff8e1d448a97737.rmeta: crates/cli/tests/cli_e2e.rs Cargo.toml
+
+crates/cli/tests/cli_e2e.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pufatt=placeholder:pufatt
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

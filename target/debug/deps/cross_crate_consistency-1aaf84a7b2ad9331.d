@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_consistency-1aaf84a7b2ad9331.d: tests/cross_crate_consistency.rs
+
+/root/repo/target/debug/deps/cross_crate_consistency-1aaf84a7b2ad9331: tests/cross_crate_consistency.rs
+
+tests/cross_crate_consistency.rs:

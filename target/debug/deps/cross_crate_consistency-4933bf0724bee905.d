@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_consistency-4933bf0724bee905.d: tests/cross_crate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_consistency-4933bf0724bee905.rmeta: tests/cross_crate_consistency.rs Cargo.toml
+
+tests/cross_crate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_consistency-ada0f8f4c9694444.d: tests/cross_crate_consistency.rs
+
+/root/repo/target/debug/deps/cross_crate_consistency-ada0f8f4c9694444: tests/cross_crate_consistency.rs
+
+tests/cross_crate_consistency.rs:

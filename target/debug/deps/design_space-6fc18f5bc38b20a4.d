@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_space-6fc18f5bc38b20a4.d: crates/bench/benches/design_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_space-6fc18f5bc38b20a4.rmeta: crates/bench/benches/design_space.rs Cargo.toml
+
+crates/bench/benches/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

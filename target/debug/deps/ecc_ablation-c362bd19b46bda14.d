@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecc_ablation-c362bd19b46bda14.d: crates/bench/benches/ecc_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecc_ablation-c362bd19b46bda14.rmeta: crates/bench/benches/ecc_ablation.rs Cargo.toml
+
+crates/bench/benches/ecc_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

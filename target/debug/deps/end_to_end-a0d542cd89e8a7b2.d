@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a0d542cd89e8a7b2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a0d542cd89e8a7b2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

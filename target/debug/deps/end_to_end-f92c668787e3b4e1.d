@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f92c668787e3b4e1.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f92c668787e3b4e1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

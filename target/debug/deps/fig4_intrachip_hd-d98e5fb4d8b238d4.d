@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_intrachip_hd-d98e5fb4d8b238d4.d: crates/bench/benches/fig4_intrachip_hd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_intrachip_hd-d98e5fb4d8b238d4.rmeta: crates/bench/benches/fig4_intrachip_hd.rs Cargo.toml
+
+crates/bench/benches/fig4_intrachip_hd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scale-5f046736d3a62682.d: tests/fleet_scale.rs
+
+/root/repo/target/debug/deps/fleet_scale-5f046736d3a62682: tests/fleet_scale.rs
+
+tests/fleet_scale.rs:

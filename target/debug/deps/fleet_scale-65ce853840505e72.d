@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_scale-65ce853840505e72.d: tests/fleet_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_scale-65ce853840505e72.rmeta: tests/fleet_scale.rs Cargo.toml
+
+tests/fleet_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

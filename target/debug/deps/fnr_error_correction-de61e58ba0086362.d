@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fnr_error_correction-de61e58ba0086362.d: crates/bench/benches/fnr_error_correction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfnr_error_correction-de61e58ba0086362.rmeta: crates/bench/benches/fnr_error_correction.rs Cargo.toml
+
+crates/bench/benches/fnr_error_correction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpga_boards-94c5e80430e4d5c7.d: crates/bench/benches/fpga_boards.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpga_boards-94c5e80430e4d5c7.rmeta: crates/bench/benches/fpga_boards.rs Cargo.toml
+
+crates/bench/benches/fpga_boards.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

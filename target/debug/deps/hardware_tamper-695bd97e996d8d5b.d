@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardware_tamper-695bd97e996d8d5b.d: crates/bench/benches/hardware_tamper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardware_tamper-695bd97e996d8d5b.rmeta: crates/bench/benches/hardware_tamper.rs Cargo.toml
+
+crates/bench/benches/hardware_tamper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modeling_attack-ab4de39b902e766d.d: crates/bench/benches/modeling_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodeling_attack-ab4de39b902e766d.rmeta: crates/bench/benches/modeling_attack.rs Cargo.toml
+
+crates/bench/benches/modeling_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

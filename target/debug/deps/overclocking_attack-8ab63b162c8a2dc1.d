@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overclocking_attack-8ab63b162c8a2dc1.d: crates/bench/benches/overclocking_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverclocking_attack-8ab63b162c8a2dc1.rmeta: crates/bench/benches/overclocking_attack.rs Cargo.toml
+
+crates/bench/benches/overclocking_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

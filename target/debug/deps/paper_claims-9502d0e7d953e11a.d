@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9502d0e7d953e11a.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-9502d0e7d953e11a: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c28027befdaa399e.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c28027befdaa399e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_criterion-6a0e8ea46308339b.d: crates/bench/benches/perf_criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_criterion-6a0e8ea46308339b.rmeta: crates/bench/benches/perf_criterion.rs Cargo.toml
+
+crates/bench/benches/perf_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5552c7df7ff746bf.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5552c7df7ff746bf: tests/properties.rs
+
+tests/properties.rs:

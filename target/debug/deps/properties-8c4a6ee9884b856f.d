@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8c4a6ee9884b856f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8c4a6ee9884b856f: tests/properties.rs
+
+tests/properties.rs:

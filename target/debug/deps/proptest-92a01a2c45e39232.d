@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-92a01a2c45e39232.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-92a01a2c45e39232: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

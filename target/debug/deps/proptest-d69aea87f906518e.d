@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-d69aea87f906518e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d69aea87f906518e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d69aea87f906518e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_security-d6e98394e4014063.d: crates/bench/benches/protocol_security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_security-d6e98394e4014063.rmeta: crates/bench/benches/protocol_security.rs Cargo.toml
+
+crates/bench/benches/protocol_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt-4201b3286edcbf8c.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/pufatt-4201b3286edcbf8c: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

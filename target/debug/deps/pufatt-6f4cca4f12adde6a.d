@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pufatt-6f4cca4f12adde6a.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt-6f4cca4f12adde6a.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/enroll.rs:
+crates/core/src/error.rs:
+crates/core/src/obfuscate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ports.rs:
+crates/core/src/protocol.rs:
+crates/core/src/ring.rs:
+crates/core/src/server.rs:
+crates/core/src/sidechannel.rs:
+crates/core/src/slender.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

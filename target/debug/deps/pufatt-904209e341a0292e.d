@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pufatt-904209e341a0292e.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs
+
+/root/repo/target/debug/deps/pufatt-904209e341a0292e: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/enroll.rs:
+crates/core/src/error.rs:
+crates/core/src/obfuscate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ports.rs:
+crates/core/src/protocol.rs:
+crates/core/src/ring.rs:
+crates/core/src/server.rs:
+crates/core/src/sidechannel.rs:
+crates/core/src/slender.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pufatt_alupuf-293482a5b565521b.d: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_alupuf-293482a5b565521b.rmeta: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs Cargo.toml
+
+crates/alupuf/src/lib.rs:
+crates/alupuf/src/aging.rs:
+crates/alupuf/src/arbiter.rs:
+crates/alupuf/src/challenge.rs:
+crates/alupuf/src/device.rs:
+crates/alupuf/src/emulate.rs:
+crates/alupuf/src/fpga.rs:
+crates/alupuf/src/quality.rs:
+crates/alupuf/src/resources.rs:
+crates/alupuf/src/stats.rs:
+crates/alupuf/src/tamper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

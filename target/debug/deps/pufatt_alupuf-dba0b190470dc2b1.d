@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pufatt_alupuf-dba0b190470dc2b1.d: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+/root/repo/target/debug/deps/libpufatt_alupuf-dba0b190470dc2b1.rlib: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+/root/repo/target/debug/deps/libpufatt_alupuf-dba0b190470dc2b1.rmeta: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+crates/alupuf/src/lib.rs:
+crates/alupuf/src/aging.rs:
+crates/alupuf/src/arbiter.rs:
+crates/alupuf/src/challenge.rs:
+crates/alupuf/src/device.rs:
+crates/alupuf/src/emulate.rs:
+crates/alupuf/src/fpga.rs:
+crates/alupuf/src/quality.rs:
+crates/alupuf/src/resources.rs:
+crates/alupuf/src/stats.rs:
+crates/alupuf/src/tamper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_bench-6778ae3218d18c7e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_bench-6778ae3218d18c7e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pufatt_bench-8df32992d28b77e4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pufatt_bench-8df32992d28b77e4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

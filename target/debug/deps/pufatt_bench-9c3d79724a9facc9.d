@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt_bench-9c3d79724a9facc9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_bench-9c3d79724a9facc9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_bench-9c3d79724a9facc9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pufatt_fleet-3cb8b40fc90bc5f0.d: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/debug/deps/libpufatt_fleet-3cb8b40fc90bc5f0.rlib: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/debug/deps/libpufatt_fleet-3cb8b40fc90bc5f0.rmeta: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/campaign.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/registry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pufatt_modeling-428078d73803a953.d: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+/root/repo/target/debug/deps/libpufatt_modeling-428078d73803a953.rlib: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+/root/repo/target/debug/deps/libpufatt_modeling-428078d73803a953.rmeta: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+crates/modeling/src/lib.rs:
+crates/modeling/src/attack.rs:
+crates/modeling/src/lr.rs:
+crates/modeling/src/mlp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pufatt_modeling-b07fd3c00bf655fa.d: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_modeling-b07fd3c00bf655fa.rmeta: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs Cargo.toml
+
+crates/modeling/src/lib.rs:
+crates/modeling/src/attack.rs:
+crates/modeling/src/lr.rs:
+crates/modeling/src/mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pufatt_pe32-4ccc3ab23de07250.d: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_pe32-4ccc3ab23de07250.rmeta: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs Cargo.toml
+
+crates/pe32/src/lib.rs:
+crates/pe32/src/asm.rs:
+crates/pe32/src/cpu.rs:
+crates/pe32/src/isa.rs:
+crates/pe32/src/programs.rs:
+crates/pe32/src/puf_port.rs:
+crates/pe32/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pufatt_pe32-f76a417b91d9813a.d: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+/root/repo/target/debug/deps/libpufatt_pe32-f76a417b91d9813a.rlib: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+/root/repo/target/debug/deps/libpufatt_pe32-f76a417b91d9813a.rmeta: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+crates/pe32/src/lib.rs:
+crates/pe32/src/asm.rs:
+crates/pe32/src/cpu.rs:
+crates/pe32/src/isa.rs:
+crates/pe32/src/programs.rs:
+crates/pe32/src/puf_port.rs:
+crates/pe32/src/trace.rs:

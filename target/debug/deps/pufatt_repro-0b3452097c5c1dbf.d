@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_repro-0b3452097c5c1dbf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_repro-0b3452097c5c1dbf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

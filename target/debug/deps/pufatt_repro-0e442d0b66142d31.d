@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt_repro-0e442d0b66142d31.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-0e442d0b66142d31.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-0e442d0b66142d31.rmeta: src/lib.rs
+
+src/lib.rs:

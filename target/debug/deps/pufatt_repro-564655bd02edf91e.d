@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pufatt_repro-564655bd02edf91e.d: src/lib.rs
+
+/root/repo/target/debug/deps/pufatt_repro-564655bd02edf91e: src/lib.rs
+
+src/lib.rs:

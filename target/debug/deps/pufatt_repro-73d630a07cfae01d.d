@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt_repro-73d630a07cfae01d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-73d630a07cfae01d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-73d630a07cfae01d.rmeta: src/lib.rs
+
+src/lib.rs:

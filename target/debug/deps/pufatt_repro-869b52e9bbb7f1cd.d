@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pufatt_repro-869b52e9bbb7f1cd.d: src/lib.rs
+
+/root/repo/target/debug/deps/pufatt_repro-869b52e9bbb7f1cd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pufatt_silicon-6ba1e3dbb279ad32.d: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+/root/repo/target/debug/deps/libpufatt_silicon-6ba1e3dbb279ad32.rlib: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+/root/repo/target/debug/deps/libpufatt_silicon-6ba1e3dbb279ad32.rmeta: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+crates/silicon/src/lib.rs:
+crates/silicon/src/delay.rs:
+crates/silicon/src/dot.rs:
+crates/silicon/src/env.rs:
+crates/silicon/src/gen.rs:
+crates/silicon/src/gen_adders.rs:
+crates/silicon/src/netlist.rs:
+crates/silicon/src/sim.rs:
+crates/silicon/src/sta.rs:
+crates/silicon/src/variation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pufatt_swatt-24ef59958190b9a7.d: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs
+
+/root/repo/target/debug/deps/libpufatt_swatt-24ef59958190b9a7.rlib: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs
+
+/root/repo/target/debug/deps/libpufatt_swatt-24ef59958190b9a7.rmeta: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs
+
+crates/swatt/src/lib.rs:
+crates/swatt/src/analysis.rs:
+crates/swatt/src/checksum.rs:
+crates/swatt/src/codegen.rs:
+crates/swatt/src/codegen_classic.rs:
+crates/swatt/src/prg.rs:
+crates/swatt/src/swatt_classic.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pufatt_swatt-85e2d375d095ff8b.d: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_swatt-85e2d375d095ff8b.rmeta: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs Cargo.toml
+
+crates/swatt/src/lib.rs:
+crates/swatt/src/analysis.rs:
+crates/swatt/src/checksum.rs:
+crates/swatt/src/codegen.rs:
+crates/swatt/src/codegen_classic.rs:
+crates/swatt/src/prg.rs:
+crates/swatt/src/swatt_classic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

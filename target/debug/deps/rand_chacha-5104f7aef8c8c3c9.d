@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-5104f7aef8c8c3c9.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-5104f7aef8c8c3c9: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

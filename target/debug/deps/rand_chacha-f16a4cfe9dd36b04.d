@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-f16a4cfe9dd36b04.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-f16a4cfe9dd36b04.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-f16a4cfe9dd36b04.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

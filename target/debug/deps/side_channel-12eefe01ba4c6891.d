@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/side_channel-12eefe01ba4c6891.d: crates/bench/benches/side_channel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libside_channel-12eefe01ba4c6891.rmeta: crates/bench/benches/side_channel.rs Cargo.toml
+
+crates/bench/benches/side_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

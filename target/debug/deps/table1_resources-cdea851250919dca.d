@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_resources-cdea851250919dca.d: crates/bench/benches/table1_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_resources-cdea851250919dca.rmeta: crates/bench/benches/table1_resources.rs Cargo.toml
+
+crates/bench/benches/table1_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_lab-31123b65de3b09ba.d: examples/attack_lab.rs
+
+/root/repo/target/debug/examples/attack_lab-31123b65de3b09ba: examples/attack_lab.rs
+
+examples/attack_lab.rs:

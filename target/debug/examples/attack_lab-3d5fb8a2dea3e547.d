@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_lab-3d5fb8a2dea3e547.d: examples/attack_lab.rs
+
+/root/repo/target/debug/examples/attack_lab-3d5fb8a2dea3e547: examples/attack_lab.rs
+
+examples/attack_lab.rs:

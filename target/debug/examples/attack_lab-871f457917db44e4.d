@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_lab-871f457917db44e4.d: examples/attack_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_lab-871f457917db44e4.rmeta: examples/attack_lab.rs Cargo.toml
+
+examples/attack_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

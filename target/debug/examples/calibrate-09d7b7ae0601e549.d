@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-09d7b7ae0601e549.d: crates/alupuf/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-09d7b7ae0601e549: crates/alupuf/examples/calibrate.rs
+
+crates/alupuf/examples/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-9386082f4df19289.d: crates/alupuf/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-9386082f4df19289.rmeta: crates/alupuf/examples/calibrate.rs Cargo.toml
+
+crates/alupuf/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

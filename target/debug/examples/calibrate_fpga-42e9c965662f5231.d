@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate_fpga-42e9c965662f5231.d: crates/alupuf/examples/calibrate_fpga.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate_fpga-42e9c965662f5231.rmeta: crates/alupuf/examples/calibrate_fpga.rs Cargo.toml
+
+crates/alupuf/examples/calibrate_fpga.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_fpga-9b4ad52277acb254.d: crates/alupuf/examples/calibrate_fpga.rs
+
+/root/repo/target/debug/examples/calibrate_fpga-9b4ad52277acb254: crates/alupuf/examples/calibrate_fpga.rs
+
+crates/alupuf/examples/calibrate_fpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_campaign-3f27f4f51ce4d4b5.d: examples/fleet_campaign.rs
+
+/root/repo/target/debug/examples/fleet_campaign-3f27f4f51ce4d4b5: examples/fleet_campaign.rs
+
+examples/fleet_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_campaign-768c8112e1bbc156.d: examples/fleet_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_campaign-768c8112e1bbc156.rmeta: examples/fleet_campaign.rs Cargo.toml
+
+examples/fleet_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

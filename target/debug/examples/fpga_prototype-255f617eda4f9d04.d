@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_prototype-255f617eda4f9d04.d: examples/fpga_prototype.rs
+
+/root/repo/target/debug/examples/fpga_prototype-255f617eda4f9d04: examples/fpga_prototype.rs
+
+examples/fpga_prototype.rs:

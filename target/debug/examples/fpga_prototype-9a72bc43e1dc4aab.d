@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_prototype-9a72bc43e1dc4aab.d: examples/fpga_prototype.rs
+
+/root/repo/target/debug/examples/fpga_prototype-9a72bc43e1dc4aab: examples/fpga_prototype.rs
+
+examples/fpga_prototype.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fpga_prototype-ff604e57c607806c.d: examples/fpga_prototype.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfpga_prototype-ff604e57c607806c.rmeta: examples/fpga_prototype.rs Cargo.toml
+
+examples/fpga_prototype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

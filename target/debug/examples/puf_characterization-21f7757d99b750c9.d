@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/puf_characterization-21f7757d99b750c9.d: examples/puf_characterization.rs
+
+/root/repo/target/debug/examples/puf_characterization-21f7757d99b750c9: examples/puf_characterization.rs
+
+examples/puf_characterization.rs:

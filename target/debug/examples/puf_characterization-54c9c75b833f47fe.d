@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/puf_characterization-54c9c75b833f47fe.d: examples/puf_characterization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpuf_characterization-54c9c75b833f47fe.rmeta: examples/puf_characterization.rs Cargo.toml
+
+examples/puf_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/puf_characterization-816b4ac3bf8b6436.d: examples/puf_characterization.rs
+
+/root/repo/target/debug/examples/puf_characterization-816b4ac3bf8b6436: examples/puf_characterization.rs
+
+examples/puf_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-79e6928443678cc7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-79e6928443678cc7: examples/quickstart.rs
+
+examples/quickstart.rs:

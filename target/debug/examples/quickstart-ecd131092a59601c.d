@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ecd131092a59601c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ecd131092a59601c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/remote_attestation-1230cc9a94a7d01f.d: examples/remote_attestation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libremote_attestation-1230cc9a94a7d01f.rmeta: examples/remote_attestation.rs Cargo.toml
+
+examples/remote_attestation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

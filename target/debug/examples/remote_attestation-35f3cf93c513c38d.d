@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_attestation-35f3cf93c513c38d.d: examples/remote_attestation.rs
+
+/root/repo/target/debug/examples/remote_attestation-35f3cf93c513c38d: examples/remote_attestation.rs
+
+examples/remote_attestation.rs:

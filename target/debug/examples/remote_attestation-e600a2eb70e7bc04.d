@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_attestation-e600a2eb70e7bc04.d: examples/remote_attestation.rs
+
+/root/repo/target/debug/examples/remote_attestation-e600a2eb70e7bc04: examples/remote_attestation.rs
+
+examples/remote_attestation.rs:

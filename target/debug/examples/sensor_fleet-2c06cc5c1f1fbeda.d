@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_fleet-2c06cc5c1f1fbeda.d: examples/sensor_fleet.rs
+
+/root/repo/target/debug/examples/sensor_fleet-2c06cc5c1f1fbeda: examples/sensor_fleet.rs
+
+examples/sensor_fleet.rs:

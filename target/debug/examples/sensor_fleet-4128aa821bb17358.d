@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_fleet-4128aa821bb17358.d: examples/sensor_fleet.rs
+
+/root/repo/target/debug/examples/sensor_fleet-4128aa821bb17358: examples/sensor_fleet.rs
+
+examples/sensor_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_fleet-f0bf4048bf1ac4cc.d: examples/sensor_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_fleet-f0bf4048bf1ac4cc.rmeta: examples/sensor_fleet.rs Cargo.toml
+
+examples/sensor_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

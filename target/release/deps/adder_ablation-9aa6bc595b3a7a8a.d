@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/adder_ablation-9aa6bc595b3a7a8a.d: crates/bench/benches/adder_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libadder_ablation-9aa6bc595b3a7a8a.rmeta: crates/bench/benches/adder_ablation.rs Cargo.toml
+
+crates/bench/benches/adder_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/aging_drift-19eec4a609d69eee.d: crates/bench/benches/aging_drift.rs Cargo.toml
+
+/root/repo/target/release/deps/libaging_drift-19eec4a609d69eee.rmeta: crates/bench/benches/aging_drift.rs Cargo.toml
+
+crates/bench/benches/aging_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

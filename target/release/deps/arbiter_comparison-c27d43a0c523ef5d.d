@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/arbiter_comparison-c27d43a0c523ef5d.d: crates/bench/benches/arbiter_comparison.rs Cargo.toml
+
+/root/repo/target/release/deps/libarbiter_comparison-c27d43a0c523ef5d.rmeta: crates/bench/benches/arbiter_comparison.rs Cargo.toml
+
+crates/bench/benches/arbiter_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/attacks-917007018970a8be.d: tests/attacks.rs Cargo.toml
+
+/root/repo/target/release/deps/libattacks-917007018970a8be.rmeta: tests/attacks.rs Cargo.toml
+
+tests/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli_e2e-15d1f5e888e32b9d.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/release/deps/cli_e2e-15d1f5e888e32b9d: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_pufatt=/root/repo/target/release/pufatt

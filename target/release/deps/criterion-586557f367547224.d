@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-586557f367547224.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-586557f367547224.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-586557f367547224.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

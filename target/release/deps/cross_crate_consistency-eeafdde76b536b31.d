@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_crate_consistency-eeafdde76b536b31.d: tests/cross_crate_consistency.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_crate_consistency-eeafdde76b536b31.rmeta: tests/cross_crate_consistency.rs Cargo.toml
+
+tests/cross_crate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/design_space-ab42310120e32e16.d: crates/bench/benches/design_space.rs Cargo.toml
+
+/root/repo/target/release/deps/libdesign_space-ab42310120e32e16.rmeta: crates/bench/benches/design_space.rs Cargo.toml
+
+crates/bench/benches/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ecc_ablation-6cc249cd7d74c67c.d: crates/bench/benches/ecc_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libecc_ablation-6cc249cd7d74c67c.rmeta: crates/bench/benches/ecc_ablation.rs Cargo.toml
+
+crates/bench/benches/ecc_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

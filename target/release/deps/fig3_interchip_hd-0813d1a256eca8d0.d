@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_interchip_hd-0813d1a256eca8d0.d: crates/bench/benches/fig3_interchip_hd.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_interchip_hd-0813d1a256eca8d0.rmeta: crates/bench/benches/fig3_interchip_hd.rs Cargo.toml
+
+crates/bench/benches/fig3_interchip_hd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4_intrachip_hd-cd09a932b9a0d455.d: crates/bench/benches/fig4_intrachip_hd.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4_intrachip_hd-cd09a932b9a0d455.rmeta: crates/bench/benches/fig4_intrachip_hd.rs Cargo.toml
+
+crates/bench/benches/fig4_intrachip_hd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

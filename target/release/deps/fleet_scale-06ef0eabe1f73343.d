@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_scale-06ef0eabe1f73343.d: tests/fleet_scale.rs
+
+/root/repo/target/release/deps/fleet_scale-06ef0eabe1f73343: tests/fleet_scale.rs
+
+tests/fleet_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fleet_scale-515c2356bb71e173.d: tests/fleet_scale.rs Cargo.toml
+
+/root/repo/target/release/deps/libfleet_scale-515c2356bb71e173.rmeta: tests/fleet_scale.rs Cargo.toml
+
+tests/fleet_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

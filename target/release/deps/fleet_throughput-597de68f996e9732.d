@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fleet_throughput-597de68f996e9732.d: crates/bench/benches/fleet_throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/libfleet_throughput-597de68f996e9732.rmeta: crates/bench/benches/fleet_throughput.rs Cargo.toml
+
+crates/bench/benches/fleet_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_throughput-8cd5a5f62a599bbe.d: crates/bench/benches/fleet_throughput.rs
+
+/root/repo/target/release/deps/fleet_throughput-8cd5a5f62a599bbe: crates/bench/benches/fleet_throughput.rs
+
+crates/bench/benches/fleet_throughput.rs:

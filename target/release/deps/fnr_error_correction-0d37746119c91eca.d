@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fnr_error_correction-0d37746119c91eca.d: crates/bench/benches/fnr_error_correction.rs Cargo.toml
+
+/root/repo/target/release/deps/libfnr_error_correction-0d37746119c91eca.rmeta: crates/bench/benches/fnr_error_correction.rs Cargo.toml
+
+crates/bench/benches/fnr_error_correction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fpga_boards-5905a6c0cd3ab509.d: crates/bench/benches/fpga_boards.rs Cargo.toml
+
+/root/repo/target/release/deps/libfpga_boards-5905a6c0cd3ab509.rmeta: crates/bench/benches/fpga_boards.rs Cargo.toml
+
+crates/bench/benches/fpga_boards.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

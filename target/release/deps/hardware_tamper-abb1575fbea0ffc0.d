@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hardware_tamper-abb1575fbea0ffc0.d: crates/bench/benches/hardware_tamper.rs Cargo.toml
+
+/root/repo/target/release/deps/libhardware_tamper-abb1575fbea0ffc0.rmeta: crates/bench/benches/hardware_tamper.rs Cargo.toml
+
+crates/bench/benches/hardware_tamper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

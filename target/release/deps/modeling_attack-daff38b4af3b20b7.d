@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/modeling_attack-daff38b4af3b20b7.d: crates/bench/benches/modeling_attack.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodeling_attack-daff38b4af3b20b7.rmeta: crates/bench/benches/modeling_attack.rs Cargo.toml
+
+crates/bench/benches/modeling_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/overclocking_attack-382f079651497f56.d: crates/bench/benches/overclocking_attack.rs Cargo.toml
+
+/root/repo/target/release/deps/liboverclocking_attack-382f079651497f56.rmeta: crates/bench/benches/overclocking_attack.rs Cargo.toml
+
+crates/bench/benches/overclocking_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

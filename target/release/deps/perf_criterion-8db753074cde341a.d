@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/perf_criterion-8db753074cde341a.d: crates/bench/benches/perf_criterion.rs Cargo.toml
+
+/root/repo/target/release/deps/libperf_criterion-8db753074cde341a.rmeta: crates/bench/benches/perf_criterion.rs Cargo.toml
+
+crates/bench/benches/perf_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-da5e4a4b96fc0a2b.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-da5e4a4b96fc0a2b.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

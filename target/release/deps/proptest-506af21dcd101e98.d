@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-506af21dcd101e98.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-506af21dcd101e98.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-506af21dcd101e98.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

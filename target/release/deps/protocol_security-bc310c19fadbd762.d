@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/protocol_security-bc310c19fadbd762.d: crates/bench/benches/protocol_security.rs Cargo.toml
+
+/root/repo/target/release/deps/libprotocol_security-bc310c19fadbd762.rmeta: crates/bench/benches/protocol_security.rs Cargo.toml
+
+crates/bench/benches/protocol_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

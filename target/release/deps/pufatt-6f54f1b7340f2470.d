@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt-6f54f1b7340f2470.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/pufatt-6f54f1b7340f2470: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

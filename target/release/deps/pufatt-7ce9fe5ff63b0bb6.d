@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt-7ce9fe5ff63b0bb6.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/pufatt-7ce9fe5ff63b0bb6: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

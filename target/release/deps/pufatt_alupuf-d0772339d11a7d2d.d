@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/pufatt_alupuf-d0772339d11a7d2d.d: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_alupuf-d0772339d11a7d2d.rmeta: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs Cargo.toml
+
+crates/alupuf/src/lib.rs:
+crates/alupuf/src/aging.rs:
+crates/alupuf/src/arbiter.rs:
+crates/alupuf/src/challenge.rs:
+crates/alupuf/src/device.rs:
+crates/alupuf/src/emulate.rs:
+crates/alupuf/src/fpga.rs:
+crates/alupuf/src/quality.rs:
+crates/alupuf/src/resources.rs:
+crates/alupuf/src/stats.rs:
+crates/alupuf/src/tamper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pufatt_bench-1c2c977b62195033.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_bench-1c2c977b62195033.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pufatt_bench-21b10ce6702e8b69.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_bench-21b10ce6702e8b69.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

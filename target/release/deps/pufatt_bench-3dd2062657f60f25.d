@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_bench-3dd2062657f60f25.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-3dd2062657f60f25.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-3dd2062657f60f25.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_bench-e730a50ffbdb0ddd.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-e730a50ffbdb0ddd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-e730a50ffbdb0ddd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

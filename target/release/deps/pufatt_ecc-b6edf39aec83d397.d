@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/pufatt_ecc-b6edf39aec83d397.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_ecc-b6edf39aec83d397.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs Cargo.toml
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/analysis.rs:
+crates/ecc/src/bch.rs:
+crates/ecc/src/code.rs:
+crates/ecc/src/fuzzy.rs:
+crates/ecc/src/gf2.rs:
+crates/ecc/src/gf2m.rs:
+crates/ecc/src/golay.rs:
+crates/ecc/src/repetition.rs:
+crates/ecc/src/rm.rs:
+crates/ecc/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

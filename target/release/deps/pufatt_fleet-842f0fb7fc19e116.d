@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pufatt_fleet-842f0fb7fc19e116.d: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/release/deps/pufatt_fleet-842f0fb7fc19e116: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/campaign.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/registry.rs:

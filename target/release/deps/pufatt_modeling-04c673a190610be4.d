@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pufatt_modeling-04c673a190610be4.d: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+/root/repo/target/release/deps/libpufatt_modeling-04c673a190610be4.rlib: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+/root/repo/target/release/deps/libpufatt_modeling-04c673a190610be4.rmeta: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+crates/modeling/src/lib.rs:
+crates/modeling/src/attack.rs:
+crates/modeling/src/lr.rs:
+crates/modeling/src/mlp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pufatt_modeling-e1c3591ad8b27681.d: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_modeling-e1c3591ad8b27681.rmeta: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs Cargo.toml
+
+crates/modeling/src/lib.rs:
+crates/modeling/src/attack.rs:
+crates/modeling/src/lr.rs:
+crates/modeling/src/mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

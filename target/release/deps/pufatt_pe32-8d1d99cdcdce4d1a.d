@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pufatt_pe32-8d1d99cdcdce4d1a.d: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_pe32-8d1d99cdcdce4d1a.rmeta: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs Cargo.toml
+
+crates/pe32/src/lib.rs:
+crates/pe32/src/asm.rs:
+crates/pe32/src/cpu.rs:
+crates/pe32/src/isa.rs:
+crates/pe32/src/programs.rs:
+crates/pe32/src/puf_port.rs:
+crates/pe32/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

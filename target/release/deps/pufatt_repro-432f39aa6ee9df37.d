@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_repro-432f39aa6ee9df37.d: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-432f39aa6ee9df37.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-432f39aa6ee9df37.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_repro-b129ddb2c831e72d.d: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-b129ddb2c831e72d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-b129ddb2c831e72d.rmeta: src/lib.rs
+
+src/lib.rs:

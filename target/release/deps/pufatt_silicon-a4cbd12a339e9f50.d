@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pufatt_silicon-a4cbd12a339e9f50.d: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_silicon-a4cbd12a339e9f50.rmeta: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs Cargo.toml
+
+crates/silicon/src/lib.rs:
+crates/silicon/src/delay.rs:
+crates/silicon/src/dot.rs:
+crates/silicon/src/env.rs:
+crates/silicon/src/gen.rs:
+crates/silicon/src/gen_adders.rs:
+crates/silicon/src/netlist.rs:
+crates/silicon/src/sim.rs:
+crates/silicon/src/sta.rs:
+crates/silicon/src/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pufatt_swatt-8cb2db439ab4dafe.d: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs Cargo.toml
+
+/root/repo/target/release/deps/libpufatt_swatt-8cb2db439ab4dafe.rmeta: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs Cargo.toml
+
+crates/swatt/src/lib.rs:
+crates/swatt/src/analysis.rs:
+crates/swatt/src/checksum.rs:
+crates/swatt/src/codegen.rs:
+crates/swatt/src/codegen_classic.rs:
+crates/swatt/src/prg.rs:
+crates/swatt/src/swatt_classic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pufatt_swatt-b4075e15aa4e61e4.d: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs
+
+/root/repo/target/release/deps/libpufatt_swatt-b4075e15aa4e61e4.rlib: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs
+
+/root/repo/target/release/deps/libpufatt_swatt-b4075e15aa4e61e4.rmeta: crates/swatt/src/lib.rs crates/swatt/src/analysis.rs crates/swatt/src/checksum.rs crates/swatt/src/codegen.rs crates/swatt/src/codegen_classic.rs crates/swatt/src/prg.rs crates/swatt/src/swatt_classic.rs
+
+crates/swatt/src/lib.rs:
+crates/swatt/src/analysis.rs:
+crates/swatt/src/checksum.rs:
+crates/swatt/src/codegen.rs:
+crates/swatt/src/codegen_classic.rs:
+crates/swatt/src/prg.rs:
+crates/swatt/src/swatt_classic.rs:

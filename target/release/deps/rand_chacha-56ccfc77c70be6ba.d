@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-56ccfc77c70be6ba.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-56ccfc77c70be6ba.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-56ccfc77c70be6ba.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-6a3a2e2fa9e1c247.d: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-6a3a2e2fa9e1c247.rmeta: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+vendor/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/side_channel-00302519cec48e07.d: crates/bench/benches/side_channel.rs Cargo.toml
+
+/root/repo/target/release/deps/libside_channel-00302519cec48e07.rmeta: crates/bench/benches/side_channel.rs Cargo.toml
+
+crates/bench/benches/side_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_resources-9d29e2ba1cedb21e.d: crates/bench/benches/table1_resources.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_resources-9d29e2ba1cedb21e.rmeta: crates/bench/benches/table1_resources.rs Cargo.toml
+
+crates/bench/benches/table1_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

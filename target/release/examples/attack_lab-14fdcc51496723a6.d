@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/attack_lab-14fdcc51496723a6.d: examples/attack_lab.rs Cargo.toml
+
+/root/repo/target/release/examples/libattack_lab-14fdcc51496723a6.rmeta: examples/attack_lab.rs Cargo.toml
+
+examples/attack_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

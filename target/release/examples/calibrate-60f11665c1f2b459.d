@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/calibrate-60f11665c1f2b459.d: crates/alupuf/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/release/examples/libcalibrate-60f11665c1f2b459.rmeta: crates/alupuf/examples/calibrate.rs Cargo.toml
+
+crates/alupuf/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/calibrate_fpga-c3ee543d7bc93fa4.d: crates/alupuf/examples/calibrate_fpga.rs Cargo.toml
+
+/root/repo/target/release/examples/libcalibrate_fpga-c3ee543d7bc93fa4.rmeta: crates/alupuf/examples/calibrate_fpga.rs Cargo.toml
+
+crates/alupuf/examples/calibrate_fpga.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

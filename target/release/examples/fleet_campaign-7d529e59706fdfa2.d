@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_campaign-7d529e59706fdfa2.d: examples/fleet_campaign.rs
+
+/root/repo/target/release/examples/fleet_campaign-7d529e59706fdfa2: examples/fleet_campaign.rs
+
+examples/fleet_campaign.rs:

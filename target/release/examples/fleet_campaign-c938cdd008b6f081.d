@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fleet_campaign-c938cdd008b6f081.d: examples/fleet_campaign.rs Cargo.toml
+
+/root/repo/target/release/examples/libfleet_campaign-c938cdd008b6f081.rmeta: examples/fleet_campaign.rs Cargo.toml
+
+examples/fleet_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fpga_prototype-3d3040e111ae9dbb.d: examples/fpga_prototype.rs Cargo.toml
+
+/root/repo/target/release/examples/libfpga_prototype-3d3040e111ae9dbb.rmeta: examples/fpga_prototype.rs Cargo.toml
+
+examples/fpga_prototype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

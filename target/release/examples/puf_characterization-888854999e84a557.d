@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/puf_characterization-888854999e84a557.d: examples/puf_characterization.rs Cargo.toml
+
+/root/repo/target/release/examples/libpuf_characterization-888854999e84a557.rmeta: examples/puf_characterization.rs Cargo.toml
+
+examples/puf_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/remote_attestation-5c947298fb81f3ec.d: examples/remote_attestation.rs Cargo.toml
+
+/root/repo/target/release/examples/libremote_attestation-5c947298fb81f3ec.rmeta: examples/remote_attestation.rs Cargo.toml
+
+examples/remote_attestation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

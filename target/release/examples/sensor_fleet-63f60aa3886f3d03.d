@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sensor_fleet-63f60aa3886f3d03.d: examples/sensor_fleet.rs Cargo.toml
+
+/root/repo/target/release/examples/libsensor_fleet-63f60aa3886f3d03.rmeta: examples/sensor_fleet.rs Cargo.toml
+
+examples/sensor_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -40,7 +40,10 @@ fn tamper_divergence_scales_with_magnitude() {
         assert!(d >= noise_floor, "tampering cannot reduce divergence below the floor");
         last = last.max(d);
     }
-    assert!(last > noise_floor + 0.05, "heavy tampering must be clearly visible: floor {noise_floor}, max {last}");
+    assert!(
+        last > noise_floor + 0.05,
+        "heavy tampering must be clearly visible: floor {noise_floor}, max {last}"
+    );
 }
 
 #[test]
@@ -70,13 +73,18 @@ fn sidechannel_leak_tracks_real_responses_and_dual_rail_does_not() {
     let enrolled = enroll(AluPufConfig::paper_32bit(), 0x302, 0).expect("supported width");
     let instance = PufInstance::new(enrolled.design(), enrolled.chip(), Environment::nominal());
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    let raw: Vec<u64> =
-        (0..400).map(|_| instance.evaluate(Challenge::random(&mut rng, 32), &mut rng).bits()).collect();
+    let raw: Vec<u64> = (0..400)
+        .map(|_| instance.evaluate(Challenge::random(&mut rng, 32), &mut rng).bits())
+        .collect();
     let hw: Vec<f64> = raw.iter().map(|y| y.count_ones() as f64).collect();
-    let leaky: Vec<f64> =
-        raw.iter().map(|&y| PowerModel::HammingWeight { noise_sigma: 1.5 }.sample(y, 32, &mut rng)).collect();
-    let hardened: Vec<f64> =
-        raw.iter().map(|&y| PowerModel::DualRail { noise_sigma: 1.5 }.sample(y, 32, &mut rng)).collect();
+    let leaky: Vec<f64> = raw
+        .iter()
+        .map(|&y| PowerModel::HammingWeight { noise_sigma: 1.5 }.sample(y, 32, &mut rng))
+        .collect();
+    let hardened: Vec<f64> = raw
+        .iter()
+        .map(|&y| PowerModel::DualRail { noise_sigma: 1.5 }.sample(y, 32, &mut rng))
+        .collect();
     assert!(leakage_correlation(&hw, &leaky) > 0.6);
     assert!(leakage_correlation(&hw, &hardened).abs() < 0.15);
 }

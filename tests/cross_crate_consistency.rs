@@ -27,13 +27,9 @@ fn cpu_and_reference_agree_with_real_puf() {
     let clock = puf_limited_clock(&enrolled, 1.10, 64, 5);
     // Build the prover directly (provision would run a golden attestation
     // and advance the device's noise stream past the reference's).
-    let mut prover = pufatt::protocol::ProverDevice::new(
-        enrolled.device_handle(777),
-        params,
-        &CodegenOptions::default(),
-        clock,
-    )
-    .expect("prover");
+    let mut prover =
+        pufatt::protocol::ProverDevice::new(enrolled.device_handle(777), params, &CodegenOptions::default(), clock)
+            .expect("prover");
 
     let request = pufatt::protocol::AttestationRequest { x0: 0xABCD, r0: 0x4321 };
     let report = prover.attest(request).expect("attestation");
@@ -78,7 +74,11 @@ fn emulator_agreement_over_corners() {
     let chip = enrolled.chip();
     let emulator = PufEmulator::enroll(design, chip, Environment::nominal());
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    for env in [Environment::nominal(), Environment::with_vdd(0.9), Environment::with_temp(120.0)] {
+    for env in [
+        Environment::nominal(),
+        Environment::with_vdd(0.9),
+        Environment::with_temp(120.0),
+    ] {
         let instance = PufInstance::new(design, chip, env);
         let mut distance = 0u32;
         let n = 40;

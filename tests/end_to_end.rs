@@ -21,10 +21,8 @@ fn honest_attestation_across_devices() {
     for (i, enrolled) in fleet.iter().enumerate() {
         let clock = puf_limited_clock(enrolled, 1.10, 96, 900 + i as u64);
         let (mut prover, verifier, _) =
-            provision(enrolled, params(), clock, Channel::sensor_link(), 40 + i as u64, 1.10)
-                .expect("provisioning");
-        let (verdict, attempts) =
-            run_session_with_retry(&mut prover, &verifier, &mut rng, 3).expect("session");
+            provision(enrolled, params(), clock, Channel::sensor_link(), 40 + i as u64, 1.10).expect("provisioning");
+        let (verdict, attempts) = run_session_with_retry(&mut prover, &verifier, &mut rng, 3).expect("session");
         assert!(verdict.accepted, "device {i} must attest: {verdict}");
         assert!(attempts <= 2, "device {i} needed {attempts} attempts");
     }
@@ -35,16 +33,14 @@ fn every_attack_is_rejected() {
     let enrolled = enroll(AluPufConfig::paper_32bit(), 700, 0).expect("supported width");
     let clock = puf_limited_clock(&enrolled, 1.10, 96, 7);
     let channel = Channel::sensor_link();
-    let (mut prover, verifier, _) =
-        provision(&enrolled, params(), clock, channel, 9, 1.10).expect("provisioning");
+    let (mut prover, verifier, _) = provision(&enrolled, params(), clock, channel, 9, 1.10).expect("provisioning");
     let region = prover.expected_region();
     let request = AttestationRequest { x0: 0x1000, r0: 0x2000 };
 
     let mc = memory_copy_attack(enrolled.device_handle(70), &verifier, &region, request).expect("attack");
     assert!(!mc.verdict.accepted && mc.verdict.response_ok && !mc.verdict.time_ok, "{mc}");
 
-    let oc = overclock_evasion_attack(enrolled.device_handle(71), &verifier, &region, request, 4.0)
-        .expect("attack");
+    let oc = overclock_evasion_attack(enrolled.device_handle(71), &verifier, &region, request, 4.0).expect("attack");
     assert!(!oc.verdict.accepted && oc.verdict.time_ok && !oc.verdict.response_ok, "{oc}");
 
     let honest_report = prover.attest(request).expect("honest report");
@@ -59,8 +55,7 @@ fn impersonation_with_same_design_fails() {
     let genuine = enroll(AluPufConfig::paper_32bit(), 800, 0).expect("supported width");
     let imposter = enroll(AluPufConfig::paper_32bit(), 801, 0).expect("supported width");
     let clock = puf_limited_clock(&genuine, 1.10, 96, 3);
-    let (_, verifier, _) =
-        provision(&genuine, params(), clock, Channel::sensor_link(), 5, 1.10).expect("provisioning");
+    let (_, verifier, _) = provision(&genuine, params(), clock, Channel::sensor_link(), 5, 1.10).expect("provisioning");
     let (mut imposter_prover, _, _) =
         provision(&imposter, params(), clock, Channel::sensor_link(), 5, 1.10).expect("provisioning");
     let mut rejected = 0;

@@ -83,8 +83,8 @@ fn claim_arbitrary_response_widths() {
         assert_eq!(design.width(), width);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let chip = design.fabricate(&ChipSampler::new(), &mut rng);
-        let r = PufInstance::new(&design, &chip, Environment::nominal())
-            .evaluate(Challenge::new(1, 2, width), &mut rng);
+        let r =
+            PufInstance::new(&design, &chip, Environment::nominal()).evaluate(Challenge::new(1, 2, width), &mut rng);
         assert_eq!(r.width(), width);
     }
 }
@@ -210,7 +210,9 @@ fn claim_overclocking_condition_boundary() {
     let mut corrupted = 0;
     let reference = instance.evaluate(canary, &mut rng);
     for _ in 0..10 {
-        corrupted += instance.evaluate_clocked(canary, safe_cycle * 0.25, &mut rng).hamming_distance(reference);
+        corrupted += instance
+            .evaluate_clocked(canary, safe_cycle * 0.25, &mut rng)
+            .hamming_distance(reference);
     }
     assert!(corrupted > 20, "violated clocking must corrupt the canary: {corrupted}");
 }

@@ -41,8 +41,7 @@ proptest! {
 fn build_random_netlist(inputs: usize, recipe: &[(u8, u16, u16)]) -> Netlist {
     use pufatt_silicon::netlist::GateKind;
     let mut nl = Netlist::new();
-    let mut nets: Vec<pufatt_silicon::netlist::NetId> =
-        (0..inputs).map(|i| nl.input(format!("in{i}"))).collect();
+    let mut nets: Vec<pufatt_silicon::netlist::NetId> = (0..inputs).map(|i| nl.input(format!("in{i}"))).collect();
     for &(kind, a, b) in recipe {
         let ka = GateKind::ALL[kind as usize % GateKind::ALL.len()];
         let na = nets[a as usize % nets.len()];
@@ -154,22 +153,48 @@ proptest! {
 fn instruction_strategy() -> impl Strategy<Value = Instruction> {
     let reg = (0u8..16).prop_map(Reg::new);
     let alu = prop::sample::select(vec![
-        AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor,
-        AluOp::Sll, AluOp::Srl, AluOp::Sra, AluOp::Slt, AluOp::Sltu, AluOp::Mul,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Mul,
     ]);
     let cond = prop::sample::select(vec![
-        BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu,
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
     ]);
     prop_oneof![
-        (alu.clone(), reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
-        (alu, reg.clone(), reg.clone(), any::<i16>())
-            .prop_map(|(op, rd, rs1, imm)| Instruction::AluImm { op, rd, rs1, imm }),
+        (alu.clone(), reg.clone(), reg.clone(), reg.clone()).prop_map(|(op, rd, rs1, rs2)| Instruction::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (alu, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(op, rd, rs1, imm)| Instruction::AluImm {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
         (reg.clone(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
         (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instruction::Lw { rd, rs1, imm }),
         (reg.clone(), reg.clone(), any::<i16>()).prop_map(|(rs2, rs1, imm)| Instruction::Sw { rs2, rs1, imm }),
-        (cond, reg.clone(), reg.clone(), any::<i16>())
-            .prop_map(|(cond, rs1, rs2, imm)| Instruction::Branch { cond, rs1, rs2, imm }),
+        (cond, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(cond, rs1, rs2, imm)| Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            imm
+        }),
         (reg.clone(), any::<i16>()).prop_map(|(rd, imm)| Instruction::Jal { rd, imm }),
         (reg.clone(), reg.clone()).prop_map(|(rd, rs1)| Instruction::Jalr { rd, rs1 }),
         Just(Instruction::Halt),

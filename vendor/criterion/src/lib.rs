@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`: a small wall-clock micro-benchmark
+//! harness with the `criterion_group!`/`criterion_main!`/`bench_function`
+//! shape the workspace's perf benches use.
+//!
+//! No statistics engine — each benchmark is timed over `sample_size`
+//! batches after a short warm-up and reported as mean/min ns per iteration.
+//! When run under `cargo test` (harness-less bench targets receive
+//! `--test`), benchmarks execute one iteration each, just like the real
+//! crate's smoke mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (advisory here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batches of many iterations.
+    SmallInput,
+    /// Large inputs; smaller batches.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Timing collector handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    smoke_test: bool,
+    /// Mean and min ns/iter of the last routine, if any ran.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.result = None;
+            return;
+        }
+        // Warm-up.
+        for _ in 0..self.iters_per_sample.min(3) {
+            black_box(routine());
+        }
+        let mut mean_sum = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let ns = duration_ns(start.elapsed()) / self.iters_per_sample as f64;
+            mean_sum += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.result = Some((mean_sum / self.samples as f64, min_ns));
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded from
+    /// timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke_test {
+            black_box(routine(setup()));
+            self.result = None;
+            return;
+        }
+        for _ in 0..self.iters_per_sample.min(3) {
+            black_box(routine(setup()));
+        }
+        let mut mean_sum = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = duration_ns(start.elapsed()) / self.iters_per_sample as f64;
+            mean_sum += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.result = Some((mean_sum / self.samples as f64, min_ns));
+    }
+}
+
+fn duration_ns(d: Duration) -> f64 {
+    d.as_secs() as f64 * 1e9 + d.subsec_nanos() as f64
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness-less bench binaries with `--test`:
+        // run every routine once, fast, like real criterion's test mode.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            // Keep total time bounded: few iterations per sample; the
+            // routines benched here run microseconds to milliseconds.
+            iters_per_sample: 10,
+            samples: self.sample_size,
+            smoke_test: self.smoke_test,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((mean, min)) => println!("{id:<44} mean {:>12}/iter   min {:>12}/iter", fmt(mean), fmt(min)),
+            None => println!("{id:<44} ok (smoke test)"),
+        }
+        self
+    }
+}
+
+fn fmt(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(c: &mut Criterion) {
+        c.bench_function("toy/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("toy/batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group!(quick, toy);
+    criterion_group! {
+        name = configured;
+        config = Criterion { sample_size: 2, smoke_test: true };
+        targets = toy
+    }
+
+    #[test]
+    fn groups_run() {
+        quick();
+        configured();
+    }
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut c = Criterion { sample_size: 3, smoke_test: false };
+        let mut saw = 0u64;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                saw += 1;
+                saw
+            })
+        });
+        assert!(saw > 0, "routine must actually run");
+    }
+}

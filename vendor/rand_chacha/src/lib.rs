@@ -1,0 +1,154 @@
+//! Offline stand-in for `rand_chacha`: a faithful ChaCha8 keystream
+//! generator behind the [`rand::RngCore`]/[`rand::SeedableRng`] traits.
+//!
+//! The workspace's experiments assert statistical properties of PUF
+//! responses (inter-chip Hamming distance near 50 %, Box–Muller gaussian
+//! moments), so the generator must be cryptographic-quality — this is the
+//! real ChaCha permutation with 8 rounds, not a toy LCG. Stream positions
+//! are *not* bit-compatible with the upstream crate (no one here depends on
+//! the exact keystream, only on determinism per seed), which is what makes
+//! the offline swap safe.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+/// One ChaCha quarter round.
+#[inline]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha block function with `rounds` rounds.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // state[14..16]: zero nonce (single stream per seed).
+    let input = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter(&mut state, 0, 4, 8, 12);
+        quarter(&mut state, 1, 5, 9, 13);
+        quarter(&mut state, 2, 6, 10, 14);
+        quarter(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter(&mut state, 0, 5, 10, 15);
+        quarter(&mut state, 1, 6, 11, 12);
+        quarter(&mut state, 2, 7, 8, 13);
+        quarter(&mut state, 3, 4, 9, 14);
+    }
+    for (word, inp) in state.iter_mut().zip(&input) {
+        *word = word.wrapping_add(*inp);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            block: [u32; 16],
+            cursor: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.block = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.cursor = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.cursor == 16 {
+                    self.refill();
+                }
+                let word = self.block[self.cursor];
+                self.cursor += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                hi << 32 | lo
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let key =
+                    std::array::from_fn(|i| u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4 bytes")));
+                let mut rng = $name { key, counter: 0, block: [0; 16], cursor: 16 };
+                rng.refill();
+                rng
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds — the workspace's workhorse deterministic generator.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_matches_rfc8439_block_function() {
+        // RFC 8439 §2.3.2 test vector, adapted to our zero-nonce layout:
+        // with the RFC's key and counter=1, nonce=0, the first output word
+        // of the 20-round block must match a locally computed reference of
+        // the same permutation. We at least pin the permutation against a
+        // known zero-key vector: ChaCha20(key=0, counter=0, nonce=0).
+        let block = chacha_block(&[0; 8], 0, 20);
+        // First words of the well-known all-zero ChaCha20 keystream.
+        assert_eq!(block[0], u32::from_le_bytes([0x76, 0xb8, 0xe0, 0xad]));
+        assert_eq!(block[1], u32::from_le_bytes([0xa0, 0xf1, 0x3d, 0x90]));
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_bits_are_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let ones: u32 = (0..4096).map(|_| rng.next_u64().count_ones()).sum();
+        let frac = ones as f64 / (4096.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        rng.next_u64();
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}
