@@ -20,12 +20,13 @@
 use crate::challenge::{Challenge, RawResponse};
 use pufatt_silicon::env::Environment;
 use pufatt_silicon::gen::{ripple_carry_adder_shared, RcaPorts};
-use pufatt_silicon::netlist::{NetId, Netlist};
+use pufatt_silicon::netlist::{FanoutCsr, NetId, Netlist};
 use pufatt_silicon::sim::EventSimulator;
 use pufatt_silicon::sta::ArrivalTimes;
 use pufatt_silicon::variation::{Chip, ChipSampler};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
 
 /// Arbiter and noise parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +156,13 @@ pub struct AluPufDesign {
     alu1: RcaPorts,
     design_skew_ps: Vec<f64>,
     gate_delay_factor: Vec<f64>,
+    /// Shared fanout adjacency, built once and reused by every simulator,
+    /// delay-model evaluation and STA pass over this netlist.
+    fanouts: FanoutCsr,
+    /// Position of each operand-bus bit among the primary inputs, so
+    /// stimulus vectors can be filled without searching the bus lists.
+    a_pi_pos: Vec<u32>,
+    b_pi_pos: Vec<u32>,
 }
 
 impl AluPufDesign {
@@ -192,6 +200,20 @@ impl AluPufDesign {
         let gate_delay_factor = (0..netlist.gate_count())
             .map(|_| (1.0 + gaussian(&mut design_rng) * config.arbiter.routing_mismatch_sigma).max(0.3))
             .collect();
+        let fanouts = netlist.fanout_csr();
+        let pi_positions = |bus: &[NetId]| -> Vec<u32> {
+            bus.iter()
+                .map(|&n| {
+                    netlist
+                        .primary_inputs()
+                        .iter()
+                        .position(|&p| p == n)
+                        .expect("operand bus nets are primary inputs") as u32
+                })
+                .collect()
+        };
+        let a_pi_pos = pi_positions(&a_bus);
+        let b_pi_pos = pi_positions(&b_bus);
         AluPufDesign {
             config,
             netlist,
@@ -201,6 +223,9 @@ impl AluPufDesign {
             alu1,
             design_skew_ps,
             gate_delay_factor,
+            fanouts,
+            a_pi_pos,
+            b_pi_pos,
         }
     }
 
@@ -219,6 +244,17 @@ impl AluPufDesign {
         &self.netlist
     }
 
+    /// The shared fanout adjacency of the netlist. Build simulators over it
+    /// with [`EventSimulator::with_fanouts`] instead of re-deriving it.
+    pub fn fanout_csr(&self) -> &FanoutCsr {
+        &self.fanouts
+    }
+
+    /// The shared operand input buses `(a, b)` of both ALUs.
+    pub fn operand_buses(&self) -> (&[NetId], &[NetId]) {
+        (&self.a_bus, &self.b_bus)
+    }
+
     /// Per-bit design skew in ps (positive skew favours a `0` response).
     pub fn design_skew_ps(&self) -> &[f64] {
         &self.design_skew_ps
@@ -234,7 +270,7 @@ impl AluPufDesign {
     /// mismatch factors. Both the operating device and the enrollment
     /// interface use this — the manufacturer knows its own layout.
     pub fn effective_delays_ps(&self, chip: &Chip, env: &Environment) -> Vec<f64> {
-        let mut d = chip.gate_delays(&self.netlist, env);
+        let mut d = chip.gate_delays_with(&self.netlist, env, &self.fanouts);
         for (delay, &factor) in d.iter_mut().zip(&self.gate_delay_factor) {
             *delay *= factor;
         }
@@ -263,22 +299,43 @@ impl AluPufDesign {
         &self.alu1
     }
 
-    pub(crate) fn stimulus_vectors(&self, challenge: Challenge) -> (Vec<bool>, Vec<bool>) {
-        self.stimulus(challenge)
+    /// The raced sum buses: `(alu0.sum, alu1.sum)`, bit `i` of each feeding
+    /// arbiter `i`. Exposed for external timing analyses and benchmarks.
+    pub fn sum_buses(&self) -> (&[NetId], &[NetId]) {
+        (&self.alu0.sum, &self.alu1.sum)
     }
 
-    fn stimulus(&self, challenge: Challenge) -> (Vec<bool>, Vec<bool>) {
-        // Launch the race from the bitwise complement of the operands so
-        // every input toggles at t = 0 (the synchronisation logic's job).
-        let w = self.config.width;
-        let mask = crate::challenge::width_mask(w);
-        let from = self
-            .netlist
-            .input_vector(&[(&self.a_bus, !challenge.a & mask), (&self.b_bus, !challenge.b & mask)]);
-        let to = self
-            .netlist
-            .input_vector(&[(&self.a_bus, challenge.a), (&self.b_bus, challenge.b)]);
+    /// Builds the stimulus pair for `challenge` as fresh vectors. Hot paths
+    /// should use [`AluPufDesign::stimulus_into`] with reused buffers.
+    pub fn stimulus_vectors(&self, challenge: Challenge) -> (Vec<bool>, Vec<bool>) {
+        let (mut from, mut to) = (Vec::new(), Vec::new());
+        self.stimulus_into(challenge, &mut from, &mut to);
         (from, to)
+    }
+
+    /// Fills the stimulus pair for `challenge` into reusable buffers
+    /// (cleared and resized to the primary-input count; no allocation once
+    /// the buffers have capacity).
+    ///
+    /// The race launches from the bitwise complement of the operands so
+    /// every input toggles at t = 0 (the synchronisation logic's job); the
+    /// carry-in stays 0 on both sides.
+    pub fn stimulus_into(&self, challenge: Challenge, from: &mut Vec<bool>, to: &mut Vec<bool>) {
+        let n = self.netlist.primary_inputs().len();
+        from.clear();
+        from.resize(n, false);
+        to.clear();
+        to.resize(n, false);
+        let mask = crate::challenge::width_mask(self.config.width);
+        let (inv_a, inv_b) = (!challenge.a & mask, !challenge.b & mask);
+        for (bit, &pos) in self.a_pi_pos.iter().enumerate() {
+            from[pos as usize] = (inv_a >> bit) & 1 == 1;
+            to[pos as usize] = (challenge.a >> bit) & 1 == 1;
+        }
+        for (bit, &pos) in self.b_pi_pos.iter().enumerate() {
+            from[pos as usize] = (inv_b >> bit) & 1 == 1;
+            to[pos as usize] = (challenge.b >> bit) & 1 == 1;
+        }
     }
 }
 
@@ -326,10 +383,22 @@ pub struct Evaluation {
     pub settle1_ps: Vec<f64>,
 }
 
+/// Reusable per-evaluation state: one persistent simulation engine plus the
+/// stimulus buffers it is fed from. Steady-state evaluations touch only
+/// these buffers and allocate nothing.
+#[derive(Debug)]
+struct EvalScratch<'a> {
+    sim: EventSimulator<'a>,
+    from: Vec<bool>,
+    to: Vec<bool>,
+}
+
 /// A chip operating at a fixed voltage/temperature corner.
 ///
-/// Precomputes the per-gate delays for the corner so repeated evaluations
-/// only pay for event simulation.
+/// Precomputes the per-gate delays for the corner and caches one simulation
+/// engine (netlist + shared fanout CSR + scratch buffers), so repeated
+/// evaluations only pay for event processing — zero heap allocation at
+/// steady state on the response-only paths.
 #[derive(Debug)]
 pub struct PufInstance<'a> {
     design: &'a AluPufDesign,
@@ -339,19 +408,43 @@ pub struct PufInstance<'a> {
     /// Additional per-bit delay offsets (programmable delay lines in the
     /// FPGA prototype); zero for ASIC instances.
     pdl_offset_ps: Vec<f64>,
+    scratch: RefCell<EvalScratch<'a>>,
 }
 
 impl<'a> PufInstance<'a> {
     /// Binds a chip to an operating point.
     pub fn new(design: &'a AluPufDesign, puf_chip: &'a PufChip, env: Environment) -> Self {
         let delays_ps = design.effective_delays_ps(&puf_chip.chip, &env);
+        PufInstance::from_delays(design, puf_chip, env, delays_ps)
+    }
+
+    /// Binds a chip to an operating point with precomputed effective gate
+    /// delays, skipping the delay-model evaluation (used by callers that
+    /// cache the delay vector across short-lived instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays_ps.len()` differs from the design's gate count.
+    pub fn from_delays(design: &'a AluPufDesign, puf_chip: &'a PufChip, env: Environment, delays_ps: Vec<f64>) -> Self {
+        assert_eq!(delays_ps.len(), design.netlist().gate_count(), "one delay per gate required");
+        let scratch = RefCell::new(EvalScratch {
+            sim: EventSimulator::with_fanouts(&design.netlist, &delays_ps, &design.fanouts),
+            from: Vec::new(),
+            to: Vec::new(),
+        });
         PufInstance {
             design,
             puf_chip,
             env,
             delays_ps,
             pdl_offset_ps: vec![0.0; design.width()],
+            scratch,
         }
+    }
+
+    /// The effective per-gate delays at this operating point.
+    pub fn delays_ps(&self) -> &[f64] {
+        &self.delays_ps
     }
 
     /// The operating point.
@@ -430,8 +523,13 @@ impl<'a> PufInstance<'a> {
     }
 
     /// Evaluates one challenge, returning only the response.
+    ///
+    /// This is the lean path: it reuses the cached engine and stimulus
+    /// buffers and skips the per-bit diagnostic vectors that
+    /// [`PufInstance::evaluate_detailed`] collects, so it allocates nothing
+    /// at steady state.
     pub fn evaluate<R: Rng + ?Sized>(&self, challenge: Challenge, rng: &mut R) -> RawResponse {
-        self.evaluate_detailed(challenge, rng).response
+        self.evaluate_bits(challenge, rng, f64::INFINITY)
     }
 
     /// Evaluates one challenge `votes` times and majority-votes each bit —
@@ -463,11 +561,19 @@ impl<'a> PufInstance<'a> {
         assert!(votes > 0, "at least one vote required");
         let deadline = cycle_ps - self.design.config.arbiter.setup_time_ps;
         let w = self.design.width();
+        // The settling times are noise-free, so one simulation serves every
+        // vote; only the arbiter draws are repeated (the RNG consumption is
+        // identical to simulating each vote from scratch).
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        self.design.stimulus_into(challenge, &mut s.from, &mut s.to);
+        s.sim.run_transition_in_place(&s.from, &s.to);
         let mut ones = [0u32; 64];
         for _ in 0..votes {
-            let r = self.evaluate_inner(challenge, rng, deadline).response;
+            let r =
+                race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &s.sim, deadline, rng);
             for (b, count) in ones.iter_mut().enumerate().take(w) {
-                *count += r.bit(b) as u32;
+                *count += ((r >> b) & 1) as u32;
             }
         }
         let mut bits = 0u64;
@@ -485,42 +591,128 @@ impl<'a> PufInstance<'a> {
     /// the paper's overclocking-attack failure mode.
     pub fn evaluate_clocked<R: Rng + ?Sized>(&self, challenge: Challenge, cycle_ps: f64, rng: &mut R) -> RawResponse {
         let deadline = cycle_ps - self.design.config.arbiter.setup_time_ps;
-        self.evaluate_inner(challenge, rng, deadline).response
+        self.evaluate_bits(challenge, rng, deadline)
+    }
+
+    /// Evaluates many challenges in parallel, returning one response per
+    /// challenge in order.
+    ///
+    /// Each challenge draws its arbiter noise from an independent RNG
+    /// stream seeded by `(noise_seed, challenge index)`, so the result is
+    /// **bit-identical for any `threads` value** — the thread count only
+    /// changes wall-clock time. The challenge slice is split into
+    /// contiguous chunks across `std::thread::scope` workers; each worker
+    /// owns one simulation engine built over the design's shared fanout
+    /// CSR.
+    pub fn evaluate_batch(&self, challenges: &[Challenge], noise_seed: u64, threads: usize) -> Vec<RawResponse> {
+        self.evaluate_batch_inner(challenges, noise_seed, 1, f64::INFINITY, threads)
+    }
+
+    /// Parallel batched evaluation with per-challenge temporal majority
+    /// voting (see [`PufInstance::evaluate_voted`]). Deterministic in
+    /// `(noise_seed, challenge index, votes)`; independent of `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes == 0`.
+    pub fn evaluate_batch_voted(
+        &self,
+        challenges: &[Challenge],
+        votes: u32,
+        noise_seed: u64,
+        threads: usize,
+    ) -> Vec<RawResponse> {
+        assert!(votes > 0, "at least one vote required");
+        self.evaluate_batch_inner(challenges, noise_seed, votes, f64::INFINITY, threads)
+    }
+
+    fn evaluate_batch_inner(
+        &self,
+        challenges: &[Challenge],
+        noise_seed: u64,
+        votes: u32,
+        deadline_ps: f64,
+        threads: usize,
+    ) -> Vec<RawResponse> {
+        let w = self.design.width();
+        if challenges.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, challenges.len());
+        // `self` is !Sync (the scratch RefCell); capture only the Sync
+        // parts for the workers.
+        let design = self.design;
+        let delays = self.delays_ps.as_slice();
+        let offsets = self.puf_chip.arbiter_offset_ps.as_slice();
+        let pdl = self.pdl_offset_ps.as_slice();
+        let mut out = vec![RawResponse::new(0, w); challenges.len()];
+        let chunk = challenges.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut slots = out.as_mut_slice();
+            for (ci, part) in challenges.chunks(chunk).enumerate() {
+                let (head, tail) = slots.split_at_mut(part.len());
+                slots = tail;
+                let base = (ci * chunk) as u64;
+                scope.spawn(move || {
+                    let mut sim = EventSimulator::with_fanouts(design.netlist(), delays, design.fanout_csr());
+                    let (mut from, mut to) = (Vec::new(), Vec::new());
+                    for (k, (&ch, slot)) in part.iter().zip(head.iter_mut()).enumerate() {
+                        let mut rng = ChaCha8Rng::seed_from_u64(challenge_stream_seed(noise_seed, base + k as u64));
+                        design.stimulus_into(ch, &mut from, &mut to);
+                        sim.run_transition_in_place(&from, &to);
+                        let mut ones = [0u32; 64];
+                        for _ in 0..votes {
+                            let r = race_bits(design, offsets, pdl, &sim, deadline_ps, &mut rng);
+                            for (b, count) in ones.iter_mut().enumerate().take(w) {
+                                *count += ((r >> b) & 1) as u32;
+                            }
+                        }
+                        let mut bits = 0u64;
+                        for (b, &count) in ones.iter().enumerate().take(w) {
+                            if 2 * count > votes {
+                                bits |= 1 << b;
+                            }
+                        }
+                        *slot = RawResponse::new(bits, w);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Shared engine path for the response-only evaluations.
+    fn evaluate_bits<R: Rng + ?Sized>(&self, challenge: Challenge, rng: &mut R, deadline_ps: f64) -> RawResponse {
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        self.design.stimulus_into(challenge, &mut s.from, &mut s.to);
+        s.sim.run_transition_in_place(&s.from, &s.to);
+        let bits =
+            race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &s.sim, deadline_ps, rng);
+        RawResponse::new(bits, self.design.width())
     }
 
     fn evaluate_inner<R: Rng + ?Sized>(&self, challenge: Challenge, rng: &mut R, deadline_ps: f64) -> Evaluation {
-        let (from, to) = self.design.stimulus(challenge);
-        let mut sim = EventSimulator::new(&self.design.netlist, &self.delays_ps);
-        let result = sim.run_transition(&from, &to);
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        self.design.stimulus_into(challenge, &mut s.from, &mut s.to);
+        s.sim.run_transition_in_place(&s.from, &s.to);
 
         let w = self.design.width();
-        let cfg = &self.design.config.arbiter;
-        let mut bits = 0u64;
         let mut delta_ps = Vec::with_capacity(w);
         let mut settle0 = Vec::with_capacity(w);
         let mut settle1 = Vec::with_capacity(w);
         for i in 0..w {
-            let t0 = result.settle_or_zero(self.design.alu0.sum[i]);
-            let t1 = result.settle_or_zero(self.design.alu1.sum[i]);
+            let t0 = s.sim.settle_or_zero(self.design.alu0.sum[i]);
+            let t1 = s.sim.settle_or_zero(self.design.alu1.sum[i]);
             let delta =
                 t0 - t1 + self.design.design_skew_ps[i] + self.puf_chip.arbiter_offset_ps[i] + self.pdl_offset_ps[i];
             settle0.push(t0);
             settle1.push(t1);
             delta_ps.push(delta);
-
-            let bit = if t0.max(t1) > deadline_ps {
-                // Setup-time violation: the response register samples an
-                // unresolved race.
-                rng.gen::<bool>()
-            } else {
-                let noisy = delta + gaussian(rng) * cfg.jitter_sigma_ps;
-                let p_one = 1.0 / (1.0 + (noisy / cfg.metastability_tau_ps).exp());
-                rng.gen::<f64>() < p_one
-            };
-            if bit {
-                bits |= 1 << i;
-            }
         }
+        let bits =
+            race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &s.sim, deadline_ps, rng);
         Evaluation {
             response: RawResponse::new(bits, w),
             delta_ps,
@@ -528,6 +720,53 @@ impl<'a> PufInstance<'a> {
             settle1_ps: settle1,
         }
     }
+}
+
+/// Resolves all `width` arbiters against the settling times of the last run
+/// of `sim`, drawing metastability and jitter noise from `rng` in bit order
+/// (the draw sequence is shared by the serial and batched paths).
+fn race_bits<R: Rng + ?Sized>(
+    design: &AluPufDesign,
+    arbiter_offset_ps: &[f64],
+    pdl_offset_ps: &[f64],
+    sim: &EventSimulator<'_>,
+    deadline_ps: f64,
+    rng: &mut R,
+) -> u64 {
+    let cfg = &design.config.arbiter;
+    let mut bits = 0u64;
+    for i in 0..design.config.width {
+        let t0 = sim.settle_or_zero(design.alu0.sum[i]);
+        let t1 = sim.settle_or_zero(design.alu1.sum[i]);
+        let delta = t0 - t1 + design.design_skew_ps[i] + arbiter_offset_ps[i] + pdl_offset_ps[i];
+        let bit = if t0.max(t1) > deadline_ps {
+            // Setup-time violation: the response register samples an
+            // unresolved race.
+            rng.gen::<bool>()
+        } else {
+            let noisy = delta + gaussian(rng) * cfg.jitter_sigma_ps;
+            let p_one = 1.0 / (1.0 + (noisy / cfg.metastability_tau_ps).exp());
+            rng.gen::<f64>() < p_one
+        };
+        if bit {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of the independent noise stream of one batched challenge: a
+/// function of the batch seed and the challenge's *global* index only, so
+/// batched results do not depend on how the batch is chunked over threads.
+pub fn challenge_stream_seed(noise_seed: u64, index: u64) -> u64 {
+    splitmix64(noise_seed ^ splitmix64(index))
 }
 
 pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -673,6 +912,62 @@ mod tests {
         inst.set_pdl_offsets_ps(&[-1e6; 8]);
         let r = inst.evaluate(Challenge::new(0x12, 0x34, 8), &mut rng);
         assert_eq!(r.bits(), 0xFF);
+    }
+
+    #[test]
+    fn stimulus_into_matches_input_vector_construction() {
+        let d = small_design();
+        let ch = Challenge::new(0x5A, 0xC3, 8);
+        let (from, to) = d.stimulus_vectors(ch);
+        let mask = crate::challenge::width_mask(8);
+        let from_ref = d.netlist.input_vector(&[(&d.a_bus, !ch.a & mask), (&d.b_bus, !ch.b & mask)]);
+        let to_ref = d.netlist.input_vector(&[(&d.a_bus, ch.a), (&d.b_bus, ch.b)]);
+        assert_eq!(from, from_ref);
+        assert_eq!(to, to_ref);
+        // The buffers are reused without reallocation on the second fill.
+        let (mut f, mut t) = (from, to);
+        let (cf, ct) = (f.capacity(), t.capacity());
+        d.stimulus_into(Challenge::new(0x12, 0x34, 8), &mut f, &mut t);
+        assert_eq!((f.capacity(), t.capacity()), (cf, ct));
+    }
+
+    #[test]
+    fn batch_is_identical_at_any_thread_count() {
+        let d = small_design();
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let chip = d.fabricate(&sampler, &mut rng);
+        let inst = PufInstance::new(&d, &chip, Environment::nominal());
+        let challenges: Vec<Challenge> = (0..33).map(|k| Challenge::new(k * 37 + 5, k * 91 + 11, 8)).collect();
+        let r1 = inst.evaluate_batch(&challenges, 42, 1);
+        assert_eq!(r1.len(), challenges.len());
+        assert_eq!(r1, inst.evaluate_batch(&challenges, 42, 4));
+        assert_eq!(r1, inst.evaluate_batch(&challenges, 42, 8));
+        // Voted batches are thread-invariant too.
+        let v1 = inst.evaluate_batch_voted(&challenges, 5, 42, 1);
+        assert_eq!(v1, inst.evaluate_batch_voted(&challenges, 5, 42, 8));
+        // Deterministic: same seed reproduces the batch exactly.
+        assert_eq!(r1, inst.evaluate_batch(&challenges, 42, 3));
+    }
+
+    #[test]
+    fn batch_agrees_with_serial_modulo_noise() {
+        // The batch path uses per-challenge RNG streams (not the caller's
+        // shared RNG), so individual metastable bits may differ — but the
+        // underlying Δ is the same, so responses stay close.
+        let d = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let sampler = ChipSampler::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let chip = d.fabricate(&sampler, &mut rng);
+        let inst = PufInstance::new(&d, &chip, Environment::nominal());
+        let challenges: Vec<Challenge> = (0..20).map(|_| Challenge::random(&mut rng, 32)).collect();
+        let batch = inst.evaluate_batch(&challenges, 7, 4);
+        let mut total = 0u32;
+        for (i, &ch) in challenges.iter().enumerate() {
+            total += inst.evaluate(ch, &mut rng).hamming_distance(batch[i]);
+        }
+        // Average disagreement must stay in noise range (≪ half the width).
+        assert!((total as f64) / 20.0 < 0.25 * 32.0, "total {total}");
     }
 
     #[test]

@@ -16,6 +16,8 @@ use crate::challenge::Challenge;
 use crate::challenge::RawResponse;
 use crate::device::{AluPufDesign, PufChip, PufInstance};
 use pufatt_silicon::env::Environment;
+use pufatt_silicon::sim::EventSimulator;
+use std::cell::RefCell;
 
 /// The gate-level delay table of one enrolled chip: everything the verifier
 /// needs to emulate its ALU PUF.
@@ -45,6 +47,11 @@ impl DelayTable {
     /// The operating point the table was extracted at.
     pub fn env(&self) -> Environment {
         self.env
+    }
+
+    /// The recorded per-gate delays in ps.
+    pub fn delays_ps(&self) -> &[f64] {
+        &self.delays_ps
     }
 
     /// Number of gate delays recorded.
@@ -128,11 +135,25 @@ impl DelayTable {
     }
 }
 
+/// Reusable emulation state: one persistent engine plus stimulus buffers.
+#[derive(Debug)]
+struct EmuScratch<'a> {
+    sim: EventSimulator<'a>,
+    from: Vec<bool>,
+    to: Vec<bool>,
+}
+
 /// The verifier's software model of one enrolled ALU PUF.
+///
+/// Caches one simulation engine over the design's shared fanout CSR, so
+/// repeated [`PufEmulator::emulate`] calls allocate nothing at steady
+/// state; [`PufEmulator::emulate_batch`] fans challenges across scoped
+/// worker threads, each with its own engine.
 #[derive(Debug)]
 pub struct PufEmulator<'a> {
     design: &'a AluPufDesign,
     table: DelayTable,
+    scratch: RefCell<EmuScratch<'a>>,
 }
 
 impl<'a> PufEmulator<'a> {
@@ -145,7 +166,12 @@ impl<'a> PufEmulator<'a> {
     pub fn new(design: &'a AluPufDesign, table: DelayTable) -> Self {
         assert_eq!(table.delays_ps.len(), design.netlist().gate_count(), "delay table does not match design");
         assert_eq!(table.arbiter_offset_ps.len(), design.width(), "arbiter offsets do not match design");
-        PufEmulator { design, table }
+        let scratch = RefCell::new(EmuScratch {
+            sim: EventSimulator::with_fanouts(design.netlist(), &table.delays_ps, design.fanout_csr()),
+            from: Vec::new(),
+            to: Vec::new(),
+        });
+        PufEmulator { design, table, scratch }
     }
 
     /// Convenience: enroll a chip and build its emulator in one step.
@@ -161,21 +187,62 @@ impl<'a> PufEmulator<'a> {
     /// Emulates the raw PUF response to a challenge (noise-free,
     /// maximum-likelihood arbiter resolution).
     pub fn emulate(&self, challenge: Challenge) -> RawResponse {
-        let mut sim = pufatt_silicon::sim::EventSimulator::new(self.design.netlist(), &self.table.delays_ps);
-        let (from, to) = stimulus(self.design, challenge);
-        let result = sim.run_transition(&from, &to);
-        let w = self.design.width();
-        let mut bits = 0u64;
-        for i in 0..w {
-            let t0 = result.settle_or_zero(self.design.alu0_sum(i));
-            let t1 = result.settle_or_zero(self.design.alu1_sum(i));
-            let delta = t0 - t1 + self.design.design_skew_ps()[i] + self.table.arbiter_offset_ps[i];
-            if delta < 0.0 {
-                bits |= 1 << i;
-            }
-        }
-        RawResponse::new(bits, w)
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        self.design.stimulus_into(challenge, &mut s.from, &mut s.to);
+        s.sim.run_transition_in_place(&s.from, &s.to);
+        resolve_arbiters(self.design, &self.table.arbiter_offset_ps, &s.sim)
     }
+
+    /// Emulates many challenges in parallel, returning one response per
+    /// challenge in order. The emulator is noise-free, so the result is
+    /// identical to mapping [`PufEmulator::emulate`] over the slice — for
+    /// any `threads` value.
+    pub fn emulate_batch(&self, challenges: &[Challenge], threads: usize) -> Vec<RawResponse> {
+        let w = self.design.width();
+        if challenges.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, challenges.len());
+        let design = self.design;
+        let delays = self.table.delays_ps.as_slice();
+        let offsets = self.table.arbiter_offset_ps.as_slice();
+        let mut out = vec![RawResponse::new(0, w); challenges.len()];
+        let chunk = challenges.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut slots = out.as_mut_slice();
+            for part in challenges.chunks(chunk) {
+                let (head, tail) = slots.split_at_mut(part.len());
+                slots = tail;
+                scope.spawn(move || {
+                    let mut sim = EventSimulator::with_fanouts(design.netlist(), delays, design.fanout_csr());
+                    let (mut from, mut to) = (Vec::new(), Vec::new());
+                    for (&ch, slot) in part.iter().zip(head.iter_mut()) {
+                        design.stimulus_into(ch, &mut from, &mut to);
+                        sim.run_transition_in_place(&from, &to);
+                        *slot = resolve_arbiters(design, offsets, &sim);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+/// Maximum-likelihood arbiter resolution (`Δ < 0 ⇒ 1`) over the settling
+/// times of the last run of `sim`.
+fn resolve_arbiters(design: &AluPufDesign, arbiter_offset_ps: &[f64], sim: &EventSimulator<'_>) -> RawResponse {
+    let w = design.width();
+    let mut bits = 0u64;
+    for (i, &offset) in arbiter_offset_ps.iter().enumerate().take(w) {
+        let t0 = sim.settle_or_zero(design.alu0_sum(i));
+        let t1 = sim.settle_or_zero(design.alu1_sum(i));
+        let delta = t0 - t1 + design.design_skew_ps()[i] + offset;
+        if delta < 0.0 {
+            bits |= 1 << i;
+        }
+    }
+    RawResponse::new(bits, w)
 }
 
 // Device-internal accessors used by the emulator; kept crate-private on the
@@ -188,10 +255,6 @@ impl AluPufDesign {
     pub(crate) fn alu1_sum(&self, i: usize) -> pufatt_silicon::netlist::NetId {
         self.alu1_ports().sum[i]
     }
-}
-
-fn stimulus(design: &AluPufDesign, challenge: Challenge) -> (Vec<bool>, Vec<bool>) {
-    design.stimulus_vectors(challenge)
 }
 
 /// Agreement measurement between a device and its emulator: fraction of
@@ -263,6 +326,18 @@ mod tests {
         let right = emulation_agreement(&inst, &emu_right, &challenges, &mut rng);
         let wrong = emulation_agreement(&inst, &emu_wrong, &challenges, &mut rng);
         assert!(right > wrong + 0.1, "right {right} wrong {wrong}");
+    }
+
+    #[test]
+    fn emulate_batch_matches_serial_at_any_thread_count() {
+        let (design, chip) = setup();
+        let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        let challenges: Vec<Challenge> = (0..27u64).map(|k| Challenge::new(k * 7919, k * 104729, 16)).collect();
+        let serial: Vec<_> = challenges.iter().map(|&ch| emu.emulate(ch)).collect();
+        for threads in [1, 4, 8] {
+            assert_eq!(emu.emulate_batch(&challenges, threads), serial, "threads {threads}");
+        }
+        assert!(emu.emulate_batch(&[], 4).is_empty());
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! per-bit Shannon entropy — measured over a chip batch.
 
 use crate::challenge::Challenge;
-use crate::device::{AluPufDesign, PufChip, PufInstance};
+use crate::device::{challenge_stream_seed, AluPufDesign, PufChip, PufInstance};
 use crate::stats::{BiasCounter, HdHistogram};
 use pufatt_silicon::env::Environment;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::fmt;
 
 /// Datasheet metrics for one design, measured over a chip batch.
@@ -120,6 +121,84 @@ pub fn measure_quality<R: Rng + ?Sized>(
     }
 }
 
+/// Batched [`measure_quality`]: the same metrics, but every chip's response
+/// set is evaluated through [`PufInstance::evaluate_batch`] across
+/// `threads` workers. Deterministic in `seed` (which drives both the
+/// challenge draw and the per-challenge noise streams) and independent of
+/// the thread count — this is the path the CLI's `characterize --threads`
+/// and the quality sweeps use.
+///
+/// # Panics
+///
+/// Panics if fewer than two chips are supplied.
+pub fn measure_quality_batched(
+    design: &AluPufDesign,
+    chips: &[PufChip],
+    challenges: usize,
+    seed: u64,
+    threads: usize,
+) -> QualityReport {
+    assert!(chips.len() >= 2, "need at least two chips for uniqueness");
+    let width = design.width();
+    let mut chrng = ChaCha8Rng::seed_from_u64(seed);
+    let chs: Vec<Challenge> = (0..challenges).map(|_| Challenge::random(&mut chrng, width)).collect();
+
+    // One batch per chip at nominal, plus chip 0 at the hot corner; each
+    // chip gets its own noise-stream family so chips stay independent.
+    let nominal: Vec<Vec<crate::challenge::RawResponse>> = chips
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let inst = PufInstance::new(design, c, Environment::nominal());
+            inst.evaluate_batch(&chs, challenge_stream_seed(seed, 1 + i as u64), threads)
+        })
+        .collect();
+    let hot_inst = PufInstance::new(design, &chips[0], Environment::with_temp(120.0));
+    let hot = hot_inst.evaluate_batch(&chs, challenge_stream_seed(seed, 0x8000_0000), threads);
+
+    let mut inter = HdHistogram::new(width);
+    let mut intra = HdHistogram::new(width);
+    let mut bias_per_chip: Vec<BiasCounter> = chips.iter().map(|_| BiasCounter::new(width)).collect();
+    for k in 0..challenges {
+        for (counter, chip_responses) in bias_per_chip.iter_mut().zip(&nominal) {
+            counter.record(chip_responses[k]);
+        }
+        for a in 0..chips.len() {
+            for b in a + 1..chips.len() {
+                inter.record_pair(nominal[a][k], nominal[b][k]);
+            }
+        }
+        intra.record_pair(nominal[0][k], hot[k]);
+    }
+
+    let biases: Vec<Vec<f64>> = bias_per_chip.iter().map(|c| c.bias()).collect();
+    let mut uniformity_acc = 0.0;
+    let mut entropy_acc = 0.0;
+    let mut worst_alias: f64 = 0.5;
+    for bit in 0..width {
+        for chip_bias in &biases {
+            uniformity_acc += chip_bias[bit];
+            entropy_acc += shannon(chip_bias[bit]);
+        }
+        let alias: f64 = biases.iter().map(|b| b[bit]).sum::<f64>() / biases.len() as f64;
+        if (alias - 0.5).abs() > (worst_alias - 0.5).abs() {
+            worst_alias = alias;
+        }
+    }
+    let denom = (width * chips.len()) as f64;
+
+    QualityReport {
+        width,
+        chips: chips.len(),
+        challenges,
+        uniqueness: inter.mean_fraction(),
+        reliability: 1.0 - intra.mean_fraction(),
+        uniformity: uniformity_acc / denom,
+        worst_bit_aliasing: worst_alias,
+        mean_bit_entropy: entropy_acc / denom,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +229,21 @@ mod tests {
         assert!((0.0..=1.0).contains(&report.mean_bit_entropy), "{report}");
         // Biased arbiters exist: some bit aliases strongly.
         assert!((report.worst_bit_aliasing - 0.5).abs() > 0.2, "{report}");
+    }
+
+    #[test]
+    fn batched_report_is_thread_invariant_and_tracks_serial() {
+        let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0AB);
+        let chips = design.fabricate_many(&ChipSampler::new(), 3, &mut rng);
+        let r1 = measure_quality_batched(&design, &chips, 40, 9, 1);
+        let r4 = measure_quality_batched(&design, &chips, 40, 9, 4);
+        assert_eq!(r1, r4, "thread count changed the batched report");
+        // The batched metrics must agree with the serial path to within
+        // sampling noise (different RNG streams, same underlying Δ).
+        let serial = measure_quality(&design, &chips, 40, &mut rng);
+        assert!((r1.uniqueness - serial.uniqueness).abs() < 0.1, "batched {r1} vs serial {serial}");
+        assert!((r1.reliability - serial.reliability).abs() < 0.1, "batched {r1} vs serial {serial}");
     }
 
     #[test]

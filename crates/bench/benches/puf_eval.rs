@@ -1,0 +1,311 @@
+//! PUF evaluation throughput: baseline vs. reused engine vs. parallel batch.
+//!
+//! Not a paper figure — the performance benchmark for the zero-allocation
+//! simulation engine. Three configurations evaluate the same challenge set
+//! on the same `paper_32bit` chip:
+//!
+//! 1. **baseline** — the pre-engine per-challenge-reconstruction path,
+//!    reimplemented here exactly as the original code ran it: every
+//!    evaluation recomputes the effective delays, rebuilds the nested
+//!    `Vec<Vec<GateId>>` fanout lists, re-runs the allocating functional
+//!    pre-sim and fills a fresh event heap;
+//! 2. **reused** — one `PufInstance`, its engine scratch reused serially;
+//! 3. **batch** — `evaluate_batch` at 1/2/4/8 threads (bit-identical
+//!    output at every thread count).
+//!
+//! Results are printed and written to `BENCH_puf_eval.json` at the
+//! workspace root for CI artifact upload. `--test` (as passed by
+//! `cargo test` to harness=false benches) or `PUFATT_SMOKE=1` selects a
+//! smoke run with a reduced challenge count.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufChip, PufInstance};
+use pufatt_bench::{full_scale, header};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::netlist::{GateKind, NetId};
+use pufatt_silicon::sim::EventSimulator;
+use pufatt_silicon::variation::ChipSampler;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const NOISE_SEED: u64 = 0xB1A5;
+
+struct Row {
+    name: String,
+    threads: usize,
+    challenges: usize,
+    seconds: f64,
+    challenges_per_sec: f64,
+    events_per_sec: f64,
+    speedup_vs_baseline: f64,
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--test") || std::env::var("PUFATT_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let n = if smoke {
+        64
+    } else if full_scale() {
+        8192
+    } else {
+        2048
+    };
+
+    header("PERF", "PUF evaluation throughput (paper_32bit, zero-allocation engine)");
+    println!("  {n} challenges per configuration{}", if smoke { " (smoke mode)" } else { "" });
+
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let challenges: Vec<Challenge> = (0..n).map(|_| Challenge::random(&mut rng, 32)).collect();
+
+    // Events per challenge is identical across configurations (same chip,
+    // same stimuli); measure it once on the raw engine.
+    let delays = design.effective_delays_ps(chip.silicon(), &Environment::nominal());
+    let mut sim = EventSimulator::new(design.netlist(), &delays);
+    let (mut from, mut to) = (Vec::new(), Vec::new());
+    let mut total_events = 0u64;
+    for &ch in &challenges {
+        design.stimulus_into(ch, &mut from, &mut to);
+        sim.run_transition_in_place(&from, &to);
+        total_events += sim.events();
+    }
+    let events_per_challenge = total_events as f64 / n as f64;
+    println!("  {events_per_challenge:.0} simulation events per challenge");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let push = |rows: &mut Vec<Row>, name: &str, threads: usize, secs: f64, baseline: f64| {
+        let cps = n as f64 / secs;
+        rows.push(Row {
+            name: name.to_string(),
+            threads,
+            challenges: n,
+            seconds: secs,
+            challenges_per_sec: cps,
+            events_per_sec: cps * events_per_challenge,
+            speedup_vs_baseline: if baseline > 0.0 { baseline / secs } else { 1.0 },
+        });
+    };
+
+    // 1 + 2. Baseline (per-challenge reconstruction, the pre-engine code
+    // path) and the reused engine, measured in interleaved rounds with the
+    // fastest round kept per arm. Timing noise on shared hosts is additive
+    // (scheduler steals, frequency dips), so the minimum over enough rounds
+    // is the standard estimator of each arm's true cost; interleaving keeps
+    // the rounds of both arms close together in time so a slow phase of the
+    // host cannot bias only one of them.
+    let rounds = if smoke { 1 } else { 9 };
+    let inst = PufInstance::new(&design, &chip, Environment::nominal());
+    let mut baseline_secs = f64::INFINITY;
+    let mut reused_secs = f64::INFINITY;
+    let mut baseline_bits = 0u64;
+    let mut reused_bits = 0u64;
+    for _ in 0..rounds {
+        let mut noise = ChaCha8Rng::seed_from_u64(NOISE_SEED);
+        let start = Instant::now();
+        baseline_bits = 0;
+        for &ch in &challenges {
+            baseline_bits ^= baseline_evaluate(&design, &chip, ch, &mut noise);
+        }
+        baseline_secs = baseline_secs.min(start.elapsed().as_secs_f64());
+
+        let mut noise = ChaCha8Rng::seed_from_u64(NOISE_SEED);
+        let start = Instant::now();
+        reused_bits = 0;
+        for &ch in &challenges {
+            reused_bits ^= inst.evaluate(ch, &mut noise).bits();
+        }
+        reused_secs = reused_secs.min(start.elapsed().as_secs_f64());
+    }
+    push(&mut rows, "baseline_reconstruct", 1, baseline_secs, 0.0);
+    push(&mut rows, "reused_engine", 1, reused_secs, baseline_secs);
+    assert_eq!(reused_bits, baseline_bits, "reused engine changed responses");
+
+    // 3. Parallel batch at 1/2/4/8 threads.
+    let mut batch_ref: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let out = inst.evaluate_batch(&challenges, NOISE_SEED, threads);
+        push(&mut rows, "batch", threads, start.elapsed().as_secs_f64(), baseline_secs);
+        let bits: Vec<u64> = out.iter().map(|r| r.bits()).collect();
+        match &batch_ref {
+            None => batch_ref = Some(bits),
+            Some(expected) => {
+                assert_eq!(&bits, expected, "batch output changed at {threads} threads")
+            }
+        }
+    }
+
+    for r in &rows {
+        println!(
+            "    {:<22} {:>2} thread(s): {:>9.0} challenges/s  {:>12.3e} events/s  ({:>5.2}x vs baseline)",
+            r.name, r.threads, r.challenges_per_sec, r.events_per_sec, r.speedup_vs_baseline
+        );
+    }
+
+    let reused = rows.iter().find(|r| r.name == "reused_engine").expect("reused row");
+    println!(
+        "  single-thread engine reuse speedup: {:.2}x, best-of-{rounds} interleaved rounds \
+         (target >= 5x); batch output thread-invariant",
+        reused.speedup_vs_baseline
+    );
+    if !smoke {
+        assert!(
+            reused.speedup_vs_baseline >= 5.0,
+            "engine reuse speedup {:.2}x below the 5x target",
+            reused.speedup_vs_baseline
+        );
+    }
+
+    // Machine-readable results for CI artifact upload.
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"threads\": {}, \"challenges\": {}, ",
+                    "\"seconds\": {:.6}, \"challenges_per_sec\": {:.1}, ",
+                    "\"events_per_sec\": {:.1}, \"speedup_vs_baseline\": {:.3}}}"
+                ),
+                r.name,
+                r.threads,
+                r.challenges,
+                r.seconds,
+                r.challenges_per_sec,
+                r.events_per_sec,
+                r.speedup_vs_baseline
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"puf_eval\",\n  \"design\": \"paper_32bit\",\n  \"smoke\": {},\n  \"events_per_challenge\": {:.1},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        smoke,
+        events_per_challenge,
+        json_rows.join(",\n")
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_puf_eval.json");
+    std::fs::write(out_path, json).expect("write BENCH_puf_eval.json");
+    println!("  wrote {out_path}");
+}
+
+/// One pending output change, ordered exactly as the pre-engine simulator
+/// ordered it (earliest time first, sequence number breaking ties).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time_ps: f64,
+    seq: u64,
+    net: NetId,
+    value: bool,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time_ps
+            .partial_cmp(&self.time_ps)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pre-engine evaluation path, preserved verbatim as the benchmark
+/// baseline: every call recomputes the effective delays, rebuilds the
+/// nested fanout lists, reallocates the functional pre-sim state and the
+/// event heap, then resolves the arbiters with the same noise draws as
+/// [`PufInstance::evaluate`] (so the response bits must match it exactly).
+fn baseline_evaluate<R: Rng + ?Sized>(design: &AluPufDesign, chip: &PufChip, challenge: Challenge, rng: &mut R) -> u64 {
+    let netlist = design.netlist();
+    // The seed's delay path: `Chip::gate_delays` re-derives the fanout
+    // adjacency internally on every call (no shared CSR), then the design's
+    // per-gate factors are applied on top — exactly what the pre-engine
+    // `effective_delays_ps` did per evaluation.
+    let mut delays_ps = chip.silicon().gate_delays(netlist, &Environment::nominal());
+    for (delay, &factor) in delays_ps.iter_mut().zip(design.gate_delay_factor()) {
+        *delay *= factor;
+    }
+    let (from, to) = design.stimulus_vectors(challenge);
+    let fanouts = netlist.fanouts();
+
+    let mut values = netlist.evaluate(&from);
+    let mut settle: Vec<Option<f64>> = vec![None; netlist.net_count()];
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, &net) in netlist.primary_inputs().iter().enumerate() {
+        if from[i] != to[i] {
+            heap.push(Event { time_ps: 0.0, seq, net, value: to[i] });
+            seq += 1;
+        }
+    }
+    while let Some(ev) = heap.pop() {
+        if values[ev.net.index()] == ev.value {
+            continue;
+        }
+        values[ev.net.index()] = ev.value;
+        settle[ev.net.index()] = Some(ev.time_ps);
+        for &gid in &fanouts[ev.net.index()] {
+            let gate = netlist.gate_at(gid);
+            let out = baseline_gate_eval(gate.kind, values[gate.inputs[0].index()], values[gate.inputs[1].index()]);
+            heap.push(Event {
+                time_ps: ev.time_ps + delays_ps[gid.index()],
+                seq,
+                net: gate.output,
+                value: out,
+            });
+            seq += 1;
+        }
+    }
+
+    let (sum0, sum1) = design.sum_buses();
+    let cfg = &design.config().arbiter;
+    let mut bits = 0u64;
+    for i in 0..design.width() {
+        let t0 = settle[sum0[i].index()].unwrap_or(0.0);
+        let t1 = settle[sum1[i].index()].unwrap_or(0.0);
+        let delta = t0 - t1 + design.design_skew_ps()[i] + chip.arbiter_offset_ps()[i];
+        let noisy = delta + gaussian(rng) * cfg.jitter_sigma_ps;
+        let p_one = 1.0 / (1.0 + (noisy / cfg.metastability_tau_ps).exp());
+        if rng.gen::<f64>() < p_one {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+/// The pre-engine `GateKind::eval` (a per-kind `match`), frozen here so the
+/// baseline keeps paying the original data-dependent branch per fanout edge
+/// even now that the shared implementation is a branchless table lookup.
+fn baseline_gate_eval(kind: GateKind, a: bool, b: bool) -> bool {
+    match kind {
+        GateKind::Buf => a,
+        GateKind::Not => !a,
+        GateKind::And2 => a & b,
+        GateKind::Or2 => a | b,
+        GateKind::Xor2 => a ^ b,
+        GateKind::Nand2 => !(a & b),
+        GateKind::Nor2 => !(a | b),
+        GateKind::Xnor2 => !(a ^ b),
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}

@@ -1,0 +1,76 @@
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::sim::EventSimulator;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let n = 4096;
+    let challenges: Vec<Challenge> = (0..n).map(|_| Challenge::random(&mut rng, 32)).collect();
+    let nl = design.netlist();
+    println!("gates={} nets={} pis={}", nl.gate_count(), nl.net_count(), nl.primary_inputs().len());
+
+    let delays = design.effective_delays_ps(chip.silicon(), &Environment::nominal());
+    let (dmin, dmax) = delays
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+    let dmean = delays.iter().sum::<f64>() / delays.len() as f64;
+    println!("delays: min={dmin:.2} mean={dmean:.2} max={dmax:.2} ps");
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = design.effective_delays_ps(chip.silicon(), &Environment::nominal());
+    }
+    println!("effective_delays: {:.2} us/call", t.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    let (mut from, mut to) = (Vec::new(), Vec::new());
+    let t = Instant::now();
+    for &ch in &challenges {
+        design.stimulus_into(ch, &mut from, &mut to);
+    }
+    println!("stimulus_into: {:.2} us/call", t.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    let mut values = Vec::new();
+    let t = Instant::now();
+    for &ch in &challenges {
+        design.stimulus_into(ch, &mut from, &mut to);
+        nl.evaluate_into(&from, &mut values);
+    }
+    println!("stimulus+evaluate_into: {:.2} us/call", t.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    let mut sim = EventSimulator::new(nl, &delays);
+    let mut ev = 0u64;
+    let t = Instant::now();
+    for &ch in &challenges {
+        design.stimulus_into(ch, &mut from, &mut to);
+        sim.run_transition_in_place(&from, &to);
+        ev += sim.events();
+    }
+    println!(
+        "full in_place run: {:.2} us/call ({} events/ch)",
+        t.elapsed().as_secs_f64() * 1e6 / n as f64,
+        ev / n as u64
+    );
+
+    // Fixed per-run overhead: identical from/to -> zero events.
+    let t = Instant::now();
+    for &ch in &challenges {
+        design.stimulus_into(ch, &mut from, &mut to);
+        sim.run_transition_in_place(&from, &from);
+    }
+    println!("zero-event run: {:.2} us/call", t.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+    let inst = PufInstance::new(&design, &chip, Environment::nominal());
+    let mut noise = ChaCha8Rng::seed_from_u64(1);
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for &ch in &challenges {
+        acc ^= inst.evaluate(ch, &mut noise).bits();
+    }
+    println!("PufInstance::evaluate: {:.2} us/call (acc={acc:x})", t.elapsed().as_secs_f64() * 1e6 / n as f64);
+}

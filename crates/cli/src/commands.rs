@@ -103,24 +103,36 @@ pub fn attest(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `pufatt characterize`: quality metrics over a chip batch.
+/// Default worker count for batched evaluation: the machine's parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// `pufatt characterize`: quality metrics over a chip batch, evaluated via
+/// the parallel batch engine (`--threads`, default: all cores). Results are
+/// deterministic in `--seed` and identical for any thread count.
 pub fn characterize(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["profile", "chips", "challenges"], &[])?;
+    let args = Args::parse(argv, &["profile", "chips", "challenges", "threads", "seed"], &[])?;
     let config = profile_config(args.get_or("profile", "paper32"))?;
     let chips_n: usize = args.num_or("chips", 4)?;
     let challenges_n: usize = args.num_or("challenges", 300)?;
+    let threads: usize = args.num_or("threads", default_threads())?;
+    let seed: u64 = args.num_or("seed", 0xC4A2)?;
     if chips_n < 2 {
         return Err("need at least 2 chips for inter-chip statistics".into());
     }
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let design = AluPufDesign::new(config);
-    let mut rng = ChaCha8Rng::seed_from_u64(0xC4A2);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let chips = design.fabricate_many(&ChipSampler::new(), chips_n, &mut rng);
     let instances: Vec<PufInstance<'_>> = chips
         .iter()
         .map(|c| PufInstance::new(&design, c, Environment::nominal()))
         .collect();
 
-    let report = pufatt_alupuf::quality::measure_quality(&design, &chips, challenges_n, &mut rng);
+    let report = pufatt_alupuf::quality::measure_quality_batched(&design, &chips, challenges_n, seed, threads);
     println!("{report}");
     println!(
         "  T_ALU: {:.0} ps, min reliable cycle: {:.0} ps",
@@ -184,6 +196,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         &[
             "devices",
             "workers",
+            "threads",
             "shards",
             "sessions",
             "seed",
@@ -200,7 +213,10 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     let defaults = CampaignConfig::default();
     let cfg = CampaignConfig {
         devices: args.num_or("devices", defaults.devices)?,
-        workers: args.num_or("workers", defaults.workers)?,
+        // `--threads` is an alias for `--workers` (the batch-evaluation
+        // flag name used by `characterize`); `--threads` wins if both are
+        // given.
+        workers: args.num_or("threads", args.num_or("workers", defaults.workers)?)?,
         shards: args.num_or("shards", defaults.shards)?,
         sessions_per_device: args.num_or("sessions", defaults.sessions_per_device)?,
         seed: args.num_or("seed", defaults.seed)?,
@@ -268,7 +284,9 @@ mod tests {
     #[test]
     fn characterize_runs() {
         characterize(&argv("--chips 2 --challenges 30")).expect("characterize");
+        characterize(&argv("--chips 2 --challenges 30 --threads 2 --seed 7")).expect("characterize threaded");
         assert!(characterize(&argv("--chips 1")).is_err(), "needs 2 chips");
+        assert!(characterize(&argv("--threads 0")).is_err(), "zero threads refused");
     }
 
     #[test]
@@ -294,6 +312,7 @@ mod tests {
     fn fleet_runs_a_small_campaign() {
         fleet(&argv("--devices 8 --workers 2 --sessions 1 --profile fpga16 --rounds 128 --tamper 0.25"))
             .expect("fleet");
+        fleet(&argv("--devices 4 --threads 2 --sessions 1 --profile fpga16 --rounds 128")).expect("fleet threads");
         assert!(fleet(&argv("--devices 0")).is_err(), "empty fleets are refused");
         assert!(fleet(&argv("--bogus 1")).is_err(), "unknown flags are refused");
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! pufatt enroll       --profile paper32 --fab-seed 42 --out device.puft
 //! pufatt attest       --table device.puft --fab-seed 42 [--malware] [--overclock 4.0]
-//! pufatt characterize --chips 4 --challenges 400
+//! pufatt characterize --chips 4 --challenges 400 --threads 8
 //! pufatt dot          --width 8 --out alupuf.dot [--chip-seed 1]
 //! pufatt profile      --program fibonacci
 //! pufatt fleet        --devices 256 --workers 8
@@ -33,8 +33,11 @@ commands:
                   --rounds <u32>             (default 2048)
                   --malware                  (infect the attested region)
                   --overclock <f64>          (memory-copy attack at factor)
-  characterize  PUF quality metrics for a chip batch
+  characterize  PUF quality metrics for a chip batch (parallel batch engine)
                   --profile paper32|fpga16   --chips <n>  --challenges <n>
+                  --threads <n>              (default: all cores; results
+                                              identical for any thread count)
+                  --seed <u64>               (default 0xC4A2)
   dot           export the ALU PUF netlist as Graphviz
                   --width <n>  --out <path>  [--chip-seed <u64>]
   profile       run a built-in PE32 program with cycle attribution
@@ -42,6 +45,7 @@ commands:
   fleet         run a concurrent fleet-scale attestation campaign
                   --devices <n>              (default 64)
                   --workers <n>              (default 4)
+                  --threads <n>              (alias for --workers)
                   --shards <n>               (default 16)
                   --sessions <n>             (default 2; per device)
                   --seed <u64>               (default 0xF1EE7)

@@ -99,6 +99,30 @@ impl EnrolledDevice {
         }
         CrpDatabase { entries, width: w }
     }
+
+    /// Parallel CRP recording: `count` challenges drawn deterministically
+    /// from `challenge_seed`, majority-voted over 5 samples each via the
+    /// batched evaluation path, fanned across `threads` workers.
+    ///
+    /// Unlike [`EnrolledDevice::record_crp_database`] (which threads one
+    /// caller RNG through every draw), the batched variant is a pure
+    /// function of `(challenge_seed, noise_seed, count)` and is
+    /// bit-identical for any `threads` value.
+    pub fn record_crp_database_batch(
+        &self,
+        count: usize,
+        challenge_seed: u64,
+        noise_seed: u64,
+        threads: usize,
+    ) -> CrpDatabase {
+        let w = self.design.width();
+        let mut rng = ChaCha8Rng::seed_from_u64(challenge_seed);
+        let challenges: Vec<Challenge> = (0..count).map(|_| Challenge::random(&mut rng, w)).collect();
+        let instance = PufInstance::new(&self.design, &self.chip, self.env);
+        let responses = instance.evaluate_batch_voted(&challenges, 5, noise_seed, threads);
+        let entries = challenges.into_iter().zip(responses).collect();
+        CrpDatabase { entries, width: w }
+    }
 }
 
 /// Manufactures and enrolls one device of `config`'s product line.
@@ -253,6 +277,28 @@ mod tests {
         assert!(db.consume(ch).is_some());
         assert!(db.consume(ch).is_none(), "second use must fail");
         assert_eq!(db.len(), 19);
+    }
+
+    #[test]
+    fn batched_crp_database_is_thread_invariant_and_accurate() {
+        let dev = enroll(small_config(), 5, 0).unwrap();
+        let a = dev.record_crp_database_batch(24, 77, 88, 1);
+        let b = dev.record_crp_database_batch(24, 77, 88, 4);
+        assert_eq!(a.len(), 24);
+        let mut keys: Vec<_> = a.challenges().collect();
+        keys.sort_by_key(|c| (c.a, c.b));
+        for ch in keys {
+            assert_eq!(a.peek(ch), b.peek(ch), "thread count changed a stored CRP");
+        }
+        // And the stored majority votes track a live device.
+        let instance = PufInstance::new(dev.design(), dev.chip(), dev.env());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut total_hd = 0u32;
+        for ch in a.challenges() {
+            total_hd += instance.evaluate(ch, &mut rng).hamming_distance(a.peek(ch).unwrap());
+        }
+        let frac = total_hd as f64 / (24.0 * a.width() as f64);
+        assert!(frac < 0.2, "live-vs-batched-database distance {frac}");
     }
 
     #[test]

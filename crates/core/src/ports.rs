@@ -22,6 +22,11 @@ pub struct DevicePuf {
     design: Arc<AluPufDesign>,
     chip: Arc<PufChip>,
     env: Environment,
+    /// Effective per-gate delays at `env`, computed once at construction;
+    /// per-call instances are rebuilt from this cache instead of re-running
+    /// the delay model (`PufInstance` borrows the design, so it cannot
+    /// outlive a method call on the `Arc`-holding device).
+    delays_ps: Vec<f64>,
     pipeline: PufPipeline,
     rng: ChaCha8Rng,
     /// When set, PUF evaluations race against this clock period (the
@@ -50,10 +55,12 @@ impl DevicePuf {
         noise_seed: u64,
     ) -> Result<Self, PufattError> {
         let pipeline = PufPipeline::for_width(design.width())?;
+        let delays_ps = design.effective_delays_ps(chip.silicon(), &env);
         Ok(DevicePuf {
             design,
             chip,
             env,
+            delays_ps,
             pipeline,
             rng: ChaCha8Rng::seed_from_u64(noise_seed),
             cycle_ps: None,
@@ -82,14 +89,19 @@ impl DevicePuf {
 
     /// Minimum reliable clock period of this device's PUF (`T_ALU + T_set`).
     pub fn min_reliable_cycle_ps(&self) -> f64 {
-        PufInstance::new(&self.design, &self.chip, self.env).min_reliable_cycle_ps()
+        self.instance().min_reliable_cycle_ps()
+    }
+
+    /// Rebuilds a short-lived instance from the cached delay vector.
+    fn instance(&self) -> PufInstance<'_> {
+        PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone())
     }
 
     /// Empirical attestation-clock calibration (see
     /// [`PufInstance::calibrate_cycle_ps`]); uses the device's own noise
     /// source for sampling.
     pub fn calibrate_cycle_ps(&mut self, samples: usize, guard: f64) -> f64 {
-        let instance = PufInstance::new(&self.design, &self.chip, self.env);
+        let instance = PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone());
         instance.calibrate_cycle_ps(samples, guard, &mut self.rng)
     }
 
@@ -107,7 +119,7 @@ impl DevicePuf {
     /// configured voting — the primitive other protocols built on the same
     /// hardware use (e.g. [`crate::slender`]).
     pub fn evaluate_raw(&mut self, challenge: Challenge) -> RawResponse {
-        let instance = PufInstance::new(&self.design, &self.chip, self.env);
+        let instance = PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone());
         match self.cycle_ps {
             Some(cycle) => instance.evaluate_voted_clocked(challenge, cycle, self.votes, &mut self.rng),
             None => instance.evaluate_voted(challenge, self.votes, &mut self.rng),
@@ -116,7 +128,7 @@ impl DevicePuf {
 
     /// Evaluates one group of 8 challenges through the full pipeline.
     pub fn respond(&mut self, challenges: &[Challenge; RESPONSES_PER_OUTPUT]) -> ProveOutput {
-        let instance = PufInstance::new(&self.design, &self.chip, self.env);
+        let instance = PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone());
         let raw: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| match self.cycle_ps {
             Some(cycle) => instance.evaluate_voted_clocked(challenges[j], cycle, self.votes, &mut self.rng),
             None => instance.evaluate_voted(challenges[j], self.votes, &mut self.rng),
@@ -230,6 +242,12 @@ impl VerifierPuf {
         PufEmulator::new(&self.design, self.table.clone()).emulate(challenge)
     }
 
+    /// Emulates many reference responses with one emulator, fanned across
+    /// `threads` workers (order-preserving and thread-count invariant).
+    pub fn emulate_batch(&self, challenges: &[Challenge], threads: usize) -> Vec<RawResponse> {
+        PufEmulator::new(&self.design, self.table.clone()).emulate_batch(challenges, threads)
+    }
+
     /// Verifier side of one 8-challenge session.
     ///
     /// # Errors
@@ -241,7 +259,10 @@ impl VerifierPuf {
         challenges: &[Challenge; RESPONSES_PER_OUTPUT],
         helpers: &[u32; RESPONSES_PER_OUTPUT],
     ) -> Result<u64, PufattError> {
-        let refs: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| self.emulate(challenges[j]));
+        // One emulator (and one cached engine) serves the whole session
+        // instead of a fresh table clone per challenge.
+        let emulator = PufEmulator::new(&self.design, self.table.clone());
+        let refs: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| emulator.emulate(challenges[j]));
         self.pipeline.conclude(&refs, helpers)
     }
 }

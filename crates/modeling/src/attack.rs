@@ -10,7 +10,8 @@ use crate::lr::{Logistic, Model, TrainConfig};
 use pufatt::obfuscate::RESPONSES_PER_OUTPUT;
 use pufatt_alupuf::challenge::Challenge;
 use pufatt_alupuf::device::PufInstance;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Challenge feature encodings available to the attacker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +89,61 @@ pub fn attack_raw<R: Rng + ?Sized>(
     };
     let train_set = collect(train, rng);
     let test_set = collect(test, rng);
+
+    let per_bit_accuracy = (0..width)
+        .map(|bit| {
+            let labelled =
+                |set: &[(Vec<f64>, u64)]| set.iter().map(|(x, r)| (x.clone(), (r >> bit) & 1 == 1)).collect::<Vec<_>>();
+            let mut model = Logistic::new(map.len(width));
+            model.fit(&labelled(&train_set), config, rng);
+            model.accuracy(&labelled(&test_set))
+        })
+        .collect();
+    AttackReport { per_bit_accuracy, training_crps: train }
+}
+
+/// Collects `n` raw CRPs from the device under attack in parallel:
+/// challenges drawn deterministically from `challenge_seed`, responses
+/// evaluated through [`PufInstance::evaluate_batch`] with independent
+/// per-challenge noise streams under `noise_seed`. Deterministic in the
+/// seeds and independent of `threads`.
+pub fn harvest_crps(
+    instance: &PufInstance<'_>,
+    n: usize,
+    challenge_seed: u64,
+    noise_seed: u64,
+    threads: usize,
+) -> Vec<(Challenge, u64)> {
+    let width = instance.design().width();
+    let mut rng = ChaCha8Rng::seed_from_u64(challenge_seed);
+    let challenges: Vec<Challenge> = (0..n).map(|_| Challenge::random(&mut rng, width)).collect();
+    let responses = instance.evaluate_batch(&challenges, noise_seed, threads);
+    challenges.into_iter().zip(responses.into_iter().map(|r| r.bits())).collect()
+}
+
+/// [`attack_raw`] with the CRP-collection phase batched over `threads`
+/// workers ([`harvest_crps`]); only model training still consumes the
+/// caller's RNG. The simulation cost dominates attacks at realistic CRP
+/// counts, so this is the fast path for attack sweeps.
+#[allow(clippy::too_many_arguments)]
+pub fn attack_raw_batched<R: Rng + ?Sized>(
+    instance: &PufInstance<'_>,
+    map: FeatureMap,
+    train: usize,
+    test: usize,
+    config: &TrainConfig,
+    crp_seed: u64,
+    threads: usize,
+    rng: &mut R,
+) -> AttackReport {
+    let width = instance.design().width();
+    let encode = |crps: Vec<(Challenge, u64)>| -> Vec<(Vec<f64>, u64)> {
+        crps.into_iter().map(|(ch, bits)| (map.encode(ch, width), bits)).collect()
+    };
+    let all = harvest_crps(instance, train + test, crp_seed, crp_seed ^ 0xA5A5_A5A5, threads);
+    let mut all = encode(all);
+    let test_set = all.split_off(train);
+    let train_set = all;
 
     let per_bit_accuracy = (0..width)
         .map(|bit| {
@@ -217,6 +273,21 @@ mod tests {
         let report = attack_raw(&instance, FeatureMap::CarryAware, 300, 150, &TrainConfig::default(), &mut rng);
         assert!(report.mean_accuracy() > 0.62, "raw responses must be learnable: {}", report.mean_accuracy());
         assert!(report.best_accuracy() > 0.75, "some bit must be highly predictable: {}", report.best_accuracy());
+    }
+
+    #[test]
+    fn batched_raw_attack_matches_serial_quality() {
+        let design = small_design();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+        let instance = PufInstance::new(&design, &chip, Environment::nominal());
+        // The harvested CRPs are a pure function of the seeds.
+        let a = harvest_crps(&instance, 40, 13, 14, 1);
+        let b = harvest_crps(&instance, 40, 13, 14, 4);
+        assert_eq!(a, b);
+        let report =
+            attack_raw_batched(&instance, FeatureMap::CarryAware, 300, 150, &TrainConfig::default(), 55, 4, &mut rng);
+        assert!(report.mean_accuracy() > 0.62, "batched raw attack must learn: {}", report.mean_accuracy());
     }
 
     #[test]

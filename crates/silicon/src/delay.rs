@@ -15,7 +15,7 @@
 //! robustness argument).
 
 use crate::env::Environment;
-use crate::netlist::{GateKind, Netlist};
+use crate::netlist::{FanoutCsr, GateKind, Netlist};
 
 /// Technology parameters for the delay model (defaults model a 45 nm node,
 /// the node targeted by the paper).
@@ -133,27 +133,47 @@ impl<'a> DelayModel<'a> {
     /// Computes the delay of every gate in `netlist`, where `vth[g]` is the
     /// per-gate threshold voltage.
     ///
+    /// Derives the fanout adjacency itself; repeated callers over one
+    /// netlist (chip batches, per-corner tables) should build the CSR once
+    /// and use [`DelayModel::netlist_delays_ps_with`].
+    ///
     /// # Panics
     ///
     /// Panics if `vth.len()` differs from the gate count.
     pub fn netlist_delays_ps(&self, netlist: &Netlist, vth: &[f64], env: &Environment) -> Vec<f64> {
+        self.netlist_delays_ps_with(netlist, vth, env, &netlist.fanout_csr())
+    }
+
+    /// [`DelayModel::netlist_delays_ps`] over a shared, precomputed fanout
+    /// adjacency: both the linear load model and the interconnect term read
+    /// `fanouts` instead of re-deriving the adjacency per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vth.len()` differs from the gate count or `fanouts` was
+    /// built for a different netlist.
+    pub fn netlist_delays_ps_with(
+        &self,
+        netlist: &Netlist,
+        vth: &[f64],
+        env: &Environment,
+        fanouts: &FanoutCsr,
+    ) -> Vec<f64> {
         assert_eq!(vth.len(), netlist.gate_count(), "one Vth per gate required");
-        let fanout = netlist.fanout_counts();
+        assert_eq!(fanouts.net_count(), netlist.net_count(), "fanout CSR does not match netlist");
         let wire = self.technology.wire_ps_per_um;
-        let fanouts = if wire > 0.0 { Some(netlist.fanouts()) } else { None };
         netlist
             .gates()
             .iter()
-            .enumerate()
             .zip(vth)
-            .map(|((gi, g), &v)| {
-                let mut d = self.gate_delay_ps(g.kind, v, fanout[g.output.index()], env);
-                if let Some(fo) = &fanouts {
+            .map(|(g, &v)| {
+                let mut d = self.gate_delay_ps(g.kind, v, fanouts.count(g.output), env);
+                if wire > 0.0 {
                     // Interconnect: mean Manhattan distance to the sinks of
                     // this gate's output net.
-                    let sinks = &fo[g.output.index()];
+                    let sinks = fanouts.readers(g.output);
                     if !sinks.is_empty() {
-                        let from = netlist.gates()[gi].placement;
+                        let from = g.placement;
                         let total: f64 = sinks
                             .iter()
                             .map(|&sid| {
@@ -264,6 +284,20 @@ mod tests {
         assert!((d1[0] - d0[0] - 15.0).abs() < 1e-9, "wire delay: {} vs {}", d1[0], d0[0]);
         // The sink gate drives nothing: no wire penalty.
         assert!((d1[1] - d0[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_csr_matches_self_derived_adjacency() {
+        let mut nl = Netlist::new();
+        crate::gen::ripple_carry_adder(&mut nl, 8, "alu");
+        nl.place_at(3.0, 7.0);
+        let vth: Vec<f64> = (0..nl.gate_count()).map(|i| 0.38 + 0.0005 * (i % 9) as f64).collect();
+        let env = Environment::with_temp(80.0);
+        let csr = nl.fanout_csr();
+        for tech in [Technology::node_45nm(), Technology::node_45nm_with_interconnect()] {
+            let m = DelayModel::new(&tech);
+            assert_eq!(m.netlist_delays_ps(&nl, &vth, &env), m.netlist_delays_ps_with(&nl, &vth, &env, &csr));
+        }
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod variation;
 
 pub use delay::{DelayModel, Technology};
 pub use env::Environment;
-pub use netlist::{Gate, GateId, GateKind, Net, NetId, Netlist};
+pub use netlist::{FanoutCsr, Gate, GateId, GateKind, Net, NetId, Netlist};
 pub use sim::{EventSimulator, SimResult};
 pub use sta::ArrivalTimes;
 pub use variation::{Chip, ChipSampler};

@@ -75,17 +75,16 @@ impl GateKind {
     /// Evaluates the gate's logic function.
     ///
     /// `b` is ignored for one-input gates.
+    ///
+    /// Branchless — a 4-bit truth-table lookup indexed by `(a, b)` rather
+    /// than a per-kind `match`: functional netlist evaluation calls this
+    /// once per gate with data-dependent kinds, and a branch here is
+    /// unpredictable in exactly that loop.
     pub fn eval(self, a: bool, b: bool) -> bool {
-        match self {
-            GateKind::Buf => a,
-            GateKind::Not => !a,
-            GateKind::And2 => a & b,
-            GateKind::Or2 => a | b,
-            GateKind::Xor2 => a ^ b,
-            GateKind::Nand2 => !(a & b),
-            GateKind::Nor2 => !(a | b),
-            GateKind::Xnor2 => !(a ^ b),
-        }
+        // Truth tables in variant order (Buf, Not, And2, Or2, Xor2, Nand2,
+        // Nor2, Xnor2); bit `(a << 1) | b` holds the output.
+        const TT: [u8; 8] = [0b1100, 0b0011, 0b1000, 0b1110, 0b0110, 0b0111, 0b0001, 0b1001];
+        (TT[self as usize] >> ((u8::from(a) << 1) | u8::from(b))) & 1 == 1
     }
 
     /// All gate kinds, useful for exhaustive tests.
@@ -343,6 +342,13 @@ impl Netlist {
         fo
     }
 
+    /// Fanout adjacency in compressed-sparse-row form — two flat arrays
+    /// instead of one `Vec` per net. Compute it once per netlist and share
+    /// it between simulators, the delay model and timing analyses.
+    pub fn fanout_csr(&self) -> FanoutCsr {
+        FanoutCsr::build(self)
+    }
+
     /// Fanout count per net (load model input).
     pub fn fanout_counts(&self) -> Vec<u32> {
         let mut fo = vec![0u32; self.nets.len()];
@@ -370,8 +376,21 @@ impl Netlist {
     ///
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.primary_inputs.len(), "input vector length mismatch");
         let mut values = vec![false; self.nets.len()];
+        self.evaluate_into(inputs, &mut values);
+        values
+    }
+
+    /// In-place variant of [`Netlist::evaluate`]: fills `values` (resized to
+    /// the net count) without allocating when `values` already has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate_into(&self, inputs: &[bool], values: &mut Vec<bool>) {
+        assert_eq!(inputs.len(), self.primary_inputs.len(), "input vector length mismatch");
+        values.clear();
+        values.resize(self.nets.len(), false);
         for (net, &v) in self.primary_inputs.iter().zip(inputs) {
             values[net.index()] = v;
         }
@@ -380,7 +399,6 @@ impl Netlist {
             let b = values[g.inputs[1].index()];
             values[g.output.index()] = g.kind.eval(a, b);
         }
-        values
     }
 
     /// Builds a primary-input assignment from named buses.
@@ -447,6 +465,81 @@ impl Netlist {
             .map(|&k| (k, self.gates.iter().filter(|g| g.kind == k).count()))
             .filter(|&(_, c)| c > 0)
             .collect()
+    }
+}
+
+/// Fanout adjacency of a netlist in compressed-sparse-row (CSR) layout.
+///
+/// `targets[offsets[n] .. offsets[n + 1]]` are the gates reading net `n`.
+/// Compared to `Vec<Vec<GateId>>` this is two contiguous allocations total,
+/// cache-friendly to traverse, and cheap to share: build it once per
+/// [`Netlist`] and hand `&FanoutCsr` to every consumer (event simulator,
+/// delay model, timing analysis) instead of re-deriving the adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutCsr {
+    offsets: Vec<u32>,
+    targets: Vec<GateId>,
+}
+
+impl FanoutCsr {
+    /// Builds the CSR adjacency for `netlist`.
+    pub fn build(netlist: &Netlist) -> Self {
+        let nets = netlist.net_count();
+        // Counting pass: offsets[n + 1] accumulates net n's reader count.
+        let mut offsets = vec![0u32; nets + 1];
+        for g in &netlist.gates {
+            for n in g.input_nets() {
+                offsets[n.index() + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        // Filling pass, using a per-net write cursor.
+        let mut cursor: Vec<u32> = offsets[..nets].to_vec();
+        let mut targets = vec![GateId(0); offsets[nets] as usize];
+        for (i, g) in netlist.gates.iter().enumerate() {
+            for n in g.input_nets() {
+                let slot = &mut cursor[n.index()];
+                targets[*slot as usize] = GateId(i as u32);
+                *slot += 1;
+            }
+        }
+        FanoutCsr { offsets, targets }
+    }
+
+    /// Number of nets this adjacency covers.
+    pub fn net_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The gates reading `net`, in gate-id order.
+    pub fn readers(&self, net: NetId) -> &[GateId] {
+        self.readers_at(net.index())
+    }
+
+    /// [`FanoutCsr::readers`] by raw net index, for hot loops that already
+    /// hold the index.
+    pub fn readers_at(&self, net_index: usize) -> &[GateId] {
+        let lo = self.offsets[net_index] as usize;
+        let hi = self.offsets[net_index + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The CSR edge range of `net`: `targets[range]` (and any parallel
+    /// per-edge array laid out in the same order) holds its readers.
+    pub fn range_at(&self, net_index: usize) -> core::ops::Range<usize> {
+        self.offsets[net_index] as usize..self.offsets[net_index + 1] as usize
+    }
+
+    /// Fanout count of `net` (the load-model input).
+    pub fn count(&self, net: NetId) -> u32 {
+        self.offsets[net.index() + 1] - self.offsets[net.index()]
+    }
+
+    /// Total number of (net, reader) edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
     }
 }
 
@@ -577,5 +670,40 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.input("a");
         nl.gate(GateKind::And2, &[a]);
+    }
+
+    #[test]
+    fn fanout_csr_matches_nested_fanouts() {
+        let mut nl = Netlist::new();
+        crate::gen::ripple_carry_adder(&mut nl, 8, "alu");
+        let nested = nl.fanouts();
+        let csr = nl.fanout_csr();
+        assert_eq!(csr.net_count(), nl.net_count());
+        assert_eq!(csr.edge_count(), nested.iter().map(Vec::len).sum::<usize>());
+        for (i, readers) in nested.iter().enumerate() {
+            let net = NetId(i as u32);
+            assert_eq!(csr.readers(net), readers.as_slice(), "net {net}");
+            assert_eq!(csr.count(net) as usize, readers.len());
+        }
+        let counts = nl.fanout_counts();
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(csr.count(NetId(i as u32)), c);
+        }
+    }
+
+    #[test]
+    fn evaluate_into_matches_evaluate_and_reuses_buffer() {
+        let mut nl = Netlist::new();
+        let p = crate::gen::ripple_carry_adder(&mut nl, 8, "alu");
+        let inputs = nl.input_vector(&[(&p.a, 0xA7), (&p.b, 0x15)]);
+        let fresh = nl.evaluate(&inputs);
+        let mut buf = Vec::new();
+        nl.evaluate_into(&inputs, &mut buf);
+        assert_eq!(buf, fresh);
+        // A second call must not need to grow the buffer.
+        let cap = buf.capacity();
+        nl.evaluate_into(&inputs, &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(Netlist::word_of(&buf, &p.sum), (0xA7 + 0x15) & 0xFF);
     }
 }

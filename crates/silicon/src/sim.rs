@@ -9,37 +9,379 @@
 //!
 //! The simulator is deliberately single-threaded and deterministic — the
 //! same netlist, delays and stimulus always yield the same event sequence.
+//!
+//! # Reuse and allocation behaviour
+//!
+//! [`EventSimulator`] is built to be constructed once and queried many
+//! times: the fanout adjacency is a shared CSR (see
+//! [`FanoutCsr`](crate::netlist::FanoutCsr)) rather than a per-simulator
+//! `Vec<Vec<GateId>>`, and the per-run state (net values, settling times,
+//! transition counts, the event heap) lives in persistent scratch buffers.
+//! [`EventSimulator::run_transition_in_place`] therefore performs **zero
+//! heap allocation at steady state** — after the first run has sized the
+//! event heap, subsequent runs only write into existing buffers (pinned by
+//! `tests/zero_alloc.rs` with a counting allocator). Settling times use a
+//! NaN sentinel internally instead of `Vec<Option<f64>>`; the allocating
+//! [`EventSimulator::run_transition`] compatibility path copies the state
+//! out into a [`SimResult`].
 
-use crate::netlist::{GateId, NetId, Netlist};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::netlist::{FanoutCsr, NetId, Netlist};
+use std::borrow::Cow;
 
-/// One pending output change.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time_ps: f64,
-    seq: u64,
-    net: NetId,
-    value: bool,
-}
+/// One pending output change, packed into a single sortable word.
+///
+/// Layout, most significant first: `time_ps.to_bits()` (64 bits, order
+/// preserving because simulation times are non-negative finite floats),
+/// the push sequence number (32 bits, breaking exact-time ties
+/// deterministically in push order), the net id (31 bits) and the new
+/// value (1 bit). Comparing the packed word therefore reproduces exactly
+/// the `(time, seq)` ordering the simulator has always used, at the cost
+/// of one integer compare instead of a float/struct comparison chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event(u128);
 
-impl Eq for Event {}
+impl Event {
+    fn pack(time_ps: f64, seq: u32, net_index: usize, value: bool) -> Self {
+        debug_assert!(time_ps >= 0.0, "event times are non-negative");
+        Event(
+            (u128::from(time_ps.to_bits()) << 64)
+                | (u128::from(seq) << 32)
+                | ((net_index as u128) << 1)
+                | u128::from(value),
+        )
+    }
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest event first.
-        // Ties break on sequence number for determinism.
-        other
-            .time_ps
-            .partial_cmp(&self.time_ps)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
+    fn time_ps(self) -> f64 {
+        f64::from_bits((self.0 >> 64) as u64)
+    }
+
+    fn net_index(self) -> usize {
+        (self.0 as u32 >> 1) as usize
+    }
+
+    fn value(self) -> bool {
+        self.0 & 1 == 1
     }
 }
 
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// A calendar-wheel event queue exploiting the transport-delay invariant
+/// that every scheduled event lies at least one **minimum** gate delay
+/// after the event being processed.
+///
+/// Pushes scatter events into a ring of time slots `0.9 * min_delay`
+/// wide (`slot = floor(time * inv)`, `inv = 1 / (0.9 * min_delay)`).
+/// Because a push made while draining slot `s` has
+/// `time >= t_pop + min_delay >= slot_start + width / 0.9`, it always
+/// lands at least one slot ahead of the one being drained — the margin is
+/// a tenth of a slot, orders of magnitude above the f64 rounding slack on
+/// the `time * inv` products — so a slot can
+/// be sorted once, when the drain reaches it, and never touched again:
+/// each event is bucketed exactly once at push and sorted exactly once at
+/// refill. Pops then reduce to an index increment over the sorted batch.
+/// Within a slot, events are ordered by the packed `(time, seq)` word via
+/// a counting-sort scatter over time-linear sub-buckets plus one
+/// insertion pass that only pays for the rare within-bucket inversions —
+/// a comparison sort here would cost thousands of unpredictable branches
+/// per simulated challenge, and a binary heap's per-op bookkeeping
+/// measurably dominated the whole simulation loop.
+///
+/// The ring length is sized from the delay spread (`max/min`) so that no
+/// two occupied absolute slots ever alias one ring index. Degenerate
+/// delay tables (`min_delay <= 0`, or a spread too wide to ring-buffer)
+/// fall back to a flat pool that is partitioned against the exact
+/// `t_min + min_delay` horizon and comparison-sorted per refill — the
+/// same correctness argument, minus the speed.
+///
+/// `clear` keeps every tier's backing capacity, so a reused queue
+/// allocates nothing at steady state.
+#[derive(Debug)]
+struct EventQueue {
+    /// Flat slot arena (ring length x stride, both powers of two): slot
+    /// `i`'s events live at `arena[i * stride ..][..lens[i]]`. Empty in
+    /// fallback mode. A flat arena keeps every push one indexed store —
+    /// no per-slot `Vec` header chase or capacity bookkeeping — and the
+    /// whole `lens` table hot in one or two cache lines.
+    arena: Vec<Event>,
+    /// Occupancy of each ring slot.
+    lens: Vec<u32>,
+    /// Events per arena slot; doubled (rare, amortised) if any slot fills.
+    stride: usize,
+    mask: u64,
+    /// Absolute slot index where the next refill starts scanning. Every
+    /// occupied slot is at or past it.
+    next_slot: u64,
+    /// Events currently sitting in `slots`.
+    in_slots: usize,
+    /// The slot being drained, sorted ascending, consumed by index.
+    batch: Vec<Event>,
+    batch_idx: usize,
+    /// Sub-bucket index per slot entry, recorded during the count pass.
+    buckets: Vec<u8>,
+    /// Slots per picosecond (`1 / (SLOT_FRACTION * min_delay)`); `0.0` in
+    /// fallback mode.
+    inv: f64,
+    /// Smallest per-gate delay; the refill horizon width.
+    min_delay_ps: f64,
+    /// Fallback pool (degenerate delay tables only), unsorted.
+    far: Vec<Event>,
+    /// Earliest event time in `far` (`+inf` when empty).
+    far_min_ps: f64,
+}
+
+/// Slot width as a fraction of the minimum gate delay. Must be < 1 with
+/// real margin: a push lands `>= min_delay = width / SLOT_FRACTION` past
+/// the pop that scheduled it, i.e. always in a strictly later slot.
+const SLOT_FRACTION: f64 = 0.9;
+/// Sub-buckets per slot for the refill's counting-sort scatter.
+const SUB_BUCKETS: usize = 32;
+/// Ring lengths past this fall back to the flat-pool path; a spread this
+/// wide only arises from degenerate delay tables, and the fallback stays
+/// correct at any spread.
+const MAX_RING: usize = 1 << 16;
+/// Initial arena stride (events per slot before the first doubling).
+const INITIAL_STRIDE: usize = 128;
+
+impl EventQueue {
+    fn new(min_delay_ps: f64, max_delay_ps: f64) -> Self {
+        let mut q = EventQueue {
+            arena: Vec::new(),
+            lens: Vec::new(),
+            stride: 0,
+            mask: 0,
+            next_slot: 0,
+            in_slots: 0,
+            batch: Vec::new(),
+            batch_idx: 0,
+            buckets: Vec::new(),
+            inv: 0.0,
+            min_delay_ps,
+            far: Vec::new(),
+            far_min_ps: f64::INFINITY,
+        };
+        q.set_delay_range(min_delay_ps, max_delay_ps);
+        q
+    }
+
+    /// Re-derives the slot geometry for a new delay table. The queue must
+    /// be empty (events bucketed under the old geometry would be lost).
+    fn set_delay_range(&mut self, min_delay_ps: f64, max_delay_ps: f64) {
+        debug_assert!(
+            self.in_slots == 0 && self.batch_idx == self.batch.len() && self.far.is_empty(),
+            "cannot rescale a non-empty event queue"
+        );
+        self.min_delay_ps = min_delay_ps;
+        let ring = if min_delay_ps > 0.0 && max_delay_ps.is_finite() {
+            // Widest push reach in slots, plus slack for rounding and the
+            // slot currently being drained.
+            let span = (max_delay_ps / (SLOT_FRACTION * min_delay_ps)).ceil() as usize + 4;
+            span.next_power_of_two()
+        } else {
+            usize::MAX // degenerate: force the fallback path
+        };
+        if ring <= MAX_RING {
+            self.inv = 1.0 / (SLOT_FRACTION * min_delay_ps);
+            self.mask = ring as u64 - 1;
+            self.stride = self.stride.max(INITIAL_STRIDE); // keep the high-water stride
+            if self.lens.len() != ring || self.arena.len() != ring * self.stride {
+                self.lens.clear();
+                self.lens.resize(ring, 0);
+                self.arena.clear();
+                self.arena.resize(ring * self.stride, Event(0));
+            }
+        } else {
+            self.inv = 0.0;
+            self.mask = 0;
+            self.arena.clear();
+            self.lens.clear();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.batch.clear();
+        self.batch_idx = 0;
+        self.lens.fill(0); // arena contents are dead once the lens are zero
+        self.in_slots = 0;
+        self.next_slot = 0;
+        self.far.clear();
+        self.far_min_ps = f64::INFINITY;
+    }
+
+    /// Appends `ev` iff `wanted`. The suppression predicate is close to a
+    /// coin flip in real runs, so a plain `if wanted { push }` would
+    /// mispredict constantly; instead the event is written into the target
+    /// slot's spare arena capacity unconditionally and the slot length
+    /// advances by 0 or 1.
+    #[inline]
+    fn push_if(&mut self, wanted: bool, ev: Event) {
+        if self.inv > 0.0 {
+            let s = (ev.time_ps() * self.inv) as u64;
+            let idx = (s & self.mask) as usize;
+            // SAFETY: `idx < lens.len()` by the mask; after the grow check
+            // `idx * stride + len < arena.len()`.
+            unsafe {
+                let len = *self.lens.get_unchecked(idx) as usize;
+                if len == self.stride {
+                    self.grow_stride();
+                    return self.push_if(wanted, ev);
+                }
+                *self.arena.get_unchecked_mut(idx * self.stride + len) = ev;
+                *self.lens.get_unchecked_mut(idx) = (len + usize::from(wanted)) as u32;
+            }
+            self.in_slots += usize::from(wanted);
+        } else if wanted {
+            self.far_min_ps = self.far_min_ps.min(ev.time_ps());
+            self.far.push(ev);
+        }
+    }
+
+    /// Doubles the arena stride, repositioning every slot's events. Rare
+    /// and amortised: the stride never shrinks, so a workload triggers
+    /// this at most a handful of times, after which pushes never allocate
+    /// again (the zero-allocation steady-state contract).
+    #[cold]
+    #[inline(never)]
+    fn grow_stride(&mut self) {
+        let ring = self.lens.len();
+        let new_stride = self.stride * 2;
+        let mut arena = vec![Event(0); ring * new_stride];
+        for i in 0..ring {
+            let n = self.lens[i] as usize;
+            arena[i * new_stride..i * new_stride + n]
+                .copy_from_slice(&self.arena[i * self.stride..i * self.stride + n]);
+        }
+        self.arena = arena;
+        self.stride = new_stride;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        if self.batch_idx == self.batch.len() && !self.refill() {
+            return None;
+        }
+        // SAFETY: `batch_idx < batch.len()` after the check/refill above.
+        let ev = unsafe { *self.batch.get_unchecked(self.batch_idx) };
+        self.batch_idx += 1;
+        Some(ev)
+    }
+
+    /// Advances to the next occupied slot and sorts it straight out of
+    /// the arena into the batch. In fallback mode, partitions the flat
+    /// pool against the exact `t_min + min_delay` horizon instead.
+    fn refill(&mut self) -> bool {
+        if self.in_slots == 0 {
+            return self.refill_fallback();
+        }
+        let mask = self.mask;
+        let mut s = self.next_slot;
+        // Terminates: `in_slots > 0` and every occupied slot is >= s.
+        let (idx, n) = loop {
+            let idx = (s & mask) as usize;
+            let n = self.lens[idx] as usize;
+            if n > 0 {
+                break (idx, n);
+            }
+            s += 1;
+        };
+        self.lens[idx] = 0;
+        self.in_slots -= n;
+        // Every future push lands at or past s + 1, so this slot is final.
+        self.next_slot = s + 1;
+        self.sort_slot(idx * self.stride, n, s);
+        true
+    }
+
+    /// Orders slot `s` (the `n` arena entries at `base`) by `(time, seq)`
+    /// into `batch`: a counting sort over time-linear sub-buckets (the
+    /// bucket index is a clamped monotone function of time, so the scatter
+    /// is branch-free), then one insertion pass that only moves
+    /// within-bucket inversions.
+    fn sort_slot(&mut self, base: usize, n: usize, s: u64) {
+        self.batch.clear();
+        self.batch_idx = 0;
+        self.batch.reserve(n);
+        if n == 1 {
+            self.batch.push(self.arena[base]);
+            return;
+        }
+        let t0 = s as f64 / self.inv;
+        let sub_inv = self.inv * SUB_BUCKETS as f64;
+        let mut counts = [0u32; SUB_BUCKETS + 1];
+        self.buckets.clear();
+        self.buckets.reserve(n);
+        // SAFETY: `batch` and `buckets` hold >= n spare slots (reserved
+        // above) and `arena[base..base + n]` is the slot being claimed;
+        // the counting-sort scatter writes each of the `n` batch slots
+        // exactly once (counts sum to n), and the bucket index is clamped
+        // to SUB_BUCKETS - 1.
+        unsafe {
+            self.batch.set_len(n);
+            self.buckets.set_len(n);
+            let arena = self.arena.as_ptr().add(base);
+            let batch = self.batch.as_mut_ptr();
+            let buckets = self.buckets.as_mut_ptr();
+            for i in 0..n {
+                let t = (*arena.add(i)).time_ps();
+                // `t - t0` can round a hair negative for the slot's
+                // earliest events; clamp both ends.
+                let b = (((t - t0) * sub_inv).max(0.0) as usize).min(SUB_BUCKETS - 1);
+                *buckets.add(i) = b as u8;
+                counts[b + 1] += 1;
+            }
+            for b in 1..=SUB_BUCKETS {
+                counts[b] += counts[b - 1];
+            }
+            for i in 0..n {
+                let at = &mut counts[usize::from(*buckets.add(i))];
+                *batch.add(*at as usize) = *arena.add(i);
+                *at += 1;
+            }
+        }
+        insertion_pass(&mut self.batch);
+    }
+
+    /// Fallback refill: split the events within one `min_delay` of the
+    /// earliest pending time out of the flat pool and comparison-sort
+    /// them. With `min_delay <= 0` the horizon collapses to `t_min` and
+    /// each batch holds exactly the earliest-time events, which is still
+    /// correct: same-time pushes carry higher sequence numbers and pop in
+    /// a later batch, preserving `(time, seq)` order.
+    fn refill_fallback(&mut self) -> bool {
+        if self.far.is_empty() {
+            return false;
+        }
+        let horizon = self.far_min_ps + self.min_delay_ps.max(0.0);
+        self.batch.clear();
+        self.batch_idx = 0;
+        let mut keep = 0;
+        let mut far_min = f64::INFINITY;
+        for r in 0..self.far.len() {
+            let ev = self.far[r];
+            if ev.time_ps() <= horizon {
+                self.batch.push(ev);
+            } else {
+                far_min = far_min.min(ev.time_ps());
+                self.far[keep] = ev;
+                keep += 1;
+            }
+        }
+        self.far.truncate(keep);
+        self.far_min_ps = far_min;
+        self.batch.sort_unstable();
+        true
+    }
+}
+
+/// One insertion-sort pass: O(n + inversions), so nearly free on the
+/// nearly sorted output of the sub-bucket scatter.
+fn insertion_pass(batch: &mut [Event]) {
+    for i in 1..batch.len() {
+        let ev = batch[i];
+        let mut j = i;
+        while j > 0 && batch[j - 1] > ev {
+            batch[j] = batch[j - 1];
+            j -= 1;
+        }
+        batch[j] = ev;
     }
 }
 
@@ -75,24 +417,161 @@ impl SimResult {
     }
 }
 
+/// One fanout edge, denormalised for the event loop: the reader gate's
+/// input/output net indices, its truth table (bit `(a << 1) | b`) and its
+/// transport delay, stored contiguously in CSR order. Net indices are
+/// deliberately `u16` (checked at construction) to keep the record at
+/// 16 bytes — the whole edge array stays cache-resident.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    in0: u16,
+    in1: u16,
+    out: u16,
+    tt: u16,
+    delay_ps: f64,
+}
+
 /// An event-driven transport-delay simulator bound to one netlist and one
-/// per-gate delay assignment.
+/// per-gate delay assignment, with persistent per-run scratch state.
 #[derive(Debug)]
 pub struct EventSimulator<'a> {
     netlist: &'a Netlist,
-    delays_ps: &'a [f64],
-    fanouts: Vec<Vec<GateId>>,
+    delays_ps: Vec<f64>,
+    fanouts: Cow<'a, FanoutCsr>,
+    // One record per fanout edge, laid out in the shared CSR's order so a
+    // net's propagation reads contiguous memory: the reader gate's input and
+    // output net indices, its 4-bit truth table and its delay, denormalised
+    // from the gate table. Delays are per-chip, so this array is per
+    // simulator even though the CSR itself is shared.
+    //
+    // Each net's edge run is padded with no-op edges (truth table 0, output
+    // = the trash net) to an even length, so the event loop always consumes
+    // edges as straight-line pairs — fanout counts of 1 would otherwise make
+    // the inner loop's trip count unpredictable. `edge_starts[net]` indexes
+    // the padded layout.
+    edges: Vec<Edge>,
+    edge_starts: Vec<u32>,
+    // --- persistent scratch, overwritten by each run ---
+    values: Vec<bool>,
+    // Value each net will hold once all its in-flight events have popped.
+    // Every net has exactly one driver gate with a fixed delay and pops are
+    // time-ordered, so per-net event times are monotone: a newly computed
+    // output equal to this value is guaranteed to be dropped at pop time,
+    // and can be suppressed at push time instead.
+    sched: Vec<bool>,
+    settle_ps: Vec<f64>, // NaN = never toggled
+    transitions: Vec<u32>,
+    heap: EventQueue,
+    events: u64,
 }
 
 impl<'a> EventSimulator<'a> {
-    /// Creates a simulator.
+    /// Creates a simulator, deriving its own fanout adjacency.
+    ///
+    /// When several simulators share one netlist (batch evaluation, one
+    /// engine per worker thread), build the adjacency once with
+    /// [`Netlist::fanout_csr`] and use [`EventSimulator::with_fanouts`].
     ///
     /// # Panics
     ///
     /// Panics if `delays_ps.len()` differs from the netlist's gate count.
-    pub fn new(netlist: &'a Netlist, delays_ps: &'a [f64]) -> Self {
+    pub fn new(netlist: &'a Netlist, delays_ps: &[f64]) -> Self {
+        let csr = netlist.fanout_csr();
+        Self::build(netlist, delays_ps, Cow::Owned(csr))
+    }
+
+    /// Creates a simulator over a shared, precomputed fanout adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays_ps.len()` differs from the gate count or `fanouts`
+    /// was built for a different netlist (net counts disagree).
+    pub fn with_fanouts(netlist: &'a Netlist, delays_ps: &[f64], fanouts: &'a FanoutCsr) -> Self {
+        Self::build(netlist, delays_ps, Cow::Borrowed(fanouts))
+    }
+
+    fn build(netlist: &'a Netlist, delays_ps: &[f64], fanouts: Cow<'a, FanoutCsr>) -> Self {
         assert_eq!(delays_ps.len(), netlist.gate_count(), "one delay per gate required");
-        EventSimulator { netlist, delays_ps, fanouts: netlist.fanouts() }
+        assert_eq!(fanouts.net_count(), netlist.net_count(), "fanout CSR does not match netlist");
+        let nets = netlist.net_count();
+        // `u16::MAX` itself is reserved for the trash net the padding edges
+        // write to.
+        assert!(nets < usize::from(u16::MAX), "EventSimulator supports at most 65534 nets");
+        let mut edges = Vec::new();
+        let mut edge_starts = Vec::with_capacity(nets + 1);
+        for net_index in 0..nets {
+            edge_starts.push(edges.len() as u32);
+            for &gid in fanouts.readers_at(net_index) {
+                let g = netlist.gate_at(gid);
+                let mut tt = 0u16;
+                for (slot, (a, b)) in [(false, false), (false, true), (true, false), (true, true)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    tt |= u16::from(g.kind.eval(a, b)) << slot;
+                }
+                edges.push(Edge {
+                    in0: g.inputs[0].index() as u16,
+                    in1: g.inputs[1].index() as u16,
+                    out: g.output.index() as u16,
+                    tt,
+                    delay_ps: delays_ps[gid.index()],
+                });
+            }
+            if fanouts.readers_at(net_index).len() % 2 == 1 {
+                // No-op pad: truth table 0 always computes `false`, the trash
+                // net's scheduled value is pinned `false`, so the pair's
+                // second half reduces to a parked push.
+                edges.push(Edge { in0: 0, in1: 0, out: nets as u16, tt: 0, delay_ps: 0.0 });
+            }
+        }
+        edge_starts.push(edges.len() as u32);
+        EventSimulator {
+            netlist,
+            delays_ps: delays_ps.to_vec(),
+            fanouts,
+            edges,
+            edge_starts,
+            values: vec![false; nets],
+            sched: vec![false; nets + 1],
+            settle_ps: vec![f64::NAN; nets],
+            transitions: vec![0u32; nets],
+            heap: EventQueue::new(
+                delays_ps.iter().cloned().fold(f64::INFINITY, f64::min),
+                delays_ps.iter().cloned().fold(0.0f64, f64::max),
+            ),
+            events: 0,
+        }
+    }
+
+    /// The per-gate delays this simulator runs with.
+    pub fn delays_ps(&self) -> &[f64] {
+        &self.delays_ps
+    }
+
+    /// Replaces the per-gate delay assignment without touching the scratch
+    /// buffers (e.g. to re-use one engine across enrolled delay tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays_ps.len()` differs from the gate count.
+    pub fn set_delays_ps(&mut self, delays_ps: &[f64]) {
+        assert_eq!(delays_ps.len(), self.netlist.gate_count(), "one delay per gate required");
+        self.delays_ps.clear();
+        self.delays_ps.extend_from_slice(delays_ps);
+        // Refresh the denormalised per-edge delay copies (same CSR walk as
+        // construction, so the padded edge order is unchanged).
+        for net_index in 0..self.netlist.net_count() {
+            let k = self.edge_starts[net_index] as usize;
+            for (off, &gid) in self.fanouts.readers_at(net_index).iter().enumerate() {
+                self.edges[k + off].delay_ps = delays_ps[gid.index()];
+            }
+        }
+        self.heap.clear();
+        self.heap.set_delay_range(
+            delays_ps.iter().cloned().fold(f64::INFINITY, f64::min),
+            delays_ps.iter().cloned().fold(0.0f64, f64::max),
+        );
     }
 
     /// Simulates the transition from the steady state under `from` to the
@@ -100,57 +579,214 @@ impl<'a> EventSimulator<'a> {
     /// (the ALU PUF's synchronisation logic guarantees a simultaneous
     /// launch).
     ///
+    /// This is the compatibility path: it runs
+    /// [`EventSimulator::run_transition_in_place`] and copies the state out
+    /// into an owned [`SimResult`]. Hot paths should use the in-place run
+    /// plus the accessor methods instead.
+    ///
     /// # Panics
     ///
     /// Panics if the stimulus vectors do not match the number of primary
     /// inputs.
     pub fn run_transition(&mut self, from: &[bool], to: &[bool]) -> SimResult {
+        self.run_transition_in_place(from, to);
+        self.snapshot()
+    }
+
+    /// Simulates a transition entirely inside the persistent scratch
+    /// buffers; read the outcome through [`EventSimulator::value`],
+    /// [`EventSimulator::settle_or_zero`], [`EventSimulator::word`] and
+    /// friends. Performs no heap allocation once the event heap has grown
+    /// to the workload's high-water mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus vectors do not match the number of primary
+    /// inputs.
+    pub fn run_transition_in_place(&mut self, from: &[bool], to: &[bool]) {
         let pis = self.netlist.primary_inputs();
         assert_eq!(from.len(), pis.len(), "`from` length mismatch");
         assert_eq!(to.len(), pis.len(), "`to` length mismatch");
 
         // Steady state before the launch edge.
-        let mut values = self.netlist.evaluate(from);
-        let mut settle: Vec<Option<f64>> = vec![None; self.netlist.net_count()];
-        let mut transitions = vec![0u32; self.netlist.net_count()];
+        self.netlist.evaluate_into(from, &mut self.values);
+        self.sched.clear();
+        self.sched.extend_from_slice(&self.values);
+        // Trash slot for padding edges; pinned `false` so they never push.
+        self.sched.push(false);
+        self.settle_ps.iter_mut().for_each(|s| *s = f64::NAN);
+        self.transitions.iter_mut().for_each(|t| *t = 0);
+        self.heap.clear();
 
-        let mut heap = BinaryHeap::new();
-        let mut seq = 0u64;
-        for (i, &net) in pis.iter().enumerate() {
-            if from[i] != to[i] {
-                heap.push(Event { time_ps: 0.0, seq, net, value: to[i] });
-                seq += 1;
-            }
+        // Destructured field borrows keep the hot loop free of `&mut self`
+        // indirection (and of the Cow discriminant check per lookup).
+        let edges = &self.edges[..];
+        let edge_starts = &self.edge_starts[..];
+        let values = &mut self.values[..];
+        let sched = &mut self.sched[..];
+        let settle_ps = &mut self.settle_ps[..];
+        let transitions = &mut self.transitions[..];
+        let heap = &mut self.heap;
+
+        // The t = 0 input wave is applied directly instead of being queued:
+        // all launch events share time zero and were pushed before any gate
+        // event, so the queue would pop them first, in this exact order, and
+        // every gate event it schedules carries a strictly later (time, seq)
+        // key. Skipping the queue for the wave removes the worst-case bucket
+        // pile-up (every changed input in slot 0).
+        let mut seq = 0u32;
+        let mut processed = 0u64;
+
+        // Every index below is in bounds by construction: the gate tables,
+        // the CSR and the per-net scratch were all sized from the same
+        // netlist, and every `gid`/`net_index` they yield was produced from
+        // it. The hot loop therefore uses unchecked indexing; the invariants
+        // are re-checked here in debug builds.
+        debug_assert!(edges.iter().all(|e| (e.in0 as usize) < values.len()
+            && (e.in1 as usize) < values.len()
+            && (e.out as usize) <= values.len()));
+        debug_assert_eq!(edge_starts.len(), values.len() + 1);
+        debug_assert_eq!(edge_starts.last().map(|&e| e as usize), Some(edges.len()));
+        debug_assert_eq!(values.len() + 1, sched.len());
+        debug_assert_eq!(values.len(), settle_ps.len());
+        debug_assert_eq!(values.len(), transitions.len());
+
+        /// Recomputes one fanout edge's gate and schedules its output at
+        /// `$base_ps + delay`. Transport delay: an event that would only
+        /// re-assert the net's already-scheduled value is provably dropped
+        /// at pop time (see `sched`), so it is suppressed here and never
+        /// enters the heap (`push_if` parks it branchlessly).
+        macro_rules! eval_edge {
+            ($k:expr, $base_ps:expr) => {
+                // SAFETY: `$k` lies inside this net's padded edge run and
+                // edge net indices are in bounds (invariant block above).
+                unsafe {
+                    let e = edges.get_unchecked($k);
+                    let a = *values.get_unchecked(e.in0 as usize);
+                    let b = *values.get_unchecked(e.in1 as usize);
+                    let select = (u16::from(a) << 1) | u16::from(b);
+                    let out = (e.tt >> select) & 1 == 1;
+                    let out_net = e.out as usize;
+                    // `sched[out_net] == out` already when unchanged, so the
+                    // store is unconditional and the push branchless.
+                    let changed = *sched.get_unchecked(out_net) != out;
+                    *sched.get_unchecked_mut(out_net) = out;
+                    heap.push_if(changed, Event::pack($base_ps + e.delay_ps, seq, out_net, out));
+                    seq += u32::from(changed);
+                }
+            };
         }
 
-        let mut processed = 0u64;
+        /// Walks `$net_index`'s padded edge run two edges at a time. The
+        /// padding guarantees an even run length, so each iteration is a
+        /// straight-line pair — for this workload's fanout counts the loop
+        /// body executes at most once per event, keeping the trip-count
+        /// branch perfectly predictable.
+        macro_rules! propagate {
+            ($net_index:expr, $base_ps:expr) => {
+                // SAFETY: `edge_starts` has `nets + 1` entries (invariant
+                // block above).
+                let mut k = unsafe { *edge_starts.get_unchecked($net_index) } as usize;
+                let end = unsafe { *edge_starts.get_unchecked($net_index + 1) } as usize;
+                while k < end {
+                    eval_edge!(k, $base_ps);
+                    eval_edge!(k + 1, $base_ps);
+                    k += 2;
+                }
+            };
+        }
+
+        for (i, &net) in pis.iter().enumerate() {
+            if from[i] == to[i] {
+                continue;
+            }
+            processed += 1;
+            let net_index = net.index();
+            let value = to[i];
+            values[net_index] = value;
+            sched[net_index] = value;
+            settle_ps[net_index] = 0.0;
+            transitions[net_index] += 1;
+            propagate!(net_index, 0.0);
+        }
+
         while let Some(ev) = heap.pop() {
             processed += 1;
-            if values[ev.net.index()] == ev.value {
-                continue; // glitch cancelled in flight
+            let (net_index, value, time_ps) = (ev.net_index(), ev.value(), ev.time_ps());
+            // SAFETY: `net_index` was packed from a gate output of this
+            // netlist (invariant block above).
+            unsafe {
+                if *values.get_unchecked(net_index) == value {
+                    continue; // glitch cancelled in flight
+                }
+                *values.get_unchecked_mut(net_index) = value;
+                *settle_ps.get_unchecked_mut(net_index) = time_ps;
+                *transitions.get_unchecked_mut(net_index) += 1;
             }
-            values[ev.net.index()] = ev.value;
-            settle[ev.net.index()] = Some(ev.time_ps);
-            transitions[ev.net.index()] += 1;
-            for &gid in &self.fanouts[ev.net.index()] {
-                let gate = self.netlist.gate_at(gid);
-                let a = values[gate.inputs[0].index()];
-                let b = values[gate.inputs[1].index()];
-                let out = gate.kind.eval(a, b);
-                // Transport delay: schedule the recomputed output; events
-                // arriving with the already-current value are dropped at pop
-                // time, which models glitch filtering at zero width.
-                heap.push(Event {
-                    time_ps: ev.time_ps + self.delays_ps[gid.index()],
-                    seq,
-                    net: gate.output,
-                    value: out,
-                });
-                seq += 1;
-            }
+            propagate!(net_index, time_ps);
         }
+        self.events = processed;
+    }
 
-        SimResult { values, settle_ps: settle, transitions, events: processed }
+    /// Final logic value of a net after the last run.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Settling time of a net after the last run, or `None` if the net never
+    /// toggled.
+    pub fn settle_ps_of(&self, net: NetId) -> Option<f64> {
+        let t = self.settle_ps[net.index()];
+        if t.is_nan() {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Settling time of a net, or `0.0` if the net never toggled.
+    pub fn settle_or_zero(&self, net: NetId) -> f64 {
+        let t = self.settle_ps[net.index()];
+        if t.is_nan() {
+            0.0
+        } else {
+            t
+        }
+    }
+
+    /// Number of transitions of a net during the last run.
+    pub fn transitions_of(&self, net: NetId) -> u32 {
+        self.transitions[net.index()]
+    }
+
+    /// Events processed by the last run.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Latest settling time over all nets (the last transition's critical
+    /// delay).
+    pub fn max_settle_ps(&self) -> f64 {
+        self.settle_ps.iter().filter(|t| !t.is_nan()).fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Extracts a word from the final values, treating `bus[i]` as bit `i`.
+    pub fn word(&self, bus: &[NetId]) -> u64 {
+        Netlist::word_of(&self.values, bus)
+    }
+
+    /// Copies the last run's state out into an owned [`SimResult`].
+    pub fn snapshot(&self) -> SimResult {
+        SimResult {
+            values: self.values.clone(),
+            settle_ps: self
+                .settle_ps
+                .iter()
+                .map(|&t| if t.is_nan() { None } else { Some(t) })
+                .collect(),
+            transitions: self.transitions.clone(),
+            events: self.events,
+        }
     }
 }
 
@@ -175,6 +811,7 @@ mod tests {
             let to = nl.input_vector(&[(&p.a, a), (&p.b, b)]);
             let r = sim.run_transition(&from, &to);
             assert_eq!(r.word(&p.sum), (a + b) & 0xFF, "a={a} b={b}");
+            assert_eq!(sim.word(&p.sum), (a + b) & 0xFF, "in-place accessor, a={a} b={b}");
         }
     }
 
@@ -247,5 +884,64 @@ mod tests {
         let r1 = EventSimulator::new(&nl, &d).run_transition(&from, &to);
         let r2 = EventSimulator::new(&nl, &d).run_transition(&from, &to);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn reused_engine_matches_fresh_engine() {
+        // One persistent engine stepped across many transitions must agree
+        // bit-for-bit (values, settling times, transition counts, event
+        // totals) with a fresh engine per transition.
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 16, "alu");
+        let d: Vec<f64> = (0..nl.gate_count()).map(|i| 9.0 + (i % 5) as f64).collect();
+        let csr = nl.fanout_csr();
+        let mut reused = EventSimulator::with_fanouts(&nl, &d, &csr);
+        for k in 0..12u64 {
+            let a = k.wrapping_mul(0x9E37).wrapping_add(3) & 0xFFFF;
+            let b = k.wrapping_mul(0x85EB).wrapping_add(7) & 0xFFFF;
+            let from = nl.input_vector(&[(&p.a, !a & 0xFFFF), (&p.b, !b & 0xFFFF)]);
+            let to = nl.input_vector(&[(&p.a, a), (&p.b, b)]);
+            let fresh = EventSimulator::new(&nl, &d).run_transition(&from, &to);
+            reused.run_transition_in_place(&from, &to);
+            assert_eq!(reused.snapshot(), fresh, "transition {k}");
+            assert_eq!(reused.word(&p.sum), (a + b) & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn in_place_accessors_match_snapshot() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 8, "alu");
+        let d = unit_delays(&nl);
+        let mut sim = EventSimulator::new(&nl, &d);
+        let from = nl.input_vector(&[(&p.a, 0x0F), (&p.b, 0xF0)]);
+        let to = nl.input_vector(&[(&p.a, 0xF0), (&p.b, 0x0F)]);
+        sim.run_transition_in_place(&from, &to);
+        let snap = sim.snapshot();
+        assert_eq!(snap.events, sim.events());
+        assert!((snap.max_settle_ps() - sim.max_settle_ps()).abs() < 1e-12);
+        for i in 0..nl.net_count() {
+            let net = NetId(i as u32);
+            assert_eq!(snap.values[i], sim.value(net));
+            assert_eq!(snap.settle_ps[i], sim.settle_ps_of(net));
+            assert_eq!(snap.settle_or_zero(net), sim.settle_or_zero(net));
+            assert_eq!(snap.transitions[i], sim.transitions_of(net));
+        }
+    }
+
+    #[test]
+    fn set_delays_rescales_without_rebuilding() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 8, "alu");
+        let fast = vec![10.0; nl.gate_count()];
+        let slow = vec![20.0; nl.gate_count()];
+        let from = nl.input_vector(&[(&p.a, 0), (&p.b, 0)]);
+        let to = nl.input_vector(&[(&p.a, 0xFF), (&p.b, 1)]);
+        let mut sim = EventSimulator::new(&nl, &fast);
+        sim.run_transition_in_place(&from, &to);
+        let t_fast = sim.max_settle_ps();
+        sim.set_delays_ps(&slow);
+        sim.run_transition_in_place(&from, &to);
+        assert!((sim.max_settle_ps() - 2.0 * t_fast).abs() < 1e-9);
     }
 }

@@ -6,7 +6,7 @@
 //! over the outputs is `T_ALU`, the quantity the paper's overclocking-attack
 //! condition `T_ALU + T_set < T_cycle` is built on.
 
-use crate::netlist::{NetId, Netlist};
+use crate::netlist::{FanoutCsr, NetId, Netlist};
 
 /// Worst-case arrival times for every net of a netlist, in picoseconds.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +44,42 @@ impl ArrivalTimes {
     /// Worst arrival over the whole netlist (the critical-path delay).
     pub fn critical_path_ps(&self) -> f64 {
         self.arrival_ps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Per-net timing slack against `deadline_ps`: the backward
+    /// required-time pass over the shared fanout adjacency (`required[n] =
+    /// min over readers g of required[out(g)] − delay[g]`, capped at the
+    /// deadline for nets nothing reads), minus this forward pass's arrival
+    /// times.
+    ///
+    /// Slack 0 marks the critical path; negative slack means the net cannot
+    /// meet the deadline — the per-net version of the paper's overclocking
+    /// condition `T_ALU + T_set < T_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays_ps` or `fanouts` does not match `netlist`, or if
+    /// the arrival times were computed for a different netlist.
+    pub fn slacks_ps(&self, netlist: &Netlist, delays_ps: &[f64], fanouts: &FanoutCsr, deadline_ps: f64) -> Vec<f64> {
+        assert_eq!(delays_ps.len(), netlist.gate_count(), "one delay per gate required");
+        assert_eq!(fanouts.net_count(), netlist.net_count(), "fanout CSR does not match netlist");
+        assert_eq!(self.arrival_ps.len(), netlist.net_count(), "arrival times from a different netlist");
+        // Net ids are topological (a gate's output is allocated after its
+        // inputs), so a reverse id sweep sees every reader's output before
+        // the net itself; endpoint nets (no readers) keep the deadline.
+        let mut required = vec![deadline_ps; netlist.net_count()];
+        for i in (0..netlist.net_count()).rev() {
+            let net = NetId(i as u32);
+            let mut req = f64::INFINITY;
+            for &gid in fanouts.readers(net) {
+                let gate = netlist.gate_at(gid);
+                req = req.min(required[gate.output.index()] - delays_ps[gid.index()]);
+            }
+            if req.is_finite() {
+                required[i] = req.min(deadline_ps);
+            }
+        }
+        required.iter().zip(&self.arrival_ps).map(|(&r, &a)| r - a).collect()
     }
 }
 
@@ -96,6 +132,27 @@ mod tests {
         let sta = ArrivalTimes::compute(&nl, &d);
         assert!(sta.at(p.sum[7]) > sta.at(p.sum[0]));
         assert_eq!(sta.worst_of(&p.sum), sta.at(p.sum[7]));
+    }
+
+    #[test]
+    fn slacks_vanish_on_the_critical_path_only() {
+        let mut nl = Netlist::new();
+        let p = ripple_carry_adder(&mut nl, 8, "alu");
+        let d: Vec<f64> = (0..nl.gate_count()).map(|i| 10.0 + (i % 3) as f64).collect();
+        let sta = ArrivalTimes::compute(&nl, &d);
+        let csr = nl.fanout_csr();
+        let deadline = sta.critical_path_ps();
+        let slacks = sta.slacks_ps(&nl, &d, &csr, deadline);
+        // At a deadline equal to the critical path, no net is violating and
+        // at least one net (the critical path) has zero slack.
+        assert!(slacks.iter().all(|&s| s > -1e-9), "negative slack at own critical path");
+        let min = slacks.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min.abs() < 1e-9, "critical path must have zero slack, min {min}");
+        // The MSB sum output is later (tighter) than the LSB.
+        assert!(slacks[p.sum[0].index()] > slacks[p.sum[7].index()] - 1e-9);
+        // Overclocking below the critical path drives slack negative.
+        let violated = sta.slacks_ps(&nl, &d, &csr, deadline * 0.5);
+        assert!(violated.iter().any(|&s| s < 0.0));
     }
 
     #[test]

@@ -181,6 +181,22 @@ impl Chip {
     pub fn gate_delays(&self, netlist: &Netlist, env: &Environment) -> Vec<f64> {
         DelayModel::new(&self.technology).netlist_delays_ps(netlist, &self.vth, env)
     }
+
+    /// [`Chip::gate_delays`] over a shared, precomputed fanout adjacency —
+    /// the per-instance fast path (the adjacency is a property of the
+    /// design, not the chip, so it is built once and reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip or the CSR was built for a different netlist.
+    pub fn gate_delays_with(
+        &self,
+        netlist: &Netlist,
+        env: &Environment,
+        fanouts: &crate::netlist::FanoutCsr,
+    ) -> Vec<f64> {
+        DelayModel::new(&self.technology).netlist_delays_ps_with(netlist, &self.vth, env, fanouts)
+    }
 }
 
 /// Standard normal deviate via Box–Muller (avoids depending on

@@ -1,15 +1,17 @@
 //! PUF characterisation: the standard quality metrics for a chip batch.
 //!
-//! Run with `cargo run --release --example puf_characterization`.
+//! Run with `cargo run --release --example puf_characterization [threads]`.
 //!
 //! Computes the metrics a PUF datasheet would quote — uniqueness
 //! (inter-chip HD), reliability (worst-corner intra-chip HD), uniformity
 //! (response bias) and steadiness — for a small batch of simulated 32-bit
-//! ALU PUF chips, before and after the XOR obfuscation network.
+//! ALU PUF chips, before and after the XOR obfuscation network. All
+//! responses are collected through the parallel batch API; the printed
+//! numbers are identical for any thread count.
 
 use pufatt::obfuscate::{obfuscate, RESPONSES_PER_OUTPUT};
-use pufatt_alupuf::challenge::Challenge;
-use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::challenge::{Challenge, RawResponse};
+use pufatt_alupuf::device::{challenge_stream_seed, AluPufConfig, AluPufDesign, PufInstance};
 use pufatt_alupuf::stats::{BiasCounter, HdHistogram};
 use pufatt_silicon::env::Environment;
 use pufatt_silicon::variation::ChipSampler;
@@ -18,19 +20,45 @@ use rand_chacha::ChaCha8Rng;
 
 const CHIPS: usize = 5;
 const CHALLENGE_GROUPS: usize = 120; // x8 raw challenges each
+const SEED: u64 = 0xCAFE;
 
 fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("threads must be a positive integer"))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    assert!(threads > 0, "threads must be positive");
+
     let design = AluPufDesign::new(AluPufConfig::paper_32bit());
-    let mut rng = ChaCha8Rng::seed_from_u64(0xCAFE);
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
     let chips = design.fabricate_many(&ChipSampler::new(), CHIPS, &mut rng);
-    let nominal: Vec<PufInstance<'_>> = chips
+
+    // One flat challenge list; groups of RESPONSES_PER_OUTPUT consecutive
+    // challenges feed the obfuscation network.
+    let n = CHALLENGE_GROUPS * RESPONSES_PER_OUTPUT;
+    let challenges: Vec<Challenge> = (0..n).map(|_| Challenge::random(&mut rng, 32)).collect();
+
+    // Batched collection: per-chip nominal responses, a second nominal pass
+    // on chip 0 (steadiness) and a hot-corner pass on chip 0 (reliability).
+    // Each pass gets its own noise-stream family.
+    let nominal: Vec<Vec<RawResponse>> = chips
         .iter()
-        .map(|c| PufInstance::new(&design, c, Environment::nominal()))
+        .enumerate()
+        .map(|(i, c)| {
+            let inst = PufInstance::new(&design, c, Environment::nominal());
+            inst.evaluate_batch(&challenges, challenge_stream_seed(SEED, 1 + i as u64), threads)
+        })
         .collect();
-    let hot: Vec<PufInstance<'_>> = chips
-        .iter()
-        .map(|c| PufInstance::new(&design, c, Environment::with_temp(120.0)))
-        .collect();
+    let repeat = PufInstance::new(&design, &chips[0], Environment::nominal()).evaluate_batch(
+        &challenges,
+        challenge_stream_seed(SEED, 0x4000_0000),
+        threads,
+    );
+    let hot = PufInstance::new(&design, &chips[0], Environment::with_temp(120.0)).evaluate_batch(
+        &challenges,
+        challenge_stream_seed(SEED, 0x8000_0000),
+        threads,
+    );
 
     let mut inter_raw = HdHistogram::new(32);
     let mut inter_obf = HdHistogram::new(32);
@@ -38,30 +66,29 @@ fn main() {
     let mut steadiness = HdHistogram::new(32);
     let mut bias = BiasCounter::new(32);
 
-    for _ in 0..CHALLENGE_GROUPS {
-        let group: [Challenge; RESPONSES_PER_OUTPUT] = std::array::from_fn(|_| Challenge::random(&mut rng, 32));
-        let responses: Vec<[u64; RESPONSES_PER_OUTPUT]> = nominal
-            .iter()
-            .map(|inst| std::array::from_fn(|j| inst.evaluate(group[j], &mut rng).bits()))
-            .collect();
-        for (a, ra) in responses.iter().enumerate() {
-            for rb in &responses[a + 1..] {
+    for g in 0..CHALLENGE_GROUPS {
+        let base = g * RESPONSES_PER_OUTPUT;
+        let group_bits =
+            |chip: usize| -> [u64; RESPONSES_PER_OUTPUT] { std::array::from_fn(|j| nominal[chip][base + j].bits()) };
+        for a in 0..CHIPS {
+            let ra = group_bits(a);
+            for rb in (a + 1..CHIPS).map(group_bits) {
                 for j in 0..RESPONSES_PER_OUTPUT {
                     inter_raw.record((ra[j] ^ rb[j]).count_ones() as usize);
                 }
-                inter_obf.record((obfuscate(ra, 32) ^ obfuscate(rb, 32)).count_ones() as usize);
+                inter_obf.record((obfuscate(&ra, 32) ^ obfuscate(&rb, 32)).count_ones() as usize);
             }
         }
         // Reliability: chip 0, worst temperature corner vs nominal.
-        for (j, &ch) in group.iter().enumerate() {
-            let nominal_resp = pufatt_alupuf::challenge::RawResponse::new(responses[0][j], 32);
+        for j in 0..RESPONSES_PER_OUTPUT {
+            let nominal_resp = nominal[0][base + j];
             bias.record(nominal_resp);
-            reliability.record_pair(nominal_resp, hot[0].evaluate(ch, &mut rng));
-            steadiness.record_pair(nominal_resp, nominal[0].evaluate(ch, &mut rng));
+            reliability.record_pair(nominal_resp, hot[base + j]);
+            steadiness.record_pair(nominal_resp, repeat[base + j]);
         }
     }
 
-    println!("32-bit ALU PUF characterisation ({CHIPS} chips, {} raw challenges)", CHALLENGE_GROUPS * 8);
+    println!("32-bit ALU PUF characterisation ({CHIPS} chips, {n} raw challenges, {threads} threads)");
     println!("---------------------------------------------------------------");
     let pct = |h: &HdHistogram| 100.0 * h.mean_fraction();
     println!("uniqueness  (inter-chip HD, raw)        : {:.1}%  (ideal 50, paper 35.9)", pct(&inter_raw));

@@ -1,0 +1,95 @@
+//! Golden-vector regression tests for the simulation engine.
+//!
+//! The exact response bits of a fixed (design, chip, challenge, noise-seed)
+//! tuple are pinned here. Any change to the event-driven simulator, the
+//! delay model, the arbiter noise streams or the batch scheduling that
+//! alters observable behaviour trips these tests — refactors of the hot
+//! path (scratch reuse, CSR sharing, parallel batching) must reproduce
+//! these words bit for bit.
+
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufChip, PufInstance};
+use pufatt_alupuf::emulate::PufEmulator;
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const CHIP_SEED: u64 = 0x601D;
+const CHALLENGE_SEED: u64 = 0x1CE;
+const NOISE_SEED: u64 = 0xBEEF;
+
+/// Device responses for the fixed tuple, one 32-bit word per challenge.
+const GOLDEN_DEVICE: [u64; 8] = [
+    0x93680be8, 0x8b2c19ec, 0x83ecfbe9, 0x836c1ffc, 0x9378bf7e, 0x836c8fe2, 0x83fc9bea, 0x93ec3bee,
+];
+
+/// Noise-free emulator responses for the same tuple.
+const GOLDEN_EMULATOR: [u64; 8] = [
+    0x83e81fe8, 0x8bac1be8, 0x83ecbbe8, 0x83e89bf8, 0x93e8bffc, 0x832c9fe2, 0x93fc1bea, 0x93ec3bea,
+];
+
+fn fixture() -> (AluPufDesign, PufChip, Vec<Challenge>) {
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(CHIP_SEED);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let mut chrng = ChaCha8Rng::seed_from_u64(CHALLENGE_SEED);
+    let challenges = (0..8).map(|_| Challenge::random(&mut chrng, 32)).collect();
+    (design, chip, challenges)
+}
+
+#[test]
+fn device_batch_reproduces_golden_bits() {
+    let (design, chip, challenges) = fixture();
+    let inst = PufInstance::new(&design, &chip, Environment::nominal());
+    let got = inst.evaluate_batch(&challenges, NOISE_SEED, 1);
+    let bits: Vec<u64> = got.iter().map(|r| r.bits()).collect();
+    assert_eq!(bits, GOLDEN_DEVICE, "device golden vectors drifted");
+}
+
+#[test]
+fn emulator_batch_reproduces_golden_bits() {
+    let (design, chip, challenges) = fixture();
+    let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+    let bits: Vec<u64> = emu.emulate_batch(&challenges, 1).iter().map(|r| r.bits()).collect();
+    assert_eq!(bits, GOLDEN_EMULATOR, "emulator golden vectors drifted");
+}
+
+#[test]
+fn golden_bits_are_thread_count_invariant() {
+    let (design, chip, challenges) = fixture();
+    let inst = PufInstance::new(&design, &chip, Environment::nominal());
+    let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+    for threads in [1, 4, 8] {
+        let dev: Vec<u64> = inst
+            .evaluate_batch(&challenges, NOISE_SEED, threads)
+            .iter()
+            .map(|r| r.bits())
+            .collect();
+        assert_eq!(dev, GOLDEN_DEVICE, "device batch diverged at {threads} threads");
+        let emu_bits: Vec<u64> = emu.emulate_batch(&challenges, threads).iter().map(|r| r.bits()).collect();
+        assert_eq!(emu_bits, GOLDEN_EMULATOR, "emulator batch diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn device_and_emulator_agree_modulo_arbiter_noise() {
+    // The emulator shares the device's delay table; they may differ only on
+    // metastable bits flipped by the device's arbiter noise.
+    let width = 32u32;
+    let mut noisy_bits = 0u32;
+    for (d, e) in GOLDEN_DEVICE.iter().zip(&GOLDEN_EMULATOR) {
+        noisy_bits += (d ^ e).count_ones();
+    }
+    let agreement = 1.0 - f64::from(noisy_bits) / f64::from(width * 8);
+    assert!(agreement > 0.80, "device/emulator agreement {agreement}");
+
+    // And the pinned vectors still reflect live behaviour, not stale data:
+    // fresh evaluations must land within the same noise envelope.
+    let (design, chip, challenges) = fixture();
+    let inst = PufInstance::new(&design, &chip, Environment::nominal());
+    let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let live = pufatt_alupuf::emulate::emulation_agreement(&inst, &emu, &challenges, &mut rng);
+    assert!(live > 0.80, "live device/emulator agreement {live}");
+}

@@ -1,0 +1,100 @@
+//! Allocation-count proof for the zero-allocation simulation engine.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! pass that lets every scratch buffer reach its steady-state capacity,
+//! re-running the same workload must perform zero heap allocations. This
+//! binary holds exactly one test so no sibling test can allocate while the
+//! counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::sim::EventSimulator;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the allocation counter armed, returning how many heap
+/// allocations (alloc + realloc calls) it performed.
+fn count_allocs(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Relaxed);
+    ARMED.store(true, Relaxed);
+    f();
+    ARMED.store(false, Relaxed);
+    ALLOCS.load(Relaxed)
+}
+
+#[test]
+fn steady_state_evaluation_does_not_allocate() {
+    let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA110C);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let challenges: Vec<Challenge> = (0..32).map(|_| Challenge::random(&mut rng, 32)).collect();
+
+    // --- Raw engine: run_transition_in_place on persistent scratch. ---
+    let delays = design.effective_delays_ps(chip.silicon(), &Environment::nominal());
+    let mut sim = EventSimulator::new(design.netlist(), &delays);
+    let (mut from, mut to) = (Vec::new(), Vec::new());
+    for &ch in &challenges {
+        design.stimulus_into(ch, &mut from, &mut to);
+        sim.run_transition_in_place(&from, &to);
+    }
+    let engine_allocs = count_allocs(|| {
+        for &ch in &challenges {
+            design.stimulus_into(ch, &mut from, &mut to);
+            sim.run_transition_in_place(&from, &to);
+        }
+    });
+    assert_eq!(engine_allocs, 0, "EventSimulator steady state allocated {engine_allocs} times");
+
+    // --- Full device path: PufInstance::evaluate through its scratch. ---
+    let inst = PufInstance::new(&design, &chip, Environment::nominal());
+    for &ch in &challenges {
+        inst.evaluate(ch, &mut rng);
+    }
+    let eval_allocs = count_allocs(|| {
+        for &ch in &challenges {
+            inst.evaluate(ch, &mut rng);
+        }
+    });
+    assert_eq!(eval_allocs, 0, "PufInstance::evaluate steady state allocated {eval_allocs} times");
+
+    // Sanity: the counter itself works — a fresh evaluation from scratch
+    // (engine construction included) must register allocations.
+    let cold_allocs = count_allocs(|| {
+        let inst2 = PufInstance::new(&design, &chip, Environment::nominal());
+        inst2.evaluate(challenges[0], &mut rng);
+    });
+    assert!(cold_allocs > 0, "counting allocator failed to observe cold-path allocations");
+}
