@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_gen-c33206233f972838.d: tests/golden_gen.rs
+
+/root/repo/target/debug/deps/golden_gen-c33206233f972838: tests/golden_gen.rs
+
+tests/golden_gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_vectors-3bd7d33486c6ef35.d: tests/golden_vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_vectors-3bd7d33486c6ef35.rmeta: tests/golden_vectors.rs Cargo.toml
+
+tests/golden_vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

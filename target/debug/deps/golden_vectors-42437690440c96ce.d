@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_vectors-42437690440c96ce.d: tests/golden_vectors.rs
+
+/root/repo/target/debug/deps/golden_vectors-42437690440c96ce: tests/golden_vectors.rs
+
+tests/golden_vectors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-3f3faa3557033344.d: tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-3f3faa3557033344.rmeta: tests/zero_alloc.rs Cargo.toml
+
+tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

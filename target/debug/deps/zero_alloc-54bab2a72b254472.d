@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-54bab2a72b254472.d: tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-54bab2a72b254472: tests/zero_alloc.rs
+
+tests/zero_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_eval-803abc9601d33a67.d: crates/bench/examples/profile_eval.rs
+
+/root/repo/target/debug/examples/profile_eval-803abc9601d33a67: crates/bench/examples/profile_eval.rs
+
+crates/bench/examples/profile_eval.rs:

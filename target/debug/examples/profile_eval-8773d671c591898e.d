@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_eval-8773d671c591898e.d: crates/bench/examples/profile_eval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_eval-8773d671c591898e.rmeta: crates/bench/examples/profile_eval.rs Cargo.toml
+
+crates/bench/examples/profile_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-2568d1bd12a36881.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2568d1bd12a36881.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2568d1bd12a36881.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

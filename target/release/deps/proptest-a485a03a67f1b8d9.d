@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-a485a03a67f1b8d9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a485a03a67f1b8d9.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a485a03a67f1b8d9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

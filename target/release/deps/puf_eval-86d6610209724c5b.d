@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/puf_eval-86d6610209724c5b.d: crates/bench/benches/puf_eval.rs
+
+/root/repo/target/release/deps/puf_eval-86d6610209724c5b: crates/bench/benches/puf_eval.rs
+
+crates/bench/benches/puf_eval.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

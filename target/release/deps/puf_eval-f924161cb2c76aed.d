@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/puf_eval-f924161cb2c76aed.d: crates/bench/benches/puf_eval.rs
+
+/root/repo/target/release/deps/puf_eval-f924161cb2c76aed: crates/bench/benches/puf_eval.rs
+
+crates/bench/benches/puf_eval.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

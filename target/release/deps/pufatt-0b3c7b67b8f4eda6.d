@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt-0b3c7b67b8f4eda6.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/pufatt-0b3c7b67b8f4eda6: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

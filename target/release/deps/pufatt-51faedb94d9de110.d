@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pufatt-51faedb94d9de110.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs
+
+/root/repo/target/release/deps/libpufatt-51faedb94d9de110.rlib: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs
+
+/root/repo/target/release/deps/libpufatt-51faedb94d9de110.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/enroll.rs:
+crates/core/src/error.rs:
+crates/core/src/obfuscate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ports.rs:
+crates/core/src/protocol.rs:
+crates/core/src/ring.rs:
+crates/core/src/server.rs:
+crates/core/src/sidechannel.rs:
+crates/core/src/slender.rs:

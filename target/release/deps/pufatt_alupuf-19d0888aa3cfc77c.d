@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pufatt_alupuf-19d0888aa3cfc77c.d: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+/root/repo/target/release/deps/libpufatt_alupuf-19d0888aa3cfc77c.rlib: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+/root/repo/target/release/deps/libpufatt_alupuf-19d0888aa3cfc77c.rmeta: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+crates/alupuf/src/lib.rs:
+crates/alupuf/src/aging.rs:
+crates/alupuf/src/arbiter.rs:
+crates/alupuf/src/challenge.rs:
+crates/alupuf/src/device.rs:
+crates/alupuf/src/emulate.rs:
+crates/alupuf/src/fpga.rs:
+crates/alupuf/src/quality.rs:
+crates/alupuf/src/resources.rs:
+crates/alupuf/src/stats.rs:
+crates/alupuf/src/tamper.rs:

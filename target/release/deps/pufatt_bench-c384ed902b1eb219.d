@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_bench-c384ed902b1eb219.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-c384ed902b1eb219.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-c384ed902b1eb219.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pufatt_fleet-91035e2f3519466d.d: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/release/deps/libpufatt_fleet-91035e2f3519466d.rlib: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/release/deps/libpufatt_fleet-91035e2f3519466d.rmeta: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/campaign.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/registry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pufatt_modeling-19bb3ddafe67f504.d: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+/root/repo/target/release/deps/libpufatt_modeling-19bb3ddafe67f504.rlib: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+/root/repo/target/release/deps/libpufatt_modeling-19bb3ddafe67f504.rmeta: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+crates/modeling/src/lib.rs:
+crates/modeling/src/attack.rs:
+crates/modeling/src/lr.rs:
+crates/modeling/src/mlp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pufatt_pe32-fd4460d9a680221e.d: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+/root/repo/target/release/deps/libpufatt_pe32-fd4460d9a680221e.rlib: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+/root/repo/target/release/deps/libpufatt_pe32-fd4460d9a680221e.rmeta: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+crates/pe32/src/lib.rs:
+crates/pe32/src/asm.rs:
+crates/pe32/src/cpu.rs:
+crates/pe32/src/isa.rs:
+crates/pe32/src/programs.rs:
+crates/pe32/src/puf_port.rs:
+crates/pe32/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_repro-c54d513d6d66819c.d: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-c54d513d6d66819c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-c54d513d6d66819c.rmeta: src/lib.rs
+
+src/lib.rs:

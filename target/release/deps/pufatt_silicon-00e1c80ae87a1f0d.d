@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pufatt_silicon-00e1c80ae87a1f0d.d: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+/root/repo/target/release/deps/pufatt_silicon-00e1c80ae87a1f0d: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+crates/silicon/src/lib.rs:
+crates/silicon/src/delay.rs:
+crates/silicon/src/dot.rs:
+crates/silicon/src/env.rs:
+crates/silicon/src/gen.rs:
+crates/silicon/src/gen_adders.rs:
+crates/silicon/src/netlist.rs:
+crates/silicon/src/sim.rs:
+crates/silicon/src/sta.rs:
+crates/silicon/src/variation.rs:

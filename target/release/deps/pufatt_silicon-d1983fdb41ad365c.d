@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pufatt_silicon-d1983fdb41ad365c.d: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+/root/repo/target/release/deps/libpufatt_silicon-d1983fdb41ad365c.rlib: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+/root/repo/target/release/deps/libpufatt_silicon-d1983fdb41ad365c.rmeta: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+crates/silicon/src/lib.rs:
+crates/silicon/src/delay.rs:
+crates/silicon/src/dot.rs:
+crates/silicon/src/env.rs:
+crates/silicon/src/gen.rs:
+crates/silicon/src/gen_adders.rs:
+crates/silicon/src/netlist.rs:
+crates/silicon/src/sim.rs:
+crates/silicon/src/sta.rs:
+crates/silicon/src/variation.rs:

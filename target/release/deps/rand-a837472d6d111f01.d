@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a837472d6d111f01.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a837472d6d111f01.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a837472d6d111f01.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

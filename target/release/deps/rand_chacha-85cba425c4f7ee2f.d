@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-85cba425c4f7ee2f.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-85cba425c4f7ee2f.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-85cba425c4f7ee2f.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fandist-b6cc232a985db829.d: crates/bench/examples/fandist.rs
+
+/root/repo/target/release/examples/fandist-b6cc232a985db829: crates/bench/examples/fandist.rs
+
+crates/bench/examples/fandist.rs:

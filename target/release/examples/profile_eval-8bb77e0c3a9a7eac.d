@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_eval-8bb77e0c3a9a7eac.d: crates/bench/examples/profile_eval.rs
+
+/root/repo/target/release/examples/profile_eval-8bb77e0c3a9a7eac: crates/bench/examples/profile_eval.rs
+
+crates/bench/examples/profile_eval.rs:

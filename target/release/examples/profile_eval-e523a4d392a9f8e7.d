@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_eval-e523a4d392a9f8e7.d: crates/bench/examples/profile_eval.rs
+
+/root/repo/target/release/examples/profile_eval-e523a4d392a9f8e7: crates/bench/examples/profile_eval.rs
+
+crates/bench/examples/profile_eval.rs:

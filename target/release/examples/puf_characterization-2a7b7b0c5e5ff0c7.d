@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/puf_characterization-2a7b7b0c5e5ff0c7.d: examples/puf_characterization.rs
+
+/root/repo/target/release/examples/puf_characterization-2a7b7b0c5e5ff0c7: examples/puf_characterization.rs
+
+examples/puf_characterization.rs:

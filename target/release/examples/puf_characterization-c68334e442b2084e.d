@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/puf_characterization-c68334e442b2084e.d: examples/puf_characterization.rs
+
+/root/repo/target/release/examples/puf_characterization-c68334e442b2084e: examples/puf_characterization.rs
+
+examples/puf_characterization.rs:

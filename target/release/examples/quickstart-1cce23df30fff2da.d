@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1cce23df30fff2da.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1cce23df30fff2da: examples/quickstart.rs
+
+examples/quickstart.rs:
