@@ -7,7 +7,10 @@ use pufatt::protocol::{provision, puf_limited_clock, run_session, AttestationReq
 use pufatt::VerifierPuf;
 use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
 use pufatt_alupuf::emulate::DelayTable;
-use pufatt_fleet::{run_campaign, CampaignConfig, LifecyclePolicy};
+use pufatt_faults::{
+    apply_device_faults, run_chaos_session, run_noise_sweep, FaultPlan, LossyChannel, RetryPolicy, SweepConfig,
+};
+use pufatt_fleet::{run_campaign, CampaignConfig, ChaosConfig, LifecyclePolicy};
 use pufatt_silicon::env::Environment;
 use pufatt_silicon::variation::ChipSampler;
 use pufatt_swatt::checksum::SwattParams;
@@ -48,9 +51,24 @@ pub fn enroll(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `pufatt attest`: one full Fig.-2 session.
+/// `pufatt attest`: one full Fig.-2 session, optionally driven through a
+/// fault plan and a lossy channel (`--fault-plan`, `--channel`).
 pub fn attest(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["table", "profile", "fab-seed", "rounds", "overclock"], &["malware"])?;
+    let args = Args::parse(
+        argv,
+        &[
+            "table",
+            "profile",
+            "fab-seed",
+            "rounds",
+            "overclock",
+            "fault-plan",
+            "channel",
+            "retries",
+            "seed",
+        ],
+        &["malware"],
+    )?;
     let enrolled = enroll_from(&args)?;
     let table_path = args.require("table")?;
     let bytes = std::fs::read(table_path).map_err(|e| format!("reading {table_path}: {e}"))?;
@@ -81,15 +99,18 @@ pub fn attest(argv: &[String]) -> Result<(), String> {
         verifier.delta_s * 1e3
     );
 
-    let mut rng = ChaCha8Rng::seed_from_u64(0xC11);
-    let request = AttestationRequest::random(&mut rng);
+    let seed: u64 = args.num_or("seed", 0xC11)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
     let overclock: f64 = args.num_or("overclock", 0.0)?;
+    let plan_spec = args.get_or("fault-plan", "");
+    let channel_spec = args.get_or("channel", "");
     let verdict = if overclock > 0.0 {
         let region = prover.expected_region();
         let mut attacker = build_malicious_prover(enrolled.device_handle(3), params, &region, clock, overclock)
             .map_err(|e| e.to_string())?;
         println!("running the memory-copy attack at {overclock}x overclock...");
+        let request = AttestationRequest::random(&mut rng);
         run_session(&mut attacker, &verifier, request).map_err(|e| e.to_string())?.0
     } else {
         if args.has("malware") {
@@ -97,9 +118,56 @@ pub fn attest(argv: &[String]) -> Result<(), String> {
             prover.memory_mut()[at] = 0xEB1B_EB1B;
             println!("infected attested region at word {at}");
         }
-        run_session(&mut prover, &verifier, request).map_err(|e| e.to_string())?.0
+        if plan_spec.is_empty() && channel_spec.is_empty() {
+            let request = AttestationRequest::random(&mut rng);
+            run_session(&mut prover, &verifier, request).map_err(|e| e.to_string())?.0
+        } else {
+            let plan = FaultPlan::parse(plan_spec, seed)?;
+            apply_device_faults(&mut prover, &plan);
+            let lossy = if channel_spec.is_empty() {
+                LossyChannel::from_plan(verifier.channel(), &plan)
+            } else {
+                LossyChannel::parse(channel_spec, &plan)?
+            };
+            let policy = RetryPolicy::for_verifier(&verifier, args.num_or("retries", 3)?);
+            let report = run_chaos_session(&mut prover, &verifier, &lossy, &plan, &policy, &mut rng);
+            println!(
+                "chaos: plan [{plan}], {} attempt(s), {:.3} ms elapsed, {} message(s) dropped \
+                 ({} request / {} report), {} duplicated, {} reordered",
+                report.attempts,
+                report.elapsed_s * 1e3,
+                report.messages_dropped(),
+                report.requests_dropped,
+                report.reports_dropped,
+                report.duplicates,
+                report.reordered
+            );
+            report.result.map_err(|e| e.to_string())?
+        }
     };
     println!("verdict: {verdict}");
+    Ok(())
+}
+
+/// `pufatt noise-sweep`: the §4.1 false-negative-rate experiment — error
+/// weight vs. extractor recovery and session FNR, with the boundary at
+/// `t = 7`.
+pub fn noise_sweep(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["seed", "trials", "sessions", "max-weight"], &[])?;
+    let defaults = SweepConfig::default();
+    let config = SweepConfig {
+        seed: args.num_or("seed", defaults.seed)?,
+        extractor_trials: args.num_or("trials", defaults.extractor_trials)?,
+        sessions_per_weight: args.num_or("sessions", defaults.sessions_per_weight)?,
+        max_weight: args.num_or("max-weight", defaults.max_weight)?,
+    };
+    let sweep = run_noise_sweep(&config).map_err(|e| e.to_string())?;
+    print!("{sweep}");
+    println!(
+        "boundary {}: full recovery for weight <= {}, rejection beyond",
+        if sweep.boundary_holds() { "holds" } else { "VIOLATED" },
+        sweep.t
+    );
     Ok(())
 }
 
@@ -207,10 +275,23 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             "retries",
             "timeout-ms",
             "history",
+            "fault-plan",
+            "flaky",
         ],
         &[],
     )?;
     let defaults = CampaignConfig::default();
+    let seed: u64 = args.num_or("seed", defaults.seed)?;
+    let plan_spec = args.get_or("fault-plan", "");
+    let chaos = if plan_spec.is_empty() {
+        None
+    } else {
+        let flaky_fraction: f64 = args.num_or("flaky", 0.25)?;
+        if !(0.0..=1.0).contains(&flaky_fraction) {
+            return Err(format!("--flaky: fraction {flaky_fraction} outside [0, 1]"));
+        }
+        Some(ChaosConfig { plan: FaultPlan::parse(plan_spec, seed)?, flaky_fraction })
+    };
     let cfg = CampaignConfig {
         devices: args.num_or("devices", defaults.devices)?,
         // `--threads` is an alias for `--workers` (the batch-evaluation
@@ -219,7 +300,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         workers: args.num_or("threads", args.num_or("workers", defaults.workers)?)?,
         shards: args.num_or("shards", defaults.shards)?,
         sessions_per_device: args.num_or("sessions", defaults.sessions_per_device)?,
-        seed: args.num_or("seed", defaults.seed)?,
+        seed,
         tamper_fraction: args.num_or("tamper", defaults.tamper_fraction)?,
         puf: profile_config(args.get_or("profile", "paper32"))?,
         params: SwattParams {
@@ -234,6 +315,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         timeout_s: args.num_or("timeout-ms", defaults.timeout_s * 1e3)? * 1e-3,
         history_capacity: args.num_or("history", defaults.history_capacity)?,
         queue_depth: defaults.queue_depth,
+        chaos,
     };
     println!(
         "campaign: {} devices x {} sessions, {} workers, {} shards, seed {:#x}, tamper {:.1}%",
@@ -244,6 +326,9 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         cfg.seed,
         cfg.tamper_fraction * 100.0
     );
+    if let Some(chaos) = &cfg.chaos {
+        println!("chaos: plan [{}], {:.1}% of the fleet flaky", chaos.plan, chaos.flaky_fraction * 100.0);
+    }
     let report = run_campaign(&cfg).map_err(|e| e.to_string())?;
     print!("{}", report.snapshot);
     println!(
@@ -315,5 +400,44 @@ mod tests {
         fleet(&argv("--devices 4 --threads 2 --sessions 1 --profile fpga16 --rounds 128")).expect("fleet threads");
         assert!(fleet(&argv("--devices 0")).is_err(), "empty fleets are refused");
         assert!(fleet(&argv("--bogus 1")).is_err(), "unknown flags are refused");
+    }
+
+    #[test]
+    fn attest_accepts_chaos_flags() {
+        let dir = std::env::temp_dir().join(format!("pufatt-cli-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let table = dir.join("dev.puft");
+        let table_s = table.to_str().unwrap().to_string();
+        enroll(&argv(&format!("--fab-seed 5 --out {table_s}"))).expect("enroll");
+        attest(&argv(&format!(
+            "--table {table_s} --fab-seed 5 --rounds 512 --fault-plan drop=0.25 --channel lan --retries 6"
+        )))
+        .expect("chaos attest survives moderate drops");
+        assert!(
+            attest(&argv(&format!("--table {table_s} --fab-seed 5 --fault-plan bogus=1"))).is_err(),
+            "bad fault plans are refused"
+        );
+        assert!(
+            attest(&argv(&format!("--table {table_s} --fab-seed 5 --channel carrier-pigeon"))).is_err(),
+            "unknown channel presets are refused"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_runs_a_chaos_campaign() {
+        fleet(&argv(
+            "--devices 6 --workers 2 --sessions 2 --profile fpga16 --rounds 128 \
+             --fault-plan drop=0.8 --flaky 0.5 --retries 2",
+        ))
+        .expect("chaos fleet");
+        assert!(fleet(&argv("--devices 4 --fault-plan bogus=1")).is_err(), "bad plans are refused");
+        assert!(fleet(&argv("--devices 4 --fault-plan drop=0.5 --flaky 2.0")).is_err(), "fractions are bounded");
+    }
+
+    #[test]
+    fn noise_sweep_prints_the_boundary_table() {
+        noise_sweep(&argv("--trials 10 --sessions 2 --max-weight 8")).expect("noise sweep");
+        assert!(noise_sweep(&argv("--bogus 1")).is_err(), "unknown flags are refused");
     }
 }

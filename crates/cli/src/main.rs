@@ -3,10 +3,12 @@
 //! ```text
 //! pufatt enroll       --profile paper32 --fab-seed 42 --out device.puft
 //! pufatt attest       --table device.puft --fab-seed 42 [--malware] [--overclock 4.0]
+//! pufatt attest       --table device.puft --fault-plan drop=0.2,flip=0.01 --channel sensor
 //! pufatt characterize --chips 4 --challenges 400 --threads 8
 //! pufatt dot          --width 8 --out alupuf.dot [--chip-seed 1]
 //! pufatt profile      --program fibonacci
-//! pufatt fleet        --devices 256 --workers 8
+//! pufatt fleet        --devices 256 --workers 8 [--fault-plan drop=0.5 --flaky 0.25]
+//! pufatt noise-sweep  --trials 200 --sessions 10 --max-weight 10
 //! ```
 //!
 //! Everything is simulation: `enroll` manufactures a chip (deterministic in
@@ -33,6 +35,15 @@ commands:
                   --rounds <u32>             (default 2048)
                   --malware                  (infect the attested region)
                   --overclock <f64>          (memory-copy attack at factor)
+                  --fault-plan <spec>        (chaos mode: flip=0.01,burst=9@4,
+                                              drop=0.1,dup=0.02,reorder=0.05,
+                                              jitter-ms=2,skew=1.05,
+                                              overclock=2,tamper=1)
+                  --channel <spec>           (sensor|lan|satellite, with
+                                              drop=/dup=/reorder=/jitter-ms=
+                                              overrides)
+                  --retries <n>              (default 3; chaos-mode attempts)
+                  --seed <u64>               (default 0xC11; session RNG)
   characterize  PUF quality metrics for a chip batch (parallel batch engine)
                   --profile paper32|fpga16   --chips <n>  --challenges <n>
                   --threads <n>              (default: all cores; results
@@ -56,6 +67,14 @@ commands:
                   --retries <n>              (default 3; attempts per session)
                   --timeout-ms <f64>         (default 1000; simulated)
                   --history <n>              (default 64; per-device records)
+                  --fault-plan <spec>        (chaos mode; same syntax as attest)
+                  --flaky <f64>              (default 0.25; flaky fraction,
+                                              only with --fault-plan)
+  noise-sweep   false-negative rate vs. injected PUF error weight (paper 4.1)
+                  --seed <u64>               (default 42)
+                  --trials <n>               (default 200; extractor trials)
+                  --sessions <n>             (default 10; sessions per weight)
+                  --max-weight <n>           (default 10; sweep 0..=N bits)
 ";
 
 fn main() -> ExitCode {
@@ -71,6 +90,7 @@ fn main() -> ExitCode {
         "dot" => commands::dot(rest),
         "profile" => commands::profile(rest),
         "fleet" => commands::fleet(rest),
+        "noise-sweep" => commands::noise_sweep(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

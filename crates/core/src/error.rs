@@ -3,7 +3,10 @@
 use std::fmt;
 
 /// Errors of the PUF post-processing pipeline and the attestation protocol.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`Eq` is deliberately absent: the timeout variant carries the measured
+/// elapsed time as an `f64`.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum PufattError {
     /// The response width has no matching error-correcting code
     /// (supported: powers of two from 4 to 32 bits).
@@ -17,12 +20,43 @@ pub enum PufattError {
         /// Index of the raw response within its group of 8.
         index: usize,
     },
+    /// A reconstruction decoded, but only by correcting more bit errors
+    /// than the code guarantees (`t`). The paper's BCH decoder is
+    /// bounded-distance — anything beyond `t` is a decoding failure — and
+    /// the verifier enforces the same bound: a response this noisy is
+    /// out of tolerance (excess noise, overclocking, or an imposter), never
+    /// silently accepted on a lucky decode.
+    OutOfTolerance {
+        /// Index of the raw response within its group of 8.
+        index: usize,
+        /// Bit errors the decoder had to correct.
+        corrected: usize,
+        /// The code's guaranteed correction radius `t`.
+        bound: usize,
+    },
     /// The helper-data stream ended before all PUF queries were replayed.
     HelperStreamExhausted,
     /// The prover's CPU trapped during attestation.
     ProverTrap(pufatt_pe32::cpu::Trap),
     /// The generated attestation program failed to assemble (internal).
     Codegen(String),
+    /// The session's end-to-end time exceeded the verifier's deadline
+    /// before a valid report arrived (a first-class outcome under lossy
+    /// channels — not a panic, not a silent reject).
+    Timeout {
+        /// Simulated seconds the session had consumed when it was cut off.
+        elapsed_s: f64,
+        /// The enforced deadline in seconds.
+        deadline_s: f64,
+    },
+    /// Every attempt of a session lost a protocol message in transit; the
+    /// retry budget ran out without the verifier ever seeing a report.
+    ChannelLost {
+        /// Attempts spent before giving up.
+        attempts: u32,
+    },
+    /// A wire message failed structural validation when parsed.
+    Malformed(String),
 }
 
 impl fmt::Display for PufattError {
@@ -34,9 +68,24 @@ impl fmt::Display for PufattError {
             PufattError::ReconstructionFailed { index } => {
                 write!(f, "helper data could not reconstruct raw response {index}")
             }
+            PufattError::OutOfTolerance { index, corrected, bound } => {
+                write!(f, "raw response {index} needed {corrected} corrections, beyond the code's t = {bound}")
+            }
             PufattError::HelperStreamExhausted => write!(f, "helper-data stream exhausted"),
             PufattError::ProverTrap(t) => write!(f, "prover trapped: {t}"),
             PufattError::Codegen(m) => write!(f, "attestation codegen failed: {m}"),
+            PufattError::Timeout { elapsed_s, deadline_s } => {
+                write!(
+                    f,
+                    "session deadline exceeded: {:.3} ms elapsed vs {:.3} ms allowed",
+                    elapsed_s * 1e3,
+                    deadline_s * 1e3
+                )
+            }
+            PufattError::ChannelLost { attempts } => {
+                write!(f, "channel lost every message across {attempts} attempts")
+            }
+            PufattError::Malformed(m) => write!(f, "malformed wire message: {m}"),
         }
     }
 }

@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod adversary;
 pub mod enroll;
 pub mod error;
@@ -64,10 +66,10 @@ pub use adversary::AttackOutcome;
 pub use enroll::{enroll, enroll_fleet, CrpDatabase, EnrolledDevice};
 pub use error::PufattError;
 pub use pipeline::{ProveOutput, PufPipeline};
-pub use ports::{DevicePuf, SharedDevicePuf, VerifierPuf, VerifierRoundPuf};
+pub use ports::{DevicePuf, ResponseFault, SharedDevicePuf, VerifierPuf, VerifierRoundPuf};
 pub use protocol::{
     provision, puf_limited_clock, run_session, run_session_with_retry, AttestationReport, AttestationRequest, Channel,
-    ProverDevice, Verdict, Verifier,
+    MidTraversalTamper, ProverDevice, Verdict, Verifier,
 };
 pub use ring::RingBuffer;
 pub use server::{AttestationServer, DeviceStatus, SessionRecord};

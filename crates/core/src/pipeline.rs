@@ -23,6 +23,41 @@ use pufatt_ecc::gf2::BitVec;
 use pufatt_ecc::rm::ReedMuller1;
 use pufatt_ecc::{Decoder, HelperData, ReverseFuzzyExtractor};
 
+/// Seed of the burst-scattering interleaver permutation.
+///
+/// Chosen by exhaustive search: under this permutation every *contiguous*
+/// error burst of weight 8..=16, at every one of the 32 wrapping start
+/// positions, lands at Hamming distance ≥ 8 from every RM(1,5) codeword,
+/// so the verifier's bounded-distance rule always rejects it (pinned by
+/// `contiguous_bursts_beyond_t_are_always_rejected`). Without the
+/// interleaver nearly every weight-9..12 burst sits *inside* the support
+/// of some weight-16 codeword and decodes to a neighbouring word with
+/// ≤ 7 "corrections" — see the failure-mode atlas in DESIGN.md §9.
+const INTERLEAVER_SEED: u64 = 7;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fixed bit permutation for a response width: a splitmix64-driven
+/// Fisher-Yates shuffle. RM(1,m) is invariant under *affine* permutations
+/// of the bit index (bit reversal, rotation, index XOR all map codewords
+/// to codewords), so the shuffle must be — and a random shuffle virtually
+/// always is — non-affine.
+fn interleaver(width: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..width).collect();
+    let mut state = INTERLEAVER_SEED;
+    for i in (1..width).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
 /// Device-side result of one `pstart … pend` session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProveOutput {
@@ -33,10 +68,28 @@ pub struct ProveOutput {
 }
 
 /// The post-processing pipeline for one response width.
+///
+/// Between the raw PUF response and the code domain sits a fixed,
+/// public bit interleaver (in hardware: wiring in front of the syndrome
+/// generator, zero gates). Physically-plausible faults — carry-chain
+/// setup violations under overclocking, latch glitches — corrupt
+/// *contiguous* bit runs, and contiguous bursts are exactly the shape
+/// that aliases onto RM(1,5) codewords within the `t = 7` bound. The
+/// interleaver scatters them into random-position patterns, which never
+/// alias (a weight-`w ≥ 8` scattered error sits ≥ 8 from every
+/// codeword under the pinned permutation). The interleaver lives
+/// entirely inside [`prove`](PufPipeline::prove) /
+/// [`conclude`](PufPipeline::conclude): helper words are syndromes of
+/// the *interleaved* response, but the reconstructed value handed to
+/// the obfuscation network is back in raw response order.
 #[derive(Debug, Clone)]
 pub struct PufPipeline {
     width: usize,
     fe: ReverseFuzzyExtractor<ReedMuller1>,
+    /// `interleave[src] = dst`: raw response bit → code-domain bit.
+    interleave: Vec<usize>,
+    /// Inverse permutation: code-domain bit → raw response bit.
+    deinterleave: Vec<usize>,
 }
 
 impl PufPipeline {
@@ -53,7 +106,17 @@ impl PufPipeline {
             return Err(PufattError::UnsupportedWidth { width });
         }
         let m = width.trailing_zeros();
-        Ok(PufPipeline { width, fe: ReverseFuzzyExtractor::new(ReedMuller1::new(m)) })
+        let interleave = interleaver(width);
+        let mut deinterleave = vec![0usize; width];
+        for (src, &dst) in interleave.iter().enumerate() {
+            deinterleave[dst] = src;
+        }
+        Ok(PufPipeline {
+            width,
+            fe: ReverseFuzzyExtractor::new(ReedMuller1::new(m)),
+            interleave,
+            deinterleave,
+        })
     }
 
     /// The paper's simulated configuration: 32-bit responses with
@@ -72,8 +135,17 @@ impl PufPipeline {
         self.fe.decoder().code().syndrome_bits()
     }
 
-    fn to_bitvec(&self, r: RawResponse) -> BitVec {
-        BitVec::from_word(r.bits(), self.width)
+    fn permute_word(map: &[usize], word: u64) -> u64 {
+        let mut out = 0u64;
+        for (src, &dst) in map.iter().enumerate() {
+            out |= (word >> src & 1) << dst;
+        }
+        out
+    }
+
+    /// The raw response mapped into the code domain.
+    fn to_code_domain(&self, r: RawResponse) -> BitVec {
+        BitVec::from_word(Self::permute_word(&self.interleave, r.bits()), self.width)
     }
 
     /// Prover side: helper syndromes + obfuscated output from 8 noisy raw
@@ -87,7 +159,7 @@ impl PufPipeline {
         let mut ys = [0u64; RESPONSES_PER_OUTPUT];
         for (j, &r) in raw.iter().enumerate() {
             assert_eq!(r.width(), self.width, "response width mismatch");
-            let h: HelperData = self.fe.generate(&self.to_bitvec(r)).expect("width checked");
+            let h: HelperData = self.fe.generate(&self.to_code_domain(r)).expect("width checked");
             helpers[j] = h.0.as_word() as u32;
             ys[j] = r.bits();
         }
@@ -100,22 +172,33 @@ impl PufPipeline {
     /// # Errors
     ///
     /// [`PufattError::ReconstructionFailed`] when a helper syndrome cannot
-    /// be decoded against its reference (more errors than the code
-    /// corrects, or a mismatched device — impersonation).
+    /// be decoded against its reference, and
+    /// [`PufattError::OutOfTolerance`] when it decodes only by correcting
+    /// more than `t` bit errors. The underlying maximum-likelihood decoder
+    /// would happily hand back heavier patterns (a weight-9 error is
+    /// usually still its coset's leader), but the paper's BCH decoder is
+    /// bounded-distance and the security argument leans on that: the
+    /// verifier must treat any correction beyond `t` as a failure, or
+    /// excess noise and overclock-corrupted responses survive on lucky
+    /// decodes.
     pub fn conclude(
         &self,
         references: &[RawResponse; RESPONSES_PER_OUTPUT],
         helpers: &[u32; RESPONSES_PER_OUTPUT],
     ) -> Result<u64, PufattError> {
+        let bound = self.fe.decoder().guaranteed_correction();
         let mut ys = [0u64; RESPONSES_PER_OUTPUT];
         for (j, (&r, &h)) in references.iter().zip(helpers).enumerate() {
             assert_eq!(r.width(), self.width, "reference width mismatch");
             let helper = HelperData(BitVec::from_word(h as u64, self.helper_bits()));
             let rec = self
                 .fe
-                .reproduce(&self.to_bitvec(r), &helper)
+                .reproduce(&self.to_code_domain(r), &helper)
                 .map_err(|_| PufattError::ReconstructionFailed { index: j })?;
-            ys[j] = rec.response.as_word();
+            if rec.corrected_errors > bound {
+                return Err(PufattError::OutOfTolerance { index: j, corrected: rec.corrected_errors, bound });
+            }
+            ys[j] = Self::permute_word(&self.deinterleave, rec.response.as_word());
         }
         Ok(obfuscate(&ys, self.width))
     }
@@ -179,29 +262,87 @@ mod tests {
     }
 
     #[test]
-    fn wrong_device_forges_one_z_with_probability_one_quarter() {
+    fn wrong_device_is_rejected_as_out_of_tolerance() {
         // Structural observation (documented in DESIGN.md): ML decoding
         // against a wrong reference reconstructs a word in the *same coset*
-        // as the prover's response, i.e. off by an RM(1,5) codeword. Every
-        // codeword is the truth table of an affine function, so the
-        // obfuscation's half-fold collapses it to all-zeros or all-ones —
-        // one z therefore matches iff two parity bits vanish: probability
-        // 1/4 per z, and 4^-q over an attestation's q PUF queries.
+        // as the prover's response, i.e. off by an RM(1,5) codeword — and
+        // before the bounded-distance check, ~1/4 of single-z forgeries
+        // slipped through the obfuscation fold. The t-bound closes that:
+        // a wrong-device decode needs ≤ 7 corrections on *all 8* responses
+        // (p ≈ 0.067⁸ ≈ 4·10⁻¹⁰), so impersonation now fails essentially
+        // always, and fails *typed*.
         let p = PufPipeline::paper_32bit();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut accepted = 0;
         let trials = 400;
+        let mut out_of_tolerance = 0;
         for _ in 0..trials {
             let device: [RawResponse; 8] = std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32));
             let imposter: [RawResponse; 8] = std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32));
             let out = p.prove(&device);
             match p.conclude(&imposter, &out.helpers) {
-                Ok(z) if z == out.z => accepted += 1,
-                _ => {}
+                Ok(z) => assert_ne!(z, out.z, "imposter must never land the right z"),
+                Err(PufattError::OutOfTolerance { corrected, bound, .. }) => {
+                    assert!(corrected > bound);
+                    out_of_tolerance += 1;
+                }
+                Err(e) => panic!("unexpected error kind: {e}"),
             }
         }
-        let rate = accepted as f64 / trials as f64;
-        assert!((0.13..0.40).contains(&rate), "single-z forgery rate {rate} should be ~1/4");
+        assert!(
+            out_of_tolerance > trials * 9 / 10,
+            "wrong-reference decodes should overwhelmingly exceed t: {out_of_tolerance}/{trials}"
+        );
+    }
+
+    #[test]
+    fn contiguous_bursts_beyond_t_are_always_rejected() {
+        // The reason the interleaver exists. Without it a contiguous burst
+        // of weight 9..=12 lies (for most start positions) entirely inside
+        // the support of a weight-16 RM(1,5) codeword; ML decode then lands
+        // on reference ⊕ codeword with 16 − w ≤ 7 "corrections", sails past
+        // the bounded-distance check with the WRONG word, and the XOR
+        // obfuscation fold can collapse the codeword difference so `z`
+        // still matches — a silent accept of a corrupted response. The
+        // pinned permutation scatters every such burst to distance ≥ 8 from
+        // every codeword, so every combination below must fail typed.
+        let p = PufPipeline::paper_32bit();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for weight in 8u32..=16 {
+            for start in 0..32u32 {
+                let burst: u64 = (0..weight).fold(0u64, |acc, k| acc | 1 << ((start + k) % 32));
+                let device: [RawResponse; 8] = std::array::from_fn(|_| RawResponse::new(rng.gen::<u32>() as u64, 32));
+                let refs: [RawResponse; 8] = std::array::from_fn(|j| RawResponse::new(device[j].bits() ^ burst, 32));
+                let out = p.prove(&device);
+                let err = p.conclude(&refs, &out.helpers);
+                assert!(
+                    matches!(
+                        err,
+                        Err(PufattError::ReconstructionFailed { .. }) | Err(PufattError::OutOfTolerance { .. })
+                    ),
+                    "weight-{weight} burst at bit {start} must be rejected, got {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_is_a_permutation_and_non_affine() {
+        // Sanity on the fixed wiring: it must be a bijection, and it must
+        // NOT be an affine map of the 5-bit index space — RM(1,5) is
+        // invariant under affine index permutations, which would make the
+        // interleaver a no-op against burst aliasing. An affine map sends
+        // index 0 to some `b` and satisfies π(i) = A·i ⊕ b with A linear,
+        // i.e. π(i ⊕ j) ⊕ b = (π(i) ⊕ b) ⊕ (π(j) ⊕ b) for all i, j.
+        let perm = interleaver(32);
+        let mut seen = [false; 32];
+        for &d in &perm {
+            assert!(!seen[d], "duplicate target bit {d}");
+            seen[d] = true;
+        }
+        let b = perm[0];
+        let linear_part: Vec<usize> = perm.iter().map(|&d| d ^ b).collect();
+        let affine = (0..32usize).all(|i| (0..32usize).all(|j| linear_part[i ^ j] == linear_part[i] ^ linear_part[j]));
+        assert!(!affine, "interleaver must not be affine over the index space");
     }
 
     #[test]

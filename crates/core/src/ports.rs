@@ -11,9 +11,43 @@ use pufatt_alupuf::emulate::{DelayTable, PufEmulator};
 use pufatt_pe32::puf_port::{PufOutput, PufPort};
 use pufatt_silicon::env::Environment;
 use pufatt_swatt::checksum::{RoundPuf, STATE_WORDS};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::{Arc, Mutex};
+
+/// A deterministic fault injected into every raw PUF response a device
+/// produces — the robustness layer's model of a PUF whose noise exceeds
+/// the enrolled characterisation (aging, voltage droop, temperature, or a
+/// fault-injection attack on the arbiter latches).
+///
+/// Flips are XORed *on top of* the device's physical noise, so the error
+/// the verifier's BCH\[32,6,16\] decoder sees is the combination of both.
+/// All randomness comes from the device's own seeded noise source, keeping
+/// fault-injected runs reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseFault {
+    /// Independent per-bit flip probability applied to every raw response.
+    pub flip_probability: f64,
+    /// Exact number of contiguous bits flipped when a burst lands (models
+    /// beyond-`t` error events; the BCH code tolerates bursts of weight
+    /// ≤ 7).
+    pub burst_weight: u32,
+    /// A burst lands on every `burst_period`-th raw evaluation
+    /// (1 = every evaluation, 0 = never).
+    pub burst_period: u32,
+}
+
+impl ResponseFault {
+    /// A fault that does nothing (no flips, no bursts).
+    pub fn none() -> Self {
+        ResponseFault { flip_probability: 0.0, burst_weight: 0, burst_period: 0 }
+    }
+
+    /// Whether this fault can ever flip a bit.
+    pub fn is_active(&self) -> bool {
+        self.flip_probability > 0.0 || (self.burst_weight > 0 && self.burst_period > 0)
+    }
+}
 
 /// The physical PUF of one prover device: design + chip + operating point,
 /// with the post-processing pipeline and the device's private noise source.
@@ -39,6 +73,10 @@ pub struct DevicePuf {
     buffer: Vec<(u32, u32)>,
     /// Helper words of every finalized session, in order.
     helper_log: Vec<u32>,
+    /// Optional injected response fault (the robustness layer's hook).
+    fault: Option<ResponseFault>,
+    /// Raw evaluations performed, counted for burst scheduling.
+    evaluations: u64,
 }
 
 impl DevicePuf {
@@ -67,6 +105,8 @@ impl DevicePuf {
             votes: 5,
             buffer: Vec::new(),
             helper_log: Vec::new(),
+            fault: None,
+            evaluations: 0,
         })
     }
 
@@ -115,24 +155,70 @@ impl DevicePuf {
         self.design.width()
     }
 
+    /// Injects (or clears) a deterministic response fault. Subsequent raw
+    /// evaluations pass through [`ResponseFault`] bit-flipping driven by the
+    /// device's seeded noise source.
+    pub fn set_response_fault(&mut self, fault: Option<ResponseFault>) {
+        self.fault = fault.filter(ResponseFault::is_active);
+    }
+
+    /// The currently injected response fault, if any.
+    pub fn response_fault(&self) -> Option<ResponseFault> {
+        self.fault
+    }
+
+    /// Applies the injected fault (if any) to one freshly evaluated raw
+    /// response, consuming the device RNG deterministically.
+    fn apply_fault(&mut self, raw: RawResponse) -> RawResponse {
+        let Some(fault) = self.fault else { return raw };
+        self.evaluations += 1;
+        let width = raw.width();
+        let mut bits = raw.bits();
+        if fault.flip_probability > 0.0 {
+            for i in 0..width {
+                if self.rng.gen::<f64>() < fault.flip_probability {
+                    bits ^= 1 << i;
+                }
+            }
+        }
+        if fault.burst_weight > 0
+            && fault.burst_period > 0
+            && self.evaluations.is_multiple_of(u64::from(fault.burst_period))
+        {
+            // A contiguous burst of exactly `burst_weight` flips at a random
+            // start, wrapping around the word.
+            let start = self.rng.gen_range(0..width);
+            for j in 0..(fault.burst_weight as usize).min(width) {
+                bits ^= 1 << ((start + j) % width);
+            }
+        }
+        RawResponse::new(bits, width)
+    }
+
     /// Evaluates a single raw (pre-pipeline) response with the device's
     /// configured voting — the primitive other protocols built on the same
     /// hardware use (e.g. [`crate::slender`]).
     pub fn evaluate_raw(&mut self, challenge: Challenge) -> RawResponse {
-        let instance = PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone());
-        match self.cycle_ps {
-            Some(cycle) => instance.evaluate_voted_clocked(challenge, cycle, self.votes, &mut self.rng),
-            None => instance.evaluate_voted(challenge, self.votes, &mut self.rng),
-        }
+        let raw = {
+            let instance = PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone());
+            match self.cycle_ps {
+                Some(cycle) => instance.evaluate_voted_clocked(challenge, cycle, self.votes, &mut self.rng),
+                None => instance.evaluate_voted(challenge, self.votes, &mut self.rng),
+            }
+        };
+        self.apply_fault(raw)
     }
 
     /// Evaluates one group of 8 challenges through the full pipeline.
     pub fn respond(&mut self, challenges: &[Challenge; RESPONSES_PER_OUTPUT]) -> ProveOutput {
-        let instance = PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone());
-        let raw: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| match self.cycle_ps {
-            Some(cycle) => instance.evaluate_voted_clocked(challenges[j], cycle, self.votes, &mut self.rng),
-            None => instance.evaluate_voted(challenges[j], self.votes, &mut self.rng),
-        });
+        let raw: [RawResponse; RESPONSES_PER_OUTPUT] = {
+            let instance = PufInstance::from_delays(&self.design, &self.chip, self.env, self.delays_ps.clone());
+            std::array::from_fn(|j| match self.cycle_ps {
+                Some(cycle) => instance.evaluate_voted_clocked(challenges[j], cycle, self.votes, &mut self.rng),
+                None => instance.evaluate_voted(challenges[j], self.votes, &mut self.rng),
+            })
+        };
+        let raw = raw.map(|r| self.apply_fault(r));
         self.pipeline.prove(&raw)
     }
 
@@ -192,9 +278,11 @@ impl SharedDevicePuf {
         SharedDevicePuf(Arc::new(Mutex::new(device)))
     }
 
-    /// Runs a closure over the device.
+    /// Runs a closure over the device. Poison-tolerant: a panic in an
+    /// earlier closure (e.g. a failed assertion in a chaos test) must not
+    /// cascade into every later session on the same device.
     pub fn with<T>(&self, f: impl FnOnce(&mut DevicePuf) -> T) -> T {
-        f(&mut self.0.lock().expect("device PUF lock"))
+        f(&mut self.0.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 

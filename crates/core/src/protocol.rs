@@ -17,7 +17,7 @@ use crate::error::PufattError;
 use crate::obfuscate::RESPONSES_PER_OUTPUT;
 use crate::ports::{SharedDevicePuf, VerifierPuf, VerifierRoundPuf};
 use pufatt_pe32::asm::assemble;
-use pufatt_pe32::cpu::{Clock, Cpu};
+use pufatt_pe32::cpu::{Clock, Cpu, Trap};
 use pufatt_swatt::checksum::{self, SwattParams, STATE_WORDS};
 use pufatt_swatt::codegen::{generate, CodegenOptions, SwattLayout};
 use rand::Rng;
@@ -78,10 +78,10 @@ impl AttestationRequest {
     ///
     /// # Errors
     ///
-    /// Returns a message for a wrong-size buffer.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+    /// [`PufattError::Malformed`] for a wrong-size buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PufattError> {
         if bytes.len() != 8 {
-            return Err(format!("attestation request must be 8 bytes, got {}", bytes.len()));
+            return Err(PufattError::Malformed(format!("attestation request must be 8 bytes, got {}", bytes.len())));
         }
         Ok(AttestationRequest {
             x0: u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")),
@@ -124,16 +124,19 @@ impl AttestationReport {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first structural problem.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+    /// [`PufattError::Malformed`] describing the first structural problem.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PufattError> {
         if bytes.len() < 16 || &bytes[..4] != b"PATR" {
-            return Err("not an attestation report".into());
+            return Err(PufattError::Malformed("not an attestation report".into()));
         }
         let cycles = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
         let helper_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
         let expected = 16 + 4 * (STATE_WORDS + helper_count);
         if bytes.len() != expected {
-            return Err(format!("attestation report should be {expected} bytes, got {}", bytes.len()));
+            return Err(PufattError::Malformed(format!(
+                "attestation report should be {expected} bytes, got {}",
+                bytes.len()
+            )));
         }
         let word = |i: usize| u32::from_le_bytes(bytes[16 + 4 * i..20 + 4 * i].try_into().expect("4 bytes"));
         let response: [u32; STATE_WORDS] = std::array::from_fn(word);
@@ -168,6 +171,24 @@ impl fmt::Display for Verdict {
             self.delta_s * 1e3
         )
     }
+}
+
+/// A memory write that lands while the checksum traversal is running: after
+/// `at_cycle` CPU cycles, the word at `addr` is XORed with `xor`.
+///
+/// This models both a fault-injection glitch and the race a real attacker
+/// would attempt (modify memory after the checksum has passed over it). The
+/// verifier's defence is probabilistic: the pseudo-random traversal visits
+/// every cell O(n·log n) times, so a mid-traversal change is caught unless
+/// it lands after the *last* visit to that cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MidTraversalTamper {
+    /// Cycle count after which the write lands.
+    pub at_cycle: u64,
+    /// Word address to modify.
+    pub addr: u32,
+    /// XOR mask applied to the word.
+    pub xor: u32,
 }
 
 /// The prover: a PE32 device with the attestation program in memory and the
@@ -261,6 +282,15 @@ impl ProverDevice {
         self.cpu.clock()
     }
 
+    /// Injects (or clears, with `None`) a response fault on the device's
+    /// PUF: every subsequent raw evaluation passes through the fault model
+    /// before helper generation, which is what makes sub-`t` noise
+    /// recoverable by the reverse fuzzy extractor and beyond-`t` bursts a
+    /// guaranteed rejection.
+    pub fn set_response_fault(&mut self, fault: Option<crate::ports::ResponseFault>) {
+        self.puf.with(|d| d.set_response_fault(fault));
+    }
+
     /// Runs one attestation: writes the challenges, executes the program,
     /// collects response, helper data and cycle count.
     ///
@@ -269,6 +299,24 @@ impl ProverDevice {
     /// [`PufattError::ProverTrap`] if the program traps (should not happen
     /// for generated programs).
     pub fn attest(&mut self, request: AttestationRequest) -> Result<AttestationReport, PufattError> {
+        self.attest_with_tamper(request, None)
+    }
+
+    /// Runs one attestation with an optional memory write landing *during*
+    /// the checksum traversal (the TOCTOU-style fault the robustness layer
+    /// injects: the attacker or a glitch rewrites attested memory after the
+    /// traversal has started, so only the not-yet-visited cells reflect the
+    /// change).
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::ProverTrap`] if the program traps; the tamper itself
+    /// traps (instead of panicking) if its address is outside memory.
+    pub fn attest_with_tamper(
+        &mut self,
+        request: AttestationRequest,
+        tamper: Option<MidTraversalTamper>,
+    ) -> Result<AttestationReport, PufattError> {
         // Fresh run: reset architectural state, keep memory (program +
         // whatever the adversary planted), plant the challenges.
         let memory: Vec<u32> = self.cpu.memory().to_vec();
@@ -279,9 +327,23 @@ impl ProverDevice {
         self.puf.with(|d| {
             d.take_helper_log();
         });
-        let run = self.cpu.run(u64::MAX)?;
-        let response: [u32; STATE_WORDS] =
-            std::array::from_fn(|k| self.cpu.load_word(self.layout.result_base + k as u32).expect("in memory"));
+        let run = match tamper {
+            None => self.cpu.run(u64::MAX)?,
+            Some(t) => match self.cpu.run(t.at_cycle) {
+                // The program finished before the tamper was due.
+                Ok(done) => done,
+                Err(Trap::CycleLimit) => {
+                    let word = self.cpu.load_word(t.addr)?;
+                    self.cpu.store_word(t.addr, word ^ t.xor)?;
+                    self.cpu.run(u64::MAX)?
+                }
+                Err(trap) => return Err(trap.into()),
+            },
+        };
+        let mut response = [0u32; STATE_WORDS];
+        for (k, lane) in response.iter_mut().enumerate() {
+            *lane = self.cpu.load_word(self.layout.result_base + k as u32)?;
+        }
         let helper_words = self.puf.with(|d| d.take_helper_log());
         Ok(AttestationReport { response, helper_words, cycles: run.cycles })
     }
@@ -368,6 +430,14 @@ impl Verifier {
         let elapsed_s = self.channel.transfer_s(request.wire_bits())
             + prover_compute_s
             + self.channel.transfer_s(report.wire_bits());
+        self.verify_timed(request, report, elapsed_s)
+    }
+
+    /// Like [`Verifier::verify`], but for a caller that *measured* the
+    /// end-to-end time itself — the entry point the robustness layer uses
+    /// when the report travelled a lossy channel whose latency the clean
+    /// [`Channel`] model cannot predict.
+    pub fn verify_timed(&self, request: AttestationRequest, report: &AttestationReport, elapsed_s: f64) -> Verdict {
         let response_ok = match self.expected_response(request, &report.helper_words) {
             Ok(expected) => expected == report.response,
             Err(_) => false,
@@ -484,7 +554,10 @@ pub fn run_session_with_retry<R: Rng + ?Sized>(
     rng: &mut R,
     max_attempts: usize,
 ) -> Result<(Verdict, usize), PufattError> {
-    assert!(max_attempts > 0, "at least one attempt required");
+    // A zero budget is treated as one attempt instead of panicking — fault
+    // campaigns construct retry budgets dynamically, and misconfiguration
+    // must surface as a verdict, never as a crash.
+    let max_attempts = max_attempts.max(1);
     let mut last = None;
     for attempt in 1..=max_attempts {
         let request = AttestationRequest::random(rng);
@@ -494,7 +567,7 @@ pub fn run_session_with_retry<R: Rng + ?Sized>(
         }
         last = Some(verdict);
     }
-    Ok((last.expect("max_attempts > 0"), max_attempts))
+    Ok((last.expect("max_attempts >= 1 so the loop ran"), max_attempts))
 }
 
 #[cfg(test)]

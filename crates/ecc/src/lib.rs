@@ -26,6 +26,8 @@
 //! * [`repetition`] — majority-decoded repetition codes (the weakest
 //!   baseline in the error-correction ablation).
 //! * [`fuzzy`] — the syndrome-only reverse fuzzy extractor.
+//! * [`noise`] — exact-weight and burst error generators for the
+//!   robustness experiments (the `noise_sweep` boundary at t = 7).
 //! * [`table`] — coset-leader table decoding (exact minimum-distance
 //!   decoding by lookup, for codes with few syndrome bits).
 //! * [`analysis`] — Poisson–binomial false-negative-rate analysis used to
@@ -57,6 +59,7 @@ pub mod fuzzy;
 pub mod gf2;
 pub mod gf2m;
 pub mod golay;
+pub mod noise;
 pub mod repetition;
 pub mod rm;
 pub mod table;

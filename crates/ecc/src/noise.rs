@@ -1,0 +1,90 @@
+//! Deterministic error-pattern generators for noise experiments.
+//!
+//! The robustness layer's boundary arguments are exact: the paper's
+//! BCH\[32,6,16\] code recovers *every* error of weight ≤ 7 and no error of
+//! weight ≥ 8 decodes back to the transmitted word. Testing those
+//! statements needs error patterns of *exact* Hamming weight — sampling
+//! per-bit Bernoulli noise only hits a given weight probabilistically.
+//! This module provides the exact-weight and burst-shaped generators the
+//! `noise_sweep` experiment and the chaos tests sweep over.
+
+use crate::gf2::BitVec;
+use rand::Rng;
+
+/// Draws an error pattern of exactly `weight` flipped bits at uniformly
+/// random distinct positions.
+///
+/// # Panics
+///
+/// Panics if `weight > len`.
+pub fn exact_weight_error<R: Rng + ?Sized>(len: usize, weight: usize, rng: &mut R) -> BitVec {
+    assert!(weight <= len, "cannot flip {weight} of {len} bits");
+    // Partial Fisher–Yates over the index space: the first `weight` draws
+    // are a uniform sample of distinct positions.
+    let mut positions: Vec<usize> = (0..len).collect();
+    let mut e = BitVec::zeros(len);
+    for i in 0..weight {
+        let j = rng.gen_range(i..len);
+        positions.swap(i, j);
+        e.flip(positions[i]);
+    }
+    e
+}
+
+/// Builds a contiguous burst error of `weight` bits starting at `start`,
+/// wrapping around the end of the word (the shape a clock-glitch or
+/// voltage-droop event produces on adjacent arbiter latches).
+///
+/// # Panics
+///
+/// Panics if `weight > len` or `start >= len`.
+pub fn burst_error(len: usize, start: usize, weight: usize) -> BitVec {
+    assert!(weight <= len, "burst of {weight} does not fit in {len} bits");
+    assert!(start < len, "burst start {start} out of range {len}");
+    let mut e = BitVec::zeros(len);
+    for j in 0..weight {
+        e.flip((start + j) % len);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_weight_is_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for weight in 0..=32 {
+            let e = exact_weight_error(32, weight, &mut rng);
+            assert_eq!(e.weight(), weight, "requested weight must be hit exactly");
+            assert_eq!(e.len(), 32);
+        }
+    }
+
+    #[test]
+    fn exact_weight_positions_vary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = exact_weight_error(32, 5, &mut rng);
+        let b = exact_weight_error(32, 5, &mut rng);
+        assert_ne!(a, b, "patterns should differ across draws (5-of-32 collisions are rare)");
+    }
+
+    #[test]
+    fn bursts_are_contiguous_and_wrap() {
+        let e = burst_error(32, 2, 4);
+        assert_eq!(e.weight(), 4);
+        assert!(e.get(2) && e.get(3) && e.get(4) && e.get(5));
+        let w = burst_error(8, 6, 4);
+        assert!(w.get(6) && w.get(7) && w.get(0) && w.get(1), "bursts wrap: {w:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot flip")]
+    fn oversized_weight_is_refused() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        exact_weight_error(8, 9, &mut rng);
+    }
+}

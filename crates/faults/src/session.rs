@@ -1,0 +1,419 @@
+//! The chaos session runner: one attestation session driven through a
+//! [`LossyChannel`] under a [`FaultPlan`], with verifier-side retry,
+//! exponential backoff, and explicit deadline enforcement.
+//!
+//! The retry state machine (documented in DESIGN.md §9):
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────┐
+//!            │                 attempt k ≤ max                │
+//!            ▼                                                │
+//!   send request ──drop──▶ wait attempt_timeout ──┐           │
+//!        │                                        │           │
+//!     prover attests (faults apply)               ├─▶ backoff ┤
+//!        │                                        │  2^(k-1)·b│
+//!   send report ───drop──▶ wait attempt_timeout ──┘  (capped) │
+//!        │                                                    │
+//!     verify_timed ──reject────────────────────▶──────────────┘
+//!        │                     any point: elapsed > deadline ──▶ Err(Timeout)
+//!     accept ──▶ Ok            all attempts lost ──▶ Err(ChannelLost)
+//!                              retries exhausted  ──▶ Ok(rejected verdict)
+//! ```
+//!
+//! Everything is simulated time: drops cost the verifier its per-attempt
+//! timeout, backoff delays accumulate into the session's elapsed time, and
+//! no thread ever sleeps — which is also why chaos campaigns stay
+//! deterministic at any worker count.
+
+use crate::channel::{Delivery, LossyChannel};
+use crate::plan::FaultPlan;
+use pufatt::protocol::{run_session, AttestationRequest, MidTraversalTamper, ProverDevice, Verifier};
+use pufatt::{PufattError, Verdict};
+use rand::Rng;
+
+/// When the verifier retries, how long it waits, and when it gives up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per session (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `backoff_base_s · 2^(k-1)`, capped at
+    /// [`RetryPolicy::backoff_cap_s`].
+    pub backoff_base_s: f64,
+    /// Upper bound on a single backoff wait.
+    pub backoff_cap_s: f64,
+    /// How long the verifier waits for a report before declaring the
+    /// attempt lost (a dropped message costs exactly this much time).
+    pub attempt_timeout_s: f64,
+    /// Hard session deadline: once total elapsed time crosses it the
+    /// session fails with [`PufattError::Timeout`], whatever else happened.
+    pub deadline_s: f64,
+}
+
+impl RetryPolicy {
+    /// Derives a policy from a verifier's calibrated δ: the verifier waits
+    /// `2 δ` per attempt (a report later than that is either lost or
+    /// useless, since `elapsed > δ` already rejects), backs off from 50 ms,
+    /// and budgets the deadline so that `max_attempts` fully-lost attempts
+    /// plus their backoffs still fit — i.e. exhausting the channel yields
+    /// [`PufattError::ChannelLost`], not a premature timeout.
+    pub fn for_verifier(verifier: &Verifier, max_attempts: u32) -> Self {
+        let max_attempts = max_attempts.max(1);
+        let attempt_timeout_s = 2.0 * verifier.delta_s;
+        let backoff_base_s = 0.05;
+        let backoff_cap_s = 0.8;
+        let backoff_total: f64 = (1..max_attempts)
+            .map(|k| (backoff_base_s * f64::from(1u32 << (k - 1).min(16))).min(backoff_cap_s))
+            .sum();
+        RetryPolicy {
+            max_attempts,
+            backoff_base_s,
+            backoff_cap_s,
+            attempt_timeout_s,
+            deadline_s: f64::from(max_attempts) * attempt_timeout_s + backoff_total + verifier.delta_s,
+        }
+    }
+
+    /// The backoff wait before retry `attempt` (1-based; attempt 1 has no
+    /// backoff).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        if attempt <= 1 {
+            return 0.0;
+        }
+        (self.backoff_base_s * f64::from(1u32 << (attempt - 2).min(16))).min(self.backoff_cap_s)
+    }
+}
+
+/// Everything one chaos session produced, whether it ended in a verdict or
+/// a typed failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The session's result: an accept/reject [`Verdict`], or the typed
+    /// error that ended it ([`PufattError::Timeout`],
+    /// [`PufattError::ChannelLost`], or a prover fault).
+    pub result: Result<Verdict, PufattError>,
+    /// Attempts started (1 = first try succeeded or session died early).
+    pub attempts: u32,
+    /// Total simulated session time: transfers, compute, lost-message
+    /// waits, and backoff.
+    pub elapsed_s: f64,
+    /// Request messages lost in transit.
+    pub requests_dropped: u32,
+    /// Report messages lost in transit.
+    pub reports_dropped: u32,
+    /// Messages that arrived in duplicate.
+    pub duplicates: u32,
+    /// Messages that arrived reordered.
+    pub reordered: u32,
+}
+
+impl ChaosReport {
+    /// Whether the verifier accepted the session.
+    pub fn accepted(&self) -> bool {
+        matches!(self.result, Ok(v) if v.accepted)
+    }
+
+    /// Whether the session died on the deadline or a fully lost channel
+    /// (the outcomes that drive quarantine under flaky links).
+    pub fn timed_out(&self) -> bool {
+        matches!(self.result, Err(PufattError::Timeout { .. }) | Err(PufattError::ChannelLost { .. }))
+    }
+
+    /// Total messages dropped across both legs.
+    pub fn messages_dropped(&self) -> u32 {
+        self.requests_dropped + self.reports_dropped
+    }
+}
+
+/// Applies a plan's *device-side* faults to a provisioned prover: response
+/// bit-flips/bursts on the PUF, and the clock skew or overclock.
+///
+/// Overclock wins over skew when both are set, and couples the PUF to the
+/// raised clock (the physically accurate §4.2 behaviour); skew leaves the
+/// PUF at its safe timing (an honest drifting oscillator).
+pub fn apply_device_faults(prover: &mut ProverDevice, plan: &FaultPlan) {
+    prover.set_response_fault(plan.response_fault());
+    let clock = prover.clock();
+    if plan.overclock != 1.0 {
+        prover.set_clock(clock.overclocked(plan.overclock), true);
+    } else if plan.clock_skew != 1.0 {
+        prover.set_clock(clock.overclocked(plan.clock_skew), false);
+    }
+}
+
+/// Runs one attestation session through the lossy channel under the plan's
+/// message and memory faults, with retry/backoff/deadline per `policy`.
+///
+/// Device-side faults (response flips, clock skew/overclock) are *not*
+/// applied here — call [`apply_device_faults`] once per prover first; this
+/// function only draws the per-session randomness from `rng`, so a fixed
+/// `(plan, policy, rng seed)` triple replays the identical session.
+pub fn run_chaos_session<R: Rng + ?Sized>(
+    prover: &mut ProverDevice,
+    verifier: &Verifier,
+    channel: &LossyChannel,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    rng: &mut R,
+) -> ChaosReport {
+    let mut report = ChaosReport {
+        result: Err(PufattError::ChannelLost { attempts: 0 }),
+        attempts: 0,
+        elapsed_s: 0.0,
+        requests_dropped: 0,
+        reports_dropped: 0,
+        duplicates: 0,
+        reordered: 0,
+    };
+    let mut last_verdict: Option<Verdict> = None;
+    let max_attempts = policy.max_attempts.max(1);
+
+    for attempt in 1..=max_attempts {
+        report.attempts = attempt;
+        report.elapsed_s += policy.backoff_s(attempt);
+        if report.elapsed_s > policy.deadline_s {
+            report.result = Err(PufattError::Timeout { elapsed_s: report.elapsed_s, deadline_s: policy.deadline_s });
+            return report;
+        }
+
+        let request = AttestationRequest::random(rng);
+
+        // Request leg: verifier → prover.
+        let request_latency_s = match channel.transmit(request.wire_bits(), rng) {
+            Delivery::Dropped => {
+                report.requests_dropped += 1;
+                report.elapsed_s += policy.attempt_timeout_s;
+                continue;
+            }
+            Delivery::Delivered { latency_s, duplicated, reordered } => {
+                report.duplicates += u32::from(duplicated);
+                report.reordered += u32::from(reordered);
+                latency_s
+            }
+        };
+
+        // The prover computes; the plan may rewrite attested memory while
+        // the traversal runs.
+        let tamper = (plan.tamper_at_attempt == Some(attempt)).then(|| MidTraversalTamper {
+            at_cycle: 1_000,
+            addr: prover.layout().x0_cell.saturating_sub(8),
+            xor: 0x5EED_5EED,
+        });
+        let attestation = match prover.attest_with_tamper(request, tamper) {
+            Ok(attestation) => attestation,
+            Err(e) => {
+                report.result = Err(e);
+                return report;
+            }
+        };
+        let compute_s = prover.clock().duration_ns(attestation.cycles) * 1e-9;
+
+        // Report leg: prover → verifier.
+        let report_latency_s = match channel.transmit(attestation.wire_bits(), rng) {
+            Delivery::Dropped => {
+                report.reports_dropped += 1;
+                report.elapsed_s += policy.attempt_timeout_s;
+                continue;
+            }
+            Delivery::Delivered { latency_s, duplicated, reordered } => {
+                report.duplicates += u32::from(duplicated);
+                report.reordered += u32::from(reordered);
+                latency_s
+            }
+        };
+
+        let attempt_elapsed_s = request_latency_s + compute_s + report_latency_s;
+        report.elapsed_s += attempt_elapsed_s;
+        if report.elapsed_s > policy.deadline_s {
+            report.result = Err(PufattError::Timeout { elapsed_s: report.elapsed_s, deadline_s: policy.deadline_s });
+            return report;
+        }
+
+        // The δ bound judges the attempt's own wire-to-wire time, not the
+        // retries before it; the deadline above judges the whole session.
+        let verdict = verifier.verify_timed(request, &attestation, attempt_elapsed_s);
+        last_verdict = Some(verdict);
+        if verdict.accepted {
+            report.result = Ok(verdict);
+            return report;
+        }
+    }
+
+    report.result = match last_verdict {
+        Some(verdict) => Ok(verdict),
+        None => Err(PufattError::ChannelLost { attempts: report.attempts }),
+    };
+    report
+}
+
+/// Convenience wrapper for fault-free comparison runs: one clean session
+/// through [`run_session`], shaped like a [`ChaosReport`].
+///
+/// # Errors
+///
+/// Propagates prover traps.
+pub fn run_clean_session<R: Rng + ?Sized>(
+    prover: &mut ProverDevice,
+    verifier: &Verifier,
+    rng: &mut R,
+) -> Result<ChaosReport, PufattError> {
+    let request = AttestationRequest::random(rng);
+    let (verdict, _) = run_session(prover, verifier, request)?;
+    Ok(ChaosReport {
+        result: Ok(verdict),
+        attempts: 1,
+        elapsed_s: verdict.elapsed_s,
+        requests_dropped: 0,
+        reports_dropped: 0,
+        duplicates: 0,
+        reordered: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufatt::enroll::enroll;
+    use pufatt::protocol::provision;
+    use pufatt::Channel;
+    use pufatt_alupuf::device::AluPufConfig;
+    use pufatt_pe32::cpu::Clock;
+    use pufatt_swatt::checksum::SwattParams;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_params() -> SwattParams {
+        SwattParams { region_bits: 8, rounds: 256, puf_interval: 32 }
+    }
+
+    fn setup() -> (ProverDevice, Verifier) {
+        let enrolled = enroll(AluPufConfig::paper_32bit(), 42, 0).unwrap();
+        let (p, v, _) =
+            provision(&enrolled, small_params(), Clock::new(100.0), Channel::sensor_link(), 7, 1.10).unwrap();
+        (p, v)
+    }
+
+    #[test]
+    fn clean_plan_over_ideal_channel_accepts() {
+        let (mut prover, verifier) = setup();
+        let plan = FaultPlan::clean(1);
+        apply_device_faults(&mut prover, &plan);
+        let channel = LossyChannel::ideal(verifier.channel());
+        let policy = RetryPolicy::for_verifier(&verifier, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let report = run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng);
+        assert!(report.accepted(), "clean run must accept: {report:?}");
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn total_loss_yields_channel_lost_not_a_panic() {
+        let (mut prover, verifier) = setup();
+        let plan = FaultPlan::clean(2).with_drops(1.0);
+        let channel = LossyChannel::from_plan(verifier.channel(), &plan);
+        let policy = RetryPolicy::for_verifier(&verifier, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let report = run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng);
+        assert!(matches!(report.result, Err(PufattError::ChannelLost { attempts: 3 })), "{report:?}");
+        assert!(report.timed_out());
+        assert_eq!(report.requests_dropped, 3, "every request leg lost");
+        assert!(report.elapsed_s >= 3.0 * policy.attempt_timeout_s);
+    }
+
+    #[test]
+    fn drops_cost_time_and_retries_recover() {
+        let (mut prover, verifier) = setup();
+        // Heavy but not total loss: with 3 attempts at 50 % drop per leg,
+        // seed 100 finds a delivered attempt.
+        let plan = FaultPlan::clean(3).with_drops(0.5);
+        let channel = LossyChannel::from_plan(verifier.channel(), &plan);
+        let policy = RetryPolicy::for_verifier(&verifier, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        let report = run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng);
+        assert!(report.accepted(), "retries should eventually deliver: {report:?}");
+        assert!(report.attempts > 1 || report.messages_dropped() == 0);
+    }
+
+    #[test]
+    fn tight_deadline_yields_timeout_error() {
+        let (mut prover, verifier) = setup();
+        let plan = FaultPlan::clean(4);
+        let channel = LossyChannel::ideal(verifier.channel());
+        let mut policy = RetryPolicy::for_verifier(&verifier, 3);
+        policy.deadline_s = 1e-9;
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let report = run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng);
+        assert!(matches!(report.result, Err(PufattError::Timeout { .. })), "{report:?}");
+        assert!(report.timed_out());
+    }
+
+    #[test]
+    fn beyond_t_bursts_are_rejected() {
+        let (mut prover, verifier) = setup();
+        // 9 > t = 7 flips on every raw evaluation: reconstruction cannot
+        // track the prover, so the response never verifies.
+        let plan = FaultPlan::clean(5).with_burst(9, 1);
+        apply_device_faults(&mut prover, &plan);
+        let channel = LossyChannel::ideal(verifier.channel());
+        let policy = RetryPolicy::for_verifier(&verifier, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let report = run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng);
+        let verdict = report.result.expect("messages flow; the verdict rejects");
+        assert!(!verdict.accepted && !verdict.response_ok, "{verdict}");
+    }
+
+    #[test]
+    fn slow_clock_skew_breaks_the_delta_bound() {
+        let (mut prover, verifier) = setup();
+        // A 3× slower oscillator: responses stay clean (PUF uncoupled) but
+        // compute time triples, far past the 1.10-slack δ.
+        let plan = FaultPlan::clean(6).with_clock_skew(1.0 / 3.0);
+        apply_device_faults(&mut prover, &plan);
+        let channel = LossyChannel::ideal(verifier.channel());
+        let policy = RetryPolicy::for_verifier(&verifier, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let report = run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng);
+        match report.result {
+            Ok(verdict) => {
+                assert!(!verdict.time_ok && !verdict.accepted, "slow prover must trip δ: {verdict}");
+                assert!(verdict.response_ok, "skew without coupling leaves responses clean");
+            }
+            Err(PufattError::Timeout { .. }) => {} // tripled compute can also blow the deadline
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn mid_traversal_tamper_is_detected() {
+        // A longer traversal than the shared setup: with rounds ≈ 8× the
+        // region size, the probability that the tampered cell is never
+        // revisited after the write lands is e^-8-ish, and with a fixed
+        // seed the outcome is pinned.
+        let enrolled = enroll(AluPufConfig::paper_32bit(), 42, 0).unwrap();
+        let params = SwattParams { region_bits: 8, rounds: 2048, puf_interval: 32 };
+        let (mut prover, verifier, _) =
+            provision(&enrolled, params, Clock::new(100.0), Channel::sensor_link(), 7, 1.10).unwrap();
+        let plan = FaultPlan::clean(7).with_mid_traversal_tamper(1);
+        apply_device_faults(&mut prover, &plan);
+        let channel = LossyChannel::ideal(verifier.channel());
+        let policy = RetryPolicy::for_verifier(&verifier, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let report = run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng);
+        let verdict = report.result.expect("tamper is a verdict, not an error");
+        assert!(!verdict.response_ok, "a tamper landing 1k cycles in is re-read by later rounds: {verdict}");
+    }
+
+    #[test]
+    fn same_seed_replays_the_identical_session() {
+        let plan = FaultPlan::clean(8).with_drops(0.3).with_jitter_ms(3.0).with_bit_flips(0.02);
+        let run = || {
+            let (mut prover, verifier) = setup();
+            apply_device_faults(&mut prover, &plan);
+            let channel = LossyChannel::from_plan(verifier.channel(), &plan);
+            let policy = RetryPolicy::for_verifier(&verifier, 4);
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            run_chaos_session(&mut prover, &verifier, &channel, &plan, &policy, &mut rng)
+        };
+        assert_eq!(run(), run(), "chaos must replay bit-for-bit");
+    }
+}

@@ -1,0 +1,301 @@
+//! The `noise_sweep` experiment: false-negative rate as a function of
+//! injected PUF error weight, reproducing the paper's §4.1 analysis that
+//! the BCH\[32,6,16\] reverse fuzzy extractor recovers up to `t = 7` flipped
+//! bits and fails beyond.
+//!
+//! Two layers of evidence, both from the same sweep:
+//!
+//! 1. **Extractor level** — exact-weight errors applied directly to a
+//!    32-bit response word; the fuzzy extractor either reconstructs the
+//!    noisy word within the verifier's bounded-distance rule
+//!    (`corrected_errors ≤ t`) or it does not. This boundary is
+//!    code-theoretic and deterministic: weight ≤ 7 always recovers,
+//!    weight ≥ 8 never does — the raw maximum-likelihood decoder would
+//!    often still return the exact heavier pattern, but the verifier
+//!    refuses any decode beyond `t`, exactly like the paper's BCH decoder.
+//! 2. **Protocol level** — full attestation sessions on the paper's 32-bit
+//!    profile with a contiguous burst of the given weight injected into
+//!    *every* raw PUF evaluation. Each session needs all of its raw
+//!    evaluations reconstructed, so the per-evaluation boundary compounds:
+//!    the measured FNR curve stays near 0 below `t`, crosses at `t = 7`
+//!    (where intrinsic device noise stacked on the burst can tip single
+//!    evaluations over), and pins to 1 beyond.
+//!
+//! The contiguous-burst shape of layer 2 is deliberate: it is the error
+//! pattern overclocking produces (carry-chain setup violations corrupt
+//! contiguous runs) and the pattern that *aliased onto RM(1,5) codewords
+//! within the `t`-bound* before the pipeline grew its burst interleaver —
+//! early sweeps measured the FNR dipping back down at weight 9–10. See
+//! DESIGN.md §5b finding 7; this sweep is the regression harness for it.
+
+use crate::plan::FaultPlan;
+use pufatt::enroll::enroll;
+use pufatt::protocol::{provision, run_session, AttestationRequest, Channel};
+use pufatt::PufattError;
+use pufatt_alupuf::device::AluPufConfig;
+use pufatt_ecc::gf2::BitVec;
+use pufatt_ecc::noise::exact_weight_error;
+use pufatt_ecc::rm::ReedMuller1;
+use pufatt_ecc::ReverseFuzzyExtractor;
+use pufatt_pe32::cpu::Clock;
+use pufatt_swatt::checksum::SwattParams;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// The error-correction capability of the paper's BCH\[32,6,16\] code.
+pub const PAPER_T: u32 = 7;
+
+/// Shape of one noise sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Seed for every random draw in the sweep (challenges, error
+    /// positions, intrinsic device noise derivation).
+    pub seed: u64,
+    /// Extractor-level trials per error weight.
+    pub extractor_trials: u32,
+    /// Protocol-level attestation sessions per error weight.
+    pub sessions_per_weight: u32,
+    /// Sweep weights `0..=max_weight`.
+    pub max_weight: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 42,
+            extractor_trials: 200,
+            sessions_per_weight: 10,
+            max_weight: 10,
+        }
+    }
+}
+
+/// Measured outcomes for one error weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightRow {
+    /// Hamming weight of the injected error.
+    pub weight: u32,
+    /// Extractor-level trials where reconstruction returned the exact
+    /// noisy response.
+    pub extractor_recovered: u32,
+    /// Extractor-level trials run.
+    pub extractor_trials: u32,
+    /// Protocol-level sessions the verifier accepted.
+    pub accepts: u32,
+    /// Protocol-level sessions run.
+    pub sessions: u32,
+}
+
+impl WeightRow {
+    /// Fraction of extractor trials that recovered exactly.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.extractor_trials == 0 {
+            return 0.0;
+        }
+        f64::from(self.extractor_recovered) / f64::from(self.extractor_trials)
+    }
+
+    /// Protocol-level false-negative rate: honest sessions rejected.
+    pub fn fnr(&self) -> f64 {
+        if self.sessions == 0 {
+            return 0.0;
+        }
+        1.0 - f64::from(self.accepts) / f64::from(self.sessions)
+    }
+}
+
+/// The complete result of a noise sweep: one row per error weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseSweep {
+    /// The configuration that produced this sweep.
+    pub config: SweepConfig,
+    /// The code's error-correction bound (`t = 7` for the paper's code).
+    pub t: u32,
+    /// One row per swept weight, ascending.
+    pub rows: Vec<WeightRow>,
+}
+
+impl NoiseSweep {
+    /// The row for a given weight, if it was swept.
+    pub fn row(&self, weight: u32) -> Option<&WeightRow> {
+        self.rows.iter().find(|r| r.weight == weight)
+    }
+
+    /// Whether the measured boundary matches the paper: full extractor
+    /// recovery for every weight ≤ `t`, zero beyond, and session FNR = 1
+    /// for every burst weight > `t + 1` (the `t + 1` session row may
+    /// straddle, because intrinsic device noise can *cancel* a burst bit
+    /// and pull the effective weight back under `t`).
+    pub fn boundary_holds(&self) -> bool {
+        self.rows.iter().all(|r| {
+            if r.weight <= self.t {
+                r.extractor_recovered == r.extractor_trials
+            } else {
+                r.extractor_recovered == 0 && (r.weight <= self.t + 1 || r.fnr() == 1.0)
+            }
+        })
+    }
+}
+
+impl fmt::Display for NoiseSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "noise_sweep: BCH[32,6,16] boundary at t = {} (seed {})", self.t, self.config.seed)?;
+        writeln!(f, "| weight | extractor recovery | session FNR | verdict |")?;
+        writeln!(f, "|-------:|-------------------:|------------:|---------|")?;
+        for row in &self.rows {
+            let note = if row.weight <= self.t {
+                "recovers"
+            } else if row.fnr() == 1.0 {
+                "rejected"
+            } else {
+                "boundary"
+            };
+            writeln!(
+                f,
+                "| {:>6} | {:>7}/{:<5} {:>4.0}% | {:>11.2} | {} |",
+                row.weight,
+                row.extractor_recovered,
+                row.extractor_trials,
+                row.recovery_rate() * 100.0,
+                row.fnr(),
+                note
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The small-but-faithful protocol profile the sweep attests with: the
+/// paper's 32-bit PUF and code, scaled-down traversal so a full sweep runs
+/// in seconds.
+pub fn sweep_params() -> SwattParams {
+    SwattParams { region_bits: 8, rounds: 256, puf_interval: 32 }
+}
+
+/// Runs the full sweep: extractor-level exact-weight trials and
+/// protocol-level burst sessions for every weight in `0..=max_weight`.
+///
+/// Deterministic in `config.seed`: the same configuration reproduces the
+/// identical table.
+///
+/// # Errors
+///
+/// Propagates enrolment/provisioning failures; individual reconstruction
+/// failures are the *measurement* and are counted, not raised.
+pub fn run_noise_sweep(config: &SweepConfig) -> Result<NoiseSweep, PufattError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let extractor = ReverseFuzzyExtractor::new(ReedMuller1::bch_32_6_16());
+
+    // One enrolled device serves every weight; the injected fault is the
+    // only thing that changes between rows.
+    let enrolled = enroll(AluPufConfig::paper_32bit(), 42, 0)?;
+    let (mut prover, verifier, _) =
+        provision(&enrolled, sweep_params(), Clock::new(100.0), Channel::sensor_link(), 7, 1.10)?;
+
+    let mut rows = Vec::with_capacity(config.max_weight as usize + 1);
+    for weight in 0..=config.max_weight {
+        // Layer 1: the extractor in isolation, exact-weight errors.
+        let mut extractor_recovered = 0;
+        for _ in 0..config.extractor_trials {
+            let reference = BitVec::from_word(u64::from(rng.gen::<u32>()), 32);
+            let error = exact_weight_error(32, weight as usize, &mut rng);
+            let noisy = reference.xor(&error);
+            let recovered = extractor
+                .generate(&noisy)
+                .and_then(|helper| extractor.reproduce(&reference, &helper))
+                .map(|rec| rec.response == noisy && rec.corrected_errors <= PAPER_T as usize)
+                .unwrap_or(false);
+            extractor_recovered += u32::from(recovered);
+        }
+
+        // Layer 2: full sessions with a weight-`weight` burst on every raw
+        // PUF evaluation.
+        let plan = if weight == 0 {
+            FaultPlan::clean(config.seed)
+        } else {
+            FaultPlan::clean(config.seed).with_burst(weight, 1)
+        };
+        prover.set_response_fault(plan.response_fault());
+        let mut accepts = 0;
+        for _ in 0..config.sessions_per_weight {
+            let request = AttestationRequest::random(&mut rng);
+            let (verdict, _) = run_session(&mut prover, &verifier, request)?;
+            accepts += u32::from(verdict.accepted);
+        }
+
+        rows.push(WeightRow {
+            weight,
+            extractor_recovered,
+            extractor_trials: config.extractor_trials,
+            accepts,
+            sessions: config.sessions_per_weight,
+        });
+    }
+    prover.set_response_fault(None);
+
+    Ok(NoiseSweep { config: *config, t: PAPER_T, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> SweepConfig {
+        SweepConfig {
+            seed: 42,
+            extractor_trials: 40,
+            sessions_per_weight: 4,
+            max_weight: 9,
+        }
+    }
+
+    #[test]
+    fn boundary_sits_at_t_equals_7() {
+        let sweep = run_noise_sweep(&quick_config()).expect("sweep runs");
+        assert!(sweep.boundary_holds(), "boundary must hold:\n{sweep}");
+        for weight in 0..=PAPER_T {
+            let row = sweep.row(weight).expect("row exists");
+            assert_eq!(row.extractor_recovered, row.extractor_trials, "weight {weight} must always recover");
+        }
+        let beyond = sweep.row(9).expect("row exists");
+        assert_eq!(beyond.accepts, 0, "9-bit bursts must never be accepted:\n{sweep}");
+        assert_eq!(beyond.extractor_recovered, 0, "9-bit errors must never pass the t-bound");
+    }
+
+    #[test]
+    fn clean_weight_zero_row_accepts_everything() {
+        let config = SweepConfig { max_weight: 0, ..quick_config() };
+        let sweep = run_noise_sweep(&config).expect("sweep runs");
+        let row = sweep.row(0).expect("row exists");
+        assert_eq!(row.accepts, row.sessions, "clean sessions must all accept:\n{sweep}");
+        assert_eq!(row.fnr(), 0.0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_identical_table() {
+        let config = SweepConfig {
+            extractor_trials: 20,
+            sessions_per_weight: 2,
+            max_weight: 8,
+            seed: 5,
+        };
+        let a = run_noise_sweep(&config).expect("sweep runs");
+        let b = run_noise_sweep(&config).expect("sweep runs");
+        assert_eq!(a, b, "sweeps must be deterministic in the seed");
+    }
+
+    #[test]
+    fn display_emits_one_row_per_weight() {
+        let config = SweepConfig {
+            extractor_trials: 4,
+            sessions_per_weight: 1,
+            max_weight: 3,
+            seed: 1,
+        };
+        let sweep = run_noise_sweep(&config).expect("sweep runs");
+        let text = sweep.to_string();
+        assert_eq!(text.lines().count(), 3 + 4, "header + separator + title + 4 rows:\n{text}");
+        assert!(text.contains("t = 7"));
+    }
+}

@@ -25,6 +25,7 @@ use pufatt::enroll::enroll_with_design;
 use pufatt::protocol::{provision, AttestationRequest, Channel, ProverDevice, Verifier};
 use pufatt::PufattError;
 use pufatt_alupuf::device::{AluPufConfig, AluPufDesign};
+use pufatt_faults::{apply_device_faults, run_chaos_session, ChaosReport, FaultPlan, LossyChannel, RetryPolicy};
 use pufatt_swatt::checksum::SwattParams;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -61,6 +62,21 @@ pub struct CampaignConfig {
     pub history_capacity: usize,
     /// Pending jobs the pool queue holds before submits block.
     pub queue_depth: usize,
+    /// Chaos mode: a fault plan and the fraction of the fleet it afflicts.
+    /// `None` runs the campaign exactly as before (ideal channel, no
+    /// injected faults).
+    pub chaos: Option<ChaosConfig>,
+}
+
+/// What a chaos campaign injects and into how much of the fleet.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The faults applied to flaky devices (PUF, transport, clock, memory
+    /// layers — see `pufatt_faults::FaultPlan`).
+    pub plan: FaultPlan,
+    /// Fraction of devices that are flaky, chosen deterministically per
+    /// device from the campaign seed (independent of the tamper set).
+    pub flaky_fraction: f64,
 }
 
 impl Default for CampaignConfig {
@@ -80,6 +96,7 @@ impl Default for CampaignConfig {
             timeout_s: 1.0,
             history_capacity: 64,
             queue_depth: 64,
+            chaos: None,
         }
     }
 }
@@ -89,10 +106,31 @@ impl Default for CampaignConfig {
 pub struct CampaignReport {
     /// Final counters and device states (exact: taken after drain).
     pub snapshot: FleetSnapshot,
+    /// Per-device end state and full retained session history, ascending
+    /// by id. This is the determinism witness: two runs of the same
+    /// configuration must produce identical records whatever the worker
+    /// count.
+    pub device_records: Vec<DeviceRecord>,
     /// Real (wall-clock) time the campaign took.
     pub wall_time: Duration,
     /// Pool jobs that panicked (0 in a healthy campaign).
     pub panicked_jobs: u64,
+}
+
+/// One device's campaign outcome, reconstructed from the registry after
+/// the pool drains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRecord {
+    /// The device id.
+    pub id: DeviceId,
+    /// Whether the device was manufactured compromised.
+    pub tampered: bool,
+    /// Whether the chaos configuration marked the device flaky.
+    pub flaky: bool,
+    /// Lifecycle state when the campaign ended.
+    pub status: FleetStatus,
+    /// Retained session outcomes, oldest first.
+    pub outcomes: Vec<SessionOutcome>,
 }
 
 impl CampaignReport {
@@ -126,11 +164,25 @@ pub fn device_is_tampered(campaign_seed: u64, id: DeviceId, tamper_fraction: f64
     (draw as f64) * (1.0 / (1u64 << 53) as f64) < tamper_fraction
 }
 
+/// Whether device `id` is flaky under a chaos campaign — like
+/// [`device_is_tampered`] a pure function of the seed, and drawn with a
+/// different salt so the flaky and tampered sets are independent.
+pub fn device_is_flaky(campaign_seed: u64, id: DeviceId, flaky_fraction: f64) -> bool {
+    let draw = splitmix64(device_seed(campaign_seed, id) ^ 0x1F1A) >> 11;
+    (draw as f64) * (1.0 / (1u64 << 53) as f64) < flaky_fraction
+}
+
 /// One device's provisioned session state, built inside the pool job.
 struct DeviceSession {
     prover: ProverDevice,
     verifier: Verifier,
     rng: ChaCha8Rng,
+    /// The device's link: lossy for flaky devices under chaos, ideal
+    /// otherwise.
+    channel: LossyChannel,
+    /// The faults this device lives with (clean unless chaos marked it
+    /// flaky).
+    plan: FaultPlan,
 }
 
 fn provision_device(
@@ -155,10 +207,26 @@ fn provision_device(
     } else {
         prover
     };
+    // Chaos: flaky devices carry their plan's device-side faults and talk
+    // over the plan's lossy channel; everyone else keeps the clean line.
+    let flaky = matches!(&cfg.chaos, Some(chaos) if device_is_flaky(cfg.seed, id, chaos.flaky_fraction));
+    let plan = match (&cfg.chaos, flaky) {
+        (Some(chaos), true) => FaultPlan { seed: splitmix64(seed ^ 5), ..chaos.plan.clone() },
+        _ => FaultPlan::clean(splitmix64(seed ^ 5)),
+    };
+    let mut prover = prover;
+    apply_device_faults(&mut prover, &plan);
+    let channel = if flaky {
+        LossyChannel::from_plan(verifier.channel(), &plan)
+    } else {
+        LossyChannel::ideal(verifier.channel())
+    };
     Ok(DeviceSession {
         prover,
         verifier,
         rng: ChaCha8Rng::seed_from_u64(splitmix64(seed ^ 3)),
+        channel,
+        plan,
     })
 }
 
@@ -214,6 +282,69 @@ fn run_one_session(
     }
 }
 
+/// Runs one session through the chaos harness: the device's lossy channel,
+/// its fault plan, and the verifier-side retry/backoff/deadline state
+/// machine. Sessions that die without a verdict (deadline, channel fully
+/// lost) count as failed-and-timed-out towards the lifecycle, never as a
+/// crash.
+fn run_one_chaos_session(
+    session: &mut DeviceSession,
+    cfg: &CampaignConfig,
+    metrics: &FleetMetrics,
+) -> Option<SessionOutcome> {
+    metrics.session_started();
+    let mut policy = RetryPolicy::for_verifier(&session.verifier, cfg.policy.max_attempts);
+    policy.backoff_base_s = cfg.policy.backoff_base_s;
+    policy.deadline_s = policy.deadline_s.min(cfg.timeout_s);
+    let report: ChaosReport = run_chaos_session(
+        &mut session.prover,
+        &session.verifier,
+        &session.channel,
+        &session.plan,
+        &policy,
+        &mut session.rng,
+    );
+    metrics.messages_dropped(u64::from(report.messages_dropped()));
+    if report.attempts > 1 {
+        metrics.attempt_retried();
+    }
+    let outcome = match &report.result {
+        Ok(verdict) => SessionOutcome {
+            accepted: verdict.accepted,
+            response_ok: verdict.response_ok,
+            time_ok: verdict.time_ok,
+            timed_out: false,
+            attempts: report.attempts,
+            elapsed_s: report.elapsed_s,
+        },
+        Err(PufattError::Timeout { .. }) | Err(PufattError::ChannelLost { .. }) => {
+            metrics.session_lost();
+            SessionOutcome {
+                accepted: false,
+                response_ok: false,
+                time_ok: false,
+                timed_out: true,
+                attempts: report.attempts,
+                elapsed_s: report.elapsed_s,
+            }
+        }
+        Err(_) => {
+            metrics.device_fault();
+            return None;
+        }
+    };
+    if outcome.accepted {
+        metrics.session_accepted();
+    } else {
+        metrics.session_rejected();
+        if outcome.timed_out {
+            metrics.session_timed_out();
+        }
+    }
+    metrics.observe_latency(outcome.elapsed_s);
+    Some(outcome)
+}
+
 /// The whole job for one device: provision, then run its sessions
 /// sequentially, recording lifecycle transitions after each.
 fn run_device(
@@ -235,7 +366,12 @@ fn run_device(
             metrics.session_refused();
             continue;
         }
-        if let Some(outcome) = run_one_session(&mut session, cfg, metrics) {
+        let outcome = if cfg.chaos.is_some() {
+            run_one_chaos_session(&mut session, cfg, metrics)
+        } else {
+            run_one_session(&mut session, cfg, metrics)
+        };
+        if let Some(outcome) = outcome {
             registry.record_outcome(id, outcome, &cfg.policy);
         }
     }
@@ -274,8 +410,21 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PufattError>
     }
     let panicked_jobs = pool.shutdown();
 
+    let device_records = registry
+        .ids()
+        .into_iter()
+        .map(|id| DeviceRecord {
+            id,
+            tampered: device_is_tampered(cfg.seed, id, cfg.tamper_fraction),
+            flaky: matches!(&cfg.chaos, Some(c) if device_is_flaky(cfg.seed, id, c.flaky_fraction)),
+            status: registry.status(id).expect("id came from the registry"),
+            outcomes: registry.history(id).expect("id came from the registry"),
+        })
+        .collect();
+
     Ok(CampaignReport {
         snapshot: metrics.snapshot(registry.status_counts()),
+        device_records,
         wall_time: start.elapsed(),
         panicked_jobs,
     })
@@ -297,6 +446,7 @@ pub fn small_test_config(devices: usize, workers: usize, seed: u64) -> CampaignC
         timeout_s: 1.0,
         history_capacity: 16,
         queue_depth: 32,
+        chaos: None,
     }
 }
 
@@ -349,6 +499,59 @@ mod tests {
         assert_eq!(snap.sessions_accepted, 0);
         assert!(snap.sessions_timed_out > 0);
         assert_eq!(snap.sessions_timed_out, snap.sessions_rejected);
+    }
+
+    #[test]
+    fn chaos_campaign_quarantines_flaky_devices() {
+        // Flaky devices lose most messages: their sessions die on the
+        // channel, the lifecycle walks them out of Active, while clean
+        // devices keep attesting normally.
+        let mut cfg = small_test_config(12, 3, 0xD1CE);
+        cfg.tamper_fraction = 0.0;
+        cfg.sessions_per_device = 6;
+        cfg.policy = LifecyclePolicy {
+            max_attempts: 2,
+            quarantine_after: 2,
+            revoke_after: 4,
+            reactivate_after: 2,
+            ..LifecyclePolicy::default()
+        };
+        cfg.chaos = Some(ChaosConfig {
+            plan: FaultPlan::clean(0).with_drops(0.9).with_jitter_ms(1.0),
+            flaky_fraction: 0.4,
+        });
+        let report = run_campaign(&cfg).unwrap();
+        let snap = &report.snapshot;
+        assert_eq!(report.panicked_jobs, 0);
+        assert!(snap.messages_dropped > 0, "drops must be counted: {snap}");
+        assert!(snap.sessions_lost > 0, "90% drop rate loses sessions: {snap}");
+        let flaky: Vec<_> = report.device_records.iter().filter(|r| r.flaky).collect();
+        assert!(!flaky.is_empty(), "0.4 of 12 devices should be flaky");
+        assert!(
+            flaky.iter().any(|r| r.status != FleetStatus::Active),
+            "persistent loss must demote flaky devices: {:?}",
+            flaky.iter().map(|r| (r.id, r.status)).collect::<Vec<_>>()
+        );
+        for r in report.device_records.iter().filter(|r| !r.flaky) {
+            assert_eq!(r.status, FleetStatus::Active, "clean device {} must stay active", r.id);
+        }
+    }
+
+    #[test]
+    fn chaos_campaign_is_deterministic_across_worker_counts() {
+        let make = |workers| {
+            let mut cfg = small_test_config(10, workers, 0xFA17);
+            cfg.sessions_per_device = 4;
+            cfg.chaos = Some(ChaosConfig {
+                plan: FaultPlan::clean(0).with_drops(0.3).with_bit_flips(0.01),
+                flaky_fraction: 0.5,
+            });
+            run_campaign(&cfg).unwrap()
+        };
+        let one = make(1);
+        let four = make(4);
+        assert_eq!(one.device_records, four.device_records, "verdicts must not depend on scheduling");
+        assert_eq!(one.snapshot, four.snapshot);
     }
 
     #[test]

@@ -20,6 +20,15 @@
 //!   worker count changes wall-clock time, never verdicts (all session
 //!   time is simulated, all randomness is derived per device).
 //!
+//! Campaigns degrade gracefully under faults: with a
+//! [`campaign::ChaosConfig`], a deterministic subset of the fleet becomes
+//! *flaky* — it carries a `pufatt_faults::FaultPlan` and talks over the
+//! plan's lossy channel — and repeated timeouts or lost sessions walk those
+//! devices through the same `Active → Quarantined → Revoked` lifecycle as
+//! attesting failures, with hysteresis
+//! ([`LifecyclePolicy::reactivate_after`]) so marginal links settle instead
+//! of flapping.
+//!
 //! Everything is std-only, same as the rest of the workspace.
 //!
 //! # Quickstart
@@ -37,7 +46,10 @@ pub mod metrics;
 pub mod pool;
 pub mod registry;
 
-pub use campaign::{device_is_tampered, run_campaign, small_test_config, CampaignConfig, CampaignReport};
+pub use campaign::{
+    device_is_flaky, device_is_tampered, run_campaign, small_test_config, CampaignConfig, CampaignReport, ChaosConfig,
+    DeviceRecord,
+};
 pub use metrics::{FleetMetrics, FleetSnapshot, LatencyHistogram, LATENCY_BUCKETS};
 pub use pool::WorkerPool;
 pub use registry::{DeviceId, FleetStatus, LifecyclePolicy, SessionOutcome, ShardedRegistry, StatusCounts};

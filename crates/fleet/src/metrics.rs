@@ -73,6 +73,8 @@ pub struct FleetMetrics {
     attempts_retried: AtomicU64,
     sessions_refused: AtomicU64,
     device_faults: AtomicU64,
+    messages_dropped: AtomicU64,
+    sessions_lost: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -119,6 +121,18 @@ impl FleetMetrics {
         self.device_faults.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `n` protocol messages were lost in transit during a chaos session.
+    pub fn messages_dropped(&self, n: u64) {
+        self.messages_dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A session died without a verdict: the deadline expired or the
+    /// channel ate every attempt (also counted in `rejected` — a lost
+    /// session is a failed session for lifecycle purposes).
+    pub fn session_lost(&self) {
+        self.sessions_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a finished session's end-to-end latency.
     pub fn observe_latency(&self, elapsed_s: f64) {
         self.latency.record(elapsed_s);
@@ -140,6 +154,8 @@ impl FleetMetrics {
             attempts_retried: self.attempts_retried.load(Ordering::Relaxed),
             sessions_refused: self.sessions_refused.load(Ordering::Relaxed),
             device_faults: self.device_faults.load(Ordering::Relaxed),
+            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
+            sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
             devices,
             latency_buckets_us: self.latency.nonzero_buckets(),
         }
@@ -163,6 +179,11 @@ pub struct FleetSnapshot {
     pub sessions_refused: u64,
     /// Devices that faulted outside the protocol.
     pub device_faults: u64,
+    /// Protocol messages lost in transit (chaos campaigns).
+    pub messages_dropped: u64,
+    /// Sessions that ended without a verdict — deadline expired or every
+    /// attempt lost to the channel (subset of `sessions_rejected`).
+    pub sessions_lost: u64,
     /// Device counts by lifecycle state.
     pub devices: StatusCounts,
     /// Non-empty latency buckets as `(lower_bound_us, count)`.
@@ -199,6 +220,9 @@ impl fmt::Display for FleetSnapshot {
             self.sessions_refused
         )?;
         writeln!(f, "attempts  {} retried, {} device faults", self.attempts_retried, self.device_faults)?;
+        if self.messages_dropped > 0 || self.sessions_lost > 0 {
+            writeln!(f, "chaos     {} messages dropped, {} sessions lost", self.messages_dropped, self.sessions_lost)?;
+        }
         writeln!(f, "latency (end-to-end, simulated):")?;
         let peak = self.latency_buckets_us.iter().map(|&(_, n)| n).max().unwrap_or(0);
         for &(lower, count) in &self.latency_buckets_us {

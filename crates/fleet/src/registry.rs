@@ -15,7 +15,15 @@
 
 use pufatt::RingBuffer;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Poison-tolerant lock: a panicking session (e.g. a failed assertion in a
+/// chaos test thread) must not wedge the registry for every later session —
+/// device state is a counters-and-enum record that stays internally
+/// consistent under any interleaving of the updates below.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Identifier of a fleet device.
 pub type DeviceId = u32;
@@ -64,6 +72,13 @@ pub struct LifecyclePolicy {
     /// Further consecutive failed sessions a quarantined device is allowed
     /// before revocation.
     pub revoke_after: u32,
+    /// Consecutive *successes* a quarantined device must string together
+    /// before it returns to [`FleetStatus::Active`]. This is the
+    /// hysteresis half of the lifecycle: entering quarantine takes
+    /// `quarantine_after` failures, leaving it takes `reactivate_after`
+    /// successes, so a device on a marginal link (alternating pass/fail)
+    /// settles in quarantine instead of flapping between states.
+    pub reactivate_after: u32,
 }
 
 impl Default for LifecyclePolicy {
@@ -73,6 +88,7 @@ impl Default for LifecyclePolicy {
             backoff_base_s: 0.05,
             quarantine_after: 2,
             revoke_after: 2,
+            reactivate_after: 2,
         }
     }
 }
@@ -81,6 +97,7 @@ impl Default for LifecyclePolicy {
 struct FleetDevice {
     status: FleetStatus,
     consecutive_failures: u32,
+    consecutive_successes: u32,
     history: RingBuffer<SessionOutcome>,
 }
 
@@ -140,7 +157,7 @@ impl ShardedRegistry {
     /// Enrolls a device as [`FleetStatus::Active`]. Returns `false` (and
     /// changes nothing) if the id is already present.
     pub fn enroll(&self, id: DeviceId) -> bool {
-        let mut shard = self.shard(id).lock().unwrap();
+        let mut shard = lock(self.shard(id));
         if shard.contains_key(&id) {
             return false;
         }
@@ -149,6 +166,7 @@ impl ShardedRegistry {
             FleetDevice {
                 status: FleetStatus::Active,
                 consecutive_failures: 0,
+                consecutive_successes: 0,
                 history: RingBuffer::new(self.history_capacity),
             },
         );
@@ -160,11 +178,12 @@ impl ShardedRegistry {
     /// was revoked survives the decision to trust it again). Returns
     /// `false` for unknown ids.
     pub fn re_enroll(&self, id: DeviceId) -> bool {
-        let mut shard = self.shard(id).lock().unwrap();
+        let mut shard = lock(self.shard(id));
         match shard.get_mut(&id) {
             Some(device) => {
                 device.status = FleetStatus::Active;
                 device.consecutive_failures = 0;
+                device.consecutive_successes = 0;
                 true
             }
             None => false,
@@ -173,19 +192,19 @@ impl ShardedRegistry {
 
     /// A device's current status.
     pub fn status(&self, id: DeviceId) -> Option<FleetStatus> {
-        self.shard(id).lock().unwrap().get(&id).map(|d| d.status)
+        lock(self.shard(id)).get(&id).map(|d| d.status)
     }
 
     /// Manually revokes a device.
     pub fn revoke(&self, id: DeviceId) {
-        if let Some(d) = self.shard(id).lock().unwrap().get_mut(&id) {
+        if let Some(d) = lock(self.shard(id)).get_mut(&id) {
             d.status = FleetStatus::Revoked;
         }
     }
 
     /// Manually quarantines a device (no-op if revoked).
     pub fn quarantine(&self, id: DeviceId) {
-        if let Some(d) = self.shard(id).lock().unwrap().get_mut(&id) {
+        if let Some(d) = lock(self.shard(id)).get_mut(&id) {
             if d.status != FleetStatus::Revoked {
                 d.status = FleetStatus::Quarantined;
             }
@@ -193,23 +212,31 @@ impl ShardedRegistry {
     }
 
     /// Records a session outcome and applies `policy`'s lifecycle
-    /// transitions: a success reactivates a quarantined device; failures
-    /// accumulate towards quarantine and then revocation. Returns the
-    /// post-transition status, or `None` for unknown ids.
+    /// transitions with hysteresis: `quarantine_after` consecutive failures
+    /// demote an active device, `reactivate_after` consecutive successes
+    /// promote a quarantined one back (a `0` reactivates on the first
+    /// success), and `revoke_after` further consecutive failures inside
+    /// quarantine revoke it. Returns the post-transition status, or `None`
+    /// for unknown ids.
     pub fn record_outcome(
         &self,
         id: DeviceId,
         outcome: SessionOutcome,
         policy: &LifecyclePolicy,
     ) -> Option<FleetStatus> {
-        let mut shard = self.shard(id).lock().unwrap();
+        let mut shard = lock(self.shard(id));
         let device = shard.get_mut(&id)?;
         if outcome.accepted {
             device.consecutive_failures = 0;
-            if device.status == FleetStatus::Quarantined {
+            device.consecutive_successes += 1;
+            if device.status == FleetStatus::Quarantined
+                && device.consecutive_successes >= policy.reactivate_after.max(1)
+            {
                 device.status = FleetStatus::Active;
+                device.consecutive_successes = 0;
             }
         } else {
+            device.consecutive_successes = 0;
             device.consecutive_failures += 1;
             if device.status == FleetStatus::Active && device.consecutive_failures >= policy.quarantine_after {
                 device.status = FleetStatus::Quarantined;
@@ -233,12 +260,12 @@ impl ShardedRegistry {
 
     /// Total sessions ever recorded for a device (retained + rolled off).
     pub fn sessions_recorded(&self, id: DeviceId) -> Option<u64> {
-        self.shard(id).lock().unwrap().get(&id).map(|d| d.history.total_pushed())
+        lock(self.shard(id)).get(&id).map(|d| d.history.total_pushed())
     }
 
     /// Number of enrolled devices (all states).
     pub fn device_count(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| lock(s).len()).sum()
     }
 
     /// Device counts by state, taken shard by shard (each shard is
@@ -246,7 +273,7 @@ impl ShardedRegistry {
     pub fn status_counts(&self) -> StatusCounts {
         let mut counts = StatusCounts::default();
         for shard in &self.shards {
-            for device in shard.lock().unwrap().values() {
+            for device in lock(shard).values() {
                 match device.status {
                     FleetStatus::Active => counts.active += 1,
                     FleetStatus::Quarantined => counts.quarantined += 1,
@@ -262,7 +289,7 @@ impl ShardedRegistry {
         let mut ids: Vec<DeviceId> = self
             .shards
             .iter()
-            .flat_map(|s| s.lock().unwrap().keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| lock(s).keys().copied().collect::<Vec<_>>())
             .collect();
         ids.sort_unstable();
         ids
@@ -322,12 +349,43 @@ mod tests {
     }
 
     #[test]
-    fn success_reactivates_quarantined_device() {
+    fn reactivation_needs_consecutive_successes() {
         let reg = ShardedRegistry::new(2, 8);
-        let policy = LifecyclePolicy { quarantine_after: 1, ..LifecyclePolicy::default() };
+        let policy = LifecyclePolicy {
+            quarantine_after: 1,
+            reactivate_after: 2,
+            ..LifecyclePolicy::default()
+        };
         reg.enroll(1);
         assert_eq!(reg.record_outcome(1, failed(), &policy), Some(FleetStatus::Quarantined));
-        assert_eq!(reg.record_outcome(1, passed(), &policy), Some(FleetStatus::Active));
+        assert_eq!(
+            reg.record_outcome(1, passed(), &policy),
+            Some(FleetStatus::Quarantined),
+            "one success is not enough"
+        );
+        assert_eq!(reg.record_outcome(1, passed(), &policy), Some(FleetStatus::Active), "the second one is");
+    }
+
+    #[test]
+    fn flapping_device_settles_in_quarantine() {
+        // Alternating pass/fail never strings together the two successes
+        // reactivation demands, and quarantine failures only revoke when
+        // *consecutive* — the hysteresis holds the device in quarantine.
+        let reg = ShardedRegistry::new(2, 8);
+        let policy = LifecyclePolicy {
+            quarantine_after: 2,
+            revoke_after: 2,
+            reactivate_after: 2,
+            ..LifecyclePolicy::default()
+        };
+        reg.enroll(1);
+        reg.record_outcome(1, failed(), &policy);
+        reg.record_outcome(1, failed(), &policy);
+        assert_eq!(reg.status(1), Some(FleetStatus::Quarantined));
+        for _ in 0..6 {
+            reg.record_outcome(1, passed(), &policy);
+            assert_eq!(reg.record_outcome(1, failed(), &policy), Some(FleetStatus::Quarantined), "no flapping");
+        }
     }
 
     #[test]
@@ -361,7 +419,7 @@ mod tests {
         }
         assert_eq!(reg.device_count(), 64);
         assert_eq!(reg.ids(), (0..64).collect::<Vec<_>>());
-        let nonempty = reg.shards.iter().filter(|s| !s.lock().unwrap().is_empty()).count();
+        let nonempty = reg.shards.iter().filter(|s| !lock(s).is_empty()).count();
         assert!(nonempty >= 6, "sequential ids should hit most shards, got {nonempty}");
     }
 

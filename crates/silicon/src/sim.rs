@@ -14,7 +14,7 @@
 //!
 //! [`EventSimulator`] is built to be constructed once and queried many
 //! times: the fanout adjacency is a shared CSR (see
-//! [`FanoutCsr`](crate::netlist::FanoutCsr)) rather than a per-simulator
+//! [`FanoutCsr`]) rather than a per-simulator
 //! `Vec<Vec<GateId>>`, and the per-run state (net values, settling times,
 //! transition counts, the event heap) lives in persistent scratch buffers.
 //! [`EventSimulator::run_transition_in_place`] therefore performs **zero

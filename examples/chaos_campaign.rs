@@ -1,0 +1,94 @@
+//! Chaos day at the fleet: a third of the sensors sit behind a badly lossy
+//! link, an eighth are compromised, and the operator wants the lifecycle
+//! machinery to sort one from the other without manual triage.
+//!
+//! Run with `cargo run --release --example chaos_campaign`.
+//!
+//! Flaky devices carry a `FaultPlan` (90 % message drops plus latency
+//! jitter) and talk over the plan's lossy channel; the verifier retries
+//! with exponential backoff under a hard session deadline, so their
+//! sessions end as typed timeouts rather than hangs. Repeated losses walk
+//! a device `Active → Quarantined` exactly like attestation failures do —
+//! with hysteresis (`reactivate_after` consecutive successes to climb
+//! back), so a marginal link settles in quarantine instead of flapping.
+//! Everything is simulated time and per-device derived randomness: rerun
+//! with any worker count and the verdict sequence is identical.
+
+use pufatt_faults::FaultPlan;
+use pufatt_fleet::{
+    device_is_flaky, device_is_tampered, run_campaign, CampaignConfig, ChaosConfig, FleetStatus, LifecyclePolicy,
+};
+
+fn main() {
+    let flaky_fraction = 1.0 / 3.0;
+    let cfg = CampaignConfig {
+        devices: 48,
+        workers: 6,
+        sessions_per_device: 4,
+        tamper_fraction: 0.125,
+        policy: LifecyclePolicy {
+            max_attempts: 2,
+            quarantine_after: 2,
+            revoke_after: 6,
+            reactivate_after: 2,
+            ..LifecyclePolicy::default()
+        },
+        chaos: Some(ChaosConfig {
+            plan: FaultPlan::clean(0).with_drops(0.9).with_jitter_ms(1.0),
+            flaky_fraction,
+        }),
+        ..CampaignConfig::default()
+    };
+    let chaos = cfg.chaos.as_ref().expect("configured above");
+    println!(
+        "enrolling {} devices: ~{:.0}% compromised, ~{:.0}% on a lossy link (plan [{}])\n",
+        cfg.devices,
+        cfg.tamper_fraction * 100.0,
+        chaos.flaky_fraction * 100.0,
+        chaos.plan,
+    );
+
+    let report = run_campaign(&cfg).expect("campaign");
+    print!("{}", report.snapshot);
+    println!(
+        "\nwall time {:.2} s  ({:.0} sessions/s across {} workers)",
+        report.wall_time.as_secs_f64(),
+        report.sessions_per_second(),
+        cfg.workers
+    );
+
+    // Both afflicted sets are pure functions of the seed, so the operator
+    // has reproducible ground truth to grade the campaign against.
+    let flaky: Vec<u32> = (0..cfg.devices as u32)
+        .filter(|&id| device_is_flaky(cfg.seed, id, flaky_fraction))
+        .collect();
+    let tampered: Vec<u32> = (0..cfg.devices as u32)
+        .filter(|&id| device_is_tampered(cfg.seed, id, cfg.tamper_fraction))
+        .collect();
+    println!("\nground truth: {} flaky {:?}", flaky.len(), flaky);
+    println!("ground truth: {} compromised {:?}", tampered.len(), tampered);
+
+    let mut demoted_flaky = 0usize;
+    for record in &report.device_records {
+        if record.flaky {
+            demoted_flaky += usize::from(record.status != FleetStatus::Active);
+        } else if !record.tampered {
+            assert_eq!(
+                record.status,
+                FleetStatus::Active,
+                "device {} is neither flaky nor compromised and must stay active",
+                record.id
+            );
+        }
+    }
+    println!(
+        "\n{demoted_flaky}/{} flaky devices ended quarantined or revoked; every healthy device stayed active",
+        flaky.len()
+    );
+    assert!(
+        demoted_flaky * 2 >= flaky.len(),
+        "at 90% drops with 2 attempts and quarantine_after = 2, most flaky devices must be demoted"
+    );
+    assert!(report.snapshot.sessions_lost > 0, "a 90%-drop link must lose whole sessions");
+    println!("the lifecycle separated lossy links from healthy devices with no manual triage");
+}

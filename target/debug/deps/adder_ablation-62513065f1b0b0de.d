@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adder_ablation-62513065f1b0b0de.d: crates/bench/benches/adder_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadder_ablation-62513065f1b0b0de.rmeta: crates/bench/benches/adder_ablation.rs Cargo.toml
+
+crates/bench/benches/adder_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aging_drift-a74cfb9bc7869a86.d: crates/bench/benches/aging_drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaging_drift-a74cfb9bc7869a86.rmeta: crates/bench/benches/aging_drift.rs Cargo.toml
+
+crates/bench/benches/aging_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

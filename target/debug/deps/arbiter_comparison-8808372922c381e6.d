@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arbiter_comparison-8808372922c381e6.d: crates/bench/benches/arbiter_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarbiter_comparison-8808372922c381e6.rmeta: crates/bench/benches/arbiter_comparison.rs Cargo.toml
+
+crates/bench/benches/arbiter_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

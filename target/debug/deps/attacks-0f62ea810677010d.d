@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-0f62ea810677010d.d: tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-0f62ea810677010d: tests/attacks.rs
+
+tests/attacks.rs:

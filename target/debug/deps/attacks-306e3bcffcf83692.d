@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attacks-306e3bcffcf83692.d: tests/attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattacks-306e3bcffcf83692.rmeta: tests/attacks.rs Cargo.toml
+
+tests/attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attacks-8c49f686ec262466.d: tests/attacks.rs
+
+/root/repo/target/debug/deps/attacks-8c49f686ec262466: tests/attacks.rs
+
+tests/attacks.rs:

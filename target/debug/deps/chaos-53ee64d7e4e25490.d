@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-53ee64d7e4e25490.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-53ee64d7e4e25490: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-d932f3f02dbce474.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-d932f3f02dbce474.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

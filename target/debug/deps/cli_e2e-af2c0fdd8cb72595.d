@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_e2e-af2c0fdd8cb72595.d: crates/cli/tests/cli_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_e2e-af2c0fdd8cb72595.rmeta: crates/cli/tests/cli_e2e.rs Cargo.toml
+
+crates/cli/tests/cli_e2e.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pufatt=placeholder:pufatt
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-d8703ae64dd8fd13.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/cli_e2e-d8703ae64dd8fd13: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_pufatt=/root/repo/target/debug/pufatt

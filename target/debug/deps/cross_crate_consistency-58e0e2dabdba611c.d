@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate_consistency-58e0e2dabdba611c.d: tests/cross_crate_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate_consistency-58e0e2dabdba611c.rmeta: tests/cross_crate_consistency.rs Cargo.toml
+
+tests/cross_crate_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

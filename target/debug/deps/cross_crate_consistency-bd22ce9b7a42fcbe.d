@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_consistency-bd22ce9b7a42fcbe.d: tests/cross_crate_consistency.rs
+
+/root/repo/target/debug/deps/cross_crate_consistency-bd22ce9b7a42fcbe: tests/cross_crate_consistency.rs
+
+tests/cross_crate_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate_consistency-f388e7ba5441bfc1.d: tests/cross_crate_consistency.rs
+
+/root/repo/target/debug/deps/cross_crate_consistency-f388e7ba5441bfc1: tests/cross_crate_consistency.rs
+
+tests/cross_crate_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_space-e319c38c28155312.d: crates/bench/benches/design_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_space-e319c38c28155312.rmeta: crates/bench/benches/design_space.rs Cargo.toml
+
+crates/bench/benches/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecc_ablation-d106c291882a4c3c.d: crates/bench/benches/ecc_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecc_ablation-d106c291882a4c3c.rmeta: crates/bench/benches/ecc_ablation.rs Cargo.toml
+
+crates/bench/benches/ecc_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-37555a2ff968d7cf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-37555a2ff968d7cf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ff5f41f8ab752f77.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ff5f41f8ab752f77: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_interchip_hd-fc37a811b1478452.d: crates/bench/benches/fig3_interchip_hd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_interchip_hd-fc37a811b1478452.rmeta: crates/bench/benches/fig3_interchip_hd.rs Cargo.toml
+
+crates/bench/benches/fig3_interchip_hd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_intrachip_hd-bc6b08148f541518.d: crates/bench/benches/fig4_intrachip_hd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_intrachip_hd-bc6b08148f541518.rmeta: crates/bench/benches/fig4_intrachip_hd.rs Cargo.toml
+
+crates/bench/benches/fig4_intrachip_hd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

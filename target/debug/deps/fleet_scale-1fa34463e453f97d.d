@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scale-1fa34463e453f97d.d: tests/fleet_scale.rs
+
+/root/repo/target/debug/deps/fleet_scale-1fa34463e453f97d: tests/fleet_scale.rs
+
+tests/fleet_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_scale-6c601325663d7a89.d: tests/fleet_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_scale-6c601325663d7a89.rmeta: tests/fleet_scale.rs Cargo.toml
+
+tests/fleet_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet_scale-c8992c53588aff3d.d: tests/fleet_scale.rs
+
+/root/repo/target/debug/deps/fleet_scale-c8992c53588aff3d: tests/fleet_scale.rs
+
+tests/fleet_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_throughput-e93183268c35089d.d: crates/bench/benches/fleet_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_throughput-e93183268c35089d.rmeta: crates/bench/benches/fleet_throughput.rs Cargo.toml
+
+crates/bench/benches/fleet_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

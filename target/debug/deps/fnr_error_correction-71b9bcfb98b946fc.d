@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fnr_error_correction-71b9bcfb98b946fc.d: crates/bench/benches/fnr_error_correction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfnr_error_correction-71b9bcfb98b946fc.rmeta: crates/bench/benches/fnr_error_correction.rs Cargo.toml
+
+crates/bench/benches/fnr_error_correction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

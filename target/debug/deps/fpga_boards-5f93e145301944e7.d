@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpga_boards-5f93e145301944e7.d: crates/bench/benches/fpga_boards.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpga_boards-5f93e145301944e7.rmeta: crates/bench/benches/fpga_boards.rs Cargo.toml
+
+crates/bench/benches/fpga_boards.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_vectors-159b3b4233fd15f4.d: tests/golden_vectors.rs
+
+/root/repo/target/debug/deps/golden_vectors-159b3b4233fd15f4: tests/golden_vectors.rs
+
+tests/golden_vectors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_vectors-1e69e0638cf7afcc.d: tests/golden_vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_vectors-1e69e0638cf7afcc.rmeta: tests/golden_vectors.rs Cargo.toml
+
+tests/golden_vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_vectors-64a8c45b7b80280e.d: tests/golden_vectors.rs
+
+/root/repo/target/debug/deps/golden_vectors-64a8c45b7b80280e: tests/golden_vectors.rs
+
+tests/golden_vectors.rs:

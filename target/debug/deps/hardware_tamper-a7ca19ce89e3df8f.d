@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hardware_tamper-a7ca19ce89e3df8f.d: crates/bench/benches/hardware_tamper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhardware_tamper-a7ca19ce89e3df8f.rmeta: crates/bench/benches/hardware_tamper.rs Cargo.toml
+
+crates/bench/benches/hardware_tamper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

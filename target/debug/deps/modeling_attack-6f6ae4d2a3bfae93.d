@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/modeling_attack-6f6ae4d2a3bfae93.d: crates/bench/benches/modeling_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodeling_attack-6f6ae4d2a3bfae93.rmeta: crates/bench/benches/modeling_attack.rs Cargo.toml
+
+crates/bench/benches/modeling_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

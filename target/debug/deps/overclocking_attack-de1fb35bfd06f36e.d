@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overclocking_attack-de1fb35bfd06f36e.d: crates/bench/benches/overclocking_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverclocking_attack-de1fb35bfd06f36e.rmeta: crates/bench/benches/overclocking_attack.rs Cargo.toml
+
+crates/bench/benches/overclocking_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

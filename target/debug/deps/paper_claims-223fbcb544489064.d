@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-223fbcb544489064.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-223fbcb544489064: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-6ccba59519f6c582.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-6ccba59519f6c582: tests/paper_claims.rs
+
+tests/paper_claims.rs:

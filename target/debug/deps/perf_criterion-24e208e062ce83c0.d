@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_criterion-24e208e062ce83c0.d: crates/bench/benches/perf_criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_criterion-24e208e062ce83c0.rmeta: crates/bench/benches/perf_criterion.rs Cargo.toml
+
+crates/bench/benches/perf_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

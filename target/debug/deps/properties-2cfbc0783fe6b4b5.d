@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2cfbc0783fe6b4b5.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2cfbc0783fe6b4b5.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-815b791c61df91a7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-815b791c61df91a7: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ca0c4682d89e16ee.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ca0c4682d89e16ee: tests/properties.rs
+
+tests/properties.rs:

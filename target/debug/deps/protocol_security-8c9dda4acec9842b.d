@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_security-8c9dda4acec9842b.d: crates/bench/benches/protocol_security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_security-8c9dda4acec9842b.rmeta: crates/bench/benches/protocol_security.rs Cargo.toml
+
+crates/bench/benches/protocol_security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

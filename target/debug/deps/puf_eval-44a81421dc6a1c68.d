@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/puf_eval-44a81421dc6a1c68.d: crates/bench/benches/puf_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpuf_eval-44a81421dc6a1c68.rmeta: crates/bench/benches/puf_eval.rs Cargo.toml
+
+crates/bench/benches/puf_eval.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

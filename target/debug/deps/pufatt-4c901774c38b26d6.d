@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pufatt-4c901774c38b26d6.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs
+
+/root/repo/target/debug/deps/libpufatt-4c901774c38b26d6.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/enroll.rs crates/core/src/error.rs crates/core/src/obfuscate.rs crates/core/src/pipeline.rs crates/core/src/ports.rs crates/core/src/protocol.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/sidechannel.rs crates/core/src/slender.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/enroll.rs:
+crates/core/src/error.rs:
+crates/core/src/obfuscate.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/ports.rs:
+crates/core/src/protocol.rs:
+crates/core/src/ring.rs:
+crates/core/src/server.rs:
+crates/core/src/sidechannel.rs:
+crates/core/src/slender.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt-f44599c0eb7a71f3.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/pufatt-f44599c0eb7a71f3: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

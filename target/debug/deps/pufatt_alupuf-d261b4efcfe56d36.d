@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pufatt_alupuf-d261b4efcfe56d36.d: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+/root/repo/target/debug/deps/libpufatt_alupuf-d261b4efcfe56d36.rmeta: crates/alupuf/src/lib.rs crates/alupuf/src/aging.rs crates/alupuf/src/arbiter.rs crates/alupuf/src/challenge.rs crates/alupuf/src/device.rs crates/alupuf/src/emulate.rs crates/alupuf/src/fpga.rs crates/alupuf/src/quality.rs crates/alupuf/src/resources.rs crates/alupuf/src/stats.rs crates/alupuf/src/tamper.rs
+
+crates/alupuf/src/lib.rs:
+crates/alupuf/src/aging.rs:
+crates/alupuf/src/arbiter.rs:
+crates/alupuf/src/challenge.rs:
+crates/alupuf/src/device.rs:
+crates/alupuf/src/emulate.rs:
+crates/alupuf/src/fpga.rs:
+crates/alupuf/src/quality.rs:
+crates/alupuf/src/resources.rs:
+crates/alupuf/src/stats.rs:
+crates/alupuf/src/tamper.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt_bench-32a2f751bb422377.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_bench-32a2f751bb422377.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_bench-32a2f751bb422377.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_bench-3406fd4b41e6d9ed.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_bench-3406fd4b41e6d9ed.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pufatt_bench-3cc95d408a162a34.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pufatt_bench-3cc95d408a162a34: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_bench-774b1cf67ed1087a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_bench-774b1cf67ed1087a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pufatt_ecc-06680aaed55bfa00.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/pufatt_ecc-06680aaed55bfa00.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpufatt_ecc-06680aaed55bfa00.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libpufatt_ecc-06680aaed55bfa00.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs Cargo.toml
 
 crates/ecc/src/lib.rs:
 crates/ecc/src/analysis.rs:
@@ -10,6 +10,7 @@ crates/ecc/src/fuzzy.rs:
 crates/ecc/src/gf2.rs:
 crates/ecc/src/gf2m.rs:
 crates/ecc/src/golay.rs:
+crates/ecc/src/noise.rs:
 crates/ecc/src/repetition.rs:
 crates/ecc/src/rm.rs:
 crates/ecc/src/table.rs:

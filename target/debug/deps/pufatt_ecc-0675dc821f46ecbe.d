@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pufatt_ecc-0675dc821f46ecbe.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+
+/root/repo/target/debug/deps/libpufatt_ecc-0675dc821f46ecbe.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/analysis.rs:
+crates/ecc/src/bch.rs:
+crates/ecc/src/code.rs:
+crates/ecc/src/fuzzy.rs:
+crates/ecc/src/gf2.rs:
+crates/ecc/src/gf2m.rs:
+crates/ecc/src/golay.rs:
+crates/ecc/src/noise.rs:
+crates/ecc/src/repetition.rs:
+crates/ecc/src/rm.rs:
+crates/ecc/src/table.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/pufatt_ecc-ec14bb921b3f5df6.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+/root/repo/target/debug/deps/pufatt_ecc-ec14bb921b3f5df6.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
 
-/root/repo/target/debug/deps/libpufatt_ecc-ec14bb921b3f5df6.rlib: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+/root/repo/target/debug/deps/libpufatt_ecc-ec14bb921b3f5df6.rlib: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
 
-/root/repo/target/debug/deps/libpufatt_ecc-ec14bb921b3f5df6.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+/root/repo/target/debug/deps/libpufatt_ecc-ec14bb921b3f5df6.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
 
 crates/ecc/src/lib.rs:
 crates/ecc/src/analysis.rs:
@@ -12,6 +12,7 @@ crates/ecc/src/fuzzy.rs:
 crates/ecc/src/gf2.rs:
 crates/ecc/src/gf2m.rs:
 crates/ecc/src/golay.rs:
+crates/ecc/src/noise.rs:
 crates/ecc/src/repetition.rs:
 crates/ecc/src/rm.rs:
 crates/ecc/src/table.rs:

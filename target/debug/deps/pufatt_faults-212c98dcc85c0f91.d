@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pufatt_faults-212c98dcc85c0f91.d: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+/root/repo/target/debug/deps/libpufatt_faults-212c98dcc85c0f91.rlib: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+/root/repo/target/debug/deps/libpufatt_faults-212c98dcc85c0f91.rmeta: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/channel.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/session.rs:
+crates/faults/src/sweep.rs:

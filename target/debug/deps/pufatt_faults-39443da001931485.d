@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pufatt_faults-39443da001931485.d: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_faults-39443da001931485.rmeta: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/channel.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/session.rs:
+crates/faults/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_faults-97c8b94747e58948.d: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+/root/repo/target/debug/deps/libpufatt_faults-97c8b94747e58948.rmeta: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/channel.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/session.rs:
+crates/faults/src/sweep.rs:

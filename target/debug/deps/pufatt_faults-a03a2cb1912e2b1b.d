@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_faults-a03a2cb1912e2b1b.d: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+/root/repo/target/debug/deps/pufatt_faults-a03a2cb1912e2b1b: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/channel.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/session.rs:
+crates/faults/src/sweep.rs:

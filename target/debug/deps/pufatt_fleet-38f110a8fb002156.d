@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pufatt_fleet-38f110a8fb002156.d: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/debug/deps/libpufatt_fleet-38f110a8fb002156.rlib: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/debug/deps/libpufatt_fleet-38f110a8fb002156.rmeta: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/campaign.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/registry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pufatt_fleet-81d21febe478fc03.d: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_fleet-81d21febe478fc03.rmeta: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/campaign.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_fleet-e2b0209ea21fcb1c.d: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+/root/repo/target/debug/deps/libpufatt_fleet-e2b0209ea21fcb1c.rmeta: crates/fleet/src/lib.rs crates/fleet/src/campaign.rs crates/fleet/src/metrics.rs crates/fleet/src/pool.rs crates/fleet/src/registry.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/campaign.rs:
+crates/fleet/src/metrics.rs:
+crates/fleet/src/pool.rs:
+crates/fleet/src/registry.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pufatt_modeling-d966adcaf3096fe3.d: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+/root/repo/target/debug/deps/libpufatt_modeling-d966adcaf3096fe3.rmeta: crates/modeling/src/lib.rs crates/modeling/src/attack.rs crates/modeling/src/lr.rs crates/modeling/src/mlp.rs
+
+crates/modeling/src/lib.rs:
+crates/modeling/src/attack.rs:
+crates/modeling/src/lr.rs:
+crates/modeling/src/mlp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pufatt_pe32-01539187cc686177.d: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+/root/repo/target/debug/deps/libpufatt_pe32-01539187cc686177.rmeta: crates/pe32/src/lib.rs crates/pe32/src/asm.rs crates/pe32/src/cpu.rs crates/pe32/src/isa.rs crates/pe32/src/programs.rs crates/pe32/src/puf_port.rs crates/pe32/src/trace.rs
+
+crates/pe32/src/lib.rs:
+crates/pe32/src/asm.rs:
+crates/pe32/src/cpu.rs:
+crates/pe32/src/isa.rs:
+crates/pe32/src/programs.rs:
+crates/pe32/src/puf_port.rs:
+crates/pe32/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_repro-1de55026ef108d95.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_repro-1de55026ef108d95.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pufatt_repro-625a10a386551609.d: src/lib.rs
+
+/root/repo/target/debug/deps/pufatt_repro-625a10a386551609: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt_repro-76a5eff7dc76126c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-76a5eff7dc76126c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-76a5eff7dc76126c.rmeta: src/lib.rs
+
+src/lib.rs:

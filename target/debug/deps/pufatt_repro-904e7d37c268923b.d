@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pufatt_repro-904e7d37c268923b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-904e7d37c268923b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpufatt_repro-904e7d37c268923b.rmeta: src/lib.rs
+
+src/lib.rs:

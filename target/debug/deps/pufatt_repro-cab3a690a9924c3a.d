@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pufatt_repro-cab3a690a9924c3a.d: src/lib.rs
+
+/root/repo/target/debug/deps/pufatt_repro-cab3a690a9924c3a: src/lib.rs
+
+src/lib.rs:

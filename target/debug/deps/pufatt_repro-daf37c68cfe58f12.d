@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pufatt_repro-daf37c68cfe58f12.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpufatt_repro-daf37c68cfe58f12.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

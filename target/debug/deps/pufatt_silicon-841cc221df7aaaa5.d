@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pufatt_silicon-841cc221df7aaaa5.d: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+/root/repo/target/debug/deps/libpufatt_silicon-841cc221df7aaaa5.rmeta: crates/silicon/src/lib.rs crates/silicon/src/delay.rs crates/silicon/src/dot.rs crates/silicon/src/env.rs crates/silicon/src/gen.rs crates/silicon/src/gen_adders.rs crates/silicon/src/netlist.rs crates/silicon/src/sim.rs crates/silicon/src/sta.rs crates/silicon/src/variation.rs
+
+crates/silicon/src/lib.rs:
+crates/silicon/src/delay.rs:
+crates/silicon/src/dot.rs:
+crates/silicon/src/env.rs:
+crates/silicon/src/gen.rs:
+crates/silicon/src/gen_adders.rs:
+crates/silicon/src/netlist.rs:
+crates/silicon/src/sim.rs:
+crates/silicon/src/sta.rs:
+crates/silicon/src/variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-34b2dd05383996a0.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-34b2dd05383996a0.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/side_channel-70d40acb7068e9d6.d: crates/bench/benches/side_channel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libside_channel-70d40acb7068e9d6.rmeta: crates/bench/benches/side_channel.rs Cargo.toml
+
+crates/bench/benches/side_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_resources-6b011026fa0fcfe4.d: crates/bench/benches/table1_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_resources-6b011026fa0fcfe4.rmeta: crates/bench/benches/table1_resources.rs Cargo.toml
+
+crates/bench/benches/table1_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-43f87fc6a13eb7fb.d: tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-43f87fc6a13eb7fb: tests/zero_alloc.rs
+
+tests/zero_alloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zero_alloc-ce21d35c6fde61c4.d: tests/zero_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzero_alloc-ce21d35c6fde61c4.rmeta: tests/zero_alloc.rs Cargo.toml
+
+tests/zero_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

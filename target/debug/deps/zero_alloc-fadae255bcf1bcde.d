@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zero_alloc-fadae255bcf1bcde.d: tests/zero_alloc.rs
+
+/root/repo/target/debug/deps/zero_alloc-fadae255bcf1bcde: tests/zero_alloc.rs
+
+tests/zero_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_lab-280e1969b22e01b9.d: examples/attack_lab.rs
+
+/root/repo/target/debug/examples/attack_lab-280e1969b22e01b9: examples/attack_lab.rs
+
+examples/attack_lab.rs:

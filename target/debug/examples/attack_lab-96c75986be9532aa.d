@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_lab-96c75986be9532aa.d: examples/attack_lab.rs
+
+/root/repo/target/debug/examples/attack_lab-96c75986be9532aa: examples/attack_lab.rs
+
+examples/attack_lab.rs:

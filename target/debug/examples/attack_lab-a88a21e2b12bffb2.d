@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_lab-a88a21e2b12bffb2.d: examples/attack_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_lab-a88a21e2b12bffb2.rmeta: examples/attack_lab.rs Cargo.toml
+
+examples/attack_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_campaign-d8f586f74f75c135.d: examples/chaos_campaign.rs
+
+/root/repo/target/debug/examples/chaos_campaign-d8f586f74f75c135: examples/chaos_campaign.rs
+
+examples/chaos_campaign.rs:

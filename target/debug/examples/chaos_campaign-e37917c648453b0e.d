@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_campaign-e37917c648453b0e.d: examples/chaos_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_campaign-e37917c648453b0e.rmeta: examples/chaos_campaign.rs Cargo.toml
+
+examples/chaos_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_campaign-61fd3b2d784c8793.d: examples/fleet_campaign.rs
+
+/root/repo/target/debug/examples/fleet_campaign-61fd3b2d784c8793: examples/fleet_campaign.rs
+
+examples/fleet_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_campaign-828a9311d068d9ec.d: examples/fleet_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_campaign-828a9311d068d9ec.rmeta: examples/fleet_campaign.rs Cargo.toml
+
+examples/fleet_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

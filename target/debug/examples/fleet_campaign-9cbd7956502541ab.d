@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_campaign-9cbd7956502541ab.d: examples/fleet_campaign.rs
+
+/root/repo/target/debug/examples/fleet_campaign-9cbd7956502541ab: examples/fleet_campaign.rs
+
+examples/fleet_campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fpga_prototype-0479c79eb7a566a0.d: examples/fpga_prototype.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfpga_prototype-0479c79eb7a566a0.rmeta: examples/fpga_prototype.rs Cargo.toml
+
+examples/fpga_prototype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

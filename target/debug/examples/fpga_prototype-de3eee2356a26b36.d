@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_prototype-de3eee2356a26b36.d: examples/fpga_prototype.rs
+
+/root/repo/target/debug/examples/fpga_prototype-de3eee2356a26b36: examples/fpga_prototype.rs
+
+examples/fpga_prototype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_prototype-f3c96776e1e59904.d: examples/fpga_prototype.rs
+
+/root/repo/target/debug/examples/fpga_prototype-f3c96776e1e59904: examples/fpga_prototype.rs
+
+examples/fpga_prototype.rs:

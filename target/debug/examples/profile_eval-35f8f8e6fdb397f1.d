@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_eval-35f8f8e6fdb397f1.d: crates/bench/examples/profile_eval.rs
+
+/root/repo/target/debug/examples/profile_eval-35f8f8e6fdb397f1: crates/bench/examples/profile_eval.rs
+
+crates/bench/examples/profile_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_eval-369307cf1d9799b1.d: crates/bench/examples/profile_eval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_eval-369307cf1d9799b1.rmeta: crates/bench/examples/profile_eval.rs Cargo.toml
+
+crates/bench/examples/profile_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/puf_characterization-4191ac4d67a62a97.d: examples/puf_characterization.rs
+
+/root/repo/target/debug/examples/puf_characterization-4191ac4d67a62a97: examples/puf_characterization.rs
+
+examples/puf_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/puf_characterization-754c3aadf23745e6.d: examples/puf_characterization.rs
+
+/root/repo/target/debug/examples/puf_characterization-754c3aadf23745e6: examples/puf_characterization.rs
+
+examples/puf_characterization.rs:

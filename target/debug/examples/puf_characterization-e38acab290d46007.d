@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/puf_characterization-e38acab290d46007.d: examples/puf_characterization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpuf_characterization-e38acab290d46007.rmeta: examples/puf_characterization.rs Cargo.toml
+
+examples/puf_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7e3bc1149034f18d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7e3bc1149034f18d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-88e76fafc0a77c05.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-88e76fafc0a77c05: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_attestation-0afce1fee95fbd3d.d: examples/remote_attestation.rs
+
+/root/repo/target/debug/examples/remote_attestation-0afce1fee95fbd3d: examples/remote_attestation.rs
+
+examples/remote_attestation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/remote_attestation-4cfacd36be031c5e.d: examples/remote_attestation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libremote_attestation-4cfacd36be031c5e.rmeta: examples/remote_attestation.rs Cargo.toml
+
+examples/remote_attestation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

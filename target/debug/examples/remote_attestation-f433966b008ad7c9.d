@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remote_attestation-f433966b008ad7c9.d: examples/remote_attestation.rs
+
+/root/repo/target/debug/examples/remote_attestation-f433966b008ad7c9: examples/remote_attestation.rs
+
+examples/remote_attestation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_fleet-331ee7298b8bc7ff.d: examples/sensor_fleet.rs
+
+/root/repo/target/debug/examples/sensor_fleet-331ee7298b8bc7ff: examples/sensor_fleet.rs
+
+examples/sensor_fleet.rs:

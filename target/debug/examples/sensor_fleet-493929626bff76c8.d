@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_fleet-493929626bff76c8.d: examples/sensor_fleet.rs
+
+/root/repo/target/debug/examples/sensor_fleet-493929626bff76c8: examples/sensor_fleet.rs
+
+examples/sensor_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_fleet-a08fc919196998d4.d: examples/sensor_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_fleet-a08fc919196998d4.rmeta: examples/sensor_fleet.rs Cargo.toml
+
+examples/sensor_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["pufatt_pe32",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"pufatt_pe32/trace/enum.InstClass.html\" title=\"enum pufatt_pe32::trace::InstClass\">InstClass</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"pufatt_pe32/isa/struct.Reg.html\" title=\"struct pufatt_pe32::isa::Reg\">Reg</a>",0]]],["pufatt_silicon",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"pufatt_silicon/netlist/struct.GateId.html\" title=\"struct pufatt_silicon::netlist::GateId\">GateId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"pufatt_silicon/netlist/struct.NetId.html\" title=\"struct pufatt_silicon::netlist::NetId\">NetId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[527,558]}

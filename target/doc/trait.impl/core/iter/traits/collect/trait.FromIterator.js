@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["pufatt_ecc",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.FromIterator.html\" title=\"trait core::iter::traits::collect::FromIterator\">FromIterator</a>&lt;<a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.bool.html\">bool</a>&gt; for <a class=\"struct\" href=\"pufatt_ecc/gf2/struct.BitVec.html\" title=\"struct pufatt_ecc::gf2::BitVec\">BitVec</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[436]}

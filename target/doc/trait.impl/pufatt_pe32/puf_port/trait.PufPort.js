@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["pufatt",[["impl <a class=\"trait\" href=\"pufatt_pe32/puf_port/trait.PufPort.html\" title=\"trait pufatt_pe32::puf_port::PufPort\">PufPort</a> for <a class=\"struct\" href=\"pufatt/ports/struct.DevicePuf.html\" title=\"struct pufatt::ports::DevicePuf\">DevicePuf</a>",0],["impl <a class=\"trait\" href=\"pufatt_pe32/puf_port/trait.PufPort.html\" title=\"trait pufatt_pe32::puf_port::PufPort\">PufPort</a> for <a class=\"struct\" href=\"pufatt/ports/struct.SharedDevicePuf.html\" title=\"struct pufatt::ports::SharedDevicePuf\">SharedDevicePuf</a>",0]]],["pufatt",[["impl PufPort for <a class=\"struct\" href=\"pufatt/ports/struct.DevicePuf.html\" title=\"struct pufatt::ports::DevicePuf\">DevicePuf</a>",0],["impl PufPort for <a class=\"struct\" href=\"pufatt/ports/struct.SharedDevicePuf.html\" title=\"struct pufatt::ports::SharedDevicePuf\">SharedDevicePuf</a>",0]]],["pufatt_pe32",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[554,317,19]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["pufatt",[["impl <a class=\"trait\" href=\"pufatt_swatt/checksum/trait.RoundPuf.html\" title=\"trait pufatt_swatt::checksum::RoundPuf\">RoundPuf</a> for <a class=\"struct\" href=\"pufatt/ports/struct.DevicePuf.html\" title=\"struct pufatt::ports::DevicePuf\">DevicePuf</a>",0],["impl <a class=\"trait\" href=\"pufatt_swatt/checksum/trait.RoundPuf.html\" title=\"trait pufatt_swatt::checksum::RoundPuf\">RoundPuf</a> for <a class=\"struct\" href=\"pufatt/ports/struct.VerifierRoundPuf.html\" title=\"struct pufatt::ports::VerifierRoundPuf\">VerifierRoundPuf</a>&lt;'_&gt;",0]]],["pufatt",[["impl RoundPuf for <a class=\"struct\" href=\"pufatt/ports/struct.DevicePuf.html\" title=\"struct pufatt::ports::DevicePuf\">DevicePuf</a>",0],["impl RoundPuf for <a class=\"struct\" href=\"pufatt/ports/struct.VerifierRoundPuf.html\" title=\"struct pufatt::ports::VerifierRoundPuf\">VerifierRoundPuf</a>&lt;'_&gt;",0]]],["pufatt_swatt",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[577,332,20]}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_bench-148a3ee78e2f561d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-148a3ee78e2f561d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_bench-148a3ee78e2f561d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/pufatt_ecc-68eb27b7bfb042fa.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+/root/repo/target/release/deps/pufatt_ecc-68eb27b7bfb042fa.d: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
 
-/root/repo/target/release/deps/libpufatt_ecc-68eb27b7bfb042fa.rlib: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+/root/repo/target/release/deps/libpufatt_ecc-68eb27b7bfb042fa.rlib: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
 
-/root/repo/target/release/deps/libpufatt_ecc-68eb27b7bfb042fa.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
+/root/repo/target/release/deps/libpufatt_ecc-68eb27b7bfb042fa.rmeta: crates/ecc/src/lib.rs crates/ecc/src/analysis.rs crates/ecc/src/bch.rs crates/ecc/src/code.rs crates/ecc/src/fuzzy.rs crates/ecc/src/gf2.rs crates/ecc/src/gf2m.rs crates/ecc/src/golay.rs crates/ecc/src/noise.rs crates/ecc/src/repetition.rs crates/ecc/src/rm.rs crates/ecc/src/table.rs
 
 crates/ecc/src/lib.rs:
 crates/ecc/src/analysis.rs:
@@ -12,6 +12,7 @@ crates/ecc/src/fuzzy.rs:
 crates/ecc/src/gf2.rs:
 crates/ecc/src/gf2m.rs:
 crates/ecc/src/golay.rs:
+crates/ecc/src/noise.rs:
 crates/ecc/src/repetition.rs:
 crates/ecc/src/rm.rs:
 crates/ecc/src/table.rs:

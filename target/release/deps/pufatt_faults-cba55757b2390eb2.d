@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pufatt_faults-cba55757b2390eb2.d: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+/root/repo/target/release/deps/libpufatt_faults-cba55757b2390eb2.rlib: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+/root/repo/target/release/deps/libpufatt_faults-cba55757b2390eb2.rmeta: crates/faults/src/lib.rs crates/faults/src/channel.rs crates/faults/src/plan.rs crates/faults/src/session.rs crates/faults/src/sweep.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/channel.rs:
+crates/faults/src/plan.rs:
+crates/faults/src/session.rs:
+crates/faults/src/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pufatt_repro-2ef7da68ff6bbd37.d: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-2ef7da68ff6bbd37.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpufatt_repro-2ef7da68ff6bbd37.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-924caf0e0532fb03.d: examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-924caf0e0532fb03: examples/_probe.rs
+
+examples/_probe.rs:

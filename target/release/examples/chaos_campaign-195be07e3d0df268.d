@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_campaign-195be07e3d0df268.d: examples/chaos_campaign.rs
+
+/root/repo/target/release/examples/chaos_campaign-195be07e3d0df268: examples/chaos_campaign.rs
+
+examples/chaos_campaign.rs:

@@ -259,6 +259,24 @@ macro_rules! impl_range_strategies {
 
 impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// Floats get only the bounded forms (`RangeFrom<f64>` has no uniform
+// distribution to draw from).
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($($s:ident => $idx:tt),+) => {
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -320,7 +338,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Vector strategy; see [`vec`].
+    /// Vector strategy; see [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
