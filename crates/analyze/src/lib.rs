@@ -1,0 +1,331 @@
+//! Static-analysis passes for the PUFatt reproduction.
+//!
+//! PR 3's failure-mode atlas showed that the bugs that matter here live in
+//! *structure* — the burst-aliasing silent-accept was a property of the
+//! code/obfuscation wiring no runtime test had exercised. This crate catches
+//! that class of defect before simulation, with three passes:
+//!
+//! * [`circuit`] — **netlist verifier** over [`pufatt_silicon::Netlist`]:
+//!   combinational loops (Tarjan SCC), floating and multi-driven nets,
+//!   gates off every input→output path, fanout-CSR consistency, and the
+//!   arbiter-symmetry check proving the two racing ALU cones are
+//!   structurally isomorphic (an asymmetric cone is a PUF-bias bug that
+//!   quality statistics can only see *statistically*).
+//! * [`taint`] — **secret-taint lint** over the `crates/core` and
+//!   `crates/ecc` sources: flags raw-PUF-response values flowing into
+//!   `Debug` derives, format strings, error payloads and non-constant-time
+//!   comparisons, plus unpinned `unwrap()`/`expect()` panic sites on
+//!   protocol-reachable paths.
+//! * [`program`] — **SWATT program verifier** over assembled PE32 images:
+//!   every memory access statically in bounds, loop trip counts
+//!   data-independent (the checksum's timing channel freedom), no stores
+//!   into the attested code region, no dead or undecodable instructions.
+//!
+//! Every finding is a [`Diagnostic`] with a stable [`LintId`], a severity,
+//! a location and a fix hint; [`Report::deny`] turns any finding into a
+//! hard failure for CI (`pufatt analyze --deny`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Lib-target panics are linted (see [lints.clippy] in Cargo.toml);
+// tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+
+pub mod circuit;
+pub mod program;
+pub mod taint;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (dead logic, unreachable code).
+    Warning,
+    /// A structural defect: the design or program is wrong as built.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable identifier of one lint. The codes (`NET001`, …) are part of the
+/// tool's interface: golden tests pin them and CI output references them,
+/// so variants must never be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintId {
+    /// `NET001` — combinational cycle in the gate graph.
+    CombinationalLoop,
+    /// `NET002` — net with no driver that is not a primary input.
+    FloatingNet,
+    /// `NET003` — net driven by more than one gate (or a driven primary input).
+    MultiDrivenNet,
+    /// `NET004` — gate on no primary-input→primary-output path.
+    UnreachableGate,
+    /// `NET005` — fanout CSR disagrees with the gate edge list.
+    FanoutCsrMismatch,
+    /// `NET006` — the two racing arbiter cones are not isomorphic.
+    ArbiterAsymmetry,
+    /// `TNT001` — secret value interpolated into a format/log string.
+    SecretInFormat,
+    /// `TNT002` — `Debug`/`Display` derived or implemented over secret fields.
+    SecretDebugImpl,
+    /// `TNT003` — secret value carried in an error payload.
+    SecretInError,
+    /// `TNT004` — non-constant-time comparison of a secret value.
+    SecretComparison,
+    /// `TNT005` — `unwrap()`/`expect()` outside the pinned allowlist.
+    UnpinnedPanic,
+    /// `SWP001` — undecodable instruction word in the code region.
+    UndecodableInstruction,
+    /// `SWP002` — memory access not provably inside the machine's memory.
+    OutOfBoundsAccess,
+    /// `SWP003` — loop whose trip count depends on loaded/PUF data.
+    DataDependentLoop,
+    /// `SWP004` — store that can land inside the attested code region.
+    StoreIntoCode,
+    /// `SWP005` — instruction unreachable from the entry point.
+    UnreachableInstruction,
+    /// `SWP006` — indirect jump defeats static control-flow analysis.
+    IndirectJump,
+    /// `SWP007` — no halt instruction reachable from the entry point.
+    NoReachableHalt,
+}
+
+impl LintId {
+    /// The stable lint code, e.g. `NET001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::CombinationalLoop => "NET001",
+            LintId::FloatingNet => "NET002",
+            LintId::MultiDrivenNet => "NET003",
+            LintId::UnreachableGate => "NET004",
+            LintId::FanoutCsrMismatch => "NET005",
+            LintId::ArbiterAsymmetry => "NET006",
+            LintId::SecretInFormat => "TNT001",
+            LintId::SecretDebugImpl => "TNT002",
+            LintId::SecretInError => "TNT003",
+            LintId::SecretComparison => "TNT004",
+            LintId::UnpinnedPanic => "TNT005",
+            LintId::UndecodableInstruction => "SWP001",
+            LintId::OutOfBoundsAccess => "SWP002",
+            LintId::DataDependentLoop => "SWP003",
+            LintId::StoreIntoCode => "SWP004",
+            LintId::UnreachableInstruction => "SWP005",
+            LintId::IndirectJump => "SWP006",
+            LintId::NoReachableHalt => "SWP007",
+        }
+    }
+
+    /// Default severity of the lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintId::UnreachableGate | LintId::UnreachableInstruction => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description, as shown in `pufatt analyze --lints`.
+    pub fn description(self) -> &'static str {
+        match self {
+            LintId::CombinationalLoop => "combinational cycle in the gate graph",
+            LintId::FloatingNet => "net has no driver and is not a primary input",
+            LintId::MultiDrivenNet => "net is driven by more than one gate",
+            LintId::UnreachableGate => "gate lies on no primary-input-to-output path",
+            LintId::FanoutCsrMismatch => "fanout CSR disagrees with the gate edge list",
+            LintId::ArbiterAsymmetry => "racing arbiter cones are not structurally isomorphic",
+            LintId::SecretInFormat => "secret value interpolated into a format or log string",
+            LintId::SecretDebugImpl => "Debug/Display over secret-bearing fields",
+            LintId::SecretInError => "secret value carried in an error payload",
+            LintId::SecretComparison => "non-constant-time comparison of a secret value",
+            LintId::UnpinnedPanic => "unwrap()/expect() outside the pinned allowlist",
+            LintId::UndecodableInstruction => "undecodable instruction word in the code region",
+            LintId::OutOfBoundsAccess => "memory access not provably in bounds",
+            LintId::DataDependentLoop => "loop trip count depends on loaded or PUF data",
+            LintId::StoreIntoCode => "store can land inside the attested code region",
+            LintId::UnreachableInstruction => "instruction unreachable from entry",
+            LintId::IndirectJump => "indirect jump defeats static control-flow analysis",
+            LintId::NoReachableHalt => "no halt reachable from entry",
+        }
+    }
+
+    /// Every lint, for the catalogue listing.
+    pub const ALL: [LintId; 18] = [
+        LintId::CombinationalLoop,
+        LintId::FloatingNet,
+        LintId::MultiDrivenNet,
+        LintId::UnreachableGate,
+        LintId::FanoutCsrMismatch,
+        LintId::ArbiterAsymmetry,
+        LintId::SecretInFormat,
+        LintId::SecretDebugImpl,
+        LintId::SecretInError,
+        LintId::SecretComparison,
+        LintId::UnpinnedPanic,
+        LintId::UndecodableInstruction,
+        LintId::OutOfBoundsAccess,
+        LintId::DataDependentLoop,
+        LintId::StoreIntoCode,
+        LintId::UnreachableInstruction,
+        LintId::IndirectJump,
+        LintId::NoReachableHalt,
+    ];
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding of a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: LintId,
+    /// Severity (defaults to [`LintId::severity`]).
+    pub severity: Severity,
+    /// Where: `netlist/net n12`, `crates/core/src/protocol.rs:87`, `pc 17`.
+    pub location: String,
+    /// What is wrong, concretely.
+    pub message: String,
+    /// How to fix it.
+    pub fix_hint: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with the lint's default severity.
+    pub fn new(
+        lint: LintId,
+        location: impl Into<String>,
+        message: impl Into<String>,
+        fix_hint: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            lint,
+            severity: lint.severity(),
+            location: location.into(),
+            message: message.into(),
+            fix_hint: fix_hint.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}\n    fix: {}",
+            self.severity, self.lint, self.location, self.message, self.fix_hint
+        )
+    }
+}
+
+/// Aggregated findings of one or more passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends another pass's findings.
+    pub fn extend(&mut self, diagnostics: Vec<Diagnostic>) {
+        self.diagnostics.extend(diagnostics);
+    }
+
+    /// Whether no lint fired at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Findings for one lint, for golden tests that pin a lint ID.
+    pub fn of(&self, lint: LintId) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.lint == lint).collect()
+    }
+
+    /// Deny mode: `Err` with a summary if anything fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the formatted report when any diagnostic is present — the
+    /// contract behind `pufatt analyze --deny`.
+    pub fn deny(&self) -> Result<(), String> {
+        if self.is_clean() {
+            return Ok(());
+        }
+        Err(format!(
+            "{} ({} error(s), {} warning(s))",
+            self,
+            self.count(Severity::Error),
+            self.count(Severity::Warning)
+        ))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "no findings");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_codes_are_unique_and_stable() {
+        let codes: Vec<&str> = LintId::ALL.iter().map(|l| l.code()).collect();
+        let mut deduped = codes.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), codes.len(), "duplicate lint code");
+        assert_eq!(LintId::CombinationalLoop.code(), "NET001");
+        assert_eq!(LintId::UnpinnedPanic.code(), "TNT005");
+        assert_eq!(LintId::NoReachableHalt.code(), "SWP007");
+    }
+
+    #[test]
+    fn report_deny_contract() {
+        let mut r = Report::new();
+        assert!(r.deny().is_ok());
+        r.extend(vec![Diagnostic::new(LintId::FloatingNet, "net n3", "no driver", "drive it")]);
+        let err = r.deny().unwrap_err();
+        assert!(err.contains("NET002"), "{err}");
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.of(LintId::FloatingNet).len(), 1);
+    }
+
+    #[test]
+    fn severity_ordering_and_display() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(LintId::UnreachableGate.severity(), Severity::Warning);
+        let d = Diagnostic::new(LintId::CombinationalLoop, "x", "y", "z");
+        assert!(format!("{d}").contains("NET001"));
+    }
+}

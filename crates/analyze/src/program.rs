@@ -1,0 +1,557 @@
+//! Pass 3 — SWATT program verifier.
+//!
+//! Verifies an *assembled* PE32 image (the thing the checksum actually
+//! hashes and the CPU actually runs) by abstract interpretation over a
+//! small value domain:
+//!
+//! * every word in the code region must decode (`SWP001`);
+//! * every load/store must be **statically in bounds** (`SWP002`) — the
+//!   masked-address idiom `and rX, rX, rMASK` is recognised as producing a
+//!   value in `[0, mask]`;
+//! * every backward branch (loop) must be conditioned on registers derived
+//!   only from immediates (`SWP003`) — a data-dependent trip count is a
+//!   timing channel through the very quantity the bound δ measures;
+//! * no store may be able to land inside the attested code region
+//!   (`SWP004`) — self-modification would desynchronise prover and
+//!   verifier images;
+//! * unreachable instructions are dead weight in the attested region
+//!   (`SWP005`), indirect jumps defeat the analysis (`SWP006`), and a
+//!   reachable `halt` must exist (`SWP007`).
+//!
+//! One honest assumption is made explicit rather than hidden: the helper
+//! write pointer lives in memory, and its range is a *layout invariant*
+//! ([`PointerCell`]) that [`ProgramSpec::from_generated`] derives
+//! arithmetically from [`SwattParams`] (`helper_base + 8·queries ≤
+//! memory_words`). Loads through a declared pointer cell are assumed to
+//! yield a value in the declared range; everything else is proved from the
+//! instruction stream alone.
+
+use crate::{Diagnostic, LintId};
+use pufatt_pe32::asm::Program;
+use pufatt_pe32::isa::{AluOp, Instruction, Reg};
+use pufatt_swatt::checksum::SwattParams;
+use pufatt_swatt::codegen::GeneratedSwatt;
+
+/// Declared invariant for a scratch cell holding a memory pointer: loads
+/// from `cell` yield a word in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointerCell {
+    /// Word address of the cell.
+    pub cell: u32,
+    /// Smallest value the cell can hold.
+    pub lo: u32,
+    /// Largest value the cell can hold.
+    pub hi: u32,
+}
+
+/// The verifier's input: an image plus the memory geometry it runs in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Display name used in diagnostic locations.
+    pub name: String,
+    /// The assembled image; `image[pc]` is the instruction at word `pc`.
+    pub image: Vec<u32>,
+    /// Words `[0, code_words)` are the program (and must stay unmodified).
+    pub code_words: u32,
+    /// Total machine memory in words; every access must stay below this.
+    pub memory_words: u32,
+    /// Declared pointer-cell invariants (see module docs).
+    pub pointer_cells: Vec<PointerCell>,
+}
+
+impl ProgramSpec {
+    /// Builds the spec for a generated-and-assembled SWATT checksum,
+    /// deriving the helper-pointer invariant from the layout and params.
+    pub fn from_generated(
+        name: impl Into<String>,
+        gen: &GeneratedSwatt,
+        params: &SwattParams,
+        program: &Program,
+    ) -> Self {
+        let mut pointer_cells = Vec::new();
+        if params.puf_interval != 0 {
+            // Matches the codegen sizing: one burst of 8 helper words is
+            // statically present even when no query dynamically executes.
+            let helper_words = params.puf_queries().max(1) * 8;
+            // The pointer starts at helper_base and advances by 8 per PUF
+            // query; the last write burst begins at base + words − 8.
+            let hi = gen.layout.helper_base + helper_words.saturating_sub(8);
+            pointer_cells.push(PointerCell {
+                cell: gen.layout.helper_ptr_cell,
+                lo: gen.layout.helper_base,
+                hi,
+            });
+        }
+        ProgramSpec {
+            name: name.into(),
+            image: program.image.clone(),
+            code_words: program.image.len() as u32,
+            memory_words: gen.layout.memory_words,
+            pointer_cells,
+        }
+    }
+}
+
+/// Abstract value of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    /// Exactly this word.
+    Const(u32),
+    /// Unsigned value within `[lo, hi]` (from masking or a pointer cell).
+    Range(u32, u32),
+    /// Anything.
+    Top,
+}
+
+/// Abstract register: a value plus a purity bit — `data` is set once the
+/// value depends on loaded memory or PUF output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Abs {
+    val: Val,
+    data: bool,
+}
+
+const CLEAN_ZERO: Abs = Abs { val: Val::Const(0), data: false };
+const TOP_DATA: Abs = Abs { val: Val::Top, data: true };
+
+type RegFile = [Abs; 16];
+
+fn join_val(a: Val, b: Val) -> Val {
+    if a == b {
+        a
+    } else {
+        Val::Top
+    }
+}
+
+fn join(a: &RegFile, b: &RegFile) -> (RegFile, bool) {
+    let mut out = *a;
+    let mut changed = false;
+    for (o, n) in out.iter_mut().zip(b) {
+        let merged = Abs { val: join_val(o.val, n.val), data: o.data || n.data };
+        if merged != *o {
+            *o = merged;
+            changed = true;
+        }
+    }
+    (out, changed)
+}
+
+/// Effective address range of `reg + imm`, or `None` when unbounded.
+fn address_range(base: Abs, imm: i16) -> Option<(i64, i64)> {
+    let imm = imm as i64;
+    match base.val {
+        Val::Const(c) => Some((c as i64 + imm, c as i64 + imm)),
+        Val::Range(lo, hi) => Some((lo as i64 + imm, hi as i64 + imm)),
+        Val::Top => None,
+    }
+}
+
+fn alu_abs(op: AluOp, a: Abs, b: Abs) -> Abs {
+    let data = a.data || b.data;
+    let val = match (a.val, b.val) {
+        (Val::Const(x), Val::Const(y)) => Val::Const(op.apply(x, y)),
+        _ => match op {
+            // AND bounds the result by either operand's upper bound.
+            AluOp::And => match (a.val, b.val) {
+                (_, Val::Const(m)) | (Val::Const(m), _) => Val::Range(0, m),
+                (_, Val::Range(_, m)) | (Val::Range(_, m), _) => Val::Range(0, m),
+                _ => Val::Top,
+            },
+            // Addition shifts ranges when it provably cannot wrap.
+            AluOp::Add => {
+                let bounds = |v: Val| match v {
+                    Val::Const(c) => Some((c as i64, c as i64)),
+                    Val::Range(lo, hi) => Some((lo as i64, hi as i64)),
+                    Val::Top => None,
+                };
+                match (bounds(a.val), bounds(b.val)) {
+                    (Some((al, ah)), Some((bl, bh))) => {
+                        let (lo, hi) = (al + bl, ah + bh);
+                        if lo >= 0 && hi <= u32::MAX as i64 {
+                            Val::Range(lo as u32, hi as u32)
+                        } else {
+                            Val::Top
+                        }
+                    }
+                    _ => Val::Top,
+                }
+            }
+            _ => Val::Top,
+        },
+    };
+    Abs { val, data }
+}
+
+fn read(state: &RegFile, r: Reg) -> Abs {
+    if r.index() == 0 {
+        CLEAN_ZERO
+    } else {
+        state[r.index()]
+    }
+}
+
+fn write(state: &mut RegFile, r: Reg, v: Abs) {
+    if r.index() != 0 {
+        state[r.index()] = v;
+    }
+}
+
+/// The analysis result: fixed-point register states plus reachability.
+struct Analysis {
+    states: Vec<Option<RegFile>>,
+    decode_failed: Vec<bool>,
+}
+
+/// Control-flow successors and the post-state of one instruction.
+fn step(spec: &ProgramSpec, pc: usize, inst: Instruction, state: &RegFile) -> (RegFile, Vec<usize>) {
+    let mut next = *state;
+    let code = spec.code_words as i64;
+    let fall = pc + 1;
+    let in_code = |t: i64| t >= 0 && t < code;
+    match inst {
+        Instruction::Alu { op, rd, rs1, rs2 } => {
+            write(&mut next, rd, alu_abs(op, read(state, rs1), read(state, rs2)));
+            (next, vec![fall])
+        }
+        Instruction::AluImm { op, rd, rs1, imm } => {
+            let b = Abs { val: Val::Const(imm as i32 as u32), data: false };
+            write(&mut next, rd, alu_abs(op, read(state, rs1), b));
+            (next, vec![fall])
+        }
+        Instruction::Lui { rd, imm } => {
+            write(&mut next, rd, Abs { val: Val::Const((imm as u32) << 16), data: false });
+            (next, vec![fall])
+        }
+        Instruction::Lw { rd, rs1, imm } => {
+            // A load through a declared pointer cell yields its range.
+            let loaded = match address_range(read(state, rs1), imm) {
+                Some((lo, hi)) if lo == hi => spec
+                    .pointer_cells
+                    .iter()
+                    .find(|p| p.cell as i64 == lo)
+                    .map(|p| Abs { val: Val::Range(p.lo, p.hi), data: true })
+                    .unwrap_or(TOP_DATA),
+                _ => TOP_DATA,
+            };
+            write(&mut next, rd, loaded);
+            (next, vec![fall])
+        }
+        Instruction::Sw { .. } | Instruction::Nop | Instruction::Pstart | Instruction::Pend => (next, vec![fall]),
+        Instruction::Pread { rd } => {
+            write(&mut next, rd, TOP_DATA);
+            (next, vec![fall])
+        }
+        Instruction::Phelp { rd, .. } => {
+            write(&mut next, rd, TOP_DATA);
+            (next, vec![fall])
+        }
+        Instruction::Branch { imm, .. } => {
+            let target = pc as i64 + 1 + imm as i64;
+            let mut succs = vec![fall];
+            if in_code(target) {
+                succs.push(target as usize);
+            }
+            (next, succs)
+        }
+        Instruction::Jal { rd, imm } => {
+            write(&mut next, rd, Abs { val: Val::Const(pc as u32 + 1), data: false });
+            let target = pc as i64 + 1 + imm as i64;
+            (next, if in_code(target) { vec![target as usize] } else { vec![] })
+        }
+        Instruction::Jalr { .. } => (next, vec![]),
+        Instruction::Halt => (next, vec![]),
+    }
+}
+
+fn fixpoint(spec: &ProgramSpec) -> Analysis {
+    let n = spec.code_words as usize;
+    let mut states: Vec<Option<RegFile>> = vec![None; n];
+    let mut decode_failed = vec![false; n];
+    if n == 0 {
+        return Analysis { states, decode_failed };
+    }
+    states[0] = Some([CLEAN_ZERO; 16]);
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        let Some(state) = states[pc] else { continue };
+        let Ok(inst) = Instruction::decode(spec.image[pc]) else {
+            decode_failed[pc] = true;
+            continue;
+        };
+        let (next, succs) = step(spec, pc, inst, &state);
+        for s in succs {
+            if s >= n {
+                continue;
+            }
+            match &states[s] {
+                None => {
+                    states[s] = Some(next);
+                    work.push(s);
+                }
+                Some(old) => {
+                    let (merged, changed) = join(old, &next);
+                    if changed {
+                        states[s] = Some(merged);
+                        work.push(s);
+                    }
+                }
+            }
+        }
+    }
+    Analysis { states, decode_failed }
+}
+
+/// Verifies the program; see the module docs for the lint catalogue.
+pub fn verify_program(spec: &ProgramSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let loc = |pc: usize| format!("{}/pc {pc}", spec.name);
+    let n = spec.code_words as usize;
+    if spec.image.len() < n {
+        out.push(Diagnostic::new(
+            LintId::UndecodableInstruction,
+            format!("{}/image", spec.name),
+            format!("image has {} words but the code region claims {}", spec.image.len(), n),
+            "regenerate the program or fix the spec's code_words",
+        ));
+        return out;
+    }
+    for p in &spec.pointer_cells {
+        if p.lo > p.hi || p.hi >= spec.memory_words || p.cell >= spec.memory_words || p.cell < spec.code_words {
+            out.push(Diagnostic::new(
+                LintId::OutOfBoundsAccess,
+                format!("{}/pointer cell {}", spec.name, p.cell),
+                format!(
+                    "declared pointer invariant [{}, {}] (cell {}) is inconsistent with memory of {} words",
+                    p.lo, p.hi, p.cell, spec.memory_words
+                ),
+                "derive the invariant from the layout arithmetic (helper_base + 8*queries <= memory_words)",
+            ));
+        }
+    }
+
+    let analysis = fixpoint(spec);
+    let mut halt_reachable = false;
+
+    // SWP001 over the whole code region (attested code must be pure code).
+    for pc in 0..n {
+        if Instruction::decode(spec.image[pc]).is_err() {
+            out.push(Diagnostic::new(
+                LintId::UndecodableInstruction,
+                loc(pc),
+                format!("word {:#010x} does not decode to any PE32 instruction", spec.image[pc]),
+                "the attested region must contain only instructions; move data beyond code_words",
+            ));
+        }
+    }
+
+    for pc in 0..n {
+        let Some(state) = &analysis.states[pc] else {
+            if !analysis.decode_failed[pc] && Instruction::decode(spec.image[pc]).is_ok() {
+                out.push(Diagnostic::new(
+                    LintId::UnreachableInstruction,
+                    loc(pc),
+                    "instruction is unreachable from the entry point",
+                    "remove dead code: every attested word should earn its checksum cycles",
+                ));
+            }
+            continue;
+        };
+        let Ok(inst) = Instruction::decode(spec.image[pc]) else {
+            continue;
+        };
+        match inst {
+            Instruction::Halt => halt_reachable = true,
+            Instruction::Jalr { .. } => {
+                out.push(Diagnostic::new(
+                    LintId::IndirectJump,
+                    loc(pc),
+                    "indirect jump: successor set is statically unknown",
+                    "use direct jal/branches so the program stays verifiable",
+                ));
+            }
+            Instruction::Lw { rs1, imm, .. } => {
+                check_access(spec, &mut out, &loc, pc, read(state, rs1), imm, false);
+            }
+            Instruction::Sw { rs1, imm, .. } => {
+                check_access(spec, &mut out, &loc, pc, read(state, rs1), imm, true);
+            }
+            Instruction::Branch { cond, rs1, rs2, imm } => {
+                let target = pc as i64 + 1 + imm as i64;
+                if target < 0 || target >= n as i64 {
+                    out.push(Diagnostic::new(
+                        LintId::OutOfBoundsAccess,
+                        loc(pc),
+                        format!("branch target {target} lies outside the code region [0, {n})"),
+                        "branches must stay inside the program",
+                    ));
+                } else if target as usize <= pc {
+                    // A loop: its trip count must not depend on data.
+                    let tainted: Vec<&str> = [(rs1, "rs1"), (rs2, "rs2")]
+                        .iter()
+                        .filter(|(r, _)| read(state, *r).data)
+                        .map(|&(_, n)| n)
+                        .collect();
+                    if !tainted.is_empty() {
+                        out.push(Diagnostic::new(
+                            LintId::DataDependentLoop,
+                            loc(pc),
+                            format!(
+                                "backward b{:?} at pc {pc} conditions on data-derived {} — the loop trip \
+                                 count (and thus the measured time) depends on memory contents",
+                                cond,
+                                tainted.join("+")
+                            ),
+                            "drive loop exits from immediate-initialised counters only",
+                        ));
+                    }
+                }
+            }
+            Instruction::Jal { imm, .. } => {
+                let target = pc as i64 + 1 + imm as i64;
+                if target < 0 || target >= n as i64 {
+                    out.push(Diagnostic::new(
+                        LintId::OutOfBoundsAccess,
+                        loc(pc),
+                        format!("jump target {target} lies outside the code region [0, {n})"),
+                        "jumps must stay inside the program",
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if !halt_reachable && n > 0 {
+        out.push(Diagnostic::new(
+            LintId::NoReachableHalt,
+            format!("{}/entry", spec.name),
+            "no halt instruction is reachable from the entry point",
+            "the checksum must terminate so its cycle count can be compared against delta",
+        ));
+    }
+    out
+}
+
+fn check_access(
+    spec: &ProgramSpec,
+    out: &mut Vec<Diagnostic>,
+    loc: &dyn Fn(usize) -> String,
+    pc: usize,
+    base: Abs,
+    imm: i16,
+    is_store: bool,
+) {
+    let what = if is_store { "store" } else { "load" };
+    match address_range(base, imm) {
+        None => out.push(Diagnostic::new(
+            LintId::OutOfBoundsAccess,
+            loc(pc),
+            format!("{what} address is statically unbounded (register holds an unconstrained value)"),
+            "mask the address register (and rX, rX, rMASK) or use a declared pointer cell",
+        )),
+        Some((lo, hi)) => {
+            if lo < 0 || hi >= spec.memory_words as i64 {
+                out.push(Diagnostic::new(
+                    LintId::OutOfBoundsAccess,
+                    loc(pc),
+                    format!(
+                        "{what} may touch address range [{lo}, {hi}] outside memory of {} words",
+                        spec.memory_words
+                    ),
+                    "keep every access below memory_words; check the layout arithmetic",
+                ));
+            } else if is_store && lo < spec.code_words as i64 {
+                out.push(Diagnostic::new(
+                    LintId::StoreIntoCode,
+                    loc(pc),
+                    format!(
+                        "store may write address range [{lo}, {hi}], overlapping the code region [0, {})",
+                        spec.code_words
+                    ),
+                    "scratch writes must stay at or above the code end; self-modification desynchronises \
+                     the verifier's image",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufatt_pe32::asm::assemble;
+    use pufatt_swatt::codegen::{generate, CodegenOptions};
+
+    fn spec_of(source: &str, memory_words: u32) -> ProgramSpec {
+        let prog = assemble(source).expect("test program assembles");
+        ProgramSpec {
+            name: "test".into(),
+            code_words: prog.image.len() as u32,
+            image: prog.image,
+            memory_words,
+            pointer_cells: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_straightline_program_verifies() {
+        let d = verify_program(&spec_of("        addi r1, r0, 5\n        sw r1, 40(r0)\n        halt\n", 64));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn masked_load_is_in_bounds_unmasked_is_not() {
+        let ok = spec_of(
+            "        lw r2, 60(r0)\n        addi r3, r0, 31\n        and r2, r2, r3\n        lw r4, 0(r2)\n        halt\n",
+            64,
+        );
+        assert!(verify_program(&ok).is_empty());
+        let bad = spec_of("        lw r2, 60(r0)\n        lw r4, 0(r2)\n        halt\n", 64);
+        let d = verify_program(&bad);
+        assert!(d.iter().any(|d| d.lint == LintId::OutOfBoundsAccess), "{d:?}");
+    }
+
+    #[test]
+    fn generated_checksum_is_clean_for_paper_params() {
+        for params in [
+            SwattParams { region_bits: 9, rounds: 512, puf_interval: 0 },
+            SwattParams { region_bits: 9, rounds: 1024, puf_interval: 4 },
+            SwattParams { region_bits: 10, rounds: 2048, puf_interval: 16 },
+        ] {
+            let gen = generate(&params, &CodegenOptions::default());
+            let prog = assemble(&gen.source).expect("generated assembly assembles");
+            let spec = ProgramSpec::from_generated("swatt", &gen, &params, &prog);
+            let d = verify_program(&spec);
+            assert!(d.is_empty(), "params {params:?}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn data_dependent_loop_is_flagged() {
+        // Loop counter loaded from memory: trip count = timing channel.
+        let src = "
+        lw   r1, 50(r0)
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+";
+        let d = verify_program(&spec_of(src, 64));
+        assert!(d.iter().any(|d| d.lint == LintId::DataDependentLoop), "{d:?}");
+    }
+
+    #[test]
+    fn missing_halt_and_dead_code_are_flagged() {
+        let src = "
+        jal  r0, end
+        addi r1, r0, 1
+end:    addi r2, r0, 2
+        jal  r0, forever
+forever: nop
+        jal  r0, forever
+";
+        let d = verify_program(&spec_of(src, 64));
+        assert!(d.iter().any(|d| d.lint == LintId::NoReachableHalt), "{d:?}");
+        assert!(d.iter().any(|d| d.lint == LintId::UnreachableInstruction), "{d:?}");
+    }
+}

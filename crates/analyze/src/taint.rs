@@ -1,0 +1,543 @@
+//! Pass 2 — secret-taint lint over Rust sources.
+//!
+//! The PUFatt protocol is only as good as the secrecy of the raw PUF
+//! response and of the values derived from it before obfuscation. This
+//! pass performs a light-weight source scan over `crates/core` and
+//! `crates/ecc` (or any roots the caller supplies) that tracks
+//! *secret-looking identifiers* — raw responses, noisy responses,
+//! anything named `secret*`/`raw_*` — and flags places where such a value
+//! can escape or be mishandled:
+//!
+//! * `TNT001` — a secret identifier flows into a formatting macro
+//!   (`format!`, `write!`, `panic!`, the `assert*` family, …), including
+//!   inline `{capture}` interpolation inside format strings;
+//! * `TNT002` — a type whose fields hold secrets derives `Debug`, or a
+//!   hand-written `Debug`/`Display` impl touches a secret;
+//! * `TNT003` — a secret identifier is moved into an `Err(..)` payload,
+//!   where it will surface in logs far from the call site;
+//! * `TNT004` — a secret is compared with `==`/`!=` (non-constant-time);
+//!   `// analyze: allow(ct: reason)` acknowledges a reviewed site;
+//! * `TNT005` — `.unwrap()`/`.expect()` on a non-test library path without
+//!   a `// analyze: allow(panic: reason)` marker (on the same line or the
+//!   line directly above). Panics on protocol-reachable paths are
+//!   remote-triggerable aborts, so every remaining one must be pinned
+//!   with a justification.
+//!
+//! This is a lint, not a proof: it works line-by-line on comment- and
+//! string-stripped source, skips `#[cfg(test)]` modules, and trades
+//! soundness for zero dependencies and zero false positives on the
+//! shipped tree (enforced by the clean-run golden test).
+
+use crate::{Diagnostic, LintId};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Formatting/printing macros whose arguments end up in human-readable
+/// output.
+const FORMAT_MACROS: &[&str] = &[
+    "format!",
+    "write!",
+    "writeln!",
+    "print!",
+    "println!",
+    "eprint!",
+    "eprintln!",
+    "panic!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Methods that project a secret onto public metadata (sizes, emptiness);
+/// comparing these is not a secret-dependent branch.
+const PUBLIC_PROJECTIONS: &[&str] = &[".len(", ".is_empty(", ".width(", ".n(", ".k(", ".count_ones("];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Does this identifier look like it names secret material?
+fn is_secret_ident(tok: &str) -> bool {
+    if tok.is_empty() || tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    tok == "raw" || tok == "raw_resp" || tok == "noisy_response" || tok.starts_with("raw_") || tok.contains("secret")
+}
+
+/// Does this *field name* hold secret material?
+fn is_secret_field(name: &str) -> bool {
+    name.starts_with("raw_") || name.contains("secret") || name == "noisy_response"
+}
+
+fn tokens(s: &str) -> impl Iterator<Item = (usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in s.char_indices() {
+        if is_ident_char(c) {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(b) = start.take() {
+            out.push((b, &s[b..i]));
+        }
+    }
+    if let Some(b) = start {
+        out.push((b, &s[b..]));
+    }
+    out.into_iter()
+}
+
+fn first_secret_at_or_after(s: &str, from: usize) -> Option<(usize, &str)> {
+    tokens(s).find(|(i, t)| *i >= from && is_secret_ident(t))
+}
+
+/// One source line in three views sharing character positions:
+/// `code` (comments and string contents blanked), `fmt` (like `code` but
+/// `{capture}` interiors of format strings kept), and the brace-depth
+/// delta of the line.
+struct CleanLine {
+    code: String,
+    fmt: String,
+}
+
+/// Strips comments and string literals from a whole file, preserving line
+/// structure and column positions.
+fn clean_lines(source: &str) -> Vec<CleanLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut fmt = String::new();
+    let mut i = 0;
+    let mut block_depth = 0usize;
+    let mut line_comment = false;
+    let mut in_string = false;
+    let mut in_capture = false;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            out.push(CleanLine {
+                code: std::mem::take(&mut code),
+                fmt: std::mem::take(&mut fmt),
+            });
+            line_comment = false;
+            i += 1;
+            continue;
+        }
+        let blank = |code: &mut String, fmt: &mut String| {
+            code.push(' ');
+            fmt.push(' ');
+        };
+        if line_comment {
+            blank(&mut code, &mut fmt);
+            i += 1;
+        } else if block_depth > 0 {
+            if c == '*' && next == Some('/') {
+                block_depth -= 1;
+                blank(&mut code, &mut fmt);
+                blank(&mut code, &mut fmt);
+                i += 2;
+            } else if c == '/' && next == Some('*') {
+                block_depth += 1;
+                blank(&mut code, &mut fmt);
+                blank(&mut code, &mut fmt);
+                i += 2;
+            } else {
+                blank(&mut code, &mut fmt);
+                i += 1;
+            }
+        } else if in_string {
+            if c == '\\' {
+                blank(&mut code, &mut fmt);
+                if next.is_some() && next != Some('\n') {
+                    blank(&mut code, &mut fmt);
+                    i += 1;
+                }
+                i += 1;
+            } else if c == '"' {
+                in_string = false;
+                in_capture = false;
+                code.push('"');
+                fmt.push('"');
+                i += 1;
+            } else if c == '{' {
+                if next == Some('{') {
+                    // `{{` is a literal brace, not a capture.
+                    blank(&mut code, &mut fmt);
+                    blank(&mut code, &mut fmt);
+                    i += 2;
+                } else {
+                    in_capture = true;
+                    code.push(' ');
+                    fmt.push('{');
+                    i += 1;
+                }
+            } else if c == '}' {
+                in_capture = false;
+                code.push(' ');
+                fmt.push('}');
+                i += 1;
+            } else {
+                code.push(' ');
+                fmt.push(if in_capture { c } else { ' ' });
+                i += 1;
+            }
+        } else if c == '/' && next == Some('/') {
+            line_comment = true;
+        } else if c == '/' && next == Some('*') {
+            block_depth = 1;
+            blank(&mut code, &mut fmt);
+            blank(&mut code, &mut fmt);
+            i += 2;
+        } else if c == '"' {
+            in_string = true;
+            code.push('"');
+            fmt.push('"');
+            i += 1;
+        } else if c == '\'' {
+            // Distinguish char literals from lifetimes.
+            if next == Some('\\') {
+                code.push(c);
+                fmt.push(c);
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                    code.push(chars[i]);
+                    fmt.push(chars[i]);
+                    i += 1;
+                }
+            } else if chars.get(i + 2) == Some(&'\'') {
+                for k in 0..3 {
+                    code.push(chars[i + k]);
+                    fmt.push(chars[i + k]);
+                }
+                i += 3;
+            } else {
+                code.push(c);
+                fmt.push(c);
+                i += 1;
+            }
+        } else {
+            code.push(c);
+            fmt.push(c);
+            i += 1;
+        }
+    }
+    if !code.is_empty() || !fmt.is_empty() {
+        out.push(CleanLine { code, fmt });
+    }
+    out
+}
+
+/// Scans one file's source text. `name` is used in diagnostic locations.
+pub fn scan_source(name: &str, source: &str) -> Vec<Diagnostic> {
+    let cleaned = clean_lines(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    let mut depth: i32 = 0;
+    // Brace depth at which a `#[cfg(test)] mod` opened; lines are skipped
+    // until the depth falls back to it.
+    let mut skip_exit: Option<i32> = None;
+    let mut cfg_test_pending = false;
+    let mut derive_debug_pending = false;
+    // (exit depth, struct name) while inside a `#[derive(Debug)]` item.
+    let mut debug_struct: Option<(i32, String)> = None;
+    // Exit depth while inside a hand-written Debug/Display impl.
+    let mut fmt_impl: Option<i32> = None;
+
+    for (idx, clean) in cleaned.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = clean.code.as_str();
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+        // A marker pins the line it is on, or the line directly below it.
+        let prev = if idx > 0 { raw_lines[idx - 1] } else { "" };
+        let allow_panic = raw.contains("analyze: allow(panic") || prev.contains("analyze: allow(panic");
+        let allow_ct = raw.contains("analyze: allow(ct") || prev.contains("analyze: allow(ct");
+        let loc = || format!("{name}:{lineno}");
+        let trimmed = code.trim();
+
+        let depth_before = depth;
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+
+        // ---- test-module skipping -------------------------------------
+        if let Some(exit) = skip_exit {
+            if depth <= exit {
+                skip_exit = None;
+            }
+            continue;
+        }
+        if trimmed.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+        }
+        if cfg_test_pending && (trimmed.starts_with("mod ") || trimmed.contains(" mod ")) {
+            cfg_test_pending = false;
+            if depth > depth_before {
+                skip_exit = Some(depth_before);
+            }
+            continue;
+        }
+        if cfg_test_pending && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            // The cfg(test) applied to something other than a module
+            // (a test-only fn or use); skip just that item if braced.
+            cfg_test_pending = false;
+            if depth > depth_before {
+                skip_exit = Some(depth_before);
+            }
+            continue;
+        }
+
+        // ---- Debug-derive and fmt-impl tracking -----------------------
+        if trimmed.contains("#[derive(") && trimmed.contains("Debug") {
+            derive_debug_pending = true;
+        }
+        if derive_debug_pending {
+            if let Some(pos) = trimmed.find("struct ").or_else(|| trimmed.find("enum ")) {
+                derive_debug_pending = false;
+                let after = &trimmed[pos..];
+                let ident = after
+                    .split_whitespace()
+                    .nth(1)
+                    .map(|w| w.chars().take_while(|&c| is_ident_char(c)).collect::<String>())
+                    .unwrap_or_default();
+                if depth > depth_before {
+                    debug_struct = Some((depth_before, ident));
+                }
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") && !trimmed.contains("derive") {
+                derive_debug_pending = false;
+            }
+        }
+        if let Some((exit, ref struct_name)) = debug_struct {
+            if depth_before > exit {
+                // A field line: `pub name: Type,`
+                let field = trimmed.strip_prefix("pub ").unwrap_or(trimmed);
+                if let Some(colon) = field.find(':') {
+                    let fname: String = field[..colon].chars().filter(|&c| is_ident_char(c)).collect();
+                    if !field[..colon].contains('(') && is_secret_field(&fname) {
+                        out.push(Diagnostic::new(
+                            LintId::SecretDebugImpl,
+                            loc(),
+                            format!("`{struct_name}` derives Debug but field `{fname}` holds secret material"),
+                            "write a manual Debug impl that redacts the field, or rename it if it is not a secret",
+                        ));
+                    }
+                }
+            }
+            if depth <= exit {
+                debug_struct = None;
+            }
+        }
+        if trimmed.starts_with("impl")
+            && (trimmed.contains("Debug for") || trimmed.contains("Display for"))
+            && depth > depth_before
+        {
+            fmt_impl = Some(depth_before);
+        } else if let Some(exit) = fmt_impl {
+            if depth_before > exit {
+                if let Some((_, tok)) = first_secret_at_or_after(code, 0) {
+                    out.push(Diagnostic::new(
+                        LintId::SecretDebugImpl,
+                        loc(),
+                        format!("Debug/Display impl formats secret-looking value `{tok}`"),
+                        "redact secrets in human-readable output",
+                    ));
+                }
+            }
+            if depth <= exit {
+                fmt_impl = None;
+            }
+        }
+
+        // ---- TNT005: unpinned panic paths -----------------------------
+        if (code.contains(".unwrap(") || code.contains(".expect(")) && !allow_panic {
+            out.push(Diagnostic::new(
+                LintId::UnpinnedPanic,
+                loc(),
+                "unwrap/expect on a library path without an `analyze: allow(panic: ...)` pin",
+                "return a typed error, or pin the site with `// analyze: allow(panic: <why it cannot fire>)`",
+            ));
+        }
+
+        // ---- TNT001: secrets into formatting macros -------------------
+        if let Some(mpos) = FORMAT_MACROS.iter().filter_map(|m| code.find(m)).min() {
+            if let Some((_, tok)) = first_secret_at_or_after(&clean.fmt, mpos) {
+                out.push(Diagnostic::new(
+                    LintId::SecretInFormat,
+                    loc(),
+                    format!("secret-looking value `{tok}` flows into a formatting macro"),
+                    "log a digest or length instead of the raw value",
+                ));
+            }
+        }
+
+        // ---- TNT003: secrets into error payloads ----------------------
+        if let Some(epos) = code.find("Err(") {
+            if let Some((_, tok)) = first_secret_at_or_after(code, epos + 4) {
+                out.push(Diagnostic::new(
+                    LintId::SecretInError,
+                    loc(),
+                    format!("secret-looking value `{tok}` is moved into an Err payload"),
+                    "carry sizes or positions in errors, never the secret itself",
+                ));
+            }
+        }
+
+        // ---- TNT004: non-constant-time comparisons --------------------
+        if !allow_ct {
+            for op in ["==", "!="] {
+                let mut search = 0;
+                while let Some(rel) = code[search..].find(op) {
+                    let at = search + rel;
+                    search = at + op.len();
+                    // Exclude `<=`, `>=`, `=>`, `===`-like runs.
+                    let before = code[..at].chars().next_back();
+                    let after = code[at + op.len()..].chars().next();
+                    if matches!(before, Some('<') | Some('>') | Some('=') | Some('!')) || after == Some('=') {
+                        continue;
+                    }
+                    for operand in [operand_left(code, at), operand_right(code, at + op.len())] {
+                        let has_secret = tokens(operand).any(|(_, t)| is_secret_ident(t));
+                        let projected = PUBLIC_PROJECTIONS.iter().any(|p| operand.contains(p));
+                        if has_secret && !projected {
+                            out.push(Diagnostic::new(
+                                LintId::SecretComparison,
+                                loc(),
+                                format!("secret-looking value compared with `{op}` (not constant time)"),
+                                "compare a MAC/digest, or pin a reviewed site with `// analyze: allow(ct: ...)`",
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Text of the expression immediately left of byte offset `at`.
+fn operand_left(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 {
+        let c = bytes[i - 1] as char;
+        if is_ident_char(c) || matches!(c, '.' | '(' | ')' | '[' | ']') {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[i..end]
+}
+
+/// Text of the expression immediately right of byte offset `from`.
+fn operand_right(code: &str, from: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if is_ident_char(c) || matches!(c, '.' | '(' | ')' | '[' | ']' | '&' | '*') {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..i]
+}
+
+/// Recursively scans every `.rs` file under the given roots.
+pub fn scan_paths(roots: &[PathBuf]) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for root in roots {
+        collect_rs(root, &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let source = fs::read_to_string(&f)?;
+        out.extend(scan_source(&f.display().to_string(), &source));
+    }
+    Ok(out)
+}
+
+fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if path.is_dir() {
+        for entry in fs::read_dir(path)? {
+            collect_rs(&entry?.path(), out)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "rs") {
+        out.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints(src: &str) -> Vec<LintId> {
+        scan_source("fixture.rs", src).into_iter().map(|d| d.lint).collect()
+    }
+
+    #[test]
+    fn format_macro_leak_is_flagged_including_inline_capture() {
+        assert_eq!(
+            lints("fn f(raw_response: u32) { println!(\"got {}\", raw_response); }"),
+            vec![LintId::SecretInFormat]
+        );
+        assert_eq!(
+            lints("fn f(raw_response: u32) { println!(\"got {raw_response}\"); }"),
+            vec![LintId::SecretInFormat]
+        );
+        assert!(lints("fn f(count: u32) { println!(\"got {count} raw items\"); }").is_empty());
+    }
+
+    #[test]
+    fn debug_derive_on_secret_field_is_flagged() {
+        let src = "#[derive(Debug, Clone)]\npub struct Reading {\n    pub raw_bits: u32,\n    pub width: u32,\n}\n";
+        assert_eq!(lints(src), vec![LintId::SecretDebugImpl]);
+        let clean = "#[derive(Debug, Clone)]\npub struct Reading {\n    pub response: u32,\n}\n";
+        assert!(lints(clean).is_empty());
+    }
+
+    #[test]
+    fn err_payload_and_comparison_are_flagged() {
+        assert_eq!(lints("fn f(s: S) -> Result<(), E> { Err(E::Leak(s.raw_response)) }"), vec![LintId::SecretInError]);
+        assert_eq!(lints("fn f(raw: u32, x: u32) -> bool { raw == x }"), vec![LintId::SecretComparison]);
+        // Length projections and pinned sites are clean.
+        assert!(lints("fn f(raw: &[u8], x: &[u8]) -> bool { raw.len() == x.len() }").is_empty());
+        assert!(lints("fn f(raw: u32, x: u32) -> bool { raw == x } // analyze: allow(ct: test fixture)").is_empty());
+    }
+
+    #[test]
+    fn unpinned_panics_flagged_pinned_and_test_code_ignored() {
+        assert_eq!(lints("fn f(x: Option<u32>) -> u32 { x.unwrap() }"), vec![LintId::UnpinnedPanic]);
+        assert!(
+            lints("fn f(x: Option<u32>) -> u32 { x.expect(\"set\") } // analyze: allow(panic: invariant)").is_empty()
+        );
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        assert!(lints(test_mod).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        assert!(lints("// the raw_response must never leak\nfn f() {}\n").is_empty());
+        assert!(lints("const DOC: &str = \"raw_response handling\";\nfn f() {}\n").is_empty());
+    }
+}

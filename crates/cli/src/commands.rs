@@ -5,7 +5,7 @@ use pufatt::adversary::build_malicious_prover;
 use pufatt::enroll::EnrolledDevice;
 use pufatt::protocol::{provision, puf_limited_clock, run_session, AttestationRequest, Channel};
 use pufatt::VerifierPuf;
-use pufatt_alupuf::device::{AluPufConfig, AluPufDesign, PufInstance};
+use pufatt_alupuf::device::{AdderKind, AluPufConfig, AluPufDesign, PufInstance};
 use pufatt_alupuf::emulate::DelayTable;
 use pufatt_faults::{
     apply_device_faults, run_chaos_session, run_noise_sweep, FaultPlan, LossyChannel, RetryPolicy, SweepConfig,
@@ -337,6 +337,85 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         report.sessions_per_second(),
         report.panicked_jobs
     );
+    Ok(())
+}
+
+/// `pufatt analyze`: run the three static-analysis passes over the shipped
+/// designs, generated SWATT programs and protocol/ECC sources.
+pub fn analyze(argv: &[String]) -> Result<(), String> {
+    use pufatt_analyze::program::{verify_program, ProgramSpec};
+    use pufatt_analyze::{circuit, taint, LintId, Report};
+    use pufatt_swatt::codegen::{generate, CodegenOptions};
+
+    let args = Args::parse(argv, &["src-root"], &["deny", "lints"])?;
+    if args.has("lints") {
+        for lint in LintId::ALL {
+            println!("{} [{}] {}", lint.code(), lint.severity(), lint.description());
+        }
+        return Ok(());
+    }
+
+    let mut report = Report::new();
+
+    // Pass 1: every shipped design point (both profiles, every adder
+    // microarchitecture the ablation bench exercises).
+    let mut designs = vec![
+        ("paper32", AluPufConfig::paper_32bit()),
+        ("fpga16", AluPufConfig::fpga_16bit()),
+    ];
+    for (name, adder) in [
+        ("paper32/lookahead", AdderKind::CarryLookahead),
+        ("paper32/select", AdderKind::CarrySelect),
+    ] {
+        let mut config = AluPufConfig::paper_32bit();
+        config.adder = adder;
+        designs.push((name, config));
+    }
+    for (name, config) in &designs {
+        let design = AluPufDesign::new(config.clone());
+        let findings = circuit::verify_alu_puf(*name, &design);
+        println!("netlist {name}: {} gate(s), {} finding(s)", design.netlist().gate_count(), findings.len());
+        report.extend(findings);
+    }
+
+    // Pass 3: honest checksum programs at shipped parameter points.
+    for params in [
+        SwattParams { region_bits: 9, rounds: 512, puf_interval: 0 },
+        SwattParams { region_bits: 10, rounds: 2048, puf_interval: 32 },
+        SwattParams { region_bits: 8, rounds: 192, puf_interval: 32 },
+    ] {
+        let name = format!("swatt/r{}b{}p{}", params.rounds, params.region_bits, params.puf_interval);
+        let generated = generate(&params, &CodegenOptions::default());
+        let program = pufatt_pe32::asm::assemble(&generated.source).map_err(|e| format!("{name}: {e}"))?;
+        let spec = ProgramSpec::from_generated(&*name, &generated, &params, &program);
+        let findings = verify_program(&spec);
+        println!("program {name}: {} word(s), {} finding(s)", spec.code_words, findings.len());
+        report.extend(findings);
+    }
+
+    // Pass 2: secret-taint lint over the protocol and ECC sources.
+    let src_root = args.get_or("src-root", ".");
+    let mut roots = Vec::new();
+    for rel in ["crates/core/src", "crates/ecc/src"] {
+        let path = std::path::Path::new(src_root).join(rel);
+        if path.is_dir() {
+            roots.push(path);
+        } else {
+            println!("taint: skipping missing {} (set --src-root to the repo root)", path.display());
+        }
+    }
+    if !roots.is_empty() {
+        let findings = taint::scan_paths(&roots).map_err(|e| format!("taint scan: {e}"))?;
+        println!("taint: {} file root(s), {} finding(s)", roots.len(), findings.len());
+        report.extend(findings);
+    }
+
+    if args.has("deny") {
+        report.deny()?;
+        println!("analyze: clean (deny mode)");
+    } else {
+        println!("{report}");
+    }
     Ok(())
 }
 

@@ -75,6 +75,12 @@ commands:
                   --trials <n>               (default 200; extractor trials)
                   --sessions <n>             (default 10; sessions per weight)
                   --max-weight <n>           (default 10; sweep 0..=N bits)
+  analyze       static analysis: netlist verifier, SWATT program verifier,
+                secret-taint lint (lint codes NET*/SWP*/TNT*)
+                  --deny                     (exit nonzero on any finding; CI)
+                  --lints                    (list the lint catalogue)
+                  --src-root <path>          (repo root for the taint scan;
+                                              default .)
 ";
 
 fn main() -> ExitCode {
@@ -91,6 +97,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile(rest),
         "fleet" => commands::fleet(rest),
         "noise-sweep" => commands::noise_sweep(rest),
+        "analyze" => commands::analyze(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -52,9 +52,10 @@ impl EnrolledDevice {
     ///
     /// Panics only if the design width became unsupported, which
     /// enrollment already validated.
+    #[allow(clippy::expect_used)]
     pub fn device_puf(&self, noise_seed: u64) -> DevicePuf {
         DevicePuf::new(self.design.clone(), self.chip.clone(), self.env, noise_seed)
-            .expect("width validated at enrollment")
+            .expect("width validated at enrollment") // analyze: allow(panic: enroll() rejects unsupported widths)
     }
 
     /// Builds a shareable device handle (for wiring into a PE32 CPU).

@@ -49,6 +49,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Lib-target panics are linted (see [lints.clippy] in Cargo.toml);
+// tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adversary;
 pub mod enroll;

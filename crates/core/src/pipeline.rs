@@ -121,8 +121,9 @@ impl PufPipeline {
 
     /// The paper's simulated configuration: 32-bit responses with
     /// BCH\[32,6,16\].
+    #[allow(clippy::expect_used)]
     pub fn paper_32bit() -> Self {
-        PufPipeline::for_width(32).expect("32 is a supported width")
+        PufPipeline::for_width(32).expect("32 is a supported width") // analyze: allow(panic: 32 is in the supported set)
     }
 
     /// Response width in bits.
@@ -154,11 +155,13 @@ impl PufPipeline {
     /// # Panics
     ///
     /// Panics if a response width disagrees with the pipeline width.
+    #[allow(clippy::expect_used)]
     pub fn prove(&self, raw: &[RawResponse; RESPONSES_PER_OUTPUT]) -> ProveOutput {
         let mut helpers = [0u32; RESPONSES_PER_OUTPUT];
         let mut ys = [0u64; RESPONSES_PER_OUTPUT];
         for (j, &r) in raw.iter().enumerate() {
             assert_eq!(r.width(), self.width, "response width mismatch");
+            // analyze: allow(panic: width equality asserted one line up)
             let h: HelperData = self.fe.generate(&self.to_code_domain(r)).expect("width checked");
             helpers[j] = h.0.as_word() as u32;
             ys[j] = r.bits();

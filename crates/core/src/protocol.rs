@@ -84,10 +84,23 @@ impl AttestationRequest {
             return Err(PufattError::Malformed(format!("attestation request must be 8 bytes, got {}", bytes.len())));
         }
         Ok(AttestationRequest {
-            x0: u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")),
-            r0: u32::from_le_bytes(bytes[4..].try_into().expect("4 bytes")),
+            x0: le32(bytes, 0).unwrap_or(0),
+            r0: le32(bytes, 4).unwrap_or(0),
         })
     }
+}
+
+/// Little-endian u32 at byte offset `at`, `None` past the end.
+fn le32(bytes: &[u8], at: usize) -> Option<u32> {
+    let b = bytes.get(at..at + 4)?;
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Little-endian u64 at byte offset `at`, `None` past the end.
+fn le64(bytes: &[u8], at: usize) -> Option<u64> {
+    let lo = le32(bytes, at)?;
+    let hi = le32(bytes, at + 4)?;
+    Some(lo as u64 | (hi as u64) << 32)
 }
 
 /// The prover's answer.
@@ -129,8 +142,8 @@ impl AttestationReport {
         if bytes.len() < 16 || &bytes[..4] != b"PATR" {
             return Err(PufattError::Malformed("not an attestation report".into()));
         }
-        let cycles = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
-        let helper_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let cycles = le64(bytes, 4).unwrap_or(0);
+        let helper_count = le32(bytes, 12).unwrap_or(0) as usize;
         let expected = 16 + 4 * (STATE_WORDS + helper_count);
         if bytes.len() != expected {
             return Err(PufattError::Malformed(format!(
@@ -138,7 +151,8 @@ impl AttestationReport {
                 bytes.len()
             )));
         }
-        let word = |i: usize| u32::from_le_bytes(bytes[16 + 4 * i..20 + 4 * i].try_into().expect("4 bytes"));
+        // The length check above guarantees every `word(i)` is in range.
+        let word = |i: usize| le32(bytes, 16 + 4 * i).unwrap_or(0);
         let response: [u32; STATE_WORDS] = std::array::from_fn(word);
         let helper_words = (0..helper_count).map(|i| word(STATE_WORDS + i)).collect();
         Ok(AttestationReport { response, helper_words, cycles })
@@ -558,16 +572,15 @@ pub fn run_session_with_retry<R: Rng + ?Sized>(
     // campaigns construct retry budgets dynamically, and misconfiguration
     // must surface as a verdict, never as a crash.
     let max_attempts = max_attempts.max(1);
-    let mut last = None;
-    for attempt in 1..=max_attempts {
+    let mut attempt = 1;
+    loop {
         let request = AttestationRequest::random(rng);
         let (verdict, _) = run_session(prover, verifier, request)?;
-        if verdict.accepted {
+        if verdict.accepted || attempt == max_attempts {
             return Ok((verdict, attempt));
         }
-        last = Some(verdict);
+        attempt += 1;
     }
-    Ok((last.expect("max_attempts >= 1 so the loop ran"), max_attempts))
 }
 
 #[cfg(test)]

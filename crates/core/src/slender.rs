@@ -107,6 +107,8 @@ pub fn prover_substring<R: Rng + ?Sized>(
     let challenges = stream_challenges(seed, params.stream_challenges, width);
     let mut stream = Vec::with_capacity(params.stream_bits(width));
     for group in challenges.chunks_exact(RESPONSES_PER_OUTPUT) {
+        #[allow(clippy::expect_used)]
+        // analyze: allow(panic: chunks_exact yields exactly RESPONSES_PER_OUTPUT items)
         let group: [Challenge; RESPONSES_PER_OUTPUT] = group.try_into().expect("chunked exactly");
         let z = device.respond(&group).z;
         for b in 0..width {

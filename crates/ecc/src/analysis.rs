@@ -58,6 +58,7 @@ impl FailureProfile {
     ///
     /// Weights where decoding is guaranteed (found to never fail) record a
     /// failure probability of 0.
+    #[allow(clippy::expect_used)]
     pub fn estimate<D: Decoder + ?Sized, R: Rng + ?Sized>(decoder: &D, trials_per_weight: usize, rng: &mut R) -> Self {
         let n = decoder.code().n();
         let mut per_weight = vec![0.0; n + 1];
@@ -77,6 +78,7 @@ impl FailureProfile {
                 for &p in &positions[..w] {
                     e.set(p, true);
                 }
+                // analyze: allow(panic: e is built with exactly n bits)
                 let s = decoder.code().syndrome(&e).expect("sized correctly");
                 match decoder.decode_syndrome(&s) {
                     Ok(decoded) if decoded == e => {}

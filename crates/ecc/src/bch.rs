@@ -30,7 +30,7 @@ impl Poly2 {
     }
 
     fn trim(&mut self) {
-        while self.0.len() > 1 && !*self.0.last().expect("nonempty") {
+        while self.0.len() > 1 && self.0.last() == Some(&false) {
             self.0.pop();
         }
     }
@@ -131,7 +131,9 @@ impl BchCode {
         let rows = (0..k)
             .map(|shift| (0..n).map(|c| c >= shift && g.coeff(c - shift)).collect::<BitVec>())
             .collect();
+        #[allow(clippy::expect_used)]
         let code = LinearCode::from_generator(BitMatrix::from_rows(rows))
+            // analyze: allow(panic: x^i*g(x) rows have distinct leading terms, so they are independent)
             .expect("shifted generator polynomial rows are independent");
         BchCode { field, t, generator_poly: g, code }
     }

@@ -139,11 +139,13 @@ impl LinearCode {
     /// # Panics
     ///
     /// Panics if `k > 20` (enumeration would be unreasonable).
+    #[allow(clippy::expect_used)]
     pub fn weight_distribution(&self) -> Vec<u64> {
         assert!(self.k() <= 20, "weight distribution by enumeration needs k <= 20, got {}", self.k());
         let mut dist = vec![0u64; self.n() + 1];
         for m in 0u64..(1 << self.k()) {
             let msg: BitVec = (0..self.k()).map(|i| (m >> i) & 1 == 1).collect();
+            // analyze: allow(panic: msg is built with exactly k bits)
             let cw = self.encode(&msg).expect("sized message");
             dist[cw.weight()] += 1;
         }
@@ -156,6 +158,7 @@ impl LinearCode {
     /// # Panics
     ///
     /// Panics if `k > 20`.
+    #[allow(clippy::expect_used)]
     pub fn minimum_distance(&self) -> usize {
         self.weight_distribution()
             .iter()
@@ -163,7 +166,7 @@ impl LinearCode {
             .skip(1)
             .find(|&(_, &c)| c > 0)
             .map(|(w, _)| w)
-            .expect("nonzero codewords exist for k >= 1")
+            .expect("nonzero codewords exist for k >= 1") // analyze: allow(panic: from_generator requires k >= 1)
     }
 
     /// Finds one word whose syndrome equals `s` (a coset representative,

@@ -52,6 +52,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+// Lib-target panics are linted (see [lints.clippy] in Cargo.toml);
+// tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
 pub mod bch;
 pub mod code;

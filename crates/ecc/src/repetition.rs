@@ -32,6 +32,8 @@ impl RepetitionCode {
         let rows = (0..data_bits)
             .map(|i| (0..n).map(|c| c / repeats == i).collect::<BitVec>())
             .collect();
+        #[allow(clippy::expect_used)]
+        // analyze: allow(panic: repetition rows have disjoint supports, so they are independent)
         let code = LinearCode::from_generator(BitMatrix::from_rows(rows)).expect("repetition rows independent");
         RepetitionCode { repeats, data_bits, code }
     }

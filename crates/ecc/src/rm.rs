@@ -38,7 +38,9 @@ impl ReedMuller1 {
         for j in 0..m {
             rows.push((0..n).map(|x| (x >> j) & 1 == 1).collect::<BitVec>());
         }
+        #[allow(clippy::expect_used)]
         let code = LinearCode::from_generator(BitMatrix::from_rows(rows))
+            // analyze: allow(panic: the all-ones row plus the m coordinate rows are independent)
             .expect("RM(1,m) generator is full rank by construction");
         ReedMuller1 { m, code }
     }
@@ -77,6 +79,7 @@ impl ReedMuller1 {
     /// # Errors
     ///
     /// Returns [`CodeError::LengthMismatch`] for a wrong-size word.
+    #[allow(clippy::expect_used)]
     pub fn decode_ml(&self, received: &BitVec) -> Result<(BitVec, BitVec), CodeError> {
         let n = 1usize << self.m;
         if received.len() != n {
@@ -103,8 +106,8 @@ impl ReedMuller1 {
             .iter()
             .enumerate()
             .max_by_key(|&(a, &v)| (v.abs(), std::cmp::Reverse(a)))
-            .expect("transform is non-empty");
-        // W(a) > 0 ⇒ received is closer to b = 0; W(a) < 0 ⇒ b = 1.
+            .expect("transform is non-empty"); // analyze: allow(panic: w has 2^m >= 1 entries)
+                                               // W(a) > 0 ⇒ received is closer to b = 0; W(a) < 0 ⇒ b = 1.
         let b = best_w < 0;
         let mut message = BitVec::zeros(self.m as usize + 1);
         message.set(0, b);

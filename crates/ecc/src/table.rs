@@ -27,6 +27,7 @@ impl TableDecoder {
     ///
     /// Panics if the code is too large for table decoding
     /// (`n − k > 24` or `n > 64`).
+    #[allow(clippy::expect_used)]
     pub fn new(code: LinearCode) -> Self {
         let n = code.n();
         let sbits = code.syndrome_bits();
@@ -49,6 +50,7 @@ impl TableDecoder {
             let limit = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
             while v <= limit {
                 let e = BitVec::from_word(v, n);
+                // analyze: allow(panic: e is built with exactly n bits)
                 let s = code.syndrome(&e).expect("sized pattern").as_word() as usize;
                 if leaders[s] == u64::MAX {
                     leaders[s] = v;

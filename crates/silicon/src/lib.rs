@@ -50,6 +50,11 @@
 //! assert_eq!(result.word(&ports.sum), 0b1000);
 //! ```
 
+// The SIMD/parallel simulation kernels are the only unsafe code in the
+// workspace; every unsafe operation must sit in an explicit `unsafe {}`
+// block with a SAFETY comment, even inside unsafe fns.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod delay;
 pub mod dot;
 pub mod env;

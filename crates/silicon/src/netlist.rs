@@ -222,6 +222,12 @@ impl Netlist {
         &self.nets[id.index()]
     }
 
+    /// All nets in id order, paired with their ids (used by external
+    /// analyses such as `pufatt-analyze`'s netlist verifier).
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i as u32), n))
+    }
+
     /// Primary inputs in declaration order.
     pub fn primary_inputs(&self) -> &[NetId] {
         &self.primary_inputs

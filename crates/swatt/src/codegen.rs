@@ -90,7 +90,16 @@ pub fn generate(params: &SwattParams, options: &CodegenOptions) -> GeneratedSwat
     let result_base = region_end;
     let helper_ptr_cell = region_end + STATE_WORDS as u32;
     let helper_base = helper_ptr_cell + 1;
-    let helper_words = params.puf_queries() * STATE_WORDS as u32;
+    // When the PUF section is emitted at all (puf_interval != 0) the
+    // image contains helper stores for one burst even if the block count
+    // never lets them execute (puf_queries() == 0); scratch must cover
+    // that statically reachable span so every store is provably in
+    // bounds.
+    let helper_words = if params.puf_interval == 0 {
+        0
+    } else {
+        params.puf_queries().max(1) * STATE_WORDS as u32
+    };
     let mut memory_words = helper_base + helper_words.max(1);
     if let Some(r) = options.redirect {
         let copy_words = r.malware_end - r.malware_start;
