@@ -1,0 +1,163 @@
+//! Durable store: WAL append and recovery throughput.
+//!
+//! Not a paper figure — a persistence benchmark for the `pufatt-store`
+//! subsystem. Three measurements against the production file backend in a
+//! temporary directory:
+//!
+//! * per-record-fsync appends (`sync_every = 1`, the consume-once CRP
+//!   setting — each record is committed before the append returns);
+//! * batched appends (`sync_every = 64`, the campaign journal setting);
+//! * recovery: reopening a store whose WAL holds the whole workload,
+//!   which replays every record and folds them into a fresh snapshot.
+//!
+//! Results are printed and written to `BENCH_store_wal.json` at the
+//! workspace root for CI artifact upload. `--test` (as passed by
+//! `cargo test` to harness=false benches) or `PUFATT_SMOKE=1` selects a
+//! small workload.
+
+use pufatt_bench::{full_scale, header, timed};
+use pufatt_store::record::{OutcomeRec, Record, StoredStatus};
+use pufatt_store::{DurableStore, StdVfs, StoreOptions};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    records: usize,
+    seconds: f64,
+    records_per_sec: f64,
+    wal_bytes: u64,
+    mb_per_sec: f64,
+}
+
+fn outcome(i: usize) -> OutcomeRec {
+    let accepted = !i.is_multiple_of(3);
+    OutcomeRec {
+        accepted,
+        response_ok: accepted,
+        time_ok: true,
+        timed_out: false,
+        attempts: 1 + u32::from(!accepted),
+        elapsed_bits: (0.001 * (1.0 + (i % 7) as f64)).to_bits(),
+        retried: u32::from(!accepted),
+        dropped: (i % 5) as u32,
+        lost: false,
+        latency_slot: (i % 20) as u8,
+    }
+}
+
+/// The record stream: one enrollment, then a steady diet of session
+/// closures that keep the device Active (always legal, representative of
+/// a healthy campaign's journal).
+fn session_record(i: usize) -> Record {
+    Record::SessionClosed {
+        id: 0,
+        outcome: outcome(i),
+        status: StoredStatus::Active,
+        fails: 0,
+        succs: (i + 1) as u32,
+    }
+}
+
+fn open(dir: &std::path::Path, sync_every: u32) -> DurableStore {
+    let vfs = StdVfs::open(dir).expect("temp dir");
+    let opts = StoreOptions { history_capacity: 64, sync_every };
+    DurableStore::open(Arc::new(vfs), opts).expect("open store")
+}
+
+fn append_run(dir: &std::path::Path, name: &'static str, sync_every: u32, records: usize) -> Row {
+    std::fs::remove_dir_all(dir).ok();
+    let store = open(dir, sync_every);
+    store.append(&Record::DeviceEnrolled { id: 0 }).expect("enroll");
+    let start = Instant::now();
+    for i in 0..records {
+        store.append(&session_record(i)).expect("append");
+    }
+    store.sync().expect("final sync");
+    let seconds = start.elapsed().as_secs_f64();
+    let wal_bytes = store.stats().wal_bytes;
+    Row {
+        name,
+        records,
+        seconds,
+        records_per_sec: records as f64 / seconds.max(1e-9),
+        wal_bytes,
+        mb_per_sec: wal_bytes as f64 / 1e6 / seconds.max(1e-9),
+    }
+}
+
+fn main() {
+    let smoke =
+        std::env::args().any(|a| a == "--test") || std::env::var("PUFATT_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let (synced_n, batched_n) = if smoke {
+        (50, 200)
+    } else if full_scale() {
+        (5_000, 200_000)
+    } else {
+        (1_000, 20_000)
+    };
+
+    header("STORE", "Durable store: WAL append + recovery throughput (pufatt-store)");
+    println!(
+        "  {synced_n} per-fsync records, {batched_n} batched records{}",
+        if smoke { " (smoke mode)" } else { "" }
+    );
+    let dir = std::env::temp_dir().join(format!("pufatt-bench-wal-{}", std::process::id()));
+
+    let mut rows = Vec::new();
+    rows.push(timed("append, fsync per record (sync_every=1) ", || {
+        append_run(&dir, "append_synced_each", 1, synced_n)
+    }));
+    rows.push(timed("append, batched fsync  (sync_every=64)", || {
+        append_run(&dir, "append_batched_64", 64, batched_n)
+    }));
+
+    // The batched store above was dropped with its workload still in the
+    // WAL (no checkpoint): reopening replays every record.
+    let recovery = timed("recovery (replay WAL into a snapshot) ", || {
+        let start = Instant::now();
+        let store = open(&dir, 64);
+        let seconds = start.elapsed().as_secs_f64();
+        let replayed = store.stats().records_replayed as usize;
+        assert_eq!(replayed, batched_n + 1, "recovery must replay the whole workload");
+        assert_eq!(store.stats().torn_tails_recovered, 0, "clean shutdown leaves no torn tail");
+        Row {
+            name: "recover_replay",
+            records: replayed,
+            seconds,
+            records_per_sec: replayed as f64 / seconds.max(1e-9),
+            wal_bytes: store.stats().wal_bytes,
+            mb_per_sec: 0.0,
+        }
+    });
+    rows.push(recovery);
+    std::fs::remove_dir_all(&dir).ok();
+
+    for r in &rows {
+        println!(
+            "    {:<20} {:>7} records in {:>8.4} s: {:>9.0} records/s ({:.2} MB/s, wal {} B)",
+            r.name, r.records, r.seconds, r.records_per_sec, r.mb_per_sec, r.wal_bytes
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"records\": {}, \"seconds\": {:.6}, ",
+                    "\"records_per_sec\": {:.1}, \"wal_bytes\": {}, \"mb_per_sec\": {:.3}}}"
+                ),
+                r.name, r.records, r.seconds, r.records_per_sec, r.wal_bytes, r.mb_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"store_wal\",\n  \"smoke\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        smoke,
+        json_rows.join(",\n")
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store_wal.json");
+    std::fs::write(out_path, json).expect("write BENCH_store_wal.json");
+    println!("  wrote {out_path}");
+}

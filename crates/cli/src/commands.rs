@@ -10,7 +10,7 @@ use pufatt_alupuf::emulate::DelayTable;
 use pufatt_faults::{
     apply_device_faults, run_chaos_session, run_noise_sweep, FaultPlan, LossyChannel, RetryPolicy, SweepConfig,
 };
-use pufatt_fleet::{run_campaign, CampaignConfig, ChaosConfig, LifecyclePolicy};
+use pufatt_fleet::{run_campaign, run_campaign_with_dir, CampaignConfig, ChaosConfig, LifecyclePolicy};
 use pufatt_silicon::env::Environment;
 use pufatt_silicon::variation::ChipSampler;
 use pufatt_swatt::checksum::SwattParams;
@@ -277,8 +277,9 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             "history",
             "fault-plan",
             "flaky",
+            "state-dir",
         ],
-        &[],
+        &["resume"],
     )?;
     let defaults = CampaignConfig::default();
     let seed: u64 = args.num_or("seed", defaults.seed)?;
@@ -329,7 +330,19 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     if let Some(chaos) = &cfg.chaos {
         println!("chaos: plan [{}], {:.1}% of the fleet flaky", chaos.plan, chaos.flaky_fraction * 100.0);
     }
-    let report = run_campaign(&cfg).map_err(|e| e.to_string())?;
+    let state_dir = args.get_or("state-dir", "");
+    let resume = args.has("resume");
+    if resume && state_dir.is_empty() {
+        return Err("--resume requires --state-dir".into());
+    }
+    let report = if state_dir.is_empty() {
+        run_campaign(&cfg)
+    } else {
+        let dir = std::path::Path::new(state_dir);
+        println!("state: journaling to {} ({})", dir.display(), if resume { "resume" } else { "fresh" });
+        run_campaign_with_dir(&cfg, dir, resume)
+    }
+    .map_err(|e| e.to_string())?;
     print!("{}", report.snapshot);
     println!(
         "wall time {:.2} s, {:.0} sessions/s, {} panicked jobs",
@@ -393,10 +406,12 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
         report.extend(findings);
     }
 
-    // Pass 2: secret-taint lint over the protocol and ECC sources.
+    // Pass 2: secret-taint lint over the protocol, ECC, and durable-store
+    // sources (the store must never let raw responses or helper data reach
+    // WAL records or error payloads).
     let src_root = args.get_or("src-root", ".");
     let mut roots = Vec::new();
-    for rel in ["crates/core/src", "crates/ecc/src"] {
+    for rel in ["crates/core/src", "crates/ecc/src", "crates/store/src"] {
         let path = std::path::Path::new(src_root).join(rel);
         if path.is_dir() {
             roots.push(path);
@@ -479,6 +494,26 @@ mod tests {
         fleet(&argv("--devices 4 --threads 2 --sessions 1 --profile fpga16 --rounds 128")).expect("fleet threads");
         assert!(fleet(&argv("--devices 0")).is_err(), "empty fleets are refused");
         assert!(fleet(&argv("--bogus 1")).is_err(), "unknown flags are refused");
+    }
+
+    #[test]
+    fn fleet_persists_and_resumes_a_state_dir() {
+        let dir = std::env::temp_dir().join(format!("pufatt-cli-state-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = format!(
+            "--devices 4 --workers 2 --sessions 1 --profile fpga16 --rounds 128 --state-dir {}",
+            dir.to_str().unwrap()
+        );
+        fleet(&argv(&base)).expect("fresh persistent campaign");
+        assert!(dir.join("snapshot.bin").is_file(), "snapshot written");
+        assert!(fleet(&argv(&base)).is_err(), "occupied state dir refused without --resume");
+        fleet(&argv(&format!("{base} --resume"))).expect("resume of a finished campaign");
+        assert!(
+            fleet(&argv(&format!("{base} --seed 99 --resume"))).is_err(),
+            "resume under a different configuration refused"
+        );
+        assert!(fleet(&argv("--devices 4 --resume")).is_err(), "--resume requires --state-dir");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -70,6 +70,11 @@ commands:
                   --fault-plan <spec>        (chaos mode; same syntax as attest)
                   --flaky <f64>              (default 0.25; flaky fraction,
                                               only with --fault-plan)
+                  --state-dir <path>         (persist the campaign: WAL +
+                                              snapshots; crash-safe)
+                  --resume                   (continue an interrupted campaign
+                                              from --state-dir; verdicts match
+                                              an uninterrupted run)
   noise-sweep   false-negative rate vs. injected PUF error weight (paper 4.1)
                   --seed <u64>               (default 42)
                   --trials <n>               (default 200; extractor trials)

@@ -17,7 +17,7 @@ use pufatt_silicon::env::Environment;
 use pufatt_silicon::variation::ChipSampler;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// One enrolled device: the shared design, the manufactured chip, and the
@@ -98,7 +98,7 @@ impl EnrolledDevice {
             }
             entries.insert(ch, RawResponse::new(bits, w));
         }
-        CrpDatabase { entries, width: w }
+        CrpDatabase { entries, spent: HashSet::new(), width: w }
     }
 
     /// Parallel CRP recording: `count` challenges drawn deterministically
@@ -122,7 +122,7 @@ impl EnrolledDevice {
         let instance = PufInstance::new(&self.design, &self.chip, self.env);
         let responses = instance.evaluate_batch_voted(&challenges, 5, noise_seed, threads);
         let entries = challenges.into_iter().zip(responses).collect();
-        CrpDatabase { entries, width: w }
+        CrpDatabase { entries, spent: HashSet::new(), width: w }
     }
 }
 
@@ -184,9 +184,17 @@ pub fn enroll_fleet(config: AluPufConfig, base_seed: u64, count: usize) -> Resul
 
 /// The database-of-CRPs verification approach (paper §2): finite,
 /// replay-sensitive, usable only for challenges recorded at enrollment.
+///
+/// Consumed challenges are remembered, so a second [`CrpDatabase::consume`]
+/// of the same challenge is a typed [`PufattError::ChallengeReused`] —
+/// distinguishable from a challenge that was never enrolled. A durable
+/// deployment persists the spent set (see the `pufatt-store` crate) and
+/// re-marks it via [`CrpDatabase::mark_spent`] after a restart, so a crash
+/// can lose an unused CRP but never re-issue a consumed one.
 #[derive(Debug, Clone)]
 pub struct CrpDatabase {
     entries: HashMap<Challenge, RawResponse>,
+    spent: HashSet<Challenge>,
     width: usize,
 }
 
@@ -214,8 +222,41 @@ impl CrpDatabase {
 
     /// Consumes a CRP: each challenge authenticates at most once,
     /// preventing replay (the paper's stated discipline).
-    pub fn consume(&mut self, challenge: Challenge) -> Option<RawResponse> {
-        self.entries.remove(&challenge)
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::ChallengeReused`] if the challenge was already
+    /// consumed (a replay — attack signal, never re-issued);
+    /// [`PufattError::ChallengeUnknown`] if it was never enrolled.
+    pub fn consume(&mut self, challenge: Challenge) -> Result<RawResponse, PufattError> {
+        match self.entries.remove(&challenge) {
+            Some(response) => {
+                self.spent.insert(challenge);
+                Ok(response)
+            }
+            None if self.spent.contains(&challenge) => Err(PufattError::ChallengeReused { challenge }),
+            None => Err(PufattError::ChallengeUnknown { challenge }),
+        }
+    }
+
+    /// Marks a challenge as spent without returning its response — how a
+    /// durable spent set is re-applied after recovery. Returns whether the
+    /// challenge was present (an absent one is still recorded as spent, so
+    /// the refusal stays typed as a reuse).
+    pub fn mark_spent(&mut self, challenge: Challenge) -> bool {
+        let was_present = self.entries.remove(&challenge).is_some();
+        self.spent.insert(challenge);
+        was_present
+    }
+
+    /// Whether a challenge has been consumed (or marked spent).
+    pub fn is_spent(&self, challenge: Challenge) -> bool {
+        self.spent.contains(&challenge)
+    }
+
+    /// Challenges consumed or marked spent so far.
+    pub fn spent_count(&self) -> usize {
+        self.spent.len()
     }
 
     /// Iterates over the stored challenges (e.g. to drive an
@@ -275,9 +316,39 @@ mod tests {
         assert_eq!(db.len(), 20);
         let ch = db.challenges().next().unwrap();
         assert!(db.peek(ch).is_some());
-        assert!(db.consume(ch).is_some());
-        assert!(db.consume(ch).is_none(), "second use must fail");
+        assert!(db.consume(ch).is_ok());
+        assert!(
+            matches!(db.consume(ch), Err(PufattError::ChallengeReused { challenge }) if challenge == ch),
+            "second use must be a typed replay refusal"
+        );
+        assert!(db.is_spent(ch));
+        assert_eq!(db.spent_count(), 1);
+        let stranger = Challenge { a: !ch.a, b: !ch.b };
+        assert!(
+            matches!(db.consume(stranger), Err(PufattError::ChallengeUnknown { .. })),
+            "never-enrolled challenges are a distinct error"
+        );
         assert_eq!(db.len(), 19);
+    }
+
+    #[test]
+    fn mark_spent_blocks_reissue_after_recovery() {
+        // Simulates the durable-store restart path: a fresh database built
+        // from the same enrollment, with the persisted spent set re-applied.
+        let dev = enroll(small_config(), 3, 0).unwrap();
+        let db = dev.record_crp_database_batch(10, 5, 6, 1);
+        let ch = {
+            let mut first = db.clone();
+            let picked = first.challenges().next().unwrap();
+            first.consume(picked).unwrap();
+            picked
+        };
+        let mut recovered = db;
+        assert!(recovered.mark_spent(ch), "challenge was present before recovery");
+        assert!(
+            matches!(recovered.consume(ch), Err(PufattError::ChallengeReused { .. })),
+            "a recovered spent set must refuse re-issue"
+        );
     }
 
     #[test]

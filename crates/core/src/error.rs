@@ -1,5 +1,6 @@
 //! Error types of the PUFatt core.
 
+use pufatt_alupuf::challenge::Challenge;
 use std::fmt;
 
 /// Errors of the PUF post-processing pipeline and the attestation protocol.
@@ -57,6 +58,27 @@ pub enum PufattError {
     },
     /// A wire message failed structural validation when parsed.
     Malformed(String),
+    /// A CRP-database challenge was presented again after being consumed.
+    /// Each challenge authenticates at most once (the paper's replay
+    /// discipline); a reuse is an attack signal or a state-management bug,
+    /// never re-issued. Carries the (public) challenge for diagnostics —
+    /// challenges travel the wire in the clear, responses never appear in
+    /// errors.
+    ChallengeReused {
+        /// The challenge that was already consumed.
+        challenge: Challenge,
+    },
+    /// A challenge was never enrolled in this CRP database — distinct from
+    /// [`PufattError::ChallengeReused`] so a caller cannot misread a
+    /// replay as a typo.
+    ChallengeUnknown {
+        /// The unrecognised challenge.
+        challenge: Challenge,
+    },
+    /// The durable state layer failed (I/O error, corrupted store). The
+    /// payload is the storage layer's own rendering; it never contains
+    /// response material.
+    Storage(String),
 }
 
 impl fmt::Display for PufattError {
@@ -86,6 +108,17 @@ impl fmt::Display for PufattError {
                 write!(f, "channel lost every message across {attempts} attempts")
             }
             PufattError::Malformed(m) => write!(f, "malformed wire message: {m}"),
+            PufattError::ChallengeReused { challenge } => {
+                write!(
+                    f,
+                    "challenge (a={:#x}, b={:#x}) was already consumed — replay refused",
+                    challenge.a, challenge.b
+                )
+            }
+            PufattError::ChallengeUnknown { challenge } => {
+                write!(f, "challenge (a={:#x}, b={:#x}) is not enrolled in this database", challenge.a, challenge.b)
+            }
+            PufattError::Storage(m) => write!(f, "durable state layer failed: {m}"),
         }
     }
 }

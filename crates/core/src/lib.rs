@@ -72,8 +72,8 @@ pub use error::PufattError;
 pub use pipeline::{ProveOutput, PufPipeline};
 pub use ports::{DevicePuf, ResponseFault, SharedDevicePuf, VerifierPuf, VerifierRoundPuf};
 pub use protocol::{
-    provision, puf_limited_clock, run_session, run_session_with_retry, AttestationReport, AttestationRequest, Channel,
-    MidTraversalTamper, ProverDevice, Verdict, Verifier,
+    authenticate_with_database, provision, puf_limited_clock, run_session, run_session_with_retry, AttestationReport,
+    AttestationRequest, Channel, MidTraversalTamper, ProverDevice, Verdict, Verifier,
 };
 pub use ring::RingBuffer;
 pub use server::{AttestationServer, DeviceStatus, SessionRecord};

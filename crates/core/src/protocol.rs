@@ -583,6 +583,29 @@ pub fn run_session_with_retry<R: Rng + ?Sized>(
     }
 }
 
+/// Authenticates one live response against a recorded CRP database (the
+/// paper's §2 database approach): the challenge's reference response is
+/// *consumed* — each challenge authenticates at most once — and the device
+/// is accepted when the live response lies within `max_distance` bits of
+/// the enrolled reference (PUF noise tolerance).
+///
+/// # Errors
+///
+/// [`PufattError::ChallengeReused`] if the challenge was already consumed
+/// (a replay is refused *before* any comparison — the reference is gone,
+/// so a reused challenge can never authenticate);
+/// [`PufattError::ChallengeUnknown`] for a challenge that was never
+/// enrolled.
+pub fn authenticate_with_database(
+    database: &mut crate::enroll::CrpDatabase,
+    challenge: pufatt_alupuf::challenge::Challenge,
+    live: pufatt_alupuf::challenge::RawResponse,
+    max_distance: u32,
+) -> Result<bool, PufattError> {
+    let reference = database.consume(challenge)?;
+    Ok(live.hamming_distance(reference) <= max_distance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +634,28 @@ mod tests {
             assert!(verdict.accepted);
             assert_eq!(report.helper_words.len(), verifier.expected_helper_words());
         }
+    }
+
+    #[test]
+    fn database_authentication_consumes_and_refuses_replay() {
+        use pufatt_alupuf::device::PufInstance;
+        use rand::SeedableRng;
+        let enrolled = enroll(AluPufConfig::paper_32bit(), 42, 0).unwrap();
+        let mut db = enrolled.record_crp_database_batch(8, 21, 22, 1);
+        let instance = PufInstance::new(enrolled.design(), enrolled.chip(), enrolled.env());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let mut keys: Vec<_> = db.challenges().collect();
+        keys.sort_by_key(|c| (c.a, c.b));
+        let ch = keys[0];
+        let live = instance.evaluate(ch, &mut rng);
+        let accepted = authenticate_with_database(&mut db, ch, live, enrolled.design().width() as u32 / 4).unwrap();
+        assert!(accepted, "an honest device within noise tolerance authenticates");
+        // The same challenge again — even with a perfect response — is a
+        // typed replay refusal, not a silent miss.
+        assert!(matches!(
+            authenticate_with_database(&mut db, ch, live, u32::MAX),
+            Err(PufattError::ChallengeReused { challenge }) if challenge == ch
+        ));
     }
 
     #[test]

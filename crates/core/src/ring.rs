@@ -35,6 +35,24 @@ impl<T> RingBuffer<T> {
         }
     }
 
+    /// Rebuilds a buffer from persisted state: `items` are the retained
+    /// elements (oldest first, already within `capacity`) and
+    /// `total_pushed` the lifetime push count — the eviction counter is
+    /// recomputed as `total_pushed - items.len()`. This is the durable
+    /// store's restore path; excess items beyond `capacity` are trimmed
+    /// from the front (oldest) rather than refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, like [`RingBuffer::new`].
+    pub fn rehydrate(capacity: usize, items: Vec<T>, total_pushed: u64) -> Self {
+        let mut ring = RingBuffer::new(capacity);
+        let skip = items.len().saturating_sub(capacity);
+        ring.items = items.into_iter().skip(skip).collect();
+        ring.evicted = total_pushed.saturating_sub(ring.items.len() as u64);
+        ring
+    }
+
     /// Appends an element, evicting (and returning) the oldest one if the
     /// buffer is full.
     pub fn push(&mut self, item: T) -> Option<T> {
@@ -132,5 +150,17 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_refused() {
         let _ = RingBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn rehydrate_restores_retention_and_eviction_state() {
+        let rebuilt = RingBuffer::rehydrate(3, vec![7, 8, 9], 5);
+        assert_eq!(rebuilt.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(rebuilt.evicted(), 2);
+        assert_eq!(rebuilt.total_pushed(), 5);
+        // Over-capacity input keeps the newest items.
+        let trimmed = RingBuffer::rehydrate(2, vec![1, 2, 3], 3);
+        assert_eq!(trimmed.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(trimmed.evicted(), 1);
     }
 }

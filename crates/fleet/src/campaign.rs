@@ -173,7 +173,7 @@ pub fn device_is_flaky(campaign_seed: u64, id: DeviceId, flaky_fraction: f64) ->
 }
 
 /// One device's provisioned session state, built inside the pool job.
-struct DeviceSession {
+pub(crate) struct DeviceSession {
     prover: ProverDevice,
     verifier: Verifier,
     rng: ChaCha8Rng,
@@ -185,7 +185,7 @@ struct DeviceSession {
     plan: FaultPlan,
 }
 
-fn provision_device(
+pub(crate) fn provision_device(
     design: &Arc<AluPufDesign>,
     cfg: &CampaignConfig,
     id: DeviceId,
@@ -230,13 +230,37 @@ fn provision_device(
     })
 }
 
+/// How one scheduled session ended, with the per-session metric deltas
+/// the durable campaign journals alongside the outcome (the in-memory
+/// campaign only needs the outcome itself).
+pub(crate) enum SessionEvent {
+    /// The session reached a verdict to record in the registry.
+    Closed {
+        /// The verdict.
+        outcome: SessionOutcome,
+        /// Retry increments this session contributed to the counters.
+        retried: u32,
+        /// Messages the channel ate during this session.
+        dropped: u32,
+        /// Whether the session died without a verdict (deadline/channel)
+        /// and the rejection is synthetic.
+        lost: bool,
+    },
+    /// The device faulted outside the protocol; no verdict.
+    Fault {
+        /// Retry increments counted before the fault.
+        retried: u32,
+        /// Messages dropped before the fault.
+        dropped: u32,
+    },
+}
+
 /// Runs one session (with retries) against an already-provisioned device.
-/// Returns the outcome to record; `None` only if the device faulted.
-fn run_one_session(
+pub(crate) fn run_one_session(
     session: &mut DeviceSession,
     cfg: &CampaignConfig,
     metrics: &FleetMetrics,
-) -> Option<SessionOutcome> {
+) -> SessionEvent {
     metrics.session_started();
     let mut attempts = 0u32;
     let mut backoff_s = 0.0f64;
@@ -247,7 +271,7 @@ fn run_one_session(
             Ok(report) => report,
             Err(_) => {
                 metrics.device_fault();
-                return None;
+                return SessionEvent::Fault { retried: attempts - 1, dropped: 0 };
             }
         };
         let compute_s = session.prover.clock().duration_ns(report.cycles) * 1e-9;
@@ -273,7 +297,7 @@ fn run_one_session(
                 }
             }
             metrics.observe_latency(elapsed_s);
-            return Some(outcome);
+            return SessionEvent::Closed { outcome, retried: attempts - 1, dropped: 0, lost: false };
         }
         metrics.attempt_retried();
         // Exponential backoff in simulated time: it delays the session
@@ -287,11 +311,11 @@ fn run_one_session(
 /// machine. Sessions that die without a verdict (deadline, channel fully
 /// lost) count as failed-and-timed-out towards the lifecycle, never as a
 /// crash.
-fn run_one_chaos_session(
+pub(crate) fn run_one_chaos_session(
     session: &mut DeviceSession,
     cfg: &CampaignConfig,
     metrics: &FleetMetrics,
-) -> Option<SessionOutcome> {
+) -> SessionEvent {
     metrics.session_started();
     let mut policy = RetryPolicy::for_verifier(&session.verifier, cfg.policy.max_attempts);
     policy.backoff_base_s = cfg.policy.backoff_base_s;
@@ -304,33 +328,41 @@ fn run_one_chaos_session(
         &policy,
         &mut session.rng,
     );
-    metrics.messages_dropped(u64::from(report.messages_dropped()));
+    let dropped = report.messages_dropped();
+    metrics.messages_dropped(u64::from(dropped));
+    let retried = u32::from(report.attempts > 1);
     if report.attempts > 1 {
         metrics.attempt_retried();
     }
-    let outcome = match &report.result {
-        Ok(verdict) => SessionOutcome {
-            accepted: verdict.accepted,
-            response_ok: verdict.response_ok,
-            time_ok: verdict.time_ok,
-            timed_out: false,
-            attempts: report.attempts,
-            elapsed_s: report.elapsed_s,
-        },
-        Err(PufattError::Timeout { .. }) | Err(PufattError::ChannelLost { .. }) => {
-            metrics.session_lost();
+    let (outcome, lost) = match &report.result {
+        Ok(verdict) => (
             SessionOutcome {
-                accepted: false,
-                response_ok: false,
-                time_ok: false,
-                timed_out: true,
+                accepted: verdict.accepted,
+                response_ok: verdict.response_ok,
+                time_ok: verdict.time_ok,
+                timed_out: false,
                 attempts: report.attempts,
                 elapsed_s: report.elapsed_s,
-            }
+            },
+            false,
+        ),
+        Err(PufattError::Timeout { .. }) | Err(PufattError::ChannelLost { .. }) => {
+            metrics.session_lost();
+            (
+                SessionOutcome {
+                    accepted: false,
+                    response_ok: false,
+                    time_ok: false,
+                    timed_out: true,
+                    attempts: report.attempts,
+                    elapsed_s: report.elapsed_s,
+                },
+                true,
+            )
         }
         Err(_) => {
             metrics.device_fault();
-            return None;
+            return SessionEvent::Fault { retried, dropped };
         }
     };
     if outcome.accepted {
@@ -342,7 +374,7 @@ fn run_one_chaos_session(
         }
     }
     metrics.observe_latency(outcome.elapsed_s);
-    Some(outcome)
+    SessionEvent::Closed { outcome, retried, dropped, lost }
 }
 
 /// The whole job for one device: provision, then run its sessions
@@ -366,12 +398,12 @@ fn run_device(
             metrics.session_refused();
             continue;
         }
-        let outcome = if cfg.chaos.is_some() {
+        let event = if cfg.chaos.is_some() {
             run_one_chaos_session(&mut session, cfg, metrics)
         } else {
             run_one_session(&mut session, cfg, metrics)
         };
-        if let Some(outcome) = outcome {
+        if let SessionEvent::Closed { outcome, .. } = event {
             registry.record_outcome(id, outcome, &cfg.policy);
         }
     }

@@ -1,0 +1,440 @@
+//! Persistent campaigns: journal every fleet transition through
+//! [`pufatt_store::DurableStore`] and resume an interrupted run.
+//!
+//! # What is journaled
+//!
+//! Campaign identity ([`Record::Meta`]), enrollments, and one record per
+//! scheduled session: [`Record::SessionClosed`] (verdict + post-transition
+//! lifecycle state + streaks + metric deltas), [`Record::SessionRefused`],
+//! [`Record::SessionFault`], or [`Record::DeviceAbandoned`]. Each record
+//! is synced before the campaign moves on, so the WAL's valid prefix at
+//! any crash point is exactly the set of sessions whose effects recovery
+//! restores.
+//!
+//! # Why resume reproduces the uninterrupted run
+//!
+//! Campaigns are deterministic in their configuration (see
+//! [`crate::campaign`]): every per-device random stream derives from the
+//! seed and device id, and one device's sessions run sequentially inside
+//! one job. Resume exploits this: the registry, metrics, and histories
+//! are restored from the store, and each device's already-committed
+//! sessions are *re-run against scratch metrics* purely to advance its RNG
+//! and channel state to where the interrupted run left off — refusals
+//! consumed no randomness and are skipped. The remaining sessions then run
+//! live, and the final report is bit-identical to a run that was never
+//! interrupted (modulo wall-clock time and store statistics).
+//!
+//! Resuming under a different configuration is refused via the persisted
+//! config fingerprint rather than silently blending two campaigns. Worker
+//! count, shard count, and queue depth are deliberately *excluded* from
+//! the fingerprint — they change scheduling, never verdicts.
+
+use crate::campaign::{
+    device_is_flaky, device_is_tampered, provision_device, run_one_chaos_session, run_one_session, CampaignConfig,
+    CampaignReport, DeviceRecord, SessionEvent,
+};
+use crate::metrics::{FleetMetrics, LatencyHistogram};
+use crate::pool::WorkerPool;
+use crate::registry::{DeviceId, FleetStatus, ShardedRegistry};
+use pufatt::PufattError;
+use pufatt_alupuf::device::AluPufDesign;
+use pufatt_store::record::{OutcomeRec, Record, StoredStatus};
+use pufatt_store::state::{MetaInfo, EV_REFUSED};
+use pufatt_store::{DurableStore, StdVfs, StoreOptions};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fingerprint of the verdict-affecting configuration fields, persisted
+/// in [`Record::Meta`]. Scheduling knobs (workers, shards, queue depth)
+/// are excluded: a campaign may legitimately be resumed on a machine with
+/// a different core count.
+pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
+    let text = format!(
+        "pufatt-campaign-v1|devices={}|sessions={}|seed={}|tamper={:016x}|timeout={:016x}|history={}|puf={:?}|params={:?}|policy={:?}|chaos={:?}",
+        cfg.devices,
+        cfg.sessions_per_device,
+        cfg.seed,
+        cfg.tamper_fraction.to_bits(),
+        cfg.timeout_s.to_bits(),
+        cfg.history_capacity,
+        cfg.puf,
+        cfg.params,
+        cfg.policy,
+        cfg.chaos,
+    );
+    // FNV-1a: tiny, dependency-free, and collision resistance is not a
+    // security property here — the fingerprint guards against operator
+    // mistakes, not adversaries (a forged state directory already implies
+    // a compromised verifier host).
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn storage(e: impl std::fmt::Display) -> PufattError {
+    PufattError::Storage(e.to_string())
+}
+
+fn to_stored(status: FleetStatus) -> StoredStatus {
+    match status {
+        FleetStatus::Active => StoredStatus::Active,
+        FleetStatus::Quarantined => StoredStatus::Quarantined,
+        FleetStatus::Revoked => StoredStatus::Revoked,
+    }
+}
+
+fn from_stored(status: StoredStatus) -> FleetStatus {
+    match status {
+        StoredStatus::Active => FleetStatus::Active,
+        StoredStatus::Quarantined => FleetStatus::Quarantined,
+        StoredStatus::Revoked => FleetStatus::Revoked,
+    }
+}
+
+fn to_outcome_rec(o: &crate::registry::SessionOutcome, retried: u32, dropped: u32, lost: bool) -> OutcomeRec {
+    OutcomeRec {
+        accepted: o.accepted,
+        response_ok: o.response_ok,
+        time_ok: o.time_ok,
+        timed_out: o.timed_out,
+        attempts: o.attempts,
+        elapsed_bits: o.elapsed_s.to_bits(),
+        retried,
+        dropped,
+        lost,
+        latency_slot: LatencyHistogram::bucket_index(o.elapsed_s) as u8,
+    }
+}
+
+fn from_outcome_rec(r: &OutcomeRec) -> crate::registry::SessionOutcome {
+    crate::registry::SessionOutcome {
+        accepted: r.accepted,
+        response_ok: r.response_ok,
+        time_ok: r.time_ok,
+        timed_out: r.timed_out,
+        attempts: r.attempts,
+        elapsed_s: r.elapsed_s(),
+    }
+}
+
+/// Commits one record or dies trying: a failed append means memory is
+/// ahead of the disk, and the only safe continuation is reopen-and-resume.
+/// The panic kills just this pool job (the pool contains it) and
+/// [`run_persistent_campaign`] turns the broken store into a typed error.
+fn journal(store: &DurableStore, record: &Record) {
+    if let Err(e) = store.append_synced(record) {
+        panic!("durable store append failed: {e}");
+    }
+}
+
+/// The durable version of one device's pool job: skip if the device was
+/// abandoned in a previous run, replay committed sessions to advance the
+/// device's deterministic state, then run and journal the rest.
+#[allow(clippy::too_many_arguments)]
+fn run_device_durable(
+    design: &Arc<AluPufDesign>,
+    registry: &ShardedRegistry,
+    metrics: &FleetMetrics,
+    cfg: &CampaignConfig,
+    id: DeviceId,
+    store: &DurableStore,
+    prior_events: &[u8],
+    abandoned: bool,
+) {
+    if abandoned {
+        // Provisioning is deterministic: it failed before, it would fail
+        // again. The fault is already journaled and counted.
+        return;
+    }
+    let mut session = match provision_device(design, cfg, id) {
+        Ok(session) => session,
+        Err(_) => {
+            journal(store, &Record::DeviceAbandoned { id });
+            metrics.device_fault();
+            return;
+        }
+    };
+    // Advance the device's RNG/channel state past the committed prefix.
+    // Scratch metrics absorb the replayed increments — the real counters
+    // were already restored from the store.
+    let scratch = FleetMetrics::new();
+    for &event in prior_events {
+        if event != EV_REFUSED {
+            if cfg.chaos.is_some() {
+                run_one_chaos_session(&mut session, cfg, &scratch);
+            } else {
+                run_one_session(&mut session, cfg, &scratch);
+            }
+        }
+    }
+    for _ in prior_events.len() as u32..cfg.sessions_per_device {
+        if registry.status(id) == Some(FleetStatus::Revoked) {
+            journal(store, &Record::SessionRefused { id });
+            metrics.session_refused();
+            continue;
+        }
+        let event = if cfg.chaos.is_some() {
+            run_one_chaos_session(&mut session, cfg, metrics)
+        } else {
+            run_one_session(&mut session, cfg, metrics)
+        };
+        match event {
+            SessionEvent::Closed { outcome, retried, dropped, lost } => {
+                let rec = to_outcome_rec(&outcome, retried, dropped, lost);
+                let Some((status, fails, succs)) = registry.record_outcome_traced(id, outcome, &cfg.policy) else {
+                    // The device was enrolled before its job was submitted;
+                    // an unknown id here is a registry bug, not a fleet
+                    // condition — fail the job, not the state.
+                    panic!("device {id} vanished from the registry mid-campaign");
+                };
+                journal(store, &Record::SessionClosed { id, outcome: rec, status: to_stored(status), fails, succs });
+            }
+            SessionEvent::Fault { retried, dropped } => {
+                journal(store, &Record::SessionFault { id, retried, dropped });
+            }
+        }
+    }
+}
+
+/// Runs a campaign whose every transition is journaled through `store`,
+/// resuming from whatever committed state the store holds.
+///
+/// Pass `resume = false` for a run that must start fresh: an existing
+/// campaign in the store is then refused instead of silently continued.
+/// With `resume = true`, persisted state is restored (an empty store is
+/// simply a fresh start) and the report is identical to an uninterrupted
+/// run of the same configuration.
+///
+/// # Errors
+///
+/// Invalid configurations (as [`crate::campaign::run_campaign`]);
+/// [`PufattError::Storage`] if the store holds a different campaign, holds
+/// a campaign and `resume` is false, or fails mid-run (reopen the state
+/// directory and resume).
+pub fn run_persistent_campaign(
+    cfg: &CampaignConfig,
+    store: &Arc<DurableStore>,
+    resume: bool,
+) -> Result<CampaignReport, PufattError> {
+    if cfg.devices == 0 || cfg.workers == 0 || cfg.sessions_per_device == 0 {
+        return Err(PufattError::Codegen("campaign needs devices, workers, and sessions > 0".into()));
+    }
+    let width = cfg.puf.width;
+    if !(width.is_power_of_two() && (4..=32).contains(&width)) {
+        return Err(PufattError::UnsupportedWidth { width });
+    }
+
+    let meta = MetaInfo {
+        config_hash: config_fingerprint(cfg),
+        devices: cfg.devices as u32,
+        sessions_per_device: cfg.sessions_per_device,
+        seed: cfg.seed,
+    };
+    match store.meta() {
+        Some(existing) if !resume => {
+            return Err(storage(format!(
+                "state directory already holds a campaign (seed {}); pass resume to continue it",
+                existing.seed
+            )));
+        }
+        Some(existing) if existing != meta => {
+            return Err(storage(
+                "state directory belongs to a different campaign configuration; refusing to blend them",
+            ));
+        }
+        Some(_) => {}
+        None => {
+            store
+                .append_synced(&Record::Meta {
+                    config_hash: meta.config_hash,
+                    devices: meta.devices,
+                    sessions_per_device: meta.sessions_per_device,
+                    seed: meta.seed,
+                })
+                .map_err(storage)?;
+        }
+    }
+
+    let start = Instant::now();
+    let restored = store.state();
+    let design = Arc::new(AluPufDesign::new(cfg.puf.clone()));
+    let registry = Arc::new(ShardedRegistry::new(cfg.shards.max(1), cfg.history_capacity.max(1)));
+    let metrics = Arc::new(FleetMetrics::from_store_counters(&restored.counters));
+    for (&id, device) in &restored.devices {
+        registry.restore_device(
+            id,
+            from_stored(device.status),
+            device.fails,
+            device.succs,
+            device.outcomes.iter().map(from_outcome_rec).collect(),
+            device.outcomes_total,
+        );
+    }
+    let shared_cfg = Arc::new(cfg.clone());
+
+    let pool = WorkerPool::new(cfg.workers, cfg.queue_depth.max(1));
+    for id in 0..cfg.devices as DeviceId {
+        let (prior_events, abandoned) = restored
+            .devices
+            .get(&id)
+            .map(|d| (d.events.clone(), d.abandoned))
+            .unwrap_or_default();
+        if registry.enroll(id) {
+            store.append_synced(&Record::DeviceEnrolled { id }).map_err(storage)?;
+        }
+        let design = Arc::clone(&design);
+        let registry = Arc::clone(&registry);
+        let metrics = Arc::clone(&metrics);
+        let cfg = Arc::clone(&shared_cfg);
+        let store = Arc::clone(store);
+        pool.submit(move || {
+            run_device_durable(&design, &registry, &metrics, &cfg, id, &store, &prior_events, abandoned)
+        });
+    }
+    let panicked_jobs = pool.shutdown();
+    if store.is_broken() {
+        return Err(storage("durable store failed mid-campaign; reopen the state directory and resume"));
+    }
+    // Fold the WAL into a fresh snapshot so the next open replays nothing.
+    store.checkpoint().map_err(storage)?;
+
+    let device_records = registry
+        .ids()
+        .into_iter()
+        .map(|id| DeviceRecord {
+            id,
+            tampered: device_is_tampered(cfg.seed, id, cfg.tamper_fraction),
+            flaky: matches!(&cfg.chaos, Some(c) if device_is_flaky(cfg.seed, id, c.flaky_fraction)),
+            status: registry.status(id).expect("id came from the registry"),
+            outcomes: registry.history(id).expect("id came from the registry"),
+        })
+        .collect();
+
+    let mut snapshot = metrics.snapshot(registry.status_counts());
+    snapshot.store = Some(store.stats());
+    Ok(CampaignReport {
+        snapshot,
+        device_records,
+        wall_time: start.elapsed(),
+        panicked_jobs,
+    })
+}
+
+/// Opens (creating if needed) `dir` as a campaign state directory with the
+/// production file backend and the configuration's history bound.
+///
+/// # Errors
+///
+/// [`PufattError::Storage`] if the directory cannot be created or its
+/// existing state fails recovery.
+pub fn open_state_dir(dir: &Path, history_capacity: usize) -> Result<Arc<DurableStore>, PufattError> {
+    let vfs = StdVfs::open(dir).map_err(storage)?;
+    let opts = StoreOptions {
+        history_capacity: history_capacity.max(1),
+        ..StoreOptions::default()
+    };
+    DurableStore::open(Arc::new(vfs), opts).map(Arc::new).map_err(storage)
+}
+
+/// [`run_persistent_campaign`] against an on-disk state directory — the
+/// `pufatt fleet --state-dir <dir> [--resume]` entry point.
+///
+/// # Errors
+///
+/// As [`open_state_dir`] and [`run_persistent_campaign`].
+pub fn run_campaign_with_dir(cfg: &CampaignConfig, dir: &Path, resume: bool) -> Result<CampaignReport, PufattError> {
+    let store = open_state_dir(dir, cfg.history_capacity)?;
+    run_persistent_campaign(cfg, &store, resume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, small_test_config, ChaosConfig};
+    use pufatt_faults::FaultPlan;
+    use pufatt_store::SimVfs;
+
+    fn open_sim(vfs: &SimVfs, history_capacity: usize) -> Arc<DurableStore> {
+        let opts = StoreOptions { history_capacity, ..StoreOptions::default() };
+        Arc::new(DurableStore::open(Arc::new(vfs.clone()), opts).expect("recovery"))
+    }
+
+    /// Strips the store statistics (wall-clock-ish, run-shape dependent)
+    /// so snapshots from persistent and in-memory runs compare.
+    fn core_snapshot(report: &CampaignReport) -> crate::metrics::FleetSnapshot {
+        let mut snap = report.snapshot.clone();
+        snap.store = None;
+        snap
+    }
+
+    #[test]
+    fn persistent_campaign_matches_in_memory_run() {
+        let cfg = small_test_config(8, 2, 0x5EED);
+        let plain = run_campaign(&cfg).unwrap();
+        let vfs = SimVfs::new();
+        let durable = run_persistent_campaign(&cfg, &open_sim(&vfs, cfg.history_capacity), false).unwrap();
+        assert_eq!(durable.device_records, plain.device_records);
+        assert_eq!(core_snapshot(&durable), plain.snapshot);
+        let stats = durable.snapshot.store.expect("persistent run reports store stats");
+        assert!(stats.records_appended > 0);
+    }
+
+    #[test]
+    fn finished_campaign_resumes_to_the_same_report() {
+        let cfg = small_test_config(6, 2, 0xAB);
+        let vfs = SimVfs::new();
+        let first = run_persistent_campaign(&cfg, &open_sim(&vfs, cfg.history_capacity), false).unwrap();
+        let resumed = run_persistent_campaign(&cfg, &open_sim(&vfs, cfg.history_capacity), true).unwrap();
+        assert_eq!(resumed.device_records, first.device_records);
+        assert_eq!(core_snapshot(&resumed), core_snapshot(&first));
+        let stats = resumed.snapshot.store.unwrap();
+        assert_eq!(stats.records_appended, 0, "a finished campaign appends nothing on resume");
+    }
+
+    #[test]
+    fn fresh_run_refuses_an_occupied_state_dir_and_wrong_config_refuses_resume() {
+        let cfg = small_test_config(4, 1, 0xCD);
+        let vfs = SimVfs::new();
+        run_persistent_campaign(&cfg, &open_sim(&vfs, cfg.history_capacity), false).unwrap();
+        let store = open_sim(&vfs, cfg.history_capacity);
+        assert!(matches!(run_persistent_campaign(&cfg, &store, false), Err(PufattError::Storage(_))));
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert!(matches!(run_persistent_campaign(&other, &store, true), Err(PufattError::Storage(_))));
+    }
+
+    #[test]
+    fn chaos_campaign_survives_persistence_round_trip() {
+        let mut cfg = small_test_config(8, 2, 0xFA17);
+        cfg.sessions_per_device = 4;
+        cfg.chaos = Some(ChaosConfig {
+            plan: FaultPlan::clean(0).with_drops(0.3).with_bit_flips(0.01),
+            flaky_fraction: 0.5,
+        });
+        let plain = run_campaign(&cfg).unwrap();
+        let vfs = SimVfs::new();
+        let durable = run_persistent_campaign(&cfg, &open_sim(&vfs, cfg.history_capacity), false).unwrap();
+        assert_eq!(durable.device_records, plain.device_records);
+        assert_eq!(core_snapshot(&durable), plain.snapshot);
+    }
+
+    #[test]
+    fn fingerprint_ignores_scheduling_but_not_verdicts() {
+        let cfg = small_test_config(8, 2, 1);
+        let mut other_workers = cfg.clone();
+        other_workers.workers = 7;
+        other_workers.shards = 3;
+        other_workers.queue_depth = 5;
+        assert_eq!(config_fingerprint(&cfg), config_fingerprint(&other_workers));
+        let mut other_seed = cfg.clone();
+        other_seed.seed ^= 1;
+        assert_ne!(config_fingerprint(&cfg), config_fingerprint(&other_seed));
+        let mut other_timeout = cfg;
+        other_timeout.timeout_s *= 2.0;
+        assert_ne!(config_fingerprint(&other_timeout), config_fingerprint(&other_seed));
+    }
+}

@@ -19,6 +19,10 @@
 //!   retry/quarantine/revocation policy. Deterministic in its seed —
 //!   worker count changes wall-clock time, never verdicts (all session
 //!   time is simulated, all randomness is derived per device).
+//! * [`durable`] — the same campaign journaled through
+//!   `pufatt_store::DurableStore`: every transition committed before the
+//!   fleet moves on, and an interrupted run resumed to a report identical
+//!   to an uninterrupted one.
 //!
 //! Campaigns degrade gracefully under faults: with a
 //! [`campaign::ChaosConfig`], a deterministic subset of the fleet becomes
@@ -42,14 +46,17 @@
 //! ```
 
 pub mod campaign;
+pub mod durable;
 pub mod metrics;
 pub mod pool;
 pub mod registry;
+pub mod sync;
 
 pub use campaign::{
     device_is_flaky, device_is_tampered, run_campaign, small_test_config, CampaignConfig, CampaignReport, ChaosConfig,
     DeviceRecord,
 };
+pub use durable::{config_fingerprint, open_state_dir, run_campaign_with_dir, run_persistent_campaign};
 pub use metrics::{FleetMetrics, FleetSnapshot, LatencyHistogram, LATENCY_BUCKETS};
 pub use pool::WorkerPool;
 pub use registry::{DeviceId, FleetStatus, LifecyclePolicy, SessionOutcome, ShardedRegistry, StatusCounts};

@@ -9,8 +9,14 @@
 //! drain it is exact).
 
 use crate::registry::StatusCounts;
+use pufatt_store::{Counters, StoreStats};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+// The durable store persists latency as fixed-width slot counts; the two
+// layers must agree on the histogram shape or restores silently shift
+// buckets.
+const _: () = assert!(LATENCY_BUCKETS == pufatt_store::record::LATENCY_SLOTS);
 
 /// Number of log-scale latency buckets: bucket `i` covers
 /// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended.
@@ -32,7 +38,11 @@ impl LatencyHistogram {
         LatencyHistogram::default()
     }
 
-    fn bucket_index(elapsed_s: f64) -> usize {
+    /// The bucket an elapsed time lands in. Public because the durable
+    /// campaign journals this slot with each session outcome — persisted
+    /// and live sessions must bucket identically for a resumed campaign's
+    /// histogram to match an uninterrupted run's.
+    pub fn bucket_index(elapsed_s: f64) -> usize {
         let us = (elapsed_s * 1e6).max(0.0) as u64;
         // 0 and 1 µs share bucket 0; everything ≥ 2^31 µs (~36 min)
         // lands in the open-ended last bucket.
@@ -143,6 +153,27 @@ impl FleetMetrics {
         &self.latency
     }
 
+    /// Rebuilds metrics from a durable store's recovered counters, so a
+    /// resumed campaign continues counting where the interrupted run's
+    /// *committed* records left off and its final snapshot equals an
+    /// uninterrupted run's.
+    pub fn from_store_counters(c: &Counters) -> Self {
+        let m = FleetMetrics::new();
+        m.sessions_started.store(c.started, Ordering::Relaxed);
+        m.sessions_accepted.store(c.accepted, Ordering::Relaxed);
+        m.sessions_rejected.store(c.rejected, Ordering::Relaxed);
+        m.sessions_timed_out.store(c.timed_out, Ordering::Relaxed);
+        m.attempts_retried.store(c.retried, Ordering::Relaxed);
+        m.sessions_refused.store(c.refused, Ordering::Relaxed);
+        m.device_faults.store(c.faults, Ordering::Relaxed);
+        m.messages_dropped.store(c.dropped, Ordering::Relaxed);
+        m.sessions_lost.store(c.lost, Ordering::Relaxed);
+        for (bucket, &n) in m.latency.buckets.iter().zip(c.latency.iter()) {
+            bucket.store(n, Ordering::Relaxed);
+        }
+        m
+    }
+
     /// Point-in-time copy of all counters, paired with the registry's
     /// device counts.
     pub fn snapshot(&self, devices: StatusCounts) -> FleetSnapshot {
@@ -158,6 +189,7 @@ impl FleetMetrics {
             sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
             devices,
             latency_buckets_us: self.latency.nonzero_buckets(),
+            store: None,
         }
     }
 }
@@ -188,6 +220,10 @@ pub struct FleetSnapshot {
     pub devices: StatusCounts,
     /// Non-empty latency buckets as `(lower_bound_us, count)`.
     pub latency_buckets_us: Vec<(u64, u64)>,
+    /// Durable-store health for persistent campaigns (`None` for purely
+    /// in-memory runs): WAL bytes, records appended/replayed, snapshots
+    /// written, torn tails recovered.
+    pub store: Option<StoreStats>,
 }
 
 fn fmt_us(us: u64) -> String {
@@ -222,6 +258,9 @@ impl fmt::Display for FleetSnapshot {
         writeln!(f, "attempts  {} retried, {} device faults", self.attempts_retried, self.device_faults)?;
         if self.messages_dropped > 0 || self.sessions_lost > 0 {
             writeln!(f, "chaos     {} messages dropped, {} sessions lost", self.messages_dropped, self.sessions_lost)?;
+        }
+        if let Some(store) = &self.store {
+            writeln!(f, "store     {store}")?;
         }
         writeln!(f, "latency (end-to-end, simulated):")?;
         let peak = self.latency_buckets_us.iter().map(|&(_, n)| n).max().unwrap_or(0);
@@ -260,6 +299,42 @@ mod tests {
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0], (64, 2)); // 100 µs and 110 µs share [64,128)
         assert_eq!(buckets[1].1, 1);
+    }
+
+    #[test]
+    fn restored_counters_continue_where_the_store_left_off() {
+        let live = FleetMetrics::new();
+        live.session_started();
+        live.session_started();
+        live.session_accepted();
+        live.session_rejected();
+        live.session_timed_out();
+        live.attempt_retried();
+        live.session_refused();
+        live.device_fault();
+        live.messages_dropped(3);
+        live.session_lost();
+        live.observe_latency(1e-3);
+        live.observe_latency(0.5);
+
+        let mut persisted = Counters {
+            started: 2,
+            accepted: 1,
+            rejected: 1,
+            timed_out: 1,
+            retried: 1,
+            refused: 1,
+            faults: 1,
+            dropped: 3,
+            lost: 1,
+            ..Counters::default()
+        };
+        persisted.latency[LatencyHistogram::bucket_index(1e-3)] += 1;
+        persisted.latency[LatencyHistogram::bucket_index(0.5)] += 1;
+
+        let restored = FleetMetrics::from_store_counters(&persisted);
+        let devices = StatusCounts { active: 1, quarantined: 0, revoked: 0 };
+        assert_eq!(restored.snapshot(devices), live.snapshot(devices));
     }
 
     #[test]

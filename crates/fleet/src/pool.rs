@@ -94,8 +94,11 @@ impl Drop for WorkerPool {
 
 fn worker_loop(receiver: &Mutex<Receiver<Job>>, panicked: &AtomicU64) {
     loop {
-        // Hold the lock only to take a job, never while running it.
-        let job = match receiver.lock().unwrap().recv() {
+        // Hold the lock only to take a job, never while running it. The
+        // poison-tolerant lock matters here: a panicking job poisons this
+        // mutex for every sibling worker, and `unwrap()` would turn one
+        // contained panic into a dead pool.
+        let job = match crate::sync::lock(receiver).recv() {
             Ok(job) => job,
             Err(_) => return, // queue closed and empty
         };

@@ -13,17 +13,10 @@
 //! operator to ask "why was this device quarantined?" without the registry
 //! growing without bound on a long-lived service.
 
+use crate::sync::lock;
 use pufatt::RingBuffer;
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard};
-
-/// Poison-tolerant lock: a panicking session (e.g. a failed assertion in a
-/// chaos test thread) must not wedge the registry for every later session —
-/// device state is a counters-and-enum record that stays internally
-/// consistent under any interleaving of the updates below.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+use std::sync::Mutex;
 
 /// Identifier of a fleet device.
 pub type DeviceId = u32;
@@ -224,6 +217,20 @@ impl ShardedRegistry {
         outcome: SessionOutcome,
         policy: &LifecyclePolicy,
     ) -> Option<FleetStatus> {
+        self.record_outcome_traced(id, outcome, policy).map(|(status, _, _)| status)
+    }
+
+    /// [`ShardedRegistry::record_outcome`], additionally exposing the
+    /// post-transition streak counters `(status, consecutive_failures,
+    /// consecutive_successes)`. The durable campaign journals these with
+    /// each session so recovery can restore a device without re-deriving
+    /// the lifecycle policy's decisions.
+    pub fn record_outcome_traced(
+        &self,
+        id: DeviceId,
+        outcome: SessionOutcome,
+        policy: &LifecyclePolicy,
+    ) -> Option<(FleetStatus, u32, u32)> {
         let mut shard = lock(self.shard(id));
         let device = shard.get_mut(&id)?;
         if outcome.accepted {
@@ -246,16 +253,38 @@ impl ShardedRegistry {
             }
         }
         device.history.push(outcome);
-        Some(device.status)
+        Some((device.status, device.consecutive_failures, device.consecutive_successes))
+    }
+
+    /// Restores a device from persisted state (durable-store recovery),
+    /// enrolling it if unknown and otherwise overwriting its lifecycle
+    /// state wholesale. `history` is oldest-first; `total_recorded` is the
+    /// all-time session count, so the rebuilt [`RingBuffer`] reports the
+    /// same retention/eviction numbers as the uninterrupted original.
+    pub fn restore_device(
+        &self,
+        id: DeviceId,
+        status: FleetStatus,
+        consecutive_failures: u32,
+        consecutive_successes: u32,
+        history: Vec<SessionOutcome>,
+        total_recorded: u64,
+    ) {
+        let mut shard = lock(self.shard(id));
+        shard.insert(
+            id,
+            FleetDevice {
+                status,
+                consecutive_failures,
+                consecutive_successes,
+                history: RingBuffer::rehydrate(self.history_capacity, history, total_recorded),
+            },
+        );
     }
 
     /// A device's retained session history, oldest first.
     pub fn history(&self, id: DeviceId) -> Option<Vec<SessionOutcome>> {
-        self.shard(id)
-            .lock()
-            .unwrap()
-            .get(&id)
-            .map(|d| d.history.iter().cloned().collect())
+        lock(self.shard(id)).get(&id).map(|d| d.history.iter().cloned().collect())
     }
 
     /// Total sessions ever recorded for a device (retained + rolled off).
@@ -409,6 +438,21 @@ mod tests {
         }
         assert_eq!(reg.history(1).unwrap().len(), 3);
         assert_eq!(reg.sessions_recorded(1), Some(5));
+    }
+
+    #[test]
+    fn restore_device_rebuilds_lifecycle_and_history() {
+        let reg = ShardedRegistry::new(2, 3);
+        reg.restore_device(9, FleetStatus::Quarantined, 1, 0, vec![passed(), failed()], 5);
+        assert_eq!(reg.status(9), Some(FleetStatus::Quarantined));
+        assert_eq!(reg.history(9).unwrap().len(), 2);
+        assert_eq!(reg.sessions_recorded(9), Some(5), "all-time count survives restore");
+        let policy = LifecyclePolicy { revoke_after: 2, ..LifecyclePolicy::default() };
+        assert_eq!(
+            reg.record_outcome_traced(9, failed(), &policy),
+            Some((FleetStatus::Revoked, 2, 0)),
+            "restored streaks feed straight into the lifecycle policy"
+        );
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Shared synchronisation helpers.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Poison-tolerant lock acquisition.
+///
+/// A panicking job (e.g. a failed assertion on a chaos-test worker
+/// thread) poisons any `Mutex` it held; the default `lock().unwrap()`
+/// then panics in *every* later session that touches the same shard or
+/// queue, cascading one contained failure into a wedged fleet. All the
+/// state behind this crate's locks — registry shards, the pool's job
+/// receiver — stays internally consistent under any interleaving of its
+/// updates, so the right response to poison is to keep going, not to
+/// propagate it.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn poisoned_mutex_is_still_usable() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "the value survives the poison");
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+    }
+}

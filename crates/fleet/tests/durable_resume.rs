@@ -1,0 +1,99 @@
+//! Exhaustive interrupt/resume proof for persistent campaigns: a campaign
+//! crashed at *every* backend operation and resumed must produce verdicts
+//! identical to a run that was never interrupted.
+
+use pufatt::PufattError;
+use pufatt_fleet::campaign::ChaosConfig;
+use pufatt_fleet::{run_campaign, run_persistent_campaign, small_test_config, CampaignConfig, CampaignReport};
+use pufatt_store::{DurableStore, SimVfs, StoreOptions, TornMode};
+use std::sync::Arc;
+
+fn attempt(cfg: &CampaignConfig, vfs: &SimVfs, resume: bool) -> Result<CampaignReport, PufattError> {
+    let opts = StoreOptions {
+        history_capacity: cfg.history_capacity,
+        ..StoreOptions::default()
+    };
+    let store = DurableStore::open(Arc::new(vfs.clone()), opts).map_err(|e| PufattError::Storage(e.to_string()))?;
+    run_persistent_campaign(cfg, &Arc::new(store), resume)
+}
+
+/// A crash mid-journal panics the affected pool job by design; silence
+/// those (expected, counted) panics so the matrix's output stays readable,
+/// while every other panic keeps the default report.
+fn silence_expected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str).unwrap_or_default();
+        if !msg.starts_with("durable store append failed") {
+            default_hook(info);
+        }
+    }));
+}
+
+fn assert_matches_reference(resumed: &CampaignReport, reference: &CampaignReport, context: &str) {
+    assert_eq!(resumed.device_records, reference.device_records, "verdicts diverged: {context}");
+    let mut snap = resumed.snapshot.clone();
+    snap.store = None;
+    assert_eq!(snap, reference.snapshot, "metrics diverged: {context}");
+}
+
+#[test]
+fn campaign_interrupted_anywhere_resumes_to_identical_verdicts() {
+    silence_expected_panics();
+    let mut cfg = small_test_config(4, 1, 0x0DDB);
+    cfg.sessions_per_device = 3;
+    let reference = run_campaign(&cfg).expect("reference run");
+
+    // A crash-free persistent run both validates the journal and counts
+    // the backend operations the matrix must cover.
+    let probe = SimVfs::new();
+    let probe_report = attempt(&cfg, &probe, false).expect("crash-free persistent run");
+    assert_matches_reference(&probe_report, &reference, "crash-free persistent run");
+    let total_ops = probe.ops();
+    assert!(total_ops > 30, "campaign should cross many crash points, got {total_ops}");
+
+    for k in 0..=total_ops {
+        for mode in [TornMode::Drop, TornMode::Flip] {
+            let vfs = SimVfs::crashing_at(k);
+            // The interrupted run may die anywhere: during store open, a
+            // main-thread append, or a worker's journal (which panics the
+            // job; the pool contains it and the run reports Storage).
+            let _ = attempt(&cfg, &vfs, false);
+            let disk = vfs.power_cut(mode);
+            let resumed = attempt(&cfg, &disk, true)
+                .unwrap_or_else(|e| panic!("resume after crash at op {k} ({mode:?}) failed: {e}"));
+            assert_matches_reference(&resumed, &reference, &format!("crash at op {k} ({mode:?})"));
+        }
+    }
+    let _ = std::panic::take_hook();
+}
+
+#[test]
+fn chaos_campaign_survives_interruption() {
+    silence_expected_panics();
+    let mut cfg = small_test_config(6, 2, 0xFA57);
+    cfg.sessions_per_device = 4;
+    cfg.chaos = Some(ChaosConfig {
+        plan: pufatt_faults::FaultPlan::clean(0).with_drops(0.4).with_jitter_ms(1.0),
+        flaky_fraction: 0.5,
+    });
+    let reference = run_campaign(&cfg).expect("reference chaos run");
+
+    let probe = SimVfs::new();
+    let total_ops = {
+        attempt(&cfg, &probe, false).expect("crash-free persistent chaos run");
+        probe.ops()
+    };
+    // Chaos sessions are costlier; sample the crash space instead of
+    // enumerating it — the store-level matrix already proves every crash
+    // point recovers, this checks the fleet replay on top of it.
+    for k in (0..=total_ops).step_by(7) {
+        let vfs = SimVfs::crashing_at(k);
+        let _ = attempt(&cfg, &vfs, false);
+        let disk = vfs.power_cut(TornMode::Torn);
+        let resumed =
+            attempt(&cfg, &disk, true).unwrap_or_else(|e| panic!("chaos resume after crash at op {k} failed: {e}"));
+        assert_matches_reference(&resumed, &reference, &format!("chaos crash at op {k}"));
+    }
+    let _ = std::panic::take_hook();
+}

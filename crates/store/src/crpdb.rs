@@ -1,0 +1,149 @@
+//! Durable CRP consumption: consume-once across process restarts.
+//!
+//! The in-memory [`CrpDatabase`] already refuses replays *within* one
+//! process. [`DurableCrpDb`] extends the guarantee across crashes: every
+//! consume is journaled (challenge only — responses never touch the disk)
+//! and synced *before* the response is released, so the failure direction
+//! is always "lose an unused CRP", never "re-issue a consumed one". On
+//! open, the persisted spent set is re-applied to the database, turning a
+//! post-recovery consume of an already-spent challenge into the same typed
+//! [`PufattError::ChallengeReused`] an in-process replay gets.
+
+use crate::record::Record;
+use crate::store::DurableStore;
+use crate::StoreError;
+use pufatt::enroll::CrpDatabase;
+use pufatt::PufattError;
+use pufatt_alupuf::challenge::{Challenge, RawResponse};
+use std::sync::Arc;
+
+/// A [`CrpDatabase`] whose consume-once discipline survives restarts.
+#[derive(Debug)]
+pub struct DurableCrpDb {
+    db: CrpDatabase,
+    store: Arc<DurableStore>,
+}
+
+impl DurableCrpDb {
+    /// Wraps a freshly (re)built database, re-applying the store's
+    /// persisted spent set — challenges consumed before a crash are spent
+    /// here too, whatever the database itself remembers.
+    pub fn open(mut db: CrpDatabase, store: Arc<DurableStore>) -> Self {
+        let spent: Vec<Challenge> = db.challenges().filter(|ch| store.is_spent(ch.a, ch.b)).collect();
+        for ch in spent {
+            db.mark_spent(ch);
+        }
+        DurableCrpDb { db, store }
+    }
+
+    /// Consumes a CRP durably: the consumption is journaled and synced
+    /// first, then the reference response is released. A crash between
+    /// the two loses the CRP — the fail-safe direction.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::ChallengeReused`] / [`PufattError::ChallengeUnknown`]
+    /// from the underlying database (nothing is journaled for either);
+    /// [`PufattError::Storage`] if the journal write fails (the response
+    /// is withheld — it may not have committed).
+    pub fn consume(&mut self, challenge: Challenge) -> Result<RawResponse, PufattError> {
+        // Refuse replays and strangers before touching the journal, with
+        // the database's own typed errors.
+        if self.db.peek(challenge).is_none() {
+            return self.db.consume(challenge);
+        }
+        self.store
+            .append_synced(&Record::CrpConsumed { a: challenge.a, b: challenge.b })
+            .map_err(|e: StoreError| PufattError::Storage(e.to_string()))?;
+        self.db.consume(challenge)
+    }
+
+    /// Looks up a reference response without consuming it.
+    pub fn peek(&self, challenge: Challenge) -> Option<RawResponse> {
+        self.db.peek(challenge)
+    }
+
+    /// The wrapped database (read-only).
+    pub fn database(&self) -> &CrpDatabase {
+        &self.db
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Arc<DurableStore> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::store::StoreOptions;
+    use crate::vfs::{SimVfs, TORN_MODES};
+    use pufatt::enroll::enroll;
+    use pufatt_alupuf::device::{AluPufConfig, ArbiterConfig};
+
+    fn small_db() -> CrpDatabase {
+        let cfg = AluPufConfig {
+            width: 16,
+            arbiter: ArbiterConfig::asic(),
+            design_seed: 3,
+            ..AluPufConfig::paper_32bit()
+        };
+        let dev = enroll(cfg, 11, 0).unwrap();
+        dev.record_crp_database_batch(6, 40, 41, 1)
+    }
+
+    fn sorted_challenges(db: &CrpDatabase) -> Vec<Challenge> {
+        let mut keys: Vec<_> = db.challenges().collect();
+        keys.sort_by_key(|c| (c.a, c.b));
+        keys
+    }
+
+    #[test]
+    fn consume_survives_restart_as_a_typed_refusal() {
+        let vfs = SimVfs::new();
+        let base = small_db();
+        let ch = sorted_challenges(&base)[0];
+
+        let store = Arc::new(DurableStore::open(Arc::new(vfs.clone()), StoreOptions::default()).unwrap());
+        let mut durable = DurableCrpDb::open(base.clone(), Arc::clone(&store));
+        durable.consume(ch).unwrap();
+        drop(durable);
+        drop(store);
+
+        // "Restart": rebuild the database from enrollment, reopen the store.
+        let store = Arc::new(DurableStore::open(Arc::new(vfs), StoreOptions::default()).unwrap());
+        assert!(store.is_spent(ch.a, ch.b));
+        let mut durable = DurableCrpDb::open(base, store);
+        assert!(
+            matches!(durable.consume(ch), Err(PufattError::ChallengeReused { challenge }) if challenge == ch),
+            "a consumed CRP must never be re-issued after recovery"
+        );
+    }
+
+    #[test]
+    fn journal_failure_withholds_the_response() {
+        let vfs = SimVfs::new();
+        let base = small_db();
+        let keys = sorted_challenges(&base);
+        let store = Arc::new(DurableStore::open(Arc::new(vfs.clone()), StoreOptions::default()).unwrap());
+        let mut durable = DurableCrpDb::open(base.clone(), Arc::clone(&store));
+        durable.consume(keys[0]).unwrap();
+        // Crash on the next journal write: the consume must fail…
+        vfs.set_crash_at(Some(vfs.ops()));
+        assert!(matches!(durable.consume(keys[1]), Err(PufattError::Storage(_))));
+        // …and after reboot the un-journaled challenge is NOT spent (the
+        // response was withheld, so nothing leaked), while the first is.
+        for mode in TORN_MODES {
+            let disk = vfs.power_cut(mode);
+            let store = Arc::new(DurableStore::open(Arc::new(disk), StoreOptions::default()).unwrap());
+            assert!(store.is_spent(keys[0].a, keys[0].b), "committed consume survives ({mode:?})");
+            let mut durable = DurableCrpDb::open(base.clone(), store);
+            assert!(
+                matches!(durable.consume(keys[0]), Err(PufattError::ChallengeReused { .. })),
+                "committed consume refused after recovery ({mode:?})"
+            );
+        }
+    }
+}

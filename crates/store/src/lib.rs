@@ -1,0 +1,99 @@
+//! Durable verifier state for the PUFatt reproduction.
+//!
+//! An attestation verifier is only as trustworthy as its memory: if a
+//! restart forgets which CRPs were consumed or which devices were revoked,
+//! an adversary's cheapest attack is pulling the power cord. This crate
+//! gives the fleet layer a small, auditable persistence core:
+//!
+//! * [`wal`] — an append-only write-ahead log of CRC32-framed,
+//!   length-prefixed records. Recovery walks the valid prefix and stops at
+//!   the first torn, truncated, or bit-corrupted frame: a record is
+//!   committed exactly when its bytes are on stable storage.
+//! * [`store`] — [`DurableStore`]: snapshot + WAL with atomic
+//!   (temp-file → fsync → rename) snapshot commits and WAL compaction,
+//!   all mutations flowing through one typed state machine
+//!   ([`state::StoreState::apply`]) that recovery re-uses verbatim.
+//! * [`vfs`] — the [`Vfs`] trait the store is written against, with a
+//!   production backend ([`StdVfs`]) and a fault-injecting one
+//!   ([`SimVfs`]) that can crash the process model at *every* write,
+//!   flush, and rename boundary — recovery is proven by exhaustive
+//!   enumeration of crash points, not by sampling.
+//! * [`crpdb`] — [`DurableCrpDb`]: consume-once CRP discipline that
+//!   survives restarts (journal-then-release; a crash loses an unused
+//!   CRP, never re-issues a consumed one).
+//!
+//! # What never touches the disk
+//!
+//! Records and snapshots carry *public* protocol facts: device ids,
+//! lifecycle states, verdict booleans, challenge values. Raw PUF
+//! responses and helper data have no representation in the on-disk
+//! format at all — a stolen state directory gives a modelling adversary
+//! nothing the wire did not already expose.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Lib-target panics are linted (see [lints.clippy] in Cargo.toml);
+// tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+
+pub mod crpdb;
+pub mod record;
+pub mod state;
+pub mod store;
+pub mod vfs;
+pub mod wal;
+
+pub use crpdb::DurableCrpDb;
+pub use record::{OutcomeRec, Record, StoredStatus};
+pub use state::{Counters, DeviceState, MetaInfo, StatusTally, StoreState};
+pub use store::{DurableStore, StoreOptions, StoreStats};
+pub use vfs::{SimVfs, StdVfs, TornMode, Vfs, TORN_MODES};
+
+use record::StoredStatus as Status;
+
+/// Errors of the durable state layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure (message includes the path).
+    Io(String),
+    /// The fault-injecting backend's planned crash fired: the process
+    /// model is dead and every further operation on that backend fails.
+    Crashed,
+    /// On-disk state is structurally invalid in a way a torn tail cannot
+    /// explain — a checksum-valid frame that does not decode, a snapshot
+    /// failing its CRC, a WAL header overwritten. The fail-safe response
+    /// is to stop, never to guess.
+    Corrupt(String),
+    /// A record asked for a state transition the lifecycle forbids (e.g.
+    /// leaving `Revoked` without re-enrollment). Refused before anything
+    /// is written.
+    IllegalTransition {
+        /// The device the record referenced.
+        id: u32,
+        /// Its lifecycle state when the record arrived.
+        from: Status,
+        /// What the record tried to do.
+        event: &'static str,
+    },
+    /// A previous write on this handle failed; the in-memory state may be
+    /// ahead of the disk. Reopen the store to recover.
+    Broken,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "store I/O failed: {m}"),
+            StoreError::Crashed => write!(f, "simulated crash point reached"),
+            StoreError::Corrupt(m) => write!(f, "store state corrupt: {m}"),
+            StoreError::IllegalTransition { id, from, event } => {
+                write!(f, "illegal lifecycle transition for device {id} (currently {from:?}): refused to {event}")
+            }
+            StoreError::Broken => write!(f, "store handle broken by an earlier write failure; reopen to recover"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,634 @@
+//! The materialised store state: what replaying the snapshot + WAL yields.
+//!
+//! [`StoreState::apply`] is the single transition function — the live
+//! store and crash recovery both go through it, so "state after a crash"
+//! and "state during normal operation" cannot drift apart. It enforces the
+//! monotone-lifecycle invariant on every record: a device leaves
+//! `Revoked` only through an explicit re-enrollment, sessions cannot close
+//! against revoked or unknown devices, and sequence numbers only move
+//! forward. A WAL whose checksum-valid frames violate these rules is
+//! refused as corrupt rather than replayed into nonsense.
+
+use crate::record::{read_outcome, write_outcome_into, OutcomeRec, Reader, Record, StoredStatus, LATENCY_SLOTS};
+use crate::StoreError;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Per-device session event kinds, in schedule order — enough for a
+/// resumed campaign to know how many sessions already ran and which of
+/// them consumed the device's random stream (refusals consume nothing).
+pub const EV_CLOSED: u8 = 0;
+/// The session was refused up front (device revoked).
+pub const EV_REFUSED: u8 = 1;
+/// The session died in a device fault before reaching a verdict.
+pub const EV_FAULT: u8 = 2;
+
+/// Campaign identity stored with the state; resuming under a different
+/// configuration is refused instead of silently blending campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaInfo {
+    /// Fingerprint of the verdict-affecting configuration fields.
+    pub config_hash: u64,
+    /// Devices in the campaign.
+    pub devices: u32,
+    /// Sessions scheduled per device.
+    pub sessions_per_device: u32,
+    /// The campaign master seed.
+    pub seed: u64,
+}
+
+/// One device's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceState {
+    /// Current lifecycle state.
+    pub status: StoredStatus,
+    /// Consecutive-failure streak (mirrors the registry).
+    pub fails: u32,
+    /// Consecutive-success streak (mirrors the registry).
+    pub succs: u32,
+    /// Session events in schedule order ([`EV_CLOSED`] / [`EV_REFUSED`] /
+    /// [`EV_FAULT`]).
+    pub events: Vec<u8>,
+    /// Retained outcomes, oldest first, bounded by the history capacity.
+    pub outcomes: VecDeque<OutcomeRec>,
+    /// Outcomes ever recorded (retained + rolled off).
+    pub outcomes_total: u64,
+    /// Sessions refused for this device.
+    pub refused: u64,
+    /// Faults charged to this device (session faults + abandonment).
+    pub faults: u64,
+    /// Whether provisioning failed and the device ran no sessions.
+    pub abandoned: bool,
+}
+
+impl DeviceState {
+    fn new() -> Self {
+        DeviceState {
+            status: StoredStatus::Active,
+            fails: 0,
+            succs: 0,
+            events: Vec::new(),
+            outcomes: VecDeque::new(),
+            outcomes_total: 0,
+            refused: 0,
+            faults: 0,
+            abandoned: false,
+        }
+    }
+}
+
+/// Global campaign counters, mirroring the fleet metrics so a recovered
+/// snapshot reports the same totals an uninterrupted run would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counters {
+    /// Sessions that began their first attempt.
+    pub started: u64,
+    /// Sessions accepted.
+    pub accepted: u64,
+    /// Sessions rejected (includes timed-out and lost ones).
+    pub rejected: u64,
+    /// Rejected sessions whose cause was the timeout.
+    pub timed_out: u64,
+    /// Attempts retried.
+    pub retried: u64,
+    /// Sessions refused up front.
+    pub refused: u64,
+    /// Device faults (session faults + provisioning failures).
+    pub faults: u64,
+    /// Protocol messages lost in transit.
+    pub dropped: u64,
+    /// Sessions that ended without a verdict.
+    pub lost: u64,
+    /// Latency histogram occupancy by log₂ slot.
+    pub latency: [u64; LATENCY_SLOTS],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            started: 0,
+            accepted: 0,
+            rejected: 0,
+            timed_out: 0,
+            retried: 0,
+            refused: 0,
+            faults: 0,
+            dropped: 0,
+            lost: 0,
+            latency: [0; LATENCY_SLOTS],
+        }
+    }
+}
+
+/// Device counts by lifecycle state (the store-side mirror of the fleet
+/// registry's tally).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusTally {
+    /// Devices currently active.
+    pub active: usize,
+    /// Devices currently quarantined.
+    pub quarantined: usize,
+    /// Devices currently revoked.
+    pub revoked: usize,
+}
+
+/// The full durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreState {
+    /// Campaign identity, if a Meta record has been applied.
+    pub meta: Option<MetaInfo>,
+    /// Per-device state, keyed by device id.
+    pub devices: BTreeMap<u32, DeviceState>,
+    /// Challenges consumed from CRP databases (public values only).
+    pub spent: BTreeSet<(u64, u64)>,
+    /// Global campaign counters.
+    pub counters: Counters,
+    /// Highest applied record sequence number (0 = none).
+    pub last_seq: u64,
+    history_capacity: usize,
+}
+
+impl StoreState {
+    /// An empty state retaining at most `history_capacity` outcomes per
+    /// device (capacity 0 is treated as 1).
+    pub fn new(history_capacity: usize) -> Self {
+        StoreState {
+            meta: None,
+            devices: BTreeMap::new(),
+            spent: BTreeSet::new(),
+            counters: Counters::default(),
+            last_seq: 0,
+            history_capacity: history_capacity.max(1),
+        }
+    }
+
+    /// The per-device outcome retention bound.
+    pub fn history_capacity(&self) -> usize {
+        self.history_capacity
+    }
+
+    fn device_mut(&mut self, id: u32) -> Result<&mut DeviceState, StoreError> {
+        self.devices
+            .get_mut(&id)
+            .ok_or_else(|| StoreError::Corrupt(format!("record references unknown device {id}")))
+    }
+
+    /// Applies one record. `seq` must be strictly greater than
+    /// [`StoreState::last_seq`] — replay skips already-covered records
+    /// *before* calling this.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] for regressing sequence numbers, unknown
+    /// devices, or out-of-range fields; [`StoreError::IllegalTransition`]
+    /// when a record asks for a lifecycle move the state machine forbids.
+    pub fn apply(&mut self, seq: u64, record: &Record) -> Result<(), StoreError> {
+        if seq <= self.last_seq {
+            return Err(StoreError::Corrupt(format!("sequence regressed: {seq} after {}", self.last_seq)));
+        }
+        match record {
+            Record::Meta { config_hash, devices, sessions_per_device, seed } => {
+                let info = MetaInfo {
+                    config_hash: *config_hash,
+                    devices: *devices,
+                    sessions_per_device: *sessions_per_device,
+                    seed: *seed,
+                };
+                match self.meta {
+                    None => self.meta = Some(info),
+                    Some(existing) if existing == info => {}
+                    Some(_) => return Err(StoreError::Corrupt("conflicting campaign metadata records".into())),
+                }
+            }
+            Record::DeviceEnrolled { id } => {
+                if let Some(existing) = self.devices.get(id) {
+                    return Err(StoreError::IllegalTransition {
+                        id: *id,
+                        from: existing.status,
+                        event: "enroll an already-enrolled device",
+                    });
+                }
+                self.devices.insert(*id, DeviceState::new());
+            }
+            Record::DeviceReEnrolled { id } => {
+                let device = self.device_mut(*id)?;
+                device.status = StoredStatus::Active;
+                device.fails = 0;
+                device.succs = 0;
+            }
+            Record::StatusChanged { id, status } => {
+                let device = self.device_mut(*id)?;
+                if device.status == StoredStatus::Revoked && *status != StoredStatus::Revoked {
+                    return Err(StoreError::IllegalTransition {
+                        id: *id,
+                        from: device.status,
+                        event: "leave Revoked without re-enrollment",
+                    });
+                }
+                device.status = *status;
+            }
+            Record::SessionClosed { id, outcome, status, fails, succs } => {
+                if outcome.latency_slot as usize >= LATENCY_SLOTS {
+                    return Err(StoreError::Corrupt(format!("latency slot {} out of range", outcome.latency_slot)));
+                }
+                let cap = self.history_capacity;
+                let device = self.device_mut(*id)?;
+                let legal = match (device.status, *status) {
+                    // A session never runs against a revoked device, and a
+                    // single outcome can demote Active at most one step.
+                    (StoredStatus::Revoked, _) | (StoredStatus::Active, StoredStatus::Revoked) => false,
+                    _ => true,
+                };
+                if !legal {
+                    return Err(StoreError::IllegalTransition {
+                        id: *id,
+                        from: device.status,
+                        event: "close a session with a non-monotone transition",
+                    });
+                }
+                device.status = *status;
+                device.fails = *fails;
+                device.succs = *succs;
+                device.events.push(EV_CLOSED);
+                device.outcomes.push_back(*outcome);
+                while device.outcomes.len() > cap {
+                    device.outcomes.pop_front();
+                }
+                device.outcomes_total += 1;
+                let c = &mut self.counters;
+                c.started += 1;
+                if outcome.accepted {
+                    c.accepted += 1;
+                } else {
+                    c.rejected += 1;
+                }
+                if outcome.timed_out {
+                    c.timed_out += 1;
+                }
+                if outcome.lost {
+                    c.lost += 1;
+                }
+                c.retried += u64::from(outcome.retried);
+                c.dropped += u64::from(outcome.dropped);
+                c.latency[outcome.latency_slot as usize] += 1;
+            }
+            Record::SessionRefused { id } => {
+                let device = self.device_mut(*id)?;
+                if device.status != StoredStatus::Revoked {
+                    return Err(StoreError::IllegalTransition {
+                        id: *id,
+                        from: device.status,
+                        event: "refuse a session on a non-revoked device",
+                    });
+                }
+                device.events.push(EV_REFUSED);
+                device.refused += 1;
+                self.counters.refused += 1;
+            }
+            Record::SessionFault { id, retried, dropped } => {
+                let device = self.device_mut(*id)?;
+                if device.status == StoredStatus::Revoked {
+                    return Err(StoreError::IllegalTransition {
+                        id: *id,
+                        from: device.status,
+                        event: "fault a session on a revoked device",
+                    });
+                }
+                device.events.push(EV_FAULT);
+                device.faults += 1;
+                let c = &mut self.counters;
+                c.started += 1;
+                c.faults += 1;
+                c.retried += u64::from(*retried);
+                c.dropped += u64::from(*dropped);
+            }
+            Record::DeviceAbandoned { id } => {
+                let device = self.device_mut(*id)?;
+                device.abandoned = true;
+                device.faults += 1;
+                self.counters.faults += 1;
+            }
+            Record::CrpConsumed { a, b } => {
+                self.spent.insert((*a, *b));
+            }
+        }
+        self.last_seq = seq;
+        Ok(())
+    }
+
+    /// Whether a challenge has already been consumed.
+    pub fn is_spent(&self, a: u64, b: u64) -> bool {
+        self.spent.contains(&(a, b))
+    }
+
+    /// Device counts by lifecycle state.
+    pub fn status_tally(&self) -> StatusTally {
+        let mut tally = StatusTally::default();
+        for device in self.devices.values() {
+            match device.status {
+                StoredStatus::Active => tally.active += 1,
+                StoredStatus::Quarantined => tally.quarantined += 1,
+                StoredStatus::Revoked => tally.revoked += 1,
+            }
+        }
+        tally
+    }
+
+    // ------------------------------------------------------------- codec
+
+    /// Serialises the state into a snapshot body.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let u32le = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        let u64le = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        u64le(out, self.last_seq);
+        u64le(out, self.history_capacity as u64);
+        match &self.meta {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                u64le(out, m.config_hash);
+                u32le(out, m.devices);
+                u32le(out, m.sessions_per_device);
+                u64le(out, m.seed);
+            }
+        }
+        let c = &self.counters;
+        for v in [
+            c.started,
+            c.accepted,
+            c.rejected,
+            c.timed_out,
+            c.retried,
+            c.refused,
+            c.faults,
+            c.dropped,
+            c.lost,
+        ] {
+            u64le(out, v);
+        }
+        for v in c.latency {
+            u64le(out, v);
+        }
+        u32le(out, self.devices.len() as u32);
+        for (id, d) in &self.devices {
+            u32le(out, *id);
+            out.push(Record::status_byte(d.status));
+            u32le(out, d.fails);
+            u32le(out, d.succs);
+            out.push(u8::from(d.abandoned));
+            u64le(out, d.refused);
+            u64le(out, d.faults);
+            u64le(out, d.outcomes_total);
+            u32le(out, d.events.len() as u32);
+            out.extend_from_slice(&d.events);
+            u32le(out, d.outcomes.len() as u32);
+            for o in &d.outcomes {
+                write_outcome_into(out, o);
+            }
+        }
+        u32le(out, self.spent.len() as u32);
+        for (a, b) in &self.spent {
+            u64le(out, *a);
+            u64le(out, *b);
+        }
+    }
+
+    /// Parses a snapshot body back into a state.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on truncation, trailing bytes, or
+    /// out-of-range fields — the snapshot CRC is checked before this runs,
+    /// so a decode failure is a format break, not disk damage.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader::new(bytes);
+        let last_seq = r.u64()?;
+        let history_capacity = usize::try_from(r.u64()?)
+            .ok()
+            .filter(|&c| c > 0)
+            .ok_or_else(|| StoreError::Corrupt("bad history capacity".into()))?;
+        let meta = match r.u8()? {
+            0 => None,
+            1 => Some(MetaInfo {
+                config_hash: r.u64()?,
+                devices: r.u32()?,
+                sessions_per_device: r.u32()?,
+                seed: r.u64()?,
+            }),
+            other => return Err(StoreError::Corrupt(format!("bad meta flag {other}"))),
+        };
+        let mut counters = Counters {
+            started: r.u64()?,
+            accepted: r.u64()?,
+            rejected: r.u64()?,
+            timed_out: r.u64()?,
+            retried: r.u64()?,
+            refused: r.u64()?,
+            faults: r.u64()?,
+            dropped: r.u64()?,
+            lost: r.u64()?,
+            latency: [0; LATENCY_SLOTS],
+        };
+        for slot in counters.latency.iter_mut() {
+            *slot = r.u64()?;
+        }
+        let device_count = r.u32()?;
+        let mut devices = BTreeMap::new();
+        for _ in 0..device_count {
+            let id = r.u32()?;
+            let status = Record::status_from_byte(r.u8()?)?;
+            let fails = r.u32()?;
+            let succs = r.u32()?;
+            let abandoned = r.flag()?;
+            let refused = r.u64()?;
+            let faults = r.u64()?;
+            let outcomes_total = r.u64()?;
+            let event_count = r.u32()? as usize;
+            let mut events = Vec::with_capacity(event_count.min(1 << 16));
+            for _ in 0..event_count {
+                let ev = r.u8()?;
+                if ev > EV_FAULT {
+                    return Err(StoreError::Corrupt(format!("bad event kind {ev}")));
+                }
+                events.push(ev);
+            }
+            let outcome_count = r.u32()? as usize;
+            let mut outcomes = VecDeque::with_capacity(outcome_count.min(1 << 16));
+            for _ in 0..outcome_count {
+                let o = read_outcome(&mut r)?;
+                if o.latency_slot as usize >= LATENCY_SLOTS {
+                    return Err(StoreError::Corrupt("latency slot out of range".into()));
+                }
+                outcomes.push_back(o);
+            }
+            if devices
+                .insert(
+                    id,
+                    DeviceState {
+                        status,
+                        fails,
+                        succs,
+                        events,
+                        outcomes,
+                        outcomes_total,
+                        refused,
+                        faults,
+                        abandoned,
+                    },
+                )
+                .is_some()
+            {
+                return Err(StoreError::Corrupt(format!("duplicate device {id} in snapshot")));
+            }
+        }
+        let spent_count = r.u32()?;
+        let mut spent = BTreeSet::new();
+        for _ in 0..spent_count {
+            spent.insert((r.u64()?, r.u64()?));
+        }
+        r.done()?;
+        Ok(StoreState { meta, devices, spent, counters, last_seq, history_capacity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    fn outcome(accepted: bool) -> OutcomeRec {
+        OutcomeRec {
+            accepted,
+            response_ok: accepted,
+            time_ok: true,
+            timed_out: false,
+            attempts: 1,
+            elapsed_bits: 0.01f64.to_bits(),
+            retried: 0,
+            dropped: 0,
+            lost: false,
+            latency_slot: 13,
+        }
+    }
+
+    fn closed(id: u32, accepted: bool, status: StoredStatus, fails: u32) -> Record {
+        Record::SessionClosed { id, outcome: outcome(accepted), status, fails, succs: 0 }
+    }
+
+    #[test]
+    fn a_small_campaign_replays_into_consistent_state() {
+        let mut s = StoreState::new(8);
+        let mut seq = 0u64;
+        let mut apply = |s: &mut StoreState, r: Record| {
+            seq += 1;
+            s.apply(seq, &r).unwrap();
+        };
+        apply(&mut s, Record::Meta { config_hash: 1, devices: 2, sessions_per_device: 2, seed: 9 });
+        apply(&mut s, Record::DeviceEnrolled { id: 0 });
+        apply(&mut s, Record::DeviceEnrolled { id: 1 });
+        apply(&mut s, closed(0, true, StoredStatus::Active, 0));
+        apply(&mut s, closed(1, false, StoredStatus::Quarantined, 0));
+        apply(&mut s, Record::StatusChanged { id: 1, status: StoredStatus::Revoked });
+        apply(&mut s, Record::SessionRefused { id: 1 });
+        apply(&mut s, Record::CrpConsumed { a: 5, b: 6 });
+        assert_eq!(s.counters.started, 2);
+        assert_eq!(s.counters.accepted, 1);
+        assert_eq!(s.counters.rejected, 1);
+        assert_eq!(s.counters.refused, 1);
+        assert_eq!(s.counters.latency[13], 2);
+        assert_eq!(s.status_tally(), StatusTally { active: 1, quarantined: 0, revoked: 1 });
+        assert!(s.is_spent(5, 6));
+        assert!(!s.is_spent(6, 5));
+        assert_eq!(s.devices[&1].events, vec![EV_CLOSED, EV_REFUSED]);
+        assert_eq!(s.last_seq, 8);
+    }
+
+    #[test]
+    fn illegal_transitions_are_refused() {
+        let mut s = StoreState::new(4);
+        s.apply(1, &Record::DeviceEnrolled { id: 7 }).unwrap();
+        // Double enrollment.
+        assert!(matches!(
+            s.apply(2, &Record::DeviceEnrolled { id: 7 }),
+            Err(StoreError::IllegalTransition { id: 7, .. })
+        ));
+        // Unknown device.
+        assert!(matches!(s.apply(2, &Record::SessionRefused { id: 99 }), Err(StoreError::Corrupt(_))));
+        // Refusal needs a revoked device.
+        assert!(matches!(s.apply(2, &Record::SessionRefused { id: 7 }), Err(StoreError::IllegalTransition { .. })));
+        // Sessions cannot close against a revoked device, and revocation is
+        // sticky without re-enrollment.
+        s.apply(2, &Record::StatusChanged { id: 7, status: StoredStatus::Revoked })
+            .unwrap();
+        assert!(matches!(
+            s.apply(3, &closed(7, true, StoredStatus::Active, 0)),
+            Err(StoreError::IllegalTransition { .. })
+        ));
+        assert!(matches!(
+            s.apply(3, &Record::StatusChanged { id: 7, status: StoredStatus::Active }),
+            Err(StoreError::IllegalTransition { .. })
+        ));
+        // Re-enrollment is the legal exit.
+        s.apply(3, &Record::DeviceReEnrolled { id: 7 }).unwrap();
+        assert_eq!(s.devices[&7].status, StoredStatus::Active);
+        // Sequence numbers only move forward.
+        assert!(matches!(s.apply(3, &Record::CrpConsumed { a: 1, b: 2 }), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut s = StoreState::new(2);
+        s.apply(1, &Record::DeviceEnrolled { id: 0 }).unwrap();
+        for i in 0..5 {
+            s.apply(2 + i, &closed(0, true, StoredStatus::Active, 0)).unwrap();
+        }
+        assert_eq!(s.devices[&0].outcomes.len(), 2);
+        assert_eq!(s.devices[&0].outcomes_total, 5);
+        assert_eq!(s.devices[&0].events.len(), 5);
+    }
+
+    #[test]
+    fn snapshot_body_roundtrips() {
+        let mut s = StoreState::new(8);
+        let mut seq = 0u64;
+        let mut apply = |s: &mut StoreState, r: Record| {
+            seq += 1;
+            s.apply(seq, &r).unwrap();
+        };
+        apply(
+            &mut s,
+            Record::Meta {
+                config_hash: 42,
+                devices: 3,
+                sessions_per_device: 2,
+                seed: 11,
+            },
+        );
+        for id in 0..3 {
+            apply(&mut s, Record::DeviceEnrolled { id });
+        }
+        apply(&mut s, closed(0, true, StoredStatus::Active, 0));
+        apply(&mut s, closed(1, false, StoredStatus::Quarantined, 0));
+        apply(&mut s, Record::SessionFault { id: 2, retried: 1, dropped: 2 });
+        apply(&mut s, Record::DeviceAbandoned { id: 2 });
+        apply(&mut s, Record::CrpConsumed { a: 1, b: 2 });
+        apply(&mut s, Record::CrpConsumed { a: 3, b: 4 });
+        let mut body = Vec::new();
+        s.encode(&mut body);
+        let decoded = StoreState::decode(&body).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn snapshot_decode_refuses_damage() {
+        let mut s = StoreState::new(4);
+        s.apply(1, &Record::DeviceEnrolled { id: 3 }).unwrap();
+        let mut body = Vec::new();
+        s.encode(&mut body);
+        for cut in 0..body.len() {
+            assert!(StoreState::decode(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(StoreState::decode(&trailing).is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! The durable store: WAL + snapshot, glued by one recovery procedure.
+//!
+//! # Commit protocol
+//!
+//! * An append validates the record against the in-memory state (the same
+//!   transition function recovery uses), frames it into the WAL, and
+//!   syncs per the [`StoreOptions::sync_every`] policy. A record is
+//!   *committed* once its frame is fully on stable storage.
+//! * A snapshot is written to `snapshot.tmp`, synced, then renamed onto
+//!   `snapshot.bin` — the rename is the atomic commit point. Only after
+//!   the rename does compaction truncate the WAL: at every instant the
+//!   disk holds either the old snapshot plus a WAL covering everything
+//!   since it, or the new snapshot (plus a WAL whose records it already
+//!   covers, which replay skips by sequence number).
+//!
+//! # Recovery
+//!
+//! [`DurableStore::open`] loads the snapshot, replays the WAL's valid
+//! prefix (skipping records the snapshot already covers), then writes a
+//! *fresh* snapshot and compacts. Recovery never truncates the WAL before
+//! the new snapshot has landed, so a crash anywhere inside recovery is
+//! itself recoverable — the crash-matrix tests enumerate those points too.
+//!
+//! If any write fails mid-operation (including an injected crash), the
+//! store marks itself broken and refuses further appends: the in-memory
+//! state may then be ahead of the disk, and the only safe continuation is
+//! to reopen and recover.
+
+use crate::record::Record;
+use crate::state::{MetaInfo, StatusTally, StoreState};
+use crate::vfs::Vfs;
+use crate::wal::{self, Wal};
+use crate::StoreError;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+/// The current snapshot file name.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// The snapshot staging file (atomically renamed onto [`SNAPSHOT_FILE`]).
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Identifies a snapshot file (and its format revision).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PUFATTS1";
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Retained outcomes per device (mirrors the registry's bound).
+    pub history_capacity: usize,
+    /// Sync the WAL after every `sync_every` appends. `1` (the default)
+    /// commits each record before the append returns; larger values batch
+    /// syncs — a crash can then lose up to `sync_every - 1` tail records,
+    /// which recovery replays the campaign without.
+    pub sync_every: u32,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { history_capacity: 64, sync_every: 1 }
+    }
+}
+
+/// Durability counters, surfaced in fleet snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Bytes currently in the WAL (magic + frames, including unsynced).
+    pub wal_bytes: u64,
+    /// Records appended (and committed) by this process.
+    pub records_appended: u64,
+    /// Records replayed from the WAL at open.
+    pub records_replayed: u64,
+    /// Snapshots written (open writes one; checkpoints add more).
+    pub snapshots_written: u64,
+    /// Opens that found (and discarded) a torn or corrupted WAL tail.
+    pub torn_tails_recovered: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wal {} B, {} appended, {} replayed, {} snapshots, {} torn tails recovered",
+            self.wal_bytes,
+            self.records_appended,
+            self.records_replayed,
+            self.snapshots_written,
+            self.torn_tails_recovered
+        )
+    }
+}
+
+struct Inner {
+    vfs: Arc<dyn Vfs>,
+    wal: Wal,
+    state: StoreState,
+    opts: StoreOptions,
+    stats: StoreStats,
+    unsynced: u32,
+    broken: bool,
+    scratch: Vec<u8>,
+}
+
+/// A durable verifier-state store over a [`Vfs`].
+pub struct DurableStore {
+    inner: Mutex<Inner>,
+}
+
+fn read_snapshot(vfs: &dyn Vfs, opts: StoreOptions) -> Result<StoreState, StoreError> {
+    let Some(bytes) = vfs.read(SNAPSHOT_FILE)? else {
+        return Ok(StoreState::new(opts.history_capacity));
+    };
+    // The snapshot only ever appears via atomic rename of a synced temp
+    // file, so damage here is real corruption, never a torn write — the
+    // fail-safe response is to stop, not to silently restart the campaign.
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt("snapshot header invalid".into()));
+    }
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let body = bytes
+        .get(16..16 + len)
+        .filter(|_| bytes.len() == 16 + len)
+        .ok_or_else(|| StoreError::Corrupt("snapshot body truncated".into()))?;
+    if wal::crc32(body) != crc {
+        return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
+    }
+    StoreState::decode(body)
+}
+
+fn write_snapshot(vfs: &dyn Vfs, state: &StoreState) -> Result<(), StoreError> {
+    let mut body = Vec::new();
+    state.encode(&mut body);
+    let mut file = Vec::with_capacity(16 + body.len());
+    file.extend_from_slice(&SNAPSHOT_MAGIC);
+    file.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    file.extend_from_slice(&wal::crc32(&body).to_le_bytes());
+    file.extend_from_slice(&body);
+    vfs.truncate(SNAPSHOT_TMP, &file)?;
+    vfs.sync(SNAPSHOT_TMP)?;
+    // The commit point: after this rename the new snapshot is the
+    // authoritative state; before it the old snapshot (or none) is.
+    vfs.rename(SNAPSHOT_TMP, SNAPSHOT_FILE)
+}
+
+impl DurableStore {
+    /// Opens (recovering if needed) a store over `vfs`.
+    ///
+    /// Replays the snapshot and the WAL's valid prefix, counts any torn
+    /// tail, then writes a fresh snapshot and compacts the WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if the snapshot or a checksum-valid WAL
+    /// record is structurally invalid; I/O errors from the backend.
+    pub fn open(vfs: Arc<dyn Vfs>, opts: StoreOptions) -> Result<Self, StoreError> {
+        let mut stats = StoreStats::default();
+        let mut state = read_snapshot(&*vfs, opts)?;
+        let image = vfs.read(WAL_FILE)?;
+        let recovered = wal::recover(image.as_deref())?;
+        for payload in &recovered.payloads {
+            let (seq, record) = Record::decode(payload)?;
+            if seq <= state.last_seq {
+                continue; // the snapshot already covers it
+            }
+            state.apply(seq, &record)?;
+            stats.records_replayed += 1;
+        }
+        if recovered.torn_tail {
+            stats.torn_tails_recovered += 1;
+        }
+        // Rebuild: snapshot first (atomic), truncate the WAL only after.
+        write_snapshot(&*vfs, &state)?;
+        stats.snapshots_written += 1;
+        let wal = Wal::create(Arc::clone(&vfs), WAL_FILE)?;
+        stats.wal_bytes = wal.bytes();
+        Ok(DurableStore {
+            inner: Mutex::new(Inner {
+                vfs,
+                wal,
+                state,
+                opts,
+                stats,
+                unsynced: 0,
+                broken: false,
+                scratch: Vec::new(),
+            }),
+        })
+    }
+
+    fn append_inner(&self, record: &Record, force_sync: bool) -> Result<u64, StoreError> {
+        let mut inner = lock(&self.inner);
+        if inner.broken {
+            return Err(StoreError::Broken);
+        }
+        let seq = inner.state.last_seq + 1;
+        // Validate-and-apply before touching the disk: an illegal record
+        // must never reach the WAL, where replay would refuse it forever.
+        inner.state.apply(seq, record)?;
+        let mut payload = std::mem::take(&mut inner.scratch);
+        payload.clear();
+        record.encode(seq, &mut payload);
+        let write = inner.wal.append(&payload);
+        inner.scratch = payload;
+        if let Err(e) = write {
+            inner.broken = true; // memory is ahead of disk: reopen to recover
+            return Err(e);
+        }
+        inner.unsynced += 1;
+        if force_sync || inner.unsynced >= inner.opts.sync_every.max(1) {
+            if let Err(e) = inner.wal.sync() {
+                inner.broken = true;
+                return Err(e);
+            }
+            inner.unsynced = 0;
+        }
+        inner.stats.records_appended += 1;
+        inner.stats.wal_bytes = inner.wal.bytes();
+        Ok(seq)
+    }
+
+    /// Appends a record, syncing per the store's batching policy. Returns
+    /// the record's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IllegalTransition`] / [`StoreError::Corrupt`] if the
+    /// record is invalid against the current state (nothing is written);
+    /// [`StoreError::Broken`] once any earlier write failed.
+    pub fn append(&self, record: &Record) -> Result<u64, StoreError> {
+        self.append_inner(record, false)
+    }
+
+    /// Appends a record and syncs unconditionally: when this returns the
+    /// record is committed. The CRP path uses this — a consume must be
+    /// durable *before* the response is released.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::append`].
+    pub fn append_synced(&self, record: &Record) -> Result<u64, StoreError> {
+        self.append_inner(record, true)
+    }
+
+    /// Flushes any batched appends to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the backend; [`StoreError::Broken`] after a failure.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let mut inner = lock(&self.inner);
+        if inner.broken {
+            return Err(StoreError::Broken);
+        }
+        if inner.unsynced > 0 {
+            if let Err(e) = inner.wal.sync() {
+                inner.broken = true;
+                return Err(e);
+            }
+            inner.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Writes a fresh snapshot and compacts the WAL (bounding recovery
+    /// time and disk use on long campaigns).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the backend; [`StoreError::Broken`] after a failure.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let mut inner = lock(&self.inner);
+        if inner.broken {
+            return Err(StoreError::Broken);
+        }
+        let result = (|| {
+            write_snapshot(&*inner.vfs, &inner.state)?;
+            Wal::create(Arc::clone(&inner.vfs), WAL_FILE)
+        })();
+        match result {
+            Ok(wal) => {
+                inner.wal = wal;
+                inner.unsynced = 0;
+                inner.stats.snapshots_written += 1;
+                inner.stats.wal_bytes = inner.wal.bytes();
+                Ok(())
+            }
+            Err(e) => {
+                inner.broken = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// A copy of the current materialised state.
+    pub fn state(&self) -> StoreState {
+        lock(&self.inner).state.clone()
+    }
+
+    /// Campaign identity, if recorded.
+    pub fn meta(&self) -> Option<MetaInfo> {
+        lock(&self.inner).state.meta
+    }
+
+    /// Whether a challenge has been durably consumed.
+    pub fn is_spent(&self, a: u64, b: u64) -> bool {
+        lock(&self.inner).state.is_spent(a, b)
+    }
+
+    /// Device counts by lifecycle state.
+    pub fn status_tally(&self) -> StatusTally {
+        lock(&self.inner).state.status_tally()
+    }
+
+    /// Durability counters.
+    pub fn stats(&self) -> StoreStats {
+        lock(&self.inner).stats
+    }
+
+    /// Whether a write failure has poisoned this handle (reopen to
+    /// recover).
+    pub fn is_broken(&self) -> bool {
+        lock(&self.inner).broken
+    }
+}
+
+impl fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = lock(&self.inner);
+        f.debug_struct("DurableStore")
+            .field("last_seq", &inner.state.last_seq)
+            .field("stats", &inner.stats)
+            .field("broken", &inner.broken)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::record::StoredStatus;
+    use crate::vfs::{SimVfs, TornMode};
+
+    fn open_sim(vfs: &SimVfs) -> DurableStore {
+        DurableStore::open(Arc::new(vfs.clone()), StoreOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn fresh_open_then_reopen_replays_nothing() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        assert_eq!(store.state().last_seq, 0);
+        drop(store);
+        let store = open_sim(&vfs);
+        assert_eq!(store.stats().records_replayed, 0);
+        assert_eq!(store.stats().torn_tails_recovered, 0);
+    }
+
+    #[test]
+    fn appended_records_survive_reopen_via_snapshot() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        store.append(&Record::DeviceEnrolled { id: 4 }).unwrap();
+        store.append(&Record::CrpConsumed { a: 10, b: 20 }).unwrap();
+        assert_eq!(store.stats().records_appended, 2);
+        drop(store);
+        let store = open_sim(&vfs);
+        // Replayed from the WAL…
+        assert_eq!(store.stats().records_replayed, 2);
+        assert!(store.is_spent(10, 20));
+        assert_eq!(store.state().devices[&4].status, StoredStatus::Active);
+        drop(store);
+        // …then covered by the open-time snapshot: the third open replays
+        // nothing because compaction emptied the WAL.
+        let store = open_sim(&vfs);
+        assert_eq!(store.stats().records_replayed, 0);
+        assert!(store.is_spent(10, 20));
+    }
+
+    #[test]
+    fn unsynced_tail_is_recovered_and_counted() {
+        let vfs = SimVfs::new();
+        let store =
+            DurableStore::open(Arc::new(vfs.clone()), StoreOptions { sync_every: 1000, ..StoreOptions::default() })
+                .unwrap();
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        store.sync().unwrap();
+        store.append(&Record::DeviceEnrolled { id: 2 }).unwrap(); // never synced
+                                                                  // Power-cut with a torn tail: the unsynced frame is half-written.
+        let disk = vfs.power_cut(TornMode::Torn);
+        let store = open_sim(&disk);
+        assert_eq!(store.stats().records_replayed, 1, "only the committed record");
+        assert_eq!(store.stats().torn_tails_recovered, 1);
+        assert!(store.state().devices.contains_key(&1));
+        assert!(!store.state().devices.contains_key(&2));
+    }
+
+    #[test]
+    fn illegal_records_never_reach_the_wal() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        let err = store.append(&Record::DeviceEnrolled { id: 1 }).unwrap_err();
+        assert!(matches!(err, StoreError::IllegalTransition { id: 1, .. }));
+        // The refused record left no trace: reopen replays only the good one.
+        drop(store);
+        let store = open_sim(&vfs);
+        assert_eq!(store.stats().records_replayed, 1);
+    }
+
+    #[test]
+    fn write_failure_breaks_the_handle() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        let ops = vfs.ops();
+        vfs.set_crash_at(Some(ops)); // next mutating op dies
+        assert!(matches!(store.append(&Record::DeviceEnrolled { id: 2 }), Err(StoreError::Crashed)));
+        assert!(store.is_broken());
+        assert!(matches!(store.append(&Record::DeviceEnrolled { id: 3 }), Err(StoreError::Broken)));
+        assert!(matches!(store.sync(), Err(StoreError::Broken)));
+        assert!(matches!(store.checkpoint(), Err(StoreError::Broken)));
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_wal() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        for id in 0..10 {
+            store.append(&Record::DeviceEnrolled { id }).unwrap();
+        }
+        let before = store.stats().wal_bytes;
+        store.checkpoint().unwrap();
+        let after = store.stats().wal_bytes;
+        assert!(after < before, "compaction must shrink the WAL ({before} -> {after})");
+        assert_eq!(after, wal::WAL_MAGIC.len() as u64);
+        drop(store);
+        let store = open_sim(&vfs);
+        assert_eq!(store.stats().records_replayed, 0, "snapshot covers everything");
+        assert_eq!(store.state().devices.len(), 10);
+    }
+
+    #[test]
+    fn meta_round_trips_and_conflicts_are_refused() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        let meta = Record::Meta { config_hash: 7, devices: 3, sessions_per_device: 2, seed: 11 };
+        store.append(&meta).unwrap();
+        assert_eq!(store.meta().unwrap().config_hash, 7);
+        // Re-stating the same identity is idempotent; changing it is not.
+        store.append(&meta).unwrap();
+        assert!(store
+            .append(&Record::Meta { config_hash: 8, devices: 3, sessions_per_device: 2, seed: 11 })
+            .is_err());
+        drop(store);
+        let store = open_sim(&vfs);
+        assert_eq!(store.meta().unwrap().seed, 11);
+    }
+
+    #[test]
+    fn snapshot_corruption_is_fatal_not_silent() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        drop(store);
+        // Flip one byte inside the (synced, atomically renamed) snapshot:
+        // this is disk rot, not a torn write, and must stop recovery.
+        let mut img = vfs.read(SNAPSHOT_FILE).unwrap().unwrap();
+        let last = img.len() - 1;
+        img[last] ^= 0x40;
+        vfs.truncate(SNAPSHOT_FILE, &img).unwrap();
+        vfs.sync(SNAPSHOT_FILE).unwrap();
+        let err = DurableStore::open(Arc::new(vfs), StoreOptions::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+    }
+}

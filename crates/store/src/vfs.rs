@@ -1,0 +1,455 @@
+//! The `Vfs` trait: every byte the store persists goes through here.
+//!
+//! Durability claims are only as good as the failure model they were
+//! tested against, so the store never touches `std::fs` directly. It
+//! writes through a [`Vfs`], and two implementations exist:
+//!
+//! * [`StdVfs`] — the production backend over a real directory, with
+//!   cached append handles, `sync_all` for flushes, and a best-effort
+//!   directory sync after renames;
+//! * [`SimVfs`] — an in-memory disk with an explicit *volatile / synced*
+//!   split per file and a crash plan: the `n`-th mutating operation fails
+//!   with [`StoreError::Crashed`] and the backend refuses all further
+//!   writes, modelling the process dying at that exact boundary. A
+//!   [`SimVfs::power_cut`] then yields the disk an observer would find
+//!   after reboot — synced prefixes survive, unsynced tails are dropped,
+//!   kept, torn in half, or bit-flipped per [`TornMode`].
+//!
+//! Because every mutating call is one numbered operation, a test can run
+//! a workload once to count its operations and then re-run it crashing at
+//! *every* boundary — recovery is proven by exhaustive enumeration, not
+//! sampling.
+
+use crate::StoreError;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Poison-tolerant lock: the store's state is a counters-and-bytes record
+/// that stays internally consistent under any interleaving, and a panic
+/// on one session thread must not wedge persistence for the rest.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Abstract file operations the store is written against.
+///
+/// Paths are store-relative names (`wal.log`, `snapshot.bin`); the backend
+/// decides where they live. All methods take `&self` — implementations
+/// carry their own interior mutability, since WAL appends arrive from
+/// many worker threads.
+pub trait Vfs: Send + Sync {
+    /// Reads a whole file; `Ok(None)` if it does not exist.
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError>;
+    /// Whether the file exists.
+    fn exists(&self, path: &str) -> bool;
+    /// Appends bytes to the end of a file, creating it if missing. The
+    /// bytes are *volatile* until [`Vfs::sync`] returns.
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Flushes a file's volatile bytes to stable storage.
+    fn sync(&self, path: &str) -> Result<(), StoreError>;
+    /// Creates or replaces a file with exactly `bytes` (volatile until
+    /// synced).
+    fn truncate(&self, path: &str, bytes: &[u8]) -> Result<(), StoreError>;
+    /// Atomically renames `from` onto `to` (replacing it). The rename
+    /// either happened or it did not; there is no torn intermediate.
+    fn rename(&self, from: &str, to: &str) -> Result<(), StoreError>;
+    /// Removes a file; missing files are not an error.
+    fn remove(&self, path: &str) -> Result<(), StoreError>;
+}
+
+// ---------------------------------------------------------------- StdVfs
+
+/// The production backend: a directory on the real filesystem.
+pub struct StdVfs {
+    root: PathBuf,
+    // Append handles are cached so a WAL append is one `write` syscall,
+    // not an open/write/close per record.
+    handles: Mutex<HashMap<String, fs::File>>,
+}
+
+impl StdVfs {
+    /// Opens (creating if needed) `root` as the store directory.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| StoreError::Io(format!("create {}: {e}", root.display())))?;
+        Ok(StdVfs { root, handles: Mutex::new(HashMap::new()) })
+    }
+
+    /// The directory this backend writes into.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn abs(&self, path: &str) -> PathBuf {
+        self.root.join(path)
+    }
+
+    fn io(&self, op: &str, path: &str, e: std::io::Error) -> StoreError {
+        StoreError::Io(format!("{op} {}: {e}", self.abs(path).display()))
+    }
+
+    /// Best-effort directory sync so a rename's metadata survives power
+    /// loss; ignored on platforms where opening a directory fails.
+    fn sync_dir(&self) {
+        if let Ok(dir) = fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        match fs::read(self.abs(path)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(self.io("read", path, e)),
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.abs(path).exists()
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let mut handles = lock(&self.handles);
+        if !handles.contains_key(path) {
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.abs(path))
+                .map_err(|e| self.io("open", path, e))?;
+            handles.insert(path.to_string(), file);
+        }
+        match handles.get_mut(path) {
+            Some(file) => file.write_all(bytes).map_err(|e| self.io("append", path, e)),
+            None => Err(StoreError::Io(format!("append {path}: handle vanished"))),
+        }
+    }
+
+    fn sync(&self, path: &str) -> Result<(), StoreError> {
+        let handles = lock(&self.handles);
+        match handles.get(path) {
+            Some(file) => file.sync_all().map_err(|e| self.io("sync", path, e)),
+            // Nothing appended through us yet: sync the file if it exists,
+            // else there is nothing volatile to flush.
+            None => match fs::File::open(self.abs(path)) {
+                Ok(file) => file.sync_all().map_err(|e| self.io("sync", path, e)),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(self.io("sync", path, e)),
+            },
+        }
+    }
+
+    fn truncate(&self, path: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        // Drop any cached append handle: its position is stale after the
+        // file is replaced.
+        lock(&self.handles).remove(path);
+        fs::write(self.abs(path), bytes).map_err(|e| self.io("truncate", path, e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        let mut handles = lock(&self.handles);
+        handles.remove(from);
+        handles.remove(to);
+        fs::rename(self.abs(from), self.abs(to)).map_err(|e| {
+            StoreError::Io(format!("rename {} -> {}: {e}", self.abs(from).display(), self.abs(to).display()))
+        })?;
+        drop(handles);
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StoreError> {
+        lock(&self.handles).remove(path);
+        match fs::remove_file(self.abs(path)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(self.io("remove", path, e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- SimVfs
+
+/// What happens to a file's *unsynced* bytes when the power is cut.
+///
+/// The synced prefix always survives; the modes enumerate the fates a
+/// real disk cache can hand the unsynced tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornMode {
+    /// The cache never reached the platter: unsynced bytes vanish.
+    Drop,
+    /// The cache made it out just in time: unsynced bytes survive intact.
+    Keep,
+    /// The write was cut mid-flight: half of the unsynced bytes survive.
+    Torn,
+    /// The tail landed but a bit rotted: all unsynced bytes survive with
+    /// the last one corrupted.
+    Flip,
+}
+
+/// All torn modes, for exhaustive matrices.
+pub const TORN_MODES: [TornMode; 4] = [TornMode::Drop, TornMode::Keep, TornMode::Torn, TornMode::Flip];
+
+#[derive(Debug, Clone, Default)]
+struct SimFile {
+    data: Vec<u8>,
+    synced_len: usize,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    files: BTreeMap<String, SimFile>,
+    ops: u64,
+    crash_at: Option<u64>,
+    crashed: bool,
+}
+
+/// An in-memory disk with crash-point injection. Cloning shares the
+/// underlying disk (the clone sees the same files).
+#[derive(Clone, Default)]
+pub struct SimVfs {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimVfs {
+    /// An empty disk with no crash planned.
+    pub fn new() -> Self {
+        SimVfs::default()
+    }
+
+    /// An empty disk that crashes on its `op`-th mutating operation
+    /// (0-based).
+    pub fn crashing_at(op: u64) -> Self {
+        let vfs = SimVfs::new();
+        vfs.set_crash_at(Some(op));
+        vfs
+    }
+
+    /// Plans (or cancels) a crash at mutating operation `op`.
+    pub fn set_crash_at(&self, op: Option<u64>) {
+        lock(&self.state).crash_at = op;
+    }
+
+    /// Mutating operations performed so far. Running a workload once on a
+    /// crash-free disk and reading this gives the exhaustive enumeration
+    /// bound for the crash matrix.
+    pub fn ops(&self) -> u64 {
+        lock(&self.state).ops
+    }
+
+    /// Whether the planned crash has fired.
+    pub fn has_crashed(&self) -> bool {
+        lock(&self.state).crashed
+    }
+
+    /// The disk as found after reboot: synced prefixes survive verbatim,
+    /// each file's unsynced tail meets the fate `mode` prescribes. The
+    /// returned disk is independent (further writes do not affect `self`)
+    /// and has no crash planned.
+    pub fn power_cut(&self, mode: TornMode) -> SimVfs {
+        let state = lock(&self.state);
+        let mut files = BTreeMap::new();
+        for (name, file) in &state.files {
+            let synced = file.synced_len.min(file.data.len());
+            let tail = &file.data[synced..];
+            let mut data = file.data[..synced].to_vec();
+            match mode {
+                TornMode::Drop => {}
+                TornMode::Keep => data.extend_from_slice(tail),
+                TornMode::Torn => data.extend_from_slice(&tail[..tail.len() / 2]),
+                TornMode::Flip => {
+                    data.extend_from_slice(tail);
+                    if !tail.is_empty() {
+                        let last = data.len() - 1;
+                        data[last] ^= 0x01;
+                    }
+                }
+            }
+            let synced_len = data.len();
+            files.insert(name.clone(), SimFile { data, synced_len });
+        }
+        SimVfs {
+            state: Arc::new(Mutex::new(SimState { files, ops: 0, crash_at: None, crashed: false })),
+        }
+    }
+
+    /// Runs one mutating operation: counts it, fires the planned crash at
+    /// its boundary, and otherwise applies `apply`. `volatile_on_crash`
+    /// runs instead when the crash fires — it models the part of the
+    /// operation that may have reached the (volatile) cache before the
+    /// process died.
+    fn mutate(
+        &self,
+        apply: impl FnOnce(&mut SimState),
+        volatile_on_crash: impl FnOnce(&mut SimState),
+    ) -> Result<(), StoreError> {
+        let mut state = lock(&self.state);
+        if state.crashed {
+            return Err(StoreError::Crashed);
+        }
+        let op = state.ops;
+        state.ops += 1;
+        if state.crash_at == Some(op) {
+            state.crashed = true;
+            volatile_on_crash(&mut state);
+            return Err(StoreError::Crashed);
+        }
+        apply(&mut state);
+        Ok(())
+    }
+}
+
+impl Vfs for SimVfs {
+    fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let state = lock(&self.state);
+        if state.crashed {
+            return Err(StoreError::Crashed);
+        }
+        Ok(state.files.get(path).map(|f| f.data.clone()))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        lock(&self.state).files.contains_key(path)
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let write = |state: &mut SimState| {
+            state.files.entry(path.to_string()).or_default().data.extend_from_slice(bytes);
+        };
+        // A crashing append still reaches the volatile cache: whether any
+        // of it survives is decided by the power-cut mode.
+        self.mutate(write, write)
+    }
+
+    fn sync(&self, path: &str) -> Result<(), StoreError> {
+        self.mutate(
+            |state| {
+                if let Some(f) = state.files.get_mut(path) {
+                    f.synced_len = f.data.len();
+                }
+            },
+            |_| {},
+        )
+    }
+
+    fn truncate(&self, path: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let replace = |state: &mut SimState| {
+            state
+                .files
+                .insert(path.to_string(), SimFile { data: bytes.to_vec(), synced_len: 0 });
+        };
+        self.mutate(replace, replace)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
+        self.mutate(
+            |state| {
+                if let Some(file) = state.files.remove(from) {
+                    state.files.insert(to.to_string(), file);
+                }
+            },
+            // Renames are atomic metadata operations: a crash at this
+            // boundary means the rename did not happen.
+            |_| {},
+        )
+    }
+
+    fn remove(&self, path: &str) -> Result<(), StoreError> {
+        self.mutate(
+            |state| {
+                state.files.remove(path);
+            },
+            |_| {},
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn sim_append_sync_read_roundtrip() {
+        let vfs = SimVfs::new();
+        vfs.append("f", b"hello ").unwrap();
+        vfs.append("f", b"world").unwrap();
+        assert_eq!(vfs.read("f").unwrap().unwrap(), b"hello world");
+        vfs.sync("f").unwrap();
+        assert!(vfs.exists("f"));
+        assert!(!vfs.exists("g"));
+        assert_eq!(vfs.ops(), 3);
+    }
+
+    #[test]
+    fn power_cut_modes_shape_the_unsynced_tail() {
+        let make = || {
+            let vfs = SimVfs::new();
+            vfs.append("f", b"safe").unwrap();
+            vfs.sync("f").unwrap();
+            vfs.append("f", b"1234").unwrap();
+            vfs
+        };
+        let read = |vfs: &SimVfs| vfs.read("f").unwrap().unwrap();
+        assert_eq!(read(&make().power_cut(TornMode::Drop)), b"safe");
+        assert_eq!(read(&make().power_cut(TornMode::Keep)), b"safe1234");
+        assert_eq!(read(&make().power_cut(TornMode::Torn)), b"safe12");
+        assert_eq!(read(&make().power_cut(TornMode::Flip)), b"safe123\x35");
+    }
+
+    #[test]
+    fn crash_fires_once_and_sticks() {
+        let vfs = SimVfs::crashing_at(1);
+        vfs.append("f", b"a").unwrap();
+        assert_eq!(vfs.append("f", b"b"), Err(StoreError::Crashed));
+        assert!(vfs.has_crashed());
+        assert_eq!(vfs.sync("f"), Err(StoreError::Crashed));
+        assert_eq!(vfs.read("f"), Err(StoreError::Crashed));
+        // The crashing append reached the cache; Keep preserves it, Drop
+        // loses everything unsynced.
+        assert_eq!(vfs.power_cut(TornMode::Keep).read("f").unwrap().unwrap(), b"ab");
+        assert_eq!(vfs.power_cut(TornMode::Drop).read("f").unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn crashing_rename_does_not_happen() {
+        let vfs = SimVfs::new();
+        vfs.truncate("tmp", b"x").unwrap();
+        vfs.sync("tmp").unwrap();
+        vfs.set_crash_at(Some(2));
+        assert_eq!(vfs.rename("tmp", "final"), Err(StoreError::Crashed));
+        let disk = vfs.power_cut(TornMode::Keep);
+        assert!(disk.exists("tmp"));
+        assert!(!disk.exists("final"));
+    }
+
+    #[test]
+    fn std_vfs_roundtrip_in_a_temp_dir() {
+        let dir = std::env::temp_dir().join(format!("pufatt-store-vfs-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let vfs = StdVfs::open(&dir).unwrap();
+        assert_eq!(vfs.read("wal").unwrap(), None);
+        vfs.append("wal", b"abc").unwrap();
+        vfs.sync("wal").unwrap();
+        vfs.append("wal", b"def").unwrap();
+        assert_eq!(vfs.read("wal").unwrap().unwrap(), b"abcdef");
+        vfs.truncate("tmp", b"snap").unwrap();
+        vfs.sync("tmp").unwrap();
+        vfs.rename("tmp", "snapshot").unwrap();
+        assert!(!vfs.exists("tmp"));
+        assert_eq!(vfs.read("snapshot").unwrap().unwrap(), b"snap");
+        vfs.remove("snapshot").unwrap();
+        vfs.remove("snapshot").unwrap(); // idempotent
+        assert!(!vfs.exists("snapshot"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hd = live.hamming_distance(reference);
         println!("    node {i}: HD to enrolled response = {hd}/32 -> {}", if hd <= 7 { "ACCEPT" } else { "reject" });
         assert!(hd <= 7, "own records must match");
-        assert!(databases[i].consume(ch).is_none(), "replay must be impossible");
+        assert!(
+            matches!(databases[i].consume(ch), Err(pufatt::PufattError::ChallengeReused { .. })),
+            "replay must be impossible"
+        );
     }
 
     // Cross-check: node 0's silicon against every database (uniqueness).

@@ -295,9 +295,14 @@ fn claim_crp_database_is_finite_emulation_is_not() {
     let mut db = enrolled.record_crp_database(5, &mut rng);
     let challenges: Vec<Challenge> = db.challenges().collect();
     for ch in &challenges {
-        assert!(db.consume(*ch).is_some());
+        assert!(db.consume(*ch).is_ok());
     }
     assert!(db.is_empty(), "the database runs dry after one use per CRP");
+    // Exhausted ≠ forgotten: a second pass is refused as *reuse*, the
+    // typed replay signal, not mistaken for unknown challenges.
+    for ch in &challenges {
+        assert!(matches!(db.consume(*ch), Err(pufatt::PufattError::ChallengeReused { .. })));
+    }
     // The emulator keeps answering fresh challenges indefinitely.
     let verifier = enrolled.verifier_puf().unwrap();
     for _ in 0..10 {
