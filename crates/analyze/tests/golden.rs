@@ -279,6 +279,7 @@ fn protocol_and_ecc_sources_are_clean_and_allowlist_is_pinned() {
         manifest.join("../core/src"),
         manifest.join("../ecc/src"),
         manifest.join("../store/src"),
+        manifest.join("../transport/src"),
     ];
     for root in &roots {
         assert!(root.is_dir(), "missing source root {}", root.display());
@@ -300,7 +301,8 @@ fn protocol_and_ecc_sources_are_clean_and_allowlist_is_pinned() {
     }
     // 4 in crates/core (pipeline x2, enroll, slender) + 11 in crates/ecc
     // (bch, repetition, rm x2, golay x3, code x2, table, analysis) + 0 in
-    // crates/store (the durable layer returns typed errors everywhere).
+    // crates/store and 0 in crates/transport (both layers return typed
+    // errors everywhere — a decoder that panics on wire bytes is a DoS).
     // Update this count only together with a reviewed marker change.
     assert_eq!(markers, 15, "panic-allowlist size changed; review the new/removed markers");
 }

@@ -78,6 +78,7 @@ impl Args {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn argv(s: &str) -> Vec<String> {

@@ -258,29 +258,29 @@ pub fn profile(argv: &[String]) -> Result<(), String> {
 }
 
 /// `pufatt fleet`: a concurrent fleet-scale attestation campaign.
-pub fn fleet(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(
-        argv,
-        &[
-            "devices",
-            "workers",
-            "threads",
-            "shards",
-            "sessions",
-            "seed",
-            "tamper",
-            "profile",
-            "rounds",
-            "region-bits",
-            "retries",
-            "timeout-ms",
-            "history",
-            "fault-plan",
-            "flaky",
-            "state-dir",
-        ],
-        &["resume"],
-    )?;
+/// Campaign flags shared by `fleet` and `serve` (the server fronts the
+/// same engine, so it takes the same knobs).
+pub(crate) const CAMPAIGN_VALUE_KEYS: &[&str] = &[
+    "devices",
+    "workers",
+    "threads",
+    "shards",
+    "sessions",
+    "seed",
+    "tamper",
+    "profile",
+    "rounds",
+    "region-bits",
+    "retries",
+    "timeout-ms",
+    "history",
+    "fault-plan",
+    "flaky",
+];
+
+/// Builds a [`CampaignConfig`] from parsed campaign flags (see
+/// [`CAMPAIGN_VALUE_KEYS`]).
+pub(crate) fn campaign_config(args: &Args) -> Result<CampaignConfig, String> {
     let defaults = CampaignConfig::default();
     let seed: u64 = args.num_or("seed", defaults.seed)?;
     let plan_spec = args.get_or("fault-plan", "");
@@ -293,7 +293,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         }
         Some(ChaosConfig { plan: FaultPlan::parse(plan_spec, seed)?, flaky_fraction })
     };
-    let cfg = CampaignConfig {
+    Ok(CampaignConfig {
         devices: args.num_or("devices", defaults.devices)?,
         // `--threads` is an alias for `--workers` (the batch-evaluation
         // flag name used by `characterize`); `--threads` wins if both are
@@ -317,7 +317,11 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         history_capacity: args.num_or("history", defaults.history_capacity)?,
         queue_depth: defaults.queue_depth,
         chaos,
-    };
+    })
+}
+
+/// Prints the standard campaign header shared by `fleet` and `serve`.
+pub(crate) fn print_campaign_banner(cfg: &CampaignConfig) {
     println!(
         "campaign: {} devices x {} sessions, {} workers, {} shards, seed {:#x}, tamper {:.1}%",
         cfg.devices,
@@ -330,6 +334,14 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     if let Some(chaos) = &cfg.chaos {
         println!("chaos: plan [{}], {:.1}% of the fleet flaky", chaos.plan, chaos.flaky_fraction * 100.0);
     }
+}
+
+pub fn fleet(argv: &[String]) -> Result<(), String> {
+    let mut value_keys = CAMPAIGN_VALUE_KEYS.to_vec();
+    value_keys.push("state-dir");
+    let args = Args::parse(argv, &value_keys, &["resume"])?;
+    let cfg = campaign_config(&args)?;
+    print_campaign_banner(&cfg);
     let state_dir = args.get_or("state-dir", "");
     let resume = args.has("resume");
     if resume && state_dir.is_empty() {
@@ -406,12 +418,17 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
         report.extend(findings);
     }
 
-    // Pass 2: secret-taint lint over the protocol, ECC, and durable-store
-    // sources (the store must never let raw responses or helper data reach
-    // WAL records or error payloads).
+    // Pass 2: secret-taint lint over the protocol, ECC, durable-store, and
+    // network-transport sources (neither store records, error payloads, nor
+    // wire messages may ever carry raw responses or helper data).
     let src_root = args.get_or("src-root", ".");
     let mut roots = Vec::new();
-    for rel in ["crates/core/src", "crates/ecc/src", "crates/store/src"] {
+    for rel in [
+        "crates/core/src",
+        "crates/ecc/src",
+        "crates/store/src",
+        "crates/transport/src",
+    ] {
         let path = std::path::Path::new(src_root).join(rel);
         if path.is_dir() {
             roots.push(path);
@@ -436,6 +453,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
 
     fn argv(s: &str) -> Vec<String> {

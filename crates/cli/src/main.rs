@@ -8,6 +8,8 @@
 //! pufatt dot          --width 8 --out alupuf.dot [--chip-seed 1]
 //! pufatt profile      --program fibonacci
 //! pufatt fleet        --devices 256 --workers 8 [--fault-plan drop=0.5 --flaky 0.25]
+//! pufatt serve        --listen uds:/tmp/pufatt.sock --devices 256
+//! pufatt loadgen      --connect uds:/tmp/pufatt.sock --connections 8 --shutdown
 //! pufatt noise-sweep  --trials 200 --sessions 10 --max-weight 10
 //! ```
 //!
@@ -18,6 +20,7 @@
 
 mod args;
 mod commands;
+mod net;
 
 use std::process::ExitCode;
 
@@ -75,6 +78,31 @@ commands:
                   --resume                   (continue an interrupted campaign
                                               from --state-dir; verdicts match
                                               an uninterrupted run)
+  serve         expose the fleet engine on a socket (attestation as a service)
+                  --listen <endpoint>        (required; uds:/path or tcp:host:port)
+                  --max-conns <n>            (default 256; excess sheds Busy)
+                  --read-timeout-ms <n>      (default 5000; idle cutoff)
+                  --write-timeout-ms <n>     (default 5000)
+                  --rate-limit <f64>         (default 0 = off; requests/s)
+                  --rate-burst <n>           (default 64; token-bucket depth)
+                  --dispatch-shards <n>      (default: all cores; worker pools)
+                  --queue-depth <n>          (default 64; per-pool backlog)
+                  --drain-grace-ms <n>       (default 5000; shutdown grace)
+                  plus every fleet campaign flag (--devices, --seed, ...);
+                  runs until a wire Shutdown arrives, then drains and
+                  prints the campaign snapshot
+  loadgen       drive a running server with concurrent simulated devices
+                  --connect <endpoint>       (required; matches --listen)
+                  --devices <n>              (default 64)
+                  --sessions <n>             (default 2; per device)
+                  --connections <n>          (default 4; client sockets)
+                  --window <n>               (default 16; in-flight devices
+                                              per connection)
+                  --read-timeout-ms <n>      (default 30000)
+                  --write-timeout-ms <n>     (default 30000)
+                  --json <path>              (write a BENCH-style report row)
+                  --label <name>             (row label; default loadgen)
+                  --shutdown                 (send wire Shutdown when done)
   noise-sweep   false-negative rate vs. injected PUF error weight (paper 4.1)
                   --seed <u64>               (default 42)
                   --trials <n>               (default 200; extractor trials)
@@ -101,6 +129,8 @@ fn main() -> ExitCode {
         "dot" => commands::dot(rest),
         "profile" => commands::profile(rest),
         "fleet" => commands::fleet(rest),
+        "serve" => net::serve(rest),
+        "loadgen" => net::loadgen(rest),
         "noise-sweep" => commands::noise_sweep(rest),
         "analyze" => commands::analyze(rest),
         "help" | "--help" | "-h" => {

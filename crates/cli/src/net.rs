@@ -1,0 +1,206 @@
+//! `pufatt serve` / `pufatt loadgen` — attestation as a service from the
+//! command line.
+//!
+//! `serve` binds a socket (UDS or loopback TCP) and fronts the fleet
+//! engine with the full campaign flag set; it runs until a wire
+//! `Shutdown` arrives, then drains gracefully and prints the same
+//! snapshot `fleet` would. `loadgen` drives a running server with
+//! thousands of concurrent simulated devices and reports sessions/sec
+//! and latency percentiles — optionally appending a JSON row for the
+//! bench artefacts, and optionally shutting the server down when done
+//! (which is how the two commands compose into one scripted e2e run).
+
+use crate::args::Args;
+use crate::commands::{campaign_config, print_campaign_banner, CAMPAIGN_VALUE_KEYS};
+use pufatt_transport::client::Client;
+use pufatt_transport::loadgen::{run_loadgen, LoadgenConfig};
+use pufatt_transport::message::{Request, Response};
+use pufatt_transport::server::{Server, ServerConfig};
+use pufatt_transport::Endpoint;
+
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let mut value_keys = CAMPAIGN_VALUE_KEYS.to_vec();
+    value_keys.extend_from_slice(&[
+        "listen",
+        "max-conns",
+        "read-timeout-ms",
+        "write-timeout-ms",
+        "rate-limit",
+        "rate-burst",
+        "dispatch-shards",
+        "queue-depth",
+        "drain-grace-ms",
+    ]);
+    let args = Args::parse(argv, &value_keys, &[])?;
+    let cfg = campaign_config(&args)?;
+    let endpoint = Endpoint::parse(args.require("listen")?);
+    let defaults = ServerConfig::default();
+    let server_cfg = ServerConfig {
+        max_connections: args.num_or("max-conns", defaults.max_connections)?,
+        read_timeout_ms: args.num_or("read-timeout-ms", defaults.read_timeout_ms)?,
+        write_timeout_ms: args.num_or("write-timeout-ms", defaults.write_timeout_ms)?,
+        rate_limit_per_s: args.num_or("rate-limit", defaults.rate_limit_per_s)?,
+        rate_burst: args.num_or("rate-burst", defaults.rate_burst)?,
+        dispatch_shards: args.num_or("dispatch-shards", defaults.dispatch_shards)?,
+        queue_depth: args.num_or("queue-depth", defaults.queue_depth)?,
+        drain_grace_ms: args.num_or("drain-grace-ms", defaults.drain_grace_ms)?,
+        ..defaults
+    };
+    print_campaign_banner(&cfg);
+    let server = Server::start(&endpoint, cfg, server_cfg).map_err(|e| e.to_string())?;
+    println!("serving on {} (send a wire Shutdown to drain)", server.endpoint());
+    while !server.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("drain requested; completing in-flight sessions");
+    let report = server.finish();
+    print!("{}", report.snapshot);
+    let t = &report.transport;
+    println!(
+        "transport: {} conn(s) served, {} shed, {} request(s), {} busy (queue {}, rate {}), \
+         {} malformed, {} frame error(s), {} idle timeout(s), {} aborted session(s), {} panicked job(s)",
+        t.connections_served,
+        t.connections_shed,
+        t.requests,
+        t.busy_queue + t.busy_rate,
+        t.busy_queue,
+        t.busy_rate,
+        t.malformed,
+        t.frame_errors,
+        t.idle_timeouts,
+        t.sessions_aborted,
+        report.panicked_jobs,
+    );
+    Ok(())
+}
+
+pub fn loadgen(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &[
+            "connect",
+            "devices",
+            "sessions",
+            "connections",
+            "window",
+            "read-timeout-ms",
+            "write-timeout-ms",
+            "json",
+            "label",
+        ],
+        &["shutdown"],
+    )?;
+    let endpoint = Endpoint::parse(args.require("connect")?);
+    let defaults = LoadgenConfig::default();
+    let cfg = LoadgenConfig {
+        endpoint: endpoint.clone(),
+        devices: args.num_or("devices", defaults.devices)?,
+        sessions_per_device: args.num_or("sessions", defaults.sessions_per_device)?,
+        connections: args.num_or("connections", defaults.connections)?,
+        window: args.num_or("window", defaults.window)?,
+        read_timeout_ms: args.num_or("read-timeout-ms", defaults.read_timeout_ms)?,
+        write_timeout_ms: args.num_or("write-timeout-ms", defaults.write_timeout_ms)?,
+        ..defaults
+    };
+    let concurrent = (cfg.connections * cfg.window) as u64;
+    println!(
+        "loadgen: {} device(s) x {} session(s) over {} connection(s), window {} ({} concurrent devices)",
+        cfg.devices, cfg.sessions_per_device, cfg.connections, cfg.window, concurrent
+    );
+    let report = run_loadgen(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "completed {} device(s) ({} errored), {} session(s) ({} accepted, {} refused), {} busy retries",
+        report.devices_completed,
+        report.devices_errored,
+        report.sessions_completed,
+        report.sessions_accepted,
+        report.sessions_refused,
+        report.busy_retries,
+    );
+    println!(
+        "wall {:.2} s, {:.0} sessions/s, latency p50 {} us / p90 {} us / p99 {} us / max {} us",
+        report.wall_s, report.sessions_per_s, report.p50_us, report.p90_us, report.p99_us, report.max_us
+    );
+    if let Ok(json_path) = args.require("json") {
+        let row = report.json_object(args.get_or("label", "loadgen"), concurrent);
+        std::fs::write(json_path, format!("{row}\n")).map_err(|e| format!("write {json_path}: {e}"))?;
+        println!("wrote {json_path}");
+    }
+    if args.has("shutdown") {
+        let mut client = Client::connect(&endpoint, 10_000, 10_000).map_err(|e| e.to_string())?;
+        match client.call(&Request::Shutdown).map_err(|e| e.to_string())? {
+            Response::ShutdownAck => println!("server draining"),
+            other => return Err(format!("unexpected shutdown reply: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    /// The scripted composition the docs promise: serve in a thread,
+    /// loadgen against it with --shutdown, server drains and exits.
+    #[test]
+    fn serve_and_loadgen_compose_over_a_socket() {
+        let dir = std::env::temp_dir().join(format!("pufatt-cli-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("serve.sock");
+        let listen = format!("uds:{}", sock.display());
+        let serve_args: Vec<String> = [
+            "--listen",
+            &listen,
+            "--devices",
+            "6",
+            "--sessions",
+            "1",
+            "--workers",
+            "2",
+            "--profile",
+            "fpga16",
+            "--rounds",
+            "128",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let handle = std::thread::spawn(move || serve(&serve_args));
+        // Wait for the socket to come up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        while !sock.exists() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let json = dir.join("bench.json");
+        let loadgen_args: Vec<String> = [
+            "--connect",
+            &listen,
+            "--devices",
+            "6",
+            "--sessions",
+            "1",
+            "--connections",
+            "2",
+            "--window",
+            "4",
+            "--json",
+            json.to_str().unwrap(),
+            "--shutdown",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        loadgen(&loadgen_args).expect("loadgen succeeds");
+        handle.join().expect("serve thread").expect("serve exits cleanly");
+        let row = std::fs::read_to_string(&json).unwrap();
+        assert!(row.contains("\"sessions_completed\":6"), "bench row records the sessions: {row}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loadgen_requires_a_target() {
+        assert!(loadgen(&[]).unwrap_err().contains("--connect"));
+        assert!(serve(&[]).unwrap_err().contains("--listen"));
+    }
+}

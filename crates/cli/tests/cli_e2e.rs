@@ -1,5 +1,7 @@
 //! End-to-end tests of the `pufatt` binary via the actual executable.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::process::Command;
 

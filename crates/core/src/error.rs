@@ -79,6 +79,14 @@ pub enum PufattError {
     /// payload is the storage layer's own rendering; it never contains
     /// response material.
     Storage(String),
+    /// The network transport failed at the service level (version
+    /// mismatch, protocol violation, server-side refusal) — distinct from
+    /// [`PufattError::Timeout`]/[`PufattError::ChannelLost`], which name
+    /// link-level losses the retry machine handles, and from
+    /// [`PufattError::Malformed`], which names undecodable bytes. The
+    /// payload is the transport layer's own rendering; it never contains
+    /// response material.
+    Transport(String),
 }
 
 impl fmt::Display for PufattError {
@@ -119,6 +127,7 @@ impl fmt::Display for PufattError {
                 write!(f, "challenge (a={:#x}, b={:#x}) is not enrolled in this database", challenge.a, challenge.b)
             }
             PufattError::Storage(m) => write!(f, "durable state layer failed: {m}"),
+            PufattError::Transport(m) => write!(f, "transport failed: {m}"),
         }
     }
 }

@@ -23,6 +23,10 @@
 //!   `pufatt_store::DurableStore`: every transition committed before the
 //!   fleet moves on, and an interrupted run resumed to a report identical
 //!   to an uninterrupted one.
+//! * [`service`] — the engine behind a per-request façade
+//!   (enroll / open-session / attest / revoke) for the `pufatt-transport`
+//!   socket server, with the same verdicts, bit for bit, as an in-process
+//!   campaign.
 //!
 //! Campaigns degrade gracefully under faults: with a
 //! [`campaign::ChaosConfig`], a deterministic subset of the fleet becomes
@@ -50,6 +54,7 @@ pub mod durable;
 pub mod metrics;
 pub mod pool;
 pub mod registry;
+pub mod service;
 pub mod sync;
 
 pub use campaign::{
@@ -58,8 +63,9 @@ pub use campaign::{
 };
 pub use durable::{config_fingerprint, open_state_dir, run_campaign_with_dir, run_persistent_campaign};
 pub use metrics::{FleetMetrics, FleetSnapshot, LatencyHistogram, LATENCY_BUCKETS};
-pub use pool::WorkerPool;
+pub use pool::{SubmitError, WorkerPool};
 pub use registry::{DeviceId, FleetStatus, LifecyclePolicy, SessionOutcome, ShardedRegistry, StatusCounts};
+pub use service::{EnrollOutcome, FleetService, ServiceVerdict, SessionGate};
 
 // The whole design rests on prover/verifier state being movable across
 // worker threads; fail the build, not the campaign, if that regresses.

@@ -1,0 +1,440 @@
+//! The fleet engine as a service: per-request attestation fronted by a
+//! wire protocol.
+//!
+//! [`run_campaign`](crate::campaign::run_campaign) drives a whole fleet
+//! from one process — it owns the schedule, so it can provision a device
+//! and run all of its sessions inside one pool job. A *server* cannot:
+//! requests arrive one at a time, from many connections, in whatever
+//! order the network delivers them. [`FleetService`] is the façade that
+//! turns the campaign internals into that shape:
+//!
+//! * [`FleetService::enroll`] provisions one device (registry entry plus
+//!   a live prover/verifier session slot);
+//! * [`FleetService::open_session`] gates one attestation session (the
+//!   revocation check the campaign runner performs before each session);
+//! * [`FleetService::attest`] runs exactly one session — the same
+//!   [`run_one_session`](crate::campaign)/chaos path the in-process
+//!   campaign uses, so a fixed-seed campaign driven through the service
+//!   produces **bit-identical** verdicts to `run_campaign` (pinned by
+//!   `service_matches_in_process_campaign` below and end-to-end over real
+//!   sockets by `pufatt-transport`);
+//! * [`FleetService::abort_session`] records a session the transport
+//!   opened but never completed (client vanished mid-handshake) as a
+//!   lost, timed-out failure — the same accounting a chaos campaign gives
+//!   a session the channel ate, so quarantine hysteresis keeps working
+//!   when the loss happens at the socket layer instead of the simulated
+//!   channel.
+//!
+//! # Ordering contract
+//!
+//! One device's sessions must be applied in order (each session advances
+//! the device's seeded RNG). The service serialises per *slot shard*:
+//! every call for device `id` locks shard [`FleetService::shard_of`]`(id)`
+//! for the duration of the session. A transport that dispatches each
+//! device's requests to one shard-affine worker (as `pufatt-transport`
+//! does) therefore preserves per-device order end to end while distinct
+//! shards attest fully in parallel.
+
+use crate::campaign::{
+    device_is_flaky, device_is_tampered, provision_device, run_one_chaos_session, run_one_session, CampaignConfig,
+    DeviceRecord, DeviceSession, SessionEvent,
+};
+use crate::metrics::{FleetMetrics, FleetSnapshot};
+use crate::registry::{DeviceId, FleetStatus, SessionOutcome, ShardedRegistry};
+use crate::sync::lock;
+use pufatt::PufattError;
+use pufatt_alupuf::device::AluPufDesign;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One device's server-side state.
+enum Slot {
+    /// Provisioned and ready to attest.
+    Ready(Box<DeviceSession>),
+    /// Provisioning failed; the device is enrolled in the registry but can
+    /// never run a session this campaign (mirrors the in-process
+    /// campaign's abandoned devices).
+    Abandoned,
+}
+
+/// How [`FleetService::enroll`] left a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnrollOutcome {
+    /// Whether this call created the device (false: it was already
+    /// enrolled — enrollment is idempotent, the live session state is
+    /// kept).
+    pub fresh: bool,
+    /// The device's lifecycle state after the call.
+    pub status: FleetStatus,
+}
+
+/// What [`FleetService::open_session`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionGate {
+    /// The session may proceed; `ticket` identifies it until the matching
+    /// [`FleetService::attest`] (or abort).
+    Granted {
+        /// Opaque session ticket (unique per service instance).
+        ticket: u64,
+    },
+    /// The device is revoked; the session was counted as refused.
+    Refused,
+    /// The device was enrolled but could not be provisioned; it cannot
+    /// attest.
+    Faulty,
+    /// The device id is not enrolled.
+    Unknown,
+}
+
+/// The verdict of one service-driven session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceVerdict {
+    /// The session reached a verdict (accepted or rejected) and the
+    /// lifecycle policy was applied.
+    Closed {
+        /// The session's outcome, exactly as the in-process campaign
+        /// would have recorded it.
+        outcome: SessionOutcome,
+        /// The device's lifecycle state after the outcome.
+        status: FleetStatus,
+    },
+    /// The device was revoked when the attest arrived; the session was
+    /// refused without running.
+    Refused,
+    /// The device faulted outside the protocol (trap mid-attestation);
+    /// no verdict, nothing recorded in the registry.
+    Fault,
+    /// The device id is not enrolled (or was never provisioned).
+    Unknown,
+}
+
+/// The fleet engine behind a per-request API — see the module docs.
+pub struct FleetService {
+    cfg: CampaignConfig,
+    design: Arc<AluPufDesign>,
+    registry: ShardedRegistry,
+    metrics: FleetMetrics,
+    slots: Vec<Mutex<HashMap<DeviceId, Slot>>>,
+    next_ticket: AtomicU64,
+}
+
+impl FleetService {
+    /// Builds a service around a campaign configuration. The `devices`,
+    /// `workers` and `queue_depth` fields are ignored — the transport
+    /// decides who connects and how requests queue; everything
+    /// verdict-affecting (seed, PUF profile, checksum parameters, policy,
+    /// chaos plan) is honoured exactly as `run_campaign` would.
+    ///
+    /// # Errors
+    ///
+    /// Rejects configurations `run_campaign` would reject before any
+    /// thread spawns (unsupported PUF width, zero sessions).
+    pub fn new(cfg: CampaignConfig) -> Result<Self, PufattError> {
+        let width = cfg.puf.width;
+        if !(width.is_power_of_two() && (4..=32).contains(&width)) {
+            return Err(PufattError::UnsupportedWidth { width });
+        }
+        if cfg.sessions_per_device == 0 {
+            return Err(PufattError::Codegen("service needs sessions_per_device > 0".into()));
+        }
+        let shards = cfg.shards.max(1);
+        Ok(FleetService {
+            design: Arc::new(AluPufDesign::new(cfg.puf.clone())),
+            registry: ShardedRegistry::new(shards, cfg.history_capacity.max(1)),
+            metrics: FleetMetrics::new(),
+            slots: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_ticket: AtomicU64::new(1),
+            cfg,
+        })
+    }
+
+    /// The verdict-affecting configuration this service runs.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// Number of slot shards (serialisation domains for per-device order).
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The shard all of device `id`'s requests must be serialised on.
+    pub fn shard_of(&self, id: DeviceId) -> usize {
+        id as usize % self.slots.len()
+    }
+
+    /// Enrolls and provisions one device. Idempotent: a second call for a
+    /// live device changes nothing and reports `fresh: false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the provisioning failure; the device stays enrolled in
+    /// the registry (as in the in-process campaign) but is marked
+    /// abandoned and counted as a device fault.
+    pub fn enroll(&self, id: DeviceId) -> Result<EnrollOutcome, PufattError> {
+        let mut slots = lock(&self.slots[self.shard_of(id)]);
+        let fresh = self.registry.enroll(id);
+        if slots.contains_key(&id) {
+            let status = self.registry.status(id).unwrap_or(FleetStatus::Active);
+            return Ok(EnrollOutcome { fresh: false, status });
+        }
+        match provision_device(&self.design, &self.cfg, id) {
+            Ok(session) => {
+                slots.insert(id, Slot::Ready(Box::new(session)));
+                let status = self.registry.status(id).unwrap_or(FleetStatus::Active);
+                Ok(EnrollOutcome { fresh, status })
+            }
+            Err(e) => {
+                self.metrics.device_fault();
+                slots.insert(id, Slot::Abandoned);
+                Err(e)
+            }
+        }
+    }
+
+    /// Gates one attestation session: the pre-session revocation check the
+    /// campaign runner performs. A revoked device's session is counted as
+    /// refused here (never started), exactly as in-process.
+    pub fn open_session(&self, id: DeviceId) -> SessionGate {
+        let slots = lock(&self.slots[self.shard_of(id)]);
+        match self.registry.status(id) {
+            None => SessionGate::Unknown,
+            Some(FleetStatus::Revoked) => {
+                self.metrics.session_refused();
+                SessionGate::Refused
+            }
+            Some(_) => match slots.get(&id) {
+                None => SessionGate::Unknown,
+                Some(Slot::Abandoned) => SessionGate::Faulty,
+                Some(Slot::Ready(_)) => {
+                    SessionGate::Granted { ticket: self.next_ticket.fetch_add(1, Ordering::Relaxed) }
+                }
+            },
+        }
+    }
+
+    /// Runs exactly one attestation session for `id` (with the campaign's
+    /// retry policy, and through the chaos harness when the configuration
+    /// carries a fault plan), applies the lifecycle policy, and returns
+    /// the verdict.
+    pub fn attest(&self, id: DeviceId) -> ServiceVerdict {
+        let mut slots = lock(&self.slots[self.shard_of(id)]);
+        if self.registry.status(id) == Some(FleetStatus::Revoked) {
+            self.metrics.session_refused();
+            return ServiceVerdict::Refused;
+        }
+        let Some(slot) = slots.get_mut(&id) else {
+            return ServiceVerdict::Unknown;
+        };
+        let session = match slot {
+            Slot::Abandoned => return ServiceVerdict::Unknown,
+            Slot::Ready(session) => session,
+        };
+        let event = if self.cfg.chaos.is_some() {
+            run_one_chaos_session(session, &self.cfg, &self.metrics)
+        } else {
+            run_one_session(session, &self.cfg, &self.metrics)
+        };
+        match event {
+            SessionEvent::Closed { outcome, .. } => {
+                let status = self
+                    .registry
+                    .record_outcome(id, outcome.clone(), &self.cfg.policy)
+                    .unwrap_or(FleetStatus::Active);
+                ServiceVerdict::Closed { outcome, status }
+            }
+            SessionEvent::Fault { .. } => ServiceVerdict::Fault,
+        }
+    }
+
+    /// Records a session that was opened but never attested — the client
+    /// disappeared between [`FleetService::open_session`] and
+    /// [`FleetService::attest`]. Accounted exactly like a chaos session
+    /// the channel ate: started, lost, rejected by timeout, and fed into
+    /// the lifecycle so repeated transport loss quarantines the device.
+    pub fn abort_session(&self, id: DeviceId) {
+        let _slots = lock(&self.slots[self.shard_of(id)]);
+        if self.registry.status(id).is_none() {
+            return;
+        }
+        self.metrics.session_started();
+        self.metrics.session_lost();
+        self.metrics.session_rejected();
+        self.metrics.session_timed_out();
+        let outcome = SessionOutcome {
+            accepted: false,
+            response_ok: false,
+            time_ok: false,
+            timed_out: true,
+            attempts: 1,
+            elapsed_s: self.cfg.timeout_s,
+        };
+        self.metrics.observe_latency(outcome.elapsed_s);
+        self.registry.record_outcome(id, outcome, &self.cfg.policy);
+    }
+
+    /// Revokes a device (operator action). Returns its post-call status,
+    /// or `None` for unknown ids.
+    pub fn revoke(&self, id: DeviceId) -> Option<FleetStatus> {
+        self.registry.revoke(id);
+        self.registry.status(id)
+    }
+
+    /// Re-enrolls a known device (operator action): back to Active with
+    /// streaks cleared, history kept. Returns `false` for unknown ids.
+    pub fn re_enroll(&self, id: DeviceId) -> bool {
+        self.registry.re_enroll(id)
+    }
+
+    /// A device's current lifecycle state.
+    pub fn status(&self, id: DeviceId) -> Option<FleetStatus> {
+        self.registry.status(id)
+    }
+
+    /// Point-in-time counters and device states.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        self.metrics.snapshot(self.registry.status_counts())
+    }
+
+    /// Per-device end states and retained histories, ascending by id —
+    /// the same determinism witness `run_campaign` reports, so a service
+    /// campaign can be compared bit-for-bit with an in-process one.
+    pub fn device_records(&self) -> Vec<DeviceRecord> {
+        self.registry
+            .ids()
+            .into_iter()
+            .map(|id| DeviceRecord {
+                id,
+                tampered: device_is_tampered(self.cfg.seed, id, self.cfg.tamper_fraction),
+                flaky: matches!(&self.cfg.chaos, Some(c) if device_is_flaky(self.cfg.seed, id, c.flaky_fraction)),
+                status: self.registry.status(id).unwrap_or(FleetStatus::Active),
+                outcomes: self.registry.history(id).unwrap_or_default(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, small_test_config, ChaosConfig};
+    use pufatt_faults::FaultPlan;
+
+    /// Drives a service exactly as a well-behaved wire client fleet would:
+    /// enroll everything, then interleave sessions across devices.
+    fn drive_service(cfg: &CampaignConfig) -> (Vec<DeviceRecord>, FleetSnapshot) {
+        let service = FleetService::new(cfg.clone()).expect("valid config");
+        let ids: Vec<DeviceId> = (0..cfg.devices as DeviceId).collect();
+        for &id in &ids {
+            // Abandoned devices keep their registry entry; the client just
+            // skips their sessions (same as the in-process campaign).
+            let _ = service.enroll(id);
+        }
+        // Interleave: session k of every device before session k+1 of any —
+        // a deliberately different schedule from run_campaign's
+        // device-at-a-time jobs, to show scheduling cannot change verdicts.
+        for _ in 0..cfg.sessions_per_device {
+            for &id in &ids {
+                match service.open_session(id) {
+                    SessionGate::Granted { .. } => {
+                        let verdict = service.attest(id);
+                        assert!(
+                            matches!(verdict, ServiceVerdict::Closed { .. } | ServiceVerdict::Fault),
+                            "granted session must run: {verdict:?}"
+                        );
+                    }
+                    SessionGate::Refused | SessionGate::Faulty => {}
+                    SessionGate::Unknown => panic!("enrolled device went unknown"),
+                }
+            }
+        }
+        (service.device_records(), service.snapshot())
+    }
+
+    #[test]
+    fn service_matches_in_process_campaign() {
+        let cfg = small_test_config(12, 3, 0xC0FFEE);
+        let in_process = run_campaign(&cfg).expect("campaign runs");
+        let (records, snapshot) = drive_service(&cfg);
+        assert_eq!(records, in_process.device_records, "verdicts must be bit-identical");
+        assert_eq!(snapshot, in_process.snapshot, "counters must match exactly");
+    }
+
+    #[test]
+    fn chaos_service_matches_in_process_campaign() {
+        let mut cfg = small_test_config(10, 2, 0xFA17);
+        cfg.sessions_per_device = 4;
+        cfg.chaos = Some(ChaosConfig {
+            plan: FaultPlan::clean(0).with_drops(0.3).with_bit_flips(0.01),
+            flaky_fraction: 0.5,
+        });
+        let in_process = run_campaign(&cfg).expect("campaign runs");
+        let (records, snapshot) = drive_service(&cfg);
+        assert_eq!(records, in_process.device_records);
+        assert_eq!(snapshot, in_process.snapshot);
+    }
+
+    #[test]
+    fn enroll_is_idempotent_and_revocation_refuses() {
+        let cfg = small_test_config(4, 1, 3);
+        let service = FleetService::new(cfg).expect("valid config");
+        let first = service.enroll(0).expect("provision");
+        assert!(first.fresh);
+        let second = service.enroll(0).expect("idempotent");
+        assert!(!second.fresh);
+        service.revoke(0);
+        assert_eq!(service.open_session(0), SessionGate::Refused);
+        assert_eq!(service.attest(0), ServiceVerdict::Refused);
+        assert_eq!(service.snapshot().sessions_refused, 2);
+        assert_eq!(service.open_session(99), SessionGate::Unknown);
+        assert_eq!(service.attest(99), ServiceVerdict::Unknown);
+    }
+
+    #[test]
+    fn aborted_sessions_walk_the_lifecycle() {
+        let mut cfg = small_test_config(2, 1, 7);
+        cfg.policy.quarantine_after = 2;
+        let service = FleetService::new(cfg).expect("valid config");
+        service.enroll(1).expect("provision");
+        for _ in 0..2 {
+            assert!(matches!(service.open_session(1), SessionGate::Granted { .. }));
+            service.abort_session(1);
+        }
+        assert_eq!(service.status(1), Some(FleetStatus::Quarantined), "transport loss must quarantine");
+        let snap = service.snapshot();
+        assert_eq!(snap.sessions_lost, 2);
+        assert_eq!(snap.sessions_started, snap.sessions_rejected);
+        service.abort_session(42); // unknown ids are ignored
+        assert_eq!(service.snapshot().sessions_lost, 2);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = small_test_config(2, 1, 1);
+        cfg.puf.width = 12;
+        assert!(FleetService::new(cfg).is_err());
+        let mut cfg = small_test_config(2, 1, 1);
+        cfg.sessions_per_device = 0;
+        assert!(FleetService::new(cfg).is_err());
+    }
+
+    #[test]
+    fn tickets_are_unique() {
+        let cfg = small_test_config(4, 1, 9);
+        let service = FleetService::new(cfg).expect("valid config");
+        service.enroll(0).expect("provision");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..16 {
+            match service.open_session(0) {
+                SessionGate::Granted { ticket } => assert!(seen.insert(ticket), "duplicate ticket"),
+                other => panic!("expected grant, got {other:?}"),
+            }
+            service.abort_session(0);
+            // Aborts eventually revoke the device; re-enroll to keep going.
+            if service.status(0) == Some(FleetStatus::Revoked) {
+                assert!(service.re_enroll(0));
+            }
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The load generator: a fleet's worth of simulated devices multiplexed
+//! over a bounded set of real connections.
+//!
+//! Each connection thread owns the devices whose `id % connections`
+//! matches it and drives every one through the full protocol —
+//! `Enroll`, then `sessions_per_device` rounds of `ChallengeRequest` +
+//! `Attest` — keeping up to `window` devices in flight concurrently via
+//! correlation-id pipelining. Concurrency is therefore
+//! `connections × window` devices, which reaches tens of thousands
+//! without tens of thousands of sockets or threads.
+//!
+//! The generator follows the service's own semantics exactly, which is
+//! what makes its campaigns comparable to in-process runs:
+//!
+//! * a refused `ChallengeRequest` still *spends* one of the device's
+//!   sessions (the in-process campaign counts one refusal per scheduled
+//!   session of a revoked device);
+//! * an `Enroll` fault abandons the device without opening sessions;
+//! * `Busy` answers are retried after the server's hint — backpressure
+//!   is a pacing signal, not an error.
+//!
+//! Latency is sampled per *session* (send of its `ChallengeRequest` to
+//! receipt of its `Verdict`, busy-retry backoff included) — the
+//! device-visible attestation round-trip.
+
+use crate::client::Client;
+use crate::conn::Endpoint;
+use crate::error::{ErrorCode, TransportError};
+use crate::message::{Request, Response};
+use pufatt_fleet::registry::DeviceId;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// What to drive and how hard.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server endpoint.
+    pub endpoint: Endpoint,
+    /// Devices to simulate (ids `0..devices`).
+    pub devices: u32,
+    /// Attestation sessions per device.
+    pub sessions_per_device: u32,
+    /// Real connections to open.
+    pub connections: usize,
+    /// Devices each connection keeps in flight concurrently.
+    pub window: usize,
+    /// Socket read timeout in ms (`0` = block forever).
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in ms (`0` = block forever).
+    pub write_timeout_ms: u64,
+    /// `Busy` answers tolerated per request before the device errors out.
+    pub max_busy_retries: u32,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".into()),
+            devices: 64,
+            sessions_per_device: 2,
+            connections: 4,
+            window: 16,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            max_busy_retries: 1_000,
+        }
+    }
+}
+
+/// What the campaign did, aggregated over all connections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadgenReport {
+    /// Devices driven to their terminal state.
+    pub devices_completed: u64,
+    /// Devices stranded by a transport error or busy-retry exhaustion.
+    pub devices_errored: u64,
+    /// Sessions that reached a verdict.
+    pub sessions_completed: u64,
+    /// Sessions the server refused (revoked device).
+    pub sessions_refused: u64,
+    /// Verdicts with `accepted = true`.
+    pub sessions_accepted: u64,
+    /// Enrolls answered with a device fault.
+    pub enroll_faults: u64,
+    /// `Busy` answers absorbed (queue or rate backpressure).
+    pub busy_retries: u64,
+    /// Real connections that completed their share.
+    pub connections: u64,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_s: f64,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_s: f64,
+    /// Median session latency in microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile session latency in microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile session latency in microseconds.
+    pub p99_us: u64,
+    /// Worst session latency in microseconds.
+    pub max_us: u64,
+}
+
+impl LoadgenReport {
+    /// Renders one JSON object (no trailing newline) for bench output.
+    pub fn json_object(&self, label: &str, concurrent_devices: u64) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"connections\":{},\"concurrent_devices\":{},",
+                "\"devices_completed\":{},\"devices_errored\":{},",
+                "\"sessions_completed\":{},\"sessions_refused\":{},\"sessions_accepted\":{},",
+                "\"enroll_faults\":{},\"busy_retries\":{},\"wall_s\":{:.6},\"sessions_per_s\":{:.1},",
+                "\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}"
+            ),
+            label,
+            self.connections,
+            concurrent_devices,
+            self.devices_completed,
+            self.devices_errored,
+            self.sessions_completed,
+            self.sessions_refused,
+            self.sessions_accepted,
+            self.enroll_faults,
+            self.busy_retries,
+            self.wall_s,
+            self.sessions_per_s,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+/// One device's progress on its connection.
+struct InFlight {
+    id: DeviceId,
+    /// Sessions this device still owes (including the one in flight).
+    remaining: u32,
+    /// The request awaiting its reply (resent verbatim on `Busy`).
+    request: Request,
+    /// When this session's `ChallengeRequest` went out.
+    session_started: Option<Instant>,
+    busy_retries: u32,
+}
+
+#[derive(Default)]
+struct ConnTally {
+    devices_completed: u64,
+    devices_errored: u64,
+    sessions_completed: u64,
+    sessions_refused: u64,
+    sessions_accepted: u64,
+    enroll_faults: u64,
+    busy_retries: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs a full campaign against a live server and reports throughput and
+/// latency.
+///
+/// # Errors
+///
+/// [`TransportError`] only when *no* connection could even be
+/// established; per-connection failures mid-campaign are absorbed into
+/// `devices_errored`.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, TransportError> {
+    let connections = cfg.connections.max(1);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for conn_index in 0..connections {
+        let cfg = cfg.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pufatt-loadgen-{conn_index}"))
+            .spawn(move || drive_connection(&cfg, conn_index))
+            .map_err(|e| TransportError::Closed(format!("spawn loadgen worker: {e}")))?;
+        handles.push(handle);
+    }
+    let mut tally = ConnTally::default();
+    let mut live_connections = 0u64;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(conn_tally)) => {
+                live_connections += 1;
+                merge(&mut tally, conn_tally);
+            }
+            Ok(Err((conn_tally, _err))) => merge(&mut tally, conn_tally),
+            Err(_) => {}
+        }
+    }
+    if live_connections == 0 {
+        return Err(TransportError::Closed("no loadgen connection reached the server".into()));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    tally.latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if tally.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((tally.latencies_us.len() as f64 * p).ceil() as usize).clamp(1, tally.latencies_us.len());
+        tally.latencies_us[idx - 1]
+    };
+    Ok(LoadgenReport {
+        devices_completed: tally.devices_completed,
+        devices_errored: tally.devices_errored,
+        sessions_completed: tally.sessions_completed,
+        sessions_refused: tally.sessions_refused,
+        sessions_accepted: tally.sessions_accepted,
+        enroll_faults: tally.enroll_faults,
+        busy_retries: tally.busy_retries,
+        connections: live_connections,
+        wall_s,
+        sessions_per_s: if wall_s > 0.0 { tally.sessions_completed as f64 / wall_s } else { 0.0 },
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        max_us: tally.latencies_us.last().copied().unwrap_or(0),
+    })
+}
+
+fn merge(into: &mut ConnTally, from: ConnTally) {
+    into.devices_completed += from.devices_completed;
+    into.devices_errored += from.devices_errored;
+    into.sessions_completed += from.sessions_completed;
+    into.sessions_refused += from.sessions_refused;
+    into.sessions_accepted += from.sessions_accepted;
+    into.enroll_faults += from.enroll_faults;
+    into.busy_retries += from.busy_retries;
+    into.latencies_us.extend(from.latencies_us);
+}
+
+/// Drives this connection's device stride to completion. On a transport
+/// error the tally so far rides along with the error.
+#[allow(clippy::result_large_err)]
+fn drive_connection(cfg: &LoadgenConfig, conn_index: usize) -> Result<ConnTally, (ConnTally, TransportError)> {
+    let mut tally = ConnTally::default();
+    let mut client = match Client::connect(&cfg.endpoint, cfg.read_timeout_ms, cfg.write_timeout_ms) {
+        Ok(client) => client,
+        Err(e) => return Err((tally, e)),
+    };
+    let connections = cfg.connections.max(1) as u32;
+    let mut next_device = conn_index as u32;
+    let window = cfg.window.max(1);
+    let mut inflight: HashMap<u32, InFlight> = HashMap::new();
+    loop {
+        // Fill the window with fresh devices.
+        while inflight.len() < window && next_device < cfg.devices {
+            let id = next_device;
+            next_device += connections;
+            let request = Request::Enroll { device: id };
+            match client.send(&request) {
+                Ok(corr) => {
+                    inflight.insert(
+                        corr,
+                        InFlight {
+                            id,
+                            remaining: cfg.sessions_per_device,
+                            request,
+                            session_started: None,
+                            busy_retries: 0,
+                        },
+                    );
+                }
+                Err(e) => {
+                    tally.devices_errored += 1 + remaining_devices(&inflight, next_device, cfg.devices, connections);
+                    return Err((tally, e));
+                }
+            }
+        }
+        if inflight.is_empty() {
+            return Ok(tally);
+        }
+        let (corr, response) = match client.recv_any() {
+            Ok(pair) => pair,
+            Err(e) => {
+                tally.devices_errored += remaining_devices(&inflight, next_device, cfg.devices, connections);
+                return Err((tally, e));
+            }
+        };
+        let Some(mut entry) = inflight.remove(&corr) else {
+            continue; // stale reply for a device we already gave up on
+        };
+        let was_busy = matches!(response, Response::Busy { .. });
+        let next = match response {
+            Response::Busy { retry_after_ms } => {
+                entry.busy_retries += 1;
+                tally.busy_retries += 1;
+                if entry.busy_retries > cfg.max_busy_retries {
+                    tally.devices_errored += 1;
+                    continue;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                Some(entry.request.clone())
+            }
+            Response::EnrollOk { .. } => {
+                if entry.remaining == 0 {
+                    tally.devices_completed += 1;
+                    None
+                } else {
+                    entry.session_started = Some(Instant::now());
+                    Some(Request::ChallengeRequest { device: entry.id })
+                }
+            }
+            Response::Challenge { device, ticket } => Some(Request::Attest { device, ticket }),
+            Response::Verdict { accepted, .. } => {
+                tally.sessions_completed += 1;
+                tally.sessions_accepted += u64::from(accepted);
+                if let Some(t0) = entry.session_started.take() {
+                    tally
+                        .latencies_us
+                        .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                }
+                entry.remaining -= 1;
+                if entry.remaining > 0 {
+                    entry.session_started = Some(Instant::now());
+                    Some(Request::ChallengeRequest { device: entry.id })
+                } else {
+                    tally.devices_completed += 1;
+                    None
+                }
+            }
+            Response::Error { code: ErrorCode::Refused, .. } => {
+                // One scheduled session spent on a revoked device —
+                // mirrors the in-process campaign's refusal accounting.
+                tally.sessions_refused += 1;
+                entry.remaining = entry.remaining.saturating_sub(1);
+                if entry.remaining > 0 {
+                    entry.session_started = Some(Instant::now());
+                    Some(Request::ChallengeRequest { device: entry.id })
+                } else {
+                    tally.devices_completed += 1;
+                    None
+                }
+            }
+            Response::Error { code: ErrorCode::DeviceFault, .. } => {
+                // Provisioning faulted: the device is abandoned with no
+                // sessions, as in process.
+                tally.enroll_faults += 1;
+                tally.devices_completed += 1;
+                None
+            }
+            Response::Error { .. }
+            | Response::HelloAck { .. }
+            | Response::RevokeOk { .. }
+            | Response::StatsReply(_)
+            | Response::ShutdownAck => {
+                tally.devices_errored += 1;
+                None
+            }
+        };
+        if let Some(request) = next {
+            if !was_busy {
+                entry.busy_retries = 0;
+            }
+            match client.send(&request) {
+                Ok(new_corr) => {
+                    entry.request = request;
+                    inflight.insert(new_corr, entry);
+                }
+                Err(e) => {
+                    tally.devices_errored += 1 + remaining_devices(&inflight, next_device, cfg.devices, connections);
+                    return Err((tally, e));
+                }
+            }
+        }
+    }
+}
+
+/// Devices this connection would still owe if it died right now: the
+/// in-flight ones plus the unstarted remainder of its stride.
+fn remaining_devices(inflight: &HashMap<u32, InFlight>, next_device: u32, devices: u32, connections: u32) -> u64 {
+    let unstarted = u64::from(if next_device < devices {
+        (devices - next_device).div_ceil(connections)
+    } else {
+        0
+    });
+    inflight.len() as u64 + unstarted
+}

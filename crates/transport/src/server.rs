@@ -1,0 +1,740 @@
+//! The attestation server: a multi-threaded socket front on
+//! [`FleetService`].
+//!
+//! # Architecture
+//!
+//! ```text
+//! acceptor thread ──┬─▶ handler thread (conn 1) ──┬─▶ inline: Hello,
+//!                   ├─▶ handler thread (conn 2)   │   ChallengeRequest,
+//!                   └─▶ …        (≤ max_conns)    │   Revoke, Stats
+//!                                                 └─▶ dispatch: Enroll,
+//!                                                     Attest
+//!                                                        │ try_submit
+//!                                                        ▼
+//!                                  shard pools (1 worker each, bounded
+//!                                  queue) ──▶ FleetService ──▶ reply via
+//!                                  the connection's shared writer
+//! ```
+//!
+//! * **Backpressure, not backlog.** Every queue is bounded: the acceptor
+//!   sheds connections over `max_connections` with a `Busy` frame, the
+//!   per-shard dispatch queues shed requests with `Busy` when full
+//!   ([`WorkerPool::try_submit`]), and an optional per-connection token
+//!   bucket sheds request floods the same way. Nothing grows with load.
+//! * **Per-device order.** Device `id`'s heavy work always lands on pool
+//!   `service.shard_of(id) % pools`, each pool has exactly one worker, so
+//!   one device's enroll/attest jobs run in submission order even while
+//!   distinct shards proceed in parallel — the property that makes a
+//!   seeded campaign over sockets bit-identical to an in-process run.
+//! * **Typed failure.** Idle/read timeouts, torn frames, and vanished
+//!   peers surface as [`TransportError`] variants (mapped into the
+//!   `faults` taxonomy), are counted in [`TransportStats`], and close
+//!   only the one connection. A session opened but never attested when
+//!   its connection dies is recorded through
+//!   [`FleetService::abort_session`] — lost, rejected, and fed to the
+//!   lifecycle, exactly like a session a chaos channel ate.
+//! * **Graceful drain.** `Shutdown` (or [`Server::initiate_drain`]) stops
+//!   the acceptor, refuses new enrolls/sessions with `Draining`, lets
+//!   open tickets attest, force-closes stragglers after a grace period,
+//!   then drains the dispatch pools so every queued job completes —
+//!   [`Server::finish`] returns only after no in-flight session can be
+//!   lost.
+
+use crate::conn::{Endpoint, Listener, Stream};
+use crate::error::{ErrorCode, TransportError};
+use crate::frame::{read_frame, write_frame};
+use crate::message::{negotiate, Request, Response, WireStats};
+use pufatt::PufattError;
+use pufatt_fleet::campaign::CampaignConfig;
+use pufatt_fleet::pool::SubmitError;
+use pufatt_fleet::registry::DeviceId;
+use pufatt_fleet::service::{EnrollOutcome, ServiceVerdict, SessionGate};
+use pufatt_fleet::sync::lock;
+use pufatt_fleet::{DeviceRecord, FleetService, FleetSnapshot, WorkerPool};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Socket-side tuning. [`ServerConfig::default`] suits tests and the CLI;
+/// everything verdict-affecting lives in the fleet's `CampaignConfig`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections beyond this are shed at accept with a `Busy` frame.
+    pub max_connections: usize,
+    /// Per-connection read timeout in ms (idle clients are disconnected);
+    /// `0` blocks forever.
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in ms; `0` blocks forever.
+    pub write_timeout_ms: u64,
+    /// Token-bucket refill rate in requests/second per connection
+    /// (`0.0` disables rate limiting).
+    pub rate_limit_per_s: f64,
+    /// Token-bucket burst capacity.
+    pub rate_burst: u32,
+    /// Dispatch pools (one single-worker pool per dispatch shard).
+    pub dispatch_shards: usize,
+    /// Pending jobs each dispatch pool queues before shedding `Busy`.
+    pub queue_depth: usize,
+    /// Backoff hint carried in `Busy` replies, in ms.
+    pub busy_retry_ms: u32,
+    /// How long [`Server::finish`] waits for connections to close before
+    /// force-shutting their sockets.
+    pub drain_grace_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 256,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            rate_limit_per_s: 0.0,
+            rate_burst: 64,
+            dispatch_shards: std::thread::available_parallelism().map_or(4, usize::from),
+            queue_depth: 64,
+            busy_retry_ms: 10,
+            drain_grace_ms: 5_000,
+        }
+    }
+}
+
+/// Socket-side counters (the fleet's own metrics live in the snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Connections accepted and served.
+    pub connections_served: u64,
+    /// Connections shed at accept (over `max_connections`).
+    pub connections_shed: u64,
+    /// Requests decoded and handled.
+    pub requests: u64,
+    /// `Busy` replies from full dispatch queues.
+    pub busy_queue: u64,
+    /// `Busy` replies from the per-connection rate limiter.
+    pub busy_rate: u64,
+    /// Frames that decoded but whose payload was malformed.
+    pub malformed: u64,
+    /// Connections dropped on frame-level damage.
+    pub frame_errors: u64,
+    /// Connections dropped on idle/read timeout.
+    pub idle_timeouts: u64,
+    /// Connections dropped by the peer mid-conversation.
+    pub peer_drops: u64,
+    /// Open sessions aborted because their connection died.
+    pub sessions_aborted: u64,
+    /// Reply writes that failed (peer gone before its answer).
+    pub write_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections_served: AtomicU64,
+    connections_shed: AtomicU64,
+    requests: AtomicU64,
+    busy_queue: AtomicU64,
+    busy_rate: AtomicU64,
+    malformed: AtomicU64,
+    frame_errors: AtomicU64,
+    idle_timeouts: AtomicU64,
+    peer_drops: AtomicU64,
+    sessions_aborted: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl Counters {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            connections_served: self.connections_served.load(Ordering::Relaxed),
+            connections_shed: self.connections_shed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            busy_queue: self.busy_queue.load(Ordering::Relaxed),
+            busy_rate: self.busy_rate.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+            idle_timeouts: self.idle_timeouts.load(Ordering::Relaxed),
+            peer_drops: self.peer_drops.load(Ordering::Relaxed),
+            sessions_aborted: self.sessions_aborted.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The final word of a served campaign: the same snapshot/device-record
+/// pair `run_campaign` reports, plus the socket-side counters.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Final fleet counters (exact — taken after full drain).
+    pub snapshot: FleetSnapshot,
+    /// Per-device end states, ascending by id (the determinism witness).
+    pub device_records: Vec<DeviceRecord>,
+    /// Socket-side counters.
+    pub transport: TransportStats,
+    /// Dispatch jobs that panicked (0 in a healthy run).
+    pub panicked_jobs: u64,
+}
+
+/// A reply writer shared between the handler thread and dispatched jobs.
+struct ConnWriter {
+    stream: Mutex<Stream>,
+    write_timeout_ms: u64,
+    counters: Arc<Counters>,
+}
+
+impl ConnWriter {
+    fn send(&self, corr: u32, response: &Response) {
+        let mut payload = Vec::new();
+        response.encode(corr, &mut payload);
+        let mut stream = lock(&self.stream);
+        if write_frame(&mut *stream, &payload, self.write_timeout_ms).is_err() {
+            Counters::bump(&self.counters.write_errors);
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TicketState {
+    /// Granted, waiting for its `Attest`.
+    Open,
+    /// Its `Attest` is queued or running on a dispatch pool.
+    Dispatched,
+}
+
+type TicketTable = Mutex<HashMap<DeviceId, (u64, TicketState)>>;
+
+struct Shared {
+    service: Arc<FleetService>,
+    cfg: ServerConfig,
+    pools: Vec<WorkerPool>,
+    counters: Arc<Counters>,
+    draining: AtomicBool,
+    /// Live connections: id → shutdown handle (for forced drain).
+    conns: Mutex<HashMap<u64, Stream>>,
+    conn_exited: Condvar,
+    handler_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn pool_for(&self, id: DeviceId) -> &WorkerPool {
+        &self.pools[self.service.shard_of(id) % self.pools.len()]
+    }
+}
+
+/// A simple token bucket: `rate` tokens/second, up to `burst` banked.
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+    rate: f64,
+    burst: f64,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, burst: u32) -> Self {
+        TokenBucket {
+            tokens: f64::from(burst.max(1)),
+            last: Instant::now(),
+            rate,
+            burst: f64::from(burst.max(1)),
+        }
+    }
+
+    /// Takes one token, or reports how many ms until one is available.
+    fn admit(&mut self) -> Result<(), u32> {
+        if self.rate <= 0.0 {
+            return Ok(());
+        }
+        let now = Instant::now();
+        self.tokens = (self.tokens + now.duration_since(self.last).as_secs_f64() * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((((1.0 - self.tokens) / self.rate) * 1e3).ceil().max(1.0) as u32)
+        }
+    }
+}
+
+/// A running attestation server. Construct with [`Server::start`], stop
+/// with [`Server::finish`].
+pub struct Server {
+    endpoint: Endpoint,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `endpoint` and starts serving the fleet `campaign` describes
+    /// under the socket policy `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] when the bind fails, or a wrapped
+    /// [`PufattError`] rendering when the campaign configuration is
+    /// invalid.
+    pub fn start(endpoint: &Endpoint, campaign: CampaignConfig, cfg: ServerConfig) -> Result<Self, TransportError> {
+        let service = Arc::new(
+            FleetService::new(campaign)
+                .map_err(|e| TransportError::Protocol(format!("invalid campaign config: {e}")))?,
+        );
+        let listener = Listener::bind(endpoint)?;
+        listener.set_nonblocking(true)?;
+        let endpoint = listener.local_endpoint();
+        let pools = (0..cfg.dispatch_shards.max(1))
+            .map(|_| WorkerPool::new(1, cfg.queue_depth.max(1)))
+            .collect();
+        let shared = Arc::new(Shared {
+            service,
+            cfg,
+            pools,
+            counters: Arc::new(Counters::default()),
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            conn_exited: Condvar::new(),
+            handler_handles: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pufatt-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(|e| TransportError::Closed(format!("spawn acceptor: {e}")))?
+        };
+        Ok(Server { endpoint, shared, acceptor: Some(acceptor) })
+    }
+
+    /// The endpoint actually bound (resolves TCP port `0`).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The fleet service behind the sockets (for in-process inspection).
+    pub fn service(&self) -> &Arc<FleetService> {
+        &self.shared.service
+    }
+
+    /// Socket-side counters so far.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.shared.counters.stats()
+    }
+
+    /// Starts the drain: stop accepting, refuse new sessions, let open
+    /// tickets finish. Idempotent; also triggered by a wire `Shutdown`.
+    pub fn initiate_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain is under way.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains and shuts down: waits up to `drain_grace_ms` for
+    /// connections to close on their own, force-closes the rest, joins
+    /// every thread, completes every queued dispatch job, and returns the
+    /// final report. No in-flight session is lost: a job that was queued
+    /// runs to its verdict, a ticket that was open when its connection
+    /// died is recorded as an aborted (lost) session.
+    pub fn finish(mut self) -> ServerReport {
+        self.initiate_drain();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Phase 1: let connections finish politely.
+        let deadline = Instant::now() + Duration::from_millis(self.shared.cfg.drain_grace_ms);
+        {
+            let mut conns = lock(&self.shared.conns);
+            while !conns.is_empty() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .conn_exited
+                    .wait_timeout(conns, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                conns = guard;
+            }
+            // Phase 2: force-close stragglers; their handlers wake with a
+            // typed error, abort open tickets, and exit.
+            for stream in conns.values() {
+                stream.shutdown();
+            }
+        }
+        for handle in lock(&self.shared.handler_handles).drain(..) {
+            let _ = handle.join();
+        }
+        // All handlers are gone; nothing can submit. Drain the pools so
+        // every queued enroll/attest completes before the report.
+        let shared = match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared,
+            Err(arc) => {
+                // Unreachable in practice (all thread-held clones were
+                // joined above); degrade to a drop-drain rather than
+                // panicking in shutdown.
+                let report = ServerReport {
+                    snapshot: arc.service.snapshot(),
+                    device_records: arc.service.device_records(),
+                    transport: arc.counters.stats(),
+                    panicked_jobs: 0,
+                };
+                return report;
+            }
+        };
+        let panicked_jobs: u64 = shared.pools.into_iter().map(WorkerPool::shutdown).sum();
+        ServerReport {
+            snapshot: shared.service.snapshot(),
+            device_records: shared.service.device_records(),
+            transport: shared.counters.stats(),
+            panicked_jobs,
+        }
+    }
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+    let mut next_conn_id = 0u64;
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(Some(stream)) => {
+                next_conn_id += 1;
+                admit_connection(shared, stream, next_conn_id);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn admit_connection(shared: &Arc<Shared>, stream: Stream, conn_id: u64) {
+    let counters = &shared.counters;
+    let at_capacity = lock(&shared.conns).len() >= shared.cfg.max_connections;
+    if at_capacity {
+        // Shed with a Busy frame instead of queueing unboundedly.
+        Counters::bump(&counters.connections_shed);
+        let _ = stream.set_write_timeout_ms(shared.cfg.write_timeout_ms.max(100));
+        let mut payload = Vec::new();
+        Response::Busy { retry_after_ms: shared.cfg.busy_retry_ms }.encode(0, &mut payload);
+        let mut stream = stream;
+        let _ = write_frame(&mut stream, &payload, shared.cfg.write_timeout_ms.max(100));
+        return;
+    }
+    let Ok(shutdown_handle) = stream.try_clone() else {
+        return;
+    };
+    lock(&shared.conns).insert(conn_id, shutdown_handle);
+    Counters::bump(&counters.connections_served);
+    let thread_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name(format!("pufatt-conn-{conn_id}"))
+        .spawn(move || {
+            handle_connection(&thread_shared, stream, conn_id);
+            lock(&thread_shared.conns).remove(&conn_id);
+            thread_shared.conn_exited.notify_all();
+        });
+    match spawned {
+        Ok(handle) => lock(&shared.handler_handles).push(handle),
+        Err(_) => {
+            lock(&shared.conns).remove(&conn_id);
+        }
+    }
+}
+
+/// Classifies a connection-ending transport error into the counters.
+fn count_connection_end(counters: &Counters, err: &TransportError) {
+    match err {
+        TransportError::Frame(_) | TransportError::Malformed(_) => Counters::bump(&counters.frame_errors),
+        TransportError::Timeout { .. } => Counters::bump(&counters.idle_timeouts),
+        _ => Counters::bump(&counters.peer_drops),
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: Stream, _conn_id: u64) {
+    let cfg = &shared.cfg;
+    let counters = &shared.counters;
+    let _ = stream.set_read_timeout_ms(cfg.read_timeout_ms);
+    let _ = stream.set_write_timeout_ms(cfg.write_timeout_ms);
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(ConnWriter {
+            stream: Mutex::new(clone),
+            write_timeout_ms: cfg.write_timeout_ms,
+            counters: Arc::clone(counters),
+        }),
+        Err(_) => return,
+    };
+    let tickets: Arc<TicketTable> = Arc::new(Mutex::new(HashMap::new()));
+    let mut reader = stream;
+    let mut payload = Vec::new();
+
+    // --- Handshake: the first frame must be a valid Hello. -------------
+    match read_frame(&mut reader, &mut payload, cfg.read_timeout_ms) {
+        Ok(true) => {}
+        Ok(false) => return,
+        Err(e) => {
+            count_connection_end(counters, &e);
+            return;
+        }
+    }
+    match Request::decode(&payload) {
+        Ok((corr, Request::Hello { magic, min_version, max_version })) => {
+            match negotiate(magic, min_version, max_version) {
+                Ok(version) => writer.send(corr, &Response::HelloAck { version }),
+                Err(e) => {
+                    let code = match e {
+                        TransportError::VersionMismatch { .. } => ErrorCode::VersionMismatch,
+                        _ => ErrorCode::Malformed,
+                    };
+                    writer.send(corr, &Response::Error { code, detail: e.to_string() });
+                    Counters::bump(&counters.malformed);
+                    return;
+                }
+            }
+        }
+        Ok((corr, _)) => {
+            writer.send(
+                corr,
+                &Response::Error {
+                    code: ErrorCode::Malformed,
+                    detail: "expected Hello before any request".into(),
+                },
+            );
+            Counters::bump(&counters.malformed);
+            return;
+        }
+        Err(_) => {
+            Counters::bump(&counters.malformed);
+            return;
+        }
+    }
+
+    // --- Steady state. --------------------------------------------------
+    let mut bucket = TokenBucket::new(cfg.rate_limit_per_s, cfg.rate_burst);
+    let exit_err = loop {
+        match read_frame(&mut reader, &mut payload, cfg.read_timeout_ms) {
+            Ok(true) => {}
+            Ok(false) => break None, // clean close
+            Err(e) => break Some(e),
+        }
+        let (corr, request) = match Request::decode(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // The frame was checksum-valid, so framing is still in
+                // sync: answer the error and keep the connection.
+                Counters::bump(&counters.malformed);
+                writer.send(0, &Response::Error { code: ErrorCode::Malformed, detail: e.to_string() });
+                continue;
+            }
+        };
+        Counters::bump(&counters.requests);
+        if let Err(wait_ms) = bucket.admit() {
+            Counters::bump(&counters.busy_rate);
+            writer.send(corr, &Response::Busy { retry_after_ms: wait_ms.max(cfg.busy_retry_ms) });
+            continue;
+        }
+        handle_request(shared, &writer, &tickets, corr, request);
+        if shared.draining.load(Ordering::SeqCst) && lock(&tickets).is_empty() {
+            break None; // nothing left in flight on this connection
+        }
+    };
+    if let Some(e) = &exit_err {
+        count_connection_end(counters, e);
+    }
+    // Any ticket still Open was a session the transport lost: record it
+    // (lost + rejected + lifecycle) exactly like a chaos-eaten session.
+    // Dispatched tickets stay — their queued jobs run to a real verdict.
+    let open: Vec<DeviceId> = lock(&tickets)
+        .iter()
+        .filter(|(_, (_, state))| *state == TicketState::Open)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in open {
+        lock(&tickets).remove(&id);
+        Counters::bump(&counters.sessions_aborted);
+        shared.service.abort_session(id);
+    }
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnWriter>,
+    tickets: &Arc<TicketTable>,
+    corr: u32,
+    request: Request,
+) {
+    let service = &shared.service;
+    let counters = &shared.counters;
+    let draining = shared.draining.load(Ordering::SeqCst);
+    match request {
+        Request::Hello { .. } => {
+            Counters::bump(&counters.malformed);
+            writer.send(corr, &Response::Error { code: ErrorCode::Malformed, detail: "duplicate Hello".into() });
+        }
+        Request::Enroll { device } => {
+            if draining {
+                writer.send(corr, &Response::Error { code: ErrorCode::Draining, detail: "server draining".into() });
+                return;
+            }
+            let service = Arc::clone(service);
+            let writer_job = Arc::clone(writer);
+            let job = move || {
+                let response = match service.enroll(device) {
+                    Ok(EnrollOutcome { fresh, status }) => Response::EnrollOk { device, fresh, status: status.into() },
+                    Err(e) => Response::Error { code: ErrorCode::DeviceFault, detail: error_detail(&e) },
+                };
+                writer_job.send(corr, &response);
+            };
+            if shared.pool_for(device).try_submit(job) == Err(SubmitError::QueueFull) {
+                Counters::bump(&counters.busy_queue);
+                writer.send(corr, &Response::Busy { retry_after_ms: shared.cfg.busy_retry_ms });
+            }
+        }
+        Request::ChallengeRequest { device } => {
+            if draining {
+                writer.send(corr, &Response::Error { code: ErrorCode::Draining, detail: "server draining".into() });
+                return;
+            }
+            match service.open_session(device) {
+                SessionGate::Granted { ticket } => {
+                    // A forgotten earlier ticket is replaced; it carried
+                    // no metrics, so dropping it silently is neutral.
+                    lock(tickets).insert(device, (ticket, TicketState::Open));
+                    writer.send(corr, &Response::Challenge { device, ticket });
+                }
+                SessionGate::Refused => writer.send(
+                    corr,
+                    &Response::Error {
+                        code: ErrorCode::Refused,
+                        detail: format!("device {device} is revoked"),
+                    },
+                ),
+                SessionGate::Faulty => writer.send(
+                    corr,
+                    &Response::Error {
+                        code: ErrorCode::DeviceFault,
+                        detail: format!("device {device} faulted"),
+                    },
+                ),
+                SessionGate::Unknown => writer.send(
+                    corr,
+                    &Response::Error {
+                        code: ErrorCode::UnknownDevice,
+                        detail: format!("device {device} not enrolled"),
+                    },
+                ),
+            }
+        }
+        Request::Attest { device, ticket } => {
+            {
+                let mut table = lock(tickets);
+                match table.get(&device) {
+                    Some(&(granted, TicketState::Open)) if granted == ticket => {
+                        table.insert(device, (ticket, TicketState::Dispatched));
+                    }
+                    Some(&(_, TicketState::Dispatched)) => {
+                        drop(table);
+                        writer.send(
+                            corr,
+                            &Response::Error {
+                                code: ErrorCode::BadTicket,
+                                detail: format!("device {device} already attesting"),
+                            },
+                        );
+                        return;
+                    }
+                    _ => {
+                        drop(table);
+                        writer.send(
+                            corr,
+                            &Response::Error {
+                                code: ErrorCode::BadTicket,
+                                detail: format!("no open session for device {device} and that ticket"),
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            let service = Arc::clone(service);
+            let writer_job = Arc::clone(writer);
+            let tickets_job = Arc::clone(tickets);
+            let job = move || {
+                let response = match service.attest(device) {
+                    ServiceVerdict::Closed { outcome, status } => Response::Verdict {
+                        device,
+                        accepted: outcome.accepted,
+                        response_ok: outcome.response_ok,
+                        time_ok: outcome.time_ok,
+                        timed_out: outcome.timed_out,
+                        attempts: outcome.attempts,
+                        elapsed_bits: outcome.elapsed_s.to_bits(),
+                        status: status.into(),
+                    },
+                    ServiceVerdict::Refused => Response::Error {
+                        code: ErrorCode::Refused,
+                        detail: format!("device {device} is revoked"),
+                    },
+                    ServiceVerdict::Fault => Response::Error {
+                        code: ErrorCode::DeviceFault,
+                        detail: format!("device {device} faulted"),
+                    },
+                    ServiceVerdict::Unknown => Response::Error {
+                        code: ErrorCode::UnknownDevice,
+                        detail: format!("device {device} not enrolled"),
+                    },
+                };
+                lock(&tickets_job).remove(&device);
+                writer_job.send(corr, &response);
+            };
+            if shared.pool_for(device).try_submit(job) == Err(SubmitError::QueueFull) {
+                // Reopen the ticket so the client can retry the Attest.
+                lock(tickets).insert(device, (ticket, TicketState::Open));
+                Counters::bump(&counters.busy_queue);
+                writer.send(corr, &Response::Busy { retry_after_ms: shared.cfg.busy_retry_ms });
+            }
+        }
+        Request::Revoke { device } => match service.revoke(device) {
+            Some(status) => writer.send(corr, &Response::RevokeOk { device, status: status.into() }),
+            None => writer.send(
+                corr,
+                &Response::Error {
+                    code: ErrorCode::UnknownDevice,
+                    detail: format!("device {device} not enrolled"),
+                },
+            ),
+        },
+        Request::Stats => {
+            let snap = service.snapshot();
+            writer.send(
+                corr,
+                &Response::StatsReply(WireStats {
+                    started: snap.sessions_started,
+                    accepted: snap.sessions_accepted,
+                    rejected: snap.sessions_rejected,
+                    timed_out: snap.sessions_timed_out,
+                    refused: snap.sessions_refused,
+                    lost: snap.sessions_lost,
+                    faults: snap.device_faults,
+                    active: snap.devices.active as u64,
+                    quarantined: snap.devices.quarantined as u64,
+                    revoked: snap.devices.revoked as u64,
+                }),
+            );
+        }
+        Request::Shutdown => {
+            writer.send(corr, &Response::ShutdownAck);
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Renders a service error for the wire — the Display impls carry public
+/// facts only (ids, widths, timings), never response material; the taint
+/// lint over this crate enforces that no secret identifier reaches a
+/// format macro.
+fn error_detail(e: &PufattError) -> String {
+    e.to_string()
+}

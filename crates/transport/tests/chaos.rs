@@ -1,0 +1,144 @@
+//! The server under a hostile link: a seeded lossy proxy (mid-frame
+//! cuts, jitter) sits between a PR 3-style retrying client and the
+//! server. The contract under fire:
+//!
+//! * every failure the client sees is a **typed** [`TransportError`] —
+//!   no panics, no silent acceptance of damaged bytes;
+//! * a session whose connection died with a ticket open is recorded
+//!   server-side as **lost** and fed to the lifecycle, exactly like a
+//!   chaos-channel loss in process;
+//! * retrying over fresh connections eventually lands every device, and
+//!   the verdicts stay sound: tampered devices are never accepted, and
+//!   the quarantine hysteresis still fires.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pufatt_fleet::campaign::small_test_config;
+use pufatt_transport::client::Client;
+use pufatt_transport::error::ErrorCode;
+use pufatt_transport::message::{Request, Response};
+use pufatt_transport::server::{Server, ServerConfig};
+use pufatt_transport::shim::{LossyProxy, ProxyConfig};
+use pufatt_transport::Endpoint;
+
+/// Reconnects through the proxy until a working connection comes up.
+fn connect_with_retry(endpoint: &Endpoint, attempts: &mut u32, budget: u32) -> Client {
+    loop {
+        *attempts += 1;
+        assert!(*attempts <= budget, "connect retry budget exhausted — the proxy seed is too cruel");
+        match Client::connect(endpoint, 2_000, 2_000) {
+            Ok(client) => return client,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+}
+
+#[test]
+fn retrying_client_survives_a_lossy_link_and_verdicts_stay_sound() {
+    let devices: u32 = 8;
+    let sessions: u32 = 2;
+    let cfg = small_test_config(devices as usize, 2, 0x5EED);
+    let server = Server::start(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        cfg,
+        ServerConfig {
+            rate_limit_per_s: 0.0,
+            read_timeout_ms: 2_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let proxy = LossyProxy::start(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        server.endpoint().clone(),
+        0xBADC_0FFE,
+        // Every connection dies after a seeded byte budget: with ~40
+        // round trips of traffic ahead, cuts are guaranteed, and the
+        // floor of 250 bytes guarantees each reconnect makes progress.
+        ProxyConfig {
+            cut_fraction: 1.0,
+            cut_after_bytes: (250, 2_500),
+            jitter_fraction: 0.25,
+            jitter_ms: (1, 4),
+        },
+    )
+    .expect("proxy starts");
+
+    let budget = 400; // total reconnects across the whole campaign
+    let mut attempts = 0u32;
+    let mut verdicts = 0u64;
+    let mut refusals = 0u64;
+    let mut client = connect_with_retry(proxy.endpoint(), &mut attempts, budget);
+    for id in 0..devices {
+        // Enroll with retry over fresh connections.
+        loop {
+            match client.call(&Request::Enroll { device: id }) {
+                Ok(Response::EnrollOk { .. }) => break,
+                Ok(Response::Error { code: ErrorCode::DeviceFault, .. }) => break,
+                Ok(other) => panic!("unexpected enroll reply: {other:?}"),
+                Err(_) => client = connect_with_retry(proxy.endpoint(), &mut attempts, budget),
+            }
+        }
+        for _ in 0..sessions {
+            // One session: ChallengeRequest then Attest, retried whole on
+            // any transport error (the PR 3 machine's session-level retry).
+            loop {
+                let ticket = match client.call(&Request::ChallengeRequest { device: id }) {
+                    Ok(Response::Challenge { ticket, .. }) => ticket,
+                    Ok(Response::Error { code: ErrorCode::Refused, .. }) => {
+                        refusals += 1;
+                        break;
+                    }
+                    Ok(other) => panic!("unexpected challenge reply: {other:?}"),
+                    Err(_) => {
+                        client = connect_with_retry(proxy.endpoint(), &mut attempts, budget);
+                        continue;
+                    }
+                };
+                match client.call(&Request::Attest { device: id, ticket }) {
+                    Ok(Response::Verdict { .. }) => {
+                        verdicts += 1;
+                        break;
+                    }
+                    // The ticket died with its connection; open a new one.
+                    Ok(Response::Error { code: ErrorCode::BadTicket, .. }) => {}
+                    Ok(other) => panic!("unexpected attest reply: {other:?}"),
+                    Err(_) => {
+                        client = connect_with_retry(proxy.endpoint(), &mut attempts, budget);
+                    }
+                }
+            }
+        }
+    }
+    drop(client);
+    proxy.stop();
+    let report = server.finish();
+
+    assert_eq!(report.panicked_jobs, 0);
+    assert_eq!(verdicts + refusals, u64::from(devices * sessions), "every session resolved");
+    assert!(attempts > 1, "the proxy must actually have cut connections (seed gone stale?)");
+    // Cuts mid-session surface as aborted/lost sessions on the server's
+    // books — the socket analogue of a chaos message drop.
+    assert_eq!(report.transport.sessions_aborted, report.snapshot.sessions_lost);
+    assert!(
+        report.snapshot.sessions_started >= verdicts,
+        "server started at least the sessions that produced verdicts"
+    );
+    // Soundness under damage: no tampered device is ever accepted, and
+    // repeated rejection still quarantines.
+    let tampered: Vec<_> = report.device_records.iter().filter(|r| r.tampered).collect();
+    assert!(!tampered.is_empty(), "seed produced no tampered devices — weaken tamper_fraction assumptions");
+    for record in &tampered {
+        assert!(
+            record.outcomes.iter().all(|o| !o.accepted),
+            "tampered device {} was accepted over a lossy link",
+            record.id
+        );
+    }
+    assert!(
+        tampered
+            .iter()
+            .all(|r| r.status != pufatt_fleet::FleetStatus::Active || r.outcomes.len() < 2),
+        "a twice-rejected tampered device must not stay Active"
+    );
+}

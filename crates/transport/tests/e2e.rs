@@ -1,0 +1,261 @@
+//! End-to-end server tests: the wire must not change a single verdict.
+//!
+//! The headline assertion (ISSUE 6 acceptance): a seeded load-generator
+//! campaign over a real unix-domain socket produces device records and a
+//! fleet snapshot **bit-identical** to `run_campaign` executing the same
+//! configuration entirely in process.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use pufatt_fleet::campaign::{run_campaign, small_test_config};
+use pufatt_transport::client::Client;
+use pufatt_transport::error::{ErrorCode, TransportError};
+use pufatt_transport::loadgen::{run_loadgen, LoadgenConfig};
+use pufatt_transport::message::{Request, Response, PROTOCOL_MAGIC};
+use pufatt_transport::server::{Server, ServerConfig};
+use pufatt_transport::Endpoint;
+
+fn uds_endpoint(tag: &str) -> Endpoint {
+    let dir = std::env::temp_dir().join(format!("pufatt-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    Endpoint::Uds(dir.join(format!("{tag}.sock")))
+}
+
+fn identity_server_config() -> ServerConfig {
+    ServerConfig {
+        rate_limit_per_s: 0.0, // backpressure off: identity runs must not shed
+        queue_depth: 256,
+        ..ServerConfig::default()
+    }
+}
+
+fn assert_served_matches_in_process(endpoint: &Endpoint, devices: usize, seed: u64) {
+    let cfg = small_test_config(devices, 3, seed);
+    let in_process = run_campaign(&cfg).expect("in-process campaign runs");
+
+    let server = Server::start(endpoint, cfg.clone(), identity_server_config()).expect("server starts");
+    let report = run_loadgen(&LoadgenConfig {
+        endpoint: server.endpoint().clone(),
+        devices: devices as u32,
+        sessions_per_device: cfg.sessions_per_device as u32,
+        connections: 3,
+        window: 8,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen runs");
+    let served = server.finish();
+
+    assert_eq!(report.devices_errored, 0, "no device may be stranded: {report:?}");
+    assert_eq!(report.devices_completed, devices as u64);
+    assert_eq!(served.panicked_jobs, 0);
+    assert_eq!(served.transport.sessions_aborted, 0, "clean campaign aborts nothing");
+    assert_eq!(
+        served.device_records, in_process.device_records,
+        "wire verdicts must be bit-identical to in-process"
+    );
+    assert_eq!(served.snapshot, in_process.snapshot, "fleet counters must match exactly");
+    // The client-side tallies agree with the server's books.
+    assert_eq!(
+        report.sessions_completed + report.sessions_refused,
+        served.snapshot.sessions_started + served.snapshot.sessions_refused
+    );
+    assert_eq!(report.sessions_accepted, served.snapshot.sessions_accepted);
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_loadgen_campaign_is_bit_identical_to_in_process() {
+    assert_served_matches_in_process(&uds_endpoint("identity"), 24, 0xC0FFEE);
+}
+
+#[test]
+fn tcp_loadgen_campaign_is_bit_identical_to_in_process() {
+    assert_served_matches_in_process(&Endpoint::Tcp("127.0.0.1:0".into()), 12, 0xBEEF);
+}
+
+#[test]
+fn drain_completes_inflight_sessions_and_refuses_new_work() {
+    let cfg = small_test_config(4, 2, 11);
+    let server =
+        Server::start(&Endpoint::Tcp("127.0.0.1:0".into()), cfg, identity_server_config()).expect("server starts");
+    let mut client = Client::connect(server.endpoint(), 10_000, 10_000).expect("client connects");
+
+    assert!(matches!(client.call(&Request::Enroll { device: 0 }).unwrap(), Response::EnrollOk { device: 0, .. }));
+    let ticket = match client.call(&Request::ChallengeRequest { device: 0 }).unwrap() {
+        Response::Challenge { ticket, .. } => ticket,
+        other => panic!("expected a challenge, got {other:?}"),
+    };
+
+    // Shutdown arrives while device 0's session is still open.
+    assert!(matches!(client.call(&Request::Shutdown).unwrap(), Response::ShutdownAck));
+    assert!(server.is_draining());
+
+    // New work is refused during the drain…
+    match client.call(&Request::Enroll { device: 1 }).unwrap() {
+        Response::Error { code: ErrorCode::Draining, .. } => {}
+        other => panic!("expected Draining, got {other:?}"),
+    }
+    match client.call(&Request::ChallengeRequest { device: 0 }).unwrap() {
+        Response::Error { code: ErrorCode::Draining, .. } => {}
+        other => panic!("expected Draining, got {other:?}"),
+    }
+    // …but the open ticket still runs to a verdict.
+    match client.call(&Request::Attest { device: 0, ticket }).unwrap() {
+        Response::Verdict { device: 0, .. } => {}
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+    drop(client);
+
+    let report = server.finish();
+    assert_eq!(report.panicked_jobs, 0);
+    assert_eq!(report.snapshot.sessions_lost, 0, "drain must not lose the in-flight session");
+    assert_eq!(report.snapshot.sessions_started, 1);
+    assert_eq!(
+        report.snapshot.sessions_accepted + report.snapshot.sessions_rejected + report.snapshot.sessions_timed_out,
+        1,
+        "the open session reached a verdict: {:?}",
+        report.snapshot
+    );
+}
+
+#[test]
+fn dying_connection_aborts_its_open_session_into_the_lifecycle() {
+    let cfg = small_test_config(2, 1, 5);
+    let server =
+        Server::start(&Endpoint::Tcp("127.0.0.1:0".into()), cfg, identity_server_config()).expect("server starts");
+
+    // Two dropped connections, each leaving device 0's session open: the
+    // lifecycle counts both as lost and the hysteresis quarantines.
+    for _ in 0..2 {
+        let mut client = Client::connect(server.endpoint(), 10_000, 10_000).expect("client connects");
+        let _ = client.call(&Request::Enroll { device: 0 }).unwrap();
+        match client.call(&Request::ChallengeRequest { device: 0 }).unwrap() {
+            Response::Challenge { .. } => {}
+            other => panic!("expected a challenge, got {other:?}"),
+        }
+        drop(client); // vanish without attesting
+    }
+
+    // The abort happens on the server's handler thread after it sees the
+    // close; poll the metrics briefly instead of sleeping blind.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.transport_stats().sessions_aborted < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let report = server.finish();
+    assert_eq!(report.transport.sessions_aborted, 2);
+    assert_eq!(report.snapshot.sessions_lost, 2, "a torn session is a lost session");
+    let record = &report.device_records[0];
+    assert_eq!(record.id, 0);
+    assert_eq!(record.status, pufatt_fleet::FleetStatus::Quarantined, "hysteresis fires on repeated loss");
+}
+
+#[test]
+fn protocol_violations_get_typed_errors() {
+    let cfg = small_test_config(2, 1, 9);
+    let server =
+        Server::start(&Endpoint::Tcp("127.0.0.1:0".into()), cfg, identity_server_config()).expect("server starts");
+    let mut client = Client::connect(server.endpoint(), 10_000, 10_000).expect("client connects");
+
+    // Unknown device.
+    match client.call(&Request::ChallengeRequest { device: 1 }).unwrap() {
+        Response::Error { code: ErrorCode::UnknownDevice, .. } => {}
+        other => panic!("expected UnknownDevice, got {other:?}"),
+    }
+    // Attest without an open session.
+    let _ = client.call(&Request::Enroll { device: 0 }).unwrap();
+    match client.call(&Request::Attest { device: 0, ticket: 42 }).unwrap() {
+        Response::Error { code: ErrorCode::BadTicket, .. } => {}
+        other => panic!("expected BadTicket, got {other:?}"),
+    }
+    // A second Hello mid-conversation.
+    match client.call(&pufatt_transport::hello()).unwrap() {
+        Response::Error { code: ErrorCode::Malformed, .. } => {}
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // Revoke, then the session gate refuses.
+    match client.call(&Request::Revoke { device: 0 }).unwrap() {
+        Response::RevokeOk { device: 0, .. } => {}
+        other => panic!("expected RevokeOk, got {other:?}"),
+    }
+    match client.call(&Request::ChallengeRequest { device: 0 }).unwrap() {
+        Response::Error { code: ErrorCode::Refused, .. } => {}
+        other => panic!("expected Refused, got {other:?}"),
+    }
+    // Stats reflect what happened.
+    match client.call(&Request::Stats).unwrap() {
+        Response::StatsReply(stats) => {
+            assert_eq!(stats.refused, 1);
+            assert_eq!(stats.revoked, 1);
+        }
+        other => panic!("expected StatsReply, got {other:?}"),
+    }
+    drop(client);
+    let report = server.finish();
+    assert_eq!(report.panicked_jobs, 0);
+}
+
+#[test]
+fn version_negotiation_rejects_a_future_only_client() {
+    let cfg = small_test_config(1, 1, 13);
+    let server =
+        Server::start(&Endpoint::Tcp("127.0.0.1:0".into()), cfg, identity_server_config()).expect("server starts");
+    // Hand-roll a client that only speaks versions 2..=3.
+    let mut stream = pufatt_transport::Stream::connect(server.endpoint()).expect("connects");
+    stream.set_read_timeout_ms(10_000).unwrap();
+    let mut payload = Vec::new();
+    Request::Hello { magic: PROTOCOL_MAGIC, min_version: 2, max_version: 3 }.encode(7, &mut payload);
+    pufatt_transport::write_frame(&mut stream, &payload, 0).unwrap();
+    let mut reply = Vec::new();
+    assert!(pufatt_transport::read_frame(&mut stream, &mut reply, 10_000).unwrap());
+    let (corr, response) = Response::decode(&reply).unwrap();
+    assert_eq!(corr, 7);
+    match response {
+        Response::Error { code: ErrorCode::VersionMismatch, .. } => {}
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    // …and the server closed the connection afterwards.
+    assert!(!pufatt_transport::read_frame(&mut stream, &mut reply, 10_000).unwrap());
+    server.finish();
+}
+
+#[test]
+fn capacity_and_rate_limits_shed_with_busy() {
+    let cfg = small_test_config(2, 1, 17);
+    let server_cfg = ServerConfig {
+        max_connections: 1,
+        rate_limit_per_s: 1.0,
+        rate_burst: 1,
+        busy_retry_ms: 3,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&Endpoint::Tcp("127.0.0.1:0".into()), cfg, server_cfg).expect("server starts");
+    let mut first = Client::connect(server.endpoint(), 10_000, 10_000).expect("first client connects");
+
+    // Connection capacity: the second connection is shed at accept.
+    match Client::connect(server.endpoint(), 10_000, 10_000) {
+        Err(TransportError::Server { code: ErrorCode::RateLimited, .. }) => {}
+        Err(TransportError::Closed(_)) => {} // raced the Busy frame; also a shed
+        Err(other) => panic!("expected a shed connection, got {other:?}"),
+        Ok(_) => panic!("second connection must be shed at capacity 1"),
+    }
+
+    // Rate limit: burst of 1 means back-to-back requests see Busy.
+    let mut saw_busy = false;
+    for _ in 0..5 {
+        match first.call(&Request::Enroll { device: 0 }).unwrap() {
+            Response::Busy { retry_after_ms } => {
+                assert!(retry_after_ms >= 3);
+                saw_busy = true;
+                break;
+            }
+            Response::EnrollOk { .. } => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(saw_busy, "a 1 req/s bucket must shed a burst of 5");
+    drop(first);
+    let report = server.finish();
+    assert_eq!(report.transport.connections_shed, 1);
+    assert!(report.transport.busy_rate >= 1);
+}
