@@ -24,9 +24,12 @@ use pufatt_silicon::netlist::{FanoutCsr, NetId, Netlist};
 use pufatt_silicon::sim::EventSimulator;
 use pufatt_silicon::sta::ArrivalTimes;
 use pufatt_silicon::variation::{Chip, ChipSampler};
+use pufatt_silicon::wave::{SlicedWaveSimulator, LANES};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Arbiter and noise parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -337,6 +340,59 @@ impl AluPufDesign {
             to[pos as usize] = (challenge.b >> bit) & 1 == 1;
         }
     }
+
+    /// Packs up to [`LANES`] challenges into per-primary-input lane masks
+    /// for the bit-sliced engine: bit `L` of mask `p` is challenge `L`'s
+    /// value of primary input `p`. Unused lanes stay idle (no transition),
+    /// so short blocks cost nothing extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] challenges are passed.
+    pub fn stimulus_lanes_into(&self, challenges: &[Challenge], from: &mut Vec<u64>, to: &mut Vec<u64>) {
+        assert!(challenges.len() <= LANES, "at most {LANES} challenges per block");
+        let n = self.netlist.primary_inputs().len();
+        from.clear();
+        from.resize(n, 0);
+        to.clear();
+        to.resize(n, 0);
+        let mask = crate::challenge::width_mask(self.config.width);
+        for (lane, ch) in challenges.iter().enumerate() {
+            let (inv_a, inv_b) = (!ch.a & mask, !ch.b & mask);
+            for (bit, &pos) in self.a_pi_pos.iter().enumerate() {
+                from[pos as usize] |= ((inv_a >> bit) & 1) << lane;
+                to[pos as usize] |= ((ch.a >> bit) & 1) << lane;
+            }
+            for (bit, &pos) in self.b_pi_pos.iter().enumerate() {
+                from[pos as usize] |= ((inv_b >> bit) & 1) << lane;
+                to[pos as usize] |= ((ch.b >> bit) & 1) << lane;
+            }
+        }
+    }
+}
+
+/// Poison-tolerant lock: engine pools hold plain data, so a panicking
+/// worker cannot leave them in a broken state.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Checks an engine out of `pool`, building one only when the pool is dry —
+/// repeated batch calls (the fleet pattern) pay construction once per
+/// concurrently-active worker, not once per call.
+pub(crate) fn checkout_engine(
+    pool: &Mutex<Vec<SlicedWaveSimulator>>,
+    design: &AluPufDesign,
+    delays_ps: &[f64],
+) -> SlicedWaveSimulator {
+    lock(pool)
+        .pop()
+        .unwrap_or_else(|| SlicedWaveSimulator::new(design.netlist(), delays_ps))
+}
+
+/// Returns a checked-out engine to its pool.
+pub(crate) fn return_engine(pool: &Mutex<Vec<SlicedWaveSimulator>>, engine: SlicedWaveSimulator) {
+    lock(pool).push(engine);
 }
 
 /// One manufactured ALU PUF die.
@@ -409,6 +465,10 @@ pub struct PufInstance<'a> {
     /// FPGA prototype); zero for ASIC instances.
     pdl_offset_ps: Vec<f64>,
     scratch: RefCell<EvalScratch<'a>>,
+    /// Long-lived bit-sliced engines for the batch paths: checked out by
+    /// batch workers and returned when the batch completes, so repeated
+    /// `evaluate_batch` calls reuse engines instead of rebuilding them.
+    batch_engines: Mutex<Vec<SlicedWaveSimulator>>,
 }
 
 impl<'a> PufInstance<'a> {
@@ -439,6 +499,7 @@ impl<'a> PufInstance<'a> {
             delays_ps,
             pdl_offset_ps: vec![0.0; design.width()],
             scratch,
+            batch_engines: Mutex::new(Vec::new()),
         }
     }
 
@@ -568,10 +629,13 @@ impl<'a> PufInstance<'a> {
         let s = &mut *scratch;
         self.design.stimulus_into(challenge, &mut s.from, &mut s.to);
         s.sim.run_transition_in_place(&s.from, &s.to);
+        let sim = &s.sim;
+        let settle =
+            |i: usize| (sim.settle_or_zero(self.design.alu0.sum[i]), sim.settle_or_zero(self.design.alu1.sum[i]));
         let mut ones = [0u32; 64];
         for _ in 0..votes {
             let r =
-                race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &s.sim, deadline, rng);
+                race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &settle, deadline, rng);
             for (b, count) in ones.iter_mut().enumerate().take(w) {
                 *count += ((r >> b) & 1) as u32;
             }
@@ -600,10 +664,12 @@ impl<'a> PufInstance<'a> {
     /// Each challenge draws its arbiter noise from an independent RNG
     /// stream seeded by `(noise_seed, challenge index)`, so the result is
     /// **bit-identical for any `threads` value** — the thread count only
-    /// changes wall-clock time. The challenge slice is split into
-    /// contiguous chunks across `std::thread::scope` workers; each worker
-    /// owns one simulation engine built over the design's shared fanout
-    /// CSR.
+    /// changes wall-clock time. Challenges are packed into fixed 64-lane
+    /// blocks (by global index) evaluated by the bit-sliced waveform engine;
+    /// workers pull whole blocks off a shared atomic cursor (chunked work
+    /// stealing), and each worker checks a long-lived engine out of the
+    /// instance's pool, so repeated batch calls pay engine construction
+    /// once.
     pub fn evaluate_batch(&self, challenges: &[Challenge], noise_seed: u64, threads: usize) -> Vec<RawResponse> {
         self.evaluate_batch_inner(challenges, noise_seed, 1, f64::INFINITY, threads)
     }
@@ -638,46 +704,68 @@ impl<'a> PufInstance<'a> {
         if challenges.is_empty() {
             return Vec::new();
         }
-        let threads = threads.clamp(1, challenges.len());
+        // Work is stolen in whole 64-lane blocks addressed by *global*
+        // block index, so chunking never shifts a challenge's noise stream.
+        let blocks = challenges.len().div_ceil(LANES);
+        let threads = threads.clamp(1, blocks);
         // `self` is !Sync (the scratch RefCell); capture only the Sync
         // parts for the workers.
         let design = self.design;
         let delays = self.delays_ps.as_slice();
         let offsets = self.puf_chip.arbiter_offset_ps.as_slice();
         let pdl = self.pdl_offset_ps.as_slice();
+        let engines = &self.batch_engines;
         let mut out = vec![RawResponse::new(0, w); challenges.len()];
-        let chunk = challenges.len().div_ceil(threads);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<&mut [RawResponse]>> = out.chunks_mut(LANES).map(Mutex::new).collect();
         std::thread::scope(|scope| {
-            let mut slots = out.as_mut_slice();
-            for (ci, part) in challenges.chunks(chunk).enumerate() {
-                let (head, tail) = slots.split_at_mut(part.len());
-                slots = tail;
-                let base = (ci * chunk) as u64;
+            let (next, slots) = (&next, &slots);
+            for _ in 0..threads {
                 scope.spawn(move || {
-                    let mut sim = EventSimulator::with_fanouts(design.netlist(), delays, design.fanout_csr());
+                    let mut engine = checkout_engine(engines, design, delays);
                     let (mut from, mut to) = (Vec::new(), Vec::new());
-                    for (k, (&ch, slot)) in part.iter().zip(head.iter_mut()).enumerate() {
-                        let mut rng = ChaCha8Rng::seed_from_u64(challenge_stream_seed(noise_seed, base + k as u64));
-                        design.stimulus_into(ch, &mut from, &mut to);
-                        sim.run_transition_in_place(&from, &to);
-                        let mut ones = [0u32; 64];
-                        for _ in 0..votes {
-                            let r = race_bits(design, offsets, pdl, &sim, deadline_ps, &mut rng);
-                            for (b, count) in ones.iter_mut().enumerate().take(w) {
-                                *count += ((r >> b) & 1) as u32;
-                            }
+                    let (sum0, sum1) = design.sum_buses();
+                    let mut t0 = vec![[0.0f64; LANES]; w];
+                    let mut t1 = vec![[0.0f64; LANES]; w];
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= blocks {
+                            break;
                         }
-                        let mut bits = 0u64;
-                        for (b, &count) in ones.iter().enumerate().take(w) {
-                            if 2 * count > votes {
-                                bits |= 1 << b;
-                            }
+                        let start = b * LANES;
+                        let chs = &challenges[start..challenges.len().min(start + LANES)];
+                        design.stimulus_lanes_into(chs, &mut from, &mut to);
+                        engine.run_lanes(&from, &to);
+                        for i in 0..w {
+                            engine.settle_lanes_into(sum0[i], &mut t0[i]);
+                            engine.settle_lanes_into(sum1[i], &mut t1[i]);
                         }
-                        *slot = RawResponse::new(bits, w);
+                        let mut slot = lock(&slots[b]);
+                        for (k, resp) in slot.iter_mut().enumerate() {
+                            let mut rng =
+                                ChaCha8Rng::seed_from_u64(challenge_stream_seed(noise_seed, (start + k) as u64));
+                            let settle = |i: usize| (t0[i][k], t1[i][k]);
+                            let mut ones = [0u32; 64];
+                            for _ in 0..votes {
+                                let r = race_bits(design, offsets, pdl, &settle, deadline_ps, &mut rng);
+                                for (bit, count) in ones.iter_mut().enumerate().take(w) {
+                                    *count += ((r >> bit) & 1) as u32;
+                                }
+                            }
+                            let mut bits = 0u64;
+                            for (bit, &count) in ones.iter().enumerate().take(w) {
+                                if 2 * count > votes {
+                                    bits |= 1 << bit;
+                                }
+                            }
+                            *resp = RawResponse::new(bits, w);
+                        }
                     }
+                    return_engine(engines, engine);
                 });
             }
         });
+        drop(slots);
         out
     }
 
@@ -687,8 +775,11 @@ impl<'a> PufInstance<'a> {
         let s = &mut *scratch;
         self.design.stimulus_into(challenge, &mut s.from, &mut s.to);
         s.sim.run_transition_in_place(&s.from, &s.to);
+        let sim = &s.sim;
+        let settle =
+            |i: usize| (sim.settle_or_zero(self.design.alu0.sum[i]), sim.settle_or_zero(self.design.alu1.sum[i]));
         let bits =
-            race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &s.sim, deadline_ps, rng);
+            race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &settle, deadline_ps, rng);
         RawResponse::new(bits, self.design.width())
     }
 
@@ -711,8 +802,9 @@ impl<'a> PufInstance<'a> {
             settle1.push(t1);
             delta_ps.push(delta);
         }
+        let settle = |i: usize| (settle0[i], settle1[i]);
         let bits =
-            race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &s.sim, deadline_ps, rng);
+            race_bits(self.design, &self.puf_chip.arbiter_offset_ps, &self.pdl_offset_ps, &settle, deadline_ps, rng);
         Evaluation {
             response: RawResponse::new(bits, w),
             delta_ps,
@@ -722,22 +814,23 @@ impl<'a> PufInstance<'a> {
     }
 }
 
-/// Resolves all `width` arbiters against the settling times of the last run
-/// of `sim`, drawing metastability and jitter noise from `rng` in bit order
-/// (the draw sequence is shared by the serial and batched paths).
+/// Resolves all `width` arbiters against per-bit settling times, drawing
+/// metastability and jitter noise from `rng` in bit order (the draw
+/// sequence is shared by the serial and batched paths). `settle(i)` returns
+/// the `(alu0, alu1)` settling times of sum bit `i` — a simulator lookup on
+/// the scalar path, a lane extraction on the bit-sliced path.
 fn race_bits<R: Rng + ?Sized>(
     design: &AluPufDesign,
     arbiter_offset_ps: &[f64],
     pdl_offset_ps: &[f64],
-    sim: &EventSimulator<'_>,
+    settle: &impl Fn(usize) -> (f64, f64),
     deadline_ps: f64,
     rng: &mut R,
 ) -> u64 {
     let cfg = &design.config.arbiter;
     let mut bits = 0u64;
     for i in 0..design.config.width {
-        let t0 = sim.settle_or_zero(design.alu0.sum[i]);
-        let t1 = sim.settle_or_zero(design.alu1.sum[i]);
+        let (t0, t1) = settle(i);
         let delta = t0 - t1 + design.design_skew_ps[i] + arbiter_offset_ps[i] + pdl_offset_ps[i];
         let bit = if t0.max(t1) > deadline_ps {
             // Setup-time violation: the response register samples an

@@ -14,10 +14,13 @@
 
 use crate::challenge::Challenge;
 use crate::challenge::RawResponse;
-use crate::device::{AluPufDesign, PufChip, PufInstance};
+use crate::device::{checkout_engine, lock, return_engine, AluPufDesign, PufChip, PufInstance};
 use pufatt_silicon::env::Environment;
 use pufatt_silicon::sim::EventSimulator;
+use pufatt_silicon::wave::{SlicedWaveSimulator, LANES};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The gate-level delay table of one enrolled chip: everything the verifier
 /// needs to emulate its ALU PUF.
@@ -154,6 +157,9 @@ pub struct PufEmulator<'a> {
     design: &'a AluPufDesign,
     table: DelayTable,
     scratch: RefCell<EmuScratch<'a>>,
+    /// Pooled bit-sliced engines for [`PufEmulator::emulate_batch`]; reused
+    /// across calls so repeated batches pay construction once.
+    engines: Mutex<Vec<SlicedWaveSimulator>>,
 }
 
 impl<'a> PufEmulator<'a> {
@@ -171,7 +177,7 @@ impl<'a> PufEmulator<'a> {
             from: Vec::new(),
             to: Vec::new(),
         });
-        PufEmulator { design, table, scratch }
+        PufEmulator { design, table, scratch, engines: Mutex::new(Vec::new()) }
     }
 
     /// Convenience: enroll a chip and build its emulator in one step.
@@ -197,35 +203,183 @@ impl<'a> PufEmulator<'a> {
     /// Emulates many challenges in parallel, returning one response per
     /// challenge in order. The emulator is noise-free, so the result is
     /// identical to mapping [`PufEmulator::emulate`] over the slice — for
-    /// any `threads` value.
+    /// any `threads` value. Challenges are packed into 64-lane blocks
+    /// evaluated by pooled bit-sliced engines; workers steal whole blocks.
     pub fn emulate_batch(&self, challenges: &[Challenge], threads: usize) -> Vec<RawResponse> {
-        let w = self.design.width();
-        if challenges.is_empty() {
-            return Vec::new();
+        emulate_blocks(self.design, &self.table, &self.engines, challenges, threads)
+    }
+}
+
+/// The shared bit-sliced batch emulation path behind [`PufEmulator`] and
+/// [`SharedPufEmulator`]: fixed 64-lane blocks by global index, engines
+/// checked out of `engines` (and returned), whole-block work stealing when
+/// `threads > 1`.
+fn emulate_blocks(
+    design: &AluPufDesign,
+    table: &DelayTable,
+    engines: &Mutex<Vec<SlicedWaveSimulator>>,
+    challenges: &[Challenge],
+    threads: usize,
+) -> Vec<RawResponse> {
+    let w = design.width();
+    if challenges.is_empty() {
+        return Vec::new();
+    }
+    let blocks = challenges.len().div_ceil(LANES);
+    let threads = threads.clamp(1, blocks);
+    let delays = table.delays_ps.as_slice();
+    let offsets = table.arbiter_offset_ps.as_slice();
+    let mut out = vec![RawResponse::new(0, w); challenges.len()];
+    if threads == 1 {
+        // The verifier session path: no spawn, one pooled engine, and
+        // consecutive blocks benefit from incremental cone reuse.
+        let mut engine = checkout_engine(engines, design, delays);
+        let (mut from, mut to) = (Vec::new(), Vec::new());
+        for (b, slot) in out.chunks_mut(LANES).enumerate() {
+            let start = b * LANES;
+            let chs = &challenges[start..challenges.len().min(start + LANES)];
+            emulate_one_block(design, offsets, &mut engine, chs, &mut from, &mut to, slot);
         }
-        let threads = threads.clamp(1, challenges.len());
-        let design = self.design;
-        let delays = self.table.delays_ps.as_slice();
-        let offsets = self.table.arbiter_offset_ps.as_slice();
-        let mut out = vec![RawResponse::new(0, w); challenges.len()];
-        let chunk = challenges.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut slots = out.as_mut_slice();
-            for part in challenges.chunks(chunk) {
-                let (head, tail) = slots.split_at_mut(part.len());
-                slots = tail;
-                scope.spawn(move || {
-                    let mut sim = EventSimulator::with_fanouts(design.netlist(), delays, design.fanout_csr());
-                    let (mut from, mut to) = (Vec::new(), Vec::new());
-                    for (&ch, slot) in part.iter().zip(head.iter_mut()) {
-                        design.stimulus_into(ch, &mut from, &mut to);
-                        sim.run_transition_in_place(&from, &to);
-                        *slot = resolve_arbiters(design, offsets, &sim);
+        return_engine(engines, engine);
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut [RawResponse]>> = out.chunks_mut(LANES).map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        let (next, slots) = (&next, &slots);
+        for _ in 0..threads {
+            scope.spawn(move || {
+                let mut engine = checkout_engine(engines, design, delays);
+                let (mut from, mut to) = (Vec::new(), Vec::new());
+                loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= blocks {
+                        break;
                     }
-                });
+                    let start = b * LANES;
+                    let chs = &challenges[start..challenges.len().min(start + LANES)];
+                    let mut slot = lock(&slots[b]);
+                    emulate_one_block(design, offsets, &mut engine, chs, &mut from, &mut to, &mut slot[..]);
+                }
+                return_engine(engines, engine);
+            });
+        }
+    });
+    drop(slots);
+    out
+}
+
+/// Runs one 64-lane block through `engine` and resolves the arbiters of
+/// every live lane into `out` (maximum likelihood, `Δ < 0 ⇒ 1`).
+fn emulate_one_block(
+    design: &AluPufDesign,
+    arbiter_offset_ps: &[f64],
+    engine: &mut SlicedWaveSimulator,
+    challenges: &[Challenge],
+    from: &mut Vec<u64>,
+    to: &mut Vec<u64>,
+    out: &mut [RawResponse],
+) {
+    let w = design.width();
+    design.stimulus_lanes_into(challenges, from, to);
+    engine.run_lanes(from, to);
+    let (sum0, sum1) = design.sum_buses();
+    let mut t0 = [0.0f64; LANES];
+    let mut t1 = [0.0f64; LANES];
+    let mut bits = [0u64; LANES];
+    for i in 0..w {
+        engine.settle_lanes_into(sum0[i], &mut t0);
+        engine.settle_lanes_into(sum1[i], &mut t1);
+        let skew = design.design_skew_ps()[i] + arbiter_offset_ps[i];
+        for (k, b) in bits.iter_mut().enumerate().take(out.len()) {
+            if t0[k] - t1[k] + skew < 0.0 {
+                *b |= 1 << i;
             }
-        });
-        out
+        }
+    }
+    for (k, slot) in out.iter_mut().enumerate() {
+        *slot = RawResponse::new(bits[k], w);
+    }
+}
+
+/// An owned, thread-safe emulator: the same semantics as [`PufEmulator`],
+/// but holding its design by `Arc` so long-lived verifier endpoints can
+/// cache one emulator (and its pooled engines) across calls instead of
+/// rebuilding an engine per emulation.
+///
+/// Cloning yields an independent emulator with a dry engine pool — engines
+/// are scratch state, never shared between clones.
+#[derive(Debug)]
+pub struct SharedPufEmulator {
+    design: Arc<AluPufDesign>,
+    table: DelayTable,
+    engines: Mutex<Vec<SlicedWaveSimulator>>,
+}
+
+impl Clone for SharedPufEmulator {
+    fn clone(&self) -> Self {
+        SharedPufEmulator::new(Arc::clone(&self.design), self.table.clone())
+    }
+}
+
+impl SharedPufEmulator {
+    /// Builds an emulator from a shared design handle and an enrolled delay
+    /// table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not match the design (wrong gate count or
+    /// arbiter width).
+    pub fn new(design: Arc<AluPufDesign>, table: DelayTable) -> Self {
+        assert_eq!(table.delays_ps.len(), design.netlist().gate_count(), "delay table does not match design");
+        assert_eq!(table.arbiter_offset_ps.len(), design.width(), "arbiter offsets do not match design");
+        SharedPufEmulator { design, table, engines: Mutex::new(Vec::new()) }
+    }
+
+    /// The design being emulated.
+    pub fn design(&self) -> &AluPufDesign {
+        &self.design
+    }
+
+    /// The shared design handle.
+    pub fn design_arc(&self) -> &Arc<AluPufDesign> {
+        &self.design
+    }
+
+    /// The enrolled delay table.
+    pub fn table(&self) -> &DelayTable {
+        &self.table
+    }
+
+    /// Emulates one challenge (noise-free, maximum-likelihood arbiter
+    /// resolution), bit-identical to [`PufEmulator::emulate`].
+    pub fn emulate(&self, challenge: Challenge) -> RawResponse {
+        let mut out = [RawResponse::new(0, self.design.width())];
+        let mut engine = checkout_engine(&self.engines, &self.design, &self.table.delays_ps);
+        let (mut from, mut to) = (Vec::new(), Vec::new());
+        emulate_one_block(
+            &self.design,
+            &self.table.arbiter_offset_ps,
+            &mut engine,
+            std::slice::from_ref(&challenge),
+            &mut from,
+            &mut to,
+            &mut out,
+        );
+        return_engine(&self.engines, engine);
+        out[0]
+    }
+
+    /// Emulates a small ordered set of challenges in one 64-lane pass per
+    /// block on the current thread (the verifier session shape).
+    pub fn emulate_many(&self, challenges: &[Challenge]) -> Vec<RawResponse> {
+        emulate_blocks(&self.design, &self.table, &self.engines, challenges, 1)
+    }
+
+    /// Parallel batched emulation; identical to [`SharedPufEmulator::emulate_many`]
+    /// for any `threads` value.
+    pub fn emulate_batch(&self, challenges: &[Challenge], threads: usize) -> Vec<RawResponse> {
+        emulate_blocks(&self.design, &self.table, &self.engines, challenges, threads)
     }
 }
 
@@ -338,6 +492,38 @@ mod tests {
             assert_eq!(emu.emulate_batch(&challenges, threads), serial, "threads {threads}");
         }
         assert!(emu.emulate_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn emulate_batch_crossing_block_boundaries_matches_serial() {
+        let (design, chip) = setup();
+        let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        // 3 blocks, last one partial: exercises lane padding + work stealing.
+        let challenges: Vec<Challenge> = (0..150u64).map(|k| Challenge::new(k * 7919, k * 104729, 16)).collect();
+        let serial: Vec<_> = challenges.iter().map(|&ch| emu.emulate(ch)).collect();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(emu.emulate_batch(&challenges, threads), serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn shared_emulator_matches_borrowed_emulator() {
+        let (design, chip) = setup();
+        let table = DelayTable::extract(&design, &chip, Environment::nominal());
+        let design = std::sync::Arc::new(design);
+        let borrowed = PufEmulator::new(&design, table.clone());
+        let shared = SharedPufEmulator::new(Arc::clone(&design), table);
+        let challenges: Vec<Challenge> = (0..100u64).map(|k| Challenge::new(k * 6151, k * 1299721, 16)).collect();
+        let reference: Vec<_> = challenges.iter().map(|&ch| borrowed.emulate(ch)).collect();
+        let singles: Vec<_> = challenges.iter().map(|&ch| shared.emulate(ch)).collect();
+        assert_eq!(singles, reference);
+        assert_eq!(shared.emulate_many(&challenges), reference);
+        for threads in [1, 4] {
+            assert_eq!(shared.emulate_batch(&challenges, threads), reference, "threads {threads}");
+        }
+        // Clones are independent but equivalent.
+        let cloned = shared.clone();
+        assert_eq!(cloned.emulate_many(&challenges), reference);
     }
 
     #[test]

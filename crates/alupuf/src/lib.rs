@@ -67,7 +67,7 @@ pub use aging::{age_chip, AgingModel};
 pub use arbiter::{parity_features, ArbiterPuf, FeedForwardArbiterPuf};
 pub use challenge::{Challenge, RawResponse};
 pub use device::{AdderKind, AluPufConfig, AluPufDesign, ArbiterConfig, Evaluation, PufChip, PufInstance};
-pub use emulate::{DelayTable, PufEmulator};
+pub use emulate::{DelayTable, PufEmulator, SharedPufEmulator};
 pub use fpga::{FpgaBoard, PdlBank};
 pub use quality::{measure_quality, QualityReport};
 pub use resources::{ResourceEstimator, ResourceRow, ResourceUse};

@@ -43,6 +43,8 @@ fn outcome(i: usize) -> OutcomeRec {
         dropped: (i % 5) as u32,
         lost: false,
         latency_slot: (i % 20) as u8,
+        crp_hits: (i % 3) as u32,
+        crp_misses: 4,
     }
 }
 

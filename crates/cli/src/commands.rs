@@ -200,6 +200,7 @@ pub fn characterize(argv: &[String]) -> Result<(), String> {
         .map(|c| PufInstance::new(&design, c, Environment::nominal()))
         .collect();
 
+    println!("batch evaluation: {threads} threads (default: available parallelism)");
     let report = pufatt_alupuf::quality::measure_quality_batched(&design, &chips, challenges_n, seed, threads);
     println!("{report}");
     println!(
@@ -236,8 +237,17 @@ pub fn dot(argv: &[String]) -> Result<(), String> {
 }
 
 /// `pufatt profile`: cycle attribution of a built-in PE32 program.
+///
+/// Accepts `--threads` for interface uniformity with the other commands,
+/// but cycle-accurate profiling of one CPU is inherently serial; the flag
+/// is validated and reported, never fanned out.
 pub fn profile(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["program"], &[])?;
+    let args = Args::parse(argv, &["program", "threads"], &[])?;
+    let threads: usize = args.num_or("threads", default_threads())?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    println!("threads: {threads} resolved (cycle-accurate profiling runs on one core)");
     let source = match args.get_or("program", "fibonacci") {
         "fibonacci" => pufatt_pe32::programs::fibonacci(),
         "memcpy" => pufatt_pe32::programs::memcpy(),
@@ -297,8 +307,8 @@ pub(crate) fn campaign_config(args: &Args) -> Result<CampaignConfig, String> {
         devices: args.num_or("devices", defaults.devices)?,
         // `--threads` is an alias for `--workers` (the batch-evaluation
         // flag name used by `characterize`); `--threads` wins if both are
-        // given.
-        workers: args.num_or("threads", args.num_or("workers", defaults.workers)?)?,
+        // given. Unspecified, both default to the machine's parallelism.
+        workers: args.num_or("threads", args.num_or("workers", default_threads())?)?,
         shards: args.num_or("shards", defaults.shards)?,
         sessions_per_device: args.num_or("sessions", defaults.sessions_per_device)?,
         seed,

@@ -7,12 +7,14 @@ use crate::obfuscate::RESPONSES_PER_OUTPUT;
 use crate::pipeline::{ProveOutput, PufPipeline};
 use pufatt_alupuf::challenge::{Challenge, RawResponse};
 use pufatt_alupuf::device::{AluPufDesign, PufChip, PufInstance};
-use pufatt_alupuf::emulate::{DelayTable, PufEmulator};
+use pufatt_alupuf::emulate::{DelayTable, SharedPufEmulator};
 use pufatt_pe32::puf_port::{PufOutput, PufPort};
 use pufatt_silicon::env::Environment;
 use pufatt_swatt::checksum::{RoundPuf, STATE_WORDS};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A deterministic fault injected into every raw PUF response a device
@@ -300,13 +302,51 @@ impl PufPort for SharedDevicePuf {
     }
 }
 
-/// The verifier's model of one enrolled device: design + delay table +
-/// pipeline.
-#[derive(Debug, Clone)]
+/// Upper bound on cached CRPs per verifier model. Sessions consume 64
+/// challenges (8 checksum queries × 8 challenges), so one session fits with
+/// a wide margin; the cap only guards against unbounded growth if a caller
+/// never starts a new session.
+const CRP_CACHE_CAP: usize = 4096;
+
+/// The verifier's model of one enrolled device: a shared emulator (design +
+/// delay table + pooled bit-sliced engines) + pipeline + a session-scoped
+/// arrival-time/CRP cache.
+///
+/// The cache maps a full challenge `(a, b)` to the emulated raw response
+/// bits. It is cleared by [`VerifierPuf::begin_session`], making per-session
+/// hit/miss deltas independent of fleet scheduling order: retried attempts
+/// within one session replay the same 64 challenges and hit, while a fresh
+/// session always starts cold. Clones get an empty cache and zeroed
+/// counters (a clone models a *new* verifier instance, not shared state).
 pub struct VerifierPuf {
-    design: Arc<AluPufDesign>,
-    table: DelayTable,
+    emulator: SharedPufEmulator,
     pipeline: PufPipeline,
+    cache: Mutex<HashMap<(u64, u64), u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for VerifierPuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.crp_cache_stats();
+        f.debug_struct("VerifierPuf")
+            .field("width", &self.width())
+            .field("crp_hits", &hits)
+            .field("crp_misses", &misses)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for VerifierPuf {
+    fn clone(&self) -> Self {
+        VerifierPuf {
+            emulator: self.emulator.clone(),
+            pipeline: self.pipeline.clone(),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl VerifierPuf {
@@ -317,26 +357,59 @@ impl VerifierPuf {
     /// Propagates [`PufattError::UnsupportedWidth`].
     pub fn new(design: Arc<AluPufDesign>, table: DelayTable) -> Result<Self, PufattError> {
         let pipeline = PufPipeline::for_width(design.width())?;
-        Ok(VerifierPuf { design, table, pipeline })
+        let emulator = SharedPufEmulator::new(design, table);
+        Ok(VerifierPuf {
+            emulator,
+            pipeline,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
     }
 
     /// The response width.
     pub fn width(&self) -> usize {
-        self.design.width()
+        self.emulator.design().width()
     }
 
-    /// Emulates the reference raw response to one challenge.
+    /// Starts a new attestation session: clears the CRP cache (the hit/miss
+    /// counters persist — read them with [`VerifierPuf::crp_cache_stats`]).
+    pub fn begin_session(&self) {
+        lock(&self.cache).clear();
+    }
+
+    /// Cumulative CRP cache `(hits, misses)` since construction.
+    pub fn crp_cache_stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Emulates the reference raw response to one challenge, through the
+    /// session CRP cache.
     pub fn emulate(&self, challenge: Challenge) -> RawResponse {
-        PufEmulator::new(&self.design, self.table.clone()).emulate(challenge)
+        let key = (challenge.a, challenge.b);
+        if let Some(&bits) = lock(&self.cache).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return RawResponse::new(bits, self.width());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let resp = self.emulator.emulate(challenge);
+        self.insert_cached(key, resp.bits());
+        resp
     }
 
-    /// Emulates many reference responses with one emulator, fanned across
+    /// Emulates many reference responses with pooled engines, fanned across
     /// `threads` workers (order-preserving and thread-count invariant).
+    /// Bulk characterisation bypasses the CRP cache: its challenge streams
+    /// are fresh by construction and would only evict session entries.
     pub fn emulate_batch(&self, challenges: &[Challenge], threads: usize) -> Vec<RawResponse> {
-        PufEmulator::new(&self.design, self.table.clone()).emulate_batch(challenges, threads)
+        self.emulator.emulate_batch(challenges, threads)
     }
 
     /// Verifier side of one 8-challenge session.
+    ///
+    /// Cache hits are served from the session CRP cache; the misses are
+    /// emulated as one bit-sliced batch (consecutive lookups in a session
+    /// also reuse the engine's incremental cone state).
     ///
     /// # Errors
     ///
@@ -347,12 +420,49 @@ impl VerifierPuf {
         challenges: &[Challenge; RESPONSES_PER_OUTPUT],
         helpers: &[u32; RESPONSES_PER_OUTPUT],
     ) -> Result<u64, PufattError> {
-        // One emulator (and one cached engine) serves the whole session
-        // instead of a fresh table clone per challenge.
-        let emulator = PufEmulator::new(&self.design, self.table.clone());
-        let refs: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|j| emulator.emulate(challenges[j]));
+        let width = self.width();
+        let mut refs: [RawResponse; RESPONSES_PER_OUTPUT] = std::array::from_fn(|_| RawResponse::new(0, width));
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let cache = lock(&self.cache);
+            for (j, ch) in challenges.iter().enumerate() {
+                match cache.get(&(ch.a, ch.b)) {
+                    Some(&bits) => refs[j] = RawResponse::new(bits, width),
+                    None => missing.push(j),
+                }
+            }
+        }
+        self.hits
+            .fetch_add((RESPONSES_PER_OUTPUT - missing.len()) as u64, Ordering::Relaxed);
+        self.misses.fetch_add(missing.len() as u64, Ordering::Relaxed);
+        if !missing.is_empty() {
+            let wanted: Vec<Challenge> = missing.iter().map(|&j| challenges[j]).collect();
+            let fresh = self.emulator.emulate_many(&wanted);
+            let mut cache = lock(&self.cache);
+            if cache.len() + fresh.len() > CRP_CACHE_CAP {
+                cache.clear();
+            }
+            for (&j, resp) in missing.iter().zip(&fresh) {
+                refs[j] = *resp;
+                cache.insert((challenges[j].a, challenges[j].b), resp.bits());
+            }
+        }
         self.pipeline.conclude(&refs, helpers)
     }
+
+    fn insert_cached(&self, key: (u64, u64), bits: u64) {
+        let mut cache = lock(&self.cache);
+        if cache.len() >= CRP_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, bits);
+    }
+}
+
+/// Poison-tolerant lock: the data under these mutexes is a plain cache, so
+/// a panicking holder cannot leave it logically corrupt.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// `RoundPuf` for the verifier: replays the prover's helper-word stream

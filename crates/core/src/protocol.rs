@@ -482,6 +482,18 @@ impl Verifier {
     pub fn expected_helper_words(&self) -> usize {
         self.params.puf_queries() as usize * RESPONSES_PER_OUTPUT
     }
+
+    /// Starts a new attestation session on the PUF model: clears the
+    /// session-scoped CRP cache so retries within the session hit while a
+    /// fresh session starts cold.
+    pub fn begin_session(&self) {
+        self.puf.begin_session();
+    }
+
+    /// Cumulative CRP cache `(hits, misses)` of the PUF model.
+    pub fn crp_cache_stats(&self) -> (u64, u64) {
+        self.puf.crp_cache_stats()
+    }
 }
 
 /// Derives the attestation-mode clock from the device's PUF timing limit.

@@ -245,6 +245,10 @@ pub(crate) enum SessionEvent {
         /// Whether the session died without a verdict (deadline/channel)
         /// and the rejection is synthetic.
         lost: bool,
+        /// Verifier CRP-cache hits this session contributed.
+        crp_hits: u32,
+        /// Verifier CRP-cache misses this session contributed.
+        crp_misses: u32,
     },
     /// The device faulted outside the protocol; no verdict.
     Fault {
@@ -252,7 +256,21 @@ pub(crate) enum SessionEvent {
         retried: u32,
         /// Messages dropped before the fault.
         dropped: u32,
+        /// Verifier CRP-cache hits counted before the fault.
+        crp_hits: u32,
+        /// Verifier CRP-cache misses counted before the fault.
+        crp_misses: u32,
     },
+}
+
+/// Per-session CRP-cache delta: the verifier's cumulative counters minus a
+/// baseline taken when the session began. Sessions run sequentially per
+/// device, so the delta is exact and scheduling-independent.
+fn crp_delta(verifier: &Verifier, baseline: (u64, u64), metrics: &FleetMetrics) -> (u32, u32) {
+    let (h1, m1) = verifier.crp_cache_stats();
+    let (hits, misses) = (h1.saturating_sub(baseline.0), m1.saturating_sub(baseline.1));
+    metrics.record_crp(hits, misses);
+    (hits as u32, misses as u32)
 }
 
 /// Runs one session (with retries) against an already-provisioned device.
@@ -262,6 +280,10 @@ pub(crate) fn run_one_session(
     metrics: &FleetMetrics,
 ) -> SessionEvent {
     metrics.session_started();
+    // A new session starts with a cold CRP cache; retry attempts within it
+    // replay the same challenge stream and hit.
+    session.verifier.begin_session();
+    let crp0 = session.verifier.crp_cache_stats();
     let mut attempts = 0u32;
     let mut backoff_s = 0.0f64;
     loop {
@@ -271,7 +293,8 @@ pub(crate) fn run_one_session(
             Ok(report) => report,
             Err(_) => {
                 metrics.device_fault();
-                return SessionEvent::Fault { retried: attempts - 1, dropped: 0 };
+                let (crp_hits, crp_misses) = crp_delta(&session.verifier, crp0, metrics);
+                return SessionEvent::Fault { retried: attempts - 1, dropped: 0, crp_hits, crp_misses };
             }
         };
         let compute_s = session.prover.clock().duration_ns(report.cycles) * 1e-9;
@@ -297,7 +320,15 @@ pub(crate) fn run_one_session(
                 }
             }
             metrics.observe_latency(elapsed_s);
-            return SessionEvent::Closed { outcome, retried: attempts - 1, dropped: 0, lost: false };
+            let (crp_hits, crp_misses) = crp_delta(&session.verifier, crp0, metrics);
+            return SessionEvent::Closed {
+                outcome,
+                retried: attempts - 1,
+                dropped: 0,
+                lost: false,
+                crp_hits,
+                crp_misses,
+            };
         }
         metrics.attempt_retried();
         // Exponential backoff in simulated time: it delays the session
@@ -317,6 +348,8 @@ pub(crate) fn run_one_chaos_session(
     metrics: &FleetMetrics,
 ) -> SessionEvent {
     metrics.session_started();
+    session.verifier.begin_session();
+    let crp0 = session.verifier.crp_cache_stats();
     let mut policy = RetryPolicy::for_verifier(&session.verifier, cfg.policy.max_attempts);
     policy.backoff_base_s = cfg.policy.backoff_base_s;
     policy.deadline_s = policy.deadline_s.min(cfg.timeout_s);
@@ -362,7 +395,8 @@ pub(crate) fn run_one_chaos_session(
         }
         Err(_) => {
             metrics.device_fault();
-            return SessionEvent::Fault { retried, dropped };
+            let (crp_hits, crp_misses) = crp_delta(&session.verifier, crp0, metrics);
+            return SessionEvent::Fault { retried, dropped, crp_hits, crp_misses };
         }
     };
     if outcome.accepted {
@@ -374,7 +408,8 @@ pub(crate) fn run_one_chaos_session(
         }
     }
     metrics.observe_latency(outcome.elapsed_s);
-    SessionEvent::Closed { outcome, retried, dropped, lost }
+    let (crp_hits, crp_misses) = crp_delta(&session.verifier, crp0, metrics);
+    SessionEvent::Closed { outcome, retried, dropped, lost, crp_hits, crp_misses }
 }
 
 /// The whole job for one device: provision, then run its sessions

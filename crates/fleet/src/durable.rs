@@ -95,7 +95,15 @@ fn from_stored(status: StoredStatus) -> FleetStatus {
     }
 }
 
-fn to_outcome_rec(o: &crate::registry::SessionOutcome, retried: u32, dropped: u32, lost: bool) -> OutcomeRec {
+#[allow(clippy::too_many_arguments)]
+fn to_outcome_rec(
+    o: &crate::registry::SessionOutcome,
+    retried: u32,
+    dropped: u32,
+    lost: bool,
+    crp_hits: u32,
+    crp_misses: u32,
+) -> OutcomeRec {
     OutcomeRec {
         accepted: o.accepted,
         response_ok: o.response_ok,
@@ -107,6 +115,8 @@ fn to_outcome_rec(o: &crate::registry::SessionOutcome, retried: u32, dropped: u3
         dropped,
         lost,
         latency_slot: LatencyHistogram::bucket_index(o.elapsed_s) as u8,
+        crp_hits,
+        crp_misses,
     }
 }
 
@@ -183,8 +193,8 @@ fn run_device_durable(
             run_one_session(&mut session, cfg, metrics)
         };
         match event {
-            SessionEvent::Closed { outcome, retried, dropped, lost } => {
-                let rec = to_outcome_rec(&outcome, retried, dropped, lost);
+            SessionEvent::Closed { outcome, retried, dropped, lost, crp_hits, crp_misses } => {
+                let rec = to_outcome_rec(&outcome, retried, dropped, lost, crp_hits, crp_misses);
                 let Some((status, fails, succs)) = registry.record_outcome_traced(id, outcome, &cfg.policy) else {
                     // The device was enrolled before its job was submitted;
                     // an unknown id here is a registry bug, not a fleet
@@ -193,8 +203,8 @@ fn run_device_durable(
                 };
                 journal(store, &Record::SessionClosed { id, outcome: rec, status: to_stored(status), fails, succs });
             }
-            SessionEvent::Fault { retried, dropped } => {
-                journal(store, &Record::SessionFault { id, retried, dropped });
+            SessionEvent::Fault { retried, dropped, crp_hits, crp_misses } => {
+                journal(store, &Record::SessionFault { id, retried, dropped, crp_hits, crp_misses });
             }
         }
     }

@@ -85,6 +85,8 @@ pub struct FleetMetrics {
     device_faults: AtomicU64,
     messages_dropped: AtomicU64,
     sessions_lost: AtomicU64,
+    crp_hits: AtomicU64,
+    crp_misses: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -143,6 +145,13 @@ impl FleetMetrics {
         self.sessions_lost.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A session's verifier served `hits` reference responses from its CRP
+    /// cache and emulated `misses`.
+    pub fn record_crp(&self, hits: u64, misses: u64) {
+        self.crp_hits.fetch_add(hits, Ordering::Relaxed);
+        self.crp_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
     /// Records a finished session's end-to-end latency.
     pub fn observe_latency(&self, elapsed_s: f64) {
         self.latency.record(elapsed_s);
@@ -168,6 +177,8 @@ impl FleetMetrics {
         m.device_faults.store(c.faults, Ordering::Relaxed);
         m.messages_dropped.store(c.dropped, Ordering::Relaxed);
         m.sessions_lost.store(c.lost, Ordering::Relaxed);
+        m.crp_hits.store(c.crp_hits, Ordering::Relaxed);
+        m.crp_misses.store(c.crp_misses, Ordering::Relaxed);
         for (bucket, &n) in m.latency.buckets.iter().zip(c.latency.iter()) {
             bucket.store(n, Ordering::Relaxed);
         }
@@ -187,6 +198,8 @@ impl FleetMetrics {
             device_faults: self.device_faults.load(Ordering::Relaxed),
             messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
             sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
+            crp_hits: self.crp_hits.load(Ordering::Relaxed),
+            crp_misses: self.crp_misses.load(Ordering::Relaxed),
             devices,
             latency_buckets_us: self.latency.nonzero_buckets(),
             store: None,
@@ -216,6 +229,10 @@ pub struct FleetSnapshot {
     /// Sessions that ended without a verdict — deadline expired or every
     /// attempt lost to the channel (subset of `sessions_rejected`).
     pub sessions_lost: u64,
+    /// Reference responses the verifiers served from their CRP caches.
+    pub crp_hits: u64,
+    /// Reference responses the verifiers had to emulate (cache misses).
+    pub crp_misses: u64,
     /// Device counts by lifecycle state.
     pub devices: StatusCounts,
     /// Non-empty latency buckets as `(lower_bound_us, count)`.
@@ -256,6 +273,16 @@ impl fmt::Display for FleetSnapshot {
             self.sessions_refused
         )?;
         writeln!(f, "attempts  {} retried, {} device faults", self.attempts_retried, self.device_faults)?;
+        if self.crp_hits > 0 || self.crp_misses > 0 {
+            let total = self.crp_hits + self.crp_misses;
+            writeln!(
+                f,
+                "crp cache {} hits / {} misses ({:.1}% hit rate)",
+                self.crp_hits,
+                self.crp_misses,
+                self.crp_hits as f64 * 100.0 / total as f64
+            )?;
+        }
         if self.messages_dropped > 0 || self.sessions_lost > 0 {
             writeln!(f, "chaos     {} messages dropped, {} sessions lost", self.messages_dropped, self.sessions_lost)?;
         }
@@ -314,6 +341,7 @@ mod tests {
         live.device_fault();
         live.messages_dropped(3);
         live.session_lost();
+        live.record_crp(56, 8);
         live.observe_latency(1e-3);
         live.observe_latency(0.5);
 
@@ -327,6 +355,8 @@ mod tests {
             faults: 1,
             dropped: 3,
             lost: 1,
+            crp_hits: 56,
+            crp_misses: 8,
             ..Counters::default()
         };
         persisted.latency[LatencyHistogram::bucket_index(1e-3)] += 1;

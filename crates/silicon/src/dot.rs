@@ -31,14 +31,19 @@ fn to_dot_inner(netlist: &Netlist, delays: Option<&[f64]>) -> String {
 
     let net_name = |n: NetId| -> String { netlist.net(n).name.clone().unwrap_or_else(|| format!("{n}")) };
 
+    // `fmt::Write` into a String is infallible; the `let _ =` keeps the
+    // crate's no-panic lints clean without pretending failure is possible.
     for &pi in netlist.primary_inputs() {
-        writeln!(out, "  \"{}\" [shape=box, style=filled, fillcolor=lightblue];", net_name(pi)).expect("write");
+        let _ = writeln!(out, "  \"{}\" [shape=box, style=filled, fillcolor=lightblue];", net_name(pi));
     }
     for &po in netlist.primary_outputs() {
         // Outputs driven by gates get their own sink node to keep the graph
         // readable; label with the port name.
-        writeln!(out, "  \"out_{0}\" [shape=box, label=\"{0}\", style=filled, fillcolor=lightyellow];", net_name(po))
-            .expect("write");
+        let _ = writeln!(
+            out,
+            "  \"out_{0}\" [shape=box, label=\"{0}\", style=filled, fillcolor=lightyellow];",
+            net_name(po)
+        );
     }
     for (gid, gate) in netlist.topological_gates() {
         let color = match delays {
@@ -49,20 +54,19 @@ fn to_dot_inner(netlist: &Netlist, delays: Option<&[f64]>) -> String {
             }
             None => "#eeeeee".to_string(),
         };
-        writeln!(out, "  \"{gid}\" [label=\"{} {gid}\", style=filled, fillcolor=\"{color}\"];", gate.kind)
-            .expect("write");
+        let _ = writeln!(out, "  \"{gid}\" [label=\"{} {gid}\", style=filled, fillcolor=\"{color}\"];", gate.kind);
         for input in gate.input_nets() {
-            match netlist.net(input).driver {
-                Some(src) => writeln!(out, "  \"{src}\" -> \"{gid}\";").expect("write"),
-                None => writeln!(out, "  \"{}\" -> \"{gid}\";", net_name(input)).expect("write"),
-            }
+            let _ = match netlist.net(input).driver {
+                Some(src) => writeln!(out, "  \"{src}\" -> \"{gid}\";"),
+                None => writeln!(out, "  \"{}\" -> \"{gid}\";", net_name(input)),
+            };
         }
     }
     for &po in netlist.primary_outputs() {
-        match netlist.net(po).driver {
-            Some(src) => writeln!(out, "  \"{src}\" -> \"out_{}\";", net_name(po)).expect("write"),
-            None => writeln!(out, "  \"{}\" -> \"out_{}\";", net_name(po), net_name(po)).expect("write"),
-        }
+        let _ = match netlist.net(po).driver {
+            Some(src) => writeln!(out, "  \"{src}\" -> \"out_{}\";", net_name(po)),
+            None => writeln!(out, "  \"{}\" -> \"out_{}\";", net_name(po), net_name(po)),
+        };
     }
     out.push_str("}\n");
     out

@@ -20,6 +20,9 @@
 //! * [`env`](mod@crate::env) — operating conditions (voltage and temperature corners).
 //! * [`sim`] — an event-driven transport-delay timing simulator that reports
 //!   per-net settling times (the quantity the PUF arbiters race on).
+//! * [`wave`] — a bit-sliced 64-lane waveform simulator with incremental
+//!   cone re-evaluation; the batch hot path for PUF evaluation/emulation,
+//!   bit-identical to [`sim`] on continuous delay tables.
 //! * [`sta`] — static timing analysis (topological worst-case arrival times),
 //!   used to derive `T_ALU` for the overclocking-attack analysis.
 //! * [`dot`] — Graphviz export (optionally heat-coloured by gate delay).
@@ -54,6 +57,9 @@
 // workspace; every unsafe operation must sit in an explicit `unsafe {}`
 // block with a SAFETY comment, even inside unsafe fns.
 #![deny(unsafe_op_in_unsafe_fn)]
+// Tests may unwrap/expect freely; library code must not panic on fallible
+// paths (the clippy lints in Cargo.toml enforce this, and CI denies them).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod delay;
 pub mod dot;
@@ -64,6 +70,7 @@ pub mod netlist;
 pub mod sim;
 pub mod sta;
 pub mod variation;
+pub mod wave;
 
 pub use delay::{DelayModel, Technology};
 pub use env::Environment;
@@ -71,3 +78,4 @@ pub use netlist::{FanoutCsr, Gate, GateId, GateKind, Net, NetId, Netlist};
 pub use sim::{EventSimulator, SimResult};
 pub use sta::ArrivalTimes;
 pub use variation::{Chip, ChipSampler};
+pub use wave::SlicedWaveSimulator;

@@ -81,10 +81,17 @@ impl GateKind {
     /// once per gate with data-dependent kinds, and a branch here is
     /// unpredictable in exactly that loop.
     pub fn eval(self, a: bool, b: bool) -> bool {
+        (self.truth_table() >> ((u8::from(a) << 1) | u8::from(b))) & 1 == 1
+    }
+
+    /// The 4-bit truth table of this gate kind: bit `(a << 1) | b` holds the
+    /// output. One-input gates repeat their column so `b` is a don't-care.
+    /// Simulation engines expand this into branchless lane masks.
+    pub fn truth_table(self) -> u8 {
         // Truth tables in variant order (Buf, Not, And2, Or2, Xor2, Nand2,
-        // Nor2, Xnor2); bit `(a << 1) | b` holds the output.
+        // Nor2, Xnor2).
         const TT: [u8; 8] = [0b1100, 0b0011, 0b1000, 0b1110, 0b0110, 0b0111, 0b0001, 0b1001];
-        (TT[self as usize] >> ((u8::from(a) << 1) | u8::from(b))) & 1 == 1
+        TT[self as usize]
     }
 
     /// All gate kinds, useful for exhaustive tests.

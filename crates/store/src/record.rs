@@ -73,6 +73,10 @@ pub struct OutcomeRec {
     pub lost: bool,
     /// Latency histogram slot the session landed in.
     pub latency_slot: u8,
+    /// Verifier CRP-cache hits this session contributed.
+    pub crp_hits: u32,
+    /// Verifier CRP-cache misses (emulations) this session contributed.
+    pub crp_misses: u32,
 }
 
 impl OutcomeRec {
@@ -144,6 +148,10 @@ pub enum Record {
         retried: u32,
         /// Messages dropped before the fault.
         dropped: u32,
+        /// Verifier CRP-cache hits counted before the fault.
+        crp_hits: u32,
+        /// Verifier CRP-cache misses counted before the fault.
+        crp_misses: u32,
     },
     /// Provisioning failed; the device runs no sessions this campaign.
     DeviceAbandoned {
@@ -238,6 +246,8 @@ fn write_outcome(w: &mut Writer<'_>, o: &OutcomeRec) {
     w.u32(o.dropped);
     w.flag(o.lost);
     w.u8(o.latency_slot);
+    w.u32(o.crp_hits);
+    w.u32(o.crp_misses);
 }
 
 pub(crate) fn read_outcome(r: &mut Reader<'_>) -> Result<OutcomeRec, StoreError> {
@@ -252,6 +262,8 @@ pub(crate) fn read_outcome(r: &mut Reader<'_>) -> Result<OutcomeRec, StoreError>
         dropped: r.u32()?,
         lost: r.flag()?,
         latency_slot: r.u8()?,
+        crp_hits: r.u32()?,
+        crp_misses: r.u32()?,
     })
 }
 
@@ -297,11 +309,13 @@ impl Record {
                 w.u8(5);
                 w.u32(*id);
             }
-            Record::SessionFault { id, retried, dropped } => {
+            Record::SessionFault { id, retried, dropped, crp_hits, crp_misses } => {
                 w.u8(6);
                 w.u32(*id);
                 w.u32(*retried);
                 w.u32(*dropped);
+                w.u32(*crp_hits);
+                w.u32(*crp_misses);
             }
             Record::DeviceAbandoned { id } => {
                 w.u8(7);
@@ -343,7 +357,13 @@ impl Record {
                 succs: r.u32()?,
             },
             5 => Record::SessionRefused { id: r.u32()? },
-            6 => Record::SessionFault { id: r.u32()?, retried: r.u32()?, dropped: r.u32()? },
+            6 => Record::SessionFault {
+                id: r.u32()?,
+                retried: r.u32()?,
+                dropped: r.u32()?,
+                crp_hits: r.u32()?,
+                crp_misses: r.u32()?,
+            },
             7 => Record::DeviceAbandoned { id: r.u32()? },
             8 => Record::CrpConsumed { a: r.u64()?, b: r.u64()? },
             tag => return Err(StoreError::Corrupt(format!("unknown record tag {tag}"))),
@@ -381,6 +401,8 @@ mod tests {
             dropped: 3,
             lost: false,
             latency_slot: 17,
+            crp_hits: 56,
+            crp_misses: 8,
         }
     }
 
@@ -403,7 +425,7 @@ mod tests {
                 succs: 2,
             },
             Record::SessionRefused { id: 1 },
-            Record::SessionFault { id: 2, retried: 1, dropped: 4 },
+            Record::SessionFault { id: 2, retried: 1, dropped: 4, crp_hits: 16, crp_misses: 48 },
             Record::DeviceAbandoned { id: 5 },
             Record::CrpConsumed { a: u64::MAX, b: 0x0123_4567_89AB_CDEF },
         ]

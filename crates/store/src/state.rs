@@ -98,6 +98,10 @@ pub struct Counters {
     pub dropped: u64,
     /// Sessions that ended without a verdict.
     pub lost: u64,
+    /// Verifier CRP-cache hits across all sessions.
+    pub crp_hits: u64,
+    /// Verifier CRP-cache misses (emulations) across all sessions.
+    pub crp_misses: u64,
     /// Latency histogram occupancy by log₂ slot.
     pub latency: [u64; LATENCY_SLOTS],
 }
@@ -114,6 +118,8 @@ impl Default for Counters {
             faults: 0,
             dropped: 0,
             lost: 0,
+            crp_hits: 0,
+            crp_misses: 0,
             latency: [0; LATENCY_SLOTS],
         }
     }
@@ -269,6 +275,8 @@ impl StoreState {
                 }
                 c.retried += u64::from(outcome.retried);
                 c.dropped += u64::from(outcome.dropped);
+                c.crp_hits += u64::from(outcome.crp_hits);
+                c.crp_misses += u64::from(outcome.crp_misses);
                 c.latency[outcome.latency_slot as usize] += 1;
             }
             Record::SessionRefused { id } => {
@@ -284,7 +292,7 @@ impl StoreState {
                 device.refused += 1;
                 self.counters.refused += 1;
             }
-            Record::SessionFault { id, retried, dropped } => {
+            Record::SessionFault { id, retried, dropped, crp_hits, crp_misses } => {
                 let device = self.device_mut(*id)?;
                 if device.status == StoredStatus::Revoked {
                     return Err(StoreError::IllegalTransition {
@@ -300,6 +308,8 @@ impl StoreState {
                 c.faults += 1;
                 c.retried += u64::from(*retried);
                 c.dropped += u64::from(*dropped);
+                c.crp_hits += u64::from(*crp_hits);
+                c.crp_misses += u64::from(*crp_misses);
             }
             Record::DeviceAbandoned { id } => {
                 let device = self.device_mut(*id)?;
@@ -362,6 +372,8 @@ impl StoreState {
             c.faults,
             c.dropped,
             c.lost,
+            c.crp_hits,
+            c.crp_misses,
         ] {
             u64le(out, v);
         }
@@ -426,6 +438,8 @@ impl StoreState {
             faults: r.u64()?,
             dropped: r.u64()?,
             lost: r.u64()?,
+            crp_hits: r.u64()?,
+            crp_misses: r.u64()?,
             latency: [0; LATENCY_SLOTS],
         };
         for slot in counters.latency.iter_mut() {
@@ -507,6 +521,8 @@ mod tests {
             dropped: 0,
             lost: false,
             latency_slot: 13,
+            crp_hits: 56,
+            crp_misses: 8,
         }
     }
 
@@ -608,7 +624,7 @@ mod tests {
         }
         apply(&mut s, closed(0, true, StoredStatus::Active, 0));
         apply(&mut s, closed(1, false, StoredStatus::Quarantined, 0));
-        apply(&mut s, Record::SessionFault { id: 2, retried: 1, dropped: 2 });
+        apply(&mut s, Record::SessionFault { id: 2, retried: 1, dropped: 2, crp_hits: 0, crp_misses: 24 });
         apply(&mut s, Record::DeviceAbandoned { id: 2 });
         apply(&mut s, Record::CrpConsumed { a: 1, b: 2 });
         apply(&mut s, Record::CrpConsumed { a: 3, b: 4 });

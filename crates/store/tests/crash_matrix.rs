@@ -48,6 +48,8 @@ fn outcome(accepted: bool) -> OutcomeRec {
         dropped: 0,
         lost: false,
         latency_slot: 5,
+        crp_hits: 56,
+        crp_misses: 8,
     }
 }
 
@@ -113,7 +115,7 @@ fn workload() -> Vec<Record> {
             fails: 0,
             succs: 1,
         },
-        SessionFault { id: 2, retried: 1, dropped: 2 },
+        SessionFault { id: 2, retried: 1, dropped: 2, crp_hits: 8, crp_misses: 16 },
         StatusChanged { id: 2, status: StoredStatus::Quarantined },
         DeviceAbandoned { id: 3 },
         CrpConsumed { a: 11, b: 12 },
@@ -329,6 +331,8 @@ proptest! {
             dropped: small ^ 1,
             lost: flag,
             latency_slot: slot,
+            crp_hits: small ^ 2,
+            crp_misses: small ^ 3,
         };
         let record = match tag {
             0 => Record::Meta { config_hash: a, devices: id, sessions_per_device: small, seed: b },
@@ -337,7 +341,7 @@ proptest! {
             3 => Record::StatusChanged { id, status: StoredStatus::Quarantined },
             4 => Record::SessionClosed { id, outcome: out, status: StoredStatus::Active, fails: small, succs: small },
             5 => Record::SessionRefused { id },
-            6 => Record::SessionFault { id, retried: small, dropped: small },
+            6 => Record::SessionFault { id, retried: small, dropped: small, crp_hits: small ^ 2, crp_misses: small ^ 3 },
             7 => Record::DeviceAbandoned { id },
             _ => Record::CrpConsumed { a, b },
         };

@@ -146,6 +146,10 @@ pub struct WireStats {
     pub quarantined: u64,
     /// Devices currently Revoked.
     pub revoked: u64,
+    /// Reference responses the verifiers served from their CRP caches.
+    pub crp_hits: u64,
+    /// Reference responses the verifiers had to emulate (cache misses).
+    pub crp_misses: u64,
 }
 
 /// What a server sends back.
@@ -443,6 +447,8 @@ impl Response {
                 w.u64(s.active);
                 w.u64(s.quarantined);
                 w.u64(s.revoked);
+                w.u64(s.crp_hits);
+                w.u64(s.crp_misses);
             }
             Response::ShutdownAck => w.u8(6),
             Response::Busy { retry_after_ms } => {
@@ -497,6 +503,8 @@ impl Response {
                 active: r.u64()?,
                 quarantined: r.u64()?,
                 revoked: r.u64()?,
+                crp_hits: r.u64()?,
+                crp_misses: r.u64()?,
             }),
             6 => Response::ShutdownAck,
             7 => Response::Busy { retry_after_ms: r.u32()? },

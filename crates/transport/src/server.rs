@@ -721,12 +721,16 @@ fn handle_request(
                     active: snap.devices.active as u64,
                     quarantined: snap.devices.quarantined as u64,
                     revoked: snap.devices.revoked as u64,
+                    crp_hits: snap.crp_hits,
+                    crp_misses: snap.crp_misses,
                 }),
             );
         }
         Request::Shutdown => {
-            writer.send(corr, &Response::ShutdownAck);
+            // Raise the flag before the ack travels: a client that saw the
+            // ack must observe the server as draining.
             shared.draining.store(true, Ordering::SeqCst);
+            writer.send(corr, &Response::ShutdownAck);
         }
     }
 }

@@ -51,9 +51,14 @@ fn any_stats() -> impl Strategy<Value = WireStats> + Clone {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |((started, accepted, rejected, timed_out, refused), (lost, faults, active, quarantined, revoked))| {
+            |(
+                (started, accepted, rejected, timed_out, refused),
+                (lost, faults, active, quarantined, revoked),
+                (crp_hits, crp_misses),
+            )| {
                 WireStats {
                     started,
                     accepted,
@@ -65,6 +70,8 @@ fn any_stats() -> impl Strategy<Value = WireStats> + Clone {
                     active,
                     quarantined,
                     revoked,
+                    crp_hits,
+                    crp_misses,
                 }
             },
         )

@@ -1,0 +1,197 @@
+//! Engine-equivalence suite: every evaluation path must be bit-identical.
+//!
+//! The hot path has three engines — the scalar event-driven simulator
+//! (`PufInstance::evaluate` / `PufEmulator::emulate`), the bit-sliced
+//! 64-lane waveform engine behind the batch paths, and the incremental
+//! cone re-simulation the bit-sliced engine performs when it is reused
+//! across consecutive blocks. This suite pins all of them to the scalar
+//! reference for every shipped design (paper 32-bit, FPGA 16-bit, and the
+//! carry-lookahead / carry-select ablations) at thread counts 1/2/4/8,
+//! and checks that pooled-engine reuse across repeated batch calls never
+//! changes a response.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use pufatt_alupuf::challenge::Challenge;
+use pufatt_alupuf::device::{challenge_stream_seed, AdderKind, AluPufConfig, AluPufDesign, PufChip, PufInstance};
+use pufatt_alupuf::emulate::{DelayTable, PufEmulator, SharedPufEmulator};
+use pufatt_silicon::env::Environment;
+use pufatt_silicon::variation::ChipSampler;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use std::sync::Arc;
+
+const CHIP_SEED: u64 = 0x601D;
+const CHALLENGE_SEED: u64 = 0x1CE;
+const NOISE_SEED: u64 = 0xBEEF;
+/// 161 challenges = two full 64-lane blocks plus a 33-lane partial block,
+/// so every test crosses block boundaries and exercises the masked tail.
+const N: usize = 161;
+
+/// Every shipped design: the two paper configurations plus the two adder
+/// ablations the design-space bench ships.
+fn shipped_configs() -> Vec<(&'static str, AluPufConfig)> {
+    let cla = AluPufConfig {
+        adder: AdderKind::CarryLookahead,
+        ..AluPufConfig::paper_32bit()
+    };
+    let csel = AluPufConfig { adder: AdderKind::CarrySelect, ..AluPufConfig::paper_32bit() };
+    vec![
+        ("paper_32bit", AluPufConfig::paper_32bit()),
+        ("fpga_16bit", AluPufConfig::fpga_16bit()),
+        ("paper_32bit_cla", cla),
+        ("paper_32bit_csel", csel),
+    ]
+}
+
+fn fixture(config: AluPufConfig) -> (AluPufDesign, PufChip, Vec<Challenge>) {
+    let width = config.width;
+    let design = AluPufDesign::new(config);
+    let mut rng = ChaCha8Rng::seed_from_u64(CHIP_SEED);
+    let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+    let mut chrng = ChaCha8Rng::seed_from_u64(CHALLENGE_SEED);
+    let challenges = (0..N).map(|_| Challenge::random(&mut chrng, width)).collect();
+    (design, chip, challenges)
+}
+
+/// Device batch path (bit-sliced + work stealing + engine pool) must equal
+/// the scalar event-driven path at every thread count, for every design.
+/// The scalar reference seeds each challenge's noise stream exactly as the
+/// batch does — from `(noise_seed, global index)` — so any divergence is an
+/// engine discrepancy, never an RNG artefact.
+#[test]
+fn device_batch_matches_scalar_for_all_designs() {
+    for (name, config) in shipped_configs() {
+        let (design, chip, challenges) = fixture(config);
+        let inst = PufInstance::new(&design, &chip, Environment::nominal());
+        let scalar: Vec<u64> = challenges
+            .iter()
+            .enumerate()
+            .map(|(i, &ch)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(challenge_stream_seed(NOISE_SEED, i as u64));
+                inst.evaluate(ch, &mut rng).bits()
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let batch: Vec<u64> = inst
+                .evaluate_batch(&challenges, NOISE_SEED, threads)
+                .iter()
+                .map(|r| r.bits())
+                .collect();
+            assert_eq!(batch, scalar, "{name}: batch at {threads} threads diverged from scalar");
+        }
+    }
+}
+
+/// Emulator paths — scalar `PufEmulator::emulate`, its batch, and all three
+/// `SharedPufEmulator` entry points — must agree bit for bit on every
+/// shipped design at every thread count.
+#[test]
+fn emulator_paths_bit_identical_for_all_designs() {
+    for (name, config) in shipped_configs() {
+        let (design, chip, challenges) = fixture(config.clone());
+        let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+        let scalar: Vec<u64> = challenges.iter().map(|&ch| emu.emulate(ch).bits()).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let batch: Vec<u64> = emu.emulate_batch(&challenges, threads).iter().map(|r| r.bits()).collect();
+            assert_eq!(batch, scalar, "{name}: emulate_batch at {threads} threads diverged");
+        }
+
+        let table = DelayTable::extract(&design, &chip, Environment::nominal());
+        let shared = SharedPufEmulator::new(Arc::new(AluPufDesign::new(config)), table);
+        let one_by_one: Vec<u64> = challenges.iter().map(|&ch| shared.emulate(ch).bits()).collect();
+        assert_eq!(one_by_one, scalar, "{name}: SharedPufEmulator::emulate diverged");
+        let many: Vec<u64> = shared.emulate_many(&challenges).iter().map(|r| r.bits()).collect();
+        assert_eq!(many, scalar, "{name}: emulate_many diverged");
+        for threads in [2usize, 4, 8] {
+            let batch: Vec<u64> = shared.emulate_batch(&challenges, threads).iter().map(|r| r.bits()).collect();
+            assert_eq!(batch, scalar, "{name}: shared emulate_batch at {threads} threads diverged");
+        }
+    }
+}
+
+/// Repeated batch calls reuse pooled engines (and, on the single-thread
+/// path, the incremental dirty-cone state from the previous block/call).
+/// Reuse must never change a response — run the same and permuted batches
+/// repeatedly through one instance and demand identical bits every time.
+#[test]
+fn pooled_engine_reuse_is_response_invariant() {
+    let (design, chip, challenges) = fixture(AluPufConfig::paper_32bit());
+    let inst = PufInstance::new(&design, &chip, Environment::nominal());
+    let emu = PufEmulator::enroll(&design, &chip, Environment::nominal());
+
+    let first: Vec<u64> = inst
+        .evaluate_batch(&challenges, NOISE_SEED, 4)
+        .iter()
+        .map(|r| r.bits())
+        .collect();
+    let emu_first: Vec<u64> = emu.emulate_batch(&challenges, 1).iter().map(|r| r.bits()).collect();
+    // A different challenge order in between maximally dirties the
+    // incremental engines' retained waveforms.
+    let mut reversed = challenges.clone();
+    reversed.reverse();
+    let rev_expected: Vec<u64> = {
+        let mut v = emu_first.clone();
+        v.reverse();
+        v
+    };
+    let rev: Vec<u64> = emu.emulate_batch(&reversed, 1).iter().map(|r| r.bits()).collect();
+    assert_eq!(rev, rev_expected, "reversed batch must be the reversed responses");
+    for round in 0..3 {
+        let again: Vec<u64> = inst
+            .evaluate_batch(&challenges, NOISE_SEED, round + 1)
+            .iter()
+            .map(|r| r.bits())
+            .collect();
+        assert_eq!(again, first, "device batch changed on reuse round {round}");
+        let emu_again: Vec<u64> = emu.emulate_batch(&challenges, 1).iter().map(|r| r.bits()).collect();
+        assert_eq!(emu_again, emu_first, "emulator batch changed on reuse round {round}");
+    }
+}
+
+/// Shared fixture for the property tests: building the design and chip
+/// dominates each case's cost, so build once.
+fn paper_fixture() -> &'static (AluPufDesign, PufChip) {
+    static FIXTURE: OnceLock<(AluPufDesign, PufChip)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let design = AluPufDesign::new(AluPufConfig::paper_32bit());
+        let mut rng = ChaCha8Rng::seed_from_u64(CHIP_SEED);
+        let chip = design.fabricate(&ChipSampler::new(), &mut rng);
+        (design, chip)
+    })
+}
+
+proptest! {
+    /// For ANY challenge set (arbitrary operands, arbitrary length across
+    /// the block boundary) and ANY noise seed, the batch paths equal the
+    /// scalar reference at 1/2/4 threads.
+    #[test]
+    fn any_challenge_set_is_thread_and_engine_invariant(
+        raw in prop::collection::vec((any::<u64>(), any::<u64>()), 1..100),
+        noise_seed in any::<u64>(),
+    ) {
+        let (design, chip) = paper_fixture();
+        let challenges: Vec<Challenge> = raw.iter().map(|&(a, b)| Challenge::new(a, b, 32)).collect();
+        let inst = PufInstance::new(design, chip, Environment::nominal());
+        let scalar: Vec<u64> = challenges
+            .iter()
+            .enumerate()
+            .map(|(i, &ch)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(challenge_stream_seed(noise_seed, i as u64));
+                inst.evaluate(ch, &mut rng).bits()
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let batch: Vec<u64> =
+                inst.evaluate_batch(&challenges, noise_seed, threads).iter().map(|r| r.bits()).collect();
+            prop_assert_eq!(&batch, &scalar, "batch diverged at {} threads", threads);
+        }
+
+        let emu = PufEmulator::enroll(design, chip, Environment::nominal());
+        let emu_scalar: Vec<u64> = challenges.iter().map(|&ch| emu.emulate(ch).bits()).collect();
+        let emu_batch: Vec<u64> = emu.emulate_batch(&challenges, 2).iter().map(|r| r.bits()).collect();
+        prop_assert_eq!(&emu_batch, &emu_scalar, "emulator batch diverged");
+    }
+}
