@@ -1,14 +1,18 @@
-//! Durable store: WAL append and recovery throughput.
+//! Durable store: WAL append, group commit, and recovery throughput.
 //!
 //! Not a paper figure — a persistence benchmark for the `pufatt-store`
-//! subsystem. Three measurements against the production file backend in a
-//! temporary directory:
+//! subsystem. Three families of measurements against the production file
+//! backend in a temporary directory:
 //!
-//! * per-record-fsync appends (`sync_every = 1`, the consume-once CRP
-//!   setting — each record is committed before the append returns);
-//! * batched appends (`sync_every = 64`, the campaign journal setting);
-//! * recovery: reopening a store whose WAL holds the whole workload,
-//!   which replays every record and folds them into a fresh snapshot.
+//! * single-WAL appends: per-record fsync (`sync_every = 1`, the
+//!   consume-once CRP setting) vs batched fsync (`sync_every = 64`), plus
+//!   a recovery replay of the batched workload;
+//! * group commit: a sharded store with a background committer bounding
+//!   commit latency to 1 / 5 / 20 ms, appends spread across every shard —
+//!   the campaign-journal configuration, swept over the latency bound;
+//! * fleet scale: enroll a large fleet (1M devices at `PUFATT_FULL=1`),
+//!   journal one session per device, kill the store without a checkpoint,
+//!   and time the streaming recovery that reopens it.
 //!
 //! Results are printed and written to `BENCH_store_wal.json` at the
 //! workspace root for CI artifact upload. `--test` (as passed by
@@ -17,12 +21,13 @@
 
 use pufatt_bench::{full_scale, header, timed};
 use pufatt_store::record::{OutcomeRec, Record, StoredStatus};
-use pufatt_store::{DurableStore, StdVfs, StoreOptions};
+use pufatt_store::{DurableStore, ShardedOptions, ShardedStore, StdVfs, StoreError, StoreOptions};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Row {
     name: &'static str,
+    devices: usize,
     records: usize,
     seconds: f64,
     records_per_sec: f64,
@@ -51,20 +56,29 @@ fn outcome(i: usize) -> OutcomeRec {
 /// The record stream: one enrollment, then a steady diet of session
 /// closures that keep the device Active (always legal, representative of
 /// a healthy campaign's journal).
-fn session_record(i: usize) -> Record {
+fn session_record(id: u32, succs: u32, i: usize) -> Record {
     Record::SessionClosed {
-        id: 0,
+        id,
         outcome: outcome(i),
         status: StoredStatus::Active,
         fails: 0,
-        succs: (i + 1) as u32,
+        succs,
     }
 }
 
 fn open(dir: &std::path::Path, sync_every: u32) -> DurableStore {
     let vfs = StdVfs::open(dir).expect("temp dir");
-    let opts = StoreOptions { history_capacity: 64, sync_every };
+    let opts = StoreOptions { history_capacity: 64, sync_every, ..StoreOptions::default() };
     DurableStore::open(Arc::new(vfs), opts).expect("open store")
+}
+
+/// Size-triggered compaction off so the WAL keeps the whole workload:
+/// `wal_bytes` stays meaningful and recovery rows measure an honest
+/// full-history replay.
+fn open_sharded(dir: &std::path::Path) -> Arc<ShardedStore> {
+    let vfs = StdVfs::open(dir).expect("temp dir");
+    let opts = ShardedOptions { compact_wal_bytes: 0, ..ShardedOptions::default() };
+    Arc::new(ShardedStore::open(Arc::new(vfs), opts).expect("open sharded store"))
 }
 
 fn append_run(dir: &std::path::Path, name: &'static str, sync_every: u32, records: usize) -> Row {
@@ -73,13 +87,14 @@ fn append_run(dir: &std::path::Path, name: &'static str, sync_every: u32, record
     store.append(&Record::DeviceEnrolled { id: 0 }).expect("enroll");
     let start = Instant::now();
     for i in 0..records {
-        store.append(&session_record(i)).expect("append");
+        store.append(&session_record(0, (i + 1) as u32, i)).expect("append");
     }
     store.sync().expect("final sync");
     let seconds = start.elapsed().as_secs_f64();
     let wal_bytes = store.stats().wal_bytes;
     Row {
         name,
+        devices: 1,
         records,
         seconds,
         records_per_sec: records as f64 / seconds.max(1e-9),
@@ -88,20 +103,135 @@ fn append_run(dir: &std::path::Path, name: &'static str, sync_every: u32, record
     }
 }
 
+/// Appends through the group commit; on backpressure (the committer fell
+/// behind the bench loop) commits the batch inline and retries — exactly
+/// what the campaign journal does, so the sustained rate is honest about
+/// the bounded commit queue.
+fn group_append(store: &ShardedStore, record: &Record) {
+    loop {
+        match store.append(record) {
+            Ok(()) => return,
+            Err(StoreError::Backpressure) => store.flush().expect("flush under backpressure"),
+            Err(e) => panic!("group-commit append failed: {e}"),
+        }
+    }
+}
+
+/// Sustained group-commit appends with a committer flushing every
+/// `interval_ms`, spread over enough devices to keep every shard dirty.
+fn group_commit_run(dir: &std::path::Path, name: &'static str, interval_ms: f64, records: usize) -> Row {
+    std::fs::remove_dir_all(dir).ok();
+    let store = open_sharded(dir);
+    // 256 devices striped 32 ids apart cover all 8 default shards.
+    let ids: Vec<u32> = (0..256u32).map(|d| d * 32).collect();
+    for &id in &ids {
+        store.append_synced(&Record::DeviceEnrolled { id }).expect("enroll");
+    }
+    let committer = store.committer(Duration::from_secs_f64(interval_ms * 1e-3));
+    let mut succs = vec![0u32; ids.len()];
+    let start = Instant::now();
+    for i in 0..records {
+        let d = i % ids.len();
+        succs[d] += 1;
+        group_append(&store, &session_record(ids[d], succs[d], i));
+    }
+    store.flush().expect("final flush");
+    let seconds = start.elapsed().as_secs_f64();
+    committer.stop();
+    let wal_bytes = store.stats().wal_bytes;
+    Row {
+        name,
+        devices: ids.len(),
+        records,
+        seconds,
+        records_per_sec: records as f64 / seconds.max(1e-9),
+        wal_bytes,
+        mb_per_sec: wal_bytes as f64 / 1e6 / seconds.max(1e-9),
+    }
+}
+
+/// The fleet-scale story: enroll `devices`, journal one session per
+/// device (both under a 5 ms group commit), kill the store with its WAL
+/// intact, and time the streaming recovery that reopens it.
+fn fleet_runs(dir: &std::path::Path, devices: usize) -> Vec<Row> {
+    std::fs::remove_dir_all(dir).ok();
+    let mut rows = Vec::new();
+    {
+        let store = open_sharded(dir);
+        let committer = store.committer(Duration::from_millis(5));
+
+        let start = Instant::now();
+        for id in 0..devices as u32 {
+            group_append(&store, &Record::DeviceEnrolled { id });
+        }
+        store.flush().expect("flush enrollments");
+        let seconds = start.elapsed().as_secs_f64();
+        rows.push(Row {
+            name: "fleet_enroll",
+            devices,
+            records: devices,
+            seconds,
+            records_per_sec: devices as f64 / seconds.max(1e-9),
+            wal_bytes: store.stats().wal_bytes,
+            mb_per_sec: 0.0,
+        });
+
+        let start = Instant::now();
+        for id in 0..devices as u32 {
+            group_append(&store, &session_record(id, 1, id as usize));
+        }
+        store.flush().expect("flush sessions");
+        let seconds = start.elapsed().as_secs_f64();
+        rows.push(Row {
+            name: "fleet_sessions",
+            devices,
+            records: devices,
+            seconds,
+            records_per_sec: devices as f64 / seconds.max(1e-9),
+            wal_bytes: store.stats().wal_bytes,
+            mb_per_sec: 0.0,
+        });
+        committer.stop();
+        // Kill: drop without a checkpoint — the whole fleet's history is
+        // in the shard WALs and recovery must replay all of it.
+    }
+    let start = Instant::now();
+    let store = open_sharded(dir);
+    let seconds = start.elapsed().as_secs_f64();
+    let replayed = store.stats().records_replayed as usize;
+    assert!(replayed >= 2 * devices, "kill-and-resume must replay the whole fleet: {replayed} < {}", 2 * devices);
+    let mut seen = 0usize;
+    store.for_each_device(|_, state| {
+        assert_eq!(state.outcomes_total, 1, "each device recovered with its one session");
+        seen += 1;
+    });
+    assert_eq!(seen, devices, "recovery must surface every enrolled device");
+    rows.push(Row {
+        name: "fleet_recovery",
+        devices,
+        records: replayed,
+        seconds,
+        records_per_sec: replayed as f64 / seconds.max(1e-9),
+        wal_bytes: store.stats().wal_bytes,
+        mb_per_sec: 0.0,
+    });
+    rows
+}
+
 fn main() {
     let smoke =
         std::env::args().any(|a| a == "--test") || std::env::var("PUFATT_SMOKE").map(|v| v == "1").unwrap_or(false);
-    let (synced_n, batched_n) = if smoke {
-        (50, 200)
+    let (synced_n, batched_n, group_n, fleet_devices) = if smoke {
+        (50, 200, 500, 2_000)
     } else if full_scale() {
-        (5_000, 200_000)
+        (5_000, 200_000, 200_000, 1_000_000)
     } else {
-        (1_000, 20_000)
+        (1_000, 20_000, 50_000, 100_000)
     };
 
-    header("STORE", "Durable store: WAL append + recovery throughput (pufatt-store)");
+    header("STORE", "Durable store: WAL append + group commit + recovery throughput (pufatt-store)");
     println!(
-        "  {synced_n} per-fsync records, {batched_n} batched records{}",
+        "  {synced_n} per-fsync records, {batched_n} batched, {group_n} group-committed, {fleet_devices}-device fleet{}",
         if smoke { " (smoke mode)" } else { "" }
     );
     let dir = std::env::temp_dir().join(format!("pufatt-bench-wal-{}", std::process::id()));
@@ -125,6 +255,7 @@ fn main() {
         assert_eq!(store.stats().torn_tails_recovered, 0, "clean shutdown leaves no torn tail");
         Row {
             name: "recover_replay",
+            devices: 1,
             records: replayed,
             seconds,
             records_per_sec: replayed as f64 / seconds.max(1e-9),
@@ -133,12 +264,38 @@ fn main() {
         }
     });
     rows.push(recovery);
+
+    rows.push(timed("group commit, 1 ms latency bound       ", || {
+        group_commit_run(&dir, "group_commit_1ms", 1.0, group_n)
+    }));
+    rows.push(timed("group commit, 5 ms latency bound       ", || {
+        group_commit_run(&dir, "group_commit_5ms", 5.0, group_n)
+    }));
+    rows.push(timed("group commit, 20 ms latency bound      ", || {
+        group_commit_run(&dir, "group_commit_20ms", 20.0, group_n)
+    }));
+
+    let synced_rate = rows[0].records_per_sec;
+    let group_rate = rows[4].records_per_sec;
+    println!(
+        "    group commit at 5 ms sustains {:.1}x the per-record-fsync rate",
+        group_rate / synced_rate.max(1e-9)
+    );
+    if !smoke {
+        assert!(
+            group_rate >= 10.0 * synced_rate,
+            "group commit must sustain >= 10x the fsync-per-record baseline \
+             ({group_rate:.0} vs {synced_rate:.0} records/s)"
+        );
+    }
+
+    rows.extend(timed("fleet enroll + sessions + kill/resume  ", || fleet_runs(&dir, fleet_devices)));
     std::fs::remove_dir_all(&dir).ok();
 
     for r in &rows {
         println!(
-            "    {:<20} {:>7} records in {:>8.4} s: {:>9.0} records/s ({:.2} MB/s, wal {} B)",
-            r.name, r.records, r.seconds, r.records_per_sec, r.mb_per_sec, r.wal_bytes
+            "    {:<20} {:>8} records in {:>8.4} s: {:>9.0} records/s ({:.2} MB/s, wal {} B, {} device(s))",
+            r.name, r.records, r.seconds, r.records_per_sec, r.mb_per_sec, r.wal_bytes, r.devices
         );
     }
 
@@ -147,10 +304,10 @@ fn main() {
         .map(|r| {
             format!(
                 concat!(
-                    "    {{\"name\": \"{}\", \"records\": {}, \"seconds\": {:.6}, ",
+                    "    {{\"name\": \"{}\", \"devices\": {}, \"records\": {}, \"seconds\": {:.6}, ",
                     "\"records_per_sec\": {:.1}, \"wal_bytes\": {}, \"mb_per_sec\": {:.3}}}"
                 ),
-                r.name, r.records, r.seconds, r.records_per_sec, r.wal_bytes, r.mb_per_sec
+                r.name, r.devices, r.records, r.seconds, r.records_per_sec, r.wal_bytes, r.mb_per_sec
             )
         })
         .collect();

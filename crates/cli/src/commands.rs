@@ -10,7 +10,7 @@ use pufatt_alupuf::emulate::DelayTable;
 use pufatt_faults::{
     apply_device_faults, run_chaos_session, run_noise_sweep, FaultPlan, LossyChannel, RetryPolicy, SweepConfig,
 };
-use pufatt_fleet::{run_campaign, run_campaign_with_dir, CampaignConfig, ChaosConfig, LifecyclePolicy};
+use pufatt_fleet::{run_campaign, CampaignConfig, ChaosConfig, LifecyclePolicy, RunningCampaign};
 use pufatt_silicon::env::Environment;
 use pufatt_silicon::variation::ChipSampler;
 use pufatt_swatt::checksum::SwattParams;
@@ -286,6 +286,7 @@ pub(crate) const CAMPAIGN_VALUE_KEYS: &[&str] = &[
     "history",
     "fault-plan",
     "flaky",
+    "commit-interval",
 ];
 
 /// Builds a [`CampaignConfig`] from parsed campaign flags (see
@@ -326,8 +327,22 @@ pub(crate) fn campaign_config(args: &Args) -> Result<CampaignConfig, String> {
         timeout_s: args.num_or("timeout-ms", defaults.timeout_s * 1e3)? * 1e-3,
         history_capacity: args.num_or("history", defaults.history_capacity)?,
         queue_depth: defaults.queue_depth,
+        commit_interval_s: commit_interval_s(args)?,
         chaos,
     })
+}
+
+/// Parses `--commit-interval` (milliseconds) into seconds. Unspecified, a
+/// journaled run (`--state-dir`) group-commits every 5 ms and an in-memory
+/// run has nothing to commit; `--commit-interval 0` forces an fsync per
+/// record even when journaling.
+fn commit_interval_s(args: &Args) -> Result<f64, String> {
+    let default_ms = if args.get_or("state-dir", "").is_empty() { 0.0 } else { 5.0 };
+    let ms: f64 = args.num_or("commit-interval", default_ms)?;
+    if !(ms >= 0.0 && ms.is_finite()) {
+        return Err(format!("--commit-interval: {ms} ms is not a valid latency bound"));
+    }
+    Ok(ms * 1e-3)
 }
 
 /// Prints the standard campaign header shared by `fleet` and `serve`.
@@ -348,7 +363,7 @@ pub(crate) fn print_campaign_banner(cfg: &CampaignConfig) {
 
 pub fn fleet(argv: &[String]) -> Result<(), String> {
     let mut value_keys = CAMPAIGN_VALUE_KEYS.to_vec();
-    value_keys.push("state-dir");
+    value_keys.extend_from_slice(&["state-dir", "online-enroll"]);
     let args = Args::parse(argv, &value_keys, &["resume"])?;
     let cfg = campaign_config(&args)?;
     print_campaign_banner(&cfg);
@@ -357,12 +372,33 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     if resume && state_dir.is_empty() {
         return Err("--resume requires --state-dir".into());
     }
+    let online: u32 = args.num_or("online-enroll", 0u32)?;
+    if online > 0 && state_dir.is_empty() {
+        return Err("--online-enroll requires --state-dir (admissions must be journaled)".into());
+    }
     let report = if state_dir.is_empty() {
         run_campaign(&cfg)
     } else {
         let dir = std::path::Path::new(state_dir);
-        println!("state: journaling to {} ({})", dir.display(), if resume { "resume" } else { "fresh" });
-        run_campaign_with_dir(&cfg, dir, resume)
+        println!(
+            "state: journaling to {} ({}), group commit every {:.1} ms",
+            dir.display(),
+            if resume { "resume" } else { "fresh" },
+            cfg.commit_interval_s * 1e3
+        );
+        pufatt_fleet::open_state_dir(dir, cfg.history_capacity).and_then(|store| {
+            let campaign = RunningCampaign::launch(&cfg, &store, resume)?;
+            // Admit extra devices while the configured fleet attests —
+            // the same ids on a resume are an idempotent no-op.
+            let first = cfg.devices as u32;
+            for id in first..first.saturating_add(online) {
+                campaign.enroll(id)?;
+            }
+            if online > 0 {
+                println!("admitted {online} device(s) online (ids {first}..{})", first + online);
+            }
+            campaign.finish()
+        })
     }
     .map_err(|e| e.to_string())?;
     print!("{}", report.snapshot);
@@ -533,7 +569,8 @@ mod tests {
             dir.to_str().unwrap()
         );
         fleet(&argv(&base)).expect("fresh persistent campaign");
-        assert!(dir.join("snapshot.bin").is_file(), "snapshot written");
+        assert!(dir.join("manifest.bin").is_file(), "shard manifest written");
+        assert!(dir.join("shard-000").join("snapshot.bin").is_file(), "per-shard snapshot written");
         assert!(fleet(&argv(&base)).is_err(), "occupied state dir refused without --resume");
         fleet(&argv(&format!("{base} --resume"))).expect("resume of a finished campaign");
         assert!(
@@ -541,6 +578,25 @@ mod tests {
             "resume under a different configuration refused"
         );
         assert!(fleet(&argv("--devices 4 --resume")).is_err(), "--resume requires --state-dir");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_enrolls_devices_online() {
+        let dir = std::env::temp_dir().join(format!("pufatt-cli-online-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let base = format!(
+            "--devices 3 --workers 2 --sessions 1 --profile fpga16 --rounds 128 --state-dir {}",
+            dir.to_str().unwrap()
+        );
+        fleet(&argv(&format!("{base} --online-enroll 2 --commit-interval 2"))).expect("online admissions");
+        // Re-admitting the same ids on resume is an idempotent no-op.
+        fleet(&argv(&format!("{base} --online-enroll 2 --resume"))).expect("resume with same admissions");
+        assert!(fleet(&argv("--devices 3 --online-enroll 2")).is_err(), "--online-enroll requires --state-dir");
+        assert!(
+            fleet(&argv(&format!("{base} --commit-interval -1 --resume"))).is_err(),
+            "negative commit intervals are refused"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

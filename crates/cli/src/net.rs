@@ -22,6 +22,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     let mut value_keys = CAMPAIGN_VALUE_KEYS.to_vec();
     value_keys.extend_from_slice(&[
         "listen",
+        "state-dir",
         "max-conns",
         "read-timeout-ms",
         "write-timeout-ms",
@@ -47,13 +48,30 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         ..defaults
     };
     print_campaign_banner(&cfg);
-    let server = Server::start(&endpoint, cfg, server_cfg).map_err(|e| e.to_string())?;
+    let state_dir = args.get_or("state-dir", "");
+    let server = if state_dir.is_empty() {
+        Server::start(&endpoint, cfg, server_cfg)
+    } else {
+        let dir = std::path::Path::new(state_dir);
+        println!(
+            "state: journaling to {}, group commit every {:.1} ms (prior state is restored, new enrollments admitted online)",
+            dir.display(),
+            cfg.commit_interval_s * 1e3
+        );
+        let journaled = pufatt_fleet::open_state_dir(dir, cfg.history_capacity)
+            .and_then(|store| pufatt_fleet::FleetService::with_journal(cfg, store))
+            .map_err(|e| e.to_string())?;
+        Server::start_with_service(&endpoint, std::sync::Arc::new(journaled), server_cfg)
+    }
+    .map_err(|e| e.to_string())?;
     println!("serving on {} (send a wire Shutdown to drain)", server.endpoint());
     while !server.is_draining() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     println!("drain requested; completing in-flight sessions");
+    let service = std::sync::Arc::clone(server.service());
     let report = server.finish();
+    service.checkpoint().map_err(|e| format!("final checkpoint: {e}"))?;
     print!("{}", report.snapshot);
     let t = &report.transport;
     println!(
@@ -195,6 +213,67 @@ mod tests {
         handle.join().expect("serve thread").expect("serve exits cleanly");
         let row = std::fs::read_to_string(&json).unwrap();
         assert!(row.contains("\"sessions_completed\":6"), "bench row records the sessions: {row}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `serve --state-dir` journals the fleet and a second server on the
+    /// same directory restores it: the restart sees already-enrolled
+    /// devices and keeps serving sessions from where the first stopped.
+    #[test]
+    fn serve_journals_and_restores_state() {
+        let dir = std::env::temp_dir().join(format!("pufatt-cli-net-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("state");
+        for round in 0..2 {
+            let sock = dir.join(format!("serve-{round}.sock"));
+            let listen = format!("uds:{}", sock.display());
+            let serve_args: Vec<String> = [
+                "--listen",
+                &listen,
+                "--state-dir",
+                state.to_str().unwrap(),
+                "--commit-interval",
+                "2",
+                "--devices",
+                "4",
+                "--sessions",
+                "2",
+                "--workers",
+                "2",
+                "--profile",
+                "fpga16",
+                "--rounds",
+                "128",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+            let handle = std::thread::spawn(move || serve(&serve_args));
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            while !sock.exists() && std::time::Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            let loadgen_args: Vec<String> = [
+                "--connect",
+                &listen,
+                "--devices",
+                "4",
+                "--sessions",
+                "1",
+                "--connections",
+                "2",
+                "--window",
+                "2",
+                "--shutdown",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+            loadgen(&loadgen_args).expect("loadgen succeeds");
+            handle.join().expect("serve thread").expect("serve exits cleanly");
+            assert!(state.join("manifest.bin").is_file(), "journal written");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -169,6 +169,23 @@ impl DevicePuf {
         self.fault
     }
 
+    /// Snapshot of the device's private noise state: the seeded RNG's
+    /// keystream position plus the raw-evaluation counter that schedules
+    /// fault bursts. Together with the noise seed (held by the caller)
+    /// this fully determines every future noisy evaluation, which is what
+    /// lets a resumed campaign fast-forward a device instead of replaying
+    /// all of its past sessions.
+    pub fn noise_state(&self) -> (u64, u64) {
+        (self.rng.word_pos(), self.evaluations)
+    }
+
+    /// Restores a noise snapshot taken by [`DevicePuf::noise_state`] on a
+    /// freshly provisioned device with the same noise seed.
+    pub fn restore_noise_state(&mut self, word_pos: u64, evaluations: u64) {
+        self.rng.set_word_pos(word_pos);
+        self.evaluations = evaluations;
+    }
+
     /// Applies the injected fault (if any) to one freshly evaluated raw
     /// response, consuming the device RNG deterministically.
     fn apply_fault(&mut self, raw: RawResponse) -> RawResponse {

@@ -281,6 +281,12 @@ impl ProverDevice {
         self.cpu.memory_mut()
     }
 
+    /// The shared PUF instance this device evaluates. Exposed so campaign
+    /// checkpointing can capture and restore its noise-RNG position.
+    pub fn puf(&self) -> &SharedDevicePuf {
+        &self.puf
+    }
+
     /// Re-clocks the CPU; when `couple_puf` is set the PUF races the new
     /// cycle time (the physically accurate behaviour — the ALU PUF shares
     /// the CPU clock network, §4.2).

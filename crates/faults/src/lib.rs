@@ -65,5 +65,8 @@ pub mod sweep;
 
 pub use channel::{Delivery, LossyChannel};
 pub use plan::FaultPlan;
-pub use session::{apply_device_faults, run_chaos_session, run_clean_session, ChaosReport, RetryPolicy};
+pub use session::{
+    apply_device_faults, mid_traversal_addr, run_chaos_session, run_clean_session, ChaosReport, RetryPolicy,
+    MID_TRAVERSAL_CYCLE, MID_TRAVERSAL_XOR,
+};
 pub use sweep::{run_noise_sweep, NoiseSweep, SweepConfig, WeightRow, PAPER_T};

@@ -31,6 +31,21 @@ use pufatt::protocol::{run_session, AttestationRequest, MidTraversalTamper, Prov
 use pufatt::{PufattError, Verdict};
 use rand::Rng;
 
+/// XOR mask the chaos runner applies when a plan schedules mid-traversal
+/// tamper. Exported so resume logic can recognise (and re-apply or undo)
+/// the exact memory mutation a tampered session leaves behind.
+pub const MID_TRAVERSAL_XOR: u32 = 0x5EED_5EED;
+
+/// Traversal cycle at which the scheduled tamper fires.
+pub const MID_TRAVERSAL_CYCLE: u64 = 1_000;
+
+/// Cell the scheduled tamper targets, given the prover's layout: a word
+/// just below the x0 cell, inside the attested region but outside the
+/// cells the next provisioning rewrites.
+pub fn mid_traversal_addr(layout: &pufatt_swatt::SwattLayout) -> u32 {
+    layout.x0_cell.saturating_sub(8)
+}
+
 /// When the verifier retries, how long it waits, and when it gives up.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
@@ -194,9 +209,9 @@ pub fn run_chaos_session<R: Rng + ?Sized>(
         // The prover computes; the plan may rewrite attested memory while
         // the traversal runs.
         let tamper = (plan.tamper_at_attempt == Some(attempt)).then(|| MidTraversalTamper {
-            at_cycle: 1_000,
-            addr: prover.layout().x0_cell.saturating_sub(8),
-            xor: 0x5EED_5EED,
+            at_cycle: MID_TRAVERSAL_CYCLE,
+            addr: mid_traversal_addr(&prover.layout()),
+            xor: MID_TRAVERSAL_XOR,
         });
         let attestation = match prover.attest_with_tamper(request, tamper) {
             Ok(attestation) => attestation,

@@ -66,6 +66,14 @@ pub struct CampaignConfig {
     /// `None` runs the campaign exactly as before (ideal channel, no
     /// injected faults).
     pub chaos: Option<ChaosConfig>,
+    /// Group-commit latency bound for persistent campaigns, in seconds:
+    /// a background committer fsyncs each shard's WAL at least this often,
+    /// so a crash loses at most this much recent (re-derivable) history.
+    /// `0` runs without a committer — appends become durable when the
+    /// queue fills, a record is force-synced, or the campaign finishes.
+    /// Scheduling-only: excluded from the config fingerprint, never
+    /// verdict-affecting.
+    pub commit_interval_s: f64,
 }
 
 /// What a chaos campaign injects and into how much of the fleet.
@@ -97,6 +105,7 @@ impl Default for CampaignConfig {
             history_capacity: 64,
             queue_depth: 64,
             chaos: None,
+            commit_interval_s: 0.0,
         }
     }
 }
@@ -183,6 +192,64 @@ pub(crate) struct DeviceSession {
     /// The faults this device lives with (clean unless chaos marked it
     /// flaky).
     plan: FaultPlan,
+    /// The word index chaos tamper targets in this device's memory.
+    tamper_cell: usize,
+    /// That word's pristine value at provision time. Mid-traversal tamper
+    /// XORs the word and the mutation persists across sessions, so the
+    /// current value differing from this baseline is exactly one bit of
+    /// cross-session device state — the only such bit (seed/x0 cells are
+    /// replanted every session; nothing else in the attested region is
+    /// written). Captured so a resume cursor can record and re-apply it.
+    tamper_baseline: Option<u32>,
+}
+
+/// Everything a [`DeviceSession`] needs to fast-forward to a checkpoint:
+/// the fields of a journaled `Record::DeviceCursor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct SessionCursor {
+    /// The session RNG's absolute ChaCha word position.
+    pub session_pos: u64,
+    /// The device PUF's noise-RNG absolute word position.
+    pub noise_pos: u64,
+    /// Raw PUF evaluations performed (drives burst-fault scheduling).
+    pub noise_evals: u64,
+    /// Whether the tamper cell currently differs from its baseline.
+    pub tamper_parity: bool,
+}
+
+impl DeviceSession {
+    /// Snapshot of the deterministic per-device state a resume must
+    /// restore: RNG positions, PUF evaluation count, tamper parity.
+    pub(crate) fn cursor(&mut self) -> SessionCursor {
+        let (noise_pos, noise_evals) = self.prover.puf().with(|d| d.noise_state());
+        SessionCursor {
+            session_pos: self.rng.word_pos(),
+            noise_pos,
+            noise_evals,
+            tamper_parity: self.tamper_parity(),
+        }
+    }
+
+    /// Fast-forwards a freshly provisioned session to `cursor` without
+    /// replaying the sessions that produced it. Word positions are
+    /// absolute, so whatever the provisioning path consumed is irrelevant.
+    pub(crate) fn restore_cursor(&mut self, cursor: &SessionCursor) {
+        self.rng.set_word_pos(cursor.session_pos);
+        self.prover
+            .puf()
+            .with(|d| d.restore_noise_state(cursor.noise_pos, cursor.noise_evals));
+        if self.tamper_parity() != cursor.tamper_parity {
+            let cell = self.tamper_cell;
+            self.prover.memory_mut()[cell] ^= pufatt_faults::MID_TRAVERSAL_XOR;
+        }
+    }
+
+    fn tamper_parity(&mut self) -> bool {
+        match self.tamper_baseline {
+            Some(baseline) => self.prover.memory_mut()[self.tamper_cell] != baseline,
+            None => false,
+        }
+    }
 }
 
 pub(crate) fn provision_device(
@@ -221,12 +288,16 @@ pub(crate) fn provision_device(
     } else {
         LossyChannel::ideal(verifier.channel())
     };
+    let tamper_cell = pufatt_faults::mid_traversal_addr(&prover.layout()) as usize;
+    let tamper_baseline = prover.memory_mut().get(tamper_cell).copied();
     Ok(DeviceSession {
         prover,
         verifier,
         rng: ChaCha8Rng::seed_from_u64(splitmix64(seed ^ 3)),
         channel,
         plan,
+        tamper_cell,
+        tamper_baseline,
     })
 }
 
@@ -514,6 +585,7 @@ pub fn small_test_config(devices: usize, workers: usize, seed: u64) -> CampaignC
         history_capacity: 16,
         queue_depth: 32,
         chaos: None,
+        commit_interval_s: 0.0,
     }
 }
 

@@ -1,37 +1,58 @@
 //! Persistent campaigns: journal every fleet transition through
-//! [`pufatt_store::DurableStore`] and resume an interrupted run.
+//! [`pufatt_store::ShardedStore`] and resume an interrupted run.
 //!
 //! # What is journaled
 //!
-//! Campaign identity ([`Record::Meta`]), enrollments, and one record per
-//! scheduled session: [`Record::SessionClosed`] (verdict + post-transition
-//! lifecycle state + streaks + metric deltas), [`Record::SessionRefused`],
-//! [`Record::SessionFault`], or [`Record::DeviceAbandoned`]. Each record
-//! is synced before the campaign moves on, so the WAL's valid prefix at
-//! any crash point is exactly the set of sessions whose effects recovery
-//! restores.
+//! Campaign identity ([`Record::Meta`]), enrollments, one record per
+//! scheduled session ([`Record::SessionClosed`] with verdict +
+//! post-transition lifecycle state + streaks + metric deltas,
+//! [`Record::SessionRefused`], [`Record::SessionFault`], or
+//! [`Record::DeviceAbandoned`]), and — after every scheduled session — a
+//! [`Record::DeviceCursor`] snapshot of the device's deterministic
+//! position: its session RNG word offset, its PUF noise-RNG word offset
+//! and evaluation count, and the tamper-parity bit. Records route to
+//! per-device-range WAL shards and ride a *group commit*: appends are
+//! acknowledged when applied and queued, and a background
+//! [`pufatt_store::Committer`] fsyncs each dirty shard within
+//! the configured latency bound ([`CampaignConfig::commit_interval_s`]).
 //!
 //! # Why resume reproduces the uninterrupted run
 //!
 //! Campaigns are deterministic in their configuration (see
 //! [`crate::campaign`]): every per-device random stream derives from the
 //! seed and device id, and one device's sessions run sequentially inside
-//! one job. Resume exploits this: the registry, metrics, and histories
-//! are restored from the store, and each device's already-committed
-//! sessions are *re-run against scratch metrics* purely to advance its RNG
-//! and channel state to where the interrupted run left off — refusals
-//! consumed no randomness and are skipped. The remaining sessions then run
-//! live, and the final report is bit-identical to a run that was never
-//! interrupted (modulo wall-clock time and store statistics).
+//! one job. Resume exploits this twice over. The registry, metrics, and
+//! histories are restored from the store. Then each device fast-forwards:
+//! its journaled cursor restores the RNG positions directly (no replay),
+//! any committed session events *after* the last cursor are re-run against
+//! scratch metrics purely to advance RNG and channel state (refusals
+//! consumed no randomness and are skipped), and the remaining sessions run
+//! live. A crash can lose at most the unflushed group-commit tail of each
+//! shard — and every lost record is re-derived identically by re-running
+//! those sessions, so the final report is bit-identical to a run that was
+//! never interrupted (modulo wall-clock time and store statistics).
 //!
 //! Resuming under a different configuration is refused via the persisted
 //! config fingerprint rather than silently blending two campaigns. Worker
-//! count, shard count, and queue depth are deliberately *excluded* from
-//! the fingerprint — they change scheduling, never verdicts.
+//! count, registry shard count, queue depth, and the commit interval are
+//! deliberately *excluded* from the fingerprint — they change scheduling
+//! and durability latency, never verdicts.
+//!
+//! # Online enrollment
+//!
+//! [`RunningCampaign`] exposes the campaign mid-flight:
+//! [`RunningCampaign::enroll`] admits a device *while the pool is
+//! attesting*, journaling the enrollment with a forced sync before the
+//! device becomes visible anywhere — so at every crash point a new device
+//! is either fully admitted (and will resume like any other) or entirely
+//! absent, never half-enrolled. Devices admitted past the configured
+//! fleet size are counted as
+//! [`devices_enrolled_online`](crate::metrics::FleetSnapshot::devices_enrolled_online)
+//! and re-counted on resume by their id alone.
 
 use crate::campaign::{
     device_is_flaky, device_is_tampered, provision_device, run_one_chaos_session, run_one_session, CampaignConfig,
-    CampaignReport, DeviceRecord, SessionEvent,
+    CampaignReport, DeviceRecord, DeviceSession, SessionCursor, SessionEvent,
 };
 use crate::metrics::{FleetMetrics, LatencyHistogram};
 use crate::pool::WorkerPool;
@@ -39,16 +60,17 @@ use crate::registry::{DeviceId, FleetStatus, ShardedRegistry};
 use pufatt::PufattError;
 use pufatt_alupuf::device::AluPufDesign;
 use pufatt_store::record::{OutcomeRec, Record, StoredStatus};
-use pufatt_store::state::{MetaInfo, EV_REFUSED};
-use pufatt_store::{DurableStore, StdVfs, StoreOptions};
+use pufatt_store::state::{CursorInfo, MetaInfo, EV_REFUSED};
+use pufatt_store::{Committer, ShardedOptions, ShardedStore, StdVfs, StoreError};
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Fingerprint of the verdict-affecting configuration fields, persisted
-/// in [`Record::Meta`]. Scheduling knobs (workers, shards, queue depth)
-/// are excluded: a campaign may legitimately be resumed on a machine with
-/// a different core count.
+/// in [`Record::Meta`]. Scheduling knobs (workers, shards, queue depth,
+/// commit interval) are excluded: a campaign may legitimately be resumed
+/// on a machine with a different core count or durability budget.
 pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
     let text = format!(
         "pufatt-campaign-v1|devices={}|sessions={}|seed={}|tamper={:016x}|timeout={:016x}|history={}|puf={:?}|params={:?}|policy={:?}|chaos={:?}",
@@ -79,7 +101,7 @@ fn storage(e: impl std::fmt::Display) -> PufattError {
     PufattError::Storage(e.to_string())
 }
 
-fn to_stored(status: FleetStatus) -> StoredStatus {
+pub(crate) fn to_stored(status: FleetStatus) -> StoredStatus {
     match status {
         FleetStatus::Active => StoredStatus::Active,
         FleetStatus::Quarantined => StoredStatus::Quarantined,
@@ -87,7 +109,7 @@ fn to_stored(status: FleetStatus) -> StoredStatus {
     }
 }
 
-fn from_stored(status: StoredStatus) -> FleetStatus {
+pub(crate) fn from_stored(status: StoredStatus) -> FleetStatus {
     match status {
         StoredStatus::Active => FleetStatus::Active,
         StoredStatus::Quarantined => FleetStatus::Quarantined,
@@ -95,8 +117,7 @@ fn from_stored(status: StoredStatus) -> FleetStatus {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn to_outcome_rec(
+pub(crate) fn to_outcome_rec(
     o: &crate::registry::SessionOutcome,
     retried: u32,
     dropped: u32,
@@ -120,7 +141,7 @@ fn to_outcome_rec(
     }
 }
 
-fn from_outcome_rec(r: &OutcomeRec) -> crate::registry::SessionOutcome {
+pub(crate) fn from_outcome_rec(r: &OutcomeRec) -> crate::registry::SessionOutcome {
     crate::registry::SessionOutcome {
         accepted: r.accepted,
         response_ok: r.response_ok,
@@ -131,31 +152,101 @@ fn from_outcome_rec(r: &OutcomeRec) -> crate::registry::SessionOutcome {
     }
 }
 
-/// Commits one record or dies trying: a failed append means memory is
-/// ahead of the disk, and the only safe continuation is reopen-and-resume.
-/// The panic kills just this pool job (the pool contains it) and
-/// [`run_persistent_campaign`] turns the broken store into a typed error.
-fn journal(store: &DurableStore, record: &Record) {
-    if let Err(e) = store.append_synced(record) {
-        panic!("durable store append failed: {e}");
+/// Commits one record through the group-commit path, falling back to a
+/// forced sync when the shard's commit queue is full (backpressure
+/// degrades throughput, never loses the record), or dies trying: a hard
+/// append failure means memory is ahead of the disk, and the only safe
+/// continuation is reopen-and-resume. The panic kills just this pool job
+/// (the pool contains it) and [`RunningCampaign::finish`] turns the
+/// broken store into a typed error.
+pub(crate) fn journal(store: &ShardedStore, record: &Record) {
+    match store.append(record) {
+        Ok(()) => {}
+        Err(StoreError::Backpressure) => {
+            if let Err(e) = store.append_synced(record) {
+                panic!("durable store append failed: {e}");
+            }
+        }
+        Err(e) => panic!("durable store append failed: {e}"),
+    }
+}
+
+/// A device's committed position when the store was opened: what resume
+/// must fast-forward past before running live sessions.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DevicePrior {
+    /// Session events after the last cursor (full history if none).
+    pub events: Vec<u8>,
+    /// Total session events ever committed for the device.
+    pub events_seen: u32,
+    /// The last committed cursor, if any.
+    pub cursor: Option<CursorInfo>,
+    /// Whether provisioning already failed for good.
+    pub abandoned: bool,
+}
+
+impl DevicePrior {
+    pub(crate) fn from_state(d: &pufatt_store::DeviceState) -> Self {
+        DevicePrior {
+            events: d.events.clone(),
+            events_seen: d.events_seen,
+            cursor: d.cursor,
+            abandoned: d.abandoned,
+        }
+    }
+}
+
+/// Fast-forwards a freshly provisioned session to a device's committed
+/// position: jump to the cursor (absolute RNG word positions — nothing
+/// before it is replayed), then re-run only the post-cursor event tail
+/// against scratch metrics (the real counters were already restored from
+/// the store; refusals consumed no randomness and are skipped).
+pub(crate) fn fast_forward(session: &mut DeviceSession, cfg: &CampaignConfig, prior: &DevicePrior) {
+    if let Some(c) = &prior.cursor {
+        session.restore_cursor(&SessionCursor {
+            session_pos: c.session_pos,
+            noise_pos: c.noise_pos,
+            noise_evals: c.noise_evals,
+            tamper_parity: c.tamper_parity,
+        });
+    }
+    let scratch = FleetMetrics::new();
+    for &event in &prior.events {
+        if event != EV_REFUSED {
+            if cfg.chaos.is_some() {
+                run_one_chaos_session(session, cfg, &scratch);
+            } else {
+                run_one_session(session, cfg, &scratch);
+            }
+        }
+    }
+}
+
+fn cursor_record(id: DeviceId, events_done: u32, c: SessionCursor) -> Record {
+    Record::DeviceCursor {
+        id,
+        events_done,
+        session_pos: c.session_pos,
+        noise_pos: c.noise_pos,
+        noise_evals: c.noise_evals,
+        tamper_parity: c.tamper_parity,
     }
 }
 
 /// The durable version of one device's pool job: skip if the device was
-/// abandoned in a previous run, replay committed sessions to advance the
-/// device's deterministic state, then run and journal the rest.
-#[allow(clippy::too_many_arguments)]
+/// abandoned in a previous run, fast-forward past the committed prefix,
+/// then run and journal the rest — each session's outcome followed by a
+/// cursor so the *next* resume can skip the replay entirely.
 fn run_device_durable(
     design: &Arc<AluPufDesign>,
     registry: &ShardedRegistry,
     metrics: &FleetMetrics,
     cfg: &CampaignConfig,
     id: DeviceId,
-    store: &DurableStore,
-    prior_events: &[u8],
-    abandoned: bool,
+    store: &ShardedStore,
+    prior: &DevicePrior,
 ) {
-    if abandoned {
+    if prior.abandoned {
         // Provisioning is deterministic: it failed before, it would fail
         // again. The fault is already journaled and counted.
         return;
@@ -168,23 +259,14 @@ fn run_device_durable(
             return;
         }
     };
-    // Advance the device's RNG/channel state past the committed prefix.
-    // Scratch metrics absorb the replayed increments — the real counters
-    // were already restored from the store.
-    let scratch = FleetMetrics::new();
-    for &event in prior_events {
-        if event != EV_REFUSED {
-            if cfg.chaos.is_some() {
-                run_one_chaos_session(&mut session, cfg, &scratch);
-            } else {
-                run_one_session(&mut session, cfg, &scratch);
-            }
-        }
-    }
-    for _ in prior_events.len() as u32..cfg.sessions_per_device {
+    fast_forward(&mut session, cfg, prior);
+    let mut done = prior.events_seen;
+    for _ in prior.events_seen..cfg.sessions_per_device {
         if registry.status(id) == Some(FleetStatus::Revoked) {
             journal(store, &Record::SessionRefused { id });
             metrics.session_refused();
+            done += 1;
+            journal(store, &cursor_record(id, done, session.cursor()));
             continue;
         }
         let event = if cfg.chaos.is_some() {
@@ -207,147 +289,262 @@ fn run_device_durable(
                 journal(store, &Record::SessionFault { id, retried, dropped, crp_hits, crp_misses });
             }
         }
+        done += 1;
+        journal(store, &cursor_record(id, done, session.cursor()));
+    }
+}
+
+/// A persistent campaign mid-flight: the pool is attesting, the committer
+/// (if configured) is syncing shards in the background, and new devices
+/// can still be admitted. Obtained from [`RunningCampaign::launch`];
+/// consumed by [`RunningCampaign::finish`].
+pub struct RunningCampaign {
+    cfg: Arc<CampaignConfig>,
+    design: Arc<AluPufDesign>,
+    registry: Arc<ShardedRegistry>,
+    metrics: Arc<FleetMetrics>,
+    store: Arc<ShardedStore>,
+    pool: WorkerPool,
+    committer: Option<Committer>,
+    start: Instant,
+}
+
+impl RunningCampaign {
+    /// Validates the configuration, reconciles the store's persisted
+    /// campaign identity, restores committed state, and submits every
+    /// configured (and previously online-enrolled) device to the pool.
+    ///
+    /// Pass `resume = false` for a run that must start fresh: an existing
+    /// campaign in the store is then refused instead of silently
+    /// continued. With `resume = true`, persisted state is restored (an
+    /// empty store is simply a fresh start).
+    ///
+    /// # Errors
+    ///
+    /// Invalid configurations (as [`crate::campaign::run_campaign`]);
+    /// [`PufattError::Storage`] if the store holds a different campaign or
+    /// holds a campaign and `resume` is false.
+    pub fn launch(
+        cfg: &CampaignConfig,
+        store: &Arc<ShardedStore>,
+        resume: bool,
+    ) -> Result<RunningCampaign, PufattError> {
+        if cfg.devices == 0 || cfg.workers == 0 || cfg.sessions_per_device == 0 {
+            return Err(PufattError::Codegen("campaign needs devices, workers, and sessions > 0".into()));
+        }
+        let width = cfg.puf.width;
+        if !(width.is_power_of_two() && (4..=32).contains(&width)) {
+            return Err(PufattError::UnsupportedWidth { width });
+        }
+
+        let meta = MetaInfo {
+            config_hash: config_fingerprint(cfg),
+            devices: cfg.devices as u32,
+            sessions_per_device: cfg.sessions_per_device,
+            seed: cfg.seed,
+        };
+        match store.meta() {
+            Some(existing) if !resume => {
+                return Err(storage(format!(
+                    "state directory already holds a campaign (seed {}); pass resume to continue it",
+                    existing.seed
+                )));
+            }
+            Some(existing) if existing != meta => {
+                return Err(storage(
+                    "state directory belongs to a different campaign configuration; refusing to blend them",
+                ));
+            }
+            Some(_) => {}
+            None => {
+                store
+                    .append_synced(&Record::Meta {
+                        config_hash: meta.config_hash,
+                        devices: meta.devices,
+                        sessions_per_device: meta.sessions_per_device,
+                        seed: meta.seed,
+                    })
+                    .map_err(storage)?;
+            }
+        }
+
+        let start = Instant::now();
+        let design = Arc::new(AluPufDesign::new(cfg.puf.clone()));
+        let registry = Arc::new(ShardedRegistry::new(cfg.shards.max(1), cfg.history_capacity.max(1)));
+        let metrics = Arc::new(FleetMetrics::from_store_counters(&store.counters()));
+        let mut priors: HashMap<DeviceId, DevicePrior> = HashMap::new();
+        store.for_each_device(|id, device| {
+            registry.restore_device(
+                id,
+                from_stored(device.status),
+                device.fails,
+                device.succs,
+                device.outcomes.iter().map(from_outcome_rec).collect(),
+                device.outcomes_total,
+            );
+            if id as usize >= cfg.devices {
+                metrics.device_enrolled_online();
+            }
+            priors.insert(id, DevicePrior::from_state(device));
+        });
+        let committer =
+            (cfg.commit_interval_s > 0.0).then(|| store.committer(Duration::from_secs_f64(cfg.commit_interval_s)));
+
+        let campaign = RunningCampaign {
+            cfg: Arc::new(cfg.clone()),
+            design,
+            registry,
+            metrics,
+            store: Arc::clone(store),
+            pool: WorkerPool::new(cfg.workers, cfg.queue_depth.max(1)),
+            committer,
+            start,
+        };
+        // Jobs for every configured device, plus every stored device past
+        // the configured range (admitted online in a previous run).
+        let mut extra: Vec<DeviceId> = priors.keys().copied().filter(|&id| id as usize >= cfg.devices).collect();
+        extra.sort_unstable();
+        for id in (0..cfg.devices as DeviceId).chain(extra) {
+            let prior = priors.remove(&id).unwrap_or_default();
+            if campaign.registry.enroll(id) {
+                // Group-committed: a lost enrollment is re-derived (and
+                // re-journaled) by the next resume. Unlike worker-side
+                // journaling this runs on the caller's thread, so a hard
+                // failure is a typed error, not a panic.
+                let record = Record::DeviceEnrolled { id };
+                match campaign.store.append(&record) {
+                    Ok(()) => {}
+                    Err(StoreError::Backpressure) => campaign.store.append_synced(&record).map_err(storage)?,
+                    Err(e) => return Err(storage(e)),
+                }
+            }
+            campaign.submit(id, prior);
+        }
+        Ok(campaign)
+    }
+
+    fn submit(&self, id: DeviceId, prior: DevicePrior) {
+        let design = Arc::clone(&self.design);
+        let registry = Arc::clone(&self.registry);
+        let metrics = Arc::clone(&self.metrics);
+        let cfg = Arc::clone(&self.cfg);
+        let store = Arc::clone(&self.store);
+        self.pool
+            .submit(move || run_device_durable(&design, &registry, &metrics, &cfg, id, &store, &prior));
+    }
+
+    /// Admits a new device while the campaign runs. The enrollment is
+    /// journaled with a forced sync *before* the device becomes visible in
+    /// the registry or the pool, so a crash leaves it either fully
+    /// admitted or entirely absent. Returns `false` (and does nothing) if
+    /// the device is already enrolled.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::Storage`] if the enrollment cannot be committed; the
+    /// device was not admitted.
+    pub fn enroll(&self, id: DeviceId) -> Result<bool, PufattError> {
+        if self.registry.status(id).is_some() {
+            return Ok(false);
+        }
+        match self.store.append_synced(&Record::DeviceEnrolled { id }) {
+            Ok(()) => {}
+            // Journaled by a previous run whose registry entry we somehow
+            // lack — restore covered it; treat as already enrolled.
+            Err(StoreError::IllegalTransition { .. }) => return Ok(false),
+            Err(e) => return Err(storage(e)),
+        }
+        if !self.registry.enroll(id) {
+            return Ok(false);
+        }
+        if id as usize >= self.cfg.devices {
+            self.metrics.device_enrolled_online();
+        }
+        self.submit(id, DevicePrior::default());
+        Ok(true)
+    }
+
+    /// The campaign's sharded store (e.g. for progress statistics).
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// Drains the pool, stops the committer (final flush), folds the WAL
+    /// into fresh snapshots, and reports — the report is bit-identical to
+    /// an uninterrupted in-memory run of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::Storage`] if the store broke mid-run (reopen the
+    /// state directory and resume) or the final flush/checkpoint fails.
+    pub fn finish(self) -> Result<CampaignReport, PufattError> {
+        let RunningCampaign { cfg, registry, metrics, store, pool, committer, start, .. } = self;
+        let panicked_jobs = pool.shutdown();
+        if let Some(committer) = committer {
+            committer.stop();
+        }
+        if store.is_broken() {
+            return Err(storage("durable store failed mid-campaign; reopen the state directory and resume"));
+        }
+        store.flush().map_err(storage)?;
+        // Fold the WAL into fresh snapshots so the next open replays
+        // nothing.
+        store.checkpoint().map_err(storage)?;
+
+        let device_records = registry
+            .ids()
+            .into_iter()
+            .map(|id| DeviceRecord {
+                id,
+                tampered: device_is_tampered(cfg.seed, id, cfg.tamper_fraction),
+                flaky: matches!(&cfg.chaos, Some(c) if device_is_flaky(cfg.seed, id, c.flaky_fraction)),
+                status: registry.status(id).expect("id came from the registry"),
+                outcomes: registry.history(id).expect("id came from the registry"),
+            })
+            .collect();
+
+        let mut snapshot = metrics.snapshot(registry.status_counts());
+        snapshot.store = Some(store.stats());
+        Ok(CampaignReport {
+            snapshot,
+            device_records,
+            wall_time: start.elapsed(),
+            panicked_jobs,
+        })
     }
 }
 
 /// Runs a campaign whose every transition is journaled through `store`,
-/// resuming from whatever committed state the store holds.
-///
-/// Pass `resume = false` for a run that must start fresh: an existing
-/// campaign in the store is then refused instead of silently continued.
-/// With `resume = true`, persisted state is restored (an empty store is
-/// simply a fresh start) and the report is identical to an uninterrupted
-/// run of the same configuration.
+/// resuming from whatever committed state the store holds:
+/// [`RunningCampaign::launch`] immediately followed by
+/// [`RunningCampaign::finish`].
 ///
 /// # Errors
 ///
-/// Invalid configurations (as [`crate::campaign::run_campaign`]);
-/// [`PufattError::Storage`] if the store holds a different campaign, holds
-/// a campaign and `resume` is false, or fails mid-run (reopen the state
-/// directory and resume).
+/// As [`RunningCampaign::launch`] and [`RunningCampaign::finish`].
 pub fn run_persistent_campaign(
     cfg: &CampaignConfig,
-    store: &Arc<DurableStore>,
+    store: &Arc<ShardedStore>,
     resume: bool,
 ) -> Result<CampaignReport, PufattError> {
-    if cfg.devices == 0 || cfg.workers == 0 || cfg.sessions_per_device == 0 {
-        return Err(PufattError::Codegen("campaign needs devices, workers, and sessions > 0".into()));
-    }
-    let width = cfg.puf.width;
-    if !(width.is_power_of_two() && (4..=32).contains(&width)) {
-        return Err(PufattError::UnsupportedWidth { width });
-    }
-
-    let meta = MetaInfo {
-        config_hash: config_fingerprint(cfg),
-        devices: cfg.devices as u32,
-        sessions_per_device: cfg.sessions_per_device,
-        seed: cfg.seed,
-    };
-    match store.meta() {
-        Some(existing) if !resume => {
-            return Err(storage(format!(
-                "state directory already holds a campaign (seed {}); pass resume to continue it",
-                existing.seed
-            )));
-        }
-        Some(existing) if existing != meta => {
-            return Err(storage(
-                "state directory belongs to a different campaign configuration; refusing to blend them",
-            ));
-        }
-        Some(_) => {}
-        None => {
-            store
-                .append_synced(&Record::Meta {
-                    config_hash: meta.config_hash,
-                    devices: meta.devices,
-                    sessions_per_device: meta.sessions_per_device,
-                    seed: meta.seed,
-                })
-                .map_err(storage)?;
-        }
-    }
-
-    let start = Instant::now();
-    let restored = store.state();
-    let design = Arc::new(AluPufDesign::new(cfg.puf.clone()));
-    let registry = Arc::new(ShardedRegistry::new(cfg.shards.max(1), cfg.history_capacity.max(1)));
-    let metrics = Arc::new(FleetMetrics::from_store_counters(&restored.counters));
-    for (&id, device) in &restored.devices {
-        registry.restore_device(
-            id,
-            from_stored(device.status),
-            device.fails,
-            device.succs,
-            device.outcomes.iter().map(from_outcome_rec).collect(),
-            device.outcomes_total,
-        );
-    }
-    let shared_cfg = Arc::new(cfg.clone());
-
-    let pool = WorkerPool::new(cfg.workers, cfg.queue_depth.max(1));
-    for id in 0..cfg.devices as DeviceId {
-        let (prior_events, abandoned) = restored
-            .devices
-            .get(&id)
-            .map(|d| (d.events.clone(), d.abandoned))
-            .unwrap_or_default();
-        if registry.enroll(id) {
-            store.append_synced(&Record::DeviceEnrolled { id }).map_err(storage)?;
-        }
-        let design = Arc::clone(&design);
-        let registry = Arc::clone(&registry);
-        let metrics = Arc::clone(&metrics);
-        let cfg = Arc::clone(&shared_cfg);
-        let store = Arc::clone(store);
-        pool.submit(move || {
-            run_device_durable(&design, &registry, &metrics, &cfg, id, &store, &prior_events, abandoned)
-        });
-    }
-    let panicked_jobs = pool.shutdown();
-    if store.is_broken() {
-        return Err(storage("durable store failed mid-campaign; reopen the state directory and resume"));
-    }
-    // Fold the WAL into a fresh snapshot so the next open replays nothing.
-    store.checkpoint().map_err(storage)?;
-
-    let device_records = registry
-        .ids()
-        .into_iter()
-        .map(|id| DeviceRecord {
-            id,
-            tampered: device_is_tampered(cfg.seed, id, cfg.tamper_fraction),
-            flaky: matches!(&cfg.chaos, Some(c) if device_is_flaky(cfg.seed, id, c.flaky_fraction)),
-            status: registry.status(id).expect("id came from the registry"),
-            outcomes: registry.history(id).expect("id came from the registry"),
-        })
-        .collect();
-
-    let mut snapshot = metrics.snapshot(registry.status_counts());
-    snapshot.store = Some(store.stats());
-    Ok(CampaignReport {
-        snapshot,
-        device_records,
-        wall_time: start.elapsed(),
-        panicked_jobs,
-    })
+    RunningCampaign::launch(cfg, store, resume)?.finish()
 }
 
-/// Opens (creating if needed) `dir` as a campaign state directory with the
-/// production file backend and the configuration's history bound.
+/// Opens (creating if needed) `dir` as a sharded campaign state directory
+/// with the production file backend and the configuration's history bound.
 ///
 /// # Errors
 ///
 /// [`PufattError::Storage`] if the directory cannot be created or its
-/// existing state fails recovery.
-pub fn open_state_dir(dir: &Path, history_capacity: usize) -> Result<Arc<DurableStore>, PufattError> {
+/// existing state fails recovery (including a legacy single-WAL layout,
+/// which is refused rather than silently shadowed).
+pub fn open_state_dir(dir: &Path, history_capacity: usize) -> Result<Arc<ShardedStore>, PufattError> {
     let vfs = StdVfs::open(dir).map_err(storage)?;
-    let opts = StoreOptions {
+    let opts = ShardedOptions {
         history_capacity: history_capacity.max(1),
-        ..StoreOptions::default()
+        ..ShardedOptions::default()
     };
-    DurableStore::open(Arc::new(vfs), opts).map(Arc::new).map_err(storage)
+    ShardedStore::open(Arc::new(vfs), opts).map(Arc::new).map_err(storage)
 }
 
 /// [`run_persistent_campaign`] against an on-disk state directory — the
@@ -368,9 +565,15 @@ mod tests {
     use pufatt_faults::FaultPlan;
     use pufatt_store::SimVfs;
 
-    fn open_sim(vfs: &SimVfs, history_capacity: usize) -> Arc<DurableStore> {
-        let opts = StoreOptions { history_capacity, ..StoreOptions::default() };
-        Arc::new(DurableStore::open(Arc::new(vfs.clone()), opts).expect("recovery"))
+    fn open_sim(vfs: &SimVfs, history_capacity: usize) -> Arc<ShardedStore> {
+        // Narrow ranges so even small test fleets span several shards.
+        let opts = ShardedOptions {
+            history_capacity,
+            shards: 4,
+            range_width: 2,
+            ..ShardedOptions::default()
+        };
+        Arc::new(ShardedStore::open(Arc::new(vfs.clone()), opts).expect("recovery"))
     }
 
     /// Strips the store statistics (wall-clock-ish, run-shape dependent)
@@ -433,12 +636,48 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_campaign_matches_the_synchronous_one() {
+        let mut cfg = small_test_config(8, 3, 0x6C0);
+        cfg.sessions_per_device = 3;
+        let vfs_sync = SimVfs::new();
+        let sync_run = run_persistent_campaign(&cfg, &open_sim(&vfs_sync, cfg.history_capacity), false).unwrap();
+        cfg.commit_interval_s = 0.001;
+        let vfs_group = SimVfs::new();
+        let group_run = run_persistent_campaign(&cfg, &open_sim(&vfs_group, cfg.history_capacity), false).unwrap();
+        assert_eq!(group_run.device_records, sync_run.device_records);
+        assert_eq!(core_snapshot(&group_run), core_snapshot(&sync_run));
+    }
+
+    #[test]
+    fn online_enrollment_extends_the_fleet_and_survives_resume() {
+        let cfg = small_test_config(4, 2, 0x0E0);
+        let vfs = SimVfs::new();
+        let campaign = RunningCampaign::launch(&cfg, &open_sim(&vfs, cfg.history_capacity), false).unwrap();
+        assert!(campaign.enroll(100).unwrap(), "new id admitted");
+        assert!(!campaign.enroll(100).unwrap(), "second admit is a no-op");
+        assert!(!campaign.enroll(0).unwrap(), "configured ids are already enrolled");
+        let report = campaign.finish().unwrap();
+        assert_eq!(report.snapshot.devices.total(), 5);
+        assert_eq!(report.snapshot.devices_enrolled_online, 1);
+        assert!(report.device_records.iter().any(|r| r.id == 100));
+        let online = report.device_records.iter().find(|r| r.id == 100).unwrap();
+        assert_eq!(online.outcomes.len(), cfg.sessions_per_device as usize, "online device ran a full schedule");
+
+        // Resume sees the online device again without re-enrolling it.
+        let resumed = run_persistent_campaign(&cfg, &open_sim(&vfs, cfg.history_capacity), true).unwrap();
+        assert_eq!(resumed.device_records, report.device_records);
+        assert_eq!(resumed.snapshot.devices_enrolled_online, 1);
+        assert_eq!(core_snapshot(&resumed), core_snapshot(&report));
+    }
+
+    #[test]
     fn fingerprint_ignores_scheduling_but_not_verdicts() {
         let cfg = small_test_config(8, 2, 1);
         let mut other_workers = cfg.clone();
         other_workers.workers = 7;
         other_workers.shards = 3;
         other_workers.queue_depth = 5;
+        other_workers.commit_interval_s = 0.25;
         assert_eq!(config_fingerprint(&cfg), config_fingerprint(&other_workers));
         let mut other_seed = cfg.clone();
         other_seed.seed ^= 1;

@@ -20,9 +20,12 @@
 //!   worker count changes wall-clock time, never verdicts (all session
 //!   time is simulated, all randomness is derived per device).
 //! * [`durable`] — the same campaign journaled through
-//!   `pufatt_store::DurableStore`: every transition committed before the
-//!   fleet moves on, and an interrupted run resumed to a report identical
-//!   to an uninterrupted one.
+//!   `pufatt_store::ShardedStore`: records route to per-device-range WAL
+//!   shards, ride a group commit with a bounded-latency background
+//!   committer, and carry per-device RNG cursors so an interrupted run
+//!   fast-forwards (instead of replaying) to a report identical to an
+//!   uninterrupted one. [`RunningCampaign`] additionally admits new
+//!   devices online while the pool is attesting.
 //! * [`service`] — the engine behind a per-request façade
 //!   (enroll / open-session / attest / revoke) for the `pufatt-transport`
 //!   socket server, with the same verdicts, bit for bit, as an in-process
@@ -49,6 +52,10 @@
 //! println!("{}", report.snapshot);
 //! ```
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod campaign;
 pub mod durable;
 pub mod metrics;
@@ -61,7 +68,9 @@ pub use campaign::{
     device_is_flaky, device_is_tampered, run_campaign, small_test_config, CampaignConfig, CampaignReport, ChaosConfig,
     DeviceRecord,
 };
-pub use durable::{config_fingerprint, open_state_dir, run_campaign_with_dir, run_persistent_campaign};
+pub use durable::{
+    config_fingerprint, open_state_dir, run_campaign_with_dir, run_persistent_campaign, RunningCampaign,
+};
 pub use metrics::{FleetMetrics, FleetSnapshot, LatencyHistogram, LATENCY_BUCKETS};
 pub use pool::{SubmitError, WorkerPool};
 pub use registry::{DeviceId, FleetStatus, LifecyclePolicy, SessionOutcome, ShardedRegistry, StatusCounts};

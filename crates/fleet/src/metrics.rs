@@ -87,6 +87,7 @@ pub struct FleetMetrics {
     sessions_lost: AtomicU64,
     crp_hits: AtomicU64,
     crp_misses: AtomicU64,
+    devices_enrolled_online: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -152,6 +153,14 @@ impl FleetMetrics {
         self.crp_misses.fetch_add(misses, Ordering::Relaxed);
     }
 
+    /// A device beyond the configured fleet size was admitted while the
+    /// campaign ran (online enrollment). Derived on resume by counting
+    /// restored ids past the configured range, so the counter survives
+    /// restarts without its own journal record.
+    pub fn device_enrolled_online(&self) {
+        self.devices_enrolled_online.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a finished session's end-to-end latency.
     pub fn observe_latency(&self, elapsed_s: f64) {
         self.latency.record(elapsed_s);
@@ -200,6 +209,7 @@ impl FleetMetrics {
             sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
             crp_hits: self.crp_hits.load(Ordering::Relaxed),
             crp_misses: self.crp_misses.load(Ordering::Relaxed),
+            devices_enrolled_online: self.devices_enrolled_online.load(Ordering::Relaxed),
             devices,
             latency_buckets_us: self.latency.nonzero_buckets(),
             store: None,
@@ -233,6 +243,9 @@ pub struct FleetSnapshot {
     pub crp_hits: u64,
     /// Reference responses the verifiers had to emulate (cache misses).
     pub crp_misses: u64,
+    /// Devices admitted beyond the configured fleet size while the
+    /// campaign ran (online enrollment).
+    pub devices_enrolled_online: u64,
     /// Device counts by lifecycle state.
     pub devices: StatusCounts,
     /// Non-empty latency buckets as `(lower_bound_us, count)`.
@@ -263,6 +276,9 @@ impl fmt::Display for FleetSnapshot {
             self.devices.revoked,
             self.devices.total()
         )?;
+        if self.devices_enrolled_online > 0 {
+            writeln!(f, "          {} enrolled online (beyond the configured fleet)", self.devices_enrolled_online)?;
+        }
         writeln!(
             f,
             "sessions  {} started / {} accepted / {} rejected ({} timed out) / {} refused",

@@ -39,11 +39,17 @@ use crate::campaign::{
     device_is_flaky, device_is_tampered, provision_device, run_one_chaos_session, run_one_session, CampaignConfig,
     DeviceRecord, DeviceSession, SessionEvent,
 };
+use crate::durable::{
+    config_fingerprint, fast_forward, from_outcome_rec, from_stored, journal, to_outcome_rec, to_stored, DevicePrior,
+};
 use crate::metrics::{FleetMetrics, FleetSnapshot};
 use crate::registry::{DeviceId, FleetStatus, SessionOutcome, ShardedRegistry};
 use crate::sync::lock;
 use pufatt::PufattError;
 use pufatt_alupuf::device::AluPufDesign;
+use pufatt_store::record::Record;
+use pufatt_store::state::MetaInfo;
+use pufatt_store::{ShardedStore, StoreError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -51,7 +57,14 @@ use std::sync::{Arc, Mutex};
 /// One device's server-side state.
 enum Slot {
     /// Provisioned and ready to attest.
-    Ready(Box<DeviceSession>),
+    Ready {
+        /// Live prover/verifier session state.
+        session: Box<DeviceSession>,
+        /// Session events journaled for this device (the cursor position a
+        /// journaled service writes after each one). Tracked here so the
+        /// service never has to read the store back on the hot path.
+        events_seen: u32,
+    },
     /// Provisioning failed; the device is enrolled in the registry but can
     /// never run a session this campaign (mirrors the in-process
     /// campaign's abandoned devices).
@@ -117,6 +130,14 @@ pub struct FleetService {
     metrics: FleetMetrics,
     slots: Vec<Mutex<HashMap<DeviceId, Slot>>>,
     next_ticket: AtomicU64,
+    /// When present, every enrollment, verdict, refusal, and cursor is
+    /// journaled through the sharded store, and construction restored the
+    /// service from whatever the store already held.
+    journal: Option<Arc<ShardedStore>>,
+    /// Background group-commit thread bounding power-cut loss to the
+    /// configured commit interval. Spawned by [`FleetService::with_journal`]
+    /// when `commit_interval_s > 0`; stopped (with a final flush) on drop.
+    committer: Option<pufatt_store::Committer>,
 }
 
 impl FleetService {
@@ -146,7 +167,121 @@ impl FleetService {
             slots: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             next_ticket: AtomicU64::new(1),
             cfg,
+            journal: None,
+            committer: None,
         })
+    }
+
+    /// Builds a service whose state is journaled through (and restored
+    /// from) a sharded durable store — the `pufatt serve --state-dir`
+    /// entry point. An empty store starts fresh; a store holding this
+    /// configuration's campaign is restored: every enrolled device is
+    /// re-provisioned and fast-forwarded to its journaled cursor, so the
+    /// restarted service hands out **bit-identical** verdicts from where
+    /// the previous process stopped.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetService::new`]; [`PufattError::Storage`] if the store
+    /// belongs to a different campaign configuration.
+    pub fn with_journal(cfg: CampaignConfig, store: Arc<ShardedStore>) -> Result<Self, PufattError> {
+        let mut service = FleetService::new(cfg)?;
+        let meta = MetaInfo {
+            config_hash: config_fingerprint(&service.cfg),
+            devices: service.cfg.devices as u32,
+            sessions_per_device: service.cfg.sessions_per_device,
+            seed: service.cfg.seed,
+        };
+        match store.meta() {
+            Some(existing) if existing != meta => {
+                return Err(PufattError::Storage(
+                    "state directory belongs to a different campaign configuration; refusing to blend them".into(),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                store
+                    .append_synced(&Record::Meta {
+                        config_hash: meta.config_hash,
+                        devices: meta.devices,
+                        sessions_per_device: meta.sessions_per_device,
+                        seed: meta.seed,
+                    })
+                    .map_err(|e| PufattError::Storage(e.to_string()))?;
+            }
+        }
+        service.metrics = FleetMetrics::from_store_counters(&store.counters());
+        let mut restore_error = None;
+        store.for_each_device(|id, device| {
+            service.registry.restore_device(
+                id,
+                from_stored(device.status),
+                device.fails,
+                device.succs,
+                device.outcomes.iter().map(from_outcome_rec).collect(),
+                device.outcomes_total,
+            );
+            if id as usize >= service.cfg.devices {
+                service.metrics.device_enrolled_online();
+            }
+            let prior = DevicePrior::from_state(device);
+            let shard = service.shard_of(id);
+            let slot = if prior.abandoned {
+                Slot::Abandoned
+            } else {
+                match provision_device(&service.design, &service.cfg, id) {
+                    Ok(mut session) => {
+                        fast_forward(&mut session, &service.cfg, &prior);
+                        Slot::Ready { session: Box::new(session), events_seen: prior.events_seen }
+                    }
+                    Err(e) => {
+                        // Provisioning is deterministic; a device that
+                        // provisioned before must provision again. Failing
+                        // here means the store and the configuration
+                        // disagree — refuse the restore.
+                        restore_error.get_or_insert(e);
+                        return;
+                    }
+                }
+            };
+            lock(&service.slots[shard]).insert(id, slot);
+        });
+        if let Some(e) = restore_error {
+            return Err(e);
+        }
+        if service.cfg.commit_interval_s > 0.0 {
+            service.committer =
+                Some(store.committer(std::time::Duration::from_secs_f64(service.cfg.commit_interval_s)));
+        }
+        service.journal = Some(store);
+        Ok(service)
+    }
+
+    /// Appends `record` to the journal (group-committed, forced-sync
+    /// fallback under backpressure). No-op for unjournaled services.
+    fn journal_event(&self, record: &Record) {
+        if let Some(store) = &self.journal {
+            journal(store, record);
+        }
+    }
+
+    /// Journals the post-session cursor for a device's live slot.
+    fn journal_cursor(&self, id: DeviceId, slot: &mut Slot) {
+        if self.journal.is_none() {
+            return;
+        }
+        if let Slot::Ready { session, events_seen } = slot {
+            *events_seen += 1;
+            let c = session.cursor();
+            self.journal_event(&Record::DeviceCursor {
+                id,
+                events_done: *events_seen,
+                session_pos: c.session_pos,
+                noise_pos: c.noise_pos,
+                noise_evals: c.noise_evals,
+                tamper_parity: c.tamper_parity,
+            });
+        }
     }
 
     /// The verdict-affecting configuration this service runs.
@@ -174,19 +309,33 @@ impl FleetService {
     /// abandoned and counted as a device fault.
     pub fn enroll(&self, id: DeviceId) -> Result<EnrollOutcome, PufattError> {
         let mut slots = lock(&self.slots[self.shard_of(id)]);
+        if self.registry.status(id).is_none() {
+            // Admit-or-absent: the enrollment is durable before the device
+            // becomes visible in the registry or a slot.
+            if let Some(store) = &self.journal {
+                match store.append_synced(&Record::DeviceEnrolled { id }) {
+                    Ok(()) | Err(StoreError::IllegalTransition { .. }) => {}
+                    Err(e) => return Err(PufattError::Storage(e.to_string())),
+                }
+            }
+        }
         let fresh = self.registry.enroll(id);
+        if fresh && id as usize >= self.cfg.devices {
+            self.metrics.device_enrolled_online();
+        }
         if slots.contains_key(&id) {
             let status = self.registry.status(id).unwrap_or(FleetStatus::Active);
             return Ok(EnrollOutcome { fresh: false, status });
         }
         match provision_device(&self.design, &self.cfg, id) {
             Ok(session) => {
-                slots.insert(id, Slot::Ready(Box::new(session)));
+                slots.insert(id, Slot::Ready { session: Box::new(session), events_seen: 0 });
                 let status = self.registry.status(id).unwrap_or(FleetStatus::Active);
                 Ok(EnrollOutcome { fresh, status })
             }
             Err(e) => {
                 self.metrics.device_fault();
+                self.journal_event(&Record::DeviceAbandoned { id });
                 slots.insert(id, Slot::Abandoned);
                 Err(e)
             }
@@ -197,17 +346,21 @@ impl FleetService {
     /// campaign runner performs. A revoked device's session is counted as
     /// refused here (never started), exactly as in-process.
     pub fn open_session(&self, id: DeviceId) -> SessionGate {
-        let slots = lock(&self.slots[self.shard_of(id)]);
+        let mut slots = lock(&self.slots[self.shard_of(id)]);
         match self.registry.status(id) {
             None => SessionGate::Unknown,
             Some(FleetStatus::Revoked) => {
                 self.metrics.session_refused();
+                self.journal_event(&Record::SessionRefused { id });
+                if let Some(slot) = slots.get_mut(&id) {
+                    self.journal_cursor(id, slot);
+                }
                 SessionGate::Refused
             }
             Some(_) => match slots.get(&id) {
                 None => SessionGate::Unknown,
                 Some(Slot::Abandoned) => SessionGate::Faulty,
-                Some(Slot::Ready(_)) => {
+                Some(Slot::Ready { .. }) => {
                     SessionGate::Granted { ticket: self.next_ticket.fetch_add(1, Ordering::Relaxed) }
                 }
             },
@@ -222,6 +375,10 @@ impl FleetService {
         let mut slots = lock(&self.slots[self.shard_of(id)]);
         if self.registry.status(id) == Some(FleetStatus::Revoked) {
             self.metrics.session_refused();
+            self.journal_event(&Record::SessionRefused { id });
+            if let Some(slot) = slots.get_mut(&id) {
+                self.journal_cursor(id, slot);
+            }
             return ServiceVerdict::Refused;
         }
         let Some(slot) = slots.get_mut(&id) else {
@@ -229,23 +386,36 @@ impl FleetService {
         };
         let session = match slot {
             Slot::Abandoned => return ServiceVerdict::Unknown,
-            Slot::Ready(session) => session,
+            Slot::Ready { session, .. } => session,
         };
         let event = if self.cfg.chaos.is_some() {
             run_one_chaos_session(session, &self.cfg, &self.metrics)
         } else {
             run_one_session(session, &self.cfg, &self.metrics)
         };
-        match event {
-            SessionEvent::Closed { outcome, .. } => {
-                let status = self
+        let verdict = match event {
+            SessionEvent::Closed { outcome, retried, dropped, lost, crp_hits, crp_misses } => {
+                let (status, fails, succs) = self
                     .registry
-                    .record_outcome(id, outcome.clone(), &self.cfg.policy)
-                    .unwrap_or(FleetStatus::Active);
+                    .record_outcome_traced(id, outcome.clone(), &self.cfg.policy)
+                    .unwrap_or((FleetStatus::Active, 0, 0));
+                let rec = to_outcome_rec(&outcome, retried, dropped, lost, crp_hits, crp_misses);
+                self.journal_event(&Record::SessionClosed {
+                    id,
+                    outcome: rec,
+                    status: to_stored(status),
+                    fails,
+                    succs,
+                });
                 ServiceVerdict::Closed { outcome, status }
             }
-            SessionEvent::Fault { .. } => ServiceVerdict::Fault,
-        }
+            SessionEvent::Fault { retried, dropped, crp_hits, crp_misses } => {
+                self.journal_event(&Record::SessionFault { id, retried, dropped, crp_hits, crp_misses });
+                ServiceVerdict::Fault
+            }
+        };
+        self.journal_cursor(id, slot);
+        verdict
     }
 
     /// Records a session that was opened but never attested — the client
@@ -254,9 +424,20 @@ impl FleetService {
     /// the channel ate: started, lost, rejected by timeout, and fed into
     /// the lifecycle so repeated transport loss quarantines the device.
     pub fn abort_session(&self, id: DeviceId) {
-        let _slots = lock(&self.slots[self.shard_of(id)]);
-        if self.registry.status(id).is_none() {
-            return;
+        let mut slots = lock(&self.slots[self.shard_of(id)]);
+        match self.registry.status(id) {
+            None => return,
+            Some(FleetStatus::Revoked) => {
+                // The campaign model refuses sessions on revoked devices;
+                // an abort racing a revocation is accounted the same way.
+                self.metrics.session_refused();
+                self.journal_event(&Record::SessionRefused { id });
+                if let Some(slot) = slots.get_mut(&id) {
+                    self.journal_cursor(id, slot);
+                }
+                return;
+            }
+            Some(_) => {}
         }
         self.metrics.session_started();
         self.metrics.session_lost();
@@ -271,20 +452,55 @@ impl FleetService {
             elapsed_s: self.cfg.timeout_s,
         };
         self.metrics.observe_latency(outcome.elapsed_s);
-        self.registry.record_outcome(id, outcome, &self.cfg.policy);
+        if let Some((status, fails, succs)) = self.registry.record_outcome_traced(id, outcome.clone(), &self.cfg.policy)
+        {
+            // An abort consumed no device randomness, so the cursor written
+            // after it repeats the previous RNG positions with the event
+            // count advanced — a restart resumes exactly here.
+            let rec = to_outcome_rec(&outcome, 0, 0, true, 0, 0);
+            self.journal_event(&Record::SessionClosed { id, outcome: rec, status: to_stored(status), fails, succs });
+            if let Some(slot) = slots.get_mut(&id) {
+                self.journal_cursor(id, slot);
+            }
+        }
     }
 
     /// Revokes a device (operator action). Returns its post-call status,
-    /// or `None` for unknown ids.
+    /// or `None` for unknown ids. Journaled with a forced sync — an
+    /// operator's revocation must survive an immediate crash.
     pub fn revoke(&self, id: DeviceId) -> Option<FleetStatus> {
+        let _slots = lock(&self.slots[self.shard_of(id)]);
+        let already_revoked = self.registry.status(id)? == FleetStatus::Revoked;
         self.registry.revoke(id);
+        if !already_revoked {
+            if let Some(store) = &self.journal {
+                if let Err(e) = store
+                    .append_synced(&Record::StatusChanged { id, status: pufatt_store::record::StoredStatus::Revoked })
+                {
+                    panic!("durable store append failed: {e}");
+                }
+            }
+        }
         self.registry.status(id)
     }
 
     /// Re-enrolls a known device (operator action): back to Active with
     /// streaks cleared, history kept. Returns `false` for unknown ids.
+    /// Journaled with a forced sync, like [`FleetService::revoke`].
     pub fn re_enroll(&self, id: DeviceId) -> bool {
-        self.registry.re_enroll(id)
+        let _slots = lock(&self.slots[self.shard_of(id)]);
+        if self.registry.status(id).is_none() {
+            return false;
+        }
+        let changed = self.registry.re_enroll(id);
+        if changed {
+            if let Some(store) = &self.journal {
+                if let Err(e) = store.append_synced(&Record::DeviceReEnrolled { id }) {
+                    panic!("durable store append failed: {e}");
+                }
+            }
+        }
+        changed
     }
 
     /// A device's current lifecycle state.
@@ -312,6 +528,23 @@ impl FleetService {
                 outcomes: self.registry.history(id).unwrap_or_default(),
             })
             .collect()
+    }
+
+    /// Flushes any group-committed tail and writes a snapshot checkpoint,
+    /// so a subsequent [`FleetService::with_journal`] restore replays a
+    /// short WAL suffix instead of the whole history. No-op for an
+    /// unjournaled service.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::Storage`] when the flush or checkpoint write fails;
+    /// the journal itself stays consistent (the checkpoint is advisory).
+    pub fn checkpoint(&self) -> Result<(), PufattError> {
+        if let Some(store) = &self.journal {
+            store.flush().map_err(|e| PufattError::Storage(e.to_string()))?;
+            store.checkpoint().map_err(|e| PufattError::Storage(e.to_string()))?;
+        }
+        Ok(())
     }
 }
 
@@ -407,6 +640,102 @@ mod tests {
         assert_eq!(snap.sessions_started, snap.sessions_rejected);
         service.abort_session(42); // unknown ids are ignored
         assert_eq!(service.snapshot().sessions_lost, 2);
+    }
+
+    fn sharded_opts(cfg: &CampaignConfig) -> pufatt_store::ShardedOptions {
+        pufatt_store::ShardedOptions {
+            history_capacity: cfg.history_capacity,
+            shards: 4,
+            range_width: 2,
+            ..pufatt_store::ShardedOptions::default()
+        }
+    }
+
+    fn open_store(cfg: &CampaignConfig, vfs: &pufatt_store::SimVfs) -> Arc<ShardedStore> {
+        Arc::new(ShardedStore::open(Arc::new(vfs.clone()), sharded_opts(cfg)).expect("recovery"))
+    }
+
+    #[test]
+    fn journaled_service_restarts_bit_identically() {
+        let cfg = small_test_config(6, 2, 0x5E12);
+        let (reference_records, reference_snapshot) = drive_service(&cfg);
+
+        let vfs = pufatt_store::SimVfs::new();
+        let ids: Vec<DeviceId> = (0..cfg.devices as DeviceId).collect();
+        let service = FleetService::with_journal(cfg.clone(), open_store(&cfg, &vfs)).expect("fresh journal");
+        for &id in &ids {
+            let _ = service.enroll(id);
+        }
+        // First session of every device, then stop the process model (a
+        // graceful handle drop: nothing was synced beyond the group
+        // commit, but no power cut means nothing is lost either).
+        for &id in &ids {
+            if matches!(service.open_session(id), SessionGate::Granted { .. }) {
+                let _ = service.attest(id);
+            }
+        }
+        drop(service);
+
+        let service = FleetService::with_journal(cfg.clone(), open_store(&cfg, &vfs)).expect("restore");
+        for _ in 1..cfg.sessions_per_device {
+            for &id in &ids {
+                if matches!(service.open_session(id), SessionGate::Granted { .. }) {
+                    let _ = service.attest(id);
+                }
+            }
+        }
+        assert_eq!(service.device_records(), reference_records, "restart must not change verdicts");
+        assert_eq!(service.snapshot(), reference_snapshot, "restart must not change counters");
+    }
+
+    #[test]
+    fn journaled_service_survives_a_power_cut() {
+        // Tamper-free so every session closes (no refusals): a device's
+        // retained history length then equals its committed session count,
+        // which lets the client re-drive lost sessions to completion.
+        let mut cfg = small_test_config(5, 2, 0x70C1);
+        cfg.tamper_fraction = 0.0;
+        cfg.sessions_per_device = 3;
+        let (reference_records, reference_snapshot) = drive_service(&cfg);
+
+        let vfs = pufatt_store::SimVfs::new();
+        let ids: Vec<DeviceId> = (0..cfg.devices as DeviceId).collect();
+        let service = FleetService::with_journal(cfg.clone(), open_store(&cfg, &vfs)).expect("fresh journal");
+        for &id in &ids {
+            let _ = service.enroll(id);
+        }
+        for _ in 0..2 {
+            for &id in &ids {
+                if matches!(service.open_session(id), SessionGate::Granted { .. }) {
+                    let _ = service.attest(id);
+                }
+            }
+        }
+        drop(service);
+        // Power cut with a torn tail: group-committed records since the
+        // last sync are gone. The restarted service rewinds to the last
+        // committed cursor of each device; re-running the lost sessions
+        // produces the same verdicts they had (determinism), so driving
+        // every device back to a full schedule matches the reference.
+        let disk = vfs.power_cut(pufatt_store::TornMode::Torn);
+        let service = FleetService::with_journal(cfg.clone(), open_store(&cfg, &disk)).expect("restore after cut");
+        for &id in &ids {
+            loop {
+                let done = service
+                    .device_records()
+                    .iter()
+                    .find(|r| r.id == id)
+                    .map(|r| r.outcomes.len())
+                    .unwrap_or(0);
+                if done >= cfg.sessions_per_device as usize {
+                    break;
+                }
+                assert!(matches!(service.open_session(id), SessionGate::Granted { .. }));
+                let _ = service.attest(id);
+            }
+        }
+        assert_eq!(service.device_records(), reference_records, "power cut must not change verdicts");
+        assert_eq!(service.snapshot(), reference_snapshot, "power cut must not change counters");
     }
 
     #[test]

@@ -4,17 +4,45 @@
 
 use pufatt::PufattError;
 use pufatt_fleet::campaign::ChaosConfig;
-use pufatt_fleet::{run_campaign, run_persistent_campaign, small_test_config, CampaignConfig, CampaignReport};
-use pufatt_store::{DurableStore, SimVfs, StoreOptions, TornMode};
+use pufatt_fleet::registry::DeviceId;
+use pufatt_fleet::{
+    run_campaign, run_persistent_campaign, small_test_config, CampaignConfig, CampaignReport, RunningCampaign,
+};
+use pufatt_store::{ShardedOptions, ShardedStore, SimVfs, TornMode};
 use std::sync::Arc;
 
-fn attempt(cfg: &CampaignConfig, vfs: &SimVfs, resume: bool) -> Result<CampaignReport, PufattError> {
-    let opts = StoreOptions {
+/// Narrow ranges over several shards so even these small fleets exercise
+/// cross-shard recovery: device n lives in WAL shard (n/2)%4.
+fn open(cfg: &CampaignConfig, vfs: &SimVfs) -> Result<Arc<ShardedStore>, PufattError> {
+    let opts = ShardedOptions {
         history_capacity: cfg.history_capacity,
-        ..StoreOptions::default()
+        shards: 4,
+        range_width: 2,
+        ..ShardedOptions::default()
     };
-    let store = DurableStore::open(Arc::new(vfs.clone()), opts).map_err(|e| PufattError::Storage(e.to_string()))?;
-    run_persistent_campaign(cfg, &Arc::new(store), resume)
+    ShardedStore::open(Arc::new(vfs.clone()), opts)
+        .map(Arc::new)
+        .map_err(|e| PufattError::Storage(e.to_string()))
+}
+
+fn attempt(cfg: &CampaignConfig, vfs: &SimVfs, resume: bool) -> Result<CampaignReport, PufattError> {
+    run_persistent_campaign(cfg, &open(cfg, vfs)?, resume)
+}
+
+/// Launches the campaign, admits `extra` devices online while the pool is
+/// attesting, and finishes. Re-admitting an already-enrolled device is a
+/// no-op, so resumes pass the same list.
+fn attempt_online(
+    cfg: &CampaignConfig,
+    vfs: &SimVfs,
+    resume: bool,
+    extra: &[DeviceId],
+) -> Result<CampaignReport, PufattError> {
+    let campaign = RunningCampaign::launch(cfg, &open(cfg, vfs)?, resume)?;
+    for &id in extra {
+        campaign.enroll(id)?;
+    }
+    campaign.finish()
 }
 
 /// A crash mid-journal panics the affected pool job by design; silence
@@ -63,6 +91,40 @@ fn campaign_interrupted_anywhere_resumes_to_identical_verdicts() {
             let resumed = attempt(&cfg, &disk, true)
                 .unwrap_or_else(|e| panic!("resume after crash at op {k} ({mode:?}) failed: {e}"));
             assert_matches_reference(&resumed, &reference, &format!("crash at op {k} ({mode:?})"));
+        }
+    }
+    let _ = std::panic::take_hook();
+}
+
+#[test]
+fn online_enrollment_survives_interruption() {
+    silence_expected_panics();
+    let mut cfg = small_test_config(3, 1, 0x0E11);
+    cfg.sessions_per_device = 2;
+    // Ids past the configured range, landing in different WAL shards.
+    let extra: [DeviceId; 2] = [9, 12];
+
+    let probe = SimVfs::new();
+    let mut reference = attempt_online(&cfg, &probe, false, &extra).expect("crash-free online run");
+    // The reference is itself a persistent run; drop its store statistics
+    // so assert_matches_reference compares fleet state only.
+    reference.snapshot.store = None;
+    assert_eq!(reference.snapshot.devices.total(), 5);
+    assert_eq!(reference.snapshot.devices_enrolled_online, 2);
+    let total_ops = probe.ops();
+
+    for k in (0..=total_ops).step_by(3) {
+        for mode in [TornMode::Drop, TornMode::Torn] {
+            let vfs = SimVfs::crashing_at(k);
+            // The interrupted run may die anywhere — including inside an
+            // online enrollment's forced sync, which must leave the device
+            // fully admitted or entirely absent.
+            let _ = attempt_online(&cfg, &vfs, false, &extra);
+            let disk = vfs.power_cut(mode);
+            let resumed = attempt_online(&cfg, &disk, true, &extra)
+                .unwrap_or_else(|e| panic!("online resume after crash at op {k} ({mode:?}) failed: {e}"));
+            assert_matches_reference(&resumed, &reference, &format!("online crash at op {k} ({mode:?})"));
+            assert_eq!(resumed.snapshot.devices_enrolled_online, 2, "crash at op {k} ({mode:?})");
         }
     }
     let _ = std::panic::take_hook();

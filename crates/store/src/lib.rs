@@ -40,6 +40,7 @@ use std::fmt;
 
 pub mod crpdb;
 pub mod record;
+pub mod sharded;
 pub mod state;
 pub mod store;
 pub mod vfs;
@@ -47,7 +48,8 @@ pub mod wal;
 
 pub use crpdb::DurableCrpDb;
 pub use record::{OutcomeRec, Record, StoredStatus};
-pub use state::{Counters, DeviceState, MetaInfo, StatusTally, StoreState};
+pub use sharded::{Committer, ShardedOptions, ShardedStore};
+pub use state::{Counters, CursorInfo, DeviceState, MetaInfo, StatusTally, StoreState};
 pub use store::{DurableStore, StoreOptions, StoreStats};
 pub use vfs::{SimVfs, StdVfs, TornMode, Vfs, TORN_MODES};
 
@@ -80,6 +82,11 @@ pub enum StoreError {
     /// A previous write on this handle failed; the in-memory state may be
     /// ahead of the disk. Reopen the store to recover.
     Broken,
+    /// The group-commit queue is full: as many records as
+    /// [`store::StoreOptions::commit_queue_limit`] allows are already
+    /// awaiting their sync. Nothing was applied or written — sync the
+    /// store (or wait for its committer) and retry.
+    Backpressure,
 }
 
 impl fmt::Display for StoreError {
@@ -92,6 +99,9 @@ impl fmt::Display for StoreError {
                 write!(f, "illegal lifecycle transition for device {id} (currently {from:?}): refused to {event}")
             }
             StoreError::Broken => write!(f, "store handle broken by an earlier write failure; reopen to recover"),
+            StoreError::Backpressure => {
+                write!(f, "group-commit queue full; sync the store (or wait for its committer) and retry")
+            }
         }
     }
 }

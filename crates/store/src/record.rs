@@ -166,6 +166,28 @@ pub enum Record {
         /// Challenge word B.
         b: u64,
     },
+    /// A resume cursor: the deterministic generator positions a device's
+    /// schedule had reached after its most recent journaled event. Resume
+    /// fast-forwards the RNGs straight to these positions instead of
+    /// replaying every prior session, making recovery time independent of
+    /// campaign length. Positions are keystream offsets and evaluation
+    /// counts — public scheduling facts, no response material.
+    DeviceCursor {
+        /// The device id.
+        id: u32,
+        /// Session events covered by this cursor (the index the live loop
+        /// resumes from).
+        events_done: u32,
+        /// The session RNG's keystream word position.
+        session_pos: u64,
+        /// The device PUF noise RNG's keystream word position.
+        noise_pos: u64,
+        /// The device PUF's evaluation count (burst-fault scheduling).
+        noise_evals: u64,
+        /// Whether the mid-traversal tamper mark is present in the
+        /// prover's memory (it persists across sessions once planted).
+        tamper_parity: bool,
+    },
 }
 
 // ------------------------------------------------------------------ codec
@@ -326,6 +348,22 @@ impl Record {
                 w.u64(*a);
                 w.u64(*b);
             }
+            Record::DeviceCursor {
+                id,
+                events_done,
+                session_pos,
+                noise_pos,
+                noise_evals,
+                tamper_parity,
+            } => {
+                w.u8(9);
+                w.u32(*id);
+                w.u32(*events_done);
+                w.u64(*session_pos);
+                w.u64(*noise_pos);
+                w.u64(*noise_evals);
+                w.flag(*tamper_parity);
+            }
         }
     }
 
@@ -366,6 +404,14 @@ impl Record {
             },
             7 => Record::DeviceAbandoned { id: r.u32()? },
             8 => Record::CrpConsumed { a: r.u64()?, b: r.u64()? },
+            9 => Record::DeviceCursor {
+                id: r.u32()?,
+                events_done: r.u32()?,
+                session_pos: r.u64()?,
+                noise_pos: r.u64()?,
+                noise_evals: r.u64()?,
+                tamper_parity: r.flag()?,
+            },
             tag => return Err(StoreError::Corrupt(format!("unknown record tag {tag}"))),
         };
         r.done()?;
@@ -428,6 +474,14 @@ mod tests {
             Record::SessionFault { id: 2, retried: 1, dropped: 4, crp_hits: 16, crp_misses: 48 },
             Record::DeviceAbandoned { id: 5 },
             Record::CrpConsumed { a: u64::MAX, b: 0x0123_4567_89AB_CDEF },
+            Record::DeviceCursor {
+                id: 11,
+                events_done: 3,
+                session_pos: 1_024,
+                noise_pos: u64::MAX / 3,
+                noise_evals: 4_096,
+                tamper_parity: true,
+            },
         ]
     }
 

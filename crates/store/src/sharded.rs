@@ -1,0 +1,633 @@
+//! The sharded store: many independent WAL + snapshot pairs behind one
+//! facade, with group commit and a background committer.
+//!
+//! # Why shard
+//!
+//! A single WAL serialises every fsync behind one file, and a single
+//! snapshot rewrites the whole fleet's state on every checkpoint. For a
+//! million-device campaign both become the bottleneck. Sharding by
+//! device-id range gives each shard its own [`DurableStore`] (own WAL,
+//! own snapshot, own compaction schedule) under one directory:
+//!
+//! ```text
+//! state-dir/
+//!   manifest.bin          "PUFATTM1" | version | shard_count | range_width | crc
+//!   shard-000/wal.log
+//!   shard-000/snapshot.bin
+//!   shard-001/...
+//! ```
+//!
+//! The manifest is written once at creation (temp file → fsync → rename,
+//! like a snapshot) and is authoritative thereafter: reopening with
+//! different options keeps the on-disk geometry, because a record's home
+//! shard must never move between runs. A directory that holds a legacy
+//! single-WAL layout (a root `wal.log` with no manifest) is refused as
+//! corrupt rather than silently restarted.
+//!
+//! # Group commit
+//!
+//! [`ShardedStore::append`] validates, applies, and writes the frame but
+//! does **not** fsync: records accumulate in the OS write queue until the
+//! next [`ShardedStore::flush`] — typically issued by a [`Committer`]
+//! thread every few milliseconds — commits the whole batch with one fsync
+//! per dirty shard. A crash loses at most the unflushed tail, which the
+//! deterministic campaign layer re-runs on resume; per-shard recovery
+//! still yields exactly a committed prefix. When more records than
+//! [`ShardedOptions::commit_queue_limit`] are awaiting their sync on one
+//! shard, further appends fail with [`StoreError::Backpressure`] — a
+//! typed, retryable refusal rather than unbounded memory-ahead-of-disk.
+
+use crate::record::Record;
+use crate::state::{Counters, DeviceState, MetaInfo, StatusTally, StoreState};
+use crate::store::{DurableStore, StoreOptions, StoreStats};
+use crate::vfs::Vfs;
+use crate::wal::crc32;
+use crate::StoreError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The shard manifest file name inside a state directory.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+/// The manifest staging file (atomically renamed onto [`MANIFEST_FILE`]).
+pub const MANIFEST_TMP: &str = "manifest.tmp";
+/// Identifies a shard manifest (and its format revision).
+pub const MANIFEST_MAGIC: [u8; 8] = *b"PUFATTM1";
+const MANIFEST_VERSION: u32 = 1;
+/// Sanity bound on the shard count a manifest may declare.
+pub const MAX_SHARDS: u32 = 1024;
+
+/// Tuning knobs for a [`ShardedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedOptions {
+    /// Retained outcomes per device (mirrors the registry's bound).
+    pub history_capacity: usize,
+    /// Shards to create. Ignored on reopen — the manifest is
+    /// authoritative once a directory exists.
+    pub shards: u32,
+    /// Consecutive device ids per range stripe: device `id` lives in
+    /// shard `(id / range_width) % shards`. Ignored on reopen.
+    pub range_width: u32,
+    /// Per-shard bound on group-commit records awaiting their sync
+    /// before [`ShardedStore::append`] refuses with
+    /// [`StoreError::Backpressure`]. `0` means unbounded.
+    pub commit_queue_limit: u32,
+    /// Compact a shard (snapshot + truncate its WAL) once its WAL grows
+    /// past this many bytes. `0` disables size-triggered compaction;
+    /// [`ShardedStore::checkpoint`] still compacts on demand.
+    pub compact_wal_bytes: u64,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            history_capacity: 64,
+            shards: 8,
+            range_width: 1024,
+            commit_queue_limit: 4096,
+            compact_wal_bytes: 16 << 20,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn encode_manifest(shards: u32, range_width: u32) -> Vec<u8> {
+    let mut out = MANIFEST_MAGIC.to_vec();
+    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    out.extend_from_slice(&shards.to_le_bytes());
+    out.extend_from_slice(&range_width.to_le_bytes());
+    let crc = crc32(&out[MANIFEST_MAGIC.len()..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<(u32, u32), StoreError> {
+    if bytes.len() != MANIFEST_MAGIC.len() + 16 || bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+        return Err(StoreError::Corrupt("shard manifest header invalid".into()));
+    }
+    let word = |i: usize| {
+        let o = MANIFEST_MAGIC.len() + 4 * i;
+        u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]])
+    };
+    if crc32(&bytes[MANIFEST_MAGIC.len()..MANIFEST_MAGIC.len() + 12]) != word(3) {
+        return Err(StoreError::Corrupt("shard manifest checksum mismatch".into()));
+    }
+    if word(0) != MANIFEST_VERSION {
+        return Err(StoreError::Corrupt(format!("shard manifest version {} unsupported", word(0))));
+    }
+    let (shards, range_width) = (word(1), word(2));
+    if shards == 0 || shards > MAX_SHARDS || range_width == 0 {
+        return Err(StoreError::Corrupt(format!(
+            "shard manifest geometry implausible ({shards} shards, range width {range_width})"
+        )));
+    }
+    Ok((shards, range_width))
+}
+
+/// A device-id-range-sharded durable store: one [`DurableStore`] per
+/// shard, a manifest pinning the geometry, and group-commit appends.
+pub struct ShardedStore {
+    shards: Vec<DurableStore>,
+    shard_count: u32,
+    range_width: u32,
+    compact_wal_bytes: u64,
+}
+
+impl ShardedStore {
+    /// Opens (creating or recovering) a sharded store over `vfs`.
+    ///
+    /// On a fresh directory the manifest is committed first (temp file →
+    /// fsync → rename), then each shard recovers independently. On
+    /// reopen the manifest's geometry overrides `opts.shards` /
+    /// `opts.range_width`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] for a damaged manifest, a legacy
+    /// single-WAL layout (a root `wal.log` without a manifest — migrate
+    /// it explicitly rather than letting a typo'd path restart a
+    /// campaign), implausible geometry in `opts`, or shard-level
+    /// corruption; I/O errors from the backend.
+    pub fn open(vfs: Arc<dyn Vfs>, opts: ShardedOptions) -> Result<Self, StoreError> {
+        let (shard_count, range_width) = match vfs.read(MANIFEST_FILE)? {
+            Some(bytes) => decode_manifest(&bytes)?,
+            None => {
+                if vfs.exists(crate::store::WAL_FILE) || vfs.exists(crate::store::SNAPSHOT_FILE) {
+                    return Err(StoreError::Corrupt(
+                        "directory holds a legacy single-WAL store (no shard manifest); refusing to overlay a sharded layout on it"
+                            .into(),
+                    ));
+                }
+                if opts.shards == 0 || opts.shards > MAX_SHARDS || opts.range_width == 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "implausible shard geometry requested ({} shards, range width {})",
+                        opts.shards, opts.range_width
+                    )));
+                }
+                let manifest = encode_manifest(opts.shards, opts.range_width);
+                vfs.truncate(MANIFEST_TMP, &manifest)?;
+                vfs.sync(MANIFEST_TMP)?;
+                vfs.rename(MANIFEST_TMP, MANIFEST_FILE)?;
+                (opts.shards, opts.range_width)
+            }
+        };
+        let store_opts = StoreOptions {
+            history_capacity: opts.history_capacity,
+            sync_every: 1,
+            commit_queue_limit: opts.commit_queue_limit,
+        };
+        let mut shards = Vec::with_capacity(shard_count as usize);
+        for i in 0..shard_count {
+            shards.push(DurableStore::open_at(Arc::clone(&vfs), store_opts, &format!("shard-{i:03}/"))?);
+        }
+        Ok(ShardedStore {
+            shards,
+            shard_count,
+            range_width,
+            compact_wal_bytes: opts.compact_wal_bytes,
+        })
+    }
+
+    /// The shard a device id lives in.
+    pub fn shard_of_id(&self, id: u32) -> usize {
+        ((id / self.range_width) % self.shard_count) as usize
+    }
+
+    /// The shard a record routes to — exposed so invariant tests can
+    /// shadow the store's routing decision for any record.
+    pub fn shard_of_record(&self, record: &Record) -> usize {
+        self.shard_of(record)
+    }
+
+    /// Copies of every shard's materialised state, in shard order. An
+    /// inspection hook for invariant tests; production paths use the
+    /// clone-free accessors.
+    pub fn shard_states(&self) -> Vec<StoreState> {
+        self.shards.iter().map(DurableStore::state).collect()
+    }
+
+    fn shard_of(&self, record: &Record) -> usize {
+        match record {
+            // Campaign identity lives in shard 0 — one authoritative copy.
+            Record::Meta { .. } => 0,
+            Record::DeviceEnrolled { id }
+            | Record::DeviceReEnrolled { id }
+            | Record::StatusChanged { id, .. }
+            | Record::SessionClosed { id, .. }
+            | Record::SessionRefused { id }
+            | Record::SessionFault { id, .. }
+            | Record::DeviceAbandoned { id }
+            | Record::DeviceCursor { id, .. } => self.shard_of_id(*id),
+            // Challenges have no device affinity; hash them so the spent
+            // set spreads evenly.
+            Record::CrpConsumed { a, b } => (splitmix64(a ^ b.rotate_left(32)) % u64::from(self.shard_count)) as usize,
+        }
+    }
+
+    /// Appends a record on the group-commit path: acknowledged once it is
+    /// in its shard's write queue, committed at the next flush (the
+    /// committer's latency bound).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Backpressure`] when the shard's commit queue is full
+    /// (nothing applied — flush and retry); otherwise as
+    /// [`DurableStore::append`].
+    pub fn append(&self, record: &Record) -> Result<(), StoreError> {
+        self.shards[self.shard_of(record)].append_nosync(record)?;
+        Ok(())
+    }
+
+    /// Appends a record and syncs its shard before returning: the record
+    /// is committed when this returns. Enrollment admissions and external
+    /// consume-once CRP releases use this.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::append_synced`].
+    pub fn append_synced(&self, record: &Record) -> Result<(), StoreError> {
+        self.shards[self.shard_of(record)].append_synced(record)?;
+        Ok(())
+    }
+
+    /// Commits every shard's pending group-commit batch: one fsync per
+    /// dirty shard. Every shard is attempted even if one fails.
+    ///
+    /// # Errors
+    ///
+    /// The first error encountered, after all shards were attempted.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let mut first_err = None;
+        for shard in &self.shards {
+            if shard.unsynced() > 0 {
+                if let Err(e) = shard.sync() {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Compacts any shard whose WAL has outgrown
+    /// [`ShardedOptions::compact_wal_bytes`] — shards compact
+    /// independently, so a hot range never forces a cold shard to rewrite
+    /// its snapshot. Returns how many shards compacted.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the backend (the failing shard is left broken, as
+    /// with any checkpoint failure).
+    pub fn maybe_compact(&self) -> Result<usize, StoreError> {
+        if self.compact_wal_bytes == 0 {
+            return Ok(0);
+        }
+        let mut compacted = 0;
+        for shard in &self.shards {
+            if shard.stats().wal_bytes > self.compact_wal_bytes {
+                shard.checkpoint()?;
+                compacted += 1;
+            }
+        }
+        Ok(compacted)
+    }
+
+    /// Writes a fresh snapshot and compacts the WAL on every shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::checkpoint`].
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            shard.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Campaign identity, if recorded (held by shard 0).
+    pub fn meta(&self) -> Option<MetaInfo> {
+        self.shards[0].meta()
+    }
+
+    /// Whether a challenge has been durably consumed (on its home shard).
+    pub fn is_spent(&self, a: u64, b: u64) -> bool {
+        let shard = (splitmix64(a ^ b.rotate_left(32)) % u64::from(self.shard_count)) as usize;
+        self.shards[shard].is_spent(a, b)
+    }
+
+    /// A copy of one device's durable state, if it is enrolled.
+    pub fn device(&self, id: u32) -> Option<DeviceState> {
+        self.shards[self.shard_of_id(id)].with_state(|s| s.devices.get(&id).cloned())
+    }
+
+    /// Runs `f` for every enrolled device, shard by shard (ids within a
+    /// shard ascend; across shards they interleave by range stripe).
+    /// Clone-free: the restore path walks a million devices through here.
+    pub fn for_each_device(&self, mut f: impl FnMut(u32, &DeviceState)) {
+        for shard in &self.shards {
+            shard.with_state(|s: &StoreState| {
+                for (id, d) in &s.devices {
+                    f(*id, d);
+                }
+            });
+        }
+    }
+
+    /// Fleet-wide counters, merged across shards.
+    pub fn counters(&self) -> Counters {
+        let mut total = Counters::default();
+        for shard in &self.shards {
+            shard.with_state(|s| total.merge(&s.counters));
+        }
+        total
+    }
+
+    /// Device counts by lifecycle state, summed across shards.
+    pub fn status_tally(&self) -> StatusTally {
+        let mut tally = StatusTally::default();
+        for shard in &self.shards {
+            let t = shard.status_tally();
+            tally.active += t.active;
+            tally.quarantined += t.quarantined;
+            tally.revoked += t.revoked;
+        }
+        tally
+    }
+
+    /// Durability counters summed across shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            total.wal_bytes += s.wal_bytes;
+            total.records_appended += s.records_appended;
+            total.records_replayed += s.records_replayed;
+            total.snapshots_written += s.snapshots_written;
+            total.torn_tails_recovered += s.torn_tails_recovered;
+        }
+        total
+    }
+
+    /// Whether any shard's handle has been poisoned by a write failure.
+    pub fn is_broken(&self) -> bool {
+        self.shards.iter().any(DurableStore::is_broken)
+    }
+
+    /// Number of shards (from the manifest).
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// Consecutive device ids per range stripe (from the manifest).
+    pub fn range_width(&self) -> u32 {
+        self.range_width
+    }
+
+    /// Records awaiting their group-commit sync, summed across shards.
+    pub fn unsynced(&self) -> u32 {
+        self.shards.iter().map(DurableStore::unsynced).sum()
+    }
+
+    /// Spawns a background committer that flushes dirty shards (and runs
+    /// size-triggered compaction) every `interval` — the group-commit
+    /// latency bound. Dropping the returned [`Committer`] stops the
+    /// thread after one final flush, so shutdown never strands a batch.
+    pub fn committer(self: &Arc<Self>, interval: Duration) -> Committer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let store = Arc::clone(self);
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                std::thread::sleep(interval);
+                if store.flush().is_err() || store.maybe_compact().is_err() {
+                    // A shard broke: nothing more can commit through this
+                    // handle; the owner sees it via is_broken().
+                    break;
+                }
+            }
+            let _ = store.flush();
+        });
+        Committer { stop, handle: Some(handle) }
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shard_count)
+            .field("range_width", &self.range_width)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Handle to a background group-commit thread (see
+/// [`ShardedStore::committer`]). Dropping it requests a stop, waits for
+/// the thread, and flushes one last time — flush-on-shutdown is
+/// structural, not a convention callers must remember.
+pub struct Committer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Committer {
+    /// Stops the committer and waits for its final flush.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Committer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::record::StoredStatus;
+    use crate::vfs::{SimVfs, TornMode};
+
+    fn small_opts() -> ShardedOptions {
+        ShardedOptions {
+            shards: 4,
+            range_width: 2,
+            commit_queue_limit: 0,
+            ..ShardedOptions::default()
+        }
+    }
+
+    fn open_sim(vfs: &SimVfs, opts: ShardedOptions) -> ShardedStore {
+        ShardedStore::open(Arc::new(vfs.clone()), opts).unwrap()
+    }
+
+    #[test]
+    fn records_route_by_range_and_survive_reopen() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, small_opts());
+        // range_width 2, 4 shards: ids 0,1 → shard 0; 2,3 → 1; 8,9 → 0.
+        assert_eq!(store.shard_of_id(0), 0);
+        assert_eq!(store.shard_of_id(1), 0);
+        assert_eq!(store.shard_of_id(2), 1);
+        assert_eq!(store.shard_of_id(7), 3);
+        assert_eq!(store.shard_of_id(8), 0);
+        store
+            .append_synced(&Record::Meta { config_hash: 5, devices: 9, sessions_per_device: 1, seed: 3 })
+            .unwrap();
+        for id in 0..9 {
+            store.append(&Record::DeviceEnrolled { id }).unwrap();
+        }
+        store.append(&Record::CrpConsumed { a: 11, b: 22 }).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        assert!(vfs.exists("manifest.bin"));
+        assert!(vfs.exists("shard-000/wal.log"));
+        let store = open_sim(&vfs, small_opts());
+        assert_eq!(store.meta().unwrap().devices, 9);
+        assert_eq!(store.status_tally().active, 9);
+        assert!(store.is_spent(11, 22));
+        assert!(store.device(8).is_some());
+        assert!(store.device(9).is_none());
+        let mut seen = Vec::new();
+        store.for_each_device(|id, d| {
+            assert_eq!(d.status, StoredStatus::Active);
+            seen.push(id);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn manifest_geometry_is_authoritative_on_reopen() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, small_opts());
+        store.append(&Record::DeviceEnrolled { id: 6 }).unwrap();
+        store.flush().unwrap();
+        drop(store);
+        // Reopening with different (even implausible-to-change) geometry
+        // keeps the on-disk layout: device 6 is still found in shard 3.
+        let store = open_sim(&vfs, ShardedOptions { shards: 2, range_width: 64, ..ShardedOptions::default() });
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.range_width(), 2);
+        assert!(store.device(6).is_some());
+    }
+
+    #[test]
+    fn legacy_single_wal_layout_is_refused() {
+        let vfs = SimVfs::new();
+        let single = DurableStore::open(Arc::new(vfs.clone()), StoreOptions::default()).unwrap();
+        single.append(&Record::DeviceEnrolled { id: 0 }).unwrap();
+        drop(single);
+        let err = ShardedStore::open(Arc::new(vfs), small_opts()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn damaged_manifest_is_fatal_not_silent() {
+        let vfs = SimVfs::new();
+        drop(open_sim(&vfs, small_opts()));
+        let mut img = vfs.read(MANIFEST_FILE).unwrap().unwrap();
+        img[10] ^= 0x04;
+        vfs.truncate(MANIFEST_FILE, &img).unwrap();
+        vfs.sync(MANIFEST_FILE).unwrap();
+        let err = ShardedStore::open(Arc::new(vfs), small_opts()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+    }
+
+    #[test]
+    fn backpressure_is_per_shard_and_retryable_after_flush() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, ShardedOptions { commit_queue_limit: 1, ..small_opts() });
+        store.append(&Record::DeviceEnrolled { id: 0 }).unwrap();
+        // Shard 0's queue is full; shard 1 still accepts.
+        assert_eq!(store.append(&Record::DeviceEnrolled { id: 1 }), Err(StoreError::Backpressure));
+        store.append(&Record::DeviceEnrolled { id: 2 }).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.unsynced(), 0);
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+    }
+
+    #[test]
+    fn group_commit_loses_at_most_the_unflushed_tail_per_shard() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, small_opts());
+        for id in 0..8 {
+            store.append(&Record::DeviceEnrolled { id }).unwrap();
+        }
+        store.flush().unwrap();
+        for id in 8..16 {
+            store.append(&Record::DeviceEnrolled { id }).unwrap();
+        }
+        // Power cut with the batch still volatile: the flushed prefix
+        // survives on every shard, the unflushed tail is gone.
+        let disk = vfs.power_cut(TornMode::Drop);
+        let store = open_sim(&disk, small_opts());
+        let tally = store.status_tally();
+        assert_eq!(tally.active, 8);
+        for id in 0..8 {
+            assert!(store.device(id).is_some(), "committed device {id} lost");
+        }
+        for id in 8..16 {
+            assert!(store.device(id).is_none(), "uncommitted device {id} resurrected");
+        }
+    }
+
+    #[test]
+    fn size_triggered_compaction_is_per_shard() {
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, ShardedOptions { compact_wal_bytes: 64, ..small_opts() });
+        store.append(&Record::DeviceEnrolled { id: 0 }).unwrap();
+        store.append(&Record::DeviceEnrolled { id: 2 }).unwrap();
+        // Only shard 0's WAL outgrows the bound.
+        for _ in 0..16 {
+            store
+                .append(&Record::StatusChanged { id: 0, status: StoredStatus::Active })
+                .unwrap();
+        }
+        store.flush().unwrap();
+        let before = store.stats().snapshots_written;
+        let compacted = store.maybe_compact().unwrap();
+        assert_eq!(compacted, 1, "exactly the hot shard compacts");
+        assert_eq!(store.stats().snapshots_written, before + 1);
+    }
+
+    #[test]
+    fn committer_flushes_within_its_latency_bound() {
+        let vfs = SimVfs::new();
+        let store = Arc::new(open_sim(&vfs, small_opts()));
+        let committer = store.committer(Duration::from_millis(1));
+        store.append(&Record::DeviceEnrolled { id: 0 }).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while store.unsynced() > 0 {
+            assert!(std::time::Instant::now() < deadline, "committer never flushed");
+            std::thread::yield_now();
+        }
+        // Stop flushes one final time; a fresh append right before the
+        // stop is still committed.
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        committer.stop();
+        assert_eq!(store.unsynced(), 0);
+        let disk = vfs.power_cut(TornMode::Drop);
+        let store = open_sim(&disk, small_opts());
+        assert!(store.device(0).is_some());
+        assert!(store.device(1).is_some());
+    }
+}

@@ -36,6 +36,27 @@ pub struct MetaInfo {
     pub seed: u64,
 }
 
+/// The deterministic generator positions a device had reached after its
+/// most recent journaled event (see [`crate::Record::DeviceCursor`]).
+/// With a cursor present, resume fast-forwards the RNGs in O(1) instead
+/// of replaying every earlier session; event entries the cursor covers
+/// are dropped from [`DeviceState::events`], which is what bounds both
+/// replay work and resident state for million-device campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CursorInfo {
+    /// Session events covered by the cursor (the live loop resumes here).
+    pub events_done: u32,
+    /// The session RNG's keystream word position.
+    pub session_pos: u64,
+    /// The device PUF noise RNG's keystream word position.
+    pub noise_pos: u64,
+    /// The device PUF's evaluation count (burst-fault scheduling).
+    pub noise_evals: u64,
+    /// Whether the mid-traversal tamper mark is present in the prover's
+    /// memory.
+    pub tamper_parity: bool,
+}
+
 /// One device's durable state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceState {
@@ -46,8 +67,15 @@ pub struct DeviceState {
     /// Consecutive-success streak (mirrors the registry).
     pub succs: u32,
     /// Session events in schedule order ([`EV_CLOSED`] / [`EV_REFUSED`] /
-    /// [`EV_FAULT`]).
+    /// [`EV_FAULT`]) *after* the cursor — events a cursor covers are
+    /// dropped, so this is a tail, not the full history. The absolute
+    /// index of `events[0]` is `events_seen - events.len()`.
     pub events: Vec<u8>,
+    /// Session events ever recorded for this device, including those the
+    /// cursor already covers.
+    pub events_seen: u32,
+    /// The resume fast-forward point, if any cursor has been journaled.
+    pub cursor: Option<CursorInfo>,
     /// Retained outcomes, oldest first, bounded by the history capacity.
     pub outcomes: VecDeque<OutcomeRec>,
     /// Outcomes ever recorded (retained + rolled off).
@@ -67,6 +95,8 @@ impl DeviceState {
             fails: 0,
             succs: 0,
             events: Vec::new(),
+            events_seen: 0,
+            cursor: None,
             outcomes: VecDeque::new(),
             outcomes_total: 0,
             refused: 0,
@@ -121,6 +151,27 @@ impl Default for Counters {
             crp_hits: 0,
             crp_misses: 0,
             latency: [0; LATENCY_SLOTS],
+        }
+    }
+}
+
+impl Counters {
+    /// Adds `other`'s totals into `self` — used to aggregate per-shard
+    /// counters into a fleet-wide view.
+    pub fn merge(&mut self, other: &Counters) {
+        self.started += other.started;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.timed_out += other.timed_out;
+        self.retried += other.retried;
+        self.refused += other.refused;
+        self.faults += other.faults;
+        self.dropped += other.dropped;
+        self.lost += other.lost;
+        self.crp_hits += other.crp_hits;
+        self.crp_misses += other.crp_misses;
+        for (slot, v) in self.latency.iter_mut().zip(other.latency.iter()) {
+            *slot += v;
         }
     }
 }
@@ -255,6 +306,7 @@ impl StoreState {
                 device.fails = *fails;
                 device.succs = *succs;
                 device.events.push(EV_CLOSED);
+                device.events_seen += 1;
                 device.outcomes.push_back(*outcome);
                 while device.outcomes.len() > cap {
                     device.outcomes.pop_front();
@@ -289,6 +341,7 @@ impl StoreState {
                     });
                 }
                 device.events.push(EV_REFUSED);
+                device.events_seen += 1;
                 device.refused += 1;
                 self.counters.refused += 1;
             }
@@ -302,6 +355,7 @@ impl StoreState {
                     });
                 }
                 device.events.push(EV_FAULT);
+                device.events_seen += 1;
                 device.faults += 1;
                 let c = &mut self.counters;
                 c.started += 1;
@@ -319,6 +373,41 @@ impl StoreState {
             }
             Record::CrpConsumed { a, b } => {
                 self.spent.insert((*a, *b));
+            }
+            Record::DeviceCursor {
+                id,
+                events_done,
+                session_pos,
+                noise_pos,
+                noise_evals,
+                tamper_parity,
+            } => {
+                let device = self.device_mut(*id)?;
+                if *events_done > device.events_seen {
+                    return Err(StoreError::Corrupt(format!(
+                        "cursor for device {id} covers {events_done} events but only {} were journaled",
+                        device.events_seen
+                    )));
+                }
+                if let Some(prev) = &device.cursor {
+                    if *events_done < prev.events_done {
+                        return Err(StoreError::Corrupt(format!("cursor regressed for device {id}")));
+                    }
+                }
+                // Events the cursor covers will never be replayed again —
+                // drop them from the retained tail. `events[0]`'s absolute
+                // index is `events_seen - events.len()`.
+                let tail_start = device.events_seen - device.events.len() as u32;
+                if *events_done > tail_start {
+                    device.events.drain(..(*events_done - tail_start) as usize);
+                }
+                device.cursor = Some(CursorInfo {
+                    events_done: *events_done,
+                    session_pos: *session_pos,
+                    noise_pos: *noise_pos,
+                    noise_evals: *noise_evals,
+                    tamper_parity: *tamper_parity,
+                });
             }
         }
         self.last_seq = seq;
@@ -392,6 +481,18 @@ impl StoreState {
             u64le(out, d.outcomes_total);
             u32le(out, d.events.len() as u32);
             out.extend_from_slice(&d.events);
+            u32le(out, d.events_seen);
+            match &d.cursor {
+                None => out.push(0),
+                Some(c) => {
+                    out.push(1);
+                    u32le(out, c.events_done);
+                    u64le(out, c.session_pos);
+                    u64le(out, c.noise_pos);
+                    u64le(out, c.noise_evals);
+                    out.push(u8::from(c.tamper_parity));
+                }
+            }
             u32le(out, d.outcomes.len() as u32);
             for o in &d.outcomes {
                 write_outcome_into(out, o);
@@ -465,6 +566,27 @@ impl StoreState {
                 }
                 events.push(ev);
             }
+            let events_seen = r.u32()?;
+            if (events_seen as usize) < events.len() {
+                return Err(StoreError::Corrupt(format!("device {id} events_seen below retained tail")));
+            }
+            let cursor = match r.u8()? {
+                0 => None,
+                1 => {
+                    let c = CursorInfo {
+                        events_done: r.u32()?,
+                        session_pos: r.u64()?,
+                        noise_pos: r.u64()?,
+                        noise_evals: r.u64()?,
+                        tamper_parity: r.flag()?,
+                    };
+                    if c.events_done > events_seen {
+                        return Err(StoreError::Corrupt(format!("device {id} cursor ahead of its events")));
+                    }
+                    Some(c)
+                }
+                other => return Err(StoreError::Corrupt(format!("bad cursor flag {other}"))),
+            };
             let outcome_count = r.u32()? as usize;
             let mut outcomes = VecDeque::with_capacity(outcome_count.min(1 << 16));
             for _ in 0..outcome_count {
@@ -482,6 +604,8 @@ impl StoreState {
                         fails,
                         succs,
                         events,
+                        events_seen,
+                        cursor,
                         outcomes,
                         outcomes_total,
                         refused,
@@ -632,6 +756,72 @@ mod tests {
         s.encode(&mut body);
         let decoded = StoreState::decode(&body).unwrap();
         assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn cursors_truncate_the_replay_tail_and_roundtrip() {
+        let mut s = StoreState::new(8);
+        s.apply(1, &Record::DeviceEnrolled { id: 0 }).unwrap();
+        for i in 0..3 {
+            s.apply(2 + i, &closed(0, true, StoredStatus::Active, 0)).unwrap();
+        }
+        let cursor = |events_done| Record::DeviceCursor {
+            id: 0,
+            events_done,
+            session_pos: 10,
+            noise_pos: 20,
+            noise_evals: 30,
+            tamper_parity: false,
+        };
+        s.apply(5, &cursor(2)).unwrap();
+        // Covered events dropped; totals preserved.
+        assert_eq!(s.devices[&0].events, vec![EV_CLOSED]);
+        assert_eq!(s.devices[&0].events_seen, 3);
+        assert_eq!(s.devices[&0].cursor.unwrap().events_done, 2);
+        // A cursor can neither regress nor run ahead of the journal.
+        assert!(matches!(s.apply(6, &cursor(1)), Err(StoreError::Corrupt(_))));
+        assert!(matches!(s.apply(6, &cursor(4)), Err(StoreError::Corrupt(_))));
+        // Unknown device is refused.
+        assert!(matches!(
+            s.apply(
+                6,
+                &Record::DeviceCursor {
+                    id: 99,
+                    events_done: 0,
+                    session_pos: 0,
+                    noise_pos: 0,
+                    noise_evals: 0,
+                    tamper_parity: false
+                }
+            ),
+            Err(StoreError::Corrupt(_))
+        ));
+        s.apply(6, &cursor(3)).unwrap();
+        assert!(s.devices[&0].events.is_empty());
+        // Snapshot codec carries events_seen + cursor through a roundtrip.
+        let mut body = Vec::new();
+        s.encode(&mut body);
+        assert_eq!(StoreState::decode(&body).unwrap(), s);
+    }
+
+    #[test]
+    fn counters_merge_adds_totals() {
+        let mut a = Counters {
+            started: 3,
+            accepted: 2,
+            latency: [0; LATENCY_SLOTS],
+            ..Counters::default()
+        };
+        a.latency[4] = 7;
+        let mut b = Counters { started: 5, rejected: 1, ..Counters::default() };
+        b.latency[4] = 1;
+        b.latency[9] = 2;
+        a.merge(&b);
+        assert_eq!(a.started, 8);
+        assert_eq!(a.accepted, 2);
+        assert_eq!(a.rejected, 1);
+        assert_eq!(a.latency[4], 8);
+        assert_eq!(a.latency[9], 2);
     }
 
     #[test]

@@ -58,11 +58,17 @@ pub struct StoreOptions {
     /// syncs — a crash can then lose up to `sync_every - 1` tail records,
     /// which recovery replays the campaign without.
     pub sync_every: u32,
+    /// Bound on records a group-commit writer may leave unsynced before
+    /// [`DurableStore::append_nosync`] refuses with
+    /// [`StoreError::Backpressure`]. `0` (the default) means unbounded —
+    /// only [`DurableStore::append_nosync`] consults this; the policy and
+    /// forced-sync paths never queue past their own bounds.
+    pub commit_queue_limit: u32,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        StoreOptions { history_capacity: 64, sync_every: 1 }
+        StoreOptions { history_capacity: 64, sync_every: 1, commit_queue_limit: 0 }
     }
 }
 
@@ -95,6 +101,18 @@ impl fmt::Display for StoreStats {
     }
 }
 
+/// When an append's frame must reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncMode {
+    /// Follow [`StoreOptions::sync_every`].
+    Policy,
+    /// Sync before returning (the CRP consume-once path).
+    Force,
+    /// Never sync here — a group committer owns the fsync schedule, and
+    /// [`StoreOptions::commit_queue_limit`] bounds what may accumulate.
+    Queue,
+}
+
 struct Inner {
     vfs: Arc<dyn Vfs>,
     wal: Wal,
@@ -104,6 +122,9 @@ struct Inner {
     unsynced: u32,
     broken: bool,
     scratch: Vec<u8>,
+    wal_path: String,
+    snapshot_path: String,
+    snapshot_tmp: String,
 }
 
 /// A durable verifier-state store over a [`Vfs`].
@@ -111,8 +132,8 @@ pub struct DurableStore {
     inner: Mutex<Inner>,
 }
 
-fn read_snapshot(vfs: &dyn Vfs, opts: StoreOptions) -> Result<StoreState, StoreError> {
-    let Some(bytes) = vfs.read(SNAPSHOT_FILE)? else {
+fn read_snapshot(vfs: &dyn Vfs, opts: StoreOptions, path: &str) -> Result<StoreState, StoreError> {
+    let Some(bytes) = vfs.read(path)? else {
         return Ok(StoreState::new(opts.history_capacity));
     };
     // The snapshot only ever appears via atomic rename of a synced temp
@@ -133,7 +154,7 @@ fn read_snapshot(vfs: &dyn Vfs, opts: StoreOptions) -> Result<StoreState, StoreE
     StoreState::decode(body)
 }
 
-fn write_snapshot(vfs: &dyn Vfs, state: &StoreState) -> Result<(), StoreError> {
+fn write_snapshot(vfs: &dyn Vfs, state: &StoreState, tmp: &str, path: &str) -> Result<(), StoreError> {
     let mut body = Vec::new();
     state.encode(&mut body);
     let mut file = Vec::with_capacity(16 + body.len());
@@ -141,11 +162,11 @@ fn write_snapshot(vfs: &dyn Vfs, state: &StoreState) -> Result<(), StoreError> {
     file.extend_from_slice(&(body.len() as u32).to_le_bytes());
     file.extend_from_slice(&wal::crc32(&body).to_le_bytes());
     file.extend_from_slice(&body);
-    vfs.truncate(SNAPSHOT_TMP, &file)?;
-    vfs.sync(SNAPSHOT_TMP)?;
+    vfs.truncate(tmp, &file)?;
+    vfs.sync(tmp)?;
     // The commit point: after this rename the new snapshot is the
     // authoritative state; before it the old snapshot (or none) is.
-    vfs.rename(SNAPSHOT_TMP, SNAPSHOT_FILE)
+    vfs.rename(tmp, path)
 }
 
 impl DurableStore {
@@ -159,11 +180,29 @@ impl DurableStore {
     /// [`StoreError::Corrupt`] if the snapshot or a checksum-valid WAL
     /// record is structurally invalid; I/O errors from the backend.
     pub fn open(vfs: Arc<dyn Vfs>, opts: StoreOptions) -> Result<Self, StoreError> {
+        Self::open_at(vfs, opts, "")
+    }
+
+    /// Opens a store whose files live under `prefix` (e.g. `shard-003/`) —
+    /// how a sharded store keeps many independent WAL + snapshot pairs in
+    /// one directory. An empty prefix is the classic single-store layout.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::open`].
+    pub fn open_at(vfs: Arc<dyn Vfs>, opts: StoreOptions, prefix: &str) -> Result<Self, StoreError> {
+        let wal_path = format!("{prefix}{WAL_FILE}");
+        let snapshot_path = format!("{prefix}{SNAPSHOT_FILE}");
+        let snapshot_tmp = format!("{prefix}{SNAPSHOT_TMP}");
         let mut stats = StoreStats::default();
-        let mut state = read_snapshot(&*vfs, opts)?;
-        let image = vfs.read(WAL_FILE)?;
-        let recovered = wal::recover(image.as_deref())?;
-        for payload in &recovered.payloads {
+        let mut state = read_snapshot(&*vfs, opts, &snapshot_path)?;
+        // Stream the WAL's valid prefix frame by frame: one borrowed
+        // payload is alive at a time, so recovery memory is the image
+        // plus the materialised state — never a second copy of every
+        // record, which matters when a million-device campaign reopens.
+        let image = vfs.read(&wal_path)?;
+        let mut frames = wal::frames(image.as_deref())?;
+        for payload in frames.by_ref() {
             let (seq, record) = Record::decode(payload)?;
             if seq <= state.last_seq {
                 continue; // the snapshot already covers it
@@ -171,13 +210,15 @@ impl DurableStore {
             state.apply(seq, &record)?;
             stats.records_replayed += 1;
         }
-        if recovered.torn_tail {
+        if frames.is_torn() {
             stats.torn_tails_recovered += 1;
         }
+        let _ = frames;
+        drop(image);
         // Rebuild: snapshot first (atomic), truncate the WAL only after.
-        write_snapshot(&*vfs, &state)?;
+        write_snapshot(&*vfs, &state, &snapshot_tmp, &snapshot_path)?;
         stats.snapshots_written += 1;
-        let wal = Wal::create(Arc::clone(&vfs), WAL_FILE)?;
+        let wal = Wal::create(Arc::clone(&vfs), &wal_path)?;
         stats.wal_bytes = wal.bytes();
         Ok(DurableStore {
             inner: Mutex::new(Inner {
@@ -189,14 +230,26 @@ impl DurableStore {
                 unsynced: 0,
                 broken: false,
                 scratch: Vec::new(),
+                wal_path,
+                snapshot_path,
+                snapshot_tmp,
             }),
         })
     }
 
-    fn append_inner(&self, record: &Record, force_sync: bool) -> Result<u64, StoreError> {
+    fn append_inner(&self, record: &Record, mode: SyncMode) -> Result<u64, StoreError> {
         let mut inner = lock(&self.inner);
         if inner.broken {
             return Err(StoreError::Broken);
+        }
+        // Backpressure is checked before anything is applied or written:
+        // a refused append leaves no trace in memory or on disk, so the
+        // caller can sync and retry the identical record.
+        if mode == SyncMode::Queue {
+            let limit = inner.opts.commit_queue_limit;
+            if limit > 0 && inner.unsynced >= limit {
+                return Err(StoreError::Backpressure);
+            }
         }
         let seq = inner.state.last_seq + 1;
         // Validate-and-apply before touching the disk: an illegal record
@@ -212,7 +265,14 @@ impl DurableStore {
             return Err(e);
         }
         inner.unsynced += 1;
-        if force_sync || inner.unsynced >= inner.opts.sync_every.max(1) {
+        let must_sync = match mode {
+            SyncMode::Force => true,
+            SyncMode::Policy => inner.unsynced >= inner.opts.sync_every.max(1),
+            // Group commit: the committer (or an explicit sync) decides
+            // when the batch hits the platter.
+            SyncMode::Queue => false,
+        };
+        if must_sync {
             if let Err(e) = inner.wal.sync() {
                 inner.broken = true;
                 return Err(e);
@@ -233,7 +293,24 @@ impl DurableStore {
     /// record is invalid against the current state (nothing is written);
     /// [`StoreError::Broken`] once any earlier write failed.
     pub fn append(&self, record: &Record) -> Result<u64, StoreError> {
-        self.append_inner(record, false)
+        self.append_inner(record, SyncMode::Policy)
+    }
+
+    /// Appends a record without syncing — the group-commit path. The
+    /// record is acknowledged once it is in the OS write queue; it
+    /// *commits* when the next [`DurableStore::sync`] (typically a
+    /// committer thread on a latency bound) returns. A crash before that
+    /// sync loses the record; group-commit callers must be able to re-run
+    /// the work that produced it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Backpressure`] if [`StoreOptions::commit_queue_limit`]
+    /// is non-zero and that many records are already awaiting their sync
+    /// (nothing is applied or written — sync and retry); otherwise as
+    /// [`DurableStore::append`].
+    pub fn append_nosync(&self, record: &Record) -> Result<u64, StoreError> {
+        self.append_inner(record, SyncMode::Queue)
     }
 
     /// Appends a record and syncs unconditionally: when this returns the
@@ -244,7 +321,7 @@ impl DurableStore {
     ///
     /// As [`DurableStore::append`].
     pub fn append_synced(&self, record: &Record) -> Result<u64, StoreError> {
-        self.append_inner(record, true)
+        self.append_inner(record, SyncMode::Force)
     }
 
     /// Flushes any batched appends to stable storage.
@@ -279,8 +356,8 @@ impl DurableStore {
             return Err(StoreError::Broken);
         }
         let result = (|| {
-            write_snapshot(&*inner.vfs, &inner.state)?;
-            Wal::create(Arc::clone(&inner.vfs), WAL_FILE)
+            write_snapshot(&*inner.vfs, &inner.state, &inner.snapshot_tmp, &inner.snapshot_path)?;
+            Wal::create(Arc::clone(&inner.vfs), &inner.wal_path)
         })();
         match result {
             Ok(wal) => {
@@ -300,6 +377,17 @@ impl DurableStore {
     /// A copy of the current materialised state.
     pub fn state(&self) -> StoreState {
         lock(&self.inner).state.clone()
+    }
+
+    /// Runs `f` against the materialised state under the store lock —
+    /// the clone-free way to walk a million devices at restore time.
+    pub fn with_state<T>(&self, f: impl FnOnce(&StoreState) -> T) -> T {
+        f(&lock(&self.inner).state)
+    }
+
+    /// Records appended but not yet synced (the group-commit queue depth).
+    pub fn unsynced(&self) -> u32 {
+        lock(&self.inner).unsynced
     }
 
     /// Campaign identity, if recorded.
@@ -444,6 +532,52 @@ mod tests {
         let store = open_sim(&vfs);
         assert_eq!(store.stats().records_replayed, 0, "snapshot covers everything");
         assert_eq!(store.state().devices.len(), 10);
+    }
+
+    #[test]
+    fn group_commit_queue_applies_backpressure_and_drains_on_sync() {
+        let vfs = SimVfs::new();
+        let store = DurableStore::open(
+            Arc::new(vfs.clone()),
+            StoreOptions { commit_queue_limit: 2, ..StoreOptions::default() },
+        )
+        .unwrap();
+        store.append_nosync(&Record::DeviceEnrolled { id: 0 }).unwrap();
+        store.append_nosync(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        assert_eq!(store.unsynced(), 2);
+        // Queue full: the refused append leaves no trace, in memory or on
+        // disk, so the identical record succeeds after a sync.
+        let err = store.append_nosync(&Record::DeviceEnrolled { id: 2 }).unwrap_err();
+        assert_eq!(err, StoreError::Backpressure);
+        assert!(!store.state().devices.contains_key(&2));
+        store.sync().unwrap();
+        assert_eq!(store.unsynced(), 0);
+        store.append_nosync(&Record::DeviceEnrolled { id: 2 }).unwrap();
+        // Unsynced group-commit records are volatile: a power cut that
+        // drops the cache loses exactly the unsynced suffix.
+        let disk = vfs.power_cut(TornMode::Drop);
+        let store = open_sim(&disk);
+        assert_eq!(store.stats().records_replayed, 2);
+        assert!(!store.state().devices.contains_key(&2));
+    }
+
+    #[test]
+    fn prefixed_stores_share_a_directory_without_interfering() {
+        let vfs = SimVfs::new();
+        let a = DurableStore::open_at(Arc::new(vfs.clone()), StoreOptions::default(), "shard-000/").unwrap();
+        let b = DurableStore::open_at(Arc::new(vfs.clone()), StoreOptions::default(), "shard-001/").unwrap();
+        a.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        b.append(&Record::DeviceEnrolled { id: 2 }).unwrap();
+        b.checkpoint().unwrap();
+        drop(a);
+        drop(b);
+        assert!(vfs.exists("shard-000/wal.log"));
+        assert!(vfs.exists("shard-001/snapshot.bin"));
+        let a = DurableStore::open_at(Arc::new(vfs.clone()), StoreOptions::default(), "shard-000/").unwrap();
+        let b = DurableStore::open_at(Arc::new(vfs.clone()), StoreOptions::default(), "shard-001/").unwrap();
+        assert!(a.state().devices.contains_key(&1));
+        assert!(!a.state().devices.contains_key(&2));
+        assert!(b.state().devices.contains_key(&2));
     }
 
     #[test]

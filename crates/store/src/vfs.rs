@@ -92,6 +92,19 @@ impl StdVfs {
         self.root.join(path)
     }
 
+    /// Sharded stores name files inside per-shard subdirectories
+    /// (`shard-000/wal.log`); creating files there must create the
+    /// directory first.
+    fn ensure_parent(&self, path: &str) -> Result<(), StoreError> {
+        let abs = self.abs(path);
+        if let Some(parent) = abs.parent() {
+            if parent != self.root && !parent.exists() {
+                fs::create_dir_all(parent).map_err(|e| StoreError::Io(format!("create {}: {e}", parent.display())))?;
+            }
+        }
+        Ok(())
+    }
+
     fn io(&self, op: &str, path: &str, e: std::io::Error) -> StoreError {
         StoreError::Io(format!("{op} {}: {e}", self.abs(path).display()))
     }
@@ -121,6 +134,7 @@ impl Vfs for StdVfs {
     fn append(&self, path: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let mut handles = lock(&self.handles);
         if !handles.contains_key(path) {
+            self.ensure_parent(path)?;
             let file = fs::OpenOptions::new()
                 .create(true)
                 .append(true)
@@ -152,6 +166,7 @@ impl Vfs for StdVfs {
         // Drop any cached append handle: its position is stale after the
         // file is replaced.
         lock(&self.handles).remove(path);
+        self.ensure_parent(path)?;
         fs::write(self.abs(path), bytes).map_err(|e| self.io("truncate", path, e))
     }
 
@@ -450,6 +465,12 @@ mod tests {
         vfs.remove("snapshot").unwrap();
         vfs.remove("snapshot").unwrap(); // idempotent
         assert!(!vfs.exists("snapshot"));
+        // Nested shard paths create their directory on first write.
+        vfs.append("shard-003/wal", b"xyz").unwrap();
+        assert_eq!(vfs.read("shard-003/wal").unwrap().unwrap(), b"xyz");
+        vfs.truncate("shard-003/snap.tmp", b"s").unwrap();
+        vfs.rename("shard-003/snap.tmp", "shard-003/snap").unwrap();
+        assert_eq!(vfs.read("shard-003/snap").unwrap().unwrap(), b"s");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -92,6 +92,66 @@ pub fn decode_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
 
 // --------------------------------------------------------------- recovery
 
+/// Streaming frame cursor over a WAL image: yields checksum-valid
+/// payloads in append order without materialising them.
+///
+/// Recovery over a sharded store opens many logs at once; iterating
+/// borrowed payloads keeps peak memory at one image per shard instead of
+/// one image plus every decoded record. After the iterator is exhausted,
+/// [`FrameIter::is_torn`] and [`FrameIter::valid_bytes`] report what the
+/// scan concluded about the tail.
+pub struct FrameIter<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    stub_torn: bool,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let (payload, frame_len) = decode_frame(&self.bytes[self.offset..])?;
+        self.offset += frame_len;
+        Some(payload)
+    }
+}
+
+impl FrameIter<'_> {
+    /// Whether bytes remain past the last valid frame (or the file was a
+    /// torn stub). Meaningful once iteration has stopped.
+    pub fn is_torn(&self) -> bool {
+        self.stub_torn || self.offset < self.bytes.len()
+    }
+
+    /// Bytes of the valid prefix scanned so far (magic + whole frames).
+    pub fn valid_bytes(&self) -> u64 {
+        self.offset as u64
+    }
+}
+
+/// Opens a streaming scan over a WAL image. Header semantics match
+/// [`recover`]: a missing or too-short file scans as empty (torn if any
+/// bytes existed), a bare corrupted header scans as empty-and-torn, and a
+/// wrong magic on a log that plainly held frames is refused as corruption.
+pub fn frames(image: Option<&[u8]>) -> Result<FrameIter<'_>, StoreError> {
+    let Some(bytes) = image else {
+        return Ok(FrameIter { bytes: b"", offset: 0, stub_torn: false });
+    };
+    if bytes.len() < WAL_MAGIC.len() {
+        // Creation itself was torn; nothing was ever committed.
+        return Ok(FrameIter { bytes: b"", offset: 0, stub_torn: !bytes.is_empty() });
+    }
+    if bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        if bytes.len() == WAL_MAGIC.len() {
+            // A bare, corrupted header: the log died before its creation
+            // sync, so no frame can have committed.
+            return Ok(FrameIter { bytes: b"", offset: 0, stub_torn: true });
+        }
+        return Err(StoreError::Corrupt("wal header magic mismatch on a non-empty log".into()));
+    }
+    Ok(FrameIter { bytes, offset: WAL_MAGIC.len(), stub_torn: false })
+}
+
 /// What a WAL scan found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveredWal {
@@ -110,35 +170,12 @@ pub struct RecoveredWal {
 /// magic on a log that plainly held frames is refused as corruption — the
 /// fail-safe direction for an established log is to stop, not to forget.
 pub fn recover(image: Option<&[u8]>) -> Result<RecoveredWal, StoreError> {
-    let Some(bytes) = image else {
-        return Ok(RecoveredWal { payloads: Vec::new(), valid_bytes: 0, torn_tail: false });
-    };
-    if bytes.len() < WAL_MAGIC.len() {
-        // Creation itself was torn; nothing was ever committed.
-        return Ok(RecoveredWal {
-            payloads: Vec::new(),
-            valid_bytes: 0,
-            torn_tail: !bytes.is_empty(),
-        });
-    }
-    if bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
-        if bytes.len() == WAL_MAGIC.len() {
-            // A bare, corrupted header: the log died before its creation
-            // sync, so no frame can have committed.
-            return Ok(RecoveredWal { payloads: Vec::new(), valid_bytes: 0, torn_tail: true });
-        }
-        return Err(StoreError::Corrupt("wal header magic mismatch on a non-empty log".into()));
-    }
-    let mut payloads = Vec::new();
-    let mut offset = WAL_MAGIC.len();
-    while let Some((payload, frame_len)) = decode_frame(&bytes[offset..]) {
-        payloads.push(payload.to_vec());
-        offset += frame_len;
-    }
+    let mut iter = frames(image)?;
+    let payloads: Vec<Vec<u8>> = iter.by_ref().map(<[u8]>::to_vec).collect();
     Ok(RecoveredWal {
         payloads,
-        valid_bytes: offset as u64,
-        torn_tail: offset < bytes.len(),
+        valid_bytes: iter.valid_bytes(),
+        torn_tail: iter.is_torn(),
     })
 }
 
@@ -291,6 +328,31 @@ mod tests {
         let rec = recover(Some(&img)).unwrap();
         assert_eq!(rec.payloads, vec![b"good".to_vec()]);
         assert!(rec.torn_tail);
+    }
+
+    #[test]
+    fn frame_iter_streams_without_copying_and_reports_the_tail() {
+        let mut img = image(&[b"one", b"two-two"]);
+        let valid = img.len() as u64;
+        img.extend_from_slice(b"torn-tail-bytes");
+        let mut iter = frames(Some(&img)).unwrap();
+        assert_eq!(iter.next(), Some(b"one".as_slice()));
+        assert_eq!(iter.next(), Some(b"two-two".as_slice()));
+        assert_eq!(iter.next(), None);
+        assert!(iter.is_torn());
+        assert_eq!(iter.valid_bytes(), valid);
+
+        let clean = image(&[b"solo"]);
+        let mut iter = frames(Some(&clean)).unwrap();
+        assert_eq!(iter.by_ref().count(), 1);
+        assert!(!iter.is_torn());
+        assert_eq!(iter.valid_bytes(), clean.len() as u64);
+
+        // Missing / stub files mirror `recover`'s header semantics.
+        assert!(!frames(None).unwrap().is_torn());
+        assert!(frames(Some(b"PUF")).unwrap().is_torn());
+        assert!(frames(Some(b"pUFATTW1")).unwrap().is_torn());
+        assert!(frames(Some(b"pUFATTW1-and-more")).is_err());
     }
 
     #[test]

@@ -317,7 +317,7 @@ proptest! {
     /// Encode/decode round-trip for every record type under arbitrary
     /// field values the codec admits.
     #[test]
-    fn record_roundtrip(seq in any::<u64>(), tag in 0usize..9, a in any::<u64>(), b in any::<u64>(),
+    fn record_roundtrip(seq in any::<u64>(), tag in 0usize..10, a in any::<u64>(), b in any::<u64>(),
                         id in any::<u32>(), small in any::<u32>(), flag in any::<bool>(),
                         slot in 0u8..(LATENCY_SLOTS as u8)) {
         let out = OutcomeRec {
@@ -343,7 +343,15 @@ proptest! {
             5 => Record::SessionRefused { id },
             6 => Record::SessionFault { id, retried: small, dropped: small, crp_hits: small ^ 2, crp_misses: small ^ 3 },
             7 => Record::DeviceAbandoned { id },
-            _ => Record::CrpConsumed { a, b },
+            8 => Record::CrpConsumed { a, b },
+            _ => Record::DeviceCursor {
+                id,
+                events_done: small,
+                session_pos: a,
+                noise_pos: b,
+                noise_evals: a ^ b,
+                tamper_parity: flag,
+            },
         };
         let mut buf = Vec::new();
         record.encode(seq, &mut buf);

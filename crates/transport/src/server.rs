@@ -281,6 +281,23 @@ impl Server {
             FleetService::new(campaign)
                 .map_err(|e| TransportError::Protocol(format!("invalid campaign config: {e}")))?,
         );
+        Self::start_with_service(endpoint, service, cfg)
+    }
+
+    /// [`Server::start`] around an already-built service — the journaled
+    /// entry point: construct the service with
+    /// [`FleetService::with_journal`] (restoring any prior state from its
+    /// store) and serve it. Wire `Enroll` requests then admit devices
+    /// online, durably, while the server runs.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] when the bind fails.
+    pub fn start_with_service(
+        endpoint: &Endpoint,
+        service: Arc<FleetService>,
+        cfg: ServerConfig,
+    ) -> Result<Self, TransportError> {
         let listener = Listener::bind(endpoint)?;
         listener.set_nonblocking(true)?;
         let endpoint = listener.local_endpoint();

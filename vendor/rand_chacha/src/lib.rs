@@ -70,6 +70,30 @@ macro_rules! chacha_rng {
                 self.counter = self.counter.wrapping_add(1);
                 self.cursor = 0;
             }
+
+            /// Keystream position: 32-bit words consumed since `from_seed`.
+            ///
+            /// A freshly seeded generator reports 0; every `next_u32` call
+            /// advances the position by one and every `next_u64` by two, so
+            /// the position fully captures the generator's state given its
+            /// seed. Feed it back through [`Self::set_word_pos`] to rebuild
+            /// an identical stream without replaying the draws.
+            pub fn word_pos(&self) -> u64 {
+                // `refill` has already advanced `counter` past the block the
+                // cursor indexes into, hence the `- 1`. The only state with
+                // `cursor == 16` is the transient inside `from_seed`, which
+                // is never observable.
+                self.counter.wrapping_sub(1).wrapping_mul(16).wrapping_add(self.cursor as u64)
+            }
+
+            /// Repositions the keystream to `pos` words past the start, as
+            /// reported by [`Self::word_pos`]. O(1): recomputes one ChaCha
+            /// block instead of replaying `pos` draws.
+            pub fn set_word_pos(&mut self, pos: u64) {
+                self.counter = pos / 16;
+                self.refill();
+                self.cursor = (pos % 16) as usize;
+            }
         }
 
         impl RngCore for $name {
@@ -150,5 +174,38 @@ mod tests {
         rng.next_u64();
         let mut fork = rng.clone();
         assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+
+    #[test]
+    fn word_pos_counts_words_consumed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(rng.word_pos(), 0);
+        rng.next_u32();
+        assert_eq!(rng.word_pos(), 1);
+        rng.next_u64();
+        assert_eq!(rng.word_pos(), 3);
+        // Across a block boundary (16 words per block).
+        for _ in 0..20 {
+            rng.next_u32();
+        }
+        assert_eq!(rng.word_pos(), 23);
+    }
+
+    #[test]
+    fn set_word_pos_round_trips_at_every_offset() {
+        for consumed in [0usize, 1, 7, 15, 16, 17, 31, 33, 100] {
+            let mut reference = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..consumed {
+                reference.next_u32();
+            }
+            let pos = reference.word_pos();
+            assert_eq!(pos, consumed as u64);
+            let mut fast = ChaCha8Rng::seed_from_u64(99);
+            fast.set_word_pos(pos);
+            assert_eq!(fast.word_pos(), pos);
+            let a: Vec<u64> = (0..8).map(|_| reference.next_u64()).collect();
+            let b: Vec<u64> = (0..8).map(|_| fast.next_u64()).collect();
+            assert_eq!(a, b, "fast-forward to {consumed} must rebuild the stream");
+        }
     }
 }
