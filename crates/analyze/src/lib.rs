@@ -20,10 +20,25 @@
 //!   every memory access statically in bounds, loop trip counts
 //!   data-independent (the checksum's timing channel freedom), no stores
 //!   into the attested code region, no dead or undecodable instructions.
+//! * [`conc`] — **concurrency verifier** over the `fleet`, `transport`,
+//!   `store`, and `core` sources: extracts the lock-acquisition graph
+//!   (every lock site resolved to a named lock class) and lints for
+//!   lock-order cycles, locks held across blocking operations, raw
+//!   `.lock().unwrap()` bypassing the poison-tolerant wrapper,
+//!   `Condvar::wait` without a loop guard, and detached threads with no
+//!   join/drain path. The static class ranks mirror the runtime
+//!   `fleet::sync::rank` witness, so the two orderings pin each other.
+//! * [`dur`] — **durability-ordering verifier** over `crates/store` and
+//!   `fleet::durable`: externally-visible record classes must reach
+//!   `append_synced` (never bare `append_nosync`), the
+//!   temp-file→fsync→rename commit protocol must never be reordered or
+//!   skipped, and WAL compaction must only be reachable after a snapshot
+//!   rename.
 //!
 //! Every finding is a [`Diagnostic`] with a stable [`LintId`], a severity,
 //! a location and a fix hint; [`Report::deny`] turns any finding into a
-//! hard failure for CI (`pufatt analyze --deny`).
+//! hard failure for CI (`pufatt analyze --deny`) and [`Report::to_json`]
+//! renders the machine-readable artifact CI uploads.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +49,8 @@
 use std::fmt;
 
 pub mod circuit;
+pub mod conc;
+pub mod dur;
 pub mod program;
 pub mod taint;
 
@@ -96,6 +113,28 @@ pub enum LintId {
     IndirectJump,
     /// `SWP007` — no halt instruction reachable from the entry point.
     NoReachableHalt,
+    /// `CONC001` — cycle in the lock-class acquisition graph.
+    LockOrderCycle,
+    /// `CONC002` — lock held across a blocking operation.
+    LockAcrossBlocking,
+    /// `CONC003` — raw `.lock().unwrap()` bypassing the poison-tolerant wrapper.
+    RawLockUnwrap,
+    /// `CONC004` — `Condvar::wait` outside a predicate loop.
+    CondvarNoLoop,
+    /// `CONC005` — spawned thread whose `JoinHandle` is discarded.
+    DetachedThread,
+    /// `CONC006` — lock class absent from the documented rank table.
+    UnknownLockClass,
+    /// `DUR001` — durability-critical record appended without a forced sync.
+    UnsyncedCriticalRecord,
+    /// `DUR002` — temp file renamed into place without an fsync first.
+    RenameBeforeSync,
+    /// `DUR003` — direct write to a commit path, skipping the temp protocol.
+    DirectCommitWrite,
+    /// `DUR004` — WAL compaction reachable before the snapshot rename.
+    CompactionBeforeSnapshot,
+    /// `DUR005` — result of a durability operation silently discarded.
+    IgnoredSyncResult,
 }
 
 impl LintId {
@@ -120,13 +159,24 @@ impl LintId {
             LintId::UnreachableInstruction => "SWP005",
             LintId::IndirectJump => "SWP006",
             LintId::NoReachableHalt => "SWP007",
+            LintId::LockOrderCycle => "CONC001",
+            LintId::LockAcrossBlocking => "CONC002",
+            LintId::RawLockUnwrap => "CONC003",
+            LintId::CondvarNoLoop => "CONC004",
+            LintId::DetachedThread => "CONC005",
+            LintId::UnknownLockClass => "CONC006",
+            LintId::UnsyncedCriticalRecord => "DUR001",
+            LintId::RenameBeforeSync => "DUR002",
+            LintId::DirectCommitWrite => "DUR003",
+            LintId::CompactionBeforeSnapshot => "DUR004",
+            LintId::IgnoredSyncResult => "DUR005",
         }
     }
 
     /// Default severity of the lint.
     pub fn severity(self) -> Severity {
         match self {
-            LintId::UnreachableGate | LintId::UnreachableInstruction => Severity::Warning,
+            LintId::UnreachableGate | LintId::UnreachableInstruction | LintId::UnknownLockClass => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -152,11 +202,22 @@ impl LintId {
             LintId::UnreachableInstruction => "instruction unreachable from entry",
             LintId::IndirectJump => "indirect jump defeats static control-flow analysis",
             LintId::NoReachableHalt => "no halt reachable from entry",
+            LintId::LockOrderCycle => "cycle in the lock-class acquisition graph (potential deadlock)",
+            LintId::LockAcrossBlocking => "lock held across a blocking operation",
+            LintId::RawLockUnwrap => "raw .lock().unwrap() bypasses the poison-tolerant wrapper",
+            LintId::CondvarNoLoop => "Condvar wait outside a predicate loop (spurious wakeups)",
+            LintId::DetachedThread => "spawned thread has no join or drain path",
+            LintId::UnknownLockClass => "lock class is not in the documented rank table",
+            LintId::UnsyncedCriticalRecord => "durability-critical record appended without a forced sync",
+            LintId::RenameBeforeSync => "temp file renamed into place without an fsync first",
+            LintId::DirectCommitWrite => "direct write to a commit path skips the temp-file protocol",
+            LintId::CompactionBeforeSnapshot => "WAL compaction reachable before the snapshot rename",
+            LintId::IgnoredSyncResult => "result of a durability operation silently discarded",
         }
     }
 
     /// Every lint, for the catalogue listing.
-    pub const ALL: [LintId; 18] = [
+    pub const ALL: [LintId; 29] = [
         LintId::CombinationalLoop,
         LintId::FloatingNet,
         LintId::MultiDrivenNet,
@@ -175,6 +236,17 @@ impl LintId {
         LintId::UnreachableInstruction,
         LintId::IndirectJump,
         LintId::NoReachableHalt,
+        LintId::LockOrderCycle,
+        LintId::LockAcrossBlocking,
+        LintId::RawLockUnwrap,
+        LintId::CondvarNoLoop,
+        LintId::DetachedThread,
+        LintId::UnknownLockClass,
+        LintId::UnsyncedCriticalRecord,
+        LintId::RenameBeforeSync,
+        LintId::DirectCommitWrite,
+        LintId::CompactionBeforeSnapshot,
+        LintId::IgnoredSyncResult,
     ];
 }
 
@@ -197,6 +269,9 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub fix_hint: String,
+    /// Lock classes involved (concurrency/durability lints; empty
+    /// otherwise). Part of the `--json` artifact format.
+    pub classes: Vec<String>,
 }
 
 impl Diagnostic {
@@ -213,7 +288,15 @@ impl Diagnostic {
             location: location.into(),
             message: message.into(),
             fix_hint: fix_hint.into(),
+            classes: Vec::new(),
         }
+    }
+
+    /// Attaches the lock classes a concurrency/durability finding involves.
+    #[must_use]
+    pub fn with_classes(mut self, classes: Vec<String>) -> Self {
+        self.classes = classes;
+        self
     }
 }
 
@@ -277,6 +360,61 @@ impl Report {
             self.count(Severity::Warning)
         ))
     }
+
+    /// Renders the report as a JSON document — the machine-readable
+    /// artifact `pufatt analyze --json` emits and CI uploads. Stable
+    /// fields per finding: `lint`, `severity`, `location`, `message`,
+    /// `fix_hint`, `classes`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"lint\": {}, ", json_str(d.lint.code())));
+            out.push_str(&format!("\"severity\": {}, ", json_str(&d.severity.to_string())));
+            out.push_str(&format!("\"location\": {}, ", json_str(&d.location)));
+            out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+            out.push_str(&format!("\"fix_hint\": {}, ", json_str(&d.fix_hint)));
+            out.push_str("\"classes\": [");
+            for (j, c) in d.classes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_str(c));
+            }
+            out.push_str("]}");
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"errors\": {},\n  \"warnings\": {}\n}}\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning)
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Report {
@@ -308,6 +446,25 @@ mod tests {
         assert_eq!(LintId::CombinationalLoop.code(), "NET001");
         assert_eq!(LintId::UnpinnedPanic.code(), "TNT005");
         assert_eq!(LintId::NoReachableHalt.code(), "SWP007");
+        assert_eq!(LintId::LockOrderCycle.code(), "CONC001");
+        assert_eq!(LintId::UnknownLockClass.code(), "CONC006");
+        assert_eq!(LintId::UnsyncedCriticalRecord.code(), "DUR001");
+        assert_eq!(LintId::IgnoredSyncResult.code(), "DUR005");
+    }
+
+    #[test]
+    fn json_report_escapes_and_lists_classes() {
+        let mut r = Report::new();
+        assert!(r.to_json().contains("\"findings\": []"));
+        r.extend(vec![
+            Diagnostic::new(LintId::LockOrderCycle, "a.rs:1", "cycle \"x\"\n", "reorder")
+                .with_classes(vec!["slots".into(), "registry_shard".into()]),
+        ]);
+        let json = r.to_json();
+        assert!(json.contains("\"lint\": \"CONC001\""), "{json}");
+        assert!(json.contains("\\\"x\\\"\\n"), "{json}");
+        assert!(json.contains("[\"slots\", \"registry_shard\"]"), "{json}");
+        assert!(json.contains("\"errors\": 1"), "{json}");
     }
 
     #[test]

@@ -55,7 +55,7 @@ const FORMAT_MACROS: &[&str] = &[
 /// comparing these is not a secret-dependent branch.
 const PUBLIC_PROJECTIONS: &[&str] = &[".len(", ".is_empty(", ".width(", ".n(", ".k(", ".count_ones("];
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
 }
 
@@ -72,7 +72,7 @@ fn is_secret_field(name: &str) -> bool {
     name.starts_with("raw_") || name.contains("secret") || name == "noisy_response"
 }
 
-fn tokens(s: &str) -> impl Iterator<Item = (usize, &str)> {
+pub(crate) fn tokens(s: &str) -> impl Iterator<Item = (usize, &str)> {
     let mut out = Vec::new();
     let mut start = None;
     for (i, c) in s.char_indices() {
@@ -98,14 +98,14 @@ fn first_secret_at_or_after(s: &str, from: usize) -> Option<(usize, &str)> {
 /// `code` (comments and string contents blanked), `fmt` (like `code` but
 /// `{capture}` interiors of format strings kept), and the brace-depth
 /// delta of the line.
-struct CleanLine {
-    code: String,
-    fmt: String,
+pub(crate) struct CleanLine {
+    pub(crate) code: String,
+    pub(crate) fmt: String,
 }
 
 /// Strips comments and string literals from a whole file, preserving line
 /// structure and column positions.
-fn clean_lines(source: &str) -> Vec<CleanLine> {
+pub(crate) fn clean_lines(source: &str) -> Vec<CleanLine> {
     let chars: Vec<char> = source.chars().collect();
     let mut out = Vec::new();
     let mut code = String::new();
@@ -476,7 +476,7 @@ pub fn scan_paths(roots: &[PathBuf]) -> io::Result<Vec<Diagnostic>> {
     Ok(out)
 }
 
-fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     if path.is_dir() {
         for entry in fs::read_dir(path)? {
             collect_rs(&entry?.path(), out)?;

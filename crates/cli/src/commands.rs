@@ -411,19 +411,55 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `pufatt analyze`: run the three static-analysis passes over the shipped
-/// designs, generated SWATT programs and protocol/ECC sources.
+/// `pufatt analyze`: run the five static-analysis passes over the shipped
+/// designs, generated SWATT programs and protocol/ECC/concurrency sources.
+///
+/// `--deny` exits nonzero on any finding; `--deny conc,dur` restricts the
+/// gate to lint-code prefixes (case-insensitive). `--json` emits the
+/// machine-readable report CI uploads as an artifact.
 pub fn analyze(argv: &[String]) -> Result<(), String> {
     use pufatt_analyze::program::{verify_program, ProgramSpec};
-    use pufatt_analyze::{circuit, taint, LintId, Report};
+    use pufatt_analyze::{circuit, conc, dur, taint, LintId, Report};
     use pufatt_swatt::codegen::{generate, CodegenOptions};
 
-    let args = Args::parse(argv, &["src-root"], &["deny", "lints"])?;
+    // `--deny` optionally takes a comma-separated category list, so it is
+    // neither a pure flag nor a pure value key: peel it off by hand.
+    let mut filtered: Vec<String> = Vec::new();
+    let mut deny: Option<Vec<String>> = None;
+    let mut it = argv.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == "--deny" {
+            let mut cats = Vec::new();
+            if let Some(v) = it.peek() {
+                if !v.starts_with("--") {
+                    cats = v
+                        .split(',')
+                        .map(|c| c.trim().to_lowercase())
+                        .filter(|c| !c.is_empty())
+                        .collect();
+                    it.next();
+                }
+            }
+            deny = Some(cats);
+        } else {
+            filtered.push(a.clone());
+        }
+    }
+    let args = Args::parse(&filtered, &["src-root"], &["json", "lints"])?;
     if args.has("lints") {
         for lint in LintId::ALL {
             println!("{} [{}] {}", lint.code(), lint.severity(), lint.description());
         }
         return Ok(());
+    }
+
+    let json = args.has("json");
+    // With `--json` the report itself owns stdout (CI redirects it into
+    // an artifact), so per-pass progress moves to stderr.
+    macro_rules! progress {
+        ($($t:tt)*) => {
+            if json { eprintln!($($t)*) } else { println!($($t)*) }
+        };
     }
 
     let mut report = Report::new();
@@ -445,7 +481,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
     for (name, config) in &designs {
         let design = AluPufDesign::new(config.clone());
         let findings = circuit::verify_alu_puf(*name, &design);
-        println!("netlist {name}: {} gate(s), {} finding(s)", design.netlist().gate_count(), findings.len());
+        progress!("netlist {name}: {} gate(s), {} finding(s)", design.netlist().gate_count(), findings.len());
         report.extend(findings);
     }
 
@@ -460,7 +496,7 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
         let program = pufatt_pe32::asm::assemble(&generated.source).map_err(|e| format!("{name}: {e}"))?;
         let spec = ProgramSpec::from_generated(&*name, &generated, &params, &program);
         let findings = verify_program(&spec);
-        println!("program {name}: {} word(s), {} finding(s)", spec.code_words, findings.len());
+        progress!("program {name}: {} word(s), {} finding(s)", spec.code_words, findings.len());
         report.extend(findings);
     }
 
@@ -479,20 +515,81 @@ pub fn analyze(argv: &[String]) -> Result<(), String> {
         if path.is_dir() {
             roots.push(path);
         } else {
-            println!("taint: skipping missing {} (set --src-root to the repo root)", path.display());
+            progress!("taint: skipping missing {} (set --src-root to the repo root)", path.display());
         }
     }
     if !roots.is_empty() {
         let findings = taint::scan_paths(&roots).map_err(|e| format!("taint scan: {e}"))?;
-        println!("taint: {} file root(s), {} finding(s)", roots.len(), findings.len());
+        progress!("taint: {} file root(s), {} finding(s)", roots.len(), findings.len());
         report.extend(findings);
     }
 
-    if args.has("deny") {
-        report.deny()?;
-        println!("analyze: clean (deny mode)");
-    } else {
-        println!("{report}");
+    // Pass 4: concurrency verifier (lock-order graph, blocking ops under
+    // locks, raw locks, condvar loops, detached threads) over the four
+    // crates that share the fleet's lock classes.
+    let mut conc_roots = Vec::new();
+    for rel in [
+        "crates/core/src",
+        "crates/store/src",
+        "crates/transport/src",
+        "crates/fleet/src",
+    ] {
+        let path = std::path::Path::new(src_root).join(rel);
+        if path.is_dir() {
+            conc_roots.push(path);
+        } else {
+            progress!("conc: skipping missing {} (set --src-root to the repo root)", path.display());
+        }
+    }
+    if !conc_roots.is_empty() {
+        let findings = conc::scan_paths(&conc_roots).map_err(|e| format!("conc scan: {e}"))?;
+        progress!("conc: {} file root(s), {} finding(s)", conc_roots.len(), findings.len());
+        report.extend(findings);
+    }
+
+    // Pass 5: durability-ordering verifier over the store and the fleet's
+    // durable campaign layer.
+    let mut dur_roots = Vec::new();
+    for rel in ["crates/store/src", "crates/fleet/src"] {
+        let path = std::path::Path::new(src_root).join(rel);
+        if path.is_dir() {
+            dur_roots.push(path);
+        } else {
+            progress!("dur: skipping missing {} (set --src-root to the repo root)", path.display());
+        }
+    }
+    if !dur_roots.is_empty() {
+        let findings = dur::scan_paths(&dur_roots).map_err(|e| format!("dur scan: {e}"))?;
+        progress!("dur: {} file root(s), {} finding(s)", dur_roots.len(), findings.len());
+        report.extend(findings);
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    }
+    match deny {
+        Some(cats) if !cats.is_empty() => {
+            let mut gated = Report::new();
+            gated.extend(
+                report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| cats.iter().any(|c| d.lint.code().to_lowercase().starts_with(c.as_str())))
+                    .cloned()
+                    .collect(),
+            );
+            gated.deny()?;
+            println!("analyze: clean (deny mode, categories: {})", cats.join(","));
+        }
+        Some(_) => {
+            report.deny()?;
+            println!("analyze: clean (deny mode)");
+        }
+        None => {
+            if !args.has("json") {
+                println!("{report}");
+            }
+        }
     }
     Ok(())
 }

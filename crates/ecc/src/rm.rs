@@ -102,12 +102,14 @@ impl ReedMuller1 {
             }
             h *= 2;
         }
-        let (best_a, &best_w) = w
+        // `w` has 2^m >= 1 entries, but avoid the panic path anyway.
+        let (best_a, best_w) = w
             .iter()
+            .copied()
             .enumerate()
-            .max_by_key(|&(a, &v)| (v.abs(), std::cmp::Reverse(a)))
-            .expect("transform is non-empty"); // analyze: allow(panic: w has 2^m >= 1 entries)
-                                               // W(a) > 0 ⇒ received is closer to b = 0; W(a) < 0 ⇒ b = 1.
+            .max_by_key(|&(a, v)| (v.abs(), std::cmp::Reverse(a)))
+            .unwrap_or((0, 0));
+        // W(a) > 0 ⇒ received is closer to b = 0; W(a) < 0 ⇒ b = 1.
         let b = best_w < 0;
         let mut message = BitVec::zeros(self.m as usize + 1);
         message.set(0, b);

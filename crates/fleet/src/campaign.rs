@@ -551,12 +551,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, PufattError>
     let device_records = registry
         .ids()
         .into_iter()
-        .map(|id| DeviceRecord {
-            id,
-            tampered: device_is_tampered(cfg.seed, id, cfg.tamper_fraction),
-            flaky: matches!(&cfg.chaos, Some(c) if device_is_flaky(cfg.seed, id, c.flaky_fraction)),
-            status: registry.status(id).expect("id came from the registry"),
-            outcomes: registry.history(id).expect("id came from the registry"),
+        .filter_map(|id| {
+            Some(DeviceRecord {
+                id,
+                tampered: device_is_tampered(cfg.seed, id, cfg.tamper_fraction),
+                flaky: matches!(&cfg.chaos, Some(c) if device_is_flaky(cfg.seed, id, c.flaky_fraction)),
+                status: registry.status(id)?,
+                outcomes: registry.history(id)?,
+            })
         })
         .collect();
 

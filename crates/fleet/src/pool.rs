@@ -50,7 +50,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("fleet-worker-{i}"))
                     .spawn(move || worker_loop(&receiver, &panicked))
-                    .expect("spawn fleet worker")
+                    .unwrap_or_else(|e| panic!("spawn fleet worker: {e}"))
             })
             .collect();
         WorkerPool { sender: Some(sender), workers: handles, panicked }
@@ -69,11 +69,12 @@ impl WorkerPool {
     /// queue anymore) or if every worker died — both are caller bugs, not
     /// runtime conditions.
     pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
-        self.sender
-            .as_ref()
-            .expect("submit after shutdown")
-            .send(Box::new(job))
-            .expect("all workers exited");
+        let Some(sender) = self.sender.as_ref() else {
+            panic!("submit after shutdown");
+        };
+        if sender.send(Box::new(job)).is_err() {
+            panic!("all workers exited");
+        }
     }
 
     /// Enqueues a job without blocking. A full queue returns
@@ -91,7 +92,10 @@ impl WorkerPool {
     /// Panics if called after [`WorkerPool::shutdown`] or if every worker
     /// died — both caller bugs, exactly as for [`WorkerPool::submit`].
     pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), SubmitError> {
-        match self.sender.as_ref().expect("try_submit after shutdown").try_send(Box::new(job)) {
+        let Some(sender) = self.sender.as_ref() else {
+            panic!("try_submit after shutdown");
+        };
+        match sender.try_send(Box::new(job)) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
             Err(TrySendError::Disconnected(_)) => panic!("all workers exited"),
@@ -128,7 +132,8 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>, panicked: &AtomicU64) {
         // poison-tolerant lock matters here: a panicking job poisons this
         // mutex for every sibling worker, and `unwrap()` would turn one
         // contained panic into a dead pool.
-        let job = match crate::sync::lock(receiver).recv() {
+        // analyze: allow(conc: recv under the receiver lock IS the handoff; the lock is this class's only member and nothing is acquired under it)
+        let job = match crate::sync::lock_ranked(receiver, crate::sync::rank::POOL_RECEIVER).recv() {
             Ok(job) => job,
             Err(_) => return, // queue closed and empty
         };

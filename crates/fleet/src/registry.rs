@@ -13,7 +13,7 @@
 //! operator to ask "why was this device quarantined?" without the registry
 //! growing without bound on a long-lived service.
 
-use crate::sync::lock;
+use crate::sync::{lock_ranked, rank};
 use pufatt::RingBuffer;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -150,7 +150,7 @@ impl ShardedRegistry {
     /// Enrolls a device as [`FleetStatus::Active`]. Returns `false` (and
     /// changes nothing) if the id is already present.
     pub fn enroll(&self, id: DeviceId) -> bool {
-        let mut shard = lock(self.shard(id));
+        let mut shard = lock_ranked(self.shard(id), rank::REGISTRY_SHARD);
         if shard.contains_key(&id) {
             return false;
         }
@@ -171,7 +171,7 @@ impl ShardedRegistry {
     /// was revoked survives the decision to trust it again). Returns
     /// `false` for unknown ids.
     pub fn re_enroll(&self, id: DeviceId) -> bool {
-        let mut shard = lock(self.shard(id));
+        let mut shard = lock_ranked(self.shard(id), rank::REGISTRY_SHARD);
         match shard.get_mut(&id) {
             Some(device) => {
                 device.status = FleetStatus::Active;
@@ -185,19 +185,19 @@ impl ShardedRegistry {
 
     /// A device's current status.
     pub fn status(&self, id: DeviceId) -> Option<FleetStatus> {
-        lock(self.shard(id)).get(&id).map(|d| d.status)
+        lock_ranked(self.shard(id), rank::REGISTRY_SHARD).get(&id).map(|d| d.status)
     }
 
     /// Manually revokes a device.
     pub fn revoke(&self, id: DeviceId) {
-        if let Some(d) = lock(self.shard(id)).get_mut(&id) {
+        if let Some(d) = lock_ranked(self.shard(id), rank::REGISTRY_SHARD).get_mut(&id) {
             d.status = FleetStatus::Revoked;
         }
     }
 
     /// Manually quarantines a device (no-op if revoked).
     pub fn quarantine(&self, id: DeviceId) {
-        if let Some(d) = lock(self.shard(id)).get_mut(&id) {
+        if let Some(d) = lock_ranked(self.shard(id), rank::REGISTRY_SHARD).get_mut(&id) {
             if d.status != FleetStatus::Revoked {
                 d.status = FleetStatus::Quarantined;
             }
@@ -231,7 +231,7 @@ impl ShardedRegistry {
         outcome: SessionOutcome,
         policy: &LifecyclePolicy,
     ) -> Option<(FleetStatus, u32, u32)> {
-        let mut shard = lock(self.shard(id));
+        let mut shard = lock_ranked(self.shard(id), rank::REGISTRY_SHARD);
         let device = shard.get_mut(&id)?;
         if outcome.accepted {
             device.consecutive_failures = 0;
@@ -270,7 +270,7 @@ impl ShardedRegistry {
         history: Vec<SessionOutcome>,
         total_recorded: u64,
     ) {
-        let mut shard = lock(self.shard(id));
+        let mut shard = lock_ranked(self.shard(id), rank::REGISTRY_SHARD);
         shard.insert(
             id,
             FleetDevice {
@@ -284,17 +284,21 @@ impl ShardedRegistry {
 
     /// A device's retained session history, oldest first.
     pub fn history(&self, id: DeviceId) -> Option<Vec<SessionOutcome>> {
-        lock(self.shard(id)).get(&id).map(|d| d.history.iter().cloned().collect())
+        lock_ranked(self.shard(id), rank::REGISTRY_SHARD)
+            .get(&id)
+            .map(|d| d.history.iter().cloned().collect())
     }
 
     /// Total sessions ever recorded for a device (retained + rolled off).
     pub fn sessions_recorded(&self, id: DeviceId) -> Option<u64> {
-        lock(self.shard(id)).get(&id).map(|d| d.history.total_pushed())
+        lock_ranked(self.shard(id), rank::REGISTRY_SHARD)
+            .get(&id)
+            .map(|d| d.history.total_pushed())
     }
 
     /// Number of enrolled devices (all states).
     pub fn device_count(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).len()).sum()
+        self.shards.iter().map(|s| lock_ranked(s, rank::REGISTRY_SHARD).len()).sum()
     }
 
     /// Device counts by state, taken shard by shard (each shard is
@@ -302,7 +306,7 @@ impl ShardedRegistry {
     pub fn status_counts(&self) -> StatusCounts {
         let mut counts = StatusCounts::default();
         for shard in &self.shards {
-            for device in lock(shard).values() {
+            for device in lock_ranked(shard, rank::REGISTRY_SHARD).values() {
                 match device.status {
                     FleetStatus::Active => counts.active += 1,
                     FleetStatus::Quarantined => counts.quarantined += 1,
@@ -318,7 +322,7 @@ impl ShardedRegistry {
         let mut ids: Vec<DeviceId> = self
             .shards
             .iter()
-            .flat_map(|s| lock(s).keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| lock_ranked(s, rank::REGISTRY_SHARD).keys().copied().collect::<Vec<_>>())
             .collect();
         ids.sort_unstable();
         ids
@@ -328,6 +332,7 @@ impl ShardedRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::lock;
 
     fn failed() -> SessionOutcome {
         SessionOutcome {

@@ -44,7 +44,7 @@ use crate::durable::{
 };
 use crate::metrics::{FleetMetrics, FleetSnapshot};
 use crate::registry::{DeviceId, FleetStatus, SessionOutcome, ShardedRegistry};
-use crate::sync::lock;
+use crate::sync::{lock_ranked, rank};
 use pufatt::PufattError;
 use pufatt_alupuf::device::AluPufDesign;
 use pufatt_store::record::Record;
@@ -244,7 +244,7 @@ impl FleetService {
                     }
                 }
             };
-            lock(&service.slots[shard]).insert(id, slot);
+            lock_ranked(&service.slots[shard], rank::SERVICE_SLOT).insert(id, slot);
         });
         if let Some(e) = restore_error {
             return Err(e);
@@ -308,11 +308,12 @@ impl FleetService {
     /// the registry (as in the in-process campaign) but is marked
     /// abandoned and counted as a device fault.
     pub fn enroll(&self, id: DeviceId) -> Result<EnrollOutcome, PufattError> {
-        let mut slots = lock(&self.slots[self.shard_of(id)]);
+        let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
         if self.registry.status(id).is_none() {
             // Admit-or-absent: the enrollment is durable before the device
             // becomes visible in the registry or a slot.
             if let Some(store) = &self.journal {
+                // analyze: allow(conc: the slot shard serializes this device's sessions; fsync-before-visibility under it is the ordering point)
                 match store.append_synced(&Record::DeviceEnrolled { id }) {
                     Ok(()) | Err(StoreError::IllegalTransition { .. }) => {}
                     Err(e) => return Err(PufattError::Storage(e.to_string())),
@@ -346,7 +347,7 @@ impl FleetService {
     /// campaign runner performs. A revoked device's session is counted as
     /// refused here (never started), exactly as in-process.
     pub fn open_session(&self, id: DeviceId) -> SessionGate {
-        let mut slots = lock(&self.slots[self.shard_of(id)]);
+        let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
         match self.registry.status(id) {
             None => SessionGate::Unknown,
             Some(FleetStatus::Revoked) => {
@@ -372,7 +373,7 @@ impl FleetService {
     /// carries a fault plan), applies the lifecycle policy, and returns
     /// the verdict.
     pub fn attest(&self, id: DeviceId) -> ServiceVerdict {
-        let mut slots = lock(&self.slots[self.shard_of(id)]);
+        let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
         if self.registry.status(id) == Some(FleetStatus::Revoked) {
             self.metrics.session_refused();
             self.journal_event(&Record::SessionRefused { id });
@@ -424,7 +425,7 @@ impl FleetService {
     /// the channel ate: started, lost, rejected by timeout, and fed into
     /// the lifecycle so repeated transport loss quarantines the device.
     pub fn abort_session(&self, id: DeviceId) {
-        let mut slots = lock(&self.slots[self.shard_of(id)]);
+        let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
         match self.registry.status(id) {
             None => return,
             Some(FleetStatus::Revoked) => {
@@ -466,41 +467,54 @@ impl FleetService {
     }
 
     /// Revokes a device (operator action). Returns its post-call status,
-    /// or `None` for unknown ids. Journaled with a forced sync — an
-    /// operator's revocation must survive an immediate crash.
-    pub fn revoke(&self, id: DeviceId) -> Option<FleetStatus> {
-        let _slots = lock(&self.slots[self.shard_of(id)]);
-        let already_revoked = self.registry.status(id)? == FleetStatus::Revoked;
-        self.registry.revoke(id);
-        if !already_revoked {
+    /// or `Ok(None)` for unknown ids. The revocation record is journaled
+    /// with a forced sync *before* the registry transition becomes
+    /// visible: an operator's revocation must survive an immediate crash,
+    /// and a crash between the two steps merely re-applies the record on
+    /// resume — never the reverse (a visible revocation the journal has
+    /// no memory of).
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::Storage`] if the synced append fails. The registry
+    /// is left untouched, so the operator sees the revocation refused
+    /// rather than a trust decision that would evaporate on restart.
+    pub fn revoke(&self, id: DeviceId) -> Result<Option<FleetStatus>, PufattError> {
+        let _slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
+        let Some(status) = self.registry.status(id) else {
+            return Ok(None);
+        };
+        if status != FleetStatus::Revoked {
             if let Some(store) = &self.journal {
-                if let Err(e) = store
-                    .append_synced(&Record::StatusChanged { id, status: pufatt_store::record::StoredStatus::Revoked })
-                {
-                    panic!("durable store append failed: {e}");
-                }
+                let rec = Record::StatusChanged { id, status: pufatt_store::record::StoredStatus::Revoked };
+                // analyze: allow(conc: the slot shard serializes this device's sessions; fsync-before-visibility under it is the ordering point)
+                store.append_synced(&rec).map_err(|e| PufattError::Storage(e.to_string()))?;
             }
+            self.registry.revoke(id);
         }
-        self.registry.status(id)
+        Ok(self.registry.status(id))
     }
 
     /// Re-enrolls a known device (operator action): back to Active with
-    /// streaks cleared, history kept. Returns `false` for unknown ids.
-    /// Journaled with a forced sync, like [`FleetService::revoke`].
-    pub fn re_enroll(&self, id: DeviceId) -> bool {
-        let _slots = lock(&self.slots[self.shard_of(id)]);
+    /// streaks cleared, history kept. Returns `Ok(false)` for unknown
+    /// ids. Journaled with a forced sync before the registry transition,
+    /// like [`FleetService::revoke`].
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::Storage`] if the synced append fails; the registry
+    /// is left untouched.
+    pub fn re_enroll(&self, id: DeviceId) -> Result<bool, PufattError> {
+        let _slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
         if self.registry.status(id).is_none() {
-            return false;
+            return Ok(false);
         }
-        let changed = self.registry.re_enroll(id);
-        if changed {
-            if let Some(store) = &self.journal {
-                if let Err(e) = store.append_synced(&Record::DeviceReEnrolled { id }) {
-                    panic!("durable store append failed: {e}");
-                }
-            }
+        if let Some(store) = &self.journal {
+            let rec = Record::DeviceReEnrolled { id };
+            // analyze: allow(conc: the slot shard serializes this device's sessions; fsync-before-visibility under it is the ordering point)
+            store.append_synced(&rec).map_err(|e| PufattError::Storage(e.to_string()))?;
         }
-        changed
+        Ok(self.registry.re_enroll(id))
     }
 
     /// A device's current lifecycle state.
@@ -616,7 +630,7 @@ mod tests {
         assert!(first.fresh);
         let second = service.enroll(0).expect("idempotent");
         assert!(!second.fresh);
-        service.revoke(0);
+        service.revoke(0).expect("journal accepts");
         assert_eq!(service.open_session(0), SessionGate::Refused);
         assert_eq!(service.attest(0), ServiceVerdict::Refused);
         assert_eq!(service.snapshot().sessions_refused, 2);
@@ -762,7 +776,7 @@ mod tests {
             service.abort_session(0);
             // Aborts eventually revoke the device; re-enroll to keep going.
             if service.status(0) == Some(FleetStatus::Revoked) {
-                assert!(service.re_enroll(0));
+                assert!(service.re_enroll(0).expect("journal accepts"));
             }
         }
     }

@@ -2,6 +2,9 @@
 //! crashed at *every* backend operation and resumed must produce verdicts
 //! identical to a run that was never interrupted.
 
+// Panicking on a broken fixture is exactly what a test should do.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use pufatt::PufattError;
 use pufatt_fleet::campaign::ChaosConfig;
 use pufatt_fleet::registry::DeviceId;

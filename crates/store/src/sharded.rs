@@ -414,6 +414,7 @@ impl ShardedStore {
                     break;
                 }
             }
+            // analyze: allow(dur: final best-effort flush on a stopping committer; the owner's drop path flushes again and surfaces errors)
             let _ = store.flush();
         });
         Committer { stop, handle: Some(handle) }

@@ -113,6 +113,7 @@ impl StdVfs {
     /// loss; ignored on platforms where opening a directory fails.
     fn sync_dir(&self) {
         if let Ok(dir) = fs::File::open(&self.root) {
+            // analyze: allow(dur: documented best-effort dir sync; data-file fsync already happened and some platforms cannot sync a directory)
             let _ = dir.sync_all();
         }
     }

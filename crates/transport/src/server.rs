@@ -49,7 +49,7 @@ use pufatt_fleet::campaign::CampaignConfig;
 use pufatt_fleet::pool::SubmitError;
 use pufatt_fleet::registry::DeviceId;
 use pufatt_fleet::service::{EnrollOutcome, ServiceVerdict, SessionGate};
-use pufatt_fleet::sync::lock;
+use pufatt_fleet::sync::{lock, lock_ranked, rank};
 use pufatt_fleet::{DeviceRecord, FleetService, FleetSnapshot, WorkerPool};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -189,7 +189,12 @@ impl ConnWriter {
     fn send(&self, corr: u32, response: &Response) {
         let mut payload = Vec::new();
         response.encode(corr, &mut payload);
-        let mut stream = lock(&self.stream);
+        // The writer lock must cover the whole frame write: interleaved
+        // frames from the handler and a pool job would corrupt the wire
+        // stream. `conn_writer` is the highest-ranked transport class, so
+        // nothing is ever acquired under it.
+        let mut stream = lock_ranked(&self.stream, rank::CONN_WRITER);
+        // analyze: allow(conc: serialises whole frames; leaf lock by rank)
         if write_frame(&mut *stream, &payload, self.write_timeout_ms).is_err() {
             Counters::bump(&self.counters.write_errors);
         }
@@ -364,6 +369,9 @@ impl Server {
         // Phase 1: let connections finish politely.
         let deadline = Instant::now() + Duration::from_millis(self.shared.cfg.drain_grace_ms);
         {
+            // Plain `lock` (not `lock_ranked`): `Condvar::wait_timeout`
+            // consumes a std `MutexGuard`, which `RankGuard` cannot hand
+            // over. Nothing else is acquired in this region.
             let mut conns = lock(&self.shared.conns);
             while !conns.is_empty() {
                 let now = Instant::now();
@@ -383,7 +391,13 @@ impl Server {
                 stream.shutdown();
             }
         }
-        for handle in lock(&self.shared.handler_handles).drain(..) {
+        // Take the handles out first, then join with no lock held: a
+        // handler that races `finish` can still register or remove itself
+        // without deadlocking against this join loop.
+        let mut guard = lock_ranked(&self.shared.handler_handles, rank::HANDLER_HANDLES);
+        let handles: Vec<_> = guard.drain(..).collect();
+        drop(guard);
+        for handle in handles {
             let _ = handle.join();
         }
         // All handlers are gone; nothing can submit. Drain the pools so
@@ -429,7 +443,7 @@ fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
 
 fn admit_connection(shared: &Arc<Shared>, stream: Stream, conn_id: u64) {
     let counters = &shared.counters;
-    let at_capacity = lock(&shared.conns).len() >= shared.cfg.max_connections;
+    let at_capacity = lock_ranked(&shared.conns, rank::SERVER_CONNS).len() >= shared.cfg.max_connections;
     if at_capacity {
         // Shed with a Busy frame instead of queueing unboundedly.
         Counters::bump(&counters.connections_shed);
@@ -443,20 +457,20 @@ fn admit_connection(shared: &Arc<Shared>, stream: Stream, conn_id: u64) {
     let Ok(shutdown_handle) = stream.try_clone() else {
         return;
     };
-    lock(&shared.conns).insert(conn_id, shutdown_handle);
+    lock_ranked(&shared.conns, rank::SERVER_CONNS).insert(conn_id, shutdown_handle);
     Counters::bump(&counters.connections_served);
     let thread_shared = Arc::clone(shared);
     let spawned = std::thread::Builder::new()
         .name(format!("pufatt-conn-{conn_id}"))
         .spawn(move || {
             handle_connection(&thread_shared, stream, conn_id);
-            lock(&thread_shared.conns).remove(&conn_id);
+            lock_ranked(&thread_shared.conns, rank::SERVER_CONNS).remove(&conn_id);
             thread_shared.conn_exited.notify_all();
         });
     match spawned {
-        Ok(handle) => lock(&shared.handler_handles).push(handle),
+        Ok(handle) => lock_ranked(&shared.handler_handles, rank::HANDLER_HANDLES).push(handle),
         Err(_) => {
-            lock(&shared.conns).remove(&conn_id);
+            lock_ranked(&shared.conns, rank::SERVER_CONNS).remove(&conn_id);
         }
     }
 }
@@ -553,7 +567,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: Stream, _conn_id: u64) {
             continue;
         }
         handle_request(shared, &writer, &tickets, corr, request);
-        if shared.draining.load(Ordering::SeqCst) && lock(&tickets).is_empty() {
+        if shared.draining.load(Ordering::SeqCst) && lock_ranked(&tickets, rank::TICKET_TABLE).is_empty() {
             break None; // nothing left in flight on this connection
         }
     };
@@ -563,13 +577,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: Stream, _conn_id: u64) {
     // Any ticket still Open was a session the transport lost: record it
     // (lost + rejected + lifecycle) exactly like a chaos-eaten session.
     // Dispatched tickets stay — their queued jobs run to a real verdict.
-    let open: Vec<DeviceId> = lock(&tickets)
+    let open: Vec<DeviceId> = lock_ranked(&tickets, rank::TICKET_TABLE)
         .iter()
         .filter(|(_, (_, state))| *state == TicketState::Open)
         .map(|(&id, _)| id)
         .collect();
     for id in open {
-        lock(&tickets).remove(&id);
+        lock_ranked(&tickets, rank::TICKET_TABLE).remove(&id);
         Counters::bump(&counters.sessions_aborted);
         shared.service.abort_session(id);
     }
@@ -618,7 +632,7 @@ fn handle_request(
                 SessionGate::Granted { ticket } => {
                     // A forgotten earlier ticket is replaced; it carried
                     // no metrics, so dropping it silently is neutral.
-                    lock(tickets).insert(device, (ticket, TicketState::Open));
+                    lock_ranked(tickets, rank::TICKET_TABLE).insert(device, (ticket, TicketState::Open));
                     writer.send(corr, &Response::Challenge { device, ticket });
                 }
                 SessionGate::Refused => writer.send(
@@ -646,7 +660,7 @@ fn handle_request(
         }
         Request::Attest { device, ticket } => {
             {
-                let mut table = lock(tickets);
+                let mut table = lock_ranked(tickets, rank::TICKET_TABLE);
                 match table.get(&device) {
                     Some(&(granted, TicketState::Open)) if granted == ticket => {
                         table.insert(device, (ticket, TicketState::Dispatched));
@@ -703,25 +717,29 @@ fn handle_request(
                         detail: format!("device {device} not enrolled"),
                     },
                 };
-                lock(&tickets_job).remove(&device);
+                lock_ranked(&tickets_job, rank::TICKET_TABLE).remove(&device);
                 writer_job.send(corr, &response);
             };
             if shared.pool_for(device).try_submit(job) == Err(SubmitError::QueueFull) {
                 // Reopen the ticket so the client can retry the Attest.
-                lock(tickets).insert(device, (ticket, TicketState::Open));
+                lock_ranked(tickets, rank::TICKET_TABLE).insert(device, (ticket, TicketState::Open));
                 Counters::bump(&counters.busy_queue);
                 writer.send(corr, &Response::Busy { retry_after_ms: shared.cfg.busy_retry_ms });
             }
         }
         Request::Revoke { device } => match service.revoke(device) {
-            Some(status) => writer.send(corr, &Response::RevokeOk { device, status: status.into() }),
-            None => writer.send(
+            Ok(Some(status)) => writer.send(corr, &Response::RevokeOk { device, status: status.into() }),
+            Ok(None) => writer.send(
                 corr,
                 &Response::Error {
                     code: ErrorCode::UnknownDevice,
                     detail: format!("device {device} not enrolled"),
                 },
             ),
+            // The journal refused the synced append: the revocation did
+            // NOT take (the registry is untouched), and the client must
+            // hear that rather than a cheerful RevokeOk.
+            Err(e) => writer.send(corr, &Response::Error { code: ErrorCode::DeviceFault, detail: error_detail(&e) }),
         },
         Request::Stats => {
             let snap = service.snapshot();

@@ -175,6 +175,7 @@ fn spawn_pump(
     };
     let cfg = cfg.clone();
     let budget = Arc::clone(budget);
+    // analyze: allow(conc: pump exits when either socket closes; joining it would deadlock shutdown)
     let _ = std::thread::Builder::new().name(format!("pufatt-pump-{dir}")).spawn(move || {
         let mut dice = Dice(pump_seed);
         let mut buf = [0u8; 512];
@@ -186,7 +187,7 @@ fn spawn_pump(
             let mut send = n;
             let mut cut_now = false;
             {
-                let mut guard = budget.lock().unwrap_or_else(|e| e.into_inner());
+                let mut guard = pufatt_fleet::sync::lock(&budget);
                 if let Some(remaining) = guard.as_mut() {
                     if *remaining <= n as u64 {
                         send = *remaining as usize;
