@@ -22,7 +22,13 @@
 //!   commit in the same function: the WAL's contents die before any
 //!   snapshot covers them;
 //! * `DUR005` — a sync-class result discarded with `let _ =` — an
-//!   fsync error is a lost-durability event, not a hint.
+//!   fsync error is a lost-durability event, not a hint;
+//! * `DUR006` — a failed sync-class call *retried on the same handle*
+//!   (`while x.sync().is_err()`, or an `is_err()` guard whose body syncs
+//!   `x` again). After a failed fsync the kernel may have dropped the
+//!   dirty pages, so a later "successful" sync on the same handle proves
+//!   nothing (the fsyncgate failure mode) — the handle is poisoned and
+//!   must be reopened, never re-synced.
 //!
 //! `// analyze: allow(dur: reason)` on the line (or the line above)
 //! acknowledges a reviewed site. The analysis is intraprocedural and
@@ -89,6 +95,31 @@ fn split_args(args: &str) -> Vec<&str> {
     out
 }
 
+/// Receiver identifier of a method call at `at` (the byte offset of the
+/// pattern's leading `.`): `self.wal.sync(` → `wal`, `file.sync_all(` →
+/// `file`.
+fn recv_token(code: &str, at: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = at;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    code[start..at].to_string()
+}
+
+/// First sync-class call on the line, as `(receiver, call pattern)`.
+fn sync_call_on(code: &str) -> Option<(String, &'static str)> {
+    for pat in SYNC_CALLS {
+        if let Some(at) = code.find(pat) {
+            let recv = recv_token(code, at);
+            if !recv.is_empty() {
+                return Some((recv, pat));
+            }
+        }
+    }
+    None
+}
+
 /// Argument span of the call whose `(` follows `pattern` at `at`.
 fn call_args<'a>(code: &'a str, at: usize, pattern: &str) -> &'a str {
     let open = at + pattern.len() - 1;
@@ -125,6 +156,9 @@ pub fn scan_source(name: &str, source: &str) -> Vec<Diagnostic> {
     let mut renamed_to: BTreeSet<String> = BTreeSet::new();
     let mut critical_vars: BTreeSet<String> = BTreeSet::new();
     let mut snapshot_committed = false;
+    // Active `if <recv>.<sync>().is_err()` guard: receiver and the depth
+    // to drop back to when its block closes.
+    let mut retry_guard: Option<(String, i32)> = None;
 
     for (idx, clean) in cleaned.iter().enumerate() {
         let lineno = idx + 1;
@@ -173,6 +207,7 @@ pub fn scan_source(name: &str, source: &str) -> Vec<Diagnostic> {
                 renamed_to.clear();
                 critical_vars.clear();
                 snapshot_committed = false;
+                retry_guard = None;
             }
         }
 
@@ -298,6 +333,34 @@ pub fn scan_source(name: &str, source: &str) -> Vec<Diagnostic> {
             ));
         }
 
+        // ---- DUR006: failed sync retried on the same handle -----------
+        // Expire the guard once its block has closed (`}` also covers the
+        // `} else {` line — the else branch is the *failure* path, not a
+        // retry site).
+        if matches!(retry_guard, Some((_, exit)) if depth_before <= exit || trimmed.starts_with('}')) {
+            retry_guard = None;
+        }
+        if let Some((recv, pat)) = sync_call_on(code) {
+            let call = pat.trim_matches(['.', '(']);
+            let retry_while = trimmed.starts_with("while ") && code.contains(".is_err()");
+            let retry_in_guard = matches!(&retry_guard, Some((g, _)) if *g == recv);
+            if (retry_while || retry_in_guard) && !allow {
+                out.push(
+                    Diagnostic::new(
+                        LintId::SyncRetriedOnPoisonedHandle,
+                        loc.clone(),
+                        format!("failed `{recv}.{call}()` is retried on the same handle"),
+                        "a failed fsync may have dropped the dirty pages (fsyncgate); \
+                         reopen and rewrite instead of re-syncing",
+                    )
+                    .with_classes(vec![recv.clone()]),
+                );
+            }
+            if trimmed.starts_with("if ") && code.contains(".is_err()") && depth > depth_before {
+                retry_guard = Some((recv, depth_before));
+            }
+        }
+
         // ---- DUR005: discarded sync-class results ---------------------
         if let Some(dpos) = code.find("let _ =").or_else(|| code.find("let _:")) {
             if let Some(call) = SYNC_CALLS.iter().find(|p| code[dpos..].contains(**p)) {
@@ -387,6 +450,23 @@ mod tests {
         assert_eq!(lints("fn f(&self) { let _ = file.sync_all(); }"), vec![LintId::IgnoredSyncResult]);
         assert!(lints("fn f(&self) { let _ = self.store.flush(); // analyze: allow(dur: shutdown path)\n}").is_empty());
         assert!(lints("fn f(&self) { self.store.flush()?; }").is_empty());
+    }
+
+    #[test]
+    fn sync_retry_on_the_same_handle_is_flagged() {
+        let while_loop = "fn f(&self) {\n    while self.wal.sync().is_err() {\n        backoff();\n    }\n}\n";
+        assert_eq!(lints(while_loop), vec![LintId::SyncRetriedOnPoisonedHandle]);
+        let guard = "fn f(&self) {\n    if self.wal.sync().is_err() {\n        self.wal.sync()?;\n    }\n}\n";
+        assert_eq!(lints(guard), vec![LintId::SyncRetriedOnPoisonedHandle]);
+        // Reopening (or syncing a different handle) is the correct recovery.
+        let reopen = "fn f(&self) {\n    if self.wal.sync().is_err() {\n        self.reopen()?;\n        self.journal.sync()?;\n    }\n}\n";
+        assert!(lints(reopen).is_empty());
+        // A sync after the guard's block has closed is a fresh operation.
+        let after = "fn f(&self) {\n    if self.wal.sync().is_err() {\n        return Err(e);\n    }\n    self.wal.sync()?;\n}\n";
+        assert!(lints(after).is_empty());
+        let pinned =
+            "fn f(&self) {\n    // analyze: allow(dur: bounded retry against a remounted fs)\n    while self.wal.sync().is_err() {}\n}\n";
+        assert!(lints(pinned).is_empty());
     }
 
     #[test]

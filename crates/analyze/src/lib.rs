@@ -135,6 +135,8 @@ pub enum LintId {
     CompactionBeforeSnapshot,
     /// `DUR005` — result of a durability operation silently discarded.
     IgnoredSyncResult,
+    /// `DUR006` — a failed sync-class call retried on the same handle.
+    SyncRetriedOnPoisonedHandle,
 }
 
 impl LintId {
@@ -170,6 +172,7 @@ impl LintId {
             LintId::DirectCommitWrite => "DUR003",
             LintId::CompactionBeforeSnapshot => "DUR004",
             LintId::IgnoredSyncResult => "DUR005",
+            LintId::SyncRetriedOnPoisonedHandle => "DUR006",
         }
     }
 
@@ -213,11 +216,12 @@ impl LintId {
             LintId::DirectCommitWrite => "direct write to a commit path skips the temp-file protocol",
             LintId::CompactionBeforeSnapshot => "WAL compaction reachable before the snapshot rename",
             LintId::IgnoredSyncResult => "result of a durability operation silently discarded",
+            LintId::SyncRetriedOnPoisonedHandle => "failed sync-class call retried on the same handle (fsyncgate)",
         }
     }
 
     /// Every lint, for the catalogue listing.
-    pub const ALL: [LintId; 29] = [
+    pub const ALL: [LintId; 30] = [
         LintId::CombinationalLoop,
         LintId::FloatingNet,
         LintId::MultiDrivenNet,
@@ -247,6 +251,7 @@ impl LintId {
         LintId::DirectCommitWrite,
         LintId::CompactionBeforeSnapshot,
         LintId::IgnoredSyncResult,
+        LintId::SyncRetriedOnPoisonedHandle,
     ];
 }
 
@@ -450,6 +455,7 @@ mod tests {
         assert_eq!(LintId::UnknownLockClass.code(), "CONC006");
         assert_eq!(LintId::UnsyncedCriticalRecord.code(), "DUR001");
         assert_eq!(LintId::IgnoredSyncResult.code(), "DUR005");
+        assert_eq!(LintId::SyncRetriedOnPoisonedHandle.code(), "DUR006");
     }
 
     #[test]

@@ -156,44 +156,56 @@ fn group_commit_run(dir: &std::path::Path, name: &'static str, interval_ms: f64,
 fn fleet_runs(dir: &std::path::Path, devices: usize) -> Vec<Row> {
     std::fs::remove_dir_all(dir).ok();
     let mut rows = Vec::new();
+    let killed_wal_bytes;
     {
         let store = open_sharded(dir);
         let committer = store.committer(Duration::from_millis(5));
 
+        // Throughput in bytes is the *delta* of the summed shard WAL
+        // sizes over each phase — `stats().wal_bytes` is cumulative
+        // across all shards, so reporting it raw would credit each phase
+        // with every byte the previous phases wrote.
+        let bytes_before = store.stats().wal_bytes;
         let start = Instant::now();
         for id in 0..devices as u32 {
             group_append(&store, &Record::DeviceEnrolled { id });
         }
         store.flush().expect("flush enrollments");
         let seconds = start.elapsed().as_secs_f64();
+        let enroll_bytes = store.stats().wal_bytes - bytes_before;
         rows.push(Row {
             name: "fleet_enroll",
             devices,
             records: devices,
             seconds,
             records_per_sec: devices as f64 / seconds.max(1e-9),
-            wal_bytes: store.stats().wal_bytes,
-            mb_per_sec: 0.0,
+            wal_bytes: enroll_bytes,
+            mb_per_sec: enroll_bytes as f64 / 1e6 / seconds.max(1e-9),
         });
 
+        let bytes_before = store.stats().wal_bytes;
         let start = Instant::now();
         for id in 0..devices as u32 {
             group_append(&store, &session_record(id, 1, id as usize));
         }
         store.flush().expect("flush sessions");
         let seconds = start.elapsed().as_secs_f64();
+        let session_bytes = store.stats().wal_bytes - bytes_before;
         rows.push(Row {
             name: "fleet_sessions",
             devices,
             records: devices,
             seconds,
             records_per_sec: devices as f64 / seconds.max(1e-9),
-            wal_bytes: store.stats().wal_bytes,
-            mb_per_sec: 0.0,
+            wal_bytes: session_bytes,
+            mb_per_sec: session_bytes as f64 / 1e6 / seconds.max(1e-9),
         });
         committer.stop();
         // Kill: drop without a checkpoint — the whole fleet's history is
-        // in the shard WALs and recovery must replay all of it.
+        // in the shard WALs and recovery must replay all of it. Recovery
+        // compacts on reopen (resetting `wal_bytes`), so the bytes it
+        // will replay are the WAL sizes as of the kill.
+        killed_wal_bytes = store.stats().wal_bytes;
     }
     let start = Instant::now();
     let store = open_sharded(dir);
@@ -212,8 +224,8 @@ fn fleet_runs(dir: &std::path::Path, devices: usize) -> Vec<Row> {
         records: replayed,
         seconds,
         records_per_sec: replayed as f64 / seconds.max(1e-9),
-        wal_bytes: store.stats().wal_bytes,
-        mb_per_sec: 0.0,
+        wal_bytes: killed_wal_bytes,
+        mb_per_sec: killed_wal_bytes as f64 / 1e6 / seconds.max(1e-9),
     });
     rows
 }
@@ -245,7 +257,10 @@ fn main() {
     }));
 
     // The batched store above was dropped with its workload still in the
-    // WAL (no checkpoint): reopening replays every record.
+    // WAL (no checkpoint): reopening replays every record. Recovery
+    // compacts on reopen, so the replayed byte count is the batched run's
+    // final WAL size, captured before the reopen resets the counter.
+    let batched_wal_bytes = rows[1].wal_bytes;
     let recovery = timed("recovery (replay WAL into a snapshot) ", || {
         let start = Instant::now();
         let store = open(&dir, 64);
@@ -259,8 +274,8 @@ fn main() {
             records: replayed,
             seconds,
             records_per_sec: replayed as f64 / seconds.max(1e-9),
-            wal_bytes: store.stats().wal_bytes,
-            mb_per_sec: 0.0,
+            wal_bytes: batched_wal_bytes,
+            mb_per_sec: batched_wal_bytes as f64 / 1e6 / seconds.max(1e-9),
         }
     });
     rows.push(recovery);

@@ -289,6 +289,14 @@ pub(crate) const CAMPAIGN_VALUE_KEYS: &[&str] = &[
     "commit-interval",
 ];
 
+/// Campaign boolean flags shared by `fleet` and `serve`.
+///
+/// `--fail-fast` flips the storage-failure policy: instead of degrading a
+/// sick shard to read-only refusals and finishing the healthy rest of the
+/// fleet, the campaign stops at the first storage failure with a typed
+/// error.
+pub(crate) const CAMPAIGN_BOOL_KEYS: &[&str] = &["fail-fast"];
+
 /// Builds a [`CampaignConfig`] from parsed campaign flags (see
 /// [`CAMPAIGN_VALUE_KEYS`]).
 pub(crate) fn campaign_config(args: &Args) -> Result<CampaignConfig, String> {
@@ -328,6 +336,7 @@ pub(crate) fn campaign_config(args: &Args) -> Result<CampaignConfig, String> {
         history_capacity: args.num_or("history", defaults.history_capacity)?,
         queue_depth: defaults.queue_depth,
         commit_interval_s: commit_interval_s(args)?,
+        fail_fast: args.has("fail-fast"),
         chaos,
     })
 }
@@ -359,12 +368,17 @@ pub(crate) fn print_campaign_banner(cfg: &CampaignConfig) {
     if let Some(chaos) = &cfg.chaos {
         println!("chaos: plan [{}], {:.1}% of the fleet flaky", chaos.plan, chaos.flaky_fraction * 100.0);
     }
+    if cfg.fail_fast {
+        println!("storage policy: fail-fast (the first storage failure stops the campaign)");
+    }
 }
 
 pub fn fleet(argv: &[String]) -> Result<(), String> {
     let mut value_keys = CAMPAIGN_VALUE_KEYS.to_vec();
     value_keys.extend_from_slice(&["state-dir", "online-enroll"]);
-    let args = Args::parse(argv, &value_keys, &["resume"])?;
+    let mut bool_keys = CAMPAIGN_BOOL_KEYS.to_vec();
+    bool_keys.push("resume");
+    let args = Args::parse(argv, &value_keys, &bool_keys)?;
     let cfg = campaign_config(&args)?;
     print_campaign_banner(&cfg);
     let state_dir = args.get_or("state-dir", "");
@@ -397,7 +411,9 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             if online > 0 {
                 println!("admitted {online} device(s) online (ids {first}..{})", first + online);
             }
-            campaign.finish()
+            let report = campaign.finish()?;
+            println!("store: {}", store.stats());
+            Ok(report)
         })
     }
     .map_err(|e| e.to_string())?;
@@ -653,6 +669,10 @@ mod tests {
         fleet(&argv("--devices 8 --workers 2 --sessions 1 --profile fpga16 --rounds 128 --tamper 0.25"))
             .expect("fleet");
         fleet(&argv("--devices 4 --threads 2 --sessions 1 --profile fpga16 --rounds 128")).expect("fleet threads");
+        // `--fail-fast` only changes what happens on a storage failure; a
+        // healthy campaign under the flag is byte-for-byte the same run.
+        fleet(&argv("--devices 4 --workers 2 --sessions 1 --profile fpga16 --rounds 128 --fail-fast"))
+            .expect("fleet fail-fast");
         assert!(fleet(&argv("--devices 0")).is_err(), "empty fleets are refused");
         assert!(fleet(&argv("--bogus 1")).is_err(), "unknown flags are refused");
     }

@@ -79,6 +79,17 @@ pub enum PufattError {
     /// payload is the storage layer's own rendering; it never contains
     /// response material.
     Storage(String),
+    /// One storage shard is sick (Degraded or Failed) and the requested
+    /// device's durable state lives on it: the request is refused up
+    /// front rather than risking an accepted-but-undurable verdict.
+    /// Devices on healthy shards are unaffected; an operator reopen of
+    /// the shard restores service. Distinct from
+    /// [`PufattError::Storage`], which names a failure that already
+    /// happened rather than a typed, per-shard refusal.
+    StorageUnavailable {
+        /// Index of the sick store shard.
+        shard: u32,
+    },
     /// The network transport failed at the service level (version
     /// mismatch, protocol violation, server-side refusal) — distinct from
     /// [`PufattError::Timeout`]/[`PufattError::ChannelLost`], which name
@@ -127,6 +138,9 @@ impl fmt::Display for PufattError {
                 write!(f, "challenge (a={:#x}, b={:#x}) is not enrolled in this database", challenge.a, challenge.b)
             }
             PufattError::Storage(m) => write!(f, "durable state layer failed: {m}"),
+            PufattError::StorageUnavailable { shard } => {
+                write!(f, "storage shard {shard} unavailable (degraded or failed); healthy shards keep attesting — reopen the shard to recover")
+            }
             PufattError::Transport(m) => write!(f, "transport failed: {m}"),
         }
     }

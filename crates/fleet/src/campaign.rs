@@ -74,6 +74,14 @@ pub struct CampaignConfig {
     /// Scheduling-only: excluded from the config fingerprint, never
     /// verdict-affecting.
     pub commit_interval_s: f64,
+    /// Storage-failure policy for persistent campaigns. `false` (the
+    /// default) degrades gracefully: a sick shard refuses its devices
+    /// with typed errors while healthy shards keep attesting. `true`
+    /// fails fast: the first shard failure aborts the campaign with a
+    /// typed storage error. Policy-only: excluded from the config
+    /// fingerprint — it changes what happens *during* a failure, never
+    /// any verdict.
+    pub fail_fast: bool,
 }
 
 /// What a chaos campaign injects and into how much of the fleet.
@@ -106,6 +114,7 @@ impl Default for CampaignConfig {
             queue_depth: 64,
             chaos: None,
             commit_interval_s: 0.0,
+            fail_fast: false,
         }
     }
 }
@@ -588,6 +597,7 @@ pub fn small_test_config(devices: usize, workers: usize, seed: u64) -> CampaignC
         queue_depth: 32,
         chaos: None,
         commit_interval_s: 0.0,
+        fail_fast: false,
     }
 }
 

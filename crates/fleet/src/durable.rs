@@ -61,7 +61,7 @@ use pufatt::PufattError;
 use pufatt_alupuf::device::AluPufDesign;
 use pufatt_store::record::{OutcomeRec, Record, StoredStatus};
 use pufatt_store::state::{CursorInfo, MetaInfo, EV_REFUSED};
-use pufatt_store::{Committer, ShardedOptions, ShardedStore, StdVfs, StoreError};
+use pufatt_store::{Committer, ShardHealth, ShardedOptions, ShardedStore, StdVfs, StoreError};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -99,6 +99,16 @@ pub fn config_fingerprint(cfg: &CampaignConfig) -> u64 {
 
 fn storage(e: impl std::fmt::Display) -> PufattError {
     PufattError::Storage(e.to_string())
+}
+
+/// Maps a store error onto the fleet error type, preserving the typed
+/// per-shard refusal ([`StoreError::ShardUnavailable`] →
+/// [`PufattError::StorageUnavailable`]) instead of flattening it to text.
+pub(crate) fn storage_err(e: StoreError) -> PufattError {
+    match e {
+        StoreError::ShardUnavailable { shard } => PufattError::StorageUnavailable { shard },
+        other => storage(other),
+    }
 }
 
 pub(crate) fn to_stored(status: FleetStatus) -> StoredStatus {
@@ -154,20 +164,15 @@ pub(crate) fn from_outcome_rec(r: &OutcomeRec) -> crate::registry::SessionOutcom
 
 /// Commits one record through the group-commit path, falling back to a
 /// forced sync when the shard's commit queue is full (backpressure
-/// degrades throughput, never loses the record), or dies trying: a hard
-/// append failure means memory is ahead of the disk, and the only safe
-/// continuation is reopen-and-resume. The panic kills just this pool job
-/// (the pool contains it) and [`RunningCampaign::finish`] turns the
-/// broken store into a typed error.
-pub(crate) fn journal(store: &ShardedStore, record: &Record) {
+/// degrades throughput, never loses the record). A hard failure comes
+/// back typed: the store has already degraded the record's home shard, so
+/// the caller stops routing work there and the campaign keeps attesting
+/// the healthy shards — the lost record is re-derived bit-identically on
+/// resume after the shard reopens.
+pub(crate) fn journal(store: &ShardedStore, record: &Record) -> Result<(), StoreError> {
     match store.append(record) {
-        Ok(()) => {}
-        Err(StoreError::Backpressure) => {
-            if let Err(e) = store.append_synced(record) {
-                panic!("durable store append failed: {e}");
-            }
-        }
-        Err(e) => panic!("durable store append failed: {e}"),
+        Err(StoreError::Backpressure) => store.append_synced(record),
+        other => other,
     }
 }
 
@@ -237,6 +242,13 @@ fn cursor_record(id: DeviceId, events_done: u32, c: SessionCursor) -> Record {
 /// abandoned in a previous run, fast-forward past the committed prefix,
 /// then run and journal the rest — each session's outcome followed by a
 /// cursor so the *next* resume can skip the replay entirely.
+///
+/// Storage failures stop the device, never the process: once the device's
+/// home shard is sick (detected up front or via a failed journal append),
+/// the remaining schedule is counted as unavailable and the job returns.
+/// Healthy-shard devices are untouched, and a resumed campaign re-derives
+/// the stopped device's missing sessions bit-identically after the shard
+/// reopens.
 fn run_device_durable(
     design: &Arc<AluPufDesign>,
     registry: &ShardedRegistry,
@@ -251,22 +263,40 @@ fn run_device_durable(
         // again. The fault is already journaled and counted.
         return;
     }
+    let home = store.shard_of_id(id);
+    let unavailable = |done: u32| {
+        for _ in done..cfg.sessions_per_device {
+            metrics.session_unavailable();
+        }
+    };
     let mut session = match provision_device(design, cfg, id) {
         Ok(session) => session,
         Err(_) => {
-            journal(store, &Record::DeviceAbandoned { id });
+            // The abandonment may fail to journal on a sick shard; the
+            // fault is deterministic and is re-derived (and re-journaled)
+            // on resume after the shard reopens.
+            let _ = journal(store, &Record::DeviceAbandoned { id });
             metrics.device_fault();
             return;
         }
     };
     fast_forward(&mut session, cfg, prior);
     let mut done = prior.events_seen;
-    for _ in prior.events_seen..cfg.sessions_per_device {
+    while done < cfg.sessions_per_device {
+        if store.shard_health(home) != ShardHealth::Healthy {
+            unavailable(done);
+            return;
+        }
         if registry.status(id) == Some(FleetStatus::Revoked) {
-            journal(store, &Record::SessionRefused { id });
+            if journal(store, &Record::SessionRefused { id }).is_err() {
+                unavailable(done);
+                return;
+            }
             metrics.session_refused();
             done += 1;
-            journal(store, &cursor_record(id, done, session.cursor()));
+            // Cursors are a replay optimisation: losing one costs replay
+            // time on the next resume, never correctness.
+            let _ = journal(store, &cursor_record(id, done, session.cursor()));
             continue;
         }
         let event = if cfg.chaos.is_some() {
@@ -274,7 +304,7 @@ fn run_device_durable(
         } else {
             run_one_session(&mut session, cfg, metrics)
         };
-        match event {
+        let journaled = match event {
             SessionEvent::Closed { outcome, retried, dropped, lost, crp_hits, crp_misses } => {
                 let rec = to_outcome_rec(&outcome, retried, dropped, lost, crp_hits, crp_misses);
                 let Some((status, fails, succs)) = registry.record_outcome_traced(id, outcome, &cfg.policy) else {
@@ -283,14 +313,21 @@ fn run_device_durable(
                     // condition — fail the job, not the state.
                     panic!("device {id} vanished from the registry mid-campaign");
                 };
-                journal(store, &Record::SessionClosed { id, outcome: rec, status: to_stored(status), fails, succs });
+                journal(store, &Record::SessionClosed { id, outcome: rec, status: to_stored(status), fails, succs })
             }
             SessionEvent::Fault { retried, dropped, crp_hits, crp_misses } => {
-                journal(store, &Record::SessionFault { id, retried, dropped, crp_hits, crp_misses });
+                journal(store, &Record::SessionFault { id, retried, dropped, crp_hits, crp_misses })
             }
-        }
+        };
         done += 1;
-        journal(store, &cursor_record(id, done, session.cursor()));
+        if journaled.is_err() {
+            // The session itself completed (its outcome is in memory and
+            // is re-derived identically on resume, exactly like a lost
+            // group-commit tail); the rest of the schedule is refused.
+            unavailable(done);
+            return;
+        }
+        let _ = journal(store, &cursor_record(id, done, session.cursor()));
     }
 }
 
@@ -408,14 +445,15 @@ impl RunningCampaign {
             let prior = priors.remove(&id).unwrap_or_default();
             if campaign.registry.enroll(id) {
                 // Group-committed: a lost enrollment is re-derived (and
-                // re-journaled) by the next resume. Unlike worker-side
-                // journaling this runs on the caller's thread, so a hard
-                // failure is a typed error, not a panic.
-                let record = Record::DeviceEnrolled { id };
-                match campaign.store.append(&record) {
-                    Ok(()) => {}
-                    Err(StoreError::Backpressure) => campaign.store.append_synced(&record).map_err(storage)?,
-                    Err(e) => return Err(storage(e)),
+                // re-journaled) by the next resume. Under `--fail-fast` a
+                // hard failure aborts the launch with a typed error; in
+                // degrade mode (the default) the store has already marked
+                // the home shard sick, the device's job refuses itself up
+                // front, and healthy shards enroll on.
+                if let Err(e) = journal(&campaign.store, &Record::DeviceEnrolled { id }) {
+                    if cfg.fail_fast {
+                        return Err(storage_err(e));
+                    }
                 }
             }
             campaign.submit(id, prior);
@@ -473,23 +511,38 @@ impl RunningCampaign {
     /// into fresh snapshots, and reports — the report is bit-identical to
     /// an uninterrupted in-memory run of the same configuration.
     ///
+    /// Under [`CampaignConfig::fail_fast`], a store that broke mid-run is
+    /// a typed error. In degrade mode (the default) a campaign with sick
+    /// shards still reports: healthy-shard devices completed their full
+    /// schedule, sick-shard devices show their refused sessions as
+    /// `sessions_unavailable`, and the snapshot's store stats carry the
+    /// shard-health tally for the operator.
+    ///
     /// # Errors
     ///
-    /// [`PufattError::Storage`] if the store broke mid-run (reopen the
-    /// state directory and resume) or the final flush/checkpoint fails.
+    /// [`PufattError::Storage`] if the store broke mid-run and
+    /// `fail_fast` is set (reopen the state directory and resume), or if
+    /// the final flush/checkpoint hits a failure `fail_fast` must not
+    /// tolerate.
     pub fn finish(self) -> Result<CampaignReport, PufattError> {
         let RunningCampaign { cfg, registry, metrics, store, pool, committer, start, .. } = self;
         let panicked_jobs = pool.shutdown();
         if let Some(committer) = committer {
             committer.stop();
         }
-        if store.is_broken() {
+        if cfg.fail_fast && store.is_broken() {
             return Err(storage("durable store failed mid-campaign; reopen the state directory and resume"));
         }
-        store.flush().map_err(storage)?;
         // Fold the WAL into fresh snapshots so the next open replays
-        // nothing.
-        store.checkpoint().map_err(storage)?;
+        // nothing. Sick shards are skipped inside the store; a *new*
+        // failure here degrades its shard, which only fail-fast treats as
+        // fatal (the health tally reports it either way).
+        let folded = store.flush().and_then(|()| store.checkpoint());
+        if let Err(e) = folded {
+            if cfg.fail_fast {
+                return Err(storage_err(e));
+            }
+        }
 
         let device_records = registry
             .ids()
@@ -608,6 +661,68 @@ mod tests {
         assert_eq!(core_snapshot(&resumed), core_snapshot(&first));
         let stats = resumed.snapshot.store.unwrap();
         assert_eq!(stats.records_appended, 0, "a finished campaign appends nothing on resume");
+    }
+
+    #[test]
+    fn campaign_with_a_sick_shard_completes_healthy_devices_and_resumes_bit_identically() {
+        let mut cfg = small_test_config(8, 2, 0xD16E);
+        cfg.tamper_fraction = 0.0;
+        let reference = run_campaign(&cfg).unwrap();
+
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, cfg.history_capacity);
+        vfs.inject(
+            pufatt_store::ErrorInjection::on_prefix("shard-001/", pufatt_store::InjectedErrorKind::Eio).sticky(),
+        );
+        let degraded = run_persistent_campaign(&cfg, &store, false).unwrap();
+
+        let sick: Vec<DeviceId> = (0..cfg.devices as DeviceId).filter(|&id| store.shard_of_id(id) == 1).collect();
+        assert!(!sick.is_empty(), "test geometry must home devices on the sick shard");
+        // Healthy-shard devices complete their full schedule with verdicts
+        // bit-identical to a failure-free run; sick-shard devices never
+        // start a session (no accepted-but-undurable state to reconcile).
+        for rec in &degraded.device_records {
+            let reference_rec = reference.device_records.iter().find(|r| r.id == rec.id).expect("same fleet");
+            if sick.contains(&rec.id) {
+                assert!(rec.outcomes.is_empty(), "sick-shard device {} must not attest", rec.id);
+            } else {
+                assert_eq!(rec, reference_rec, "healthy-shard device must be unaffected");
+            }
+        }
+        assert_eq!(
+            degraded.snapshot.sessions_unavailable,
+            sick.len() as u64 * cfg.sessions_per_device as u64,
+            "every skipped session is accounted as unavailable"
+        );
+        let stats = degraded.snapshot.store.expect("persistent run reports store stats");
+        assert!(stats.shards_degraded + stats.shards_failed > 0, "sick shard must show in stats: {stats}");
+
+        // Operator drill: replace the disk and resume. Nothing undurable
+        // was admitted while the shard was sick, so the resumed campaign
+        // re-derives the missing sessions and converges on the
+        // failure-free report exactly.
+        vfs.clear_injections("shard-001/");
+        let resumed = run_persistent_campaign(&cfg, &open_sim(&vfs, cfg.history_capacity), true).unwrap();
+        assert_eq!(resumed.device_records, reference.device_records, "reopen must not change verdicts");
+        assert_eq!(core_snapshot(&resumed), reference.snapshot, "reopen must not change counters");
+    }
+
+    #[test]
+    fn fail_fast_campaign_stops_typed_on_a_sick_shard() {
+        let cfg = {
+            let mut c = small_test_config(8, 2, 0xFA57);
+            c.fail_fast = true;
+            c
+        };
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, cfg.history_capacity);
+        vfs.inject(
+            pufatt_store::ErrorInjection::on_prefix("shard-001/", pufatt_store::InjectedErrorKind::NoSpace).sticky(),
+        );
+        match run_persistent_campaign(&cfg, &store, false) {
+            Err(PufattError::Storage(_) | PufattError::StorageUnavailable { .. }) => {}
+            other => panic!("fail-fast must surface the storage failure, got {other:?}"),
+        }
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub struct FleetMetrics {
     sessions_timed_out: AtomicU64,
     attempts_retried: AtomicU64,
     sessions_refused: AtomicU64,
+    sessions_unavailable: AtomicU64,
     device_faults: AtomicU64,
     messages_dropped: AtomicU64,
     sessions_lost: AtomicU64,
@@ -127,6 +128,16 @@ impl FleetMetrics {
     /// A session was refused without running (device revoked).
     pub fn session_refused(&self) {
         self.sessions_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session was refused because its device's storage shard is sick
+    /// (Degraded or Failed). Not journaled — the sick shard could not
+    /// record it anyway — and deliberately *not* restored from store
+    /// counters: after the shard reopens, a resumed campaign runs these
+    /// sessions for real, so carrying the refusal count forward would
+    /// double-book them.
+    pub fn session_unavailable(&self) {
+        self.sessions_unavailable.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A device errored outside the protocol (trap, provisioning fault).
@@ -204,6 +215,7 @@ impl FleetMetrics {
             sessions_timed_out: self.sessions_timed_out.load(Ordering::Relaxed),
             attempts_retried: self.attempts_retried.load(Ordering::Relaxed),
             sessions_refused: self.sessions_refused.load(Ordering::Relaxed),
+            sessions_unavailable: self.sessions_unavailable.load(Ordering::Relaxed),
             device_faults: self.device_faults.load(Ordering::Relaxed),
             messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
             sessions_lost: self.sessions_lost.load(Ordering::Relaxed),
@@ -232,6 +244,10 @@ pub struct FleetSnapshot {
     pub attempts_retried: u64,
     /// Sessions refused up front because the device was revoked.
     pub sessions_refused: u64,
+    /// Sessions refused because the device's storage shard was sick
+    /// (Degraded or Failed) — typed availability refusals, never
+    /// verdicts. Zero whenever storage stayed healthy.
+    pub sessions_unavailable: u64,
     /// Devices that faulted outside the protocol.
     pub device_faults: u64,
     /// Protocol messages lost in transit (chaos campaigns).
@@ -288,6 +304,9 @@ impl fmt::Display for FleetSnapshot {
             self.sessions_timed_out,
             self.sessions_refused
         )?;
+        if self.sessions_unavailable > 0 {
+            writeln!(f, "          {} refused: storage shard unavailable", self.sessions_unavailable)?;
+        }
         writeln!(f, "attempts  {} retried, {} device faults", self.attempts_retried, self.device_faults)?;
         if self.crp_hits > 0 || self.crp_misses > 0 {
             let total = self.crp_hits + self.crp_misses;

@@ -40,7 +40,8 @@ use crate::campaign::{
     DeviceRecord, DeviceSession, SessionEvent,
 };
 use crate::durable::{
-    config_fingerprint, fast_forward, from_outcome_rec, from_stored, journal, to_outcome_rec, to_stored, DevicePrior,
+    config_fingerprint, fast_forward, from_outcome_rec, from_stored, journal, storage_err, to_outcome_rec, to_stored,
+    DevicePrior,
 };
 use crate::metrics::{FleetMetrics, FleetSnapshot};
 use crate::registry::{DeviceId, FleetStatus, SessionOutcome, ShardedRegistry};
@@ -98,6 +99,12 @@ pub enum SessionGate {
     Faulty,
     /// The device id is not enrolled.
     Unknown,
+    /// The device's durable home shard is sick (Degraded or Failed): the
+    /// session is refused up front, before any RNG is consumed or any
+    /// record written, so no accepted-but-undurable verdict can exist.
+    /// Devices on healthy shards keep attesting; an operator
+    /// [`FleetService::reopen_shard`] restores service.
+    Unavailable,
 }
 
 /// The verdict of one service-driven session.
@@ -120,6 +127,9 @@ pub enum ServiceVerdict {
     Fault,
     /// The device id is not enrolled (or was never provisioned).
     Unknown,
+    /// The device's durable home shard is sick; the session was refused
+    /// before running (see [`SessionGate::Unavailable`]).
+    Unavailable,
 }
 
 /// The fleet engine behind a per-request API — see the module docs.
@@ -261,8 +271,30 @@ impl FleetService {
     /// fallback under backpressure). No-op for unjournaled services.
     fn journal_event(&self, record: &Record) {
         if let Some(store) = &self.journal {
-            journal(store, record);
+            // A failed append has already degraded the record's home shard,
+            // so every subsequent request for its devices is refused up
+            // front by `storage_guard`. The one record lost here is
+            // re-derived bit-identically on restore after a reopen — the
+            // same determinism argument that covers a lost group-commit
+            // tail — so it is deliberately not re-raised to the caller.
+            let _ = journal(store, record);
         }
+    }
+
+    /// Refuses requests for devices whose durable home shard is sick. A
+    /// service without a journal has no shards to be sick.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::StorageUnavailable`] naming the sick store shard.
+    fn storage_guard(&self, id: DeviceId) -> Result<(), PufattError> {
+        if let Some(store) = &self.journal {
+            let shard = store.shard_of_id(id);
+            if store.shard_health(shard) != pufatt_store::ShardHealth::Healthy {
+                return Err(PufattError::StorageUnavailable { shard: shard as u32 });
+            }
+        }
+        Ok(())
     }
 
     /// Journals the post-session cursor for a device's live slot.
@@ -307,8 +339,11 @@ impl FleetService {
     /// Propagates the provisioning failure; the device stays enrolled in
     /// the registry (as in the in-process campaign) but is marked
     /// abandoned and counted as a device fault.
+    /// [`PufattError::StorageUnavailable`] if the device's durable home
+    /// shard is sick — nothing is admitted that could not be journaled.
     pub fn enroll(&self, id: DeviceId) -> Result<EnrollOutcome, PufattError> {
         let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
+        self.storage_guard(id)?;
         if self.registry.status(id).is_none() {
             // Admit-or-absent: the enrollment is durable before the device
             // becomes visible in the registry or a slot.
@@ -316,7 +351,7 @@ impl FleetService {
                 // analyze: allow(conc: the slot shard serializes this device's sessions; fsync-before-visibility under it is the ordering point)
                 match store.append_synced(&Record::DeviceEnrolled { id }) {
                     Ok(()) | Err(StoreError::IllegalTransition { .. }) => {}
-                    Err(e) => return Err(PufattError::Storage(e.to_string())),
+                    Err(e) => return Err(storage_err(e)),
                 }
             }
         }
@@ -348,6 +383,17 @@ impl FleetService {
     /// refused here (never started), exactly as in-process.
     pub fn open_session(&self, id: DeviceId) -> SessionGate {
         let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
+        if self.registry.status(id).is_none() {
+            return SessionGate::Unknown;
+        }
+        // Refused before the revocation branch: a sick shard cannot even
+        // journal a refusal, so no record is attempted and no device RNG
+        // is consumed — re-driving the session after a reopen yields the
+        // verdict it would always have had.
+        if self.storage_guard(id).is_err() {
+            self.metrics.session_unavailable();
+            return SessionGate::Unavailable;
+        }
         match self.registry.status(id) {
             None => SessionGate::Unknown,
             Some(FleetStatus::Revoked) => {
@@ -374,6 +420,17 @@ impl FleetService {
     /// the verdict.
     pub fn attest(&self, id: DeviceId) -> ServiceVerdict {
         let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
+        if self.registry.status(id).is_none() {
+            return ServiceVerdict::Unknown;
+        }
+        // Checked again here (not only at open_session): the shard may
+        // have sickened between the gate and the attest, and running the
+        // session would advance device RNG towards a verdict the journal
+        // could never hold.
+        if self.storage_guard(id).is_err() {
+            self.metrics.session_unavailable();
+            return ServiceVerdict::Unavailable;
+        }
         if self.registry.status(id) == Some(FleetStatus::Revoked) {
             self.metrics.session_refused();
             self.journal_event(&Record::SessionRefused { id });
@@ -426,6 +483,14 @@ impl FleetService {
     /// the lifecycle so repeated transport loss quarantines the device.
     pub fn abort_session(&self, id: DeviceId) {
         let mut slots = lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT);
+        if self.registry.status(id).is_some() && self.storage_guard(id).is_err() {
+            // The lost-session outcome cannot be journaled; counting it
+            // into the registry now would put memory ahead of the store.
+            // The abort is dropped as unavailable — on a sick shard the
+            // session was never granted in the first place.
+            self.metrics.session_unavailable();
+            return;
+        }
         match self.registry.status(id) {
             None => return,
             Some(FleetStatus::Revoked) => {
@@ -484,11 +549,12 @@ impl FleetService {
         let Some(status) = self.registry.status(id) else {
             return Ok(None);
         };
+        self.storage_guard(id)?;
         if status != FleetStatus::Revoked {
             if let Some(store) = &self.journal {
                 let rec = Record::StatusChanged { id, status: pufatt_store::record::StoredStatus::Revoked };
                 // analyze: allow(conc: the slot shard serializes this device's sessions; fsync-before-visibility under it is the ordering point)
-                store.append_synced(&rec).map_err(|e| PufattError::Storage(e.to_string()))?;
+                store.append_synced(&rec).map_err(storage_err)?;
             }
             self.registry.revoke(id);
         }
@@ -509,10 +575,11 @@ impl FleetService {
         if self.registry.status(id).is_none() {
             return Ok(false);
         }
+        self.storage_guard(id)?;
         if let Some(store) = &self.journal {
             let rec = Record::DeviceReEnrolled { id };
             // analyze: allow(conc: the slot shard serializes this device's sessions; fsync-before-visibility under it is the ordering point)
-            store.append_synced(&rec).map_err(|e| PufattError::Storage(e.to_string()))?;
+            store.append_synced(&rec).map_err(storage_err)?;
         }
         Ok(self.registry.re_enroll(id))
     }
@@ -555,10 +622,79 @@ impl FleetService {
     /// the journal itself stays consistent (the checkpoint is advisory).
     pub fn checkpoint(&self) -> Result<(), PufattError> {
         if let Some(store) = &self.journal {
-            store.flush().map_err(|e| PufattError::Storage(e.to_string()))?;
-            store.checkpoint().map_err(|e| PufattError::Storage(e.to_string()))?;
+            store.flush().map_err(storage_err)?;
+            store.checkpoint().map_err(storage_err)?;
         }
         Ok(())
+    }
+
+    /// Point-in-time storage statistics (WAL bytes, replay counts, shard
+    /// health tally) when the service is journaled, `None` otherwise.
+    pub fn store_stats(&self) -> Option<pufatt_store::StoreStats> {
+        self.journal.as_ref().map(|store| store.stats())
+    }
+
+    /// Operator recovery: reopens a sick *store* shard (fresh handles,
+    /// shard-local recovery against whatever is actually durable) and
+    /// rebuilds the in-memory state of every device homed on it from the
+    /// reopened journal — registry entry, provisioned session,
+    /// fast-forward to the journaled cursor. In-memory progress past the
+    /// durable prefix (the at-most-one session whose record the failing
+    /// append lost) is rewound; re-driving it yields a bit-identical
+    /// verdict, exactly like a post-power-cut resume. Returns the number
+    /// of devices restored.
+    ///
+    /// Call this while the shard's traffic is still being refused (it is,
+    /// until the reopen succeeds): a request racing the rebuild could
+    /// otherwise attest against pre-rewind session state.
+    ///
+    /// # Errors
+    ///
+    /// [`PufattError::Storage`] for an unjournaled service or when the
+    /// underlying reopen fails (the shard is then marked Failed and keeps
+    /// refusing); provisioning errors if the restored records disagree
+    /// with the configuration.
+    pub fn reopen_shard(&self, store_shard: usize) -> Result<usize, PufattError> {
+        let Some(store) = &self.journal else {
+            return Err(PufattError::Storage("service has no journal; nothing to reopen".into()));
+        };
+        store.reopen_shard(store_shard).map_err(storage_err)?;
+        let mut restored = 0;
+        let mut restore_error = None;
+        store.for_each_device_in(store_shard, |id, device| {
+            if restore_error.is_some() {
+                return;
+            }
+            self.registry.restore_device(
+                id,
+                from_stored(device.status),
+                device.fails,
+                device.succs,
+                device.outcomes.iter().map(from_outcome_rec).collect(),
+                device.outcomes_total,
+            );
+            let prior = DevicePrior::from_state(device);
+            let slot = if prior.abandoned {
+                Slot::Abandoned
+            } else {
+                match provision_device(&self.design, &self.cfg, id) {
+                    Ok(mut session) => {
+                        fast_forward(&mut session, &self.cfg, &prior);
+                        Slot::Ready { session: Box::new(session), events_seen: prior.events_seen }
+                    }
+                    Err(e) => {
+                        restore_error.get_or_insert(e);
+                        return;
+                    }
+                }
+            };
+            lock_ranked(&self.slots[self.shard_of(id)], rank::SERVICE_SLOT).insert(id, slot);
+            restored += 1;
+        });
+        if let Some(e) = restore_error {
+            return Err(e);
+        }
+        Ok(restored)
     }
 }
 
@@ -593,6 +729,7 @@ mod tests {
                     }
                     SessionGate::Refused | SessionGate::Faulty => {}
                     SessionGate::Unknown => panic!("enrolled device went unknown"),
+                    SessionGate::Unavailable => panic!("unjournaled service has no shards to be sick"),
                 }
             }
         }
@@ -750,6 +887,87 @@ mod tests {
         }
         assert_eq!(service.device_records(), reference_records, "power cut must not change verdicts");
         assert_eq!(service.snapshot(), reference_snapshot, "power cut must not change counters");
+    }
+
+    #[test]
+    fn sick_shard_refuses_typed_and_reopen_resumes_bit_identically() {
+        // Tamper-free so every session closes; the retained history length
+        // of a device then equals its completed session count, letting the
+        // client re-drive rewound sessions to a full schedule.
+        let mut cfg = small_test_config(6, 2, 0x51C6);
+        cfg.tamper_fraction = 0.0;
+        cfg.sessions_per_device = 3;
+        let (reference_records, _) = drive_service(&cfg);
+
+        let vfs = pufatt_store::SimVfs::new();
+        let ids: Vec<DeviceId> = (0..cfg.devices as DeviceId).collect();
+        let store = open_store(&cfg, &vfs);
+        let service = FleetService::with_journal(cfg.clone(), Arc::clone(&store)).expect("fresh journal");
+        for &id in &ids {
+            let _ = service.enroll(id);
+        }
+        for &id in &ids {
+            assert!(matches!(service.open_session(id), SessionGate::Granted { .. }));
+            let _ = service.attest(id);
+        }
+
+        // Shard 1's disk goes sticky-sick. The next attest for a device
+        // homed there runs (the guard saw Healthy), fails to journal, and
+        // degrades the shard — the at-most-one in-memory-ahead session the
+        // reopen path later rewinds and re-derives.
+        vfs.inject(
+            pufatt_store::ErrorInjection::on_prefix("shard-001/", pufatt_store::InjectedErrorKind::Eio).sticky(),
+        );
+        let sick: Vec<DeviceId> = ids.iter().copied().filter(|&id| store.shard_of_id(id) == 1).collect();
+        let healthy: Vec<DeviceId> = ids.iter().copied().filter(|&id| store.shard_of_id(id) != 1).collect();
+        assert!(!sick.is_empty() && !healthy.is_empty(), "test needs both populations");
+        assert!(matches!(service.attest(sick[0]), ServiceVerdict::Closed { .. }));
+        assert_eq!(store.shard_health(1), pufatt_store::ShardHealth::Degraded);
+
+        // Every entry point refuses the sick shard with the typed error —
+        // no journal write is attempted, no device RNG is consumed.
+        for &id in &sick {
+            assert_eq!(service.open_session(id), SessionGate::Unavailable);
+            assert_eq!(service.attest(id), ServiceVerdict::Unavailable);
+            assert!(matches!(service.enroll(id), Err(PufattError::StorageUnavailable { shard: 1 })));
+            assert!(matches!(service.revoke(id), Err(PufattError::StorageUnavailable { shard: 1 })));
+            assert!(matches!(service.re_enroll(id), Err(PufattError::StorageUnavailable { shard: 1 })));
+        }
+        assert!(service.snapshot().sessions_unavailable > 0, "typed refusals must be counted");
+        let stats = service.store_stats().expect("journaled");
+        assert_eq!((stats.shards_total, stats.shards_degraded), (4, 1));
+
+        // Healthy shards are fully unaffected: their devices complete the
+        // whole schedule while shard 1 is down.
+        for _ in 1..cfg.sessions_per_device {
+            for &id in &healthy {
+                assert!(matches!(service.open_session(id), SessionGate::Granted { .. }));
+                assert!(matches!(service.attest(id), ServiceVerdict::Closed { .. }));
+            }
+        }
+
+        // Operator drill: replace the disk, reopen the shard, re-drive its
+        // devices. The rewound session re-derives bit-identically.
+        vfs.clear_injections("shard-001/");
+        let restored = service.reopen_shard(1).expect("reopen succeeds on a healthy disk");
+        assert_eq!(restored, sick.len(), "every device homed on the shard is rebuilt");
+        assert_eq!(store.shard_health(1), pufatt_store::ShardHealth::Healthy);
+        for &id in &sick {
+            loop {
+                let done = service
+                    .device_records()
+                    .iter()
+                    .find(|r| r.id == id)
+                    .map(|r| r.outcomes.len())
+                    .unwrap_or(0);
+                if done >= cfg.sessions_per_device as usize {
+                    break;
+                }
+                assert!(matches!(service.open_session(id), SessionGate::Granted { .. }));
+                assert!(matches!(service.attest(id), ServiceVerdict::Closed { .. }));
+            }
+        }
+        assert_eq!(service.device_records(), reference_records, "degradation and reopen must not change verdicts");
     }
 
     #[test]

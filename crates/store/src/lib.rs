@@ -48,10 +48,12 @@ pub mod wal;
 
 pub use crpdb::DurableCrpDb;
 pub use record::{OutcomeRec, Record, StoredStatus};
-pub use sharded::{Committer, ShardedOptions, ShardedStore};
+pub use sharded::{Committer, ShardHealth, ShardedOptions, ShardedStore};
 pub use state::{Counters, CursorInfo, DeviceState, MetaInfo, StatusTally, StoreState};
 pub use store::{DurableStore, StoreOptions, StoreStats};
-pub use vfs::{SimVfs, StdVfs, TornMode, Vfs, TORN_MODES};
+pub use vfs::{
+    error_plan, ErrorInjection, InjectedErrorKind, SimVfs, StdVfs, TornMode, Vfs, INJECTED_ERROR_KINDS, TORN_MODES,
+};
 
 use record::StoredStatus as Status;
 
@@ -60,6 +62,10 @@ use record::StoredStatus as Status;
 pub enum StoreError {
     /// An operating-system I/O failure (message includes the path).
     Io(String),
+    /// The backing device is out of space (ENOSPC). The refused write left
+    /// no partial effect; retrying after space is reclaimed is safe, but
+    /// the store handle that saw it is poisoned like any write failure.
+    NoSpace(String),
     /// The fault-injecting backend's planned crash fired: the process
     /// model is dead and every further operation on that backend fails.
     Crashed,
@@ -87,12 +93,22 @@ pub enum StoreError {
     /// awaiting their sync. Nothing was applied or written — sync the
     /// store (or wait for its committer) and retry.
     Backpressure,
+    /// The record's home shard is sick (Degraded or Failed — see
+    /// [`sharded::ShardHealth`]): a storage failure took it read-only, and
+    /// appends are refused *before* anything is applied or written. Other
+    /// shards are unaffected; an operator-driven
+    /// [`ShardedStore::reopen_shard`] brings this one back.
+    ShardUnavailable {
+        /// Index of the sick shard.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(m) => write!(f, "store I/O failed: {m}"),
+            StoreError::NoSpace(m) => write!(f, "store device out of space: {m}"),
             StoreError::Crashed => write!(f, "simulated crash point reached"),
             StoreError::Corrupt(m) => write!(f, "store state corrupt: {m}"),
             StoreError::IllegalTransition { id, from, event } => {
@@ -101,6 +117,9 @@ impl fmt::Display for StoreError {
             StoreError::Broken => write!(f, "store handle broken by an earlier write failure; reopen to recover"),
             StoreError::Backpressure => {
                 write!(f, "group-commit queue full; sync the store (or wait for its committer) and retry")
+            }
+            StoreError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} storage unavailable (degraded or failed); reopen the shard to recover")
             }
         }
     }

@@ -43,7 +43,7 @@ use crate::store::{DurableStore, StoreOptions, StoreStats};
 use crate::vfs::Vfs;
 use crate::wal::crc32;
 use crate::StoreError;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -131,10 +131,51 @@ fn decode_manifest(bytes: &[u8]) -> Result<(u32, u32), StoreError> {
     Ok((shards, range_width))
 }
 
+/// One shard's position in the storage-failure state machine.
+///
+/// ```text
+///             write/sync/checkpoint failure
+///   Healthy ────────────────────────────────▶ Degraded (read-only)
+///      ▲                                          │
+///      │ reopen_shard succeeds          reopen_shard│fails
+///      └──────────────────────────────────┬────────┘
+///                                         ▼
+///                                       Failed (reopen_shard may retry)
+/// ```
+///
+/// A sick shard refuses appends with [`StoreError::ShardUnavailable`]
+/// *before* anything is applied or written; reads (device lookups,
+/// tallies) keep serving the last recovered in-memory state. Healthy
+/// shards are entirely unaffected. Recovery is operator-driven via
+/// [`ShardedStore::reopen_shard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard accepts appends and commits normally.
+    Healthy,
+    /// A storage failure poisoned the shard's handle: it is read-only
+    /// until an operator reopens it (fsyncgate semantics — the failed
+    /// handle is never retried).
+    Degraded,
+    /// A reopen attempt also failed: the backing device is still sick.
+    /// Another [`ShardedStore::reopen_shard`] may be tried once the disk
+    /// is replaced.
+    Failed,
+}
+
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_FAILED: u8 = 2;
+
 /// A device-id-range-sharded durable store: one [`DurableStore`] per
 /// shard, a manifest pinning the geometry, and group-commit appends.
 pub struct ShardedStore {
     shards: Vec<DurableStore>,
+    /// Per-shard [`ShardHealth`], encoded as u8 — atomics so the hot
+    /// append path checks health without adding a lock class.
+    health: Vec<AtomicU8>,
+    /// Commit-tick failures observed by the background committer (each
+    /// one degraded a shard) — the committer reports, never swallows.
+    commit_failures: AtomicU64,
     shard_count: u32,
     range_width: u32,
     compact_wal_bytes: u64,
@@ -187,12 +228,83 @@ impl ShardedStore {
         for i in 0..shard_count {
             shards.push(DurableStore::open_at(Arc::clone(&vfs), store_opts, &format!("shard-{i:03}/"))?);
         }
+        let health = (0..shard_count).map(|_| AtomicU8::new(HEALTH_HEALTHY)).collect();
         Ok(ShardedStore {
             shards,
+            health,
+            commit_failures: AtomicU64::new(0),
             shard_count,
             range_width,
             compact_wal_bytes: opts.compact_wal_bytes,
         })
+    }
+
+    /// The health of one shard (see [`ShardHealth`] for the machine).
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        match self.health[shard].load(Ordering::Acquire) {
+            HEALTH_HEALTHY => ShardHealth::Healthy,
+            HEALTH_DEGRADED => ShardHealth::Degraded,
+            _ => ShardHealth::Failed,
+        }
+    }
+
+    /// Marks a shard Degraded after a storage failure. Never downgrades
+    /// Failed (a failed reopen outranks a later write error).
+    fn mark_degraded(&self, shard: usize) {
+        let _ =
+            self.health[shard].compare_exchange(HEALTH_HEALTHY, HEALTH_DEGRADED, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Refuses the operation up front when `shard` is sick — nothing is
+    /// applied or written past this point.
+    fn guard(&self, shard: usize) -> Result<(), StoreError> {
+        if self.shard_health(shard) == ShardHealth::Healthy {
+            Ok(())
+        } else {
+            Err(StoreError::ShardUnavailable { shard: shard as u32 })
+        }
+    }
+
+    /// Routes a shard-level error into the health machine: real storage
+    /// failures (I/O, ENOSPC, crash, poisoned handle) degrade the shard;
+    /// validation refusals and backpressure do not — they left no doubt
+    /// about the disk. The error passes through unchanged.
+    fn note(&self, shard: usize, e: StoreError) -> StoreError {
+        match &e {
+            StoreError::Io(_) | StoreError::NoSpace(_) | StoreError::Crashed | StoreError::Broken => {
+                self.mark_degraded(shard);
+            }
+            StoreError::Corrupt(_)
+            | StoreError::IllegalTransition { .. }
+            | StoreError::Backpressure
+            | StoreError::ShardUnavailable { .. } => {}
+        }
+        e
+    }
+
+    /// Re-runs shard-local recovery on `shard` and, on success, rejoins it
+    /// to the fleet as Healthy — the operator path out of Degraded. The
+    /// shard's committed prefix is preserved by construction (recovery
+    /// re-reads the snapshot and valid WAL frames on a fresh handle); a
+    /// resumed campaign re-derives anything the failure lost, so rejoined
+    /// verdicts are bit-identical to a run that never failed.
+    ///
+    /// # Errors
+    ///
+    /// If recovery itself fails (the device is still sick) the shard is
+    /// marked [`ShardHealth::Failed`] and the error returned; healthy
+    /// shards are untouched either way. Reopening may be retried.
+    pub fn reopen_shard(&self, shard: usize) -> Result<(), StoreError> {
+        match self.shards[shard].reopen() {
+            Ok(()) => {
+                self.health[shard].store(HEALTH_HEALTHY, Ordering::Release);
+                Ok(())
+            }
+            Err(e) => {
+                self.health[shard].store(HEALTH_FAILED, Ordering::Release);
+                Err(e)
+            }
+        }
     }
 
     /// The shard a device id lives in.
@@ -237,11 +349,16 @@ impl ShardedStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Backpressure`] when the shard's commit queue is full
-    /// (nothing applied — flush and retry); otherwise as
-    /// [`DurableStore::append`].
+    /// [`StoreError::ShardUnavailable`] when the record's home shard is
+    /// Degraded or Failed (refused before anything is applied — other
+    /// shards keep accepting); [`StoreError::Backpressure`] when the
+    /// shard's commit queue is full (nothing applied — flush and retry);
+    /// otherwise as [`DurableStore::append`]. A storage failure here
+    /// degrades the home shard.
     pub fn append(&self, record: &Record) -> Result<(), StoreError> {
-        self.shards[self.shard_of(record)].append_nosync(record)?;
+        let shard = self.shard_of(record);
+        self.guard(shard)?;
+        self.shards[shard].append_nosync(record).map_err(|e| self.note(shard, e))?;
         Ok(())
     }
 
@@ -251,24 +368,35 @@ impl ShardedStore {
     ///
     /// # Errors
     ///
-    /// As [`DurableStore::append_synced`].
+    /// [`StoreError::ShardUnavailable`] when the record's home shard is
+    /// sick; otherwise as [`DurableStore::append_synced`]. A storage
+    /// failure here degrades the home shard.
     pub fn append_synced(&self, record: &Record) -> Result<(), StoreError> {
-        self.shards[self.shard_of(record)].append_synced(record)?;
+        let shard = self.shard_of(record);
+        self.guard(shard)?;
+        self.shards[shard].append_synced(record).map_err(|e| self.note(shard, e))?;
         Ok(())
     }
 
-    /// Commits every shard's pending group-commit batch: one fsync per
-    /// dirty shard. Every shard is attempted even if one fails.
+    /// Commits every healthy shard's pending group-commit batch: one
+    /// fsync per dirty shard. Every healthy shard is attempted even if
+    /// one fails; a failing shard degrades (its poisoned handle is never
+    /// re-synced — fsyncgate) and sick shards are skipped, so a dying
+    /// disk does not wedge the rest of the fleet's commits.
     ///
     /// # Errors
     ///
-    /// The first error encountered, after all shards were attempted.
+    /// The first *new* failure encountered, after all healthy shards were
+    /// attempted. Already-sick shards are not re-reported.
     pub fn flush(&self) -> Result<(), StoreError> {
         let mut first_err = None;
-        for shard in &self.shards {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.shard_health(i) != ShardHealth::Healthy {
+                continue; // read-only until reopen_shard
+            }
             if shard.unsynced() > 0 {
                 if let Err(e) = shard.sync() {
-                    first_err.get_or_insert(e);
+                    first_err.get_or_insert(self.note(i, e));
                 }
             }
         }
@@ -285,32 +413,55 @@ impl ShardedStore {
     ///
     /// # Errors
     ///
-    /// I/O errors from the backend (the failing shard is left broken, as
-    /// with any checkpoint failure).
+    /// The first *new* I/O failure, after every eligible shard was
+    /// attempted (the failing shard degrades; sick shards are skipped).
     pub fn maybe_compact(&self) -> Result<usize, StoreError> {
         if self.compact_wal_bytes == 0 {
             return Ok(0);
         }
         let mut compacted = 0;
-        for shard in &self.shards {
+        let mut first_err = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.shard_health(i) != ShardHealth::Healthy {
+                continue;
+            }
             if shard.stats().wal_bytes > self.compact_wal_bytes {
-                shard.checkpoint()?;
-                compacted += 1;
+                match shard.checkpoint() {
+                    Ok(()) => compacted += 1,
+                    Err(e) => {
+                        first_err.get_or_insert(self.note(i, e));
+                    }
+                }
             }
         }
-        Ok(compacted)
+        match first_err {
+            None => Ok(compacted),
+            Some(e) => Err(e),
+        }
     }
 
-    /// Writes a fresh snapshot and compacts the WAL on every shard.
+    /// Writes a fresh snapshot and compacts the WAL on every healthy
+    /// shard (sick shards are skipped — their last durable snapshot
+    /// already holds everything they acknowledged).
     ///
     /// # Errors
     ///
-    /// As [`DurableStore::checkpoint`].
+    /// The first *new* failure, after all healthy shards were attempted;
+    /// the failing shard degrades.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
-        for shard in &self.shards {
-            shard.checkpoint()?;
+        let mut first_err = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.shard_health(i) != ShardHealth::Healthy {
+                continue;
+            }
+            if let Err(e) = shard.checkpoint() {
+                first_err.get_or_insert(self.note(i, e));
+            }
         }
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Campaign identity, if recorded (held by shard 0).
@@ -342,6 +493,17 @@ impl ShardedStore {
         }
     }
 
+    /// Runs `f` for every enrolled device on one shard (ids ascend) —
+    /// how a service rebuilds exactly the devices a reopened shard
+    /// recovered, leaving the rest of the fleet untouched.
+    pub fn for_each_device_in(&self, shard: usize, mut f: impl FnMut(u32, &DeviceState)) {
+        self.shards[shard].with_state(|s: &StoreState| {
+            for (id, d) in &s.devices {
+                f(*id, d);
+            }
+        });
+    }
+
     /// Fleet-wide counters, merged across shards.
     pub fn counters(&self) -> Counters {
         let mut total = Counters::default();
@@ -363,7 +525,8 @@ impl ShardedStore {
         tally
     }
 
-    /// Durability counters summed across shards.
+    /// Durability counters summed across shards, plus the shard-health
+    /// tally ([`StoreStats::shards_total`] and friends).
     pub fn stats(&self) -> StoreStats {
         let mut total = StoreStats::default();
         for shard in &self.shards {
@@ -374,7 +537,21 @@ impl ShardedStore {
             total.snapshots_written += s.snapshots_written;
             total.torn_tails_recovered += s.torn_tails_recovered;
         }
+        total.shards_total = self.shard_count;
+        for i in 0..self.shards.len() {
+            match self.shard_health(i) {
+                ShardHealth::Healthy => {}
+                ShardHealth::Degraded => total.shards_degraded += 1,
+                ShardHealth::Failed => total.shards_failed += 1,
+            }
+        }
         total
+    }
+
+    /// Commit ticks that hit a new storage failure (each degraded a
+    /// shard) since this handle opened.
+    pub fn commit_failures(&self) -> u64 {
+        self.commit_failures.load(Ordering::Acquire)
     }
 
     /// Whether any shard's handle has been poisoned by a write failure.
@@ -397,10 +574,49 @@ impl ShardedStore {
         self.shards.iter().map(DurableStore::unsynced).sum()
     }
 
-    /// Spawns a background committer that flushes dirty shards (and runs
-    /// size-triggered compaction) every `interval` — the group-commit
-    /// latency bound. Dropping the returned [`Committer`] stops the
-    /// thread after one final flush, so shutdown never strands a batch.
+    /// One committer heartbeat: flush every healthy shard's pending batch
+    /// and run size-triggered compaction, degrading any shard that hits a
+    /// storage failure. Returns how many shards *newly* failed this tick
+    /// (also accumulated into [`ShardedStore::commit_failures`]) — a
+    /// count, not a `Result`, because a tick always does everything it
+    /// can: healthy shards commit even while a sick one waits for its
+    /// operator, and the failure is reported through the health machine
+    /// rather than swallowed.
+    pub fn commit_tick(&self) -> usize {
+        let mut failures = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if self.shard_health(i) != ShardHealth::Healthy {
+                continue;
+            }
+            if shard.unsynced() > 0 {
+                if let Err(e) = shard.sync() {
+                    // fsyncgate: the poisoned handle is never re-synced;
+                    // the shard degrades and waits for reopen_shard.
+                    let _ = self.note(i, e);
+                    failures += 1;
+                    continue;
+                }
+            }
+            if self.compact_wal_bytes > 0 && shard.stats().wal_bytes > self.compact_wal_bytes {
+                if let Err(e) = shard.checkpoint() {
+                    let _ = self.note(i, e);
+                    failures += 1;
+                }
+            }
+        }
+        if failures > 0 {
+            self.commit_failures.fetch_add(failures as u64, Ordering::AcqRel);
+        }
+        failures
+    }
+
+    /// Spawns a background committer that runs [`ShardedStore::commit_tick`]
+    /// every `interval` — the group-commit latency bound. A shard that
+    /// fails mid-campaign degrades and is skipped; the committer keeps
+    /// servicing the healthy shards (per-shard failures are reported via
+    /// shard health and [`ShardedStore::commit_failures`], never
+    /// swallowed). Dropping the returned [`Committer`] stops the thread
+    /// after one final tick, so shutdown never strands a batch.
     pub fn committer(self: &Arc<Self>, interval: Duration) -> Committer {
         let stop = Arc::new(AtomicBool::new(false));
         let store = Arc::clone(self);
@@ -408,14 +624,12 @@ impl ShardedStore {
         let handle = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Acquire) {
                 std::thread::sleep(interval);
-                if store.flush().is_err() || store.maybe_compact().is_err() {
-                    // A shard broke: nothing more can commit through this
-                    // handle; the owner sees it via is_broken().
-                    break;
-                }
+                store.commit_tick();
             }
-            // analyze: allow(dur: final best-effort flush on a stopping committer; the owner's drop path flushes again and surfaces errors)
-            let _ = store.flush();
+            // The final tick commits anything appended right before the
+            // stop; a failure here degrades the shard, which the owner's
+            // shutdown path surfaces through stats and health.
+            store.commit_tick();
         });
         Committer { stop, handle: Some(handle) }
     }
@@ -608,6 +822,78 @@ mod tests {
         let compacted = store.maybe_compact().unwrap();
         assert_eq!(compacted, 1, "exactly the hot shard compacts");
         assert_eq!(store.stats().snapshots_written, before + 1);
+    }
+
+    #[test]
+    fn sick_shard_degrades_and_healthy_shards_keep_committing() {
+        use crate::vfs::{ErrorInjection, InjectedErrorKind};
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, small_opts());
+        store.append_synced(&Record::DeviceEnrolled { id: 0 }).unwrap();
+        store.append_synced(&Record::DeviceEnrolled { id: 2 }).unwrap();
+        // Shard 1 (ids 2,3) dies: every op on its directory now fails.
+        vfs.inject(ErrorInjection::on_prefix("shard-001/", InjectedErrorKind::Eio).sticky());
+        let err = store.append_synced(&Record::DeviceEnrolled { id: 3 }).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "first failure surfaces raw: {err:?}");
+        assert_eq!(store.shard_health(1), ShardHealth::Degraded);
+        // Further traffic to the sick shard refuses up front, typed.
+        assert_eq!(
+            store.append_synced(&Record::DeviceEnrolled { id: 3 }),
+            Err(StoreError::ShardUnavailable { shard: 1 })
+        );
+        // The sick shard still reads its recovered state.
+        assert!(store.device(2).is_some());
+        // Healthy shards are completely unaffected, and flush/checkpoint
+        // skip the degraded shard instead of failing the fleet.
+        store.append(&Record::DeviceEnrolled { id: 4 }).unwrap();
+        store.flush().unwrap();
+        store.checkpoint().unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.shards_total, stats.shards_degraded, stats.shards_failed), (4, 1, 0));
+        assert!(stats.to_string().contains("3/4 shards healthy (1 degraded, 0 failed)"), "display: {stats}");
+    }
+
+    #[test]
+    fn reopen_shard_rejoins_after_the_disk_recovers() {
+        use crate::vfs::{ErrorInjection, InjectedErrorKind};
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, small_opts());
+        store.append_synced(&Record::DeviceEnrolled { id: 2 }).unwrap();
+        vfs.inject(ErrorInjection::on_prefix("shard-001/", InjectedErrorKind::NoSpace).sticky());
+        assert!(store.append_synced(&Record::DeviceEnrolled { id: 3 }).is_err());
+        assert_eq!(store.shard_health(1), ShardHealth::Degraded);
+        // Reopening against the still-sick disk fails → Failed (retryable).
+        assert!(store.reopen_shard(1).is_err());
+        assert_eq!(store.shard_health(1), ShardHealth::Failed);
+        assert_eq!(store.stats().shards_failed, 1);
+        // Disk replaced: reopen recovers the committed prefix and rejoins.
+        vfs.clear_injections("shard-001/");
+        store.reopen_shard(1).unwrap();
+        assert_eq!(store.shard_health(1), ShardHealth::Healthy);
+        assert!(store.device(2).is_some(), "committed record survives the reopen");
+        store.append_synced(&Record::DeviceEnrolled { id: 3 }).unwrap();
+        assert!(store.device(3).is_some());
+        let mut ids = Vec::new();
+        store.for_each_device_in(1, |id, _| ids.push(id));
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn commit_tick_reports_failures_and_spares_healthy_shards() {
+        use crate::vfs::{ErrorInjection, InjectedErrorKind};
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs, small_opts());
+        store.append(&Record::DeviceEnrolled { id: 0 }).unwrap(); // shard 0, queued
+        store.append(&Record::DeviceEnrolled { id: 2 }).unwrap(); // shard 1, queued
+                                                                  // Shard 0's fsync will fail at its next sync.
+        vfs.inject(ErrorInjection::on_prefix("shard-000/", InjectedErrorKind::SyncFail).sticky());
+        assert_eq!(store.commit_tick(), 1, "exactly the sick shard fails");
+        assert_eq!(store.commit_failures(), 1);
+        assert_eq!(store.shard_health(0), ShardHealth::Degraded);
+        assert_eq!(store.shards[1].unsynced(), 0, "healthy shard still committed");
+        // Later ticks skip the degraded shard: no repeat failures.
+        assert_eq!(store.commit_tick(), 0);
+        assert_eq!(store.commit_failures(), 1);
     }
 
     #[test]

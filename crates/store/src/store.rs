@@ -85,6 +85,13 @@ pub struct StoreStats {
     pub snapshots_written: u64,
     /// Opens that found (and discarded) a torn or corrupted WAL tail.
     pub torn_tails_recovered: u64,
+    /// Shards backing these counters (0 for a plain single store — the
+    /// shard-health fields below are then meaningless and not displayed).
+    pub shards_total: u32,
+    /// Shards currently Degraded (read-only after a storage failure).
+    pub shards_degraded: u32,
+    /// Shards currently Failed (a reopen attempt also failed).
+    pub shards_failed: u32,
 }
 
 impl fmt::Display for StoreStats {
@@ -97,7 +104,15 @@ impl fmt::Display for StoreStats {
             self.records_replayed,
             self.snapshots_written,
             self.torn_tails_recovered
-        )
+        )?;
+        if self.shards_total > 0 {
+            let sick = self.shards_degraded + self.shards_failed;
+            write!(f, ", {}/{} shards healthy", self.shards_total - sick, self.shards_total)?;
+            if sick > 0 {
+                write!(f, " ({} degraded, {} failed)", self.shards_degraded, self.shards_failed)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -169,6 +184,46 @@ fn write_snapshot(vfs: &dyn Vfs, state: &StoreState, tmp: &str, path: &str) -> R
     vfs.rename(tmp, path)
 }
 
+/// The shared recovery procedure: replay snapshot + valid WAL prefix,
+/// write a fresh snapshot, compact, and hand back a fresh WAL handle.
+/// Used by [`DurableStore::open_at`] and [`DurableStore::reopen`] — the
+/// returned stats are the *deltas* of this recovery run.
+fn recover(
+    vfs: &Arc<dyn Vfs>,
+    opts: StoreOptions,
+    wal_path: &str,
+    snapshot_path: &str,
+    snapshot_tmp: &str,
+) -> Result<(StoreState, Wal, StoreStats), StoreError> {
+    let mut stats = StoreStats::default();
+    let mut state = read_snapshot(&**vfs, opts, snapshot_path)?;
+    // Stream the WAL's valid prefix frame by frame: one borrowed
+    // payload is alive at a time, so recovery memory is the image
+    // plus the materialised state — never a second copy of every
+    // record, which matters when a million-device campaign reopens.
+    let image = vfs.read(wal_path)?;
+    let mut frames = wal::frames(image.as_deref())?;
+    for payload in frames.by_ref() {
+        let (seq, record) = Record::decode(payload)?;
+        if seq <= state.last_seq {
+            continue; // the snapshot already covers it
+        }
+        state.apply(seq, &record)?;
+        stats.records_replayed += 1;
+    }
+    if frames.is_torn() {
+        stats.torn_tails_recovered += 1;
+    }
+    let _ = frames;
+    drop(image);
+    // Rebuild: snapshot first (atomic), truncate the WAL only after.
+    write_snapshot(&**vfs, &state, snapshot_tmp, snapshot_path)?;
+    stats.snapshots_written += 1;
+    let wal = Wal::create(Arc::clone(vfs), wal_path)?;
+    stats.wal_bytes = wal.bytes();
+    Ok((state, wal, stats))
+}
+
 impl DurableStore {
     /// Opens (recovering if needed) a store over `vfs`.
     ///
@@ -194,32 +249,7 @@ impl DurableStore {
         let wal_path = format!("{prefix}{WAL_FILE}");
         let snapshot_path = format!("{prefix}{SNAPSHOT_FILE}");
         let snapshot_tmp = format!("{prefix}{SNAPSHOT_TMP}");
-        let mut stats = StoreStats::default();
-        let mut state = read_snapshot(&*vfs, opts, &snapshot_path)?;
-        // Stream the WAL's valid prefix frame by frame: one borrowed
-        // payload is alive at a time, so recovery memory is the image
-        // plus the materialised state — never a second copy of every
-        // record, which matters when a million-device campaign reopens.
-        let image = vfs.read(&wal_path)?;
-        let mut frames = wal::frames(image.as_deref())?;
-        for payload in frames.by_ref() {
-            let (seq, record) = Record::decode(payload)?;
-            if seq <= state.last_seq {
-                continue; // the snapshot already covers it
-            }
-            state.apply(seq, &record)?;
-            stats.records_replayed += 1;
-        }
-        if frames.is_torn() {
-            stats.torn_tails_recovered += 1;
-        }
-        let _ = frames;
-        drop(image);
-        // Rebuild: snapshot first (atomic), truncate the WAL only after.
-        write_snapshot(&*vfs, &state, &snapshot_tmp, &snapshot_path)?;
-        stats.snapshots_written += 1;
-        let wal = Wal::create(Arc::clone(&vfs), &wal_path)?;
-        stats.wal_bytes = wal.bytes();
+        let (state, wal, stats) = recover(&vfs, opts, &wal_path, &snapshot_path, &snapshot_tmp)?;
         Ok(DurableStore {
             inner: Mutex::new(Inner {
                 vfs,
@@ -235,6 +265,41 @@ impl DurableStore {
                 snapshot_tmp,
             }),
         })
+    }
+
+    /// Re-runs recovery in place on the same backend and paths — the
+    /// operator path out of [`StoreError::Broken`].
+    ///
+    /// A broken handle means the in-memory state may be ahead of the disk;
+    /// in particular, after a *failed fsync* the kernel may have discarded
+    /// the dirty pages while clearing the error, so retrying the fsync on
+    /// the same file would report success for bytes that never landed (the
+    /// fsyncgate failure mode). This store therefore never re-syncs a
+    /// poisoned handle. `reopen` instead discards the in-memory state,
+    /// re-reads what is *actually* durable (snapshot + valid WAL prefix on
+    /// a fresh handle), writes a fresh snapshot, and un-breaks the store.
+    /// Records acknowledged as committed are preserved by construction;
+    /// records lost to the failure were never acknowledged as durable.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableStore::open`] — if the backend is still failing, the
+    /// store stays broken and the error is returned.
+    pub fn reopen(&self) -> Result<(), StoreError> {
+        let mut inner = lock(&self.inner);
+        let (state, wal, fresh) =
+            recover(&inner.vfs, inner.opts, &inner.wal_path, &inner.snapshot_path, &inner.snapshot_tmp)?;
+        inner.state = state;
+        inner.wal = wal;
+        // Lifetime counters accumulate across the reopen; point-in-time
+        // gauges (wal_bytes) take the recovered value.
+        inner.stats.records_replayed += fresh.records_replayed;
+        inner.stats.snapshots_written += fresh.snapshots_written;
+        inner.stats.torn_tails_recovered += fresh.torn_tails_recovered;
+        inner.stats.wal_bytes = fresh.wal_bytes;
+        inner.unsynced = 0;
+        inner.broken = false;
+        Ok(())
     }
 
     fn append_inner(&self, record: &Record, mode: SyncMode) -> Result<u64, StoreError> {
@@ -325,6 +390,13 @@ impl DurableStore {
     }
 
     /// Flushes any batched appends to stable storage.
+    ///
+    /// A failed flush permanently poisons this handle (fsyncgate
+    /// semantics): the kernel may clear the error state while discarding
+    /// the dirty pages, so a retried fsync on the same file could claim
+    /// durability for bytes that never landed. The store never retries —
+    /// every later call reports [`StoreError::Broken`] until
+    /// [`DurableStore::reopen`] re-reads what is actually durable.
     ///
     /// # Errors
     ///
@@ -514,6 +586,47 @@ mod tests {
         assert!(matches!(store.append(&Record::DeviceEnrolled { id: 3 }), Err(StoreError::Broken)));
         assert!(matches!(store.sync(), Err(StoreError::Broken)));
         assert!(matches!(store.checkpoint(), Err(StoreError::Broken)));
+    }
+
+    #[test]
+    fn fsync_failure_poisons_the_handle_until_reopen() {
+        use crate::vfs::{ErrorInjection, InjectedErrorKind};
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        // The next WAL append lands in the cache, but its fsync fails.
+        vfs.inject(ErrorInjection::at_op(vfs.ops() + 1, InjectedErrorKind::SyncFail));
+        assert!(matches!(store.append(&Record::DeviceEnrolled { id: 2 }), Err(StoreError::Io(_))));
+        // fsyncgate: the handle is poisoned — no retry ever re-syncs it.
+        assert!(store.is_broken());
+        assert!(matches!(store.sync(), Err(StoreError::Broken)));
+        // reopen re-reads what is actually durable on a fresh handle. The
+        // record whose fsync failed was never acknowledged durable; it may
+        // or may not survive (here the cache still holds it, so replay
+        // finds it — durable now, which is sound either way).
+        store.reopen().unwrap();
+        assert!(!store.is_broken());
+        assert!(store.state().devices.contains_key(&1));
+        // The store is writable again after recovery.
+        store.append(&Record::DeviceEnrolled { id: 7 }).unwrap();
+        assert!(store.state().devices.contains_key(&7));
+    }
+
+    #[test]
+    fn reopen_on_a_still_sick_disk_stays_broken() {
+        use crate::vfs::{ErrorInjection, InjectedErrorKind};
+        let vfs = SimVfs::new();
+        let store = open_sim(&vfs);
+        store.append(&Record::DeviceEnrolled { id: 1 }).unwrap();
+        vfs.inject(ErrorInjection::on_prefix("", InjectedErrorKind::Eio).sticky());
+        assert!(store.append(&Record::DeviceEnrolled { id: 2 }).is_err());
+        assert!(store.is_broken());
+        assert!(store.reopen().is_err(), "recovery on a dead disk must fail");
+        assert!(store.is_broken(), "a failed reopen leaves the handle poisoned");
+        // Disk replaced: recovery succeeds and the committed record is back.
+        vfs.clear_injections("");
+        store.reopen().unwrap();
+        assert!(store.state().devices.contains_key(&1));
     }
 
     #[test]

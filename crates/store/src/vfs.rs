@@ -215,18 +215,208 @@ pub enum TornMode {
 /// All torn modes, for exhaustive matrices.
 pub const TORN_MODES: [TornMode; 4] = [TornMode::Drop, TornMode::Keep, TornMode::Torn, TornMode::Flip];
 
+/// The flavour of *recoverable* I/O failure an [`ErrorInjection`] fires —
+/// unlike a crash, the process model survives and sees a typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedErrorKind {
+    /// A generic I/O error (EIO): the operation did not happen at all.
+    Eio,
+    /// The device is out of space (ENOSPC): the operation did not happen.
+    NoSpace,
+    /// The flush itself failed (the fsyncgate failure mode): volatile
+    /// bytes stay volatile, and the store must treat the handle as
+    /// poisoned — never retry the fsync against the same file.
+    SyncFail,
+}
+
+/// All injected error kinds, for exhaustive matrices.
+pub const INJECTED_ERROR_KINDS: [InjectedErrorKind; 3] = [
+    InjectedErrorKind::Eio,
+    InjectedErrorKind::NoSpace,
+    InjectedErrorKind::SyncFail,
+];
+
+/// One planned recoverable I/O failure on a [`SimVfs`].
+///
+/// An injection *triggers* when its target operation arrives: the
+/// `at_op`-th mutating operation, the `at_read`-th read, or (with neither
+/// set) the first operation touching a matching path. A triggered
+/// injection fails that operation with a typed error and **no partial
+/// effect** — the disk is exactly as it was. One-shot injections then
+/// retire (a transient fault); sticky ones keep failing every matching
+/// operation *and read* from then on (a dying disk), until
+/// [`SimVfs::clear_injections`] models its replacement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorInjection {
+    /// Trigger on this mutating-operation number (same 0-based counter as
+    /// the crash plan, so one probe run calibrates both matrices).
+    pub at_op: Option<u64>,
+    /// Trigger on this read number (reads have their own 0-based counter;
+    /// they are not mutating operations and never shift crash points).
+    pub at_read: Option<u64>,
+    /// Only paths starting with this prefix are affected (`""` = every
+    /// path). Prefix scoping is how a test makes exactly one shard
+    /// directory sick while the rest of the disk stays healthy.
+    pub path_prefix: String,
+    /// What error the failing operation reports.
+    pub kind: InjectedErrorKind,
+    /// `false`: fail exactly once. `true`: once triggered, fail every
+    /// matching operation and read until the injection is cleared.
+    pub sticky: bool,
+}
+
+impl ErrorInjection {
+    /// A one-shot failure of the `op`-th mutating operation, any path.
+    pub fn at_op(op: u64, kind: InjectedErrorKind) -> Self {
+        ErrorInjection {
+            at_op: Some(op),
+            at_read: None,
+            path_prefix: String::new(),
+            kind,
+            sticky: false,
+        }
+    }
+
+    /// A one-shot failure of the `read`-th read, any path.
+    pub fn at_read(read: u64, kind: InjectedErrorKind) -> Self {
+        ErrorInjection {
+            at_op: None,
+            at_read: Some(read),
+            path_prefix: String::new(),
+            kind,
+            sticky: false,
+        }
+    }
+
+    /// A failure armed on the next operation touching `prefix` (one-shot;
+    /// chain [`ErrorInjection::sticky`] for a dead disk).
+    pub fn on_prefix(prefix: &str, kind: InjectedErrorKind) -> Self {
+        ErrorInjection {
+            at_op: None,
+            at_read: None,
+            path_prefix: prefix.to_string(),
+            kind,
+            sticky: false,
+        }
+    }
+
+    /// Builder: make this injection sticky.
+    #[must_use]
+    pub fn sticky(mut self) -> Self {
+        self.sticky = true;
+        self
+    }
+
+    /// Builder: scope this injection to paths under `prefix`.
+    #[must_use]
+    pub fn under(mut self, prefix: &str) -> Self {
+        self.path_prefix = prefix.to_string();
+        self
+    }
+
+    fn matches_path(&self, path: &str) -> bool {
+        self.path_prefix.is_empty() || path.starts_with(&self.path_prefix)
+    }
+}
+
+/// Derives a deterministic failure plan from a seed: `count` injections
+/// with pseudo-random trigger points below `op_bound`, kinds, and
+/// stickiness. The schedule is a pure function of the arguments — the
+/// determinism property the proptest suite pins — so a failing seed
+/// reproduces exactly.
+pub fn error_plan(seed: u64, count: usize, op_bound: u64) -> Vec<ErrorInjection> {
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    let mut x = seed;
+    let mut next = || {
+        x = x.wrapping_add(1);
+        splitmix64(x)
+    };
+    (0..count)
+        .map(|_| {
+            let word = next();
+            let kind = INJECTED_ERROR_KINDS[(word % 3) as usize];
+            let at = next() % op_bound.max(1);
+            let mut inj = if word & 4 == 0 {
+                ErrorInjection::at_op(at, kind)
+            } else {
+                ErrorInjection::at_read(at, kind)
+            };
+            inj.sticky = word & 8 == 0;
+            inj
+        })
+        .collect()
+}
+
+fn injection_error(kind: InjectedErrorKind, path: &str) -> StoreError {
+    match kind {
+        InjectedErrorKind::Eio => StoreError::Io(format!("injected I/O error (EIO) on {path}")),
+        InjectedErrorKind::NoSpace => StoreError::NoSpace(format!("injected ENOSPC on {path}")),
+        InjectedErrorKind::SyncFail => StoreError::Io(format!("injected fsync failure on {path}")),
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct SimFile {
     data: Vec<u8>,
     synced_len: usize,
 }
 
+/// An [`ErrorInjection`] plus its runtime trigger state.
+#[derive(Debug, Clone)]
+struct Injected {
+    plan: ErrorInjection,
+    /// Sticky injections latch here; one-shot ones retire through `done`.
+    triggered: bool,
+    done: bool,
+}
+
 #[derive(Debug, Default)]
 struct SimState {
     files: BTreeMap<String, SimFile>,
     ops: u64,
+    reads: u64,
     crash_at: Option<u64>,
     crashed: bool,
+    injections: Vec<Injected>,
+    injected_failures: u64,
+}
+
+impl SimState {
+    /// First injection due at this (path, op/read) point, if any. Firing
+    /// consumes one-shot injections and latches sticky ones.
+    fn injected(&mut self, path: &str, op: Option<u64>, read: Option<u64>) -> Option<InjectedErrorKind> {
+        for inj in &mut self.injections {
+            if inj.done || !inj.plan.matches_path(path) {
+                continue;
+            }
+            let due = if inj.triggered {
+                true // sticky and latched: everything matching fails
+            } else {
+                match (&inj.plan.at_op, &inj.plan.at_read) {
+                    (Some(at), _) => op == Some(*at),
+                    (None, Some(at)) => read == Some(*at),
+                    // No trigger point: arm on the first matching
+                    // mutating operation (reads alone never arm it).
+                    (None, None) => op.is_some(),
+                }
+            };
+            if due {
+                if inj.plan.sticky {
+                    inj.triggered = true;
+                } else {
+                    inj.done = true;
+                }
+                self.injected_failures += 1;
+                return Some(inj.plan.kind);
+            }
+        }
+        None
+    }
 }
 
 /// An in-memory disk with crash-point injection. Cloning shares the
@@ -294,17 +484,57 @@ impl SimVfs {
             files.insert(name.clone(), SimFile { data, synced_len });
         }
         SimVfs {
-            state: Arc::new(Mutex::new(SimState { files, ops: 0, crash_at: None, crashed: false })),
+            state: Arc::new(Mutex::new(SimState {
+                files,
+                ops: 0,
+                reads: 0,
+                crash_at: None,
+                crashed: false,
+                // The replacement disk carries no planned failures; tests
+                // that want a sick reopened disk inject again explicitly.
+                injections: Vec::new(),
+                injected_failures: 0,
+            })),
         }
     }
 
+    /// Plans a recoverable I/O failure. Multiple injections may be
+    /// queued; each operation checks them in insertion order.
+    pub fn inject(&self, plan: ErrorInjection) {
+        lock(&self.state)
+            .injections
+            .push(Injected { plan, triggered: false, done: false });
+    }
+
+    /// Removes every injection scoped under `prefix` (`""` removes all) —
+    /// the "operator replaced the disk" hook a sticky-failure test calls
+    /// before exercising the reopen path.
+    pub fn clear_injections(&self, prefix: &str) {
+        lock(&self.state)
+            .injections
+            .retain(|inj| !(prefix.is_empty() || inj.plan.path_prefix.starts_with(prefix)));
+    }
+
+    /// How many operations have failed by injection so far.
+    pub fn injected_failures(&self) -> u64 {
+        lock(&self.state).injected_failures
+    }
+
+    /// The read counter (reads are numbered separately from mutating
+    /// operations and never shift crash points).
+    pub fn reads(&self) -> u64 {
+        lock(&self.state).reads
+    }
+
     /// Runs one mutating operation: counts it, fires the planned crash at
-    /// its boundary, and otherwise applies `apply`. `volatile_on_crash`
-    /// runs instead when the crash fires — it models the part of the
-    /// operation that may have reached the (volatile) cache before the
-    /// process died.
+    /// its boundary, fires any due error injection (instead of the
+    /// operation — no partial effect), and otherwise applies `apply`.
+    /// `volatile_on_crash` runs instead when the crash fires — it models
+    /// the part of the operation that may have reached the (volatile)
+    /// cache before the process died.
     fn mutate(
         &self,
+        path: &str,
         apply: impl FnOnce(&mut SimState),
         volatile_on_crash: impl FnOnce(&mut SimState),
     ) -> Result<(), StoreError> {
@@ -319,6 +549,9 @@ impl SimVfs {
             volatile_on_crash(&mut state);
             return Err(StoreError::Crashed);
         }
+        if let Some(kind) = state.injected(path, Some(op), None) {
+            return Err(injection_error(kind, path));
+        }
         apply(&mut state);
         Ok(())
     }
@@ -326,9 +559,14 @@ impl SimVfs {
 
 impl Vfs for SimVfs {
     fn read(&self, path: &str) -> Result<Option<Vec<u8>>, StoreError> {
-        let state = lock(&self.state);
+        let mut state = lock(&self.state);
         if state.crashed {
             return Err(StoreError::Crashed);
+        }
+        let read = state.reads;
+        state.reads += 1;
+        if let Some(kind) = state.injected(path, None, Some(read)) {
+            return Err(injection_error(kind, path));
         }
         Ok(state.files.get(path).map(|f| f.data.clone()))
     }
@@ -343,11 +581,12 @@ impl Vfs for SimVfs {
         };
         // A crashing append still reaches the volatile cache: whether any
         // of it survives is decided by the power-cut mode.
-        self.mutate(write, write)
+        self.mutate(path, write, write)
     }
 
     fn sync(&self, path: &str) -> Result<(), StoreError> {
         self.mutate(
+            path,
             |state| {
                 if let Some(f) = state.files.get_mut(path) {
                     f.synced_len = f.data.len();
@@ -363,11 +602,12 @@ impl Vfs for SimVfs {
                 .files
                 .insert(path.to_string(), SimFile { data: bytes.to_vec(), synced_len: 0 });
         };
-        self.mutate(replace, replace)
+        self.mutate(path, replace, replace)
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<(), StoreError> {
         self.mutate(
+            from,
             |state| {
                 if let Some(file) = state.files.remove(from) {
                     state.files.insert(to.to_string(), file);
@@ -381,6 +621,7 @@ impl Vfs for SimVfs {
 
     fn remove(&self, path: &str) -> Result<(), StoreError> {
         self.mutate(
+            path,
             |state| {
                 state.files.remove(path);
             },
@@ -446,6 +687,95 @@ mod tests {
         let disk = vfs.power_cut(TornMode::Keep);
         assert!(disk.exists("tmp"));
         assert!(!disk.exists("final"));
+    }
+
+    #[test]
+    fn one_shot_injection_fires_once_with_no_partial_effect() {
+        let vfs = SimVfs::new();
+        vfs.inject(ErrorInjection::at_op(1, InjectedErrorKind::Eio));
+        vfs.append("f", b"aa").unwrap();
+        let err = vfs.append("f", b"bb").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "got {err:?}");
+        // No partial effect: the refused append left the file untouched.
+        assert_eq!(vfs.read("f").unwrap().unwrap(), b"aa");
+        // One-shot: the next attempt succeeds, and op numbering counted
+        // the failed attempt (crash matrices rely on stable numbering).
+        vfs.append("f", b"bb").unwrap();
+        assert_eq!(vfs.read("f").unwrap().unwrap(), b"aabb");
+        assert_eq!(vfs.ops(), 3);
+        assert_eq!(vfs.injected_failures(), 1);
+    }
+
+    #[test]
+    fn sticky_injection_kills_matching_ops_and_reads() {
+        let vfs = SimVfs::new();
+        vfs.append("shard-001/wal", b"x").unwrap();
+        vfs.append("shard-000/wal", b"y").unwrap();
+        vfs.inject(ErrorInjection::on_prefix("shard-001/", InjectedErrorKind::NoSpace).sticky());
+        assert_eq!(
+            vfs.append("shard-001/wal", b"z"),
+            Err(StoreError::NoSpace("injected ENOSPC on shard-001/wal".into()))
+        );
+        // Once latched, the sick prefix fails reads and syncs too...
+        assert!(vfs.read("shard-001/wal").is_err());
+        assert!(vfs.sync("shard-001/wal").is_err());
+        // ...while the healthy shard is completely unaffected.
+        vfs.append("shard-000/wal", b"y").unwrap();
+        vfs.sync("shard-000/wal").unwrap();
+        assert_eq!(vfs.read("shard-000/wal").unwrap().unwrap(), b"yy");
+        // Replacing the disk clears the fault; the surviving bytes are
+        // whatever was on the platter before it died.
+        vfs.clear_injections("shard-001/");
+        assert_eq!(vfs.read("shard-001/wal").unwrap().unwrap(), b"x");
+        vfs.append("shard-001/wal", b"z").unwrap();
+        assert!(vfs.injected_failures() >= 3);
+    }
+
+    #[test]
+    fn sync_failure_leaves_the_tail_volatile() {
+        let vfs = SimVfs::new();
+        vfs.append("f", b"tail").unwrap();
+        vfs.inject(ErrorInjection::at_op(1, InjectedErrorKind::SyncFail));
+        assert!(vfs.sync("f").is_err());
+        // The failed fsync durable-ized nothing: a power cut drops the tail.
+        assert_eq!(vfs.power_cut(TornMode::Drop).read("f").unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn read_injection_uses_its_own_counter() {
+        let vfs = SimVfs::new();
+        vfs.append("f", b"abc").unwrap();
+        vfs.inject(ErrorInjection::at_read(1, InjectedErrorKind::Eio));
+        assert_eq!(vfs.read("f").unwrap().unwrap(), b"abc");
+        assert!(vfs.read("f").is_err());
+        assert_eq!(vfs.read("f").unwrap().unwrap(), b"abc");
+        assert_eq!(vfs.reads(), 3);
+        // Reads never consumed mutating-op numbers.
+        assert_eq!(vfs.ops(), 1);
+    }
+
+    #[test]
+    fn power_cut_disks_carry_no_injections() {
+        let vfs = SimVfs::new();
+        vfs.inject(ErrorInjection::on_prefix("", InjectedErrorKind::Eio).sticky());
+        assert!(vfs.append("f", b"x").is_err());
+        let disk = vfs.power_cut(TornMode::Keep);
+        disk.append("f", b"x").unwrap();
+        assert_eq!(disk.injected_failures(), 0);
+    }
+
+    #[test]
+    fn error_plan_is_a_pure_function_of_its_seed() {
+        let a = error_plan(42, 16, 100);
+        let b = error_plan(42, 16, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let c = error_plan(43, 16, 100);
+        assert_ne!(a, c, "different seeds should give different schedules");
+        for inj in &a {
+            let at = inj.at_op.or(inj.at_read).expect("plan entries carry a trigger point");
+            assert!(at < 100);
+        }
     }
 
     #[test]

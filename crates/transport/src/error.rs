@@ -39,6 +39,12 @@ pub enum ErrorCode {
     Draining,
     /// The server hit an internal fault serving the request.
     Internal,
+    /// The device's durable storage shard is sick (degraded or failed);
+    /// the request was refused up front so no accepted-but-undurable
+    /// verdict can exist. Retrying against another device, or after an
+    /// operator reopens the shard, can succeed — the server itself is
+    /// healthy (distinct from [`ErrorCode::Internal`]).
+    StorageUnavailable,
 }
 
 impl ErrorCode {
@@ -54,6 +60,7 @@ impl ErrorCode {
             ErrorCode::RateLimited => 6,
             ErrorCode::Draining => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::StorageUnavailable => 9,
         }
     }
 
@@ -73,6 +80,7 @@ impl ErrorCode {
             6 => ErrorCode::RateLimited,
             7 => ErrorCode::Draining,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::StorageUnavailable,
             other => return Err(TransportError::Malformed(format!("unknown error code byte {other}"))),
         })
     }
@@ -90,6 +98,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::RateLimited => "rate-limited",
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
+            ErrorCode::StorageUnavailable => "storage-unavailable",
         };
         f.write_str(name)
     }
@@ -202,6 +211,7 @@ mod tests {
             ErrorCode::RateLimited,
             ErrorCode::Draining,
             ErrorCode::Internal,
+            ErrorCode::StorageUnavailable,
         ] {
             assert_eq!(ErrorCode::from_byte(code.to_byte()).unwrap(), code);
         }

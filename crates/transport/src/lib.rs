@@ -51,7 +51,7 @@ pub use client::Client;
 pub use conn::{Endpoint, Listener, Stream};
 pub use error::{ErrorCode, TransportError};
 pub use frame::{decode_frame, encode_frame, read_frame, write_frame, FRAME_HEADER, MAX_FRAME_LEN};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_loadgen, ConnectionLost, LoadgenConfig, LoadgenReport, LostPhase};
 pub use message::{hello, negotiate, Request, Response, WireStats, WireStatus, PROTOCOL_MAGIC, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerReport, TransportStats};
 pub use shim::{LossyProxy, ProxyConfig};

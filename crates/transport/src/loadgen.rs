@@ -29,6 +29,7 @@ use crate::error::{ErrorCode, TransportError};
 use crate::message::{Request, Response};
 use pufatt_fleet::registry::DeviceId;
 use std::collections::HashMap;
+use std::fmt;
 use std::time::Instant;
 
 /// What to drive and how hard.
@@ -67,6 +68,64 @@ impl Default for LoadgenConfig {
     }
 }
 
+/// The protocol phase a device was in when its connection died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LostPhase {
+    /// Its `Enroll` was in flight; nothing was admitted.
+    Enrolling,
+    /// A `ChallengeRequest` was in flight; no session was open.
+    AwaitingChallenge,
+    /// An `Attest` was in flight: a session was opened but its verdict
+    /// never arrived (the server records it as an aborted, lost session).
+    Attesting,
+    /// The connection died before its stride reached this device.
+    Unstarted,
+}
+
+impl fmt::Display for LostPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LostPhase::Enrolling => "enrolling",
+            LostPhase::AwaitingChallenge => "awaiting-challenge",
+            LostPhase::Attesting => "attesting",
+            LostPhase::Unstarted => "unstarted",
+        })
+    }
+}
+
+/// Typed summary of mid-campaign connection loss: which connections died,
+/// the first transport error seen, and the exact disposition of every
+/// stranded device — instead of a generic error that hides how far the
+/// campaign got.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConnectionLost {
+    /// Connections that died before completing their device stride.
+    pub connections_lost: u64,
+    /// The first transport error observed (the root cause, rendered).
+    pub first_error: String,
+    /// Every stranded device with the phase it was lost in, ascending by
+    /// id.
+    pub devices: Vec<(DeviceId, LostPhase)>,
+}
+
+impl fmt::Display for ConnectionLost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let count = |p: LostPhase| self.devices.iter().filter(|&&(_, q)| q == p).count();
+        write!(
+            f,
+            "{} connection(s) lost mid-campaign ({}): {} device(s) stranded — \
+             {} enrolling, {} awaiting-challenge, {} attesting, {} unstarted",
+            self.connections_lost,
+            self.first_error,
+            self.devices.len(),
+            count(LostPhase::Enrolling),
+            count(LostPhase::AwaitingChallenge),
+            count(LostPhase::Attesting),
+            count(LostPhase::Unstarted),
+        )
+    }
+}
+
 /// What the campaign did, aggregated over all connections.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadgenReport {
@@ -82,6 +141,11 @@ pub struct LoadgenReport {
     pub sessions_accepted: u64,
     /// Enrolls answered with a device fault.
     pub enroll_faults: u64,
+    /// Sessions refused with `storage-unavailable` (the device's durable
+    /// home shard was sick; its remaining schedule is counted here).
+    pub sessions_unavailable: u64,
+    /// Devices that stopped because their storage shard was unavailable.
+    pub devices_unavailable: u64,
     /// `Busy` answers absorbed (queue or rate backpressure).
     pub busy_retries: u64,
     /// Real connections that completed their share.
@@ -98,6 +162,11 @@ pub struct LoadgenReport {
     pub p99_us: u64,
     /// Worst session latency in microseconds.
     pub max_us: u64,
+    /// Present when at least one connection died mid-campaign: the typed
+    /// loss summary with per-device disposition. The campaign-level
+    /// counters above still cover everything the surviving connections
+    /// finished.
+    pub connection_lost: Option<ConnectionLost>,
 }
 
 impl LoadgenReport {
@@ -106,9 +175,11 @@ impl LoadgenReport {
         format!(
             concat!(
                 "{{\"label\":\"{}\",\"connections\":{},\"concurrent_devices\":{},",
-                "\"devices_completed\":{},\"devices_errored\":{},",
+                "\"devices_completed\":{},\"devices_errored\":{},\"devices_unavailable\":{},",
                 "\"sessions_completed\":{},\"sessions_refused\":{},\"sessions_accepted\":{},",
-                "\"enroll_faults\":{},\"busy_retries\":{},\"wall_s\":{:.6},\"sessions_per_s\":{:.1},",
+                "\"sessions_unavailable\":{},",
+                "\"enroll_faults\":{},\"busy_retries\":{},\"connections_lost\":{},",
+                "\"wall_s\":{:.6},\"sessions_per_s\":{:.1},",
                 "\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}"
             ),
             label,
@@ -116,11 +187,14 @@ impl LoadgenReport {
             concurrent_devices,
             self.devices_completed,
             self.devices_errored,
+            self.devices_unavailable,
             self.sessions_completed,
             self.sessions_refused,
             self.sessions_accepted,
+            self.sessions_unavailable,
             self.enroll_faults,
             self.busy_retries,
+            self.connection_lost.as_ref().map_or(0, |l| l.connections_lost),
             self.wall_s,
             self.sessions_per_s,
             self.p50_us,
@@ -147,12 +221,19 @@ struct InFlight {
 struct ConnTally {
     devices_completed: u64,
     devices_errored: u64,
+    devices_unavailable: u64,
     sessions_completed: u64,
     sessions_refused: u64,
     sessions_accepted: u64,
+    sessions_unavailable: u64,
     enroll_faults: u64,
     busy_retries: u64,
     latencies_us: Vec<u64>,
+    /// Whether the TCP connect + handshake succeeded (distinguishes a
+    /// server that was never reachable from one that vanished mid-run).
+    connected: bool,
+    /// Stranded devices with the phase each was lost in.
+    lost_devices: Vec<(DeviceId, LostPhase)>,
 }
 
 /// Runs a full campaign against a live server and reports throughput and
@@ -161,8 +242,11 @@ struct ConnTally {
 /// # Errors
 ///
 /// [`TransportError`] only when *no* connection could even be
-/// established; per-connection failures mid-campaign are absorbed into
-/// `devices_errored`.
+/// established. A connection that dies *after* reaching the server does
+/// not fail the call: its stranded devices are counted in
+/// `devices_errored` and itemised, with the root-cause error, in the
+/// report's [`LoadgenReport::connection_lost`] summary.
+#[allow(clippy::result_large_err)] // the spawn closure carries drive_connection's tally-with-error pair
 pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, TransportError> {
     let connections = cfg.connections.max(1);
     let started = Instant::now();
@@ -177,17 +261,33 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, TransportError>
     }
     let mut tally = ConnTally::default();
     let mut live_connections = 0u64;
+    let mut connections_lost = 0u64;
+    let mut any_connected = false;
+    let mut first_error = String::new();
     for handle in handles {
         match handle.join() {
             Ok(Ok(conn_tally)) => {
                 live_connections += 1;
+                any_connected = true;
                 merge(&mut tally, conn_tally);
             }
-            Ok(Err((conn_tally, _err))) => merge(&mut tally, conn_tally),
-            Err(_) => {}
+            Ok(Err((conn_tally, err))) => {
+                connections_lost += 1;
+                any_connected |= conn_tally.connected;
+                if first_error.is_empty() {
+                    first_error = err.to_string();
+                }
+                merge(&mut tally, conn_tally);
+            }
+            Err(_) => {
+                connections_lost += 1;
+                if first_error.is_empty() {
+                    first_error = "loadgen worker panicked".into();
+                }
+            }
         }
     }
-    if live_connections == 0 {
+    if !any_connected {
         return Err(TransportError::Closed("no loadgen connection reached the server".into()));
     }
     let wall_s = started.elapsed().as_secs_f64();
@@ -199,12 +299,19 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, TransportError>
         let idx = ((tally.latencies_us.len() as f64 * p).ceil() as usize).clamp(1, tally.latencies_us.len());
         tally.latencies_us[idx - 1]
     };
+    let connection_lost = (connections_lost > 0).then(|| {
+        let mut devices = std::mem::take(&mut tally.lost_devices);
+        devices.sort_unstable_by_key(|&(id, _)| id);
+        ConnectionLost { connections_lost, first_error, devices }
+    });
     Ok(LoadgenReport {
         devices_completed: tally.devices_completed,
         devices_errored: tally.devices_errored,
+        devices_unavailable: tally.devices_unavailable,
         sessions_completed: tally.sessions_completed,
         sessions_refused: tally.sessions_refused,
         sessions_accepted: tally.sessions_accepted,
+        sessions_unavailable: tally.sessions_unavailable,
         enroll_faults: tally.enroll_faults,
         busy_retries: tally.busy_retries,
         connections: live_connections,
@@ -214,18 +321,22 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, TransportError>
         p90_us: pct(0.90),
         p99_us: pct(0.99),
         max_us: tally.latencies_us.last().copied().unwrap_or(0),
+        connection_lost,
     })
 }
 
 fn merge(into: &mut ConnTally, from: ConnTally) {
     into.devices_completed += from.devices_completed;
     into.devices_errored += from.devices_errored;
+    into.devices_unavailable += from.devices_unavailable;
     into.sessions_completed += from.sessions_completed;
     into.sessions_refused += from.sessions_refused;
     into.sessions_accepted += from.sessions_accepted;
+    into.sessions_unavailable += from.sessions_unavailable;
     into.enroll_faults += from.enroll_faults;
     into.busy_retries += from.busy_retries;
     into.latencies_us.extend(from.latencies_us);
+    into.lost_devices.extend(from.lost_devices);
 }
 
 /// Drives this connection's device stride to completion. On a transport
@@ -235,8 +346,13 @@ fn drive_connection(cfg: &LoadgenConfig, conn_index: usize) -> Result<ConnTally,
     let mut tally = ConnTally::default();
     let mut client = match Client::connect(&cfg.endpoint, cfg.read_timeout_ms, cfg.write_timeout_ms) {
         Ok(client) => client,
-        Err(e) => return Err((tally, e)),
+        Err(e) => {
+            // Never reached the server: the whole stride is unstarted.
+            strand(&mut tally, &HashMap::new(), conn_index as u32, cfg.devices, cfg.connections.max(1) as u32);
+            return Err((tally, e));
+        }
     };
+    tally.connected = true;
     let connections = cfg.connections.max(1) as u32;
     let mut next_device = conn_index as u32;
     let window = cfg.window.max(1);
@@ -261,7 +377,9 @@ fn drive_connection(cfg: &LoadgenConfig, conn_index: usize) -> Result<ConnTally,
                     );
                 }
                 Err(e) => {
-                    tally.devices_errored += 1 + remaining_devices(&inflight, next_device, cfg.devices, connections);
+                    tally.devices_errored += 1;
+                    tally.lost_devices.push((id, LostPhase::Enrolling));
+                    strand(&mut tally, &inflight, next_device, cfg.devices, connections);
                     return Err((tally, e));
                 }
             }
@@ -272,7 +390,7 @@ fn drive_connection(cfg: &LoadgenConfig, conn_index: usize) -> Result<ConnTally,
         let (corr, response) = match client.recv_any() {
             Ok(pair) => pair,
             Err(e) => {
-                tally.devices_errored += remaining_devices(&inflight, next_device, cfg.devices, connections);
+                strand(&mut tally, &inflight, next_device, cfg.devices, connections);
                 return Err((tally, e));
             }
         };
@@ -338,6 +456,16 @@ fn drive_connection(cfg: &LoadgenConfig, conn_index: usize) -> Result<ConnTally,
                 tally.devices_completed += 1;
                 None
             }
+            Response::Error { code: ErrorCode::StorageUnavailable, .. } => {
+                // The device's durable home shard is sick: the server
+                // refuses its requests up front. Mirror the fleet's own
+                // accounting — the rest of this device's schedule is
+                // unavailable and the device stops (its healthy-shard
+                // peers keep attesting on this same connection).
+                tally.sessions_unavailable += u64::from(entry.remaining);
+                tally.devices_unavailable += 1;
+                None
+            }
             Response::Error { .. }
             | Response::HelloAck { .. }
             | Response::RevokeOk { .. }
@@ -357,7 +485,9 @@ fn drive_connection(cfg: &LoadgenConfig, conn_index: usize) -> Result<ConnTally,
                     inflight.insert(new_corr, entry);
                 }
                 Err(e) => {
-                    tally.devices_errored += 1 + remaining_devices(&inflight, next_device, cfg.devices, connections);
+                    tally.devices_errored += 1;
+                    tally.lost_devices.push((entry.id, phase_of(&request)));
+                    strand(&mut tally, &inflight, next_device, cfg.devices, connections);
                     return Err((tally, e));
                 }
             }
@@ -365,13 +495,118 @@ fn drive_connection(cfg: &LoadgenConfig, conn_index: usize) -> Result<ConnTally,
     }
 }
 
-/// Devices this connection would still owe if it died right now: the
-/// in-flight ones plus the unstarted remainder of its stride.
-fn remaining_devices(inflight: &HashMap<u32, InFlight>, next_device: u32, devices: u32, connections: u32) -> u64 {
+/// The loss phase a device's outstanding request pins it to.
+fn phase_of(request: &Request) -> LostPhase {
+    match request {
+        Request::Enroll { .. } => LostPhase::Enrolling,
+        Request::ChallengeRequest { .. } => LostPhase::AwaitingChallenge,
+        Request::Attest { .. } => LostPhase::Attesting,
+        _ => LostPhase::Unstarted,
+    }
+}
+
+/// Records every device this connection strands when it dies: the
+/// in-flight ones (with the phase their outstanding request names) plus
+/// the unstarted remainder of its stride, all counted as errored.
+fn strand(tally: &mut ConnTally, inflight: &HashMap<u32, InFlight>, next_device: u32, devices: u32, connections: u32) {
+    for entry in inflight.values() {
+        tally.lost_devices.push((entry.id, phase_of(&entry.request)));
+    }
+    let mut id = next_device;
+    while id < devices {
+        tally.lost_devices.push((id, LostPhase::Unstarted));
+        id += connections;
+    }
     let unstarted = u64::from(if next_device < devices {
         (devices - next_device).div_ceil(connections)
     } else {
         0
     });
-    inflight.len() as u64 + unstarted
+    tally.devices_errored += inflight.len() as u64 + unstarted;
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    use crate::conn::Listener;
+    use crate::frame::{read_frame, write_frame};
+    use crate::message::negotiate;
+
+    /// A server that completes the handshake, reads one request, then
+    /// vanishes — the canonical mid-campaign connection loss.
+    fn vanish_after_first_request(listener: Listener) {
+        loop {
+            match listener.accept() {
+                Ok(Some(mut stream)) => {
+                    let _ = stream.set_read_timeout_ms(5_000);
+                    let _ = stream.set_write_timeout_ms(5_000);
+                    let mut payload = Vec::new();
+                    if !matches!(read_frame(&mut stream, &mut payload, 5_000), Ok(true)) {
+                        return;
+                    }
+                    let Ok((corr, Request::Hello { magic, min_version, max_version })) = Request::decode(&payload)
+                    else {
+                        return;
+                    };
+                    let Ok(version) = negotiate(magic, min_version, max_version) else {
+                        return;
+                    };
+                    let mut out = Vec::new();
+                    Response::HelloAck { version }.encode(corr, &mut out);
+                    let _ = write_frame(&mut stream, &out, 5_000);
+                    // Swallow the first real request, then drop the socket.
+                    let _ = read_frame(&mut stream, &mut payload, 5_000);
+                    return;
+                }
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                Err(_) => return,
+            }
+        }
+    }
+
+    #[test]
+    fn connection_loss_yields_a_typed_per_device_disposition() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let endpoint = listener.local_endpoint().clone();
+        let server = std::thread::spawn(move || vanish_after_first_request(listener));
+        let cfg = LoadgenConfig {
+            endpoint,
+            devices: 2,
+            sessions_per_device: 1,
+            connections: 1,
+            window: 1,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            ..LoadgenConfig::default()
+        };
+        let report = run_loadgen(&cfg).expect("a connected-then-lost campaign still reports");
+        let lost = report.connection_lost.expect("typed connection-loss summary");
+        assert_eq!(lost.connections_lost, 1);
+        assert!(!lost.first_error.is_empty(), "root cause must be carried");
+        assert_eq!(
+            lost.devices,
+            vec![(0, LostPhase::Enrolling), (1, LostPhase::Unstarted)],
+            "each stranded device carries the phase it was lost in"
+        );
+        assert_eq!(report.devices_errored, 2);
+        assert_eq!(report.devices_completed, 0);
+        let line = lost.to_string();
+        assert!(line.contains("1 connection(s) lost") && line.contains("1 enrolling"), "display: {line}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn an_unreachable_server_is_still_a_hard_error() {
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let endpoint = listener.local_endpoint().clone();
+        drop(listener);
+        let cfg = LoadgenConfig {
+            endpoint,
+            devices: 1,
+            connections: 1,
+            ..LoadgenConfig::default()
+        };
+        assert!(run_loadgen(&cfg).is_err(), "no connection established at all");
+    }
 }

@@ -150,6 +150,16 @@ pub struct WireStats {
     pub crp_hits: u64,
     /// Reference responses the verifiers had to emulate (cache misses).
     pub crp_misses: u64,
+    /// Sessions refused with `storage-unavailable` (durable home shard
+    /// sick when the request arrived).
+    pub unavailable: u64,
+    /// Storage shards backing the server (0 when unjournaled).
+    pub shards_total: u64,
+    /// Shards currently Degraded (read-only, refusing their devices).
+    pub shards_degraded: u64,
+    /// Shards currently Failed (reopen attempt failed; operator action
+    /// required).
+    pub shards_failed: u64,
 }
 
 /// What a server sends back.
@@ -449,6 +459,10 @@ impl Response {
                 w.u64(s.revoked);
                 w.u64(s.crp_hits);
                 w.u64(s.crp_misses);
+                w.u64(s.unavailable);
+                w.u64(s.shards_total);
+                w.u64(s.shards_degraded);
+                w.u64(s.shards_failed);
             }
             Response::ShutdownAck => w.u8(6),
             Response::Busy { retry_after_ms } => {
@@ -505,6 +519,10 @@ impl Response {
                 revoked: r.u64()?,
                 crp_hits: r.u64()?,
                 crp_misses: r.u64()?,
+                unavailable: r.u64()?,
+                shards_total: r.u64()?,
+                shards_degraded: r.u64()?,
+                shards_failed: r.u64()?,
             }),
             6 => Response::ShutdownAck,
             7 => Response::Busy { retry_after_ms: r.u32()? },
@@ -585,7 +603,16 @@ mod tests {
                 status: WireStatus::Quarantined,
             },
             Response::RevokeOk { device: 9, status: WireStatus::Revoked },
-            Response::StatsReply(WireStats { started: 1, accepted: 2, revoked: 3, ..WireStats::default() }),
+            Response::StatsReply(WireStats {
+                started: 1,
+                accepted: 2,
+                revoked: 3,
+                unavailable: 4,
+                shards_total: 8,
+                shards_degraded: 1,
+                shards_failed: 1,
+                ..WireStats::default()
+            }),
             Response::ShutdownAck,
             Response::Busy { retry_after_ms: 25 },
             Response::Error {

@@ -614,7 +614,10 @@ fn handle_request(
             let job = move || {
                 let response = match service.enroll(device) {
                     Ok(EnrollOutcome { fresh, status }) => Response::EnrollOk { device, fresh, status: status.into() },
-                    Err(e) => Response::Error { code: ErrorCode::DeviceFault, detail: error_detail(&e) },
+                    Err(e) => Response::Error {
+                        code: storage_aware_code(&e, ErrorCode::DeviceFault),
+                        detail: error_detail(&e),
+                    },
                 };
                 writer_job.send(corr, &response);
             };
@@ -654,6 +657,13 @@ fn handle_request(
                     &Response::Error {
                         code: ErrorCode::UnknownDevice,
                         detail: format!("device {device} not enrolled"),
+                    },
+                ),
+                SessionGate::Unavailable => writer.send(
+                    corr,
+                    &Response::Error {
+                        code: ErrorCode::StorageUnavailable,
+                        detail: format!("device {device}'s storage shard is unavailable"),
                     },
                 ),
             }
@@ -716,6 +726,10 @@ fn handle_request(
                         code: ErrorCode::UnknownDevice,
                         detail: format!("device {device} not enrolled"),
                     },
+                    ServiceVerdict::Unavailable => Response::Error {
+                        code: ErrorCode::StorageUnavailable,
+                        detail: format!("device {device}'s storage shard is unavailable"),
+                    },
                 };
                 lock_ranked(&tickets_job, rank::TICKET_TABLE).remove(&device);
                 writer_job.send(corr, &response);
@@ -739,10 +753,17 @@ fn handle_request(
             // The journal refused the synced append: the revocation did
             // NOT take (the registry is untouched), and the client must
             // hear that rather than a cheerful RevokeOk.
-            Err(e) => writer.send(corr, &Response::Error { code: ErrorCode::DeviceFault, detail: error_detail(&e) }),
+            Err(e) => writer.send(
+                corr,
+                &Response::Error {
+                    code: storage_aware_code(&e, ErrorCode::DeviceFault),
+                    detail: error_detail(&e),
+                },
+            ),
         },
         Request::Stats => {
             let snap = service.snapshot();
+            let store = service.store_stats();
             writer.send(
                 corr,
                 &Response::StatsReply(WireStats {
@@ -758,6 +779,10 @@ fn handle_request(
                     revoked: snap.devices.revoked as u64,
                     crp_hits: snap.crp_hits,
                     crp_misses: snap.crp_misses,
+                    unavailable: snap.sessions_unavailable,
+                    shards_total: store.as_ref().map_or(0, |s| u64::from(s.shards_total)),
+                    shards_degraded: store.as_ref().map_or(0, |s| u64::from(s.shards_degraded)),
+                    shards_failed: store.as_ref().map_or(0, |s| u64::from(s.shards_failed)),
                 }),
             );
         }
@@ -776,4 +801,15 @@ fn handle_request(
 /// format macro.
 fn error_detail(e: &PufattError) -> String {
     e.to_string()
+}
+
+/// Picks the wire code for a service error: a typed per-shard storage
+/// refusal travels as its own stable code (the client can distinguish
+/// "this shard is sick, others work" from a device-level fault);
+/// everything else keeps the request's default code.
+fn storage_aware_code(e: &PufattError, default: ErrorCode) -> ErrorCode {
+    match e {
+        PufattError::StorageUnavailable { .. } => ErrorCode::StorageUnavailable,
+        _ => default,
+    }
 }

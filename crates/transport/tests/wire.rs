@@ -40,6 +40,7 @@ fn any_code() -> impl Strategy<Value = ErrorCode> + Clone {
         ErrorCode::RateLimited,
         ErrorCode::Draining,
         ErrorCode::Internal,
+        ErrorCode::StorageUnavailable,
     ])
 }
 
@@ -51,13 +52,15 @@ fn any_stats() -> impl Strategy<Value = WireStats> + Clone {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>()),
     )
         .prop_map(
             |(
                 (started, accepted, rejected, timed_out, refused),
                 (lost, faults, active, quarantined, revoked),
-                (crp_hits, crp_misses),
+                (crp_hits, crp_misses, unavailable, shards_total),
+                (shards_degraded, shards_failed),
             )| {
                 WireStats {
                     started,
@@ -72,6 +75,10 @@ fn any_stats() -> impl Strategy<Value = WireStats> + Clone {
                     revoked,
                     crp_hits,
                     crp_misses,
+                    unavailable,
+                    shards_total,
+                    shards_degraded,
+                    shards_failed,
                 }
             },
         )
